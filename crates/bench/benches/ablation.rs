@@ -1,0 +1,105 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * corner reduction (1–3 stored corners + range queries) vs the
+//!   un-reduced four-corner store with the geometric intersection test;
+//! * B+tree bulk loading vs one-at-a-time inserts;
+//! * segmentation algorithm choice (see also `table3_segmentation`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pagestore::{BTree, BufferPool, PageFile};
+use segdiff::ablation::FullCornerIndex;
+use segdiff::QueryPlan;
+use segdiff_bench::{build_segdiff, default_series};
+use sensorgen::HOUR;
+use std::hint::black_box;
+use std::time::Duration;
+use std::sync::Arc;
+
+fn bench_corner_reduction(c: &mut Criterion) {
+    let series = default_series(10, 1);
+    let w = 8.0 * HOUR;
+    let region = featurespace::QueryRegion::drop(1.0 * HOUR, -3.0);
+    let base = std::env::temp_dir().join(format!("segdiff-bench-abl-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let reduced = build_segdiff(&series, 0.2, w, 8192, &base.join("reduced"), false);
+    let mut full = FullCornerIndex::create(&base.join("full"), 0.2, w, 8192).unwrap();
+    full.ingest_series(&series).unwrap();
+    full.finish().unwrap();
+
+    // Sanity: identical answers, smaller reduced store.
+    let (a, _) = reduced.index.query(&region, QueryPlan::SeqScan).unwrap();
+    let (b, _) = full.query(&region).unwrap();
+    assert_eq!(a, b, "corner reduction changed the results");
+    assert!(
+        reduced.index.stats().feature_payload_bytes < full.stats().feature_payload_bytes
+    );
+
+    let mut group = c.benchmark_group("ablation/corners_scan");
+    group.sample_size(20);
+    group.bench_function("reduced_1to3", |bch| {
+        bch.iter(|| black_box(reduced.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+    });
+    group.bench_function("full_4", |bch| {
+        bch.iter(|| black_box(full.query(&region).unwrap().0.len()))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+fn bench_bulk_vs_incremental(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("segdiff-bench-bulk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = 50_000u64;
+    let mut entries: Vec<[u8; 16]> = (0..n)
+        .map(|i| {
+            let mut k = [0u8; 16];
+            k[..8].copy_from_slice(&(i.wrapping_mul(0x9E3779B97F4A7C15)).to_be_bytes());
+            k[8..].copy_from_slice(&i.to_be_bytes());
+            k
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ablation/index_build");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+        let mut round = 0u64;
+        b.iter(|| {
+            let path = dir.join(format!("inc-{round}.idx"));
+            round += 1;
+            let pool = Arc::new(BufferPool::new(8192));
+            let fid = pool.register_file(PageFile::create(&path).unwrap());
+            let mut bt = BTree::create(pool, fid, 16).unwrap();
+            for k in &entries {
+                bt.insert(k, 0).unwrap();
+            }
+            std::fs::remove_file(&path).ok();
+            black_box(n)
+        })
+    });
+    entries.sort();
+    group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, &n| {
+        let mut round = 0u64;
+        b.iter(|| {
+            let path = dir.join(format!("bulk-{round}.idx"));
+            round += 1;
+            let pool = Arc::new(BufferPool::new(8192));
+            let fid = pool.register_file(PageFile::create(&path).unwrap());
+            let bt = BTree::bulk_load(pool, fid, 16, entries.iter().map(|k| (k.as_slice(), 0)))
+                .unwrap();
+            std::fs::remove_file(&path).ok();
+            black_box(bt.len().min(n))
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_corner_reduction, bench_bulk_vs_incremental
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figures 14–15 counterpart: query time as the ingested volume grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segdiff::QueryPlan;
+use segdiff_bench::{build_exh, build_segdiff, default_series};
+use sensorgen::HOUR;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scaling(c: &mut Criterion) {
+    let w = 8.0 * HOUR;
+    let region = featurespace::QueryRegion::drop(1.0 * HOUR, -3.0);
+    let base = std::env::temp_dir().join(format!("segdiff-bench-f14-{}", std::process::id()));
+
+    let mut group = c.benchmark_group("fig14_15/scan_by_n");
+    group.sample_size(15);
+    for days in [4u32, 8, 16] {
+        let series = default_series(days, 1);
+        let n = series.len();
+        let seg = build_segdiff(&series, 0.2, w, 8192, &base.join(format!("seg{days}")), false);
+        group.bench_with_input(BenchmarkId::new("segdiff", n), &n, |b, _| {
+            b.iter(|| black_box(seg.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+        });
+        // Exh only at the two smaller sizes (the paper aborts it early).
+        if days <= 8 {
+            let exh = build_exh(&series, w, 8192, &base.join(format!("exh{days}")), false);
+            group.bench_with_input(BenchmarkId::new("exh", n), &n, |b, _| {
+                b.iter(|| black_box(exh.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+            });
+        }
+    }
+    group.finish();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_scaling
+}
+criterion_main!(benches);

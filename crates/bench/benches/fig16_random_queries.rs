@@ -1,0 +1,87 @@
+//! Figures 16–24 counterpart: representative query regions over both
+//! systems, both plans, warm and cold caches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use featurespace::QueryRegion;
+use segdiff::QueryPlan;
+use segdiff_bench::{build_exh, build_segdiff, default_series};
+use sensorgen::HOUR;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_random_queries(c: &mut Criterion) {
+    let series = default_series(10, 1);
+    let w = 8.0 * HOUR;
+    let base = std::env::temp_dir().join(format!("segdiff-bench-f16-{}", std::process::id()));
+    let seg = build_segdiff(&series, 0.2, w, 8192, &base.join("seg"), true);
+    let exh = build_exh(&series, w, 8192, &base.join("exh"), true);
+
+    // Representative corners of query space (T hours, V):
+    // easy (small T, deep V), default, hard (large T, shallow V).
+    let regions = [
+        ("easy", QueryRegion::drop(0.5 * HOUR, -8.0)),
+        ("default", QueryRegion::drop(1.0 * HOUR, -3.0)),
+        ("hard", QueryRegion::drop(7.0 * HOUR, -1.0)),
+    ];
+
+    let mut group = c.benchmark_group("fig17_20/warm");
+    group.sample_size(15);
+    for (label, region) in &regions {
+        for (plan_name, plan) in [("scan", QueryPlan::SeqScan), ("index", QueryPlan::Index)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("segdiff_{plan_name}"), label),
+                region,
+                |b, region| {
+                    b.iter(|| black_box(seg.index.query(region, plan).unwrap().0.len()))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("exh_{plan_name}"), label),
+                region,
+                |b, region| {
+                    b.iter(|| black_box(exh.index.query(region, plan).unwrap().0.len()))
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig23_24/cold");
+    group.sample_size(10);
+    let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+    group.bench_function("segdiff_scan", |b| {
+        b.iter(|| {
+            seg.index.clear_cache().unwrap();
+            black_box(seg.index.query(&region, QueryPlan::SeqScan).unwrap().0.len())
+        })
+    });
+    group.bench_function("exh_scan", |b| {
+        b.iter(|| {
+            exh.index.clear_cache().unwrap();
+            black_box(exh.index.query(&region, QueryPlan::SeqScan).unwrap().0.len())
+        })
+    });
+    group.bench_function("segdiff_index", |b| {
+        b.iter(|| {
+            seg.index.clear_cache().unwrap();
+            black_box(seg.index.query(&region, QueryPlan::Index).unwrap().0.len())
+        })
+    });
+    group.bench_function("exh_index", |b| {
+        b.iter(|| {
+            exh.index.clear_cache().unwrap();
+            black_box(exh.index.query(&region, QueryPlan::Index).unwrap().0.len())
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_random_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Micro-benchmarks of the storage substrate: B+tree insert/range, heap
+//! scan, buffer-pool hit path, and key encoding. These are the building
+//! blocks whose costs the paper's tables aggregate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pagestore::{encode_f64, BTree, BufferPool, Database, PageFile, TableSpec};
+use std::hint::black_box;
+use std::time::Duration;
+use std::sync::Arc;
+
+fn bench_encode(c: &mut Criterion) {
+    c.bench_function("storage/encode_f64", |b| {
+        let mut x = 1.0f64;
+        b.iter(|| {
+            x += 0.001;
+            black_box(encode_f64(black_box(x)))
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("segdiff-bench-storage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut group = c.benchmark_group("storage/btree_insert");
+    group.sample_size(10);
+    for n in [10_000u64, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut round = 0u64;
+            b.iter(|| {
+                let path = dir.join(format!("bt-{round}.idx"));
+                round += 1;
+                let pool = Arc::new(BufferPool::new(4096));
+                let fid = pool.register_file(PageFile::create(&path).unwrap());
+                let mut bt = BTree::create(pool, fid, 16).unwrap();
+                let mut key = [0u8; 16];
+                for i in 0..n {
+                    key[..8].copy_from_slice(&(i.wrapping_mul(0x9E3779B97F4A7C15)).to_be_bytes());
+                    key[8..].copy_from_slice(&i.to_be_bytes());
+                    bt.insert(&key, i).unwrap();
+                }
+                std::fs::remove_file(&path).ok();
+                black_box(bt.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Range scans over a prebuilt tree.
+    let path = dir.join("bt-range.idx");
+    let pool = Arc::new(BufferPool::new(4096));
+    let fid = pool.register_file(PageFile::create(&path).unwrap());
+    let mut bt = BTree::create(pool, fid, 8).unwrap();
+    for i in 0..200_000u64 {
+        bt.insert(&i.to_be_bytes(), i).unwrap();
+    }
+    let mut group = c.benchmark_group("storage/btree_range");
+    group.sample_size(20);
+    for span in [100u64, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, &span| {
+            b.iter(|| {
+                let mut count = 0u64;
+                bt.range(&50_000u64.to_be_bytes(), &(50_000 + span).to_be_bytes(), |_, _| {
+                    count += 1;
+                    true
+                })
+                .unwrap();
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_heap_scan(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("segdiff-bench-heap-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let db = Database::create(&dir, 8192).unwrap();
+    let t = db.create_table(TableSpec::new("rows", &["a", "b", "c"])).unwrap();
+    for i in 0..200_000 {
+        t.insert(&[i as f64, -(i as f64), 0.5 * i as f64]).unwrap();
+    }
+    let mut group = c.benchmark_group("storage/heap_scan");
+    group.sample_size(15);
+    group.bench_function("200k_rows_warm", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            t.seq_scan(|_, row| {
+                if row[1] <= -100_000.0 {
+                    hits += 1;
+                }
+                true
+            })
+            .unwrap();
+            black_box(hits)
+        })
+    });
+    group.bench_function("200k_rows_cold", |b| {
+        b.iter(|| {
+            db.clear_cache().unwrap();
+            let mut hits = 0u64;
+            t.seq_scan(|_, row| {
+                if row[1] <= -100_000.0 {
+                    hits += 1;
+                }
+                true
+            })
+            .unwrap();
+            black_box(hits)
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_encode, bench_btree, bench_heap_scan
+}
+criterion_main!(benches);

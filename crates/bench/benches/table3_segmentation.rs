@@ -1,0 +1,41 @@
+//! Table 3 counterpart: segmentation throughput and compression across the
+//! paper's error tolerances, for all three segmentation algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segdiff_bench::default_series;
+use segmentation::Segmenter;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_segmentation(c: &mut Criterion) {
+    let series = default_series(10, 1);
+    let mut group = c.benchmark_group("table3/segment");
+    group.sample_size(20);
+    for eps in [0.1, 0.2, 0.4, 0.8, 1.0] {
+        group.bench_with_input(BenchmarkId::new("sliding", eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let pla = segmentation::segment_series(black_box(&series), eps);
+                black_box(pla.num_segments())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table3/ablation");
+    group.sample_size(10);
+    for alg in Segmenter::all() {
+        group.bench_with_input(BenchmarkId::new(alg.name(), 0.2), &alg, |b, alg| {
+            b.iter(|| black_box(alg.segment(black_box(&series), 0.2).num_segments()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_segmentation
+}
+criterion_main!(benches);

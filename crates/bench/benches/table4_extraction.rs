@@ -1,0 +1,39 @@
+//! Table 4 counterpart: feature-extraction throughput (Algorithm 1 plus
+//! the six-case corner analysis) across error tolerances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segdiff::FeatureExtractor;
+use segdiff_bench::default_series;
+use sensorgen::HOUR;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_extraction(c: &mut Criterion) {
+    let series = default_series(10, 1);
+    let mut group = c.benchmark_group("table4/extract");
+    group.sample_size(15);
+    for eps in [0.1, 0.2, 0.4, 0.8, 1.0] {
+        let pla = segmentation::segment_series(&series, eps);
+        let segments = pla.segments().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let mut ex = FeatureExtractor::new(eps, 8.0 * HOUR);
+                let mut rows = Vec::new();
+                for &s in &segments {
+                    ex.push_segment(s, &mut rows);
+                }
+                black_box(rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_extraction
+}
+criterion_main!(benches);

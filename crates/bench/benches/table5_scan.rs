@@ -1,0 +1,40 @@
+//! Table 5 / Figure 10 counterpart: sequential-scan query time, SegDiff vs
+//! the exhaustive baseline, across error tolerances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segdiff::QueryPlan;
+use segdiff_bench::{build_exh, build_segdiff, default_series};
+use sensorgen::HOUR;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scan(c: &mut Criterion) {
+    let series = default_series(10, 1);
+    let w = 8.0 * HOUR;
+    let region = featurespace::QueryRegion::drop(1.0 * HOUR, -3.0);
+    let base = std::env::temp_dir().join(format!("segdiff-bench-t5-{}", std::process::id()));
+
+    let mut group = c.benchmark_group("table5/seq_scan");
+    group.sample_size(20);
+    for eps in [0.1, 0.2, 1.0] {
+        let seg = build_segdiff(&series, eps, w, 8192, &base.join(format!("seg{eps}")), false);
+        group.bench_with_input(BenchmarkId::new("segdiff", eps), &eps, |b, _| {
+            b.iter(|| black_box(seg.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+        });
+    }
+    let exh = build_exh(&series, w, 8192, &base.join("exh"), false);
+    group.bench_function("exh", |b| {
+        b.iter(|| black_box(exh.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table 7 / Figures 12–13 counterpart: ingest and query cost as the
+//! window width w grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segdiff::{FeatureExtractor, QueryPlan};
+use segdiff_bench::{build_segdiff, default_series};
+use sensorgen::HOUR;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_window(c: &mut Criterion) {
+    let series = default_series(10, 1);
+    let region = featurespace::QueryRegion::drop(1.0 * HOUR, -3.0);
+    let base = std::env::temp_dir().join(format!("segdiff-bench-t7-{}", std::process::id()));
+    let pla = segmentation::segment_series(&series, 0.2);
+    let segments = pla.segments().to_vec();
+
+    // Feature extraction cost grows with w (more pairs per segment).
+    let mut group = c.benchmark_group("table7/extract_by_window");
+    group.sample_size(12);
+    for wh in [1.0, 4.0, 8.0, 16.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(wh), &wh, |b, &wh| {
+            b.iter(|| {
+                let mut ex = FeatureExtractor::new(0.2, wh * HOUR);
+                let mut rows = Vec::new();
+                for &s in &segments {
+                    ex.push_segment(s, &mut rows);
+                }
+                black_box(rows.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Query cost over stores built with different w.
+    let mut group = c.benchmark_group("table7/scan_by_window");
+    group.sample_size(20);
+    for wh in [1.0, 8.0, 16.0] {
+        let built = build_segdiff(
+            &series,
+            0.2,
+            wh * HOUR,
+            8192,
+            &base.join(format!("w{wh}")),
+            false,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(wh), &wh, |b, _| {
+            b.iter(|| black_box(built.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_window
+}
+criterion_main!(benches);

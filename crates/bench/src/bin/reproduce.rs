@@ -1,0 +1,137 @@
+//! Regenerates the paper's tables and figures on the synthetic workload.
+//!
+//! ```sh
+//! cargo run --release -p segdiff-bench --bin reproduce -- all
+//! cargo run --release -p segdiff-bench --bin reproduce -- table3 table5
+//! cargo run --release -p segdiff-bench --bin reproduce -- all --days 60 --out report.md
+//! ```
+//!
+//! Experiments: `table3 table4 table5 table6 table7 fig7_11 fig12_13
+//! fig14_15 fig16_24 all`. Flags: `--days N` (subset size), `--full-days N`
+//! (scalability run), `--queries N` (random-query count), `--repeats N`,
+//! `--tiny` (smoke-test scale), `--out PATH` (write markdown).
+
+use segdiff_bench::experiments::{self, EpsSweep, RandomQueryPoint, ScalePoint, WPoint};
+use segdiff_bench::{Report, Scale};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+struct Args {
+    experiments: BTreeSet<String>,
+    scale: Scale,
+    queries: usize,
+    out: Option<PathBuf>,
+}
+
+const KNOWN: [&str; 10] = [
+    "all", "table3", "table4", "table5", "table6", "table7", "fig7_11", "fig12_13", "fig14_15",
+    "fig16_24",
+];
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiments: BTreeSet::new(),
+        scale: Scale::default(),
+        queries: 30,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--days" => {
+                args.scale.subset_days = it.next().and_then(|v| v.parse().ok()).expect("--days N")
+            }
+            "--full-days" => {
+                args.scale.full_days =
+                    it.next().and_then(|v| v.parse().ok()).expect("--full-days N")
+            }
+            "--repeats" => {
+                args.scale.repeats = it.next().and_then(|v| v.parse().ok()).expect("--repeats N")
+            }
+            "--queries" => {
+                args.queries = it.next().and_then(|v| v.parse().ok()).expect("--queries N")
+            }
+            "--tiny" => args.scale = Scale::tiny(),
+            "--out" => args.out = Some(PathBuf::from(it.next().expect("--out PATH"))),
+            name if !name.starts_with('-') => {
+                if !KNOWN.contains(&name) {
+                    eprintln!("unknown experiment {name}; known: {KNOWN:?}");
+                    std::process::exit(2);
+                }
+                args.experiments.insert(name.to_string());
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.experiments.is_empty() {
+        args.experiments.insert("all".to_string());
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let want =
+        |name: &str| -> bool { args.experiments.contains("all") || args.experiments.contains(name) };
+    let mut report = Report::new();
+    report.para(&format!(
+        "# SegDiff reproduction run\n\nsubset: {} days, full: {} days, repeats: {}, seed: {}",
+        args.scale.subset_days, args.scale.full_days, args.scale.repeats, args.scale.seed
+    ));
+
+    let needs_eps = ["table3", "table4", "table5", "table6", "fig7_11"]
+        .iter()
+        .any(|e| want(e));
+    let mut eps_sweep: Option<EpsSweep> = None;
+    if needs_eps {
+        eprintln!("[reproduce] running epsilon sweep ...");
+        eps_sweep = Some(experiments::run_eps_sweep(&args.scale));
+    }
+    if let Some(sweep) = &eps_sweep {
+        if want("table3") {
+            experiments::table3(sweep, &mut report);
+        }
+        if want("table4") {
+            experiments::table4(sweep, &mut report);
+        }
+        if want("table5") {
+            experiments::table5(sweep, &mut report);
+        }
+        if want("table6") {
+            experiments::table6(sweep, &mut report);
+        }
+        if want("fig7_11") {
+            experiments::figs7_to_11(sweep, &mut report);
+        }
+    }
+
+    if want("table7") || want("fig12_13") {
+        eprintln!("[reproduce] running window sweep ...");
+        let points: Vec<WPoint> = experiments::run_w_sweep(&args.scale);
+        experiments::table7_figs12_13(&points, &mut report);
+    }
+
+    if want("fig14_15") {
+        eprintln!("[reproduce] running scalability experiment ...");
+        let points: Vec<ScalePoint> = experiments::run_scaling(&args.scale);
+        experiments::figs14_15(&points, &mut report);
+    }
+
+    if want("fig16_24") {
+        eprintln!(
+            "[reproduce] running random-query study ({} queries) ...",
+            args.queries
+        );
+        let points: Vec<RandomQueryPoint> =
+            experiments::run_random_queries(&args.scale, args.queries);
+        experiments::figs16_24(&points, &mut report);
+    }
+
+    if let Some(path) = &args.out {
+        report.save(path).expect("write report");
+        eprintln!("[reproduce] wrote {}", path.display());
+    }
+}

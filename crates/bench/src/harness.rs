@@ -1,0 +1,240 @@
+//! Shared experiment plumbing: workload construction, index building, and
+//! query timing.
+
+use featurespace::QueryRegion;
+use segdiff::exh::ExhIndex;
+use segdiff::{QueryPlan, QueryStats, SegDiffConfig, SegDiffIndex};
+use sensorgen::{generate_sensor, smooth::RobustSmoother, CadTransectConfig, TimeSeries, HOUR};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Experiment scale knobs (all experiments honour these).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Days of 5-minute data in the §6.1/6.2/6.4 subset.
+    pub subset_days: u32,
+    /// Days of data for the §6.3 scalability run (split into 5 groups).
+    pub full_days: u32,
+    /// Buffer-pool pages for every database.
+    pub pool_pages: usize,
+    /// Repetitions per timed query (the paper averages 10 runs).
+    pub repeats: u32,
+    /// RNG seed for the workload.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            subset_days: 120,
+            full_days: 365,
+            pool_pages: 8192, // 32 MiB
+            repeats: 5,
+            seed: 20_080_325,
+        }
+    }
+}
+
+impl Scale {
+    /// A much smaller scale for Criterion benches and smoke tests.
+    pub fn tiny() -> Self {
+        Self {
+            subset_days: 10,
+            full_days: 25,
+            pool_pages: 2048,
+            repeats: 2,
+            seed: 20_080_325,
+        }
+    }
+}
+
+/// The canonical workload: one canyon-bottom sensor, smoothed with robust
+/// weights (the paper's preprocessing), `days` days at 5-minute sampling.
+pub fn default_series(days: u32, seed: u64) -> TimeSeries {
+    let cfg = CadTransectConfig::default().with_days(days);
+    let raw = generate_sensor(&cfg, 12, seed);
+    RobustSmoother::default().smooth(&raw)
+}
+
+/// A built SegDiff index plus build metadata.
+pub struct BuiltSegDiff {
+    /// The index.
+    pub index: SegDiffIndex,
+    /// Wall-clock build time (ingest + finish), seconds.
+    pub build_seconds: f64,
+    /// Wall-clock time spent creating B+trees, seconds (0 if none built).
+    pub index_build_seconds: f64,
+}
+
+/// Builds a SegDiff index over `series` under `dir`.
+pub fn build_segdiff(
+    series: &TimeSeries,
+    epsilon: f64,
+    window: f64,
+    pool_pages: usize,
+    dir: &Path,
+    with_indexes: bool,
+) -> BuiltSegDiff {
+    std::fs::remove_dir_all(dir).ok();
+    let cfg = SegDiffConfig::default()
+        .with_epsilon(epsilon)
+        .with_window(window)
+        .with_pool_pages(pool_pages);
+    let start = Instant::now();
+    let mut index = SegDiffIndex::create(dir, cfg).expect("create segdiff");
+    index.ingest_series(series).expect("ingest");
+    index.finish().expect("finish");
+    let build_seconds = start.elapsed().as_secs_f64();
+    let mut index_build_seconds = 0.0;
+    if with_indexes {
+        let t = Instant::now();
+        index.build_indexes().expect("build indexes");
+        index_build_seconds = t.elapsed().as_secs_f64();
+    }
+    BuiltSegDiff {
+        index,
+        build_seconds,
+        index_build_seconds,
+    }
+}
+
+/// A built Exh index plus build metadata.
+pub struct BuiltExh {
+    /// The baseline index.
+    pub index: ExhIndex,
+    /// Wall-clock build time, seconds.
+    pub build_seconds: f64,
+    /// Wall-clock B+tree build time, seconds.
+    pub index_build_seconds: f64,
+}
+
+/// Builds the exhaustive baseline over `series` under `dir`.
+pub fn build_exh(
+    series: &TimeSeries,
+    window: f64,
+    pool_pages: usize,
+    dir: &Path,
+    with_indexes: bool,
+) -> BuiltExh {
+    std::fs::remove_dir_all(dir).ok();
+    let start = Instant::now();
+    let mut index = ExhIndex::create(dir, window, pool_pages).expect("create exh");
+    index.ingest_series(series).expect("ingest");
+    index.finish().expect("finish");
+    let build_seconds = start.elapsed().as_secs_f64();
+    let mut index_build_seconds = 0.0;
+    if with_indexes {
+        let t = Instant::now();
+        index.build_indexes().expect("build exh index");
+        index_build_seconds = t.elapsed().as_secs_f64();
+    }
+    BuiltExh {
+        index,
+        build_seconds,
+        index_build_seconds,
+    }
+}
+
+/// Timing result of a repeated query.
+#[derive(Debug, Clone, Copy)]
+pub struct TimedQuery {
+    /// Mean wall-clock seconds per execution.
+    pub seconds: f64,
+    /// Result count (identical across repetitions).
+    pub results: u64,
+    /// Pages physically read during the *first* (representative) run.
+    pub pages_read: u64,
+    /// Rows or index entries examined per run.
+    pub rows_considered: u64,
+}
+
+fn summarize(runs: &[QueryStats]) -> TimedQuery {
+    let n = runs.len() as f64;
+    TimedQuery {
+        seconds: runs.iter().map(|s| s.wall_seconds).sum::<f64>() / n,
+        results: runs[0].results,
+        pages_read: runs[0].io.physical_reads + runs[0].io.misses,
+        rows_considered: runs[0].rows_considered,
+    }
+}
+
+/// Times a SegDiff query. With `cold`, the buffer pool is dropped before
+/// every repetition (the paper's flushed-cache mode).
+pub fn time_query_segdiff(
+    built: &BuiltSegDiff,
+    region: &QueryRegion,
+    plan: QueryPlan,
+    repeats: u32,
+    cold: bool,
+) -> TimedQuery {
+    let mut runs = Vec::new();
+    if !cold {
+        // Warm-up pass so "warm" really is warm.
+        let _ = built.index.query(region, plan).expect("warmup");
+    }
+    for _ in 0..repeats.max(1) {
+        if cold {
+            built.index.clear_cache().expect("clear cache");
+        }
+        let (_, stats) = built.index.query(region, plan).expect("query");
+        runs.push(stats);
+    }
+    summarize(&runs)
+}
+
+/// Times an Exh query, same protocol as [`time_query_segdiff`].
+pub fn time_query_exh(
+    built: &BuiltExh,
+    region: &QueryRegion,
+    plan: QueryPlan,
+    repeats: u32,
+    cold: bool,
+) -> TimedQuery {
+    let mut runs = Vec::new();
+    if !cold {
+        let _ = built.index.query(region, plan).expect("warmup");
+    }
+    for _ in 0..repeats.max(1) {
+        if cold {
+            built.index.clear_cache().expect("clear cache");
+        }
+        let (_, stats) = built.index.query(region, plan).expect("query");
+        runs.push(stats);
+    }
+    summarize(&runs)
+}
+
+/// The paper's default query: a 3 degC drop within one hour.
+pub fn default_region() -> QueryRegion {
+    QueryRegion::drop(1.0 * HOUR, -3.0)
+}
+
+/// Scratch directory for experiment databases.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("segdiff-exp-{}", std::process::id()));
+    d.join(tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_pipeline_runs() {
+        let scale = Scale::tiny();
+        let series = default_series(scale.subset_days, scale.seed);
+        assert!(series.len() > 2000);
+        let sd = scratch_dir("harness-test-seg");
+        let ed = scratch_dir("harness-test-exh");
+        let seg = build_segdiff(&series, 0.2, 8.0 * HOUR, scale.pool_pages, &sd, false);
+        let exh = build_exh(&series, 8.0 * HOUR, scale.pool_pages, &ed, false);
+        assert!(seg.index.stats().n_rows > 0);
+        assert!(exh.index.stats().n_rows > seg.index.stats().n_rows);
+        let q = default_region();
+        let a = time_query_segdiff(&seg, &q, QueryPlan::SeqScan, 2, false);
+        let b = time_query_exh(&exh, &q, QueryPlan::SeqScan, 2, false);
+        assert!(a.seconds > 0.0 && b.seconds > 0.0);
+        std::fs::remove_dir_all(sd).ok();
+        std::fs::remove_dir_all(ed).ok();
+    }
+}

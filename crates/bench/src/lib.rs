@@ -1,0 +1,16 @@
+//! Experiment harness: everything needed to regenerate every table and
+//! figure of the paper's §6 on the synthetic CAD workload.
+//!
+//! The `reproduce` binary drives the functions in [`experiments`]; the
+//! Criterion benches under `benches/` exercise reduced-size versions of the
+//! same code paths so `cargo bench` stays fast.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    build_exh, build_segdiff, default_series, time_query_exh, time_query_segdiff, BuiltExh,
+    BuiltSegDiff, Scale, TimedQuery,
+};
+pub use report::Report;

@@ -1,0 +1,120 @@
+//! Markdown report assembly for the `reproduce` binary.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Accumulates experiment output as markdown and mirrors it to stdout.
+#[derive(Debug, Default)]
+pub struct Report {
+    buf: String,
+}
+
+impl Report {
+    /// A fresh, empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section heading.
+    pub fn heading(&mut self, text: &str) {
+        println!("\n## {text}\n");
+        let _ = writeln!(self.buf, "\n## {text}\n");
+    }
+
+    /// Appends a paragraph.
+    pub fn para(&mut self, text: &str) {
+        println!("{text}");
+        let _ = writeln!(self.buf, "{text}");
+    }
+
+    /// Appends a markdown table: a header row and data rows.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                let _ = write!(line, " {c:>w$} |");
+            }
+            line
+        };
+        let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        for line in std::iter::once(fmt_row(&head))
+            .chain(std::iter::once(fmt_row(&sep)))
+            .chain(rows.iter().map(|r| fmt_row(r)))
+        {
+            println!("{line}");
+            let _ = writeln!(self.buf, "{line}");
+        }
+    }
+
+    /// The accumulated markdown.
+    pub fn markdown(&self) -> &str {
+        &self.buf
+    }
+
+    /// Writes the accumulated markdown to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, &self.buf)
+    }
+}
+
+/// Formats a byte count as mebibytes with two decimals.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats seconds as milliseconds with two decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}
+
+/// Formats a ratio with two decimals.
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}", num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = Report::new();
+        r.heading("Demo");
+        r.table(
+            &["eps", "r"],
+            &[
+                vec!["0.1".into(), "4.73".into()],
+                vec!["1.0".into(), "18.55".into()],
+            ],
+        );
+        let md = r.markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| 0.1 |"));
+        assert!(md.contains("18.55"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mib(1024 * 1024), "1.00");
+        assert_eq!(ms(0.00123), "1.23");
+        assert_eq!(ratio(10.0, 4.0), "2.50");
+        assert_eq!(ratio(1.0, 0.0), "inf");
+    }
+}

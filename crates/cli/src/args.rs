@@ -1,0 +1,276 @@
+//! Command-line parsing (no external dependencies).
+
+use std::path::PathBuf;
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  segdiff generate --csv FILE --days N [--sensor K] [--seed S] [--raw]
+  segdiff ingest   --index DIR --csv FILE [--epsilon E] [--window-hours H] [--no-smooth]
+  segdiff query    --index DIR --kind drop|jump --v V --t-hours H
+                   [--plan scan|index] [--refine FILE] [--limit N]
+  segdiff stats    --index DIR
+  segdiff sql      --index DIR \"SELECT ...\"";
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Produce synthetic CAD data as CSV.
+    Generate {
+        /// Output CSV path.
+        csv: PathBuf,
+        /// Days of data.
+        days: u32,
+        /// Sensor position (0-24).
+        sensor: u32,
+        /// RNG seed.
+        seed: u64,
+        /// Skip the robust smoother (emit raw data with anomalies).
+        raw: bool,
+    },
+    /// Create-or-resume an index from a CSV.
+    Ingest {
+        /// Index directory.
+        index: PathBuf,
+        /// Input CSV path.
+        csv: PathBuf,
+        /// Error tolerance (used only on creation).
+        epsilon: f64,
+        /// Window in hours (used only on creation).
+        window_hours: f64,
+        /// Skip smoothing before ingest.
+        no_smooth: bool,
+    },
+    /// Search an index.
+    Query {
+        /// Index directory.
+        index: PathBuf,
+        /// "drop" or "jump".
+        kind: String,
+        /// Threshold V (negative for drops).
+        v: f64,
+        /// Threshold T in hours.
+        t_hours: f64,
+        /// "scan" or "index".
+        plan: String,
+        /// Optional raw CSV to refine against.
+        refine: Option<PathBuf>,
+        /// Max results to print.
+        limit: usize,
+    },
+    /// Print index statistics.
+    Stats {
+        /// Index directory.
+        index: PathBuf,
+    },
+    /// Execute a SQL statement against the index's database.
+    Sql {
+        /// Index directory.
+        index: PathBuf,
+        /// The statement.
+        statement: String,
+    },
+}
+
+fn take_value<'a>(
+    argv: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, String> {
+    *i += 1;
+    argv.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let sub = argv.first().ok_or("missing subcommand")?.as_str();
+    let mut csv: Option<PathBuf> = None;
+    let mut index: Option<PathBuf> = None;
+    let mut days: Option<u32> = None;
+    let mut sensor = 12u32;
+    let mut seed = 42u64;
+    let mut raw = false;
+    let mut epsilon = 0.2f64;
+    let mut window_hours = 8.0f64;
+    let mut no_smooth = false;
+    let mut kind: Option<String> = None;
+    let mut v: Option<f64> = None;
+    let mut t_hours: Option<f64> = None;
+    let mut plan = "scan".to_string();
+    let mut refine: Option<PathBuf> = None;
+    let mut limit = 50usize;
+    let mut statement: Option<String> = None;
+
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--csv" => csv = Some(PathBuf::from(take_value(argv, &mut i, "--csv")?)),
+            "--index" => index = Some(PathBuf::from(take_value(argv, &mut i, "--index")?)),
+            "--days" => {
+                days = Some(
+                    take_value(argv, &mut i, "--days")?
+                        .parse()
+                        .map_err(|_| "--days must be an integer")?,
+                )
+            }
+            "--sensor" => {
+                sensor = take_value(argv, &mut i, "--sensor")?
+                    .parse()
+                    .map_err(|_| "--sensor must be an integer")?
+            }
+            "--seed" => {
+                seed = take_value(argv, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?
+            }
+            "--raw" => raw = true,
+            "--epsilon" => {
+                epsilon = take_value(argv, &mut i, "--epsilon")?
+                    .parse()
+                    .map_err(|_| "--epsilon must be a number")?
+            }
+            "--window-hours" => {
+                window_hours = take_value(argv, &mut i, "--window-hours")?
+                    .parse()
+                    .map_err(|_| "--window-hours must be a number")?
+            }
+            "--no-smooth" => no_smooth = true,
+            "--kind" => kind = Some(take_value(argv, &mut i, "--kind")?.to_string()),
+            "--v" => {
+                v = Some(
+                    take_value(argv, &mut i, "--v")?
+                        .parse()
+                        .map_err(|_| "--v must be a number")?,
+                )
+            }
+            "--t-hours" => {
+                t_hours = Some(
+                    take_value(argv, &mut i, "--t-hours")?
+                        .parse()
+                        .map_err(|_| "--t-hours must be a number")?,
+                )
+            }
+            "--plan" => plan = take_value(argv, &mut i, "--plan")?.to_string(),
+            "--refine" => refine = Some(PathBuf::from(take_value(argv, &mut i, "--refine")?)),
+            "--limit" => {
+                limit = take_value(argv, &mut i, "--limit")?
+                    .parse()
+                    .map_err(|_| "--limit must be an integer")?
+            }
+            other if !other.starts_with("--") && sub == "sql" && statement.is_none() => {
+                statement = Some(other.to_string());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    match sub {
+        "generate" => Ok(Command::Generate {
+            csv: csv.ok_or("generate needs --csv")?,
+            days: days.ok_or("generate needs --days")?,
+            sensor,
+            seed,
+            raw,
+        }),
+        "ingest" => Ok(Command::Ingest {
+            index: index.ok_or("ingest needs --index")?,
+            csv: csv.ok_or("ingest needs --csv")?,
+            epsilon,
+            window_hours,
+            no_smooth,
+        }),
+        "query" => {
+            let kind = kind.ok_or("query needs --kind drop|jump")?;
+            if kind != "drop" && kind != "jump" {
+                return Err("--kind must be drop or jump".into());
+            }
+            if plan != "scan" && plan != "index" {
+                return Err("--plan must be scan or index".into());
+            }
+            Ok(Command::Query {
+                index: index.ok_or("query needs --index")?,
+                kind,
+                v: v.ok_or("query needs --v")?,
+                t_hours: t_hours.ok_or("query needs --t-hours")?,
+                plan,
+                refine,
+                limit,
+            })
+        }
+        "stats" => Ok(Command::Stats {
+            index: index.ok_or("stats needs --index")?,
+        }),
+        "sql" => Ok(Command::Sql {
+            index: index.ok_or("sql needs --index")?,
+            statement: statement.ok_or("sql needs a statement argument")?,
+        }),
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let c = parse(&argv("generate --csv out.csv --days 30 --sensor 3 --raw")).unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                csv: "out.csv".into(),
+                days: 30,
+                sensor: 3,
+                seed: 42,
+                raw: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_query_with_defaults() {
+        let c = parse(&argv("query --index d --kind drop --v -3 --t-hours 1")).unwrap();
+        match c {
+            Command::Query { plan, limit, refine, .. } => {
+                assert_eq!(plan, "scan");
+                assert_eq!(limit, 50);
+                assert!(refine.is_none());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("generate --days 3")).is_err());
+        assert!(parse(&argv("query --index d --kind sideways --v -3 --t-hours 1")).is_err());
+        assert!(parse(&argv("query --index d --kind drop --v -3 --t-hours 1 --plan turbo")).is_err());
+        assert!(parse(&argv("ingest --index d --csv f --epsilon nope")).is_err());
+    }
+
+    #[test]
+    fn parses_sql_statement() {
+        let args = vec![
+            "sql".to_string(),
+            "--index".to_string(),
+            "d".to_string(),
+            "SELECT COUNT(*) FROM drop1".to_string(),
+        ];
+        let c = parse(&args).unwrap();
+        match c {
+            Command::Sql { statement, .. } => {
+                assert!(statement.starts_with("SELECT"));
+            }
+            _ => panic!(),
+        }
+    }
+}

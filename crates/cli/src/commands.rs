@@ -1,0 +1,193 @@
+//! Command implementations.
+
+use crate::args::Command;
+use featurespace::QueryRegion;
+use segdiff::refine::refine_results;
+use segdiff::{QueryPlan, SegDiffConfig, SegDiffIndex};
+use sensorgen::{
+    generate_sensor, read_csv, smooth::RobustSmoother, write_csv, CadTransectConfig, HOUR,
+};
+use std::error::Error;
+use std::path::Path;
+
+type Anyhow = Box<dyn Error>;
+
+/// Runs one parsed command.
+pub fn run(cmd: Command) -> Result<(), Anyhow> {
+    match cmd {
+        Command::Generate {
+            csv,
+            days,
+            sensor,
+            seed,
+            raw,
+        } => generate(&csv, days, sensor, seed, raw),
+        Command::Ingest {
+            index,
+            csv,
+            epsilon,
+            window_hours,
+            no_smooth,
+        } => ingest(&index, &csv, epsilon, window_hours, no_smooth),
+        Command::Query {
+            index,
+            kind,
+            v,
+            t_hours,
+            plan,
+            refine,
+            limit,
+        } => query(&index, &kind, v, t_hours, &plan, refine.as_deref(), limit),
+        Command::Stats { index } => stats(&index),
+        Command::Sql { index, statement } => sql(&index, &statement),
+    }
+}
+
+fn generate(csv: &Path, days: u32, sensor: u32, seed: u64, raw: bool) -> Result<(), Anyhow> {
+    let cfg = CadTransectConfig::default().with_days(days);
+    let mut series = generate_sensor(&cfg, sensor, seed);
+    if !raw {
+        series = RobustSmoother::default().smooth(&series);
+    }
+    write_csv(csv, &series)?;
+    println!(
+        "wrote {} observations ({} days, sensor {sensor}) to {}",
+        series.len(),
+        days,
+        csv.display()
+    );
+    Ok(())
+}
+
+fn open_or_create(index: &Path, epsilon: f64, window_hours: f64) -> Result<SegDiffIndex, Anyhow> {
+    if index.join("segdiff.meta").exists() {
+        Ok(SegDiffIndex::open(index, 4096)?)
+    } else {
+        let cfg = SegDiffConfig::default()
+            .with_epsilon(epsilon)
+            .with_window(window_hours * HOUR);
+        Ok(SegDiffIndex::create(index, cfg)?)
+    }
+}
+
+fn ingest(
+    index: &Path,
+    csv: &Path,
+    epsilon: f64,
+    window_hours: f64,
+    no_smooth: bool,
+) -> Result<(), Anyhow> {
+    let mut series = read_csv(csv)?;
+    if !no_smooth {
+        series = RobustSmoother::default().smooth(&series);
+    }
+    let mut idx = open_or_create(index, epsilon, window_hours)?;
+    let before = idx.stats().n_observations;
+    idx.ingest_series(&series)?;
+    idx.finish()?;
+    let s = idx.stats();
+    println!(
+        "ingested {} observations (total {}), {} segments (r = {:.2}), {} feature rows",
+        s.n_observations - before,
+        s.n_observations,
+        s.n_segments,
+        s.compression_rate(),
+        s.n_rows
+    );
+    Ok(())
+}
+
+fn query(
+    index: &Path,
+    kind: &str,
+    v: f64,
+    t_hours: f64,
+    plan: &str,
+    refine: Option<&Path>,
+    limit: usize,
+) -> Result<(), Anyhow> {
+    let idx = SegDiffIndex::open(index, 4096)?;
+    let region = match kind {
+        "drop" => QueryRegion::drop(t_hours * HOUR, v),
+        _ => QueryRegion::jump(t_hours * HOUR, v),
+    };
+    let plan = if plan == "index" {
+        QueryPlan::Index
+    } else {
+        QueryPlan::SeqScan
+    };
+    let (results, qstats) = idx.query(&region, plan)?;
+    println!(
+        "{} periods ({} rows examined, {:.2} ms)",
+        results.len(),
+        qstats.rows_considered,
+        qstats.wall_seconds * 1e3
+    );
+    for p in results.iter().take(limit) {
+        println!(
+            "start in [{:.1}, {:.1}]  end in [{:.1}, {:.1}]{}",
+            p.t_d,
+            p.t_c,
+            p.t_b,
+            p.t_a,
+            if p.is_self_pair() { "  (single segment)" } else { "" }
+        );
+    }
+    if results.len() > limit {
+        println!("... and {} more (raise --limit)", results.len() - limit);
+    }
+    if let Some(raw_csv) = refine {
+        let series = read_csv(raw_csv)?;
+        let refined = refine_results(&series, &results, &region, 24);
+        let exact = refined.iter().filter(|e| e.meets_threshold).count();
+        println!("\nrefined against {}: {exact}/{} meet the threshold exactly", raw_csv.display(), refined.len());
+        for e in refined.iter().filter(|e| e.meets_threshold).take(limit) {
+            println!(
+                "event at t = {:.1} .. {:.1}: change {:.3}",
+                e.t1, e.t2, e.dv
+            );
+        }
+    }
+    Ok(())
+}
+
+fn stats(index: &Path) -> Result<(), Anyhow> {
+    let idx = SegDiffIndex::open(index, 4096)?;
+    let s = idx.stats();
+    let hist = s.corner_hist();
+    println!("observations:    {}", s.n_observations);
+    println!("segments:        {} (r = {:.2})", s.n_segments, s.compression_rate());
+    println!("feature rows:    {}", s.n_rows);
+    println!("feature bytes:   {} ({} under the paper's c2 accounting)", s.feature_payload_bytes, s.paper_feature_bytes);
+    println!("heap bytes:      {}", s.heap_bytes);
+    println!("index bytes:     {}", s.index_bytes);
+    println!(
+        "corner cases:    {:.1}% / {:.1}% / {:.1}% (effective {:.2})",
+        hist.percent(1),
+        hist.percent(2),
+        hist.percent(3),
+        hist.effective_corners()
+    );
+    println!("config:          epsilon {}, window {:.1} h", idx.config().epsilon, idx.config().window / HOUR);
+    Ok(())
+}
+
+fn sql(index: &Path, statement: &str) -> Result<(), Anyhow> {
+    let idx = SegDiffIndex::open(index, 4096)?;
+    match idx.database().execute(statement)? {
+        pagestore::ExecOutcome::Created => println!("ok"),
+        pagestore::ExecOutcome::Inserted(n) => println!("inserted {n} rows"),
+        pagestore::ExecOutcome::Count { count, plan } => {
+            println!("count: {count}  (plan: {plan:?})")
+        }
+        pagestore::ExecOutcome::Rows { columns, rows, plan } => {
+            println!("-- plan: {plan:?}");
+            println!("{}", columns.join(","));
+            for row in rows {
+                let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+                println!("{}", cells.join(","));
+            }
+        }
+    }
+    Ok(())
+}

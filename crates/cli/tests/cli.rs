@@ -1,0 +1,146 @@
+//! End-to-end tests of the `segdiff` binary: generate → ingest → query →
+//! stats → sql, all through the real executable.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_segdiff")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("segdiff-cli-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn segdiff")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).to_string()
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let dir = tmp("workflow");
+    let csv = dir.join("data.csv");
+    let idx = dir.join("index");
+
+    // generate
+    let o = run(&["generate", "--csv", csv.to_str().unwrap(), "--days", "7", "--seed", "7"]);
+    assert!(o.status.success(), "{o:?}");
+    assert!(stdout(&o).contains("wrote"));
+    assert!(csv.exists());
+
+    // ingest (creates the index)
+    let o = run(&[
+        "ingest",
+        "--index",
+        idx.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+        "--no-smooth", // the CSV is already smoothed by generate
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    assert!(stdout(&o).contains("segments"));
+
+    // query
+    let o = run(&[
+        "query",
+        "--index",
+        idx.to_str().unwrap(),
+        "--kind",
+        "drop",
+        "--v",
+        "-3",
+        "--t-hours",
+        "1",
+        "--refine",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = stdout(&o);
+    assert!(text.contains("periods"), "{text}");
+    assert!(text.contains("refined against"), "{text}");
+
+    // stats
+    let o = run(&["stats", "--index", idx.to_str().unwrap()]);
+    assert!(o.status.success());
+    let text = stdout(&o);
+    assert!(text.contains("observations:"));
+    assert!(text.contains("epsilon 0.2"));
+
+    // sql
+    let o = run(&[
+        "sql",
+        "--index",
+        idx.to_str().unwrap(),
+        "SELECT COUNT(*) FROM segments",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    assert!(stdout(&o).contains("count:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_ingest_across_invocations() {
+    let dir = tmp("resume");
+    let csv1 = dir.join("a.csv");
+    let csv2 = dir.join("b.csv");
+    let idx = dir.join("index");
+
+    // Two non-overlapping CSVs (manual, tiny).
+    std::fs::write(&csv1, "time,value\n0,10\n300,9\n600,5\n900,5\n").unwrap();
+    std::fs::write(&csv2, "time,value\n1200,6\n1500,2\n1800,2\n").unwrap();
+
+    for csv in [&csv1, &csv2] {
+        let o = run(&[
+            "ingest",
+            "--index",
+            idx.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+            "--no-smooth",
+        ]);
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    }
+    let o = run(&["stats", "--index", idx.to_str().unwrap()]);
+    assert!(stdout(&o).contains("observations:    7"), "{}", stdout(&o));
+
+    // The 10 -> 5 drop in the first file and the 6 -> 2 drop crossing the
+    // second file must both be findable.
+    let o = run(&[
+        "query",
+        "--index",
+        idx.to_str().unwrap(),
+        "--kind",
+        "drop",
+        "--v",
+        "-3",
+        "--t-hours",
+        "1",
+    ]);
+    let text = stdout(&o);
+    let n: usize = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(0);
+    assert!(n >= 2, "expected at least two periods, got: {text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let o = run(&["frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    let o = run(&["query", "--index", "/nonexistent", "--kind", "drop", "--v", "-3", "--t-hours", "1"]);
+    assert_eq!(o.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&o.stderr);
+    assert!(err.contains("error:"), "{err}");
+}

@@ -1,0 +1,197 @@
+//! Exploratory analysis over search results.
+//!
+//! The paper's motivation is an *exploratory tool* (§1): biologists pose
+//! queries with different thresholds and study where and when events
+//! occur. This module summarizes result sets the way that exploration
+//! needs: events per day, the hour-of-day profile (CAD events cluster in
+//! the early morning), the seasonal profile, and depth statistics over
+//! refined events.
+
+use crate::refine::RefinedEvent;
+use crate::result::SegmentPair;
+use sensorgen::{DAY, HOUR};
+
+/// Summary statistics of a result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSummary {
+    /// Number of result periods.
+    pub periods: usize,
+    /// Result periods merged into disjoint time intervals (overlapping
+    /// pairs describe the same physical episode).
+    pub episodes: usize,
+    /// Events per day of covered time.
+    pub rate_per_day: f64,
+    /// Histogram of episode start hour (local, 24 bins).
+    pub hour_histogram: [u32; 24],
+    /// Histogram of episode start month-of-year (12 bins, month 0 = the
+    /// recording origin's month).
+    pub month_histogram: [u32; 12],
+}
+
+/// Merges overlapping result periods into disjoint episodes, returning
+/// `(start, end)` intervals ordered by time.
+///
+/// A period `((t_d, t_c), (t_b, t_a))` is treated as the interval
+/// `[t_d, t_a]` — the paper's result semantics: the event begins somewhere
+/// after `t_d` and ends by `t_a`.
+pub fn merge_episodes(results: &[SegmentPair]) -> Vec<(f64, f64)> {
+    let mut intervals: Vec<(f64, f64)> = results.iter().map(|p| (p.t_d, p.t_a)).collect();
+    intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (s, e) in intervals {
+        match out.last_mut() {
+            Some((_, last_e)) if s <= *last_e => *last_e = last_e.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Builds an [`EventSummary`] from a result set. `time_span_days` is the
+/// covered recording length used for the rate.
+pub fn summarize(results: &[SegmentPair], time_span_days: f64) -> EventSummary {
+    let episodes = merge_episodes(results);
+    let mut hour_histogram = [0u32; 24];
+    let mut month_histogram = [0u32; 12];
+    for &(start, _) in &episodes {
+        let hour = ((start % DAY) / HOUR) as usize % 24;
+        hour_histogram[hour] += 1;
+        let month = ((start / DAY / 30.44) as usize) % 12;
+        month_histogram[month] += 1;
+    }
+    EventSummary {
+        periods: results.len(),
+        episodes: episodes.len(),
+        rate_per_day: if time_span_days > 0.0 {
+            episodes.len() as f64 / time_span_days
+        } else {
+            0.0
+        },
+        hour_histogram,
+        month_histogram,
+    }
+}
+
+/// Depth statistics over refined events (drops: the most negative change).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthStats {
+    /// Number of events considered.
+    pub count: usize,
+    /// Mean change.
+    pub mean: f64,
+    /// Steepest (most extreme) change.
+    pub extreme: f64,
+    /// Median change.
+    pub median: f64,
+    /// Mean event duration in seconds.
+    pub mean_duration: f64,
+}
+
+/// Computes depth statistics over refined events that met the threshold.
+pub fn depth_stats(events: &[RefinedEvent]) -> Option<DepthStats> {
+    let hits: Vec<&RefinedEvent> = events.iter().filter(|e| e.meets_threshold).collect();
+    if hits.is_empty() {
+        return None;
+    }
+    let mut dvs: Vec<f64> = hits.iter().map(|e| e.dv).collect();
+    dvs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = dvs.len();
+    let mean = dvs.iter().sum::<f64>() / n as f64;
+    let extreme = if mean < 0.0 { dvs[0] } else { dvs[n - 1] };
+    let mean_duration = hits.iter().map(|e| e.t2 - e.t1).sum::<f64>() / n as f64;
+    Some(DepthStats {
+        count: n,
+        mean,
+        extreme,
+        median: dvs[n / 2],
+        mean_duration,
+    })
+}
+
+/// Renders a compact ASCII bar chart of a histogram (for CLI/examples).
+pub fn ascii_histogram(bins: &[u32], labels: impl Fn(usize) -> String) -> String {
+    let max = bins.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (i, &count) in bins.iter().enumerate() {
+        let bar = "#".repeat((count as usize * 40).div_ceil(max as usize).min(40));
+        out.push_str(&format!("{:>6} |{bar} {count}\n", labels(i)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(td: f64, ta: f64) -> SegmentPair {
+        SegmentPair {
+            t_d: td,
+            t_c: td + 1.0,
+            t_b: ta - 1.0,
+            t_a: ta,
+        }
+    }
+
+    #[test]
+    fn episodes_merge_overlaps() {
+        let results = vec![
+            pair(0.0, 100.0),
+            pair(50.0, 150.0),
+            pair(140.0, 160.0),
+            pair(1000.0, 1100.0),
+        ];
+        let eps = merge_episodes(&results);
+        assert_eq!(eps, vec![(0.0, 160.0), (1000.0, 1100.0)]);
+    }
+
+    #[test]
+    fn summary_counts_and_rate() {
+        let results = vec![pair(0.0, 100.0), pair(2.0 * DAY, 2.0 * DAY + 50.0)];
+        let s = summarize(&results, 4.0);
+        assert_eq!(s.periods, 2);
+        assert_eq!(s.episodes, 2);
+        assert!((s.rate_per_day - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hour_histogram_buckets_early_morning() {
+        // Episodes starting at 04:30 and 05:10 on different days.
+        let results = vec![
+            pair(4.5 * HOUR, 5.0 * HOUR),
+            pair(DAY + 5.16 * HOUR, DAY + 6.0 * HOUR),
+        ];
+        let s = summarize(&results, 2.0);
+        assert_eq!(s.hour_histogram[4], 1);
+        assert_eq!(s.hour_histogram[5], 1);
+        assert_eq!(s.hour_histogram.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn depth_stats_over_refined() {
+        use crate::refine::RefinedEvent;
+        let mk = |dv: f64, hit: bool| RefinedEvent {
+            pair: pair(0.0, 10.0),
+            t1: 0.0,
+            t2: 600.0,
+            dv,
+            meets_threshold: hit,
+        };
+        let events = vec![mk(-3.0, true), mk(-5.0, true), mk(-4.0, true), mk(-1.0, false)];
+        let d = depth_stats(&events).unwrap();
+        assert_eq!(d.count, 3);
+        assert!((d.mean + 4.0).abs() < 1e-12);
+        assert_eq!(d.extreme, -5.0);
+        assert_eq!(d.median, -4.0);
+        assert_eq!(d.mean_duration, 600.0);
+        assert!(depth_stats(&[mk(-1.0, false)]).is_none());
+    }
+
+    #[test]
+    fn ascii_histogram_renders() {
+        let text = ascii_histogram(&[0, 2, 4], |i| format!("{i:02}h"));
+        assert!(text.contains("00h |"));
+        assert!(text.lines().count() == 3);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].matches('#').count() > lines[1].matches('#').count());
+    }
+}

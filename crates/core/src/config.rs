@@ -1,0 +1,95 @@
+//! Configuration of a [`crate::SegDiffIndex`].
+
+use sensorgen::HOUR;
+
+/// Parameters of the SegDiff framework.
+///
+/// The defaults match the paper's experimental defaults (§6): `ε = 0.2`
+/// degree Celsius, `w = 8` hours.
+#[derive(Debug, Clone)]
+pub struct SegDiffConfig {
+    /// User error tolerance `ε >= 0` (Definition 2). Segmentation keeps the
+    /// approximation within `ε/2` of the data; query results are then exact
+    /// up to `2ε` (Theorem 1).
+    pub epsilon: f64,
+    /// Window width `w` in seconds: the longest time span any future query
+    /// may use (`T <= w`).
+    pub window: f64,
+    /// Buffer-pool capacity in 4 KiB pages.
+    pub pool_pages: usize,
+}
+
+impl Default for SegDiffConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.2,
+            window: 8.0 * HOUR,
+            pool_pages: 4096, // 16 MiB
+        }
+    }
+}
+
+impl SegDiffConfig {
+    /// Sets the error tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the window width in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window` is positive and finite.
+    pub fn with_window(mut self, window: f64) -> Self {
+        assert!(window.is_finite() && window > 0.0, "window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Sets the buffer-pool size in pages.
+    pub fn with_pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SegDiffConfig::default();
+        assert_eq!(c.epsilon, 0.2);
+        assert_eq!(c.window, 8.0 * 3600.0);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SegDiffConfig::default()
+            .with_epsilon(0.4)
+            .with_window(3600.0)
+            .with_pool_pages(64);
+        assert_eq!(c.epsilon, 0.4);
+        assert_eq!(c.window, 3600.0);
+        assert_eq!(c.pool_pages, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn negative_epsilon_rejected() {
+        SegDiffConfig::default().with_epsilon(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        SegDiffConfig::default().with_window(0.0);
+    }
+}

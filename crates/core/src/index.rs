@@ -1,0 +1,485 @@
+//! The [`SegDiffIndex`]: online ingest plus search.
+
+use crate::config::SegDiffConfig;
+use crate::ingest::{FeatureExtractor, FeatureRow};
+use crate::query::{run_feature_query, QueryPlan, QueryStats};
+use crate::result::SegmentPair;
+use crate::stats::{CornerHistogram, SegDiffStats};
+use crate::tables::{
+    encode_row, index_specs, table_cols, table_name, DROP_TABLES, JUMP_TABLES, SEGMENTS_TABLE,
+};
+use featurespace::{QueryRegion, SearchKind};
+use pagestore::{Database, Result, Table, TableSpec};
+use segmentation::{PiecewiseLinear, Segment, SlidingWindowSegmenter};
+use sensorgen::TimeSeries;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The SegDiff framework: segmentation → feature extraction → relational
+/// storage → range-query search.
+///
+/// Built online: call [`SegDiffIndex::push`] per observation (or
+/// [`SegDiffIndex::ingest_series`] for a whole series) and
+/// [`SegDiffIndex::finish`] once at the end. Then search with
+/// [`SegDiffIndex::query`]; call [`SegDiffIndex::build_indexes`] first if
+/// you want [`QueryPlan::Index`] execution.
+pub struct SegDiffIndex {
+    dir: PathBuf,
+    config: SegDiffConfig,
+    db: Arc<Database>,
+    drop_tables: [Arc<Table>; 3],
+    jump_tables: [Arc<Table>; 3],
+    segments_table: Arc<Table>,
+    segmenter: SlidingWindowSegmenter,
+    extractor: FeatureExtractor,
+    rows_buf: Vec<FeatureRow>,
+    colbuf: Vec<f64>,
+    n_observations: u64,
+    n_segments: u64,
+    drop_hist: CornerHistogram,
+    jump_hist: CornerHistogram,
+}
+
+impl SegDiffIndex {
+    /// Creates a new index stored under `dir`.
+    pub fn create(dir: &Path, config: SegDiffConfig) -> Result<Self> {
+        let db = Database::create(dir, config.pool_pages)?;
+        let mk = |db: &Arc<Database>, name: &str, corners: usize| -> Result<Arc<Table>> {
+            db.create_table(TableSpec::new(name, &table_cols(corners)))
+        };
+        let drop_tables = [
+            mk(&db, DROP_TABLES[0], 1)?,
+            mk(&db, DROP_TABLES[1], 2)?,
+            mk(&db, DROP_TABLES[2], 3)?,
+        ];
+        let jump_tables = [
+            mk(&db, JUMP_TABLES[0], 1)?,
+            mk(&db, JUMP_TABLES[1], 2)?,
+            mk(&db, JUMP_TABLES[2], 3)?,
+        ];
+        let segments_table = db.create_table(TableSpec::new(
+            SEGMENTS_TABLE,
+            &["t_start", "v_start", "t_end", "v_end"],
+        ))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            segmenter: SlidingWindowSegmenter::new(config.epsilon),
+            extractor: FeatureExtractor::new(config.epsilon, config.window),
+            config,
+            db,
+            drop_tables,
+            jump_tables,
+            segments_table,
+            rows_buf: Vec::new(),
+            colbuf: Vec::new(),
+            n_observations: 0,
+            n_segments: 0,
+            drop_hist: CornerHistogram::default(),
+            jump_hist: CornerHistogram::default(),
+        })
+    }
+
+    /// Reopens an index previously persisted with [`SegDiffIndex::finish`].
+    ///
+    /// Querying works immediately. Ingestion also resumes: the segmenter is
+    /// re-anchored at the end point of the last stored segment and the
+    /// extractor window is re-primed from the stored segments, so pushing
+    /// further observations continues the online pipeline. (The restart can
+    /// split what would have been one trailing segment into two — harmless
+    /// for the guarantees, which only require the `ε/2` bound.)
+    pub fn open(dir: &Path, pool_pages: usize) -> Result<Self> {
+        let meta = std::fs::read_to_string(Self::meta_path(dir)).map_err(|_| {
+            pagestore::StoreError::NotFound(format!("segdiff meta in {}", dir.display()))
+        })?;
+        let mut epsilon = None;
+        let mut window = None;
+        let mut n_observations = 0u64;
+        let mut drop_hist = CornerHistogram::default();
+        let mut jump_hist = CornerHistogram::default();
+        for line in meta.lines() {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["epsilon", v] => epsilon = v.parse().ok(),
+                ["window", v] => window = v.parse().ok(),
+                ["n_observations", v] => n_observations = v.parse().unwrap_or(0),
+                ["drop_hist", a, b, c] => {
+                    drop_hist.counts = [
+                        a.parse().unwrap_or(0),
+                        b.parse().unwrap_or(0),
+                        c.parse().unwrap_or(0),
+                    ]
+                }
+                ["jump_hist", a, b, c] => {
+                    jump_hist.counts = [
+                        a.parse().unwrap_or(0),
+                        b.parse().unwrap_or(0),
+                        c.parse().unwrap_or(0),
+                    ]
+                }
+                _ => {}
+            }
+        }
+        let (Some(epsilon), Some(window)) = (epsilon, window) else {
+            return Err(pagestore::StoreError::Corrupt(
+                "segdiff meta is missing epsilon/window".into(),
+            ));
+        };
+        let config = SegDiffConfig::default()
+            .with_epsilon(epsilon)
+            .with_window(window)
+            .with_pool_pages(pool_pages);
+        let db = Database::open(dir, pool_pages)?;
+        let get = |name: &str| db.table(name);
+        let drop_tables = [get(DROP_TABLES[0])?, get(DROP_TABLES[1])?, get(DROP_TABLES[2])?];
+        let jump_tables = [get(JUMP_TABLES[0])?, get(JUMP_TABLES[1])?, get(JUMP_TABLES[2])?];
+        let segments_table = get(SEGMENTS_TABLE)?;
+
+        let mut idx = Self {
+            dir: dir.to_path_buf(),
+            segmenter: SlidingWindowSegmenter::new(epsilon),
+            extractor: FeatureExtractor::new(epsilon, window),
+            config,
+            db,
+            drop_tables,
+            jump_tables,
+            segments_table,
+            rows_buf: Vec::new(),
+            colbuf: Vec::new(),
+            n_observations,
+            n_segments: 0,
+            drop_hist,
+            jump_hist,
+        };
+        // Re-prime the extractor window and re-anchor the segmenter.
+        let segments = idx.segments()?;
+        idx.n_segments = segments.len() as u64;
+        if let Some(last) = segments.last() {
+            let win_start = last.t_end - window;
+            for seg in segments.iter().filter(|s| s.t_end > win_start) {
+                idx.extractor.prime_segment(*seg);
+            }
+            idx.segmenter.push(last.t_end, last.v_end);
+        }
+        Ok(idx)
+    }
+
+    fn meta_path(dir: &Path) -> PathBuf {
+        dir.join("segdiff.meta")
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        let h = &self.drop_hist.counts;
+        let j = &self.jump_hist.counts;
+        let text = format!(
+            "epsilon {}
+window {}
+n_observations {}
+drop_hist {} {} {}
+jump_hist {} {} {}
+",
+            self.config.epsilon,
+            self.config.window,
+            self.n_observations,
+            h[0], h[1], h[2],
+            j[0], j[1], j[2],
+        );
+        std::fs::write(Self::meta_path(&self.dir), text)?;
+        Ok(())
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &SegDiffConfig {
+        &self.config
+    }
+
+    /// The underlying database (for experiment instrumentation).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Ingests one observation (online path: segmentation and feature
+    /// extraction happen incrementally).
+    pub fn push(&mut self, t: f64, v: f64) -> Result<()> {
+        self.n_observations += 1;
+        if let Some(seg) = self.segmenter.push(t, v) {
+            self.store_segment(seg)?;
+        }
+        Ok(())
+    }
+
+    /// Ingests a whole series through the online path.
+    pub fn ingest_series(&mut self, series: &TimeSeries) -> Result<()> {
+        for (t, v) in series.iter() {
+            self.push(t, v)?;
+        }
+        Ok(())
+    }
+
+    /// Ingests a pre-computed piecewise-linear approximation (offline
+    /// segmenters / ablation studies). `n_observations` is the number of
+    /// raw observations the approximation represents, used for the
+    /// compression-rate statistic.
+    pub fn ingest_pla(&mut self, pla: &PiecewiseLinear, n_observations: u64) -> Result<()> {
+        self.n_observations += n_observations;
+        for &seg in pla.segments() {
+            self.store_segment(seg)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the trailing open segment and persists everything, including
+    /// the metadata needed by [`SegDiffIndex::open`].
+    pub fn finish(&mut self) -> Result<()> {
+        if let Some(seg) = self.segmenter.finish() {
+            self.store_segment(seg)?;
+        }
+        self.write_meta()?;
+        self.db.flush()
+    }
+
+    fn store_segment(&mut self, seg: Segment) -> Result<()> {
+        self.n_segments += 1;
+        self.segments_table
+            .insert(&[seg.t_start, seg.v_start, seg.t_end, seg.v_end])?;
+        self.rows_buf.clear();
+        let mut rows = std::mem::take(&mut self.rows_buf);
+        self.extractor.push_segment(seg, &mut rows);
+        for row in &rows {
+            self.insert_feature_row(row)?;
+        }
+        self.rows_buf = rows;
+        Ok(())
+    }
+
+    fn insert_feature_row(&mut self, row: &FeatureRow) -> Result<()> {
+        let corners = row.boundary.len();
+        match row.kind {
+            SearchKind::Drop => self.drop_hist.record(corners),
+            SearchKind::Jump => self.jump_hist.record(corners),
+        }
+        encode_row(row, &mut self.colbuf);
+        let table = match row.kind {
+            SearchKind::Drop => &self.drop_tables[corners - 1],
+            SearchKind::Jump => &self.jump_tables[corners - 1],
+        };
+        table.insert(&self.colbuf)?;
+        Ok(())
+    }
+
+    /// Builds every point- and line-query B+tree (call once, after
+    /// ingesting; required for [`QueryPlan::Index`]).
+    pub fn build_indexes(&self) -> Result<()> {
+        for kind in [SearchKind::Drop, SearchKind::Jump] {
+            for corners in 1..=3 {
+                let tname = table_name(kind, corners);
+                for (iname, cols) in index_specs(corners) {
+                    self.db.create_index(tname, &iname, &cols)?;
+                }
+            }
+        }
+        self.db.flush()
+    }
+
+    /// Runs a drop or jump search; returns the matching segment pairs
+    /// (time-ordered, deduplicated) and execution metrics.
+    ///
+    /// `region.t` must not exceed the configured window `w`.
+    pub fn query(
+        &self,
+        region: &QueryRegion,
+        plan: QueryPlan,
+    ) -> Result<(Vec<SegmentPair>, QueryStats)> {
+        assert!(
+            region.t <= self.config.window,
+            "query T={} exceeds window w={}",
+            region.t,
+            self.config.window
+        );
+        let tables = match region.kind {
+            SearchKind::Drop => &self.drop_tables,
+            SearchKind::Jump => &self.jump_tables,
+        };
+        let io_before = self.db.stats();
+        let start = Instant::now();
+        let mut rows_considered = 0u64;
+        let results = run_feature_query(tables, region, plan, &mut rows_considered)?;
+        let wall = start.elapsed().as_secs_f64();
+        let stats = QueryStats {
+            wall_seconds: wall,
+            rows_considered,
+            results: results.len() as u64,
+            io: self.db.stats().since(&io_before),
+        };
+        Ok((results, stats))
+    }
+
+    /// Drops the buffer pool so the next query runs cold (the paper's
+    /// "cache flushed before every query" mode).
+    pub fn clear_cache(&self) -> Result<()> {
+        self.db.clear_cache()
+    }
+
+    /// Size and distribution statistics.
+    pub fn stats(&self) -> SegDiffStats {
+        let mut n_rows = 0u64;
+        let mut payload = 0u64;
+        let mut heap = 0u64;
+        let mut index = 0u64;
+        for (i, t) in self.drop_tables.iter().chain(self.jump_tables.iter()).enumerate() {
+            let _ = i;
+            n_rows += t.num_rows();
+            payload += t.payload_bytes();
+            heap += t.heap_bytes();
+            index += t.index_bytes();
+        }
+        // Paper accounting: c2 = 5/6/7 columns per 1/2/3-corner row.
+        let hist = self.drop_hist.merged(&self.jump_hist);
+        let paper_bytes = 8 * (5 * hist.counts[0] + 6 * hist.counts[1] + 7 * hist.counts[2]);
+        SegDiffStats {
+            n_observations: self.n_observations,
+            n_segments: self.n_segments,
+            n_rows,
+            feature_payload_bytes: payload,
+            paper_feature_bytes: paper_bytes,
+            heap_bytes: heap,
+            index_bytes: index,
+            drop_hist: self.drop_hist,
+            jump_hist: self.jump_hist,
+        }
+    }
+
+    /// The stored segments, in temporal order (used by examples to overlay
+    /// results on the approximation).
+    pub fn segments(&self) -> Result<Vec<Segment>> {
+        let mut out = Vec::new();
+        self.segments_table.seq_scan(|_, row| {
+            out.push(Segment::new(row[0], row[1], row[2], row[3]));
+            true
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorgen::HOUR;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("segdiff-idx-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    /// A small series with one unmistakable 4-degree drop in 30 minutes.
+    fn drop_series() -> TimeSeries {
+        let mut s = TimeSeries::new();
+        let mut v = 10.0;
+        for i in 0..200 {
+            let t = i as f64 * 300.0;
+            if (80..86).contains(&i) {
+                v -= 4.0 / 6.0;
+            } else if (100..140).contains(&i) {
+                v += 0.05;
+            }
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn finds_planted_drop() {
+        let dir = tmpdir("drop");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        let (results, stats) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+        assert!(!results.is_empty(), "the planted drop must be found");
+        assert_eq!(stats.results as usize, results.len());
+        // The drop spans samples 80..86, i.e. t in [24000, 25800]; at least
+        // one result must cover a pair of instants in that window.
+        assert!(
+            results.iter().any(|p| p.covers(24_000.0, 25_800.0)),
+            "no result covers the planted drop: {results:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_plan_matches_scan_plan() {
+        let dir = tmpdir("plans");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        idx.build_indexes().unwrap();
+        for (t, v) in [(HOUR, -3.0), (2.0 * HOUR, -1.0), (0.5 * HOUR, -2.0)] {
+            let region = QueryRegion::drop(t, v);
+            let (scan, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+            let (indexed, _) = idx.query(&region, QueryPlan::Index).unwrap();
+            assert_eq!(scan, indexed, "plans disagree for T={t} V={v}");
+        }
+        for (t, v) in [(HOUR, 1.0), (4.0 * HOUR, 2.0)] {
+            let region = QueryRegion::jump(t, v);
+            let (scan, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+            let (indexed, _) = idx.query(&region, QueryPlan::Index).unwrap();
+            assert_eq!(scan, indexed, "jump plans disagree for T={t} V={v}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jump_search_finds_rise() {
+        let dir = tmpdir("jump");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        // The slow rise adds 0.05 per 5 min = 2 degrees in 200 min: a jump
+        // of 1.5 within 3 h exists, a jump of 10 does not.
+        let (some, _) = idx
+            .query(&QueryRegion::jump(3.0 * HOUR, 1.5), QueryPlan::SeqScan)
+            .unwrap();
+        assert!(!some.is_empty());
+        let (none, _) = idx
+            .query(&QueryRegion::jump(3.0 * HOUR, 10.0), QueryPlan::SeqScan)
+            .unwrap();
+        assert!(none.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let dir = tmpdir("stats");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        let s = idx.stats();
+        assert_eq!(s.n_observations, 200);
+        assert!(s.n_segments > 0);
+        assert!(s.compression_rate() > 1.0);
+        assert_eq!(s.n_rows, s.corner_hist().total());
+        assert_eq!(
+            s.feature_payload_bytes,
+            // our layout: (2k + 4) cols per k-corner row
+            8 * (6 * s.corner_hist().counts[0]
+                + 8 * s.corner_hist().counts[1]
+                + 10 * s.corner_hist().counts[2])
+        );
+        assert!(s.paper_feature_bytes < s.feature_payload_bytes);
+        assert_eq!(idx.segments().unwrap().len() as u64, s.n_segments);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds window")]
+    fn query_beyond_window_rejected() {
+        let dir = tmpdir("window");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        let region = QueryRegion::drop(9.0 * HOUR, -3.0); // w is 8 h
+        let _ = idx.query(&region, QueryPlan::SeqScan);
+    }
+}

@@ -1,0 +1,192 @@
+//! Brute-force ground truth for validating the paper's guarantees.
+//!
+//! The oracle enumerates events directly from the raw series (model G) with
+//! no approximation. The test suite uses it to check Theorem 1:
+//!
+//! * **completeness** — every true event among sampled observations must be
+//!   covered by some returned segment pair ([`find_missed_event`] returns
+//!   `None`);
+//! * **bounded false positives** — every returned pair must contain an
+//!   event with `Δv <= V + 2ε` within `Δt <= T`
+//!   ([`pair_extreme_change`] vs the threshold).
+
+use crate::result::SegmentPair;
+use featurespace::{QueryRegion, SearchKind};
+use sensorgen::TimeSeries;
+
+/// All true events among *sampled* observation pairs: `(t1, t2)` with
+/// `0 < t2 - t1 <= T` and `Δv` beyond the threshold. Quadratic in the
+/// window population — intended for test-sized data.
+pub fn true_events(series: &TimeSeries, region: &QueryRegion) -> Vec<(f64, f64)> {
+    let ts = series.times();
+    let vs = series.values();
+    let mut out = Vec::new();
+    for i in 0..ts.len() {
+        for j in (i + 1)..ts.len() {
+            let dt = ts[j] - ts[i];
+            if dt > region.t {
+                break;
+            }
+            let dv = vs[j] - vs[i];
+            let hit = match region.kind {
+                SearchKind::Drop => dv <= region.v,
+                SearchKind::Jump => dv >= region.v,
+            };
+            if hit {
+                out.push((ts[i], ts[j]));
+            }
+        }
+    }
+    out
+}
+
+/// Returns the first true event not covered by any result pair, or `None`
+/// when recall is perfect.
+pub fn find_missed_event(
+    events: &[(f64, f64)],
+    results: &[SegmentPair],
+) -> Option<(f64, f64)> {
+    events
+        .iter()
+        .find(|&&(t1, t2)| !results.iter().any(|p| p.covers(t1, t2)))
+        .copied()
+}
+
+/// The most extreme change reachable inside a returned pair: the minimum
+/// (drop) or maximum (jump) of `G(t2) - G(t1)` over `t1 ∈ [t_d, t_c]`,
+/// `t2 ∈ [t_b, t_a]`, `0 < t2 - t1 <= T`, where `G` is the linear
+/// interpolation of the raw series.
+///
+/// Evaluated over a dense grid (`grid` points per interval plus all sampled
+/// observations inside the intervals), which is exact up to grid
+/// resolution — adequate for checking the `2ε` tolerance with a small
+/// slack. Returns `None` when no pair of instants satisfies `Δt <= T`
+/// (cannot happen for pairs produced by the framework).
+pub fn pair_extreme_change(
+    series: &TimeSeries,
+    pair: &SegmentPair,
+    region: &QueryRegion,
+    grid: usize,
+) -> Option<f64> {
+    let earlier = candidate_times(series, pair.t_d, pair.t_c, grid);
+    let later = candidate_times(series, pair.t_b, pair.t_a, grid);
+    // When the two intervals overlap in more than a point, events with
+    // Δt -> 0+ exist and their Δv -> 0 by continuity of G: zero is an
+    // infimum the grid cannot attain, so seed it explicitly.
+    let overlap = pair.t_d.max(pair.t_b) < pair.t_c.min(pair.t_a);
+    let mut best: Option<f64> = if overlap { Some(0.0) } else { None };
+    for &t1 in &earlier {
+        let Some(v1) = series.interpolate(t1) else { continue };
+        for &t2 in &later {
+            let dt = t2 - t1;
+            if dt <= 0.0 || dt > region.t {
+                continue;
+            }
+            let Some(v2) = series.interpolate(t2) else { continue };
+            let dv = v2 - v1;
+            best = Some(match (best, region.kind) {
+                (None, _) => dv,
+                (Some(b), SearchKind::Drop) => b.min(dv),
+                (Some(b), SearchKind::Jump) => b.max(dv),
+            });
+        }
+    }
+    best
+}
+
+/// Sampled observations within `[lo, hi]` plus a uniform grid over it.
+fn candidate_times(series: &TimeSeries, lo: f64, hi: f64, grid: usize) -> Vec<f64> {
+    let mut out: Vec<f64> = series
+        .times()
+        .iter()
+        .copied()
+        .filter(|&t| lo <= t && t <= hi)
+        .collect();
+    if hi > lo {
+        for k in 0..=grid {
+            out.push(lo + (hi - lo) * k as f64 / grid as f64);
+        }
+    } else {
+        out.push(lo);
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use featurespace::QueryRegion;
+
+    fn series() -> TimeSeries {
+        TimeSeries::from_parts(
+            vec![0.0, 300.0, 600.0, 900.0],
+            vec![10.0, 6.0, 6.0, 8.0],
+        )
+    }
+
+    #[test]
+    fn true_events_enumerated() {
+        let s = series();
+        let ev = true_events(&s, &QueryRegion::drop(600.0, -3.5));
+        assert_eq!(ev, vec![(0.0, 300.0), (0.0, 600.0)]);
+        let ev = true_events(&s, &QueryRegion::jump(600.0, 2.0));
+        assert_eq!(ev, vec![(300.0, 900.0), (600.0, 900.0)]);
+    }
+
+    #[test]
+    fn missed_event_detection() {
+        let events = vec![(0.0, 300.0), (600.0, 900.0)];
+        let covers_first = SegmentPair {
+            t_d: 0.0,
+            t_c: 100.0,
+            t_b: 250.0,
+            t_a: 400.0,
+        };
+        assert_eq!(
+            find_missed_event(&events, &[covers_first]),
+            Some((600.0, 900.0))
+        );
+        let covers_both = SegmentPair {
+            t_d: 0.0,
+            t_c: 700.0,
+            t_b: 200.0,
+            t_a: 1000.0,
+        };
+        assert_eq!(find_missed_event(&events, &[covers_first, covers_both]), None);
+    }
+
+    #[test]
+    fn extreme_change_on_known_shape() {
+        let s = series();
+        let pair = SegmentPair {
+            t_d: 0.0,
+            t_c: 300.0,
+            t_b: 300.0,
+            t_a: 600.0,
+        };
+        let region = QueryRegion::drop(600.0, -1.0);
+        let min = pair_extreme_change(&s, &pair, &region, 32).unwrap();
+        assert!((min - (-4.0)).abs() < 1e-9, "steepest drop is -4, got {min}");
+        let region = QueryRegion::jump(600.0, 1.0);
+        let max = pair_extreme_change(&s, &pair, &region, 32).unwrap();
+        // Earlier in [0,300] (falling from 10), later in [300,600] (flat 6):
+        // the max change is 6 - 6 = 0 at t1 = 300.
+        assert!(max.abs() < 1e-9, "max change should be 0, got {max}");
+    }
+
+    #[test]
+    fn extreme_change_respects_t() {
+        let s = series();
+        let pair = SegmentPair {
+            t_d: 0.0,
+            t_c: 0.0,
+            t_b: 900.0,
+            t_a: 900.0,
+        };
+        // dt = 900 > T = 600: no reachable event.
+        let region = QueryRegion::drop(600.0, -1.0);
+        assert_eq!(pair_extreme_change(&s, &pair, &region, 8), None);
+    }
+}

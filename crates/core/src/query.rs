@@ -1,0 +1,120 @@
+//! Query plans and execution over the feature tables (§4.4).
+
+use crate::result::SegmentPair;
+use crate::tables::{boundary_from_row, pair_from_row};
+use featurespace::{edge_crosses_region, FeaturePoint, QueryRegion, SearchKind};
+use pagestore::{PoolStats, Result, Table};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// How a search is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryPlan {
+    /// Sequential scan of the feature tables, evaluating the full
+    /// intersection predicate per row.
+    SeqScan,
+    /// B+tree range scans: one point query per stored corner column pair
+    /// and one line query per boundary edge, unioned by row id — the
+    /// paper's indexed execution.
+    Index,
+}
+
+/// Execution metrics for one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Wall-clock execution time in seconds.
+    pub wall_seconds: f64,
+    /// Rows (or index entries) examined.
+    pub rows_considered: u64,
+    /// Result tuples returned (after deduplication).
+    pub results: u64,
+    /// Buffer-pool activity during the query.
+    pub io: PoolStats,
+}
+
+/// Runs a drop/jump search over the three per-corner-count feature tables
+/// of the matching kind. Returns deduplicated, time-ordered segment pairs.
+pub(crate) fn run_feature_query(
+    tables: &[Arc<Table>; 3],
+    region: &QueryRegion,
+    plan: QueryPlan,
+    rows_considered: &mut u64,
+) -> Result<Vec<SegmentPair>> {
+    let mut out = Vec::new();
+    match plan {
+        QueryPlan::SeqScan => {
+            for (i, table) in tables.iter().enumerate() {
+                let corners = i + 1;
+                table.seq_scan(|_rid, row| {
+                    *rows_considered += 1;
+                    if boundary_from_row(row, corners).intersects(region) {
+                        out.push(pair_from_row(row, corners));
+                    }
+                    true
+                })?;
+            }
+        }
+        QueryPlan::Index => {
+            let mut rowbuf = Vec::new();
+            for (i, table) in tables.iter().enumerate() {
+                let corners = i + 1;
+                let mut rids: HashSet<u64> = HashSet::new();
+                // Point queries: corner j inside the region.
+                for j in 1..=corners {
+                    let lo = [f64::NEG_INFINITY, f64::NEG_INFINITY];
+                    let hi = [region.t, f64::INFINITY];
+                    table.index_scan(&format!("pt{j}"), &lo, &hi, |rid, cols| {
+                        *rows_considered += 1;
+                        let matches = match region.kind {
+                            SearchKind::Drop => cols[1] <= region.v,
+                            SearchKind::Jump => cols[1] >= region.v,
+                        };
+                        if matches {
+                            rids.insert(rid);
+                        }
+                        true
+                    })?;
+                }
+                // Line queries: edge (j, j+1) crosses the region with both
+                // ends outside.
+                for j in 1..corners {
+                    let lo = [f64::NEG_INFINITY; 4];
+                    let hi = [region.t, f64::INFINITY, f64::INFINITY, f64::INFINITY];
+                    table.index_scan(&format!("ln{j}"), &lo, &hi, |rid, cols| {
+                        *rows_considered += 1;
+                        let p1 = FeaturePoint::new(cols[0], cols[1]);
+                        let p2 = FeaturePoint::new(cols[2], cols[3]);
+                        if edge_crosses_region(p1, p2, region) {
+                            rids.insert(rid);
+                        }
+                        true
+                    })?;
+                }
+                for rid in rids {
+                    table.fetch(rid, &mut rowbuf)?;
+                    out.push(pair_from_row(&rowbuf, corners));
+                }
+            }
+        }
+    }
+    crate::result::sort_dedup(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_comparable() {
+        assert_ne!(QueryPlan::SeqScan, QueryPlan::Index);
+    }
+
+    #[test]
+    fn stats_default_zeroed() {
+        let s = QueryStats::default();
+        assert_eq!(s.rows_considered, 0);
+        assert_eq!(s.results, 0);
+        assert_eq!(s.wall_seconds, 0.0);
+    }
+}

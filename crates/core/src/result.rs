@@ -1,0 +1,110 @@
+//! Search results.
+
+/// One search result: the time extents of the two data segments involved in
+/// at least one matching event.
+///
+/// This is the paper's result tuple `((t_D, t_C), (t_B, t_A))`: the drop
+/// (jump) *starts* somewhere in `[t_d, t_c]` and *ends* somewhere in
+/// `[t_b, t_a]`. When the event lies within a single segment the two
+/// intervals coincide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentPair {
+    /// Start of the earlier segment (possibly truncated to the window).
+    pub t_d: f64,
+    /// End of the earlier segment.
+    pub t_c: f64,
+    /// Start of the later segment.
+    pub t_b: f64,
+    /// End of the later segment.
+    pub t_a: f64,
+}
+
+impl SegmentPair {
+    /// Whether the event pair `(t1, t2)` is covered by this result:
+    /// `t1 ∈ [t_d, t_c]` and `t2 ∈ [t_b, t_a]`.
+    pub fn covers(&self, t1: f64, t2: f64) -> bool {
+        self.t_d <= t1 && t1 <= self.t_c && self.t_b <= t2 && t2 <= self.t_a
+    }
+
+    /// Whether this result refers to a single segment (a within-segment
+    /// event).
+    pub fn is_self_pair(&self) -> bool {
+        self.t_d == self.t_b && self.t_c == self.t_a
+    }
+
+    /// A stable key for deduplication and sorting.
+    pub(crate) fn key(&self) -> (u64, u64, u64, u64) {
+        (
+            self.t_d.to_bits(),
+            self.t_c.to_bits(),
+            self.t_b.to_bits(),
+            self.t_a.to_bits(),
+        )
+    }
+}
+
+/// Sorts by time and removes duplicates in place.
+pub(crate) fn sort_dedup(results: &mut Vec<SegmentPair>) {
+    results.sort_by(|a, b| {
+        (a.t_d, a.t_c, a.t_b, a.t_a)
+            .partial_cmp(&(b.t_d, b.t_c, b.t_b, b.t_a))
+            .unwrap()
+    });
+    results.dedup_by_key(|p| p.key());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_inclusive() {
+        let p = SegmentPair {
+            t_d: 0.0,
+            t_c: 10.0,
+            t_b: 20.0,
+            t_a: 30.0,
+        };
+        assert!(p.covers(0.0, 30.0));
+        assert!(p.covers(10.0, 20.0));
+        assert!(!p.covers(11.0, 25.0));
+        assert!(!p.covers(5.0, 31.0));
+    }
+
+    #[test]
+    fn self_pair_detection() {
+        let s = SegmentPair {
+            t_d: 5.0,
+            t_c: 9.0,
+            t_b: 5.0,
+            t_a: 9.0,
+        };
+        assert!(s.is_self_pair());
+        let c = SegmentPair {
+            t_d: 0.0,
+            t_c: 5.0,
+            t_b: 5.0,
+            t_a: 9.0,
+        };
+        assert!(!c.is_self_pair());
+    }
+
+    #[test]
+    fn sort_dedup_removes_duplicates() {
+        let a = SegmentPair {
+            t_d: 0.0,
+            t_c: 1.0,
+            t_b: 2.0,
+            t_a: 3.0,
+        };
+        let b = SegmentPair {
+            t_d: 0.0,
+            t_c: 1.0,
+            t_b: 4.0,
+            t_a: 5.0,
+        };
+        let mut v = vec![b, a, a, b, a];
+        sort_dedup(&mut v);
+        assert_eq!(v, vec![a, b]);
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's queries as SQL text.
+//!
+//! §4.4 reduces a search to "two simple range queries" per boundary —
+//! point queries and line queries over the stored corner columns — and §6
+//! runs them as "standard SQL queries". This module generates exactly that
+//! SQL against the feature tables and executes it through the engine's SQL
+//! layer, as an executable specification of the paper's retrieval step.
+//! [`SegDiffIndex::query_sql`] must (and, per the test suite, does) return
+//! the same result set as the native query path.
+
+use crate::index::SegDiffIndex;
+use crate::result::{sort_dedup, SegmentPair};
+use crate::tables::table_name;
+use featurespace::{QueryRegion, SearchKind};
+use pagestore::{ExecOutcome, Result};
+
+/// The point query of §4.4 for corner `j` (1-based) of the
+/// `corners`-corner table: *is the stored corner inside the region?*
+pub fn point_query_sql(kind: SearchKind, corners: usize, j: usize, region: &QueryRegion) -> String {
+    let table = table_name(kind, corners);
+    let cmp = match kind {
+        SearchKind::Drop => "<=",
+        SearchKind::Jump => ">=",
+    };
+    format!(
+        "SELECT td, tc, tb, ta FROM {table} WHERE dt{j} <= {t} AND dv{j} {cmp} {v}",
+        t = region.t,
+        v = region.v,
+    )
+}
+
+/// The line query of §4.4 for the edge between corners `j` and `j + 1`:
+/// *do both ends lie outside the region while the edge crosses it?* The
+/// final conjunct is the paper's interpolation condition, verbatim.
+pub fn line_query_sql(kind: SearchKind, corners: usize, j: usize, region: &QueryRegion) -> String {
+    let table = table_name(kind, corners);
+    let (t, v) = (region.t, region.v);
+    let k = j + 1;
+    match kind {
+        SearchKind::Drop => format!(
+            "SELECT td, tc, tb, ta FROM {table} \
+             WHERE dt{j} <= {t} AND dv{j} > {v} AND dt{k} > {t} AND dv{k} < {v} \
+             AND dv{j} + (dv{k} - dv{j}) / (dt{k} - dt{j}) * ({t} - dt{j}) <= {v}"
+        ),
+        SearchKind::Jump => format!(
+            "SELECT td, tc, tb, ta FROM {table} \
+             WHERE dt{j} <= {t} AND dv{j} < {v} AND dt{k} > {t} AND dv{k} > {v} \
+             AND dv{j} + (dv{k} - dv{j}) / (dt{k} - dt{j}) * ({t} - dt{j}) >= {v}"
+        ),
+    }
+}
+
+/// Every SQL statement a search issues: per corner-count table, one point
+/// query per corner and one line query per edge.
+pub fn search_sql(region: &QueryRegion) -> Vec<String> {
+    let mut out = Vec::new();
+    for corners in 1..=3 {
+        for j in 1..=corners {
+            out.push(point_query_sql(region.kind, corners, j, region));
+        }
+        for j in 1..corners {
+            out.push(line_query_sql(region.kind, corners, j, region));
+        }
+    }
+    out
+}
+
+impl SegDiffIndex {
+    /// Runs the search entirely through SQL text (see the module docs),
+    /// returning the deduplicated results and the statements executed.
+    ///
+    /// Functionally identical to `query(region, QueryPlan::SeqScan)` —
+    /// the planner may choose index plans per statement if the B+trees
+    /// have been built.
+    pub fn query_sql(&self, region: &QueryRegion) -> Result<(Vec<SegmentPair>, Vec<String>)> {
+        let statements = search_sql(region);
+        let mut results = Vec::new();
+        for sql in &statements {
+            match self.database().execute(sql)? {
+                ExecOutcome::Rows { rows, .. } => {
+                    for row in rows {
+                        results.push(SegmentPair {
+                            t_d: row[0],
+                            t_c: row[1],
+                            t_b: row[2],
+                            t_a: row[3],
+                        });
+                    }
+                }
+                other => {
+                    unreachable!("SELECT returned {other:?}")
+                }
+            }
+        }
+        sort_dedup(&mut results);
+        Ok((results, statements))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QueryPlan, SegDiffConfig};
+    use sensorgen::{TimeSeries, HOUR};
+
+    fn walk(n: usize, seed: u64) -> TimeSeries {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = 0.0;
+        (0..n)
+            .map(|i| {
+                v += (rng.random::<f64>() - 0.5) * 2.0;
+                (i as f64 * 300.0, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sql_text_matches_the_paper() {
+        let region = QueryRegion::drop(3600.0, -3.0);
+        let sql = point_query_sql(SearchKind::Drop, 2, 1, &region);
+        assert_eq!(
+            sql,
+            "SELECT td, tc, tb, ta FROM drop2 WHERE dt1 <= 3600 AND dv1 <= -3"
+        );
+        let sql = line_query_sql(SearchKind::Drop, 2, 1, &region);
+        assert!(sql.contains("dv1 + (dv2 - dv1) / (dt2 - dt1) * (3600 - dt1) <= -3"));
+        // 3 tables: 1+0, 2+1, 3+2 statements = 9 in total.
+        assert_eq!(search_sql(&region).len(), 9);
+    }
+
+    #[test]
+    fn sql_path_equals_native_path() {
+        let dir = std::env::temp_dir().join(format!("segdiff-sqlgen-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let series = walk(400, 11);
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&series).unwrap();
+        idx.finish().unwrap();
+        for region in [
+            QueryRegion::drop(1.0 * HOUR, -1.5),
+            QueryRegion::drop(4.0 * HOUR, -3.0),
+            QueryRegion::jump(2.0 * HOUR, 1.0),
+        ] {
+            let (native, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+            let (via_sql, stmts) = idx.query_sql(&region).unwrap();
+            assert_eq!(native, via_sql, "SQL and native disagree for {region:?}");
+            assert!(!stmts.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sql_path_uses_indexes_when_available() {
+        let dir = std::env::temp_dir().join(format!("segdiff-sqlgen-idx-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let series = walk(300, 4);
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&series).unwrap();
+        idx.finish().unwrap();
+        let region = QueryRegion::drop(1.0 * HOUR, -1.0);
+        let (before, _) = idx.query_sql(&region).unwrap();
+        idx.build_indexes().unwrap();
+        // The point query is now answerable through a covered index plan.
+        let sql = point_query_sql(SearchKind::Drop, 1, 1, &region);
+        match idx.database().execute(&sql).unwrap() {
+            ExecOutcome::Rows { plan, .. } => {
+                assert!(
+                    matches!(plan, pagestore::Plan::IndexRange { .. }),
+                    "expected an index plan, got {plan:?}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let (after, _) = idx.query_sql(&region).unwrap();
+        assert_eq!(before, after, "plans changed the answer");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

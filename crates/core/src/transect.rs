@@ -1,0 +1,242 @@
+//! Managing a whole sensor network: one SegDiff index per sensor.
+//!
+//! The paper's deployment is twenty-five sensors across a canyon, and its
+//! §6.3 reports that "SegDiff can return results for all sensors within 10
+//! seconds". [`TransectIndex`] is that operational layer: a directory of
+//! per-sensor [`SegDiffIndex`]es sharing one configuration, with fan-out
+//! queries executed across sensors in parallel.
+
+use crate::config::SegDiffConfig;
+use crate::index::SegDiffIndex;
+use crate::query::{QueryPlan, QueryStats};
+use crate::result::SegmentPair;
+use crate::stats::SegDiffStats;
+use featurespace::QueryRegion;
+use pagestore::{Result, StoreError};
+use sensorgen::TimeSeries;
+use std::path::{Path, PathBuf};
+
+/// A collection of per-sensor SegDiff indexes under one root directory
+/// (`<root>/sensor-<k>/`).
+pub struct TransectIndex {
+    root: PathBuf,
+    sensors: Vec<SegDiffIndex>,
+}
+
+impl TransectIndex {
+    /// Creates indexes for `n_sensors` sensors under `root`. The configured
+    /// buffer pool is divided evenly across sensors.
+    pub fn create(root: &Path, config: SegDiffConfig, n_sensors: u32) -> Result<Self> {
+        assert!(n_sensors > 0, "need at least one sensor");
+        let per_sensor = (config.pool_pages / n_sensors as usize).max(64);
+        let config = config.with_pool_pages(per_sensor);
+        let mut sensors = Vec::with_capacity(n_sensors as usize);
+        for k in 0..n_sensors {
+            sensors.push(SegDiffIndex::create(
+                &Self::sensor_dir(root, k),
+                config.clone(),
+            )?);
+        }
+        Ok(Self {
+            root: root.to_path_buf(),
+            sensors,
+        })
+    }
+
+    /// Reopens a transect previously persisted with
+    /// [`TransectIndex::finish_all`]. Sensors are discovered from the
+    /// directory layout.
+    pub fn open(root: &Path, pool_pages: usize) -> Result<Self> {
+        let mut k = 0u32;
+        let mut sensors = Vec::new();
+        loop {
+            let dir = Self::sensor_dir(root, k);
+            if !dir.exists() {
+                break;
+            }
+            sensors.push(SegDiffIndex::open(&dir, pool_pages.max(64))?);
+            k += 1;
+        }
+        if sensors.is_empty() {
+            return Err(StoreError::NotFound(format!(
+                "no sensor indexes under {}",
+                root.display()
+            )));
+        }
+        Ok(Self {
+            root: root.to_path_buf(),
+            sensors,
+        })
+    }
+
+    fn sensor_dir(root: &Path, sensor: u32) -> PathBuf {
+        root.join(format!("sensor-{sensor}"))
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of sensors.
+    pub fn num_sensors(&self) -> u32 {
+        self.sensors.len() as u32
+    }
+
+    /// Ingests one observation for `sensor`.
+    pub fn push(&mut self, sensor: u32, t: f64, v: f64) -> Result<()> {
+        self.sensors[sensor as usize].push(t, v)
+    }
+
+    /// Ingests a whole series for `sensor`.
+    pub fn ingest_series(&mut self, sensor: u32, series: &TimeSeries) -> Result<()> {
+        self.sensors[sensor as usize].ingest_series(series)
+    }
+
+    /// Finishes and persists every sensor.
+    pub fn finish_all(&mut self) -> Result<()> {
+        for s in &mut self.sensors {
+            s.finish()?;
+        }
+        Ok(())
+    }
+
+    /// Builds the query B+trees on every sensor.
+    pub fn build_indexes_all(&self) -> Result<()> {
+        for s in &self.sensors {
+            s.build_indexes()?;
+        }
+        Ok(())
+    }
+
+    /// Queries one sensor.
+    pub fn query_sensor(
+        &self,
+        sensor: u32,
+        region: &QueryRegion,
+        plan: QueryPlan,
+    ) -> Result<(Vec<SegmentPair>, QueryStats)> {
+        self.sensors[sensor as usize].query(region, plan)
+    }
+
+    /// Queries every sensor in parallel; returns per-sensor results plus
+    /// merged execution statistics (wall time = slowest sensor, the rest
+    /// summed).
+    pub fn query_all(
+        &self,
+        region: &QueryRegion,
+        plan: QueryPlan,
+    ) -> Result<(Vec<Vec<SegmentPair>>, QueryStats)> {
+        let outcomes: Vec<Result<(Vec<SegmentPair>, QueryStats)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .sensors
+                .iter()
+                .map(|s| scope.spawn(move || s.query(region, plan)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect()
+        });
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut merged = QueryStats::default();
+        for outcome in outcomes {
+            let (r, s) = outcome?;
+            merged.wall_seconds = merged.wall_seconds.max(s.wall_seconds);
+            merged.rows_considered += s.rows_considered;
+            merged.results += s.results;
+            merged.io.hits += s.io.hits;
+            merged.io.misses += s.io.misses;
+            merged.io.evictions += s.io.evictions;
+            merged.io.physical_reads += s.io.physical_reads;
+            merged.io.physical_writes += s.io.physical_writes;
+            results.push(r);
+        }
+        Ok((results, merged))
+    }
+
+    /// Per-sensor statistics.
+    pub fn stats(&self) -> Vec<SegDiffStats> {
+        self.sensors.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Aggregate feature payload bytes across sensors.
+    pub fn total_feature_bytes(&self) -> u64 {
+        self.sensors
+            .iter()
+            .map(|s| s.stats().feature_payload_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorgen::{generate_sensor, CadTransectConfig, HOUR};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("segdiff-trans-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn build(tag: &str, sensors: u32, days: u32) -> (TransectIndex, PathBuf) {
+        let root = tmpdir(tag);
+        let cfg = CadTransectConfig::default().with_days(days).with_sensors(sensors).clean();
+        let mut t = TransectIndex::create(&root, SegDiffConfig::default(), sensors).unwrap();
+        for k in 0..sensors {
+            let series = generate_sensor(&cfg, k, 7);
+            t.ingest_series(k, &series).unwrap();
+        }
+        t.finish_all().unwrap();
+        (t, root)
+    }
+
+    #[test]
+    fn fan_out_query_matches_per_sensor() {
+        let (t, root) = build("fanout", 4, 4);
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        let (all, merged) = t.query_all(&region, QueryPlan::SeqScan).unwrap();
+        assert_eq!(all.len(), 4);
+        let mut total = 0u64;
+        for (k, per) in all.iter().enumerate() {
+            let (single, _) = t.query_sensor(k as u32, &region, QueryPlan::SeqScan).unwrap();
+            assert_eq!(per, &single, "sensor {k}");
+            total += per.len() as u64;
+        }
+        assert_eq!(merged.results, total);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_everything() {
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        let (before, root) = {
+            let (t, root) = build("reopen", 3, 4);
+            let (results, _) = t.query_all(&region, QueryPlan::SeqScan).unwrap();
+            (results, root)
+        };
+        let t = TransectIndex::open(&root, 256).unwrap();
+        assert_eq!(t.num_sensors(), 3);
+        let (after, _) = t.query_all(&region, QueryPlan::SeqScan).unwrap();
+        assert_eq!(before, after);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_missing_root_errors() {
+        let root = tmpdir("missing");
+        assert!(TransectIndex::open(&root, 256).is_err());
+    }
+
+    #[test]
+    fn stats_cover_all_sensors() {
+        let (t, root) = build("stats", 3, 2);
+        let stats = t.stats();
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().all(|s| s.n_segments > 0));
+        assert!(t.total_feature_bytes() > 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

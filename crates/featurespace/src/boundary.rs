@@ -1,0 +1,323 @@
+//! Boundary extraction: the corner analysis of §4.3.1 and the Appendix.
+
+use crate::intersect::{edge_crosses_region, point_in_region};
+use crate::{FeaturePoint, Parallelogram, QueryRegion, SearchKind, SlopeCase};
+use segmentation::Segment;
+
+/// The region-facing boundary of a feature parallelogram: a chain of one,
+/// two, or three corner points ordered by increasing `Δt`.
+///
+/// For drop search this is the lower-left boundary, for jump search the
+/// upper-left boundary. These are the rows SegDiff actually stores; the ε
+/// shift of Lemma 4 has already been applied by the time a `Boundary` is
+/// produced by [`extract_boundary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boundary {
+    pts: [FeaturePoint; 3],
+    len: u8,
+}
+
+impl Boundary {
+    /// A degenerate single-corner boundary.
+    pub fn one(p: FeaturePoint) -> Self {
+        Self {
+            pts: [p, FeaturePoint::default(), FeaturePoint::default()],
+            len: 1,
+        }
+    }
+
+    /// A two-corner boundary (one edge).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the corners are ordered by `Δt`.
+    pub fn two(p: FeaturePoint, q: FeaturePoint) -> Self {
+        debug_assert!(p.dt <= q.dt);
+        Self {
+            pts: [p, q, FeaturePoint::default()],
+            len: 2,
+        }
+    }
+
+    /// A three-corner boundary (two edges).
+    pub fn three(p: FeaturePoint, q: FeaturePoint, r: FeaturePoint) -> Self {
+        debug_assert!(p.dt <= q.dt && q.dt <= r.dt);
+        Self { pts: [p, q, r], len: 3 }
+    }
+
+    /// The corners, ordered by increasing `Δt`.
+    pub fn corners(&self) -> &[FeaturePoint] {
+        &self.pts[..self.len as usize]
+    }
+
+    /// Number of corners (1–3).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Boundaries are never empty; provided for clippy-consistency.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// This boundary with every corner shifted vertically by `dy`.
+    pub fn shifted(&self, dy: f64) -> Self {
+        let mut out = *self;
+        for p in out.pts[..out.len as usize].iter_mut() {
+            *p = p.shifted(dy);
+        }
+        out
+    }
+
+    /// Does this boundary intersect the query region? The union of the
+    /// point queries on every corner and the line queries on every edge
+    /// (§4.4). This is the in-memory reference implementation of the
+    /// predicate the storage layer evaluates with range queries.
+    pub fn intersects(&self, region: &QueryRegion) -> bool {
+        let pts = self.corners();
+        if pts.iter().any(|&p| point_in_region(p, region)) {
+            return true;
+        }
+        pts.windows(2)
+            .any(|w| edge_crosses_region(w[0], w[1], region))
+    }
+}
+
+/// Extracts the stored boundary for the pair (earlier `cd`, later `ab`)
+/// under error tolerance `eps`, or `None` when the shifted parallelogram
+/// cannot contain any drop (jump) and nothing needs to be stored — the
+/// pruning conditions of the Appendix.
+///
+/// The returned corners are already ε-shifted: down by `eps` for
+/// [`SearchKind::Drop`], up by `eps` for [`SearchKind::Jump`] (Lemma 4).
+pub fn extract_boundary(
+    cd: &Segment,
+    ab: &Segment,
+    eps: f64,
+    kind: SearchKind,
+) -> Option<Boundary> {
+    debug_assert!(eps >= 0.0);
+    let para = Parallelogram::from_pair(cd, ab);
+    let case = SlopeCase::classify(cd.slope(), ab.slope());
+    let (bc, bd, ac, ad) = (para.bc, para.bd, para.ac, para.ad);
+    match kind {
+        SearchKind::Drop => {
+            let b = match case {
+                // Lower-left boundary (BC, AC); lowest corner is AC.
+                SlopeCase::C1 => (ac.dv - eps <= 0.0).then(|| Boundary::two(bc, ac)),
+                // Degenerate lower-left boundary: the single corner BC.
+                SlopeCase::C2 | SlopeCase::C3 => {
+                    (bc.dv - eps <= 0.0).then(|| Boundary::one(bc))
+                }
+                // Lower-left boundary (BC, BD); lowest corner is BD.
+                SlopeCase::C4 => (bd.dv - eps <= 0.0).then(|| Boundary::two(bc, bd)),
+                // Chain (BC, AC, AD); drop II degrades to (AC, AD).
+                SlopeCase::C5 => {
+                    if ac.dv - eps <= 0.0 {
+                        Some(Boundary::three(bc, ac, ad))
+                    } else if ad.dv - eps <= 0.0 {
+                        Some(Boundary::two(ac, ad))
+                    } else {
+                        None
+                    }
+                }
+                // Case 6 is case 5 with AC replaced by BD.
+                SlopeCase::C6 => {
+                    if bd.dv - eps <= 0.0 {
+                        Some(Boundary::three(bc, bd, ad))
+                    } else if ad.dv - eps <= 0.0 {
+                        Some(Boundary::two(bd, ad))
+                    } else {
+                        None
+                    }
+                }
+            };
+            b.map(|b| b.shifted(-eps))
+        }
+        SearchKind::Jump => {
+            let b = match case {
+                // Upper-left boundary (BC, BD); highest corner is BD.
+                SlopeCase::C1 => (bd.dv + eps > 0.0).then(|| Boundary::two(bc, bd)),
+                // Chain (BC, AC, AD); jump II degrades to (AC, AD).
+                SlopeCase::C2 => {
+                    if ac.dv + eps >= 0.0 {
+                        Some(Boundary::three(bc, ac, ad))
+                    } else if ad.dv + eps > 0.0 {
+                        Some(Boundary::two(ac, ad))
+                    } else {
+                        None
+                    }
+                }
+                // Case 3 is case 2 with AC replaced by BD.
+                SlopeCase::C3 => {
+                    if bd.dv + eps >= 0.0 {
+                        Some(Boundary::three(bc, bd, ad))
+                    } else if ad.dv + eps > 0.0 {
+                        Some(Boundary::two(bd, ad))
+                    } else {
+                        None
+                    }
+                }
+                // Upper-left boundary (BC, AC); highest corner is AC.
+                SlopeCase::C4 => (ac.dv + eps > 0.0).then(|| Boundary::two(bc, ac)),
+                // Degenerate upper-left boundary: the single corner BC.
+                SlopeCase::C5 | SlopeCase::C6 => {
+                    (bc.dv + eps > 0.0).then(|| Boundary::one(bc))
+                }
+            };
+            b.map(|b| b.shifted(eps))
+        }
+    }
+}
+
+/// The boundary for events occurring *within* a single segment.
+///
+/// When both event points lie on the same segment, the feature points are
+/// exactly the segment through the origin `(0, 0) -> (duration, Δv)` (the
+/// parallelogram of a segment with itself degenerates, §4.2). Returns the
+/// ε-shifted two-corner boundary, or `None` when the segment cannot
+/// contain a drop (jump): at `ε = 0` a non-falling (non-rising) segment
+/// stores nothing.
+pub fn extract_self_boundary(seg: &Segment, eps: f64, kind: SearchKind) -> Option<Boundary> {
+    debug_assert!(eps >= 0.0);
+    let origin = FeaturePoint::new(0.0, 0.0);
+    let far = FeaturePoint::new(seg.duration(), seg.delta_v());
+    match kind {
+        SearchKind::Drop => {
+            // Lowest shifted dv: min(-eps, Δv - eps). Only boundaries that
+            // dip below zero can ever satisfy Δv <= V < 0.
+            (far.dv.min(0.0) - eps < 0.0)
+                .then(|| Boundary::two(origin, far).shifted(-eps))
+        }
+        SearchKind::Jump => {
+            (far.dv.max(0.0) + eps > 0.0).then(|| Boundary::two(origin, far).shifted(eps))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// cd rising, ab falling: case 1.
+    fn case1_pair() -> (Segment, Segment) {
+        (
+            Segment::new(0.0, 1.0, 10.0, 4.0),
+            Segment::new(25.0, 6.0, 40.0, 2.0),
+        )
+    }
+
+    #[test]
+    fn case1_drop_boundary_is_bc_ac() {
+        let (cd, ab) = case1_pair();
+        let b = extract_boundary(&cd, &ab, 0.0, SearchKind::Drop).unwrap();
+        let para = Parallelogram::from_pair(&cd, &ab);
+        assert_eq!(b.corners(), &[para.bc, para.ac]);
+    }
+
+    #[test]
+    fn case1_jump_boundary_is_bc_bd() {
+        let (cd, ab) = case1_pair();
+        let b = extract_boundary(&cd, &ab, 0.0, SearchKind::Jump).unwrap();
+        let para = Parallelogram::from_pair(&cd, &ab);
+        assert_eq!(b.corners(), &[para.bc, para.bd]);
+    }
+
+    #[test]
+    fn epsilon_shift_applied() {
+        let (cd, ab) = case1_pair();
+        let b0 = extract_boundary(&cd, &ab, 0.0, SearchKind::Drop).unwrap();
+        let b1 = extract_boundary(&cd, &ab, 0.5, SearchKind::Drop).unwrap();
+        for (p0, p1) in b0.corners().iter().zip(b1.corners()) {
+            assert_eq!(p1.dt, p0.dt);
+            assert!((p1.dv - (p0.dv - 0.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruning_drops_hopeless_pairs() {
+        // Both segments rise and ab sits far above cd: every feature dv > 0.
+        let cd = Segment::new(0.0, 0.0, 10.0, 1.0); // k = 0.1
+        let ab = Segment::new(20.0, 10.0, 30.0, 13.0); // k = 0.3, case 2
+        assert!(extract_boundary(&cd, &ab, 0.0, SearchKind::Drop).is_none());
+        assert!(extract_boundary(&cd, &ab, 0.0, SearchKind::Jump).is_some());
+    }
+
+    #[test]
+    fn case5_degrades_to_two_corners() {
+        // Both falling steeply, ab below cd -> AC already a drop vs BC a jump?
+        // Construct: cd falls from 10 to 8; ab falls from 9 to 1 (steeper).
+        let cd = Segment::new(0.0, 10.0, 10.0, 8.0); // k = -0.2
+        let ab = Segment::new(10.0, 9.0, 20.0, 1.0); // k = -0.8 <= k_cd: case 5
+        let para = Parallelogram::from_pair(&cd, &ab);
+        // bc.dv = 9 - 8 = 1 > 0 (a jump), ac.dv = 1 - 8 = -7 <= 0.
+        assert!(para.bc.dv > 0.0 && para.ac.dv < 0.0);
+        let b = extract_boundary(&cd, &ab, 0.0, SearchKind::Drop).unwrap();
+        assert_eq!(b.len(), 3); // drop I: AC itself is a drop
+        // Now lift ab so AC becomes a jump but AD stays a drop.
+        let ab2 = Segment::new(10.0, 19.0, 20.0, 9.5); // ac.dv = 1.5, ad.dv = -0.5
+        let para2 = Parallelogram::from_pair(&cd, &ab2);
+        assert!(para2.ac.dv > 0.0 && para2.ad.dv < 0.0);
+        let b2 = extract_boundary(&cd, &ab2, 0.0, SearchKind::Drop).unwrap();
+        assert_eq!(b2.len(), 2); // drop II: only (AC, AD)
+        assert_eq!(b2.corners(), &[para2.ac, para2.ad]);
+    }
+
+    #[test]
+    fn corner_counts_match_case_table() {
+        let (cd, ab) = case1_pair();
+        let case = SlopeCase::classify(cd.slope(), ab.slope());
+        assert_eq!(case, SlopeCase::C1);
+        let b = extract_boundary(&cd, &ab, 0.0, SearchKind::Drop).unwrap();
+        assert_eq!(b.len(), case.drop_corner_count());
+    }
+
+    #[test]
+    fn self_boundary_of_falling_segment() {
+        let seg = Segment::new(0.0, 10.0, 3600.0, 5.0); // 5-unit drop in 1 h
+        let b = extract_self_boundary(&seg, 0.0, SearchKind::Drop).unwrap();
+        assert_eq!(b.corners(), &[FeaturePoint::new(0.0, 0.0), FeaturePoint::new(3600.0, -5.0)]);
+        // A 3-unit drop within 1 h is found via the line/point queries.
+        let region = QueryRegion::drop(3600.0, -3.0);
+        assert!(b.intersects(&region));
+        // A 6-unit drop is not contained in this segment.
+        let deep = QueryRegion::drop(3600.0, -6.0);
+        assert!(!b.intersects(&deep));
+        // Rising segments store no drop boundary at eps = 0.
+        let rise = Segment::new(0.0, 0.0, 100.0, 5.0);
+        assert!(extract_self_boundary(&rise, 0.0, SearchKind::Drop).is_none());
+        assert!(extract_self_boundary(&rise, 0.0, SearchKind::Jump).is_some());
+    }
+
+    #[test]
+    fn self_boundary_interior_drop_detected_via_line_query() {
+        // Drop of 5 over 2 h: a 3-unit drop needs 1.2 h, so T = 1 h misses
+        // it but T = 1.5 h finds it (crossing detected by the line query).
+        let seg = Segment::new(0.0, 10.0, 7200.0, 5.0);
+        let b = extract_self_boundary(&seg, 0.0, SearchKind::Drop).unwrap();
+        assert!(!b.intersects(&QueryRegion::drop(3600.0, -3.0)));
+        assert!(b.intersects(&QueryRegion::drop(5400.0, -3.0)));
+    }
+
+    #[test]
+    fn boundary_intersects_unions_point_and_line() {
+        let b = Boundary::two(FeaturePoint::new(2.0, -1.0), FeaturePoint::new(12.0, -6.0));
+        // Point query hit: right corner inside.
+        assert!(b.intersects(&QueryRegion::drop(20.0, -5.0)));
+        // Line query hit: both corners outside, edge crosses.
+        assert!(b.intersects(&QueryRegion::drop(10.0, -2.0)));
+        // Miss entirely.
+        assert!(!b.intersects(&QueryRegion::drop(1.0, -5.0)));
+    }
+
+    #[test]
+    fn boundary_constructors_and_accessors() {
+        let p = FeaturePoint::new(1.0, 2.0);
+        let q = FeaturePoint::new(3.0, 1.0);
+        let r = FeaturePoint::new(5.0, 0.0);
+        assert_eq!(Boundary::one(p).len(), 1);
+        assert_eq!(Boundary::two(p, q).len(), 2);
+        assert_eq!(Boundary::three(p, q, r).corners(), &[p, q, r]);
+        assert!(!Boundary::one(p).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! The *un-reduced* four-corner representation, used by ablation studies.
+//!
+//! The paper's §4.3.1 shows that 1–3 corners suffice; this module keeps all
+//! four corners and decides intersection geometrically, so experiments can
+//! measure exactly what the corner reduction buys (space, scan cost) while
+//! checking that both representations return identical results.
+
+use crate::{FeaturePoint, Parallelogram, QueryRegion, SearchKind};
+use segmentation::Segment;
+
+/// All four (ε-shifted) corners of a pair's parallelogram, or `None` when
+/// the shifted parallelogram cannot contain any drop (jump).
+pub fn extract_full_corners(
+    cd: &Segment,
+    ab: &Segment,
+    eps: f64,
+    kind: SearchKind,
+) -> Option<[FeaturePoint; 4]> {
+    debug_assert!(eps >= 0.0);
+    let para = Parallelogram::from_pair(cd, ab);
+    let corners = para.corners();
+    shift_and_prune(corners, eps, kind)
+}
+
+/// Four-corner representation of the degenerate self pair: the feature
+/// segment `(0,0) -> (duration, Δv)` stored as a collapsed parallelogram.
+pub fn extract_full_self_corners(
+    seg: &Segment,
+    eps: f64,
+    kind: SearchKind,
+) -> Option<[FeaturePoint; 4]> {
+    let origin = FeaturePoint::new(0.0, 0.0);
+    let far = FeaturePoint::new(seg.duration(), seg.delta_v());
+    shift_and_prune([origin, origin, far, far], eps, kind)
+}
+
+fn shift_and_prune(
+    corners: [FeaturePoint; 4],
+    eps: f64,
+    kind: SearchKind,
+) -> Option<[FeaturePoint; 4]> {
+    match kind {
+        SearchKind::Drop => {
+            let lowest = corners.iter().map(|p| p.dv).fold(f64::INFINITY, f64::min);
+            (lowest - eps <= 0.0).then(|| corners.map(|p| p.shifted(-eps)))
+        }
+        SearchKind::Jump => {
+            let highest = corners.iter().map(|p| p.dv).fold(f64::NEG_INFINITY, f64::max);
+            (highest + eps > 0.0).then(|| corners.map(|p| p.shifted(eps)))
+        }
+    }
+}
+
+/// Exact intersection test between the convex polygon spanned by `corners`
+/// (a possibly degenerate parallelogram, in the paper's `BC, BD, AD, AC`
+/// order) and a query region.
+///
+/// The region `{Δt <= T, Δv <= V}` (drop) is the intersection of two half
+/// planes, so the polygon is clipped against `Δt <= T` and the minimum
+/// `Δv` of the clipped polygon — attained at a vertex — is compared with
+/// `V`. Jump search mirrors this with the maximum.
+pub fn full_corners_intersect(corners: &[FeaturePoint; 4], region: &QueryRegion) -> bool {
+    // Clip the polygon against dt <= T (Sutherland-Hodgman, one plane).
+    let mut clipped: Vec<FeaturePoint> = Vec::with_capacity(8);
+    let n = corners.len();
+    for i in 0..n {
+        let a = corners[i];
+        let b = corners[(i + 1) % n];
+        let a_in = a.dt <= region.t;
+        let b_in = b.dt <= region.t;
+        if a_in {
+            clipped.push(a);
+        }
+        if a_in != b_in {
+            // The edge crosses dt = T; dt strictly differs between ends.
+            let s = (region.t - a.dt) / (b.dt - a.dt);
+            clipped.push(FeaturePoint::new(region.t, a.dv + s * (b.dv - a.dv)));
+        }
+    }
+    if clipped.is_empty() {
+        return false;
+    }
+    match region.kind {
+        SearchKind::Drop => clipped.iter().any(|p| p.dv <= region.v),
+        SearchKind::Jump => clipped.iter().any(|p| p.dv >= region.v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract_boundary;
+
+    fn pair() -> (Segment, Segment) {
+        (
+            Segment::new(0.0, 1.0, 10.0, 4.0),
+            Segment::new(25.0, 6.0, 40.0, 2.0),
+        )
+    }
+
+    #[test]
+    fn full_corners_are_the_parallelogram() {
+        let (cd, ab) = pair();
+        let c = extract_full_corners(&cd, &ab, 0.0, SearchKind::Drop).unwrap();
+        let para = Parallelogram::from_pair(&cd, &ab);
+        assert_eq!(c, para.corners());
+    }
+
+    #[test]
+    fn epsilon_shift_applied() {
+        let (cd, ab) = pair();
+        let c0 = extract_full_corners(&cd, &ab, 0.0, SearchKind::Drop).unwrap();
+        let c1 = extract_full_corners(&cd, &ab, 0.5, SearchKind::Drop).unwrap();
+        for (a, b) in c0.iter().zip(&c1) {
+            assert_eq!(b.dt, a.dt);
+            assert!((b.dv - (a.dv - 0.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prune_mirrors_reduced_form() {
+        // A pair far above zero: no drop row in either representation.
+        let cd = Segment::new(0.0, 0.0, 10.0, 1.0);
+        let ab = Segment::new(20.0, 10.0, 30.0, 13.0);
+        assert!(extract_full_corners(&cd, &ab, 0.0, SearchKind::Drop).is_none());
+        assert!(extract_boundary(&cd, &ab, 0.0, SearchKind::Drop).is_none());
+        assert!(extract_full_corners(&cd, &ab, 0.0, SearchKind::Jump).is_some());
+    }
+
+    #[test]
+    fn intersection_agrees_with_reduced_boundary() {
+        // The central ablation claim: for a grid of regions, the 4-corner
+        // geometric test and the reduced-corner boundary test agree.
+        let pairs = [
+            (Segment::new(0.0, 1.0, 10.0, 4.0), Segment::new(25.0, 6.0, 40.0, 2.0)),
+            (Segment::new(0.0, 5.0, 8.0, 3.0), Segment::new(8.0, 3.0, 30.0, -4.0)),
+            (Segment::new(0.0, -2.0, 12.0, 7.0), Segment::new(20.0, 1.0, 26.0, 9.0)),
+            (Segment::new(0.0, 4.0, 5.0, 4.5), Segment::new(9.0, 2.0, 19.0, 1.0)),
+        ];
+        for (cd, ab) in &pairs {
+            for kind in [SearchKind::Drop, SearchKind::Jump] {
+                for ti in 1..=8 {
+                    for vi in 1..=8 {
+                        let t = ti as f64 * 6.0;
+                        let v = vi as f64 * 1.5;
+                        let region = match kind {
+                            SearchKind::Drop => QueryRegion::drop(t, -v),
+                            SearchKind::Jump => QueryRegion::jump(t, v),
+                        };
+                        let full = extract_full_corners(cd, ab, 0.0, kind)
+                            .map(|c| full_corners_intersect(&c, &region))
+                            .unwrap_or(false);
+                        let reduced = extract_boundary(cd, ab, 0.0, kind)
+                            .map(|b| b.intersects(&region))
+                            .unwrap_or(false);
+                        assert_eq!(
+                            full, reduced,
+                            "disagreement for {cd:?}/{ab:?} {kind:?} T={t} V={v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_self_pair() {
+        let seg = Segment::new(0.0, 10.0, 3600.0, 5.0);
+        let c = extract_full_self_corners(&seg, 0.0, SearchKind::Drop).unwrap();
+        assert!(full_corners_intersect(&c, &QueryRegion::drop(3600.0, -3.0)));
+        assert!(!full_corners_intersect(&c, &QueryRegion::drop(3600.0, -6.0)));
+        // Interior drop needs the clip: -3 within 1h fails on a 2h segment.
+        let slow = Segment::new(0.0, 10.0, 7200.0, 5.0);
+        let c = extract_full_self_corners(&slow, 0.0, SearchKind::Drop).unwrap();
+        assert!(!full_corners_intersect(&c, &QueryRegion::drop(3600.0, -3.0)));
+        assert!(full_corners_intersect(&c, &QueryRegion::drop(5400.0, -3.0)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Points in feature space.
+
+use std::ops::{Add, Sub};
+
+/// A point in feature space: a time span `dt` and a value change `dv`.
+///
+/// The feature point of an event `((t', v'), (t'', v''))` with `t'' >= t'`
+/// is `(Δt, Δv) = (t'' - t', v'' - v')` (paper §4.2; note the paper writes
+/// `Δv_ij = v_i - v_j` with `t_i >= t_j`, i.e. *later minus earlier*).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeaturePoint {
+    /// Time span of the event (non-negative for all stored features).
+    pub dt: f64,
+    /// Value change over the span (negative for drops).
+    pub dv: f64,
+}
+
+impl FeaturePoint {
+    /// Creates a feature point.
+    pub fn new(dt: f64, dv: f64) -> Self {
+        Self { dt, dv }
+    }
+
+    /// The feature point of the pair *earlier* `(t1, v1)`, *later*
+    /// `(t2, v2)`.
+    pub fn of_pair(t1: f64, v1: f64, t2: f64, v2: f64) -> Self {
+        Self {
+            dt: t2 - t1,
+            dv: v2 - v1,
+        }
+    }
+
+    /// This point shifted vertically by `dy` (Lemma 4's ε shift).
+    pub fn shifted(&self, dy: f64) -> Self {
+        Self {
+            dt: self.dt,
+            dv: self.dv + dy,
+        }
+    }
+
+    /// Euclidean distance to another feature point (used in tests).
+    pub fn distance(&self, other: &FeaturePoint) -> f64 {
+        ((self.dt - other.dt).powi(2) + (self.dv - other.dv).powi(2)).sqrt()
+    }
+}
+
+impl Add for FeaturePoint {
+    type Output = FeaturePoint;
+    fn add(self, rhs: FeaturePoint) -> FeaturePoint {
+        FeaturePoint::new(self.dt + rhs.dt, self.dv + rhs.dv)
+    }
+}
+
+impl Sub for FeaturePoint {
+    type Output = FeaturePoint;
+    fn sub(self, rhs: FeaturePoint) -> FeaturePoint {
+        FeaturePoint::new(self.dt - rhs.dt, self.dv - rhs.dv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_pair_is_later_minus_earlier() {
+        let p = FeaturePoint::of_pair(10.0, 5.0, 40.0, 2.0);
+        assert_eq!(p.dt, 30.0);
+        assert_eq!(p.dv, -3.0); // a 3-unit drop
+    }
+
+    #[test]
+    fn shift_moves_dv_only() {
+        let p = FeaturePoint::new(10.0, -2.0).shifted(-0.5);
+        assert_eq!(p, FeaturePoint::new(10.0, -2.5));
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = FeaturePoint::new(1.0, 2.0);
+        let b = FeaturePoint::new(0.5, -1.0);
+        assert_eq!(a + b, FeaturePoint::new(1.5, 1.0));
+        assert_eq!(a - b, FeaturePoint::new(0.5, 3.0));
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = FeaturePoint::new(0.0, 0.0);
+        let b = FeaturePoint::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+    }
+}

@@ -1,0 +1,866 @@
+//! A disk-backed B+tree with fixed-width byte-string keys and `u64` values.
+//!
+//! This is the engine's analogue of the paper's "B-tree index ... on the
+//! concatenation of" feature columns (§4.4): keys are order-preserving
+//! encodings of column tuples (see [`crate::encode`]), values are heap row
+//! ids. Only insert and inclusive range scans are provided — the workload
+//! is append-then-query, matching the paper's one-time-search setting.
+
+use crate::buffer::BufferPool;
+use crate::error::Result;
+use crate::page::{self, PageBuf};
+use crate::pagefile::{FileId, PageId};
+use crate::{StoreError, PAGE_SIZE};
+use std::sync::Arc;
+
+const MAGIC: u32 = 0x5344_4254; // "SDBT"
+const META_PAGE: u32 = 0;
+const HDR: usize = 8; // kind u8, pad u8, nkeys u16, next/child0 u32
+const KIND_LEAF: u8 = 0;
+const KIND_INTERNAL: u8 = 1;
+/// Sentinel for "no next leaf".
+const NO_PAGE: u32 = u32::MAX;
+
+/// A B+tree index. See the module docs.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    fid: FileId,
+    key_width: usize,
+    root: PageId,
+    height: u32,
+    count: u64,
+    leaf_cap: usize,
+    int_cap: usize,
+}
+
+impl BTree {
+    /// Creates an empty tree in the freshly created file `fid`, for keys of
+    /// exactly `key_width` bytes.
+    pub fn create(pool: Arc<BufferPool>, fid: FileId, key_width: usize) -> Result<Self> {
+        assert!(key_width >= 1, "key width must be positive");
+        let leaf_cap = (PAGE_SIZE - HDR) / (key_width + 8);
+        let int_cap = (PAGE_SIZE - HDR) / (key_width + 4);
+        assert!(leaf_cap >= 4 && int_cap >= 4, "key width too large for a page");
+        let meta = pool.allocate_page(fid)?;
+        debug_assert_eq!(meta, META_PAGE);
+        let root = pool.allocate_page(fid)?;
+        pool.with_page_mut(fid, root, |b| {
+            b[0] = KIND_LEAF;
+            page::put_u16(b, 2, 0);
+            page::put_u32(b, 4, NO_PAGE);
+        })?;
+        let t = Self {
+            pool,
+            fid,
+            key_width,
+            root,
+            height: 0,
+            count: 0,
+            leaf_cap,
+            int_cap,
+        };
+        t.write_meta()?;
+        Ok(t)
+    }
+
+    /// Opens an existing tree in file `fid`.
+    pub fn open(pool: Arc<BufferPool>, fid: FileId) -> Result<Self> {
+        let (magic, kw, root, height, count) = pool.with_page(fid, META_PAGE, |b| {
+            (
+                page::get_u32(b, 0),
+                page::get_u16(b, 4) as usize,
+                page::get_u32(b, 8),
+                page::get_u32(b, 12),
+                page::get_u64(b, 16),
+            )
+        })?;
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt("btree file has bad magic".into()));
+        }
+        Ok(Self {
+            leaf_cap: (PAGE_SIZE - HDR) / (kw + 8),
+            int_cap: (PAGE_SIZE - HDR) / (kw + 4),
+            pool,
+            fid,
+            key_width: kw,
+            root,
+            height,
+            count,
+        })
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        self.pool.with_page_mut(self.fid, META_PAGE, |b| {
+            page::put_u32(b, 0, MAGIC);
+            page::put_u16(b, 4, self.key_width as u16);
+            page::put_u32(b, 8, self.root);
+            page::put_u32(b, 12, self.height);
+            page::put_u64(b, 16, self.count);
+        })
+    }
+
+    /// Persists root/height/count to the meta page.
+    pub fn sync_meta(&self) -> Result<()> {
+        self.write_meta()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Key width in bytes.
+    pub fn key_width(&self) -> usize {
+        self.key_width
+    }
+
+    /// Bytes used on disk.
+    pub fn size_bytes(&self) -> u64 {
+        self.pool.file_size_bytes(self.fid)
+    }
+
+    /// Tree height (0 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Inserts an entry. Duplicate keys are allowed and kept adjacent (the
+    /// engine appends a unique row-id suffix to every key anyway).
+    pub fn insert(&mut self, key: &[u8], val: u64) -> Result<()> {
+        assert_eq!(key.len(), self.key_width, "key width mismatch");
+        // Descend, recording the path of internal pages.
+        let mut path: Vec<PageId> = Vec::with_capacity(self.height as usize);
+        let mut pid = self.root;
+        for _ in 0..self.height {
+            path.push(pid);
+            pid = self.child_for(pid, key)?;
+        }
+        // Fast path: leaf has room.
+        let kw = self.key_width;
+        let cap = self.leaf_cap;
+        let inserted = self.pool.with_page_mut(self.fid, pid, |b| {
+            let n = page::get_u16(b, 2) as usize;
+            if n >= cap {
+                return false;
+            }
+            let pos = leaf_lower_bound(b, n, kw, key);
+            let esz = kw + 8;
+            let start = HDR + pos * esz;
+            b.copy_within(start..HDR + n * esz, start + esz);
+            b[start..start + kw].copy_from_slice(key);
+            page::put_u64(b, start + kw, val);
+            page::put_u16(b, 2, (n + 1) as u16);
+            true
+        })?;
+        if inserted {
+            self.count += 1;
+            return Ok(());
+        }
+        // Slow path: split the leaf, then propagate.
+        let (mut sep, mut new_pid) = self.split_leaf(pid, key, val)?;
+        self.count += 1;
+        while let Some(parent) = path.pop() {
+            match self.internal_insert(parent, &sep, new_pid)? {
+                None => return Ok(()),
+                Some((s, p)) => {
+                    sep = s;
+                    new_pid = p;
+                }
+            }
+        }
+        // The root itself split: grow the tree.
+        let new_root = self.pool.allocate_page(self.fid)?;
+        let (old_root, kw) = (self.root, self.key_width);
+        self.pool.with_page_mut(self.fid, new_root, |b| {
+            b[0] = KIND_INTERNAL;
+            page::put_u16(b, 2, 1);
+            page::put_u32(b, 4, old_root);
+            b[HDR..HDR + kw].copy_from_slice(&sep);
+            page::put_u32(b, HDR + kw, new_pid);
+        })?;
+        self.root = new_root;
+        self.height += 1;
+        Ok(())
+    }
+
+    /// Builds a tree from entries that are **already sorted by key**
+    /// (duplicates allowed, kept in order). Orders of magnitude faster
+    /// than repeated [`BTree::insert`]: leaves are written left to right at
+    /// a ~90% fill factor and the internal levels are assembled bottom-up
+    /// with no page ever touched twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key has the wrong width or the input is not sorted.
+    pub fn bulk_load<'a>(
+        pool: Arc<BufferPool>,
+        fid: FileId,
+        key_width: usize,
+        entries: impl IntoIterator<Item = (&'a [u8], u64)>,
+    ) -> Result<Self> {
+        let mut tree = Self::create(pool, fid, key_width)?;
+        let kw = key_width;
+        let esz = kw + 8;
+        let fill = (tree.leaf_cap * 9 / 10).max(1);
+
+        // Phase 1: fill leaves. The first leaf reuses the root page the
+        // constructor allocated.
+        let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, pid)
+        let mut current = tree.root;
+        let mut in_page = 0usize;
+        let mut count = 0u64;
+        let mut prev_key: Option<Vec<u8>> = None;
+        for (key, val) in entries {
+            assert_eq!(key.len(), kw, "key width mismatch");
+            if let Some(prev) = &prev_key {
+                assert!(prev.as_slice() <= key, "bulk_load input must be sorted");
+            }
+            if in_page == fill {
+                // Seal this leaf and chain a new one.
+                let next = tree.pool.allocate_page(fid)?;
+                tree.pool.with_page_mut(fid, current, |b| {
+                    page::put_u32(b, 4, next);
+                })?;
+                tree.pool.with_page_mut(fid, next, |b| {
+                    b[0] = KIND_LEAF;
+                    page::put_u16(b, 2, 0);
+                    page::put_u32(b, 4, NO_PAGE);
+                })?;
+                current = next;
+                in_page = 0;
+            }
+            if in_page == 0 {
+                leaves.push((key.to_vec(), current));
+            }
+            let off = HDR + in_page * esz;
+            tree.pool.with_page_mut(fid, current, |b| {
+                b[off..off + kw].copy_from_slice(key);
+                page::put_u64(b, off + kw, val);
+                page::put_u16(b, 2, (in_page + 1) as u16);
+            })?;
+            in_page += 1;
+            count += 1;
+            prev_key = Some(key.to_vec());
+        }
+        tree.count = count;
+        if leaves.len() <= 1 {
+            tree.write_meta()?;
+            return Ok(tree);
+        }
+
+        // Phase 2: build internal levels bottom-up.
+        let int_esz = kw + 4;
+        let int_fill = (tree.int_cap * 9 / 10).max(2);
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut upper: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut i = 0;
+            while i < level.len() {
+                let take = int_fill.min(level.len() - i).max(1);
+                let chunk = &level[i..i + take];
+                let pid = tree.pool.allocate_page(fid)?;
+                tree.pool.with_page_mut(fid, pid, |b| {
+                    b[0] = KIND_INTERNAL;
+                    page::put_u16(b, 2, (chunk.len() - 1) as u16);
+                    page::put_u32(b, 4, chunk[0].1);
+                    for (k, (sep, child)) in chunk[1..].iter().enumerate() {
+                        let off = HDR + k * int_esz;
+                        b[off..off + kw].copy_from_slice(sep);
+                        page::put_u32(b, off + kw, *child);
+                    }
+                })?;
+                upper.push((chunk[0].0.clone(), pid));
+                i += take;
+            }
+            level = upper;
+            tree.height += 1;
+        }
+        tree.root = level[0].1;
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Visits every entry with `lo <= key <= hi` in key order. Returning
+    /// `false` from the visitor stops the scan.
+    ///
+    /// Leaf pages are copied out of the pool before the visitor runs, so
+    /// the visitor may access other pool-backed structures.
+    pub fn range(
+        &self,
+        lo: &[u8],
+        hi: &[u8],
+        mut visit: impl FnMut(&[u8], u64) -> bool,
+    ) -> Result<()> {
+        assert_eq!(lo.len(), self.key_width, "lo width mismatch");
+        assert_eq!(hi.len(), self.key_width, "hi width mismatch");
+        if lo > hi || self.count == 0 {
+            return Ok(());
+        }
+        let mut pid = self.root;
+        for _ in 0..self.height {
+            pid = self.child_for_range_start(pid, lo)?;
+        }
+        let kw = self.key_width;
+        let esz = kw + 8;
+        let mut buf = PageBuf::zeroed();
+        loop {
+            self.pool.read_page_into(self.fid, pid, &mut buf)?;
+            let b = buf.bytes();
+            debug_assert_eq!(b[0], KIND_LEAF);
+            let n = page::get_u16(b, 2) as usize;
+            let next = page::get_u32(b, 4);
+            let start = leaf_lower_bound(b, n, kw, lo);
+            for i in start..n {
+                let off = HDR + i * esz;
+                let key = &b[off..off + kw];
+                if key > hi {
+                    return Ok(());
+                }
+                let val = page::get_u64(b, off + kw);
+                if !visit(key, val) {
+                    return Ok(());
+                }
+            }
+            if next == NO_PAGE {
+                return Ok(());
+            }
+            pid = next;
+        }
+    }
+
+    /// Finds the child of internal node `pid` that covers `key`.
+    fn child_for(&self, pid: PageId, key: &[u8]) -> Result<PageId> {
+        let kw = self.key_width;
+        self.pool.with_page(self.fid, pid, |b| {
+            debug_assert_eq!(b[0], KIND_INTERNAL);
+            let n = page::get_u16(b, 2) as usize;
+            // Largest entry with key <= search key, else child0.
+            let pos = internal_upper_bound(b, n, kw, key);
+            if pos == 0 {
+                page::get_u32(b, 4)
+            } else {
+                let off = HDR + (pos - 1) * (kw + 4);
+                page::get_u32(b, off + kw)
+            }
+        })
+    }
+
+    /// Like [`Self::child_for`], but descends to the *leftmost* child that
+    /// can contain `key`: separators equal to `key` send the search left,
+    /// so a range scan starting at `key` sees duplicates that ended up in
+    /// an earlier leaf after a split.
+    fn child_for_range_start(&self, pid: PageId, key: &[u8]) -> Result<PageId> {
+        let kw = self.key_width;
+        self.pool.with_page(self.fid, pid, |b| {
+            debug_assert_eq!(b[0], KIND_INTERNAL);
+            let n = page::get_u16(b, 2) as usize;
+            // Count separators strictly below the key.
+            let esz = kw + 4;
+            let (mut lo, mut hi) = (0usize, n);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let off = HDR + mid * esz;
+                if &b[off..off + kw] < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo == 0 {
+                page::get_u32(b, 4)
+            } else {
+                let off = HDR + (lo - 1) * esz;
+                page::get_u32(b, off + kw)
+            }
+        })
+    }
+
+    /// Splits the full leaf `pid` while inserting (key, val); returns the
+    /// separator (first key of the new right leaf) and the new page id.
+    fn split_leaf(&mut self, pid: PageId, key: &[u8], val: u64) -> Result<(Vec<u8>, PageId)> {
+        let kw = self.key_width;
+        let esz = kw + 8;
+        let mut old = PageBuf::zeroed();
+        self.pool.read_page_into(self.fid, pid, &mut old)?;
+        let n = page::get_u16(old.bytes(), 2) as usize;
+        let next = page::get_u32(old.bytes(), 4);
+
+        // Gather all n + 1 entries in order.
+        let mut entries: Vec<(Vec<u8>, u64)> = Vec::with_capacity(n + 1);
+        let pos = leaf_lower_bound(old.bytes(), n, kw, key);
+        for i in 0..n {
+            let off = HDR + i * esz;
+            if i == pos {
+                entries.push((key.to_vec(), val));
+            }
+            entries.push((
+                old.bytes()[off..off + kw].to_vec(),
+                page::get_u64(old.bytes(), off + kw),
+            ));
+        }
+        if pos == n {
+            entries.push((key.to_vec(), val));
+        }
+
+        let mid = entries.len() / 2;
+        let new_pid = self.pool.allocate_page(self.fid)?;
+        // Rewrite the left page.
+        self.pool.with_page_mut(self.fid, pid, |b| {
+            b[0] = KIND_LEAF;
+            page::put_u16(b, 2, mid as u16);
+            page::put_u32(b, 4, new_pid);
+            for (i, (k, v)) in entries[..mid].iter().enumerate() {
+                let off = HDR + i * esz;
+                b[off..off + kw].copy_from_slice(k);
+                page::put_u64(b, off + kw, *v);
+            }
+        })?;
+        // Fill the right page.
+        self.pool.with_page_mut(self.fid, new_pid, |b| {
+            b[0] = KIND_LEAF;
+            page::put_u16(b, 2, (entries.len() - mid) as u16);
+            page::put_u32(b, 4, next);
+            for (i, (k, v)) in entries[mid..].iter().enumerate() {
+                let off = HDR + i * esz;
+                b[off..off + kw].copy_from_slice(k);
+                page::put_u64(b, off + kw, *v);
+            }
+        })?;
+        Ok((entries[mid].0.clone(), new_pid))
+    }
+
+    /// Inserts (sep, child) into internal node `pid`; splits it when full,
+    /// returning the promoted separator and new node.
+    fn internal_insert(
+        &mut self,
+        pid: PageId,
+        sep: &[u8],
+        child: PageId,
+    ) -> Result<Option<(Vec<u8>, PageId)>> {
+        let kw = self.key_width;
+        let esz = kw + 4;
+        let cap = self.int_cap;
+        let done = self.pool.with_page_mut(self.fid, pid, |b| {
+            let n = page::get_u16(b, 2) as usize;
+            if n >= cap {
+                return false;
+            }
+            let pos = internal_upper_bound(b, n, kw, sep);
+            let start = HDR + pos * esz;
+            b.copy_within(start..HDR + n * esz, start + esz);
+            b[start..start + kw].copy_from_slice(sep);
+            page::put_u32(b, start + kw, child);
+            page::put_u16(b, 2, (n + 1) as u16);
+            true
+        })?;
+        if done {
+            return Ok(None);
+        }
+        // Split: gather entries + child0, insert, promote the middle key.
+        let mut old = PageBuf::zeroed();
+        self.pool.read_page_into(self.fid, pid, &mut old)?;
+        let n = page::get_u16(old.bytes(), 2) as usize;
+        let child0 = page::get_u32(old.bytes(), 4);
+        let mut entries: Vec<(Vec<u8>, PageId)> = Vec::with_capacity(n + 1);
+        let pos = internal_upper_bound(old.bytes(), n, kw, sep);
+        for i in 0..n {
+            let off = HDR + i * esz;
+            if i == pos {
+                entries.push((sep.to_vec(), child));
+            }
+            entries.push((
+                old.bytes()[off..off + kw].to_vec(),
+                page::get_u32(old.bytes(), off + kw),
+            ));
+        }
+        if pos == n {
+            entries.push((sep.to_vec(), child));
+        }
+
+        let mid = entries.len() / 2;
+        let (promoted, right_child0) = entries[mid].clone();
+        let new_pid = self.pool.allocate_page(self.fid)?;
+        self.pool.with_page_mut(self.fid, pid, |b| {
+            b[0] = KIND_INTERNAL;
+            page::put_u16(b, 2, mid as u16);
+            page::put_u32(b, 4, child0);
+            for (i, (k, c)) in entries[..mid].iter().enumerate() {
+                let off = HDR + i * esz;
+                b[off..off + kw].copy_from_slice(k);
+                page::put_u32(b, off + kw, *c);
+            }
+        })?;
+        let right = &entries[mid + 1..];
+        self.pool.with_page_mut(self.fid, new_pid, |b| {
+            b[0] = KIND_INTERNAL;
+            page::put_u16(b, 2, right.len() as u16);
+            page::put_u32(b, 4, right_child0);
+            for (i, (k, c)) in right.iter().enumerate() {
+                let off = HDR + i * esz;
+                b[off..off + kw].copy_from_slice(k);
+                page::put_u32(b, off + kw, *c);
+            }
+        })?;
+        Ok(Some((promoted, new_pid)))
+    }
+}
+
+/// First leaf index whose key is `>= key`.
+fn leaf_lower_bound(b: &[u8], n: usize, kw: usize, key: &[u8]) -> usize {
+    let esz = kw + 8;
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let off = HDR + mid * esz;
+        if &b[off..off + kw] < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Number of internal entries with key `<= key` (insertion point for
+/// separators, and the child selector during descent).
+fn internal_upper_bound(b: &[u8], n: usize, kw: usize, key: &[u8]) -> usize {
+    let esz = kw + 4;
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let off = HDR + mid * esz;
+        if &b[off..off + kw] <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagefile::PageFile;
+    use std::path::PathBuf;
+
+    fn setup(name: &str, kw: usize) -> (Arc<BufferPool>, BTree, PathBuf) {
+        let p = std::env::temp_dir().join(format!("pagestore-bt-{}-{name}", std::process::id()));
+        let pool = Arc::new(BufferPool::new(128));
+        let fid = pool.register_file(PageFile::create(&p).unwrap());
+        let bt = BTree::create(pool.clone(), fid, kw).unwrap();
+        (pool, bt, p)
+    }
+
+    fn key8(v: u64) -> [u8; 8] {
+        v.to_be_bytes()
+    }
+
+    #[test]
+    fn insert_and_full_range() {
+        let (_pool, mut bt, p) = setup("basic", 8);
+        for i in (0..1000u64).rev() {
+            bt.insert(&key8(i), i * 10).unwrap();
+        }
+        assert_eq!(bt.len(), 1000);
+        let mut seen = Vec::new();
+        bt.range(&key8(0), &key8(u64::MAX), |k, v| {
+            seen.push((u64::from_be_bytes(k.try_into().unwrap()), v));
+            true
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 1000);
+        for (i, &(k, v)) in seen.iter().enumerate() {
+            assert_eq!(k, i as u64);
+            assert_eq!(v, i as u64 * 10);
+        }
+        assert!(bt.height() >= 1, "1000 keys of width 8 must split");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn partial_ranges_inclusive() {
+        let (_pool, mut bt, p) = setup("ranges", 8);
+        for i in 0..500u64 {
+            bt.insert(&key8(i * 2), i).unwrap(); // even keys only
+        }
+        let mut seen = Vec::new();
+        bt.range(&key8(10), &key8(20), |k, _| {
+            seen.push(u64::from_be_bytes(k.try_into().unwrap()));
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![10, 12, 14, 16, 18, 20]);
+        // Bounds not present in the tree.
+        seen.clear();
+        bt.range(&key8(11), &key8(19), |k, _| {
+            seen.push(u64::from_be_bytes(k.try_into().unwrap()));
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![12, 14, 16, 18]);
+        // Empty and inverted ranges.
+        seen.clear();
+        bt.range(&key8(1001), &key8(2000), |k, _| {
+            seen.push(u64::from_be_bytes(k.try_into().unwrap()));
+            true
+        })
+        .unwrap();
+        assert!(seen.is_empty());
+        bt.range(&key8(20), &key8(10), |_, _| panic!("inverted range must visit nothing"))
+            .unwrap();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn early_exit() {
+        let (_pool, mut bt, p) = setup("early", 8);
+        for i in 0..100u64 {
+            bt.insert(&key8(i), i).unwrap();
+        }
+        let mut n = 0;
+        bt.range(&key8(0), &key8(u64::MAX), |_, _| {
+            n += 1;
+            n < 5
+        })
+        .unwrap();
+        assert_eq!(n, 5);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn duplicate_keys_kept() {
+        let (_pool, mut bt, p) = setup("dups", 8);
+        for i in 0..300u64 {
+            bt.insert(&key8(7), i).unwrap();
+        }
+        let mut vals = Vec::new();
+        bt.range(&key8(7), &key8(7), |_, v| {
+            vals.push(v);
+            true
+        })
+        .unwrap();
+        assert_eq!(vals.len(), 300);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        use std::collections::BTreeMap;
+        let (_pool, mut bt, p) = setup("model", 16);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for i in 0..20_000u64 {
+            let mut k = vec![0u8; 16];
+            rng.fill(&mut k[..8]);
+            k[8..].copy_from_slice(&i.to_be_bytes()); // unique suffix
+            bt.insert(&k, i).unwrap();
+            model.insert(k, i);
+        }
+        assert_eq!(bt.len(), model.len() as u64);
+        // Compare 50 random ranges.
+        for _ in 0..50 {
+            let mut lo = vec![0u8; 16];
+            let mut hi = vec![0u8; 16];
+            rng.fill(&mut lo[..2]);
+            rng.fill(&mut hi[..2]);
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            for b in hi[2..].iter_mut() {
+                *b = 0xFF;
+            }
+            let mut got = Vec::new();
+            bt.range(&lo, &hi, |k, v| {
+                got.push((k.to_vec(), v));
+                true
+            })
+            .unwrap();
+            let want: Vec<(Vec<u8>, u64)> = model
+                .range(lo.clone()..=hi.clone())
+                .map(|(k, &v)| (k.clone(), v))
+                .collect();
+            assert_eq!(got, want);
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_tree() {
+        let p = std::env::temp_dir().join(format!("pagestore-bt-{}-reopen", std::process::id()));
+        {
+            let pool = Arc::new(BufferPool::new(128));
+            let fid = pool.register_file(PageFile::create(&p).unwrap());
+            let mut bt = BTree::create(pool.clone(), fid, 8).unwrap();
+            for i in 0..5000u64 {
+                bt.insert(&key8(i), i).unwrap();
+            }
+            bt.sync_meta().unwrap();
+            pool.flush_all().unwrap();
+        }
+        let pool = Arc::new(BufferPool::new(128));
+        let fid = pool.register_file(PageFile::open(&p).unwrap());
+        let bt = BTree::open(pool, fid).unwrap();
+        assert_eq!(bt.len(), 5000);
+        assert_eq!(bt.key_width(), 8);
+        let mut n = 0u64;
+        bt.range(&key8(0), &key8(u64::MAX), |k, _| {
+            assert_eq!(u64::from_be_bytes(k.try_into().unwrap()), n);
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 5000);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wide_keys_split_internals() {
+        // Wide keys force small fanout, exercising multi-level splits.
+        let (_pool, mut bt, p) = setup("wide", 200);
+        let mut key = vec![0u8; 200];
+        for i in 0..3000u64 {
+            key[..8].copy_from_slice(&i.to_be_bytes());
+            bt.insert(&key, i).unwrap();
+        }
+        assert!(bt.height() >= 2, "height {}", bt.height());
+        let mut n = 0u64;
+        let lo = vec![0u8; 200];
+        let hi = vec![0xFFu8; 200];
+        bt.range(&lo, &hi, |k, v| {
+            assert_eq!(u64::from_be_bytes(k[..8].try_into().unwrap()), n);
+            assert_eq!(v, n);
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 3000);
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+#[cfg(test)]
+mod bulk_tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::pagefile::PageFile;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn setup(name: &str) -> (Arc<BufferPool>, FileId, PathBuf) {
+        let p = std::env::temp_dir().join(format!("pagestore-bulk-{}-{name}", std::process::id()));
+        let pool = Arc::new(BufferPool::new(256));
+        let fid = pool.register_file(PageFile::create(&p).unwrap());
+        (pool, fid, p)
+    }
+
+    fn key8(v: u64) -> [u8; 8] {
+        v.to_be_bytes()
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let (pool, fid, p) = setup("match");
+        let keys: Vec<[u8; 8]> = (0..50_000u64).map(key8).collect();
+        let bt = BTree::bulk_load(
+            pool.clone(),
+            fid,
+            8,
+            keys.iter().map(|k| (k.as_slice(), u64::from_be_bytes(*k) * 3)),
+        )
+        .unwrap();
+        assert_eq!(bt.len(), 50_000);
+        assert!(bt.height() >= 1);
+        // Full scan returns everything in order.
+        let mut n = 0u64;
+        bt.range(&key8(0), &key8(u64::MAX), |k, v| {
+            assert_eq!(u64::from_be_bytes(k.try_into().unwrap()), n);
+            assert_eq!(v, n * 3);
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 50_000);
+        // Random sub-ranges agree with expectations.
+        let mut got = Vec::new();
+        bt.range(&key8(777), &key8(790), |k, _| {
+            got.push(u64::from_be_bytes(k.try_into().unwrap()));
+            true
+        })
+        .unwrap();
+        assert_eq!(got, (777..=790).collect::<Vec<_>>());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bulk_load_empty_and_tiny() {
+        let (pool, fid, p) = setup("tiny");
+        let bt = BTree::bulk_load(pool, fid, 8, std::iter::empty()).unwrap();
+        assert_eq!(bt.len(), 0);
+        assert_eq!(bt.height(), 0);
+        bt.range(&key8(0), &key8(10), |_, _| panic!("empty")).unwrap();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bulk_loaded_tree_accepts_inserts() {
+        let (pool, fid, p) = setup("insert-after");
+        let evens: Vec<[u8; 8]> = (0..2000u64).map(|i| key8(i * 2)).collect();
+        let mut bt =
+            BTree::bulk_load(pool, fid, 8, evens.iter().map(|k| (k.as_slice(), 0))).unwrap();
+        for i in 0..2000u64 {
+            bt.insert(&key8(i * 2 + 1), 1).unwrap();
+        }
+        assert_eq!(bt.len(), 4000);
+        let mut n = 0u64;
+        bt.range(&key8(0), &key8(u64::MAX), |k, _| {
+            assert_eq!(u64::from_be_bytes(k.try_into().unwrap()), n);
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 4000);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn bulk_load_rejects_unsorted() {
+        let (pool, fid, _p) = setup("unsorted");
+        let keys = [key8(5), key8(3)];
+        let _ = BTree::bulk_load(pool, fid, 8, keys.iter().map(|k| (k.as_slice(), 0)));
+    }
+
+    #[test]
+    fn bulk_load_reopen() {
+        let p = std::env::temp_dir().join(format!("pagestore-bulk-{}-reopen", std::process::id()));
+        {
+            let pool = Arc::new(BufferPool::new(256));
+            let fid = pool.register_file(PageFile::create(&p).unwrap());
+            let keys: Vec<[u8; 8]> = (0..10_000u64).map(key8).collect();
+            let bt = BTree::bulk_load(pool.clone(), fid, 8, keys.iter().map(|k| (k.as_slice(), 7)))
+                .unwrap();
+            bt.sync_meta().unwrap();
+            pool.flush_all().unwrap();
+        }
+        let pool = Arc::new(BufferPool::new(256));
+        let fid = pool.register_file(PageFile::open(&p).unwrap());
+        let bt = BTree::open(pool, fid).unwrap();
+        assert_eq!(bt.len(), 10_000);
+        let mut n = 0;
+        bt.range(&key8(0), &key8(u64::MAX), |_, v| {
+            assert_eq!(v, 7);
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 10_000);
+        std::fs::remove_file(&p).ok();
+    }
+}

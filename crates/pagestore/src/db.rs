@@ -1,0 +1,372 @@
+//! The database facade: a directory of tables and indexes with a shared
+//! buffer pool and a persistent catalog.
+
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, PoolStats};
+use crate::error::Result;
+use crate::heap::HeapFile;
+use crate::pagefile::PageFile;
+use crate::table::Table;
+use crate::StoreError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const CATALOG: &str = "catalog.txt";
+
+/// Declares a table to be created: name plus column names.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name (also the file stem on disk).
+    pub name: String,
+    /// Column names.
+    pub cols: Vec<String>,
+}
+
+impl TableSpec {
+    /// Builds a spec from string slices.
+    pub fn new(name: &str, cols: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            cols: cols.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+}
+
+/// A directory-backed database: catalog + shared buffer pool.
+pub struct Database {
+    dir: PathBuf,
+    pool: Arc<BufferPool>,
+    tables: Mutex<HashMap<String, Arc<Table>>>,
+    /// Catalog lines for persistence, in creation order.
+    catalog: Mutex<Vec<String>>,
+}
+
+impl Database {
+    /// Creates a fresh database in `dir` (created if missing; an existing
+    /// catalog there is an error) with a pool of `pool_pages` pages.
+    pub fn create(dir: &Path, pool_pages: usize) -> Result<Arc<Self>> {
+        fs::create_dir_all(dir)?;
+        let cat = dir.join(CATALOG);
+        if cat.exists() {
+            return Err(StoreError::AlreadyExists(format!(
+                "database at {}",
+                dir.display()
+            )));
+        }
+        fs::write(&cat, "")?;
+        Ok(Arc::new(Self {
+            dir: dir.to_path_buf(),
+            pool: Arc::new(BufferPool::new(pool_pages)),
+            tables: Mutex::new(HashMap::new()),
+            catalog: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Opens an existing database.
+    pub fn open(dir: &Path, pool_pages: usize) -> Result<Arc<Self>> {
+        let cat_path = dir.join(CATALOG);
+        let text = fs::read_to_string(&cat_path)
+            .map_err(|_| StoreError::NotFound(format!("database at {}", dir.display())))?;
+        let db = Arc::new(Self {
+            dir: dir.to_path_buf(),
+            pool: Arc::new(BufferPool::new(pool_pages)),
+            tables: Mutex::new(HashMap::new()),
+            catalog: Mutex::new(Vec::new()),
+        });
+        for line in text.lines() {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["table", name, cols] => {
+                    let cols: Vec<String> = cols.split(',').map(|s| s.to_string()).collect();
+                    let path = db.table_path(name);
+                    let fid = db.pool.register_file(PageFile::open(&path)?);
+                    let heap = HeapFile::open(db.pool.clone(), fid)?;
+                    if heap.ncols() != cols.len() {
+                        return Err(StoreError::Corrupt(format!(
+                            "table {name}: catalog says {} columns, heap has {}",
+                            cols.len(),
+                            heap.ncols()
+                        )));
+                    }
+                    let table = Arc::new(Table::new(name.to_string(), cols, heap));
+                    db.tables.lock().insert(name.to_string(), table);
+                }
+                ["index", tname, iname, cols] => {
+                    let cols: Vec<usize> = cols
+                        .split(',')
+                        .map(|s| s.parse().expect("catalog column index"))
+                        .collect();
+                    let table = db.table(tname)?;
+                    let path = db.index_path(tname, iname);
+                    let fid = db.pool.register_file(PageFile::open(&path)?);
+                    let tree = BTree::open(db.pool.clone(), fid)?;
+                    table.attach_index(iname.to_string(), cols, tree);
+                }
+                [] => {}
+                _ => {
+                    return Err(StoreError::Corrupt(format!("bad catalog line: {line}")));
+                }
+            }
+            db.catalog.lock().push(line.to_string());
+        }
+        Ok(db)
+    }
+
+    fn table_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.tbl"))
+    }
+
+    fn index_path(&self, table: &str, index: &str) -> PathBuf {
+        self.dir.join(format!("{table}.{index}.idx"))
+    }
+
+    fn persist_catalog(&self) -> Result<()> {
+        let text = self.catalog.lock().join("\n");
+        fs::write(self.dir.join(CATALOG), text)?;
+        Ok(())
+    }
+
+    /// Creates a table; errors if it already exists.
+    pub fn create_table(&self, spec: TableSpec) -> Result<Arc<Table>> {
+        let mut tables = self.tables.lock();
+        if tables.contains_key(&spec.name) {
+            return Err(StoreError::AlreadyExists(format!("table {}", spec.name)));
+        }
+        let path = self.table_path(&spec.name);
+        let fid = self.pool.register_file(PageFile::create(&path)?);
+        let heap = HeapFile::create(self.pool.clone(), fid, spec.cols.len())?;
+        let table = Arc::new(Table::new(spec.name.clone(), spec.cols.clone(), heap));
+        tables.insert(spec.name.clone(), table.clone());
+        drop(tables);
+        self.catalog
+            .lock()
+            .push(format!("table {} {}", spec.name, spec.cols.join(",")));
+        self.persist_catalog()?;
+        Ok(table)
+    }
+
+    /// Creates a B+tree index over the named columns, backfilling existing
+    /// rows.
+    pub fn create_index(&self, table_name: &str, index_name: &str, cols: &[&str]) -> Result<()> {
+        let table = self.table(table_name)?;
+        if table.index(index_name).is_ok() {
+            return Err(StoreError::AlreadyExists(format!(
+                "index {index_name} on {table_name}"
+            )));
+        }
+        let col_idx: Vec<usize> = cols
+            .iter()
+            .map(|c| table.column_index(c))
+            .collect::<Result<_>>()?;
+        let path = self.index_path(table_name, index_name);
+        let fid = self.pool.register_file(PageFile::create(&path)?);
+        // Bulk-load existing rows (sorted once, leaves written left to
+        // right) instead of inserting them one by one.
+        let mut entries: Vec<(Vec<u8>, u64)> = Vec::with_capacity(table.num_rows() as usize);
+        {
+            let mut key = crate::encode::KeyBuf::new();
+            let mut colbuf = Vec::new();
+            table.seq_scan(|rid, row| {
+                colbuf.clear();
+                colbuf.extend(col_idx.iter().map(|&c| row[c]));
+                crate::encode::encode_key(&colbuf, rid, &mut key);
+                entries.push((key.to_vec(), rid));
+                true
+            })?;
+        }
+        entries.sort();
+        let tree = BTree::bulk_load(
+            self.pool.clone(),
+            fid,
+            col_idx.len() * 8 + 8,
+            entries.iter().map(|(k, v)| (k.as_slice(), *v)),
+        )?;
+        drop(entries);
+        table.attach_index(index_name.to_string(), col_idx.clone(), tree);
+        let cols_text: Vec<String> = col_idx.iter().map(|c| c.to_string()).collect();
+        self.catalog.lock().push(format!(
+            "index {table_name} {index_name} {}",
+            cols_text.join(",")
+        ));
+        self.persist_catalog()?;
+        Ok(())
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(format!("table {name}")))
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.lock().keys().cloned().collect()
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Writes all metadata and dirty pages to disk.
+    pub fn flush(&self) -> Result<()> {
+        for t in self.tables.lock().values() {
+            t.sync_meta()?;
+        }
+        self.pool.flush_all()
+    }
+
+    /// Flushes and then empties the buffer pool — the next query starts
+    /// cold, like the paper's "operating system cache is flushed before
+    /// every query" runs.
+    pub fn clear_cache(&self) -> Result<()> {
+        for t in self.tables.lock().values() {
+            t.sync_meta()?;
+        }
+        self.pool.clear_cache()
+    }
+
+    /// Buffer-pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Total bytes on disk across all heaps and indexes.
+    pub fn total_size_bytes(&self) -> u64 {
+        self.tables
+            .lock()
+            .values()
+            .map(|t| t.heap_bytes() + t.index_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pagestore-db-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn create_insert_query() {
+        let dir = tmpdir("basic");
+        std::fs::remove_dir_all(&dir).ok();
+        let db = Database::create(&dir, 128).unwrap();
+        let t = db.create_table(TableSpec::new("ev", &["dt", "dv"])).unwrap();
+        for i in 0..100 {
+            t.insert(&[i as f64, -(i as f64)]).unwrap();
+        }
+        db.create_index("ev", "by_dt", &["dt"]).unwrap();
+        let mut hits = 0;
+        t.index_scan("by_dt", &[10.0], &[19.0], |_, _| {
+            hits += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(hits, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_full_database() {
+        let dir = tmpdir("reopen");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = Database::create(&dir, 128).unwrap();
+            let t = db.create_table(TableSpec::new("ev", &["a", "b", "c"])).unwrap();
+            db.create_index("ev", "by_ab", &["a", "b"]).unwrap();
+            for i in 0..1000 {
+                t.insert(&[(i % 10) as f64, i as f64, 3.0]).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = Database::open(&dir, 128).unwrap();
+        let t = db.table("ev").unwrap();
+        assert_eq!(t.num_rows(), 1000);
+        let mut hits = 0;
+        t.index_scan(
+            "by_ab",
+            &[3.0, f64::NEG_INFINITY],
+            &[3.0, f64::INFINITY],
+            |_, cols| {
+                assert_eq!(cols[0], 3.0);
+                hits += 1;
+                true
+            },
+        )
+        .unwrap();
+        assert_eq!(hits, 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_objects_rejected() {
+        let dir = tmpdir("dup");
+        std::fs::remove_dir_all(&dir).ok();
+        let db = Database::create(&dir, 64).unwrap();
+        db.create_table(TableSpec::new("t", &["x"])).unwrap();
+        assert!(db.create_table(TableSpec::new("t", &["x"])).is_err());
+        db.create_index("t", "i", &["x"]).unwrap();
+        assert!(db.create_index("t", "i", &["x"]).is_err());
+        assert!(db.create_index("nope", "i", &["x"]).is_err());
+        assert!(Database::create(&dir, 64).is_err(), "existing catalog");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cold_cache_counts_physical_reads() {
+        let dir = tmpdir("cold");
+        std::fs::remove_dir_all(&dir).ok();
+        let db = Database::create(&dir, 256).unwrap();
+        let t = db.create_table(TableSpec::new("big", &["x", "y"])).unwrap();
+        for i in 0..50_000 {
+            t.insert(&[i as f64, 2.0 * i as f64]).unwrap();
+        }
+        // Warm scan.
+        let before = db.stats();
+        let mut n = 0u64;
+        t.seq_scan(|_, _| {
+            n += 1;
+            true
+        })
+        .unwrap();
+        let warm = db.stats().since(&before);
+        assert_eq!(n, 50_000);
+        // Cold scan.
+        db.clear_cache().unwrap();
+        let before = db.stats();
+        t.seq_scan(|_, _| true).unwrap();
+        let cold = db.stats().since(&before);
+        assert!(cold.physical_reads > 0);
+        assert!(
+            cold.physical_reads > warm.physical_reads,
+            "cold {} vs warm {}",
+            cold.physical_reads,
+            warm.physical_reads
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn total_size_accounts_heap_and_index() {
+        let dir = tmpdir("sizes");
+        std::fs::remove_dir_all(&dir).ok();
+        let db = Database::create(&dir, 64).unwrap();
+        let t = db.create_table(TableSpec::new("t", &["x"])).unwrap();
+        for i in 0..1000 {
+            t.insert(&[i as f64]).unwrap();
+        }
+        let heap_only = db.total_size_bytes();
+        db.create_index("t", "i", &["x"]).unwrap();
+        assert!(db.total_size_bytes() > heap_only);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,71 @@
+//! Error handling for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors produced by the storage engine.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// On-disk state is inconsistent (bad magic, impossible counts, ...).
+    Corrupt(String),
+    /// A catalog object was not found.
+    NotFound(String),
+    /// A catalog object already exists.
+    AlreadyExists(String),
+    /// The caller supplied an invalid argument (wrong arity, oversized
+    /// key, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StoreError::NotFound(m) => write!(f, "not found: {m}"),
+            StoreError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            StoreError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = StoreError::Corrupt("bad magic".into());
+        assert_eq!(e.to_string(), "corrupt storage: bad magic");
+        let e = StoreError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error as _;
+        let e = StoreError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        assert!(StoreError::NotFound("t".into()).source().is_none());
+    }
+}

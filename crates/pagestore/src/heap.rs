@@ -1,0 +1,315 @@
+//! Append-only heap files of fixed-width `f64` rows.
+
+use crate::buffer::BufferPool;
+use crate::error::Result;
+use crate::page::{self, PageBuf};
+use crate::pagefile::FileId;
+use crate::{StoreError, PAGE_SIZE};
+use std::sync::Arc;
+
+/// Identifies a row: the data page number in the high bits, the slot within
+/// the page in the low 16 bits.
+pub type RowId = u64;
+
+const MAGIC: u32 = 0x5344_4850; // "SDHP"
+const PAGE_HDR: usize = 8; // u16 row count + padding
+const META_PAGE: u32 = 0;
+
+#[inline]
+fn rid(page: u32, slot: u16) -> RowId {
+    ((page as u64) << 16) | slot as u64
+}
+
+#[inline]
+fn rid_parts(r: RowId) -> (u32, u16) {
+    ((r >> 16) as u32, (r & 0xFFFF) as u16)
+}
+
+/// An append-only table file of rows with a fixed number of `f64` columns.
+///
+/// Page 0 holds metadata (magic, column count, row count); data pages
+/// follow. All I/O goes through the shared [`BufferPool`].
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    fid: FileId,
+    ncols: usize,
+    rows_per_page: usize,
+    nrows: u64,
+    /// Last data page and its row count, for O(1) appends.
+    tail: Option<(u32, u16)>,
+}
+
+impl HeapFile {
+    /// Creates an empty heap in the (already registered, freshly created)
+    /// file `fid`.
+    pub fn create(pool: Arc<BufferPool>, fid: FileId, ncols: usize) -> Result<Self> {
+        assert!(ncols > 0 && ncols * 8 <= PAGE_SIZE - PAGE_HDR, "bad column count");
+        let meta = pool.allocate_page(fid)?;
+        debug_assert_eq!(meta, META_PAGE);
+        let h = Self {
+            pool,
+            fid,
+            ncols,
+            rows_per_page: (PAGE_SIZE - PAGE_HDR) / (ncols * 8),
+            nrows: 0,
+            tail: None,
+        };
+        h.write_meta()?;
+        Ok(h)
+    }
+
+    /// Opens an existing heap in file `fid`.
+    pub fn open(pool: Arc<BufferPool>, fid: FileId) -> Result<Self> {
+        let (magic, ncols, nrows) = pool.with_page(fid, META_PAGE, |b| {
+            (
+                page::get_u32(b, 0),
+                page::get_u16(b, 4) as usize,
+                page::get_u64(b, 8),
+            )
+        })?;
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt("heap file has bad magic".into()));
+        }
+        let rows_per_page = (PAGE_SIZE - PAGE_HDR) / (ncols * 8);
+        let tail = if nrows == 0 {
+            None
+        } else {
+            let full_pages = (nrows as usize) / rows_per_page;
+            let rem = (nrows as usize) % rows_per_page;
+            if rem == 0 {
+                Some((full_pages as u32, rows_per_page as u16))
+            } else {
+                Some((full_pages as u32 + 1, rem as u16))
+            }
+        };
+        Ok(Self {
+            pool,
+            fid,
+            ncols,
+            rows_per_page,
+            nrows,
+            tail,
+        })
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        self.pool.with_page_mut(self.fid, META_PAGE, |b| {
+            page::put_u32(b, 0, MAGIC);
+            page::put_u16(b, 4, self.ncols as u16);
+            page::put_u64(b, 8, self.nrows);
+        })
+    }
+
+    /// Persists the row count to the meta page.
+    pub fn sync_meta(&self) -> Result<()> {
+        self.write_meta()
+    }
+
+    /// Number of columns per row.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> u64 {
+        self.nrows
+    }
+
+    /// Bytes used on disk (meta page included).
+    pub fn size_bytes(&self) -> u64 {
+        self.pool.file_size_bytes(self.fid)
+    }
+
+    /// Bytes of raw row payload (rows x columns x 8).
+    pub fn payload_bytes(&self) -> u64 {
+        self.nrows * self.ncols as u64 * 8
+    }
+
+    /// Appends a row; returns its [`RowId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != ncols`.
+    pub fn insert(&mut self, row: &[f64]) -> Result<RowId> {
+        assert_eq!(row.len(), self.ncols, "row arity mismatch");
+        let (pid, slot) = match self.tail {
+            Some((pid, n)) if (n as usize) < self.rows_per_page => (pid, n),
+            _ => (self.pool.allocate_page(self.fid)?, 0),
+        };
+        let off = PAGE_HDR + slot as usize * self.ncols * 8;
+        self.pool.with_page_mut(self.fid, pid, |b| {
+            for (i, &v) in row.iter().enumerate() {
+                page::put_f64(b, off + i * 8, v);
+            }
+            page::put_u16(b, 0, slot + 1);
+        })?;
+        self.tail = Some((pid, slot + 1));
+        self.nrows += 1;
+        Ok(rid(pid, slot))
+    }
+
+    /// Reads the row `r` into `out` (resized to the column count).
+    pub fn fetch(&self, r: RowId, out: &mut Vec<f64>) -> Result<()> {
+        let (pid, slot) = rid_parts(r);
+        out.resize(self.ncols, 0.0);
+        let off = PAGE_HDR + slot as usize * self.ncols * 8;
+        self.pool.with_page(self.fid, pid, |b| {
+            let n = page::get_u16(b, 0);
+            if slot >= n {
+                return Err(StoreError::Corrupt(format!(
+                    "row {r:#x}: slot {slot} >= page rows {n}"
+                )));
+            }
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = page::get_f64(b, off + i * 8);
+            }
+            Ok(())
+        })?
+    }
+
+    /// Scans all rows in storage order. The visitor receives the row id and
+    /// the decoded columns; returning `false` stops the scan early.
+    ///
+    /// Pages are copied out of the pool before decoding, so the visitor may
+    /// freely access other tables.
+    pub fn scan(&self, mut visit: impl FnMut(RowId, &[f64]) -> bool) -> Result<()> {
+        let npages = self.pool.file_pages(self.fid);
+        let mut buf = PageBuf::zeroed();
+        let mut row = vec![0.0f64; self.ncols];
+        for pid in 1..npages {
+            self.pool.read_page_into(self.fid, pid, &mut buf)?;
+            let b = buf.bytes();
+            let n = page::get_u16(b, 0) as usize;
+            let mut off = PAGE_HDR;
+            for slot in 0..n {
+                for (i, r) in row.iter_mut().enumerate() {
+                    *r = page::get_f64(b, off + i * 8);
+                }
+                if !visit(rid(pid, slot as u16), &row) {
+                    return Ok(());
+                }
+                off += self.ncols * 8;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagefile::PageFile;
+    use std::path::PathBuf;
+
+    fn setup(name: &str, ncols: usize) -> (Arc<BufferPool>, HeapFile, PathBuf) {
+        let p = std::env::temp_dir().join(format!("pagestore-heap-{}-{name}", std::process::id()));
+        let pool = Arc::new(BufferPool::new(64));
+        let fid = pool.register_file(PageFile::create(&p).unwrap());
+        let heap = HeapFile::create(pool.clone(), fid, ncols).unwrap();
+        (pool, heap, p)
+    }
+
+    #[test]
+    fn insert_fetch_roundtrip() {
+        let (_pool, mut h, p) = setup("roundtrip", 3);
+        let r1 = h.insert(&[1.0, 2.0, 3.0]).unwrap();
+        let r2 = h.insert(&[-4.0, 5.5, 0.0]).unwrap();
+        let mut out = Vec::new();
+        h.fetch(r1, &mut out).unwrap();
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+        h.fetch(r2, &mut out).unwrap();
+        assert_eq!(out, vec![-4.0, 5.5, 0.0]);
+        assert_eq!(h.num_rows(), 2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn scan_visits_all_rows_in_order() {
+        let (_pool, mut h, p) = setup("scan", 2);
+        let n = 5000; // spans many pages
+        for i in 0..n {
+            h.insert(&[i as f64, -(i as f64)]).unwrap();
+        }
+        let mut count = 0usize;
+        h.scan(|_rid, row| {
+            assert_eq!(row[0], count as f64);
+            assert_eq!(row[1], -(count as f64));
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, n);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn scan_early_exit() {
+        let (_pool, mut h, p) = setup("early", 1);
+        for i in 0..100 {
+            h.insert(&[i as f64]).unwrap();
+        }
+        let mut seen = 0;
+        h.scan(|_, _| {
+            seen += 1;
+            seen < 10
+        })
+        .unwrap();
+        assert_eq!(seen, 10);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_rows() {
+        let p = std::env::temp_dir().join(format!("pagestore-heap-{}-reopen", std::process::id()));
+        {
+            let pool = Arc::new(BufferPool::new(64));
+            let fid = pool.register_file(PageFile::create(&p).unwrap());
+            let mut h = HeapFile::create(pool.clone(), fid, 2).unwrap();
+            for i in 0..1000 {
+                h.insert(&[i as f64, 2.0 * i as f64]).unwrap();
+            }
+            h.sync_meta().unwrap();
+            pool.flush_all().unwrap();
+        }
+        let pool = Arc::new(BufferPool::new(64));
+        let fid = pool.register_file(PageFile::open(&p).unwrap());
+        let mut h = HeapFile::open(pool, fid).unwrap();
+        assert_eq!(h.num_rows(), 1000);
+        // Appends continue where the tail left off.
+        h.insert(&[1000.0, 2000.0]).unwrap();
+        let mut count = 0;
+        h.scan(|_, row| {
+            assert_eq!(row[1], 2.0 * row[0]);
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, 1001);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn payload_and_disk_sizes() {
+        let (_pool, mut h, p) = setup("sizes", 4);
+        for _ in 0..100 {
+            h.insert(&[0.0; 4]).unwrap();
+        }
+        assert_eq!(h.payload_bytes(), 100 * 4 * 8);
+        assert!(h.size_bytes() >= h.payload_bytes());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let (_pool, mut h, _p) = setup("arity", 2);
+        let _ = h.insert(&[1.0]);
+    }
+
+    #[test]
+    fn rid_packing_roundtrip() {
+        for &(p, s) in &[(0u32, 0u16), (1, 0), (77, 511), (u32::MAX, u16::MAX)] {
+            assert_eq!(rid_parts(rid(p, s)), (p, s));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! SQL abstract syntax.
+
+/// Binary operators, in increasing precedence groups: `OR`, `AND`,
+/// comparisons, additive, multiplicative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical or.
+    Or,
+    /// Logical and.
+    And,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+/// An expression over one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference (resolved by name at execution time).
+    Column(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+}
+
+/// The SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`.
+    All,
+    /// `COUNT(*)`.
+    Count,
+    /// Named columns.
+    Columns(Vec<String>),
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names.
+        cols: Vec<String>,
+    },
+    /// `CREATE INDEX name ON table (col, ...)`.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
+        /// Indexed column names.
+        cols: Vec<String>,
+    },
+    /// `INSERT INTO table VALUES (..), (..)`.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row literals.
+        rows: Vec<Vec<f64>>,
+    },
+    /// `SELECT ... FROM table [WHERE expr] [USING INDEX name] [LIMIT n]`.
+    Select {
+        /// What to return.
+        projection: Projection,
+        /// Table name.
+        table: String,
+        /// Optional filter.
+        predicate: Option<Expr>,
+        /// Optional index hint.
+        index_hint: Option<String>,
+        /// Optional row limit.
+        limit: Option<u64>,
+    },
+}
+
+impl Expr {
+    /// Splits a conjunction into its top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                let mut v = lhs.conjuncts();
+                v.extend(rhs.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// If this expression is `column <op> literal` (or the mirrored
+    /// `literal <op> column`), returns `(column, op-as-if-column-on-left,
+    /// literal)`.
+    pub fn as_column_bound(&self) -> Option<(&str, BinOp, f64)> {
+        let Expr::Binary { op, lhs, rhs } = self else {
+            return None;
+        };
+        let flip = |op: BinOp| match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        };
+        match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Column(c), rhs) => rhs.as_constant().map(|n| (c.as_str(), *op, n)),
+            (lhs, Expr::Column(c)) => lhs.as_constant().map(|n| (c.as_str(), flip(*op), n)),
+            _ => None,
+        }
+    }
+
+    /// Evaluates a constant expression (literals and arithmetic only).
+    pub fn as_constant(&self) -> Option<f64> {
+        match self {
+            Expr::Number(n) => Some(*n),
+            Expr::Neg(e) => e.as_constant().map(|v| -v),
+            Expr::Binary { op, lhs, rhs } => {
+                let (a, b) = (lhs.as_constant()?, rhs.as_constant()?);
+                match op {
+                    BinOp::Add => Some(a + b),
+                    BinOp::Sub => Some(a - b),
+                    BinOp::Mul => Some(a * b),
+                    BinOp::Div => Some(a / b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: &str) -> Expr {
+        Expr::Column(n.into())
+    }
+
+    fn num(v: f64) -> Expr {
+        Expr::Number(v)
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn conjuncts_flatten() {
+        let e = bin(
+            BinOp::And,
+            bin(BinOp::And, col("a"), col("b")),
+            bin(BinOp::Or, col("c"), col("d")),
+        );
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn column_bounds_detected_both_ways() {
+        let e = bin(BinOp::Le, col("dt"), num(3600.0));
+        assert_eq!(e.as_column_bound(), Some(("dt", BinOp::Le, 3600.0)));
+        let e = bin(BinOp::Ge, num(3600.0), col("dt"));
+        assert_eq!(e.as_column_bound(), Some(("dt", BinOp::Le, 3600.0)));
+        let e = bin(BinOp::Le, col("dt"), bin(BinOp::Mul, num(2.0), num(1800.0)));
+        assert_eq!(e.as_column_bound(), Some(("dt", BinOp::Le, 3600.0)));
+        let e = bin(BinOp::Le, col("dt"), col("dv"));
+        assert_eq!(e.as_column_bound(), None);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::Neg(Box::new(bin(
+            BinOp::Div,
+            bin(BinOp::Add, num(1.0), num(2.0)),
+            num(4.0),
+        )));
+        assert_eq!(e.as_constant(), Some(-0.75));
+        assert_eq!(col("x").as_constant(), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Expression evaluation over a row.
+
+use super::ast::{BinOp, Expr};
+use crate::error::Result;
+use crate::StoreError;
+
+/// An expression compiled against a concrete schema: column names resolved
+/// to positions, so per-row evaluation does no string work.
+#[derive(Debug, Clone)]
+pub enum Compiled {
+    /// Column by position.
+    Column(usize),
+    /// Literal.
+    Number(f64),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Compiled>,
+        /// Right operand.
+        rhs: Box<Compiled>,
+    },
+    /// Negation.
+    Neg(Box<Compiled>),
+    /// Logical not.
+    Not(Box<Compiled>),
+}
+
+/// Resolves column names against `cols`, producing a [`Compiled`] tree.
+pub fn compile(expr: &Expr, cols: &[String]) -> Result<Compiled> {
+    Ok(match expr {
+        Expr::Column(name) => {
+            let idx = cols.iter().position(|c| c == name).ok_or_else(|| {
+                StoreError::NotFound(format!("column {name} in SQL expression"))
+            })?;
+            Compiled::Column(idx)
+        }
+        Expr::Number(n) => Compiled::Number(*n),
+        Expr::Binary { op, lhs, rhs } => Compiled::Binary {
+            op: *op,
+            lhs: Box::new(compile(lhs, cols)?),
+            rhs: Box::new(compile(rhs, cols)?),
+        },
+        Expr::Neg(e) => Compiled::Neg(Box::new(compile(e, cols)?)),
+        Expr::Not(e) => Compiled::Not(Box::new(compile(e, cols)?)),
+    })
+}
+
+/// Evaluates over a row. Boolean results are 1.0 / 0.0; any non-zero value
+/// is truthy for `AND`/`OR`/`NOT` and `WHERE`.
+pub fn eval(e: &Compiled, row: &[f64]) -> f64 {
+    match e {
+        Compiled::Column(i) => row[*i],
+        Compiled::Number(n) => *n,
+        Compiled::Neg(inner) => -eval(inner, row),
+        Compiled::Not(inner) => {
+            if eval(inner, row) != 0.0 {
+                0.0
+            } else {
+                1.0
+            }
+        }
+        Compiled::Binary { op, lhs, rhs } => {
+            let b = |cond: bool| if cond { 1.0 } else { 0.0 };
+            match op {
+                // Short-circuiting logic.
+                BinOp::And => b(eval(lhs, row) != 0.0 && eval(rhs, row) != 0.0),
+                BinOp::Or => b(eval(lhs, row) != 0.0 || eval(rhs, row) != 0.0),
+                BinOp::Lt => b(eval(lhs, row) < eval(rhs, row)),
+                BinOp::Le => b(eval(lhs, row) <= eval(rhs, row)),
+                BinOp::Gt => b(eval(lhs, row) > eval(rhs, row)),
+                BinOp::Ge => b(eval(lhs, row) >= eval(rhs, row)),
+                BinOp::Eq => b(eval(lhs, row) == eval(rhs, row)),
+                BinOp::Ne => b(eval(lhs, row) != eval(rhs, row)),
+                BinOp::Add => eval(lhs, row) + eval(rhs, row),
+                BinOp::Sub => eval(lhs, row) - eval(rhs, row),
+                BinOp::Mul => eval(lhs, row) * eval(rhs, row),
+                BinOp::Div => eval(lhs, row) / eval(rhs, row),
+            }
+        }
+    }
+}
+
+/// Whether the row satisfies the compiled predicate.
+pub fn matches(e: &Compiled, row: &[f64]) -> bool {
+    eval(e, row) != 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse;
+    use crate::sql::Statement;
+
+    fn compile_where(sql: &str, cols: &[&str]) -> Compiled {
+        let full = format!("SELECT * FROM t WHERE {sql}");
+        let Statement::Select { predicate, .. } = parse(&full).unwrap() else { panic!() };
+        let cols: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
+        compile(&predicate.unwrap(), &cols).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = compile_where("a + b * 2 <= 10", &["a", "b"]);
+        assert!(matches(&e, &[2.0, 4.0])); // 2 + 8 = 10
+        assert!(!matches(&e, &[3.0, 4.0])); // 11
+    }
+
+    #[test]
+    fn the_line_query_predicate() {
+        // dv1 + (dv2 - dv1)/(dt2 - dt1) * (T - dt1) <= V with T=10, V=-2.
+        let e = compile_where(
+            "dt1 <= 10 AND dv1 > -2 AND dt2 > 10 AND dv2 < -2 \
+             AND dv1 + (dv2 - dv1) / (dt2 - dt1) * (10 - dt1) <= -2",
+            &["dt1", "dv1", "dt2", "dv2"],
+        );
+        // Crossing edge (2, -1) -> (12, -6): value at 10 is -5 <= -2.
+        assert!(matches(&e, &[2.0, -1.0, 12.0, -6.0]));
+        // Late crossing (9, -1) -> (30, -6): value at 10 is -1.24 > -2.
+        assert!(!matches(&e, &[9.0, -1.0, 30.0, -6.0]));
+    }
+
+    #[test]
+    fn logic_operators() {
+        let e = compile_where("NOT (a > 1 OR b > 1) AND a >= 0", &["a", "b"]);
+        assert!(matches(&e, &[0.5, 0.5]));
+        assert!(!matches(&e, &[2.0, 0.5]));
+        assert!(!matches(&e, &[-1.0, 0.5]));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let full = "SELECT * FROM t WHERE nope > 1".to_string();
+        let Statement::Select { predicate, .. } = parse(&full).unwrap() else { panic!() };
+        assert!(compile(&predicate.unwrap(), &["a".to_string()]).is_err());
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = compile_where("-a = 3", &["a"]);
+        assert!(matches(&e, &[-3.0]));
+        assert!(!matches(&e, &[3.0]));
+    }
+}

@@ -1,0 +1,206 @@
+//! SQL tokenizer.
+
+use crate::error::Result;
+use crate::StoreError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `*`.
+    Star,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `/`.
+    Slash,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `=`.
+    Eq,
+    /// `!=` or `<>`.
+    Ne,
+    /// `;` (allowed, ignored at end).
+    Semicolon,
+}
+
+/// Tokenizes SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Could be a comment `--`.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(StoreError::InvalidArgument("stray '!' in SQL".into()));
+                }
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let n: f64 = text.parse().map_err(|_| {
+                    StoreError::InvalidArgument(format!("bad number literal `{text}`"))
+                })?;
+                out.push(Token::Number(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_string()));
+            }
+            other => {
+                return Err(StoreError::InvalidArgument(format!(
+                    "unexpected character `{other}` in SQL"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a <= 3.5 AND b != -2e-1").unwrap();
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Number(3.5)));
+        assert!(toks.contains(&Token::Number(0.2)));
+        assert!(toks.contains(&Token::Minus), "unary minus is a token");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT * -- the works\nFROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT @ FROM t").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn operators_distinct() {
+        let toks = tokenize("< <= > >= = != <>").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
+        );
+    }
+}

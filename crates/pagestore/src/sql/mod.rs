@@ -1,0 +1,66 @@
+//! A minimal SQL layer over the engine.
+//!
+//! The paper stores features in a relational database and retrieves them
+//! with "standard SQL queries" (§6). This module provides exactly the SQL
+//! surface those queries need, so SegDiff's point and line queries (§4.4)
+//! can be written and executed as real SQL text:
+//!
+//! ```sql
+//! SELECT td, tc, tb, ta FROM drop2
+//! WHERE dt1 <= 3600 AND dv1 > -3
+//!   AND dt2 > 3600 AND dv2 < -3
+//!   AND dv1 + (dv2 - dv1) / (dt2 - dt1) * (3600 - dt1) <= -3
+//! ```
+//!
+//! Supported statements:
+//!
+//! * `CREATE TABLE t (a, b, c)` — every column is `f64`;
+//! * `CREATE INDEX i ON t (a, b)` — a B+tree over the named columns;
+//! * `INSERT INTO t VALUES (1, 2, 3), (4, 5, 6)`;
+//! * `SELECT * | cols | COUNT(*) FROM t [WHERE expr] [USING INDEX i] [LIMIT n]`.
+//!
+//! `WHERE` expressions support the comparison operators, `AND`/`OR`/`NOT`,
+//! parentheses, and full arithmetic (`+ - * /`) — enough for the paper's
+//! line-query interpolation predicate. The planner picks an index
+//! automatically when a top-level conjunct bounds the index's first column
+//! (or obeys an explicit `USING INDEX`); everything else runs as a
+//! sequential scan with the predicate evaluated per row.
+//!
+//! ```
+//! use pagestore::{Database, ExecOutcome};
+//!
+//! let dir = std::env::temp_dir().join(format!("pagestore-sql-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let db = Database::create(&dir, 128).unwrap();
+//! db.execute("CREATE TABLE ev (dt, dv, t)").unwrap();
+//! db.execute("INSERT INTO ev VALUES (1800, -3.5, 0), (900, -1.0, 300)").unwrap();
+//! db.execute("CREATE INDEX by_dt_dv ON ev (dt, dv)").unwrap();
+//! let out = db.execute("SELECT COUNT(*) FROM ev WHERE dt <= 3600 AND dv <= -3").unwrap();
+//! match out {
+//!     ExecOutcome::Count { count, .. } => assert_eq!(count, 1),
+//!     other => panic!("{other:?}"),
+//! }
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+mod ast;
+mod eval;
+mod exec;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, Projection, Statement};
+pub use exec::{ExecOutcome, Plan};
+pub use lexer::{tokenize, Token};
+pub use parser::parse;
+
+use crate::db::Database;
+use crate::error::Result;
+
+impl Database {
+    /// Parses and executes one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse(sql)?;
+        exec::execute(self, stmt)
+    }
+}

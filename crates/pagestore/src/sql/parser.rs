@@ -1,0 +1,399 @@
+//! Recursive-descent SQL parser.
+
+use super::ast::{BinOp, Expr, Projection, Statement};
+use super::lexer::{tokenize, Token};
+use crate::error::Result;
+use crate::StoreError;
+
+/// Parses one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    // Allow a trailing semicolon, then demand the end.
+    p.eat(&Token::Semicolon);
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: &str) -> StoreError {
+        StoreError::InvalidArgument(format!(
+            "SQL parse error at token {}: {msg}",
+            self.pos.min(self.tokens.len())
+        ))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes `tok` if it is next; returns whether it did.
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {what}")))
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive identifier) if next.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => Err(self.error(&format!("expected {what}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            Some(Token::Minus) => match self.next() {
+                Some(Token::Number(n)) => Ok(-n),
+                _ => Err(self.error("expected number after '-'")),
+            },
+            _ => Err(self.error("expected number")),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut cols = vec![self.ident("column name")?];
+        while self.eat(&Token::Comma) {
+            cols.push(self.ident("column name")?);
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(cols)
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                let name = self.ident("table name")?;
+                let cols = self.ident_list()?;
+                return Ok(Statement::CreateTable { name, cols });
+            }
+            if self.eat_kw("INDEX") {
+                let name = self.ident("index name")?;
+                self.expect_kw("ON")?;
+                let table = self.ident("table name")?;
+                let cols = self.ident_list()?;
+                return Ok(Statement::CreateIndex { name, table, cols });
+            }
+            return Err(self.error("expected TABLE or INDEX after CREATE"));
+        }
+        if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident("table name")?;
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen, "'('")?;
+                let mut row = vec![self.number()?];
+                while self.eat(&Token::Comma) {
+                    row.push(self.number()?);
+                }
+                self.expect(&Token::RParen, "')'")?;
+                rows.push(row);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert { table, rows });
+        }
+        if self.eat_kw("SELECT") {
+            let projection = if self.eat(&Token::Star) {
+                Projection::All
+            } else if self.eat_kw("COUNT") {
+                self.expect(&Token::LParen, "'('")?;
+                self.expect(&Token::Star, "'*'")?;
+                self.expect(&Token::RParen, "')'")?;
+                Projection::Count
+            } else {
+                let mut cols = vec![self.ident("column name")?];
+                while self.eat(&Token::Comma) {
+                    cols.push(self.ident("column name")?);
+                }
+                Projection::Columns(cols)
+            };
+            self.expect_kw("FROM")?;
+            let table = self.ident("table name")?;
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            let index_hint = if self.eat_kw("USING") {
+                self.expect_kw("INDEX")?;
+                Some(self.ident("index name")?)
+            } else {
+                None
+            };
+            let limit = if self.eat_kw("LIMIT") {
+                Some(self.number()? as u64)
+            } else {
+                None
+            };
+            return Ok(Statement::Select {
+                projection,
+                table,
+                predicate,
+                index_hint,
+                limit,
+            });
+        }
+        Err(self.error("expected CREATE, INSERT or SELECT"))
+    }
+
+    // Expression grammar, lowest precedence first.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Expr::Number(n)),
+            Some(Token::Ident(name)) => Ok(Expr::Column(name)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse("CREATE TABLE ev (dt, dv, t)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "ev".into(),
+                cols: vec!["dt".into(), "dv".into(), "t".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let s = parse("create index by_dt on ev (dt, dv);").unwrap();
+        assert!(matches!(s, Statement::CreateIndex { .. }));
+    }
+
+    #[test]
+    fn parses_insert_multi_row() {
+        let s = parse("INSERT INTO ev VALUES (1, -2.5, 3), (4, 5, 6)").unwrap();
+        match s {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows, vec![vec![1.0, -2.5, 3.0], vec![4.0, 5.0, 6.0]]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_the_papers_line_query() {
+        let s = parse(
+            "SELECT td, tc, tb, ta FROM drop2 \
+             WHERE dt1 <= 3600 AND dv1 > -3 AND dt2 > 3600 AND dv2 < -3 \
+             AND dv1 + (dv2 - dv1) / (dt2 - dt1) * (3600 - dt1) <= -3",
+        )
+        .unwrap();
+        match s {
+            Statement::Select {
+                projection,
+                table,
+                predicate,
+                ..
+            } => {
+                assert_eq!(projection, Projection::Columns(vec![
+                    "td".into(),
+                    "tc".into(),
+                    "tb".into(),
+                    "ta".into()
+                ]));
+                assert_eq!(table, "drop2");
+                let conj = predicate.unwrap();
+                assert_eq!(conj.conjuncts().len(), 5);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_count_hint_limit() {
+        let s = parse("SELECT COUNT(*) FROM t WHERE a >= 1 USING INDEX by_a LIMIT 10").unwrap();
+        match s {
+            Statement::Select {
+                projection,
+                index_hint,
+                limit,
+                ..
+            } => {
+                assert_eq!(projection, Projection::Count);
+                assert_eq!(index_hint.as_deref(), Some("by_a"));
+                assert_eq!(limit, Some(10));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let s = parse("SELECT * FROM t WHERE a + 2 * 3 = 7 OR NOT b > 1 AND c < 2").unwrap();
+        let Statement::Select { predicate: Some(e), .. } = s else { panic!() };
+        // Top level must be OR.
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("CREATE TABLE t").is_err());
+        assert!(parse("INSERT INTO t VALUES 1, 2").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra garbage").is_err());
+        assert!(parse("DELETE FROM t").is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline bottom-up segmentation (Keogh et al. 2001, §2.3).
+
+use crate::{PiecewiseLinear, Segment};
+use sensorgen::TimeSeries;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bottom-up segmentation with the same max-deviation-from-chord error
+/// metric as [`crate::SlidingWindowSegmenter`].
+///
+/// Starts from the finest approximation (one segment per pair of adjacent
+/// observations) and greedily merges the cheapest adjacent pair while the
+/// merged chord keeps every covered observation within `ε/2`. Offline only —
+/// the whole series must be available — but typically produces fewer
+/// segments than the online sliding window for the same tolerance, which is
+/// why the ablation experiments include it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BottomUpSegmenter;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cost(f64);
+
+impl Eq for Cost {}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A heap entry: (cost, left slot, left stamp, right slot, right stamp).
+type MergeCandidate = Reverse<(Cost, usize, u32, usize, u32)>;
+
+impl BottomUpSegmenter {
+    /// Segments `series` with user tolerance `ε` (chord bound `ε/2`).
+    pub fn segment(&self, series: &TimeSeries, epsilon: f64) -> PiecewiseLinear {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
+        let n = series.len();
+        if n < 2 {
+            return PiecewiseLinear::default();
+        }
+        let ts = series.times();
+        let vs = series.values();
+        let max_error = epsilon / 2.0;
+
+        // Segment slots. Slot k initially covers points [k, k+1].
+        let m = n - 1;
+        let start: Vec<usize> = (0..m).collect();
+        let mut end: Vec<usize> = (1..n).collect();
+        let mut alive = vec![true; m];
+        let mut stamp = vec![0u32; m];
+        // Doubly linked list over slots; usize::MAX = none.
+        const NONE: usize = usize::MAX;
+        let mut prev: Vec<usize> = (0..m).map(|k| if k == 0 { NONE } else { k - 1 }).collect();
+        let mut next: Vec<usize> = (0..m).map(|k| if k + 1 == m { NONE } else { k + 1 }).collect();
+
+        let merge_cost = |s: usize, e: usize| -> f64 {
+            let (t0, v0) = (ts[s], vs[s]);
+            let slope = (vs[e] - v0) / (ts[e] - t0);
+            let mut worst = 0.0f64;
+            for i in (s + 1)..e {
+                worst = worst.max((v0 + slope * (ts[i] - t0) - vs[i]).abs());
+            }
+            worst
+        };
+
+        // Min-heap of merge candidates (left slot merged with its successor).
+        let mut heap: BinaryHeap<MergeCandidate> = BinaryHeap::new();
+        for k in 0..m.saturating_sub(1) {
+            let c = merge_cost(start[k], end[k + 1]);
+            heap.push(Reverse((Cost(c), k, 0, k + 1, 0)));
+        }
+
+        while let Some(Reverse((Cost(c), l, sl, r, sr))) = heap.pop() {
+            if c > max_error {
+                break; // min-heap: every remaining candidate is costlier
+            }
+            if !alive[l] || !alive[r] || stamp[l] != sl || stamp[r] != sr || next[l] != r {
+                continue; // stale entry
+            }
+            // Merge r into l.
+            end[l] = end[r];
+            alive[r] = false;
+            next[l] = next[r];
+            if next[l] != NONE {
+                prev[next[l]] = l;
+            }
+            stamp[l] += 1;
+            if prev[l] != NONE {
+                let p = prev[l];
+                let c = merge_cost(start[p], end[l]);
+                heap.push(Reverse((Cost(c), p, stamp[p], l, stamp[l])));
+            }
+            if next[l] != NONE {
+                let nx = next[l];
+                let c = merge_cost(start[l], end[nx]);
+                heap.push(Reverse((Cost(c), l, stamp[l], nx, stamp[nx])));
+            }
+        }
+
+        let mut segs = Vec::new();
+        let mut k = 0;
+        // Find the first alive slot (slot 0 always stays alive: merges fold
+        // the right neighbour into the left slot).
+        debug_assert!(alive[k]);
+        loop {
+            segs.push(Segment::new(ts[start[k]], vs[start[k]], ts[end[k]], vs[end[k]]));
+            if next[k] == NONE {
+                break;
+            }
+            k = next[k];
+        }
+        PiecewiseLinear::from_segments(segs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment_series;
+
+    fn noisy_series(n: usize, seed: u64) -> TimeSeries {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 300.0;
+                (t, (t / 9000.0).sin() * 5.0 + rng.random::<f64>() * 0.4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn respects_error_bound() {
+        let s = noisy_series(1500, 3);
+        for &eps in &[0.1, 0.4, 1.0] {
+            let pla = BottomUpSegmenter.segment(&s, eps);
+            assert!(pla.max_abs_error(&s) <= eps / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn straight_line_merges_to_one() {
+        let s: TimeSeries = (0..200).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let pla = BottomUpSegmenter.segment(&s, 0.2);
+        assert_eq!(pla.num_segments(), 1);
+    }
+
+    #[test]
+    fn covers_whole_extent_contiguously() {
+        let s = noisy_series(700, 5);
+        let pla = BottomUpSegmenter.segment(&s, 0.3);
+        assert_eq!(
+            pla.time_extent(),
+            Some((s.start_time().unwrap(), s.end_time().unwrap()))
+        );
+    }
+
+    #[test]
+    fn no_worse_than_sliding_window() {
+        let s = noisy_series(2000, 7);
+        let bu = BottomUpSegmenter.segment(&s, 0.4).num_segments();
+        let sw = segment_series(&s, 0.4).num_segments();
+        // Bottom-up is the stronger offline heuristic; allow a little slack.
+        assert!(bu as f64 <= sw as f64 * 1.2, "bottom-up {bu} vs sliding {sw}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let empty = TimeSeries::new();
+        assert!(BottomUpSegmenter.segment(&empty, 0.2).is_empty());
+        let one: TimeSeries = [(0.0, 1.0)].into_iter().collect();
+        assert!(BottomUpSegmenter.segment(&one, 0.2).is_empty());
+        let two: TimeSeries = [(0.0, 1.0), (1.0, 2.0)].into_iter().collect();
+        assert_eq!(BottomUpSegmenter.segment(&two, 0.2).num_segments(), 1);
+    }
+
+    #[test]
+    fn zero_epsilon_merges_only_collinear_runs() {
+        let s = TimeSeries::from_parts(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.0, 2.0, 1.0, 0.0],
+        );
+        let pla = BottomUpSegmenter.segment(&s, 0.0);
+        assert_eq!(pla.num_segments(), 2);
+        assert_eq!(pla.max_abs_error(&s), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! Piecewise-linear approximation (PLA) of time series.
+//!
+//! SegDiff (paper §4.1) builds on "the generic online sliding window
+//! algorithm ... and linear interpolation is used for approximation"
+//! (Keogh, Chu, Hart & Pazzani, ICDM 2001). This crate provides:
+//!
+//! * [`Segment`] — a line segment between two observations, the unit every
+//!   other crate works with;
+//! * [`PiecewiseLinear`] — a continuous chain of segments with evaluation
+//!   and error metrics;
+//! * [`SlidingWindowSegmenter`] — the paper's online segmenter: it consumes
+//!   observations one at a time and emits a segment as soon as the error
+//!   bound `ε/2` (Definition 2) would be violated;
+//! * [`BottomUpSegmenter`] and [`SwabSegmenter`] — the classic offline and
+//!   hybrid alternatives from the same survey, used for ablation studies.
+//!
+//! All segmenters guarantee **Lemma 1**: the emitted approximation `f`
+//! satisfies `|f(t_i) - v_i| <= ε/2` at every sampled observation, and by
+//! the lemma's argument at every point of the data generating model G.
+//!
+//! # Example
+//!
+//! ```
+//! use segmentation::segment_series;
+//! use sensorgen::TimeSeries;
+//!
+//! let series: TimeSeries = (0..100)
+//!     .map(|i| (i as f64, (i as f64 / 10.0).sin()))
+//!     .collect();
+//! let pla = segment_series(&series, 0.2);
+//! assert!(pla.max_abs_error(&series) <= 0.1); // epsilon / 2
+//! assert!(pla.num_segments() < series.len());
+//! ```
+
+mod bottom_up;
+mod pla;
+mod segment;
+mod sliding;
+mod swab;
+mod traits;
+
+pub use bottom_up::BottomUpSegmenter;
+pub use pla::PiecewiseLinear;
+pub use segment::Segment;
+pub use sliding::{segment_series, SlidingWindowSegmenter};
+pub use swab::SwabSegmenter;
+pub use traits::Segmenter;
+
+#[cfg(test)]
+mod proptests {
+    use crate::{segment_series, Segmenter};
+    use proptest::prelude::*;
+    use sensorgen::TimeSeries;
+
+    fn arb_series() -> impl Strategy<Value = TimeSeries> {
+        // Random walks with variable step sizes and irregular sampling.
+        (2usize..200, any::<u64>()).prop_map(|(n, seed)| {
+            use rand::{rngs::StdRng, RngExt, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = 0.0;
+            let mut v = 0.0;
+            let mut s = TimeSeries::with_capacity(n);
+            for _ in 0..n {
+                t += 1.0 + rng.random::<f64>() * 600.0;
+                v += (rng.random::<f64>() - 0.5) * 4.0;
+                s.push(t, v);
+            }
+            s
+        })
+    }
+
+    proptest! {
+        /// Lemma 1: the approximation never deviates more than eps/2 at any
+        /// sampled observation, for any algorithm and tolerance.
+        #[test]
+        fn lemma1_holds(series in arb_series(), eps in 0.0f64..2.0) {
+            for alg in Segmenter::all() {
+                let pla = alg.segment(&series, eps);
+                prop_assert!(pla.max_abs_error(&series) <= eps / 2.0 + 1e-9);
+            }
+        }
+
+        /// The approximation is exact at every segment boundary, so the PLA
+        /// passes through sampled observations at the knots.
+        #[test]
+        fn knots_are_samples(series in arb_series(), eps in 0.0f64..2.0) {
+            let pla = segment_series(&series, eps);
+            for seg in pla.segments() {
+                let i = series.times().partition_point(|&t| t < seg.t_start);
+                prop_assert_eq!(series.get(i), (seg.t_start, seg.v_start));
+            }
+        }
+
+        /// Segment count never exceeds n-1 and the chain covers the extent.
+        #[test]
+        fn structure_invariants(series in arb_series(), eps in 0.0f64..2.0) {
+            let pla = segment_series(&series, eps);
+            prop_assert!(pla.num_segments() < series.len());
+            prop_assert_eq!(
+                pla.time_extent(),
+                Some((series.start_time().unwrap(), series.end_time().unwrap()))
+            );
+        }
+    }
+}

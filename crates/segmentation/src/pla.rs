@@ -1,0 +1,154 @@
+//! A continuous piecewise-linear approximation.
+
+use crate::Segment;
+use sensorgen::TimeSeries;
+
+/// A chain of contiguous [`Segment`]s: the end of each segment is the start
+/// of the next. This is the function `f` of Definition 2.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PiecewiseLinear {
+    segments: Vec<Segment>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a PLA from a chain of segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive segments are not contiguous (shared endpoint).
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        for w in segments.windows(2) {
+            assert_eq!(
+                (w[0].t_end, w[0].v_end),
+                (w[1].t_start, w[1].v_start),
+                "segments must be contiguous"
+            );
+        }
+        Self { segments }
+    }
+
+    /// The segments in temporal order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the approximation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Evaluates `f(t)`, or `None` outside the covered time range.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        if self.segments.is_empty() {
+            return None;
+        }
+        let first = &self.segments[0];
+        let last = self.segments.last().unwrap();
+        if t < first.t_start || t > last.t_end {
+            return None;
+        }
+        // Binary search for the segment whose extent contains t.
+        let i = self.segments.partition_point(|s| s.t_end < t);
+        debug_assert!(i < self.segments.len());
+        Some(self.segments[i].value_at(t))
+    }
+
+    /// Time extent `[start, end]`, or `None` when empty.
+    pub fn time_extent(&self) -> Option<(f64, f64)> {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(f), Some(l)) => Some((f.t_start, l.t_end)),
+            _ => None,
+        }
+    }
+
+    /// The largest `|f(t_i) - v_i|` over all observations of `series` that
+    /// fall inside the approximation's extent. This is the quantity bounded
+    /// by `ε/2` in Lemma 1.
+    pub fn max_abs_error(&self, series: &TimeSeries) -> f64 {
+        let mut worst = 0.0f64;
+        for (t, v) in series.iter() {
+            if let Some(f) = self.value_at(t) {
+                worst = worst.max((f - v).abs());
+            }
+        }
+        worst
+    }
+
+    /// The paper's compression rate `r`: "the number of observations
+    /// represented by one data segment on average" (§5.2).
+    pub fn compression_rate(&self, n_observations: usize) -> f64 {
+        if self.segments.is_empty() {
+            return 0.0;
+        }
+        n_observations as f64 / self.segments.len() as f64
+    }
+}
+
+impl FromIterator<Segment> for PiecewiseLinear {
+    fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> Self {
+        Self::from_segments(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pla() -> PiecewiseLinear {
+        PiecewiseLinear::from_segments(vec![
+            Segment::new(0.0, 0.0, 10.0, 5.0),
+            Segment::new(10.0, 5.0, 30.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn value_at_covers_chain() {
+        let p = pla();
+        assert_eq!(p.value_at(0.0), Some(0.0));
+        assert_eq!(p.value_at(5.0), Some(2.5));
+        assert_eq!(p.value_at(10.0), Some(5.0));
+        assert_eq!(p.value_at(20.0), Some(3.0));
+        assert_eq!(p.value_at(30.0), Some(1.0));
+        assert_eq!(p.value_at(-0.1), None);
+        assert_eq!(p.value_at(30.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn rejects_gap() {
+        PiecewiseLinear::from_segments(vec![
+            Segment::new(0.0, 0.0, 10.0, 5.0),
+            Segment::new(11.0, 5.0, 30.0, 1.0),
+        ]);
+    }
+
+    #[test]
+    fn max_abs_error_measures_deviation() {
+        let p = pla();
+        let series =
+            TimeSeries::from_parts(vec![0.0, 5.0, 10.0, 20.0], vec![0.0, 3.0, 5.0, 2.5]);
+        // Deviations: 0, 0.5, 0, 0.5 -> max 0.5.
+        assert!((p.max_abs_error(&series) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_rate_is_points_per_segment() {
+        let p = pla();
+        assert_eq!(p.compression_rate(20), 10.0);
+        assert_eq!(PiecewiseLinear::default().compression_rate(20), 0.0);
+    }
+
+    #[test]
+    fn extent_and_counts() {
+        let p = pla();
+        assert_eq!(p.time_extent(), Some((0.0, 30.0)));
+        assert_eq!(p.num_segments(), 2);
+        assert!(!p.is_empty());
+        assert!(PiecewiseLinear::default().is_empty());
+    }
+}

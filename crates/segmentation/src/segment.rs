@@ -1,0 +1,163 @@
+//! The [`Segment`] type: one piece of a piecewise-linear approximation.
+
+/// A line segment between two observations `(t_start, v_start)` and
+/// `(t_end, v_end)` with `t_start < t_end`.
+///
+/// In the paper's notation a *data segment* `ES` is defined by
+/// `((t_s, v_s), (t_e, v_e))`. Segments produced by a segmenter are
+/// contiguous: the end point of each segment is the start point of the next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start time.
+    pub t_start: f64,
+    /// Value at the start time.
+    pub v_start: f64,
+    /// End time (strictly greater than `t_start`).
+    pub t_end: f64,
+    /// Value at the end time.
+    pub v_end: f64,
+}
+
+impl Segment {
+    /// Creates a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_start >= t_end` or any coordinate is not finite.
+    pub fn new(t_start: f64, v_start: f64, t_end: f64, v_end: f64) -> Self {
+        assert!(
+            t_start.is_finite() && v_start.is_finite() && t_end.is_finite() && v_end.is_finite(),
+            "segment coordinates must be finite"
+        );
+        assert!(t_start < t_end, "segment must have positive duration");
+        Self {
+            t_start,
+            v_start,
+            t_end,
+            v_end,
+        }
+    }
+
+    /// The segment's slope `(v_end - v_start) / (t_end - t_start)`.
+    pub fn slope(&self) -> f64 {
+        (self.v_end - self.v_start) / (self.t_end - self.t_start)
+    }
+
+    /// Duration `t_end - t_start` (always positive).
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+
+    /// Total value change `v_end - v_start`.
+    pub fn delta_v(&self) -> f64 {
+        self.v_end - self.v_start
+    }
+
+    /// The segment's value at time `t`. Extrapolates linearly outside
+    /// `[t_start, t_end]`; use [`Segment::contains_time`] to check first.
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.v_start + self.slope() * (t - self.t_start)
+    }
+
+    /// Whether `t` lies within the segment's closed time extent.
+    pub fn contains_time(&self, t: f64) -> bool {
+        self.t_start <= t && t <= self.t_end
+    }
+
+    /// The segment restricted to `t >= t0` (Algorithm 1, line 4: a previous
+    /// data segment whose start falls before the window is truncated at the
+    /// window start). Returns `None` when the truncation would consume the
+    /// whole segment.
+    pub fn truncate_left(&self, t0: f64) -> Option<Segment> {
+        if t0 <= self.t_start {
+            return Some(*self);
+        }
+        if t0 >= self.t_end {
+            return None;
+        }
+        Some(Segment {
+            t_start: t0,
+            v_start: self.value_at(t0),
+            t_end: self.t_end,
+            v_end: self.v_end,
+        })
+    }
+
+    /// Smallest value attained on the segment.
+    pub fn min_value(&self) -> f64 {
+        self.v_start.min(self.v_end)
+    }
+
+    /// Largest value attained on the segment.
+    pub fn max_value(&self) -> f64 {
+        self.v_start.max(self.v_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segment {
+        Segment::new(10.0, 5.0, 20.0, 1.0)
+    }
+
+    #[test]
+    fn slope_and_delta() {
+        let s = seg();
+        assert_eq!(s.slope(), -0.4);
+        assert_eq!(s.delta_v(), -4.0);
+        assert_eq!(s.duration(), 10.0);
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let s = seg();
+        assert_eq!(s.value_at(10.0), 5.0);
+        assert_eq!(s.value_at(20.0), 1.0);
+        assert_eq!(s.value_at(15.0), 3.0);
+    }
+
+    #[test]
+    fn contains_time_closed_interval() {
+        let s = seg();
+        assert!(s.contains_time(10.0));
+        assert!(s.contains_time(20.0));
+        assert!(!s.contains_time(9.999));
+        assert!(!s.contains_time(20.001));
+    }
+
+    #[test]
+    fn truncate_left_midpoint() {
+        let s = seg();
+        let t = s.truncate_left(15.0).unwrap();
+        assert_eq!(t.t_start, 15.0);
+        assert_eq!(t.v_start, 3.0);
+        assert_eq!(t.t_end, 20.0);
+        assert_eq!(t.v_end, 1.0);
+        // Slope is preserved by truncation.
+        assert!((t.slope() - s.slope()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_left_noop_and_consume() {
+        let s = seg();
+        assert_eq!(s.truncate_left(5.0), Some(s));
+        assert_eq!(s.truncate_left(10.0), Some(s));
+        assert_eq!(s.truncate_left(20.0), None);
+        assert_eq!(s.truncate_left(25.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_rejected() {
+        Segment::new(1.0, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn min_max_value() {
+        let s = seg();
+        assert_eq!(s.min_value(), 1.0);
+        assert_eq!(s.max_value(), 5.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The paper's online sliding-window segmenter.
+
+use crate::{PiecewiseLinear, Segment};
+use sensorgen::TimeSeries;
+
+/// Online sliding-window segmentation with linear interpolation
+/// (paper §4.1; Keogh et al. 2001, §2.1).
+///
+/// Observations are pushed one at a time. The segmenter keeps the current
+/// window of observations starting at an *anchor* and tries to extend the
+/// chord from the anchor to the newest observation. As soon as some interior
+/// observation deviates from the chord by more than `ε/2`, the segment
+/// ending at the *previous* observation is emitted and the previous
+/// observation becomes the new anchor — so consecutive segments share an
+/// endpoint and the resulting approximation is continuous and exact at
+/// segment boundaries.
+///
+/// ```
+/// use segmentation::SlidingWindowSegmenter;
+///
+/// let mut seg = SlidingWindowSegmenter::new(0.5);
+/// let mut out = Vec::new();
+/// for (i, v) in [0.0, 1.0, 2.0, 1.0, 0.0, 0.0].iter().enumerate() {
+///     out.extend(seg.push(i as f64, *v));
+/// }
+/// out.extend(seg.finish());
+/// assert!(out.len() >= 2); // the ramp up and the ramp down
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindowSegmenter {
+    max_error: f64,
+    // Window of buffered observations; index 0 is the anchor.
+    buf_t: Vec<f64>,
+    buf_v: Vec<f64>,
+    emitted: u64,
+}
+
+impl SlidingWindowSegmenter {
+    /// Creates a segmenter for the user error tolerance `ε >= 0`
+    /// (Definition 2). The internal chord-fitting bound is `ε/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
+        Self {
+            max_error: epsilon / 2.0,
+            buf_t: Vec::with_capacity(64),
+            buf_v: Vec::with_capacity(64),
+            emitted: 0,
+        }
+    }
+
+    /// The segment-fitting bound `ε/2`.
+    pub fn max_error(&self) -> f64 {
+        self.max_error
+    }
+
+    /// Number of segments emitted so far (not counting [`Self::finish`]).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Pushes the next observation; returns a completed segment when the
+    /// window had to be closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not strictly increase.
+    pub fn push(&mut self, t: f64, v: f64) -> Option<Segment> {
+        assert!(t.is_finite() && v.is_finite(), "observation must be finite");
+        if let Some(&last) = self.buf_t.last() {
+            assert!(t > last, "time stamps must be strictly increasing");
+        }
+        if self.buf_t.len() < 2 {
+            // The anchor alone, or anchor plus one point: a chord over two
+            // points has no interior, so it always fits.
+            self.buf_t.push(t);
+            self.buf_v.push(v);
+            return None;
+        }
+        if self.chord_fits(t, v) {
+            self.buf_t.push(t);
+            self.buf_v.push(v);
+            return None;
+        }
+        // Close the segment at the previous observation, restart there.
+        let n = self.buf_t.len();
+        let seg = Segment::new(self.buf_t[0], self.buf_v[0], self.buf_t[n - 1], self.buf_v[n - 1]);
+        let (at, av) = (self.buf_t[n - 1], self.buf_v[n - 1]);
+        self.buf_t.clear();
+        self.buf_v.clear();
+        self.buf_t.extend([at, t]);
+        self.buf_v.extend([av, v]);
+        self.emitted += 1;
+        Some(seg)
+    }
+
+    /// Flushes the final segment covering any buffered observations.
+    ///
+    /// After `finish` the segmenter is reset and can be reused.
+    pub fn finish(&mut self) -> Option<Segment> {
+        let n = self.buf_t.len();
+        let seg = if n >= 2 {
+            Some(Segment::new(
+                self.buf_t[0],
+                self.buf_v[0],
+                self.buf_t[n - 1],
+                self.buf_v[n - 1],
+            ))
+        } else {
+            None
+        };
+        self.buf_t.clear();
+        self.buf_v.clear();
+        seg
+    }
+
+    /// Would the chord from the anchor to `(t, v)` keep all interior
+    /// observations within `ε/2`?
+    fn chord_fits(&self, t: f64, v: f64) -> bool {
+        let (t0, v0) = (self.buf_t[0], self.buf_v[0]);
+        let slope = (v - v0) / (t - t0);
+        for i in 1..self.buf_t.len() {
+            let fitted = v0 + slope * (self.buf_t[i] - t0);
+            if (fitted - self.buf_v[i]).abs() > self.max_error {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Segments a whole series at once, returning the continuous approximation.
+///
+/// Convenience wrapper over [`SlidingWindowSegmenter`] for offline use.
+pub fn segment_series(series: &TimeSeries, epsilon: f64) -> PiecewiseLinear {
+    let mut seg = SlidingWindowSegmenter::new(epsilon);
+    let mut out = Vec::new();
+    for (t, v) in series.iter() {
+        out.extend(seg.push(t, v));
+    }
+    out.extend(seg.finish());
+    PiecewiseLinear::from_segments(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_is_one_segment() {
+        let series: TimeSeries = (0..1000).map(|i| (i as f64, 3.0 + 0.25 * i as f64)).collect();
+        let pla = segment_series(&series, 0.1);
+        assert_eq!(pla.num_segments(), 1);
+        assert_eq!(pla.max_abs_error(&series), 0.0);
+    }
+
+    #[test]
+    fn error_bound_respected_on_noisy_data() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for &eps in &[0.1, 0.2, 0.4, 0.8, 1.0] {
+            let series: TimeSeries = (0..2000)
+                .map(|i| {
+                    let t = i as f64 * 300.0;
+                    (t, (t / 20_000.0).sin() * 6.0 + rng.random::<f64>() * 0.3)
+                })
+                .collect();
+            let pla = segment_series(&series, eps);
+            let err = pla.max_abs_error(&series);
+            assert!(err <= eps / 2.0 + 1e-9, "eps {eps}: error {err}");
+        }
+    }
+
+    #[test]
+    fn segments_are_contiguous_and_cover_series() {
+        let series: TimeSeries = (0..500)
+            .map(|i| (i as f64 * 10.0, ((i as f64) / 7.0).sin() * 4.0))
+            .collect();
+        let pla = segment_series(&series, 0.2);
+        let (start, end) = pla.time_extent().unwrap();
+        assert_eq!(start, series.start_time().unwrap());
+        assert_eq!(end, series.end_time().unwrap());
+        for w in pla.segments().windows(2) {
+            assert_eq!(w[0].t_end, w[1].t_start);
+            assert_eq!(w[0].v_end, w[1].v_start);
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_fewer_segments() {
+        let series: TimeSeries = (0..3000)
+            .map(|i| (i as f64, ((i as f64) / 15.0).sin() * 5.0 + ((i as f64) / 111.0).cos()))
+            .collect();
+        let tight = segment_series(&series, 0.1).num_segments();
+        let loose = segment_series(&series, 1.0).num_segments();
+        assert!(loose < tight, "loose {loose} vs tight {tight}");
+    }
+
+    #[test]
+    fn online_matches_offline() {
+        let series: TimeSeries = (0..800)
+            .map(|i| (i as f64 * 5.0, ((i as f64) / 9.0).sin()))
+            .collect();
+        let offline = segment_series(&series, 0.3);
+        let mut seg = SlidingWindowSegmenter::new(0.3);
+        let mut online = Vec::new();
+        for (t, v) in series.iter() {
+            online.extend(seg.push(t, v));
+        }
+        online.extend(seg.finish());
+        assert_eq!(offline.segments(), online.as_slice());
+    }
+
+    #[test]
+    fn finish_resets_state() {
+        let mut seg = SlidingWindowSegmenter::new(0.5);
+        seg.push(0.0, 0.0);
+        seg.push(1.0, 1.0);
+        assert!(seg.finish().is_some());
+        assert!(seg.finish().is_none());
+        // Reusable afterwards, including time going "backwards" vs before.
+        assert!(seg.push(0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn single_point_yields_nothing() {
+        let mut seg = SlidingWindowSegmenter::new(0.5);
+        assert!(seg.push(0.0, 1.0).is_none());
+        assert!(seg.finish().is_none());
+    }
+
+    #[test]
+    fn zero_epsilon_connects_every_bend() {
+        let series = TimeSeries::from_parts(
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+        );
+        let pla = segment_series(&series, 0.0);
+        assert_eq!(pla.num_segments(), 3);
+        assert_eq!(pla.max_abs_error(&series), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotone_time() {
+        let mut seg = SlidingWindowSegmenter::new(0.5);
+        seg.push(1.0, 0.0);
+        seg.push(1.0, 0.0);
+    }
+
+    #[test]
+    fn emitted_counter_tracks_segments() {
+        let series = TimeSeries::from_parts(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 5.0, 0.0, 5.0, 0.0],
+        );
+        let mut seg = SlidingWindowSegmenter::new(0.1);
+        let mut count = 0;
+        for (t, v) in series.iter() {
+            if seg.push(t, v).is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(seg.emitted(), count);
+        assert!(count >= 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! SWAB: Sliding Window And Bottom-up (Keogh et al. 2001, §4).
+
+use crate::{BottomUpSegmenter, PiecewiseLinear, Segment};
+use sensorgen::TimeSeries;
+
+/// The SWAB hybrid: keeps a small buffer of recent observations, runs
+/// bottom-up segmentation inside the buffer, emits the leftmost segment, and
+/// slides on. Semi-online (latency bounded by the buffer length) with
+/// near-bottom-up quality.
+#[derive(Debug, Clone, Copy)]
+pub struct SwabSegmenter {
+    /// Number of observations kept in the working buffer.
+    pub buffer_len: usize,
+}
+
+impl Default for SwabSegmenter {
+    fn default() -> Self {
+        Self { buffer_len: 128 }
+    }
+}
+
+impl SwabSegmenter {
+    /// Creates a SWAB segmenter with the given buffer length (min 8).
+    pub fn new(buffer_len: usize) -> Self {
+        Self {
+            buffer_len: buffer_len.max(8),
+        }
+    }
+
+    /// Segments `series` with user tolerance `ε` (chord bound `ε/2`).
+    pub fn segment(&self, series: &TimeSeries, epsilon: f64) -> PiecewiseLinear {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
+        let n = series.len();
+        if n < 2 {
+            return PiecewiseLinear::default();
+        }
+        let ts = series.times();
+        let vs = series.values();
+        let cap = self.buffer_len.max(8);
+
+        let mut out: Vec<Segment> = Vec::new();
+        // `lo` is the index of the first buffered observation; the buffer is
+        // ts[lo..hi]. Invariant: segments emitted so far cover ts[0..=lo].
+        let mut lo = 0usize;
+        loop {
+            let hi = (lo + cap).min(n);
+            let window = TimeSeries::from_parts(ts[lo..hi].to_vec(), vs[lo..hi].to_vec());
+            let pla = BottomUpSegmenter.segment(&window, epsilon);
+            if pla.is_empty() {
+                break;
+            }
+            if hi == n {
+                // Final window: flush everything.
+                out.extend_from_slice(pla.segments());
+                break;
+            }
+            // Emit only the leftmost segment, then restart the buffer at its
+            // end point (classic SWAB).
+            let first = pla.segments()[0];
+            out.push(first);
+            // Advance lo to the index of first.t_end within the full series.
+            let step = window
+                .times()
+                .iter()
+                .position(|&t| t == first.t_end)
+                .expect("segment endpoint is a sample");
+            debug_assert!(step > 0);
+            lo += step;
+        }
+        PiecewiseLinear::from_segments(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_series(n: usize, seed: u64) -> TimeSeries {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 300.0;
+                (t, (t / 9000.0).sin() * 5.0 + rng.random::<f64>() * 0.4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn respects_error_bound() {
+        let s = noisy_series(1200, 31);
+        for &eps in &[0.2, 0.8] {
+            let pla = SwabSegmenter::default().segment(&s, eps);
+            assert!(pla.max_abs_error(&s) <= eps / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn covers_extent_contiguously() {
+        let s = noisy_series(999, 32);
+        let pla = SwabSegmenter::new(64).segment(&s, 0.3);
+        assert_eq!(
+            pla.time_extent(),
+            Some((s.start_time().unwrap(), s.end_time().unwrap()))
+        );
+        for w in pla.segments().windows(2) {
+            assert_eq!(w[0].t_end, w[1].t_start);
+        }
+    }
+
+    #[test]
+    fn buffer_len_is_floored() {
+        assert_eq!(SwabSegmenter::new(1).buffer_len, 8);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let one: TimeSeries = [(0.0, 1.0)].into_iter().collect();
+        assert!(SwabSegmenter::default().segment(&one, 0.2).is_empty());
+    }
+
+    #[test]
+    fn comparable_to_bottom_up() {
+        let s = noisy_series(2000, 33);
+        let swab = SwabSegmenter::default().segment(&s, 0.4).num_segments();
+        let bu = BottomUpSegmenter.segment(&s, 0.4).num_segments();
+        assert!(
+            (swab as f64) < 1.5 * bu as f64,
+            "swab {swab} vs bottom-up {bu}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! A uniform handle over the three segmentation algorithms.
+
+use crate::{segment_series, BottomUpSegmenter, PiecewiseLinear, SwabSegmenter};
+use sensorgen::TimeSeries;
+
+/// Which segmentation algorithm to run.
+///
+/// The paper uses the online sliding window; the others are included for the
+/// ablation experiments (all three satisfy the `ε/2` bound of Lemma 1, so
+/// SegDiff's guarantees hold over any of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Segmenter {
+    /// Online sliding window (the paper's choice).
+    #[default]
+    SlidingWindow,
+    /// Offline bottom-up merging.
+    BottomUp,
+    /// SWAB hybrid with the given buffer length.
+    Swab {
+        /// Number of observations in SWAB's working buffer.
+        buffer_len: usize,
+    },
+}
+
+impl Segmenter {
+    /// Segments `series` with user tolerance `ε`.
+    pub fn segment(&self, series: &TimeSeries, epsilon: f64) -> PiecewiseLinear {
+        match *self {
+            Segmenter::SlidingWindow => segment_series(series, epsilon),
+            Segmenter::BottomUp => BottomUpSegmenter.segment(series, epsilon),
+            Segmenter::Swab { buffer_len } => SwabSegmenter::new(buffer_len).segment(series, epsilon),
+        }
+    }
+
+    /// A short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Segmenter::SlidingWindow => "sliding-window",
+            Segmenter::BottomUp => "bottom-up",
+            Segmenter::Swab { .. } => "swab",
+        }
+    }
+
+    /// All variants with default parameters, for sweeps.
+    pub fn all() -> [Segmenter; 3] {
+        [
+            Segmenter::SlidingWindow,
+            Segmenter::BottomUp,
+            Segmenter::Swab { buffer_len: 128 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_satisfies_lemma_1() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let series: TimeSeries = (0..1000)
+            .map(|i| {
+                let t = i as f64 * 300.0;
+                (t, (t / 7000.0).sin() * 4.0 + rng.random::<f64>() * 0.5)
+            })
+            .collect();
+        for alg in Segmenter::all() {
+            let pla = alg.segment(&series, 0.4);
+            assert!(
+                pla.max_abs_error(&series) <= 0.2 + 1e-9,
+                "{} violated the bound",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = Segmenter::all().iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"sliding-window"));
+    }
+
+    #[test]
+    fn default_is_the_papers_choice() {
+        assert_eq!(Segmenter::default(), Segmenter::SlidingWindow);
+    }
+}

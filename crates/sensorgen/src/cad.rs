@@ -1,0 +1,301 @@
+//! The Cold Air Drainage transect generator.
+
+use crate::events::EventSchedule;
+use crate::noise::NoiseConfig;
+use crate::series::TimeSeries;
+use crate::weather::WeatherModel;
+use crate::SAMPLE_PERIOD;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Configuration of the synthetic CAD transect.
+///
+/// The defaults mimic the paper's deployment: 25 sensors in two parallel
+/// lines across a canyon, one observation every five minutes, recorded from
+/// December to the following November (365 days).
+#[derive(Debug, Clone)]
+pub struct CadTransectConfig {
+    /// Number of sensors in the transect.
+    pub sensors: u32,
+    /// Recording length in days.
+    pub days: u32,
+    /// Sampling period in seconds.
+    pub sample_period: f64,
+    /// Climate model shared by the transect.
+    pub weather: WeatherModel,
+    /// Noise/anomaly model per sensor.
+    pub noise: NoiseConfig,
+    /// Daily CAD-event probability at the coldest time of year.
+    pub winter_daily_prob: f64,
+    /// Daily CAD-event probability at the warmest time of year.
+    pub summer_daily_prob: f64,
+}
+
+impl Default for CadTransectConfig {
+    fn default() -> Self {
+        Self {
+            sensors: 25,
+            days: 365,
+            sample_period: SAMPLE_PERIOD,
+            weather: WeatherModel::default(),
+            noise: NoiseConfig::default(),
+            winter_daily_prob: 0.75,
+            summer_daily_prob: 0.10,
+        }
+    }
+}
+
+impl CadTransectConfig {
+    /// Sets the recording length.
+    pub fn with_days(mut self, days: u32) -> Self {
+        self.days = days;
+        self
+    }
+
+    /// Sets the number of sensors.
+    pub fn with_sensors(mut self, sensors: u32) -> Self {
+        self.sensors = sensors;
+        self
+    }
+
+    /// Disables noise and anomalies (useful in tests).
+    pub fn clean(mut self) -> Self {
+        self.noise = NoiseConfig::none();
+        self
+    }
+
+    /// Expected number of observations per sensor, ignoring dropouts.
+    pub fn samples_per_sensor(&self) -> usize {
+        (self.days as f64 * crate::DAY / self.sample_period) as usize
+    }
+
+    /// How strongly CAD events express at `sensor` (0-based position along
+    /// the transect): sensors near the canyon bottom (the middle of the
+    /// transect) see deeper drops.
+    pub fn depth_scale(&self, sensor: u32) -> f64 {
+        if self.sensors <= 1 {
+            return 1.0;
+        }
+        let x = sensor as f64 / (self.sensors - 1) as f64; // 0..1 across
+        let canyon = 1.0 - (2.0 * x - 1.0).powi(2); // 0 at rims, 1 at bottom
+        0.5 + canyon
+    }
+}
+
+/// Generates the raw (unsmoothed) series for one sensor.
+///
+/// Deterministic in `(cfg, sensor, seed)`: each sensor derives its own RNG
+/// stream, so series can be generated independently and in parallel.
+pub fn generate_sensor(cfg: &CadTransectConfig, sensor: u32, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(sensor as u64 + 1)));
+    let mut weather = cfg.weather.clone();
+    let schedule = EventSchedule::generate(
+        &mut rng,
+        cfg.days,
+        cfg.winter_daily_prob,
+        cfg.summer_daily_prob,
+        cfg.depth_scale(sensor),
+        cfg.weather.coldest_day,
+    );
+    // Small per-sensor bias: elevation/exposure differences along the canyon.
+    let bias = crate::rng::normal(&mut rng, 0.0, 0.7);
+
+    let n = cfg.samples_per_sensor();
+    let mut out = TimeSeries::with_capacity(n);
+    let mut skip = 0u32;
+    for i in 0..n {
+        let t = i as f64 * cfg.sample_period;
+        weather.step_front(&mut rng, cfg.sample_period);
+        if skip > 0 {
+            skip -= 1;
+            continue; // dropout: no observation recorded
+        }
+        if let Some(len) = cfg.noise.dropout(&mut rng) {
+            skip = len;
+            continue;
+        }
+        let v = weather.baseline(t)
+            + weather.front()
+            + schedule.offset(t)
+            + bias
+            + cfg.noise.white(&mut rng)
+            + cfg.noise.spike(&mut rng);
+        out.push(t, v);
+    }
+    out
+}
+
+/// Generates the whole transect: one series per sensor. Each sensor gets
+/// an *independent* weather realization — adequate for experiments that
+/// treat sensors as separate workloads. For cross-sensor analyses use
+/// [`generate_transect_correlated`].
+pub fn generate_transect(cfg: &CadTransectConfig, seed: u64) -> Vec<TimeSeries> {
+    (0..cfg.sensors)
+        .map(|s| generate_sensor(cfg, s, seed))
+        .collect()
+}
+
+/// Generates the transect with a **shared** weather-front process: all
+/// sensors in the canyon see the same synoptic fronts (plus their own CAD
+/// events, bias, noise and dropouts), so cross-sensor values are strongly
+/// correlated — like the real deployment, where two parallel lines of
+/// sensors sample one air mass.
+pub fn generate_transect_correlated(cfg: &CadTransectConfig, seed: u64) -> Vec<TimeSeries> {
+    // One realization of the shared front, sampled at every slot.
+    let n = cfg.samples_per_sensor();
+    let mut front_rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_DEAD_BEEF);
+    let mut weather = cfg.weather.clone();
+    let mut front = Vec::with_capacity(n);
+    for _ in 0..n {
+        front.push(weather.step_front(&mut front_rng, cfg.sample_period));
+    }
+
+    (0..cfg.sensors)
+        .map(|sensor| {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(sensor as u64 + 1)),
+            );
+            let schedule = EventSchedule::generate(
+                &mut rng,
+                cfg.days,
+                cfg.winter_daily_prob,
+                cfg.summer_daily_prob,
+                cfg.depth_scale(sensor),
+                cfg.weather.coldest_day,
+            );
+            let bias = crate::rng::normal(&mut rng, 0.0, 0.7);
+            let mut out = TimeSeries::with_capacity(n);
+            let mut skip = 0u32;
+            for (i, &front_i) in front.iter().enumerate() {
+                let t = i as f64 * cfg.sample_period;
+                if skip > 0 {
+                    skip -= 1;
+                    continue;
+                }
+                if let Some(len) = cfg.noise.dropout(&mut rng) {
+                    skip = len;
+                    continue;
+                }
+                let v = cfg.weather.baseline(t)
+                    + front_i
+                    + schedule.offset(t)
+                    + bias
+                    + cfg.noise.white(&mut rng)
+                    + cfg.noise.spike(&mut rng);
+                out.push(t, v);
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DAY, HOUR};
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = CadTransectConfig::default().with_days(3);
+        let a = generate_sensor(&cfg, 4, 99);
+        let b = generate_sensor(&cfg, 4, 99);
+        assert_eq!(a, b);
+        let c = generate_sensor(&cfg, 5, 99);
+        assert_ne!(a, c, "different sensors differ");
+    }
+
+    #[test]
+    fn sample_count_close_to_expected() {
+        let cfg = CadTransectConfig::default().with_days(10);
+        let s = generate_sensor(&cfg, 0, 1);
+        let expect = cfg.samples_per_sensor();
+        // Dropouts remove a small fraction of samples.
+        assert!(s.len() <= expect);
+        assert!(s.len() as f64 > 0.95 * expect as f64, "len {}", s.len());
+    }
+
+    #[test]
+    fn clean_config_has_every_sample() {
+        let cfg = CadTransectConfig::default().with_days(2).clean();
+        let s = generate_sensor(&cfg, 0, 1);
+        assert_eq!(s.len(), cfg.samples_per_sensor());
+    }
+
+    #[test]
+    fn temperatures_in_plausible_band() {
+        let cfg = CadTransectConfig::default().with_days(30);
+        let s = generate_sensor(&cfg, 12, 7);
+        assert!(s.min_value().unwrap() > -45.0);
+        assert!(s.max_value().unwrap() < 60.0);
+    }
+
+    #[test]
+    fn winter_mornings_show_drops() {
+        // With a daily winter probability of 0.75 and 30 winter days, the
+        // bottom-of-canyon sensor must show at least one >=3 degC drop within
+        // an hour (the paper's CAD definition).
+        let cfg = CadTransectConfig::default().with_days(30).clean();
+        let s = generate_sensor(&cfg, 12, 21);
+        let mut found = false;
+        'outer: for i in 0..s.len() {
+            let (ti, vi) = s.get(i);
+            for j in (i + 1)..s.len() {
+                let (tj, vj) = s.get(j);
+                if tj - ti > HOUR {
+                    break;
+                }
+                if vj - vi <= -3.0 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no CAD-grade drop found in a winter month");
+    }
+
+    #[test]
+    fn depth_scale_peaks_mid_transect() {
+        let cfg = CadTransectConfig::default();
+        assert!(cfg.depth_scale(12) > cfg.depth_scale(0));
+        assert!(cfg.depth_scale(12) > cfg.depth_scale(24));
+        assert!((cfg.depth_scale(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_transect_shares_fronts() {
+        let cfg = CadTransectConfig::default().with_days(10).with_sensors(4).clean();
+        // Disable CAD events so the shared front dominates the residual.
+        let cfg = CadTransectConfig {
+            winter_daily_prob: 0.0,
+            summer_daily_prob: 0.0,
+            ..cfg
+        };
+        let corr = generate_transect_correlated(&cfg, 5);
+        let indep = generate_transect(&cfg, 5);
+        let residual = |s: &TimeSeries, cfg: &CadTransectConfig| -> Vec<f64> {
+            s.iter().map(|(t, v)| v - cfg.weather.baseline(t)).collect()
+        };
+        let corrcoef = |a: &[f64], b: &[f64]| -> f64 {
+            let n = a.len().min(b.len());
+            let ma = a[..n].iter().sum::<f64>() / n as f64;
+            let mb = b[..n].iter().sum::<f64>() / n as f64;
+            let cov: f64 = (0..n).map(|i| (a[i] - ma) * (b[i] - mb)).sum();
+            let va: f64 = (0..n).map(|i| (a[i] - ma).powi(2)).sum();
+            let vb: f64 = (0..n).map(|i| (b[i] - mb).powi(2)).sum();
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        let rc = corrcoef(&residual(&corr[0], &cfg), &residual(&corr[3], &cfg));
+        let ri = corrcoef(&residual(&indep[0], &cfg), &residual(&indep[3], &cfg));
+        assert!(rc > 0.95, "shared front correlation {rc}");
+        assert!(ri < 0.5, "independent correlation {ri}");
+    }
+
+    #[test]
+    fn transect_has_one_series_per_sensor() {
+        let cfg = CadTransectConfig::default().with_days(1).with_sensors(5);
+        let t = generate_transect(&cfg, 3);
+        assert_eq!(t.len(), 5);
+        for s in &t {
+            assert!(s.end_time().unwrap() < 1.0 * DAY);
+        }
+    }
+}

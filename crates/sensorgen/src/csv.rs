@@ -1,0 +1,162 @@
+//! Minimal CSV import/export for [`TimeSeries`].
+//!
+//! The format is two columns, `time,value`, with an optional header line.
+//! This keeps examples self-contained without pulling in a CSV dependency.
+
+use crate::TimeSeries;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors produced by [`read_csv`].
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is not `time,value` with both fields parseable as `f64`.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending line's content.
+        content: String,
+    },
+    /// Time stamps were not strictly increasing.
+    NonMonotone {
+        /// 1-based line number where monotonicity broke.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse `{content}` as time,value")
+            }
+            CsvError::NonMonotone { line } => {
+                write!(f, "line {line}: time stamps must be strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes `series` as `time,value` CSV with a header.
+pub fn write_csv(path: &Path, series: &TimeSeries) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "time,value")?;
+    for (t, v) in series.iter() {
+        writeln!(w, "{t},{v}")?;
+    }
+    w.flush()
+}
+
+/// Reads a `time,value` CSV (header optional) into a [`TimeSeries`].
+pub fn read_csv(path: &Path) -> Result<TimeSeries, CsvError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut out = TimeSeries::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (idx == 0 && trimmed.starts_with("time")) {
+            continue;
+        }
+        let mut parts = trimmed.splitn(2, ',');
+        let (a, b) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        let (t, v) = match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+            (Ok(t), Ok(v)) if t.is_finite() && v.is_finite() => (t, v),
+            _ => {
+                return Err(CsvError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        if t <= last_t {
+            return Err(CsvError::NonMonotone { line: idx + 1 });
+        }
+        last_t = t;
+        out.push(t, v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sensorgen-csv-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s: TimeSeries = (0..100).map(|i| (i as f64 * 2.5, (i as f64).sin())).collect();
+        let p = tmp("roundtrip.csv");
+        write_csv(&p, &s).unwrap();
+        let r = read_csv(&p).unwrap();
+        assert_eq!(s.len(), r.len());
+        for i in 0..s.len() {
+            assert_eq!(s.get(i), r.get(i));
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn reads_without_header() {
+        let p = tmp("noheader.csv");
+        std::fs::write(&p, "0,1.5\n10,2.5\n").unwrap();
+        let r = read_csv(&p).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(1), (10.0, 2.5));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let p = tmp("garbage.csv");
+        std::fs::write(&p, "time,value\n0,1.5\nnot,a number\n").unwrap();
+        match read_csv(&p) {
+            Err(CsvError::Parse { line: 3, .. }) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_non_monotone() {
+        let p = tmp("monotone.csv");
+        std::fs::write(&p, "0,1\n10,2\n5,3\n").unwrap();
+        match read_csv(&p) {
+            Err(CsvError::NonMonotone { line: 3 }) => {}
+            other => panic!("expected monotonicity error, got {other:?}"),
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let p = tmp("blank.csv");
+        let mut f = File::create(&p).unwrap();
+        writeln!(f, "time,value").unwrap();
+        writeln!(f, "0,1").unwrap();
+        writeln!(f).unwrap();
+        writeln!(f, "10,2").unwrap();
+        drop(f);
+        assert_eq!(read_csv(&p).unwrap().len(), 2);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,239 @@
+//! Cold Air Drainage event scheduling and shape.
+//!
+//! A CAD event is "a sharp drop in temperature in early mornings" (paper §1);
+//! when the collaboration started the biologists' working definition was a
+//! drop of no less than 3 °C within one hour. We model an event as a rapid
+//! ramp down of depth `depth` over `drop_duration`, followed by a slow
+//! partial recovery — cold air pooling in the canyon and then mixing out
+//! after sunrise.
+
+use crate::rng::{normal, sample_exp};
+use crate::{DAY, HOUR, MINUTE};
+use rand::{Rng, RngExt};
+
+/// One cold-air-drainage event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CadEvent {
+    /// Time the drop starts (seconds from the recording origin).
+    pub start: f64,
+    /// Length of the drop phase in seconds (paper regime: tens of minutes).
+    pub drop_duration: f64,
+    /// Total temperature drop in degree Celsius (positive number).
+    pub depth: f64,
+    /// Length of the recovery phase in seconds.
+    pub recovery_duration: f64,
+    /// Fraction of the depth recovered by the end of the recovery phase.
+    pub recovery_fraction: f64,
+}
+
+impl CadEvent {
+    /// The event's additive temperature offset at time `t` (non-positive).
+    pub fn offset(&self, t: f64) -> f64 {
+        let dt = t - self.start;
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        if dt < self.drop_duration {
+            // Smoothstep ramp: steep in the middle, C1 at both ends.
+            let x = dt / self.drop_duration;
+            let s = x * x * (3.0 - 2.0 * x);
+            return -self.depth * s;
+        }
+        let dr = dt - self.drop_duration;
+        if dr < self.recovery_duration {
+            let x = dr / self.recovery_duration;
+            let s = x * x * (3.0 - 2.0 * x);
+            return -self.depth * (1.0 - self.recovery_fraction * s);
+        }
+        -self.depth * (1.0 - self.recovery_fraction)
+    }
+
+    /// Time after which the event no longer changes, i.e. `offset` is
+    /// constant for `t >= end`.
+    pub fn end(&self) -> f64 {
+        self.start + self.drop_duration + self.recovery_duration
+    }
+}
+
+/// A schedule of CAD events over the recording period for one sensor.
+#[derive(Debug, Clone, Default)]
+pub struct EventSchedule {
+    events: Vec<CadEvent>,
+}
+
+impl EventSchedule {
+    /// Generates a schedule for `days` days.
+    ///
+    /// Events happen in the early morning (03:00–07:00). The per-day
+    /// probability is `winter_daily_prob` at the coldest time of year and
+    /// `summer_daily_prob` at the warmest; `depth_scale` scales the drop
+    /// depth (used to express the sensor's position in the canyon: deeper
+    /// drops near the canyon bottom).
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        days: u32,
+        winter_daily_prob: f64,
+        summer_daily_prob: f64,
+        depth_scale: f64,
+        coldest_day: f64,
+    ) -> Self {
+        let mut events = Vec::new();
+        for day in 0..days {
+            let season = 0.5
+                - 0.5
+                    * (std::f64::consts::TAU * (day as f64 - coldest_day) / 365.0).cos();
+            let p = winter_daily_prob + season * (summer_daily_prob - winter_daily_prob);
+            if rng.random::<f64>() >= p {
+                continue;
+            }
+            let start_hour = 3.0 + 4.0 * rng.random::<f64>();
+            let drop_minutes = (20.0 + 40.0 * rng.random::<f64>()).clamp(15.0, 70.0);
+            // Depth: mostly 3–8 °C, occasionally deeper — the real data set
+            // contains drops down to −35 °C over longer spans (paper §6.1).
+            let depth = (3.0 + sample_exp(rng, 2.0) + normal(rng, 0.0, 0.5))
+                .clamp(2.0, 30.0)
+                * depth_scale;
+            let recovery_hours = 1.5 + 2.5 * rng.random::<f64>();
+            events.push(CadEvent {
+                start: day as f64 * DAY + start_hour * HOUR,
+                drop_duration: drop_minutes * MINUTE,
+                depth,
+                recovery_duration: recovery_hours * HOUR,
+                recovery_fraction: 0.5 + 0.4 * rng.random::<f64>(),
+            });
+        }
+        Self { events }
+    }
+
+    /// The events in chronological order.
+    pub fn events(&self) -> &[CadEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sum of all event offsets at time `t`.
+    ///
+    /// Events are sorted by start time, so only the suffix of recent events
+    /// can contribute; we scan backwards and stop once starts are more than
+    /// a day older than `t` minus the longest possible event extent.
+    pub fn offset(&self, t: f64) -> f64 {
+        let mut total = 0.0;
+        for e in self.events.iter().rev() {
+            if e.start > t {
+                continue;
+            }
+            total += e.offset(t);
+            if t - e.start > 2.0 * DAY {
+                break;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn event() -> CadEvent {
+        CadEvent {
+            start: 1000.0,
+            drop_duration: 1800.0,
+            depth: 4.0,
+            recovery_duration: 7200.0,
+            recovery_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn offset_zero_before_start() {
+        let e = event();
+        assert_eq!(e.offset(0.0), 0.0);
+        assert_eq!(e.offset(1000.0), 0.0);
+    }
+
+    #[test]
+    fn offset_reaches_full_depth() {
+        let e = event();
+        let at_bottom = e.offset(1000.0 + 1800.0);
+        assert!((at_bottom + 4.0).abs() < 1e-9, "offset {at_bottom}");
+    }
+
+    #[test]
+    fn offset_monotone_during_drop() {
+        let e = event();
+        let mut prev = 0.0;
+        for i in 1..=100 {
+            let t = 1000.0 + 1800.0 * i as f64 / 100.0;
+            let o = e.offset(t);
+            assert!(o <= prev + 1e-12, "drop must be monotone at {t}");
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn offset_recovers_partially() {
+        let e = event();
+        let after = e.offset(e.end() + 10.0);
+        assert!((after + 2.0).abs() < 1e-9, "half recovered: {after}");
+    }
+
+    #[test]
+    fn schedule_rate_responds_to_season() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = EventSchedule::generate(&mut rng, 365, 0.8, 0.1, 1.0, 45.0);
+        // Expect roughly 365 * mean(p) events; mean p ≈ 0.45.
+        assert!(s.len() > 100 && s.len() < 250, "got {}", s.len());
+        // Winter half (days near coldest_day) should contain more events.
+        let winter = s
+            .events()
+            .iter()
+            .filter(|e| {
+                let d = (e.start / DAY - 45.0).rem_euclid(365.0);
+                !(91.0..=274.0).contains(&d)
+            })
+            .count();
+        assert!(winter * 2 > s.len(), "winter events {winter} of {}", s.len());
+    }
+
+    #[test]
+    fn schedule_event_times_early_morning() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = EventSchedule::generate(&mut rng, 200, 0.9, 0.9, 1.0, 45.0);
+        for e in s.events() {
+            let hour = (e.start % DAY) / HOUR;
+            assert!((3.0..7.0).contains(&hour), "start hour {hour}");
+            assert!(e.depth >= 2.0);
+        }
+    }
+
+    #[test]
+    fn schedule_offset_sums_overlapping_events() {
+        let s = EventSchedule {
+            events: vec![
+                CadEvent { start: 0.0, ..event() },
+                CadEvent { start: 900.0, ..event() },
+            ],
+        };
+        let t = 1800.0;
+        let expected = s.events[0].offset(t) + s.events[1].offset(t);
+        assert!((s.offset(t) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_is_silent() {
+        let s = EventSchedule::default();
+        assert!(s.is_empty());
+        assert_eq!(s.offset(123.0), 0.0);
+    }
+}

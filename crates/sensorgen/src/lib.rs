@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Synthetic sensor-network workloads and the paper's data generating model.
+//!
+//! The paper evaluates SegDiff on air-temperature data recorded by the Cold
+//! Air Drainage (CAD) transect at James Reserve: twenty-five wireless sensors
+//! across a canyon, sampling every five minutes for a year. That data set is
+//! not publicly available, so this crate provides a statistically faithful
+//! substitute:
+//!
+//! * [`TimeSeries`] — the basic one-dimensional series type used everywhere
+//!   else in the workspace, together with the paper's **Data Generating Model
+//!   G** (linear interpolation between consecutive samples, Definition 1).
+//! * [`CadTransectConfig`] / [`generate_transect`] — a generator producing a
+//!   canyon transect of temperature series with seasonal and diurnal cycles,
+//!   stochastic weather fronts, injected early-morning cold-air-drainage
+//!   events, sensor noise, and occasional spike anomalies.
+//! * [`smooth::RobustSmoother`] — the "smoothing method with robust weights"
+//!   the paper applies before indexing, so that anomalies are removed.
+//!
+//! # Example
+//!
+//! ```
+//! use sensorgen::{CadTransectConfig, generate_sensor};
+//!
+//! let cfg = CadTransectConfig::default().with_days(7);
+//! let series = generate_sensor(&cfg, 0, 42);
+//! assert!(series.len() > 7 * 24 * 10); // ~5-minute sampling
+//! // Model G: interpolate between samples.
+//! let (t0, _) = series.get(0);
+//! let (t1, _) = series.get(1);
+//! assert!(series.interpolate(0.5 * (t0 + t1)).is_some());
+//! ```
+
+mod cad;
+mod csv;
+mod events;
+mod noise;
+mod rng;
+mod series;
+pub mod smooth;
+mod weather;
+
+pub use cad::{generate_sensor, generate_transect, generate_transect_correlated, CadTransectConfig};
+pub use csv::{read_csv, write_csv, CsvError};
+pub use events::{CadEvent, EventSchedule};
+pub use noise::NoiseConfig;
+pub use rng::{normal, sample_exp};
+pub use series::TimeSeries;
+pub use weather::WeatherModel;
+
+/// Seconds per minute.
+pub const MINUTE: f64 = 60.0;
+/// Seconds per hour.
+pub const HOUR: f64 = 3600.0;
+/// Seconds per day.
+pub const DAY: f64 = 86_400.0;
+/// The transect's sampling period: one observation every five minutes.
+pub const SAMPLE_PERIOD: f64 = 5.0 * MINUTE;

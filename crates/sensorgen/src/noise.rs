@@ -1,0 +1,146 @@
+//! Measurement noise and anomalies.
+//!
+//! The paper preprocesses the raw transect data with a robust smoother "so
+//! that anomalies are removed". To exercise that pipeline the generator
+//! injects the kinds of artifacts wireless sensors actually produce:
+//! per-sample Gaussian noise, isolated spikes (radio glitches, direct sun on
+//! the shield), and missing stretches (battery/radio dropouts, which make the
+//! sampling irregular).
+
+use crate::rng::normal;
+use rand::{Rng, RngExt};
+
+/// Noise and anomaly parameters for one sensor.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Standard deviation of per-sample Gaussian noise (°C).
+    pub white_sd: f64,
+    /// Per-sample probability of a spike anomaly.
+    pub spike_prob: f64,
+    /// Spike magnitude range (°C); sign is random.
+    pub spike_magnitude: (f64, f64),
+    /// Per-sample probability that a dropout begins.
+    pub dropout_prob: f64,
+    /// Dropout length range in samples.
+    pub dropout_len: (u32, u32),
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            white_sd: 0.12,
+            spike_prob: 8e-4,
+            spike_magnitude: (2.0, 10.0),
+            dropout_prob: 2e-4,
+            dropout_len: (2, 24),
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A configuration with no noise and no anomalies (clean signal).
+    pub fn none() -> Self {
+        Self {
+            white_sd: 0.0,
+            spike_prob: 0.0,
+            spike_magnitude: (0.0, 0.0),
+            dropout_prob: 0.0,
+            dropout_len: (0, 0),
+        }
+    }
+
+    /// Per-sample white noise.
+    pub fn white<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.white_sd == 0.0 {
+            0.0
+        } else {
+            normal(rng, 0.0, self.white_sd)
+        }
+    }
+
+    /// Returns a spike offset for this sample, or zero.
+    pub fn spike<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.spike_prob > 0.0 && rng.random::<f64>() < self.spike_prob {
+            let (lo, hi) = self.spike_magnitude;
+            let mag = lo + (hi - lo) * rng.random::<f64>();
+            if rng.random::<bool>() {
+                mag
+            } else {
+                -mag
+            }
+        } else {
+            0.0
+        }
+    }
+
+    /// If a dropout starts at this sample, returns its length in samples.
+    pub fn dropout<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        if self.dropout_prob > 0.0 && rng.random::<f64>() < self.dropout_prob {
+            let (lo, hi) = self.dropout_len;
+            Some(rng.random_range(lo..=hi.max(lo + 1)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn none_is_silent() {
+        let cfg = NoiseConfig::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(cfg.white(&mut rng), 0.0);
+            assert_eq!(cfg.spike(&mut rng), 0.0);
+            assert_eq!(cfg.dropout(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn spikes_respect_magnitude_range() {
+        let cfg = NoiseConfig {
+            spike_prob: 1.0,
+            spike_magnitude: (2.0, 10.0),
+            ..NoiseConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen_pos = false;
+        let mut seen_neg = false;
+        for _ in 0..1000 {
+            let s = cfg.spike(&mut rng);
+            assert!((2.0..=10.0).contains(&s.abs()), "spike {s}");
+            seen_pos |= s > 0.0;
+            seen_neg |= s < 0.0;
+        }
+        assert!(seen_pos && seen_neg);
+    }
+
+    #[test]
+    fn spike_rate_matches_probability() {
+        let cfg = NoiseConfig {
+            spike_prob: 0.05,
+            ..NoiseConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| cfg.spike(&mut rng) != 0.0).count();
+        assert!((hits as f64 - 5000.0).abs() < 500.0, "hits {hits}");
+    }
+
+    #[test]
+    fn dropout_lengths_in_range() {
+        let cfg = NoiseConfig {
+            dropout_prob: 1.0,
+            dropout_len: (2, 24),
+            ..NoiseConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let len = cfg.dropout(&mut rng).unwrap();
+            assert!((2..=24).contains(&len));
+        }
+    }
+}

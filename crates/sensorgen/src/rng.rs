@@ -1,0 +1,57 @@
+//! Small sampling helpers on top of `rand`.
+//!
+//! The offline dependency set does not include `rand_distr`, so the two
+//! distributions the generator needs — Gaussian and exponential — are
+//! implemented here directly.
+
+use rand::{Rng, RngExt};
+
+/// Draws a sample from `N(mean, sd^2)` using the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    // Guard against log(0): `random::<f64>()` is in [0, 1).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sd * z
+}
+
+/// Draws a sample from an exponential distribution with the given `mean`.
+pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.1, "variance was {var}");
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_exp(&mut rng, 5.0)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_is_finite() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            assert!(normal(&mut rng, 0.0, 1.0).is_finite());
+        }
+    }
+}

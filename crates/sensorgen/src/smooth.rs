@@ -1,0 +1,237 @@
+//! Robust local-linear smoothing ("smoothing method with robust weights").
+//!
+//! The paper preprocesses the transect data "by a smoothing method with
+//! robust weights so that anomalies are removed" (§6). We implement the
+//! classic LOWESS-style scheme (Cleveland 1979), restricted to a fixed-width
+//! sample window:
+//!
+//! 1. For each sample, fit a weighted local linear regression over the
+//!    surrounding window, with tricube distance weights.
+//! 2. Compute residuals, derive bisquare robustness weights from the median
+//!    absolute residual, and refit. Iterate a small number of times.
+//!
+//! Spike anomalies receive near-zero robustness weight after the first
+//! iteration and are effectively replaced by the local trend, while genuine
+//! transient drops — which move many consecutive samples — survive.
+
+use crate::TimeSeries;
+
+/// Configuration for [`RobustSmoother`].
+#[derive(Debug, Clone)]
+pub struct RobustSmoother {
+    /// Half-width of the smoothing window, in samples.
+    pub half_width: usize,
+    /// Number of robustness iterations (0 = plain local linear fit).
+    pub iterations: u32,
+}
+
+impl Default for RobustSmoother {
+    fn default() -> Self {
+        Self {
+            half_width: 5,
+            iterations: 2,
+        }
+    }
+}
+
+impl RobustSmoother {
+    /// Creates a smoother with the given half-width and two robustness
+    /// iterations.
+    pub fn new(half_width: usize) -> Self {
+        Self {
+            half_width,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the smoothed copy of `series`.
+    pub fn smooth(&self, series: &TimeSeries) -> TimeSeries {
+        let n = series.len();
+        if n < 3 || self.half_width == 0 {
+            return series.clone();
+        }
+        let ts = series.times();
+        let vs = series.values();
+        let mut robustness = vec![1.0f64; n];
+        let mut fitted = vs.to_vec();
+
+        for iter in 0..=self.iterations {
+            for i in 0..n {
+                let lo = i.saturating_sub(self.half_width);
+                let hi = (i + self.half_width + 1).min(n);
+                fitted[i] = local_linear(ts, vs, &robustness, lo, hi, ts[i]);
+            }
+            if iter == self.iterations {
+                break;
+            }
+            // Bisquare robustness weights from the residual scale. The scale
+            // is floored relative to the data's range so that an (almost)
+            // perfectly fitted series does not zero out every weight over
+            // machine-epsilon residuals.
+            let range = series.value_range();
+            let mut absres: Vec<f64> = (0..n).map(|i| (vs[i] - fitted[i]).abs()).collect();
+            let s = median(&mut absres).max(1e-6 * range.max(1.0));
+            for i in 0..n {
+                let u = (vs[i] - fitted[i]).abs() / (6.0 * s);
+                robustness[i] = if u >= 1.0 {
+                    0.0
+                } else {
+                    let b = 1.0 - u * u;
+                    b * b
+                };
+            }
+        }
+        TimeSeries::from_parts(ts.to_vec(), fitted)
+    }
+}
+
+/// Weighted local linear fit of `(ts, vs)` over `[lo, hi)`, evaluated at `x`.
+/// Weights are tricube in distance times the robustness weight.
+fn local_linear(ts: &[f64], vs: &[f64], rob: &[f64], lo: usize, hi: usize, x: f64) -> f64 {
+    let dmax = (ts[hi - 1] - x).abs().max((ts[lo] - x).abs()).max(1e-12);
+    let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for k in lo..hi {
+        let d = ((ts[k] - x) / dmax).abs();
+        let tri = {
+            let c = 1.0 - d * d * d;
+            if c <= 0.0 {
+                0.0
+            } else {
+                c * c * c
+            }
+        };
+        let w = tri * rob[k];
+        if w == 0.0 {
+            continue;
+        }
+        let xc = ts[k] - x; // center for numerical stability
+        sw += w;
+        swx += w * xc;
+        swy += w * vs[k];
+        swxx += w * xc * xc;
+        swxy += w * xc * vs[k];
+    }
+    if sw == 0.0 {
+        // Every neighbour was robustness-weighted to zero (e.g. a window full
+        // of anomalies): fall back to the plain tricube-weighted mean.
+        let (mut sw2, mut swy2) = (0.0, 0.0);
+        for k in lo..hi {
+            let d = ((ts[k] - x) / dmax).abs();
+            let c = 1.0 - d * d * d;
+            let tri = if c <= 0.0 { 0.0 } else { c * c * c };
+            sw2 += tri;
+            swy2 += tri * vs[k];
+        }
+        let mid = (lo + hi) / 2;
+        return if sw2 > 0.0 { swy2 / sw2 } else { vs[mid] };
+    }
+    let denom = sw * swxx - swx * swx;
+    if denom.abs() < 1e-12 {
+        return swy / sw; // degenerate: weighted mean
+    }
+    let slope = (sw * swxy - swx * swy) / denom;
+    
+    (swy - slope * swx) / sw // evaluated at xc = 0, i.e. at x
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mid = xs.len() / 2;
+    xs.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
+    xs[mid]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_series(n: usize) -> TimeSeries {
+        (0..n).map(|i| (i as f64 * 10.0, 2.0 + 0.5 * i as f64)).collect()
+    }
+
+    #[test]
+    fn preserves_linear_signal() {
+        let s = line_series(100);
+        let sm = RobustSmoother::default().smooth(&s);
+        for i in 0..s.len() {
+            assert!(
+                (sm.values()[i] - s.values()[i]).abs() < 1e-9,
+                "local linear fit must reproduce a line exactly at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn removes_isolated_spike() {
+        let mut s = line_series(100);
+        s.values_mut()[50] += 25.0;
+        let sm = RobustSmoother::default().smooth(&s);
+        let expected = 2.0 + 0.5 * 50.0;
+        assert!(
+            (sm.values()[50] - expected).abs() < 0.5,
+            "spike survived: {} vs {expected}",
+            sm.values()[50]
+        );
+    }
+
+    #[test]
+    fn preserves_genuine_drop() {
+        // A 5-degree drop over 8 consecutive samples is signal, not anomaly.
+        let mut vs: Vec<f64> = vec![10.0; 40];
+        for (i, v) in vs.iter_mut().enumerate().skip(20) {
+            *v = if i < 28 { 10.0 - 5.0 * (i - 20) as f64 / 8.0 } else { 5.0 };
+        }
+        let ts: Vec<f64> = (0..40).map(|i| i as f64 * 300.0).collect();
+        let s = TimeSeries::from_parts(ts, vs);
+        let sm = RobustSmoother::default().smooth(&s);
+        let total_drop = sm.values()[35] - sm.values()[15];
+        assert!(total_drop < -4.0, "drop flattened to {total_drop}");
+    }
+
+    #[test]
+    fn short_series_passthrough() {
+        let s = line_series(2);
+        assert_eq!(RobustSmoother::default().smooth(&s), s);
+    }
+
+    #[test]
+    fn zero_half_width_passthrough() {
+        let s = line_series(10);
+        let sm = RobustSmoother { half_width: 0, iterations: 2 };
+        assert_eq!(sm.smooth(&s), s);
+    }
+
+    #[test]
+    fn median_of_small_slices() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_variance() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut s = TimeSeries::new();
+        for i in 0..500 {
+            let t = i as f64 * 300.0;
+            s.push(t, (t / 5000.0).sin() * 5.0 + crate::rng::normal(&mut rng, 0.0, 0.4));
+        }
+        let sm = RobustSmoother::default().smooth(&s);
+        let noise_raw: f64 = (0..500)
+            .map(|i| {
+                let t = i as f64 * 300.0;
+                (s.values()[i] - (t / 5000.0).sin() * 5.0).powi(2)
+            })
+            .sum();
+        let noise_sm: f64 = (0..500)
+            .map(|i| {
+                let t = i as f64 * 300.0;
+                (sm.values()[i] - (t / 5000.0).sin() * 5.0).powi(2)
+            })
+            .sum();
+        assert!(noise_sm < noise_raw / 2.0, "raw {noise_raw} smoothed {noise_sm}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic climate components and the stochastic weather-front model.
+
+use crate::rng::normal;
+use crate::{DAY, HOUR};
+use rand::Rng;
+
+/// The slowly varying part of the synthetic temperature signal.
+///
+/// The model is the sum of three components:
+///
+/// * an annual cycle (coldest in mid January, the transect recording starts
+///   on December 1st, matching the paper's Dec 2005 – Nov 2006 window),
+/// * a diurnal cycle whose amplitude grows in summer (peak mid-afternoon,
+///   minimum shortly before dawn), and
+/// * an Ornstein–Uhlenbeck "weather front" process with a relaxation time of
+///   about two days, advanced sample by sample.
+#[derive(Debug, Clone)]
+pub struct WeatherModel {
+    /// Annual mean temperature in degree Celsius.
+    pub annual_mean: f64,
+    /// Half peak-to-trough amplitude of the annual cycle.
+    pub annual_amp: f64,
+    /// Winter diurnal half-amplitude (degree Celsius).
+    pub diurnal_amp_winter: f64,
+    /// Summer diurnal half-amplitude (degree Celsius).
+    pub diurnal_amp_summer: f64,
+    /// OU relaxation time in seconds.
+    pub front_relaxation: f64,
+    /// OU stationary standard deviation (degree Celsius).
+    pub front_sd: f64,
+    /// Day of year (counted from the recording start) of the coldest day.
+    pub coldest_day: f64,
+    front_state: f64,
+}
+
+impl Default for WeatherModel {
+    fn default() -> Self {
+        Self {
+            annual_mean: 11.0,
+            annual_amp: 9.0,
+            diurnal_amp_winter: 4.0,
+            diurnal_amp_summer: 8.0,
+            front_relaxation: 2.0 * DAY,
+            front_sd: 2.5,
+            coldest_day: 45.0, // mid January when t = 0 is Dec 1
+            front_state: 0.0,
+        }
+    }
+}
+
+impl WeatherModel {
+    /// The annual-cycle temperature at time `t` (seconds from Dec 1).
+    pub fn seasonal(&self, t: f64) -> f64 {
+        let day = t / DAY;
+        self.annual_mean
+            - self.annual_amp * (std::f64::consts::TAU * (day - self.coldest_day) / 365.0).cos()
+    }
+
+    /// Diurnal half-amplitude at time `t`, interpolating winter → summer.
+    pub fn diurnal_amplitude(&self, t: f64) -> f64 {
+        let day = t / DAY;
+        // 0 at the coldest day, 1 half a year later.
+        let season = 0.5
+            - 0.5 * (std::f64::consts::TAU * (day - self.coldest_day) / 365.0).cos();
+        self.diurnal_amp_winter + season * (self.diurnal_amp_summer - self.diurnal_amp_winter)
+    }
+
+    /// The diurnal-cycle offset at time `t`: maximum around 14:00 local,
+    /// minimum around 02:00.
+    pub fn diurnal(&self, t: f64) -> f64 {
+        let hour = (t % DAY) / HOUR;
+        self.diurnal_amplitude(t) * (std::f64::consts::TAU * (hour - 14.0) / 24.0).cos()
+    }
+
+    /// Advances the OU weather-front state by `dt` seconds and returns the
+    /// new state. Uses the exact OU discretization, so any `dt > 0` is valid.
+    pub fn step_front<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) -> f64 {
+        let a = (-dt / self.front_relaxation).exp();
+        let sd = self.front_sd * (1.0 - a * a).sqrt();
+        self.front_state = a * self.front_state + normal(rng, 0.0, sd);
+        self.front_state
+    }
+
+    /// Current weather-front offset without advancing the process.
+    pub fn front(&self) -> f64 {
+        self.front_state
+    }
+
+    /// Deterministic part of the model: seasonal + diurnal at time `t`.
+    pub fn baseline(&self, t: f64) -> f64 {
+        self.seasonal(t) + self.diurnal(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn seasonal_coldest_in_january() {
+        let m = WeatherModel::default();
+        let jan = m.seasonal(45.0 * DAY);
+        let jul = m.seasonal((45.0 + 182.5) * DAY);
+        assert!(jan < jul);
+        assert!((jan - (m.annual_mean - m.annual_amp)).abs() < 1e-9);
+        assert!((jul - (m.annual_mean + m.annual_amp)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_peaks_afternoon() {
+        let m = WeatherModel::default();
+        let afternoon = m.diurnal(14.0 * HOUR);
+        let night = m.diurnal(2.0 * HOUR);
+        assert!(afternoon > 0.0);
+        assert!(night < 0.0);
+        // Nearly symmetric: the diurnal amplitude drifts slightly with the
+        // season between 02:00 and 14:00 of the same day.
+        assert!((afternoon + night).abs() < 0.05 * afternoon.abs());
+    }
+
+    #[test]
+    fn diurnal_amplitude_larger_in_summer() {
+        let m = WeatherModel::default();
+        assert!(m.diurnal_amplitude(200.0 * DAY) > m.diurnal_amplitude(45.0 * DAY));
+    }
+
+    #[test]
+    fn ou_front_is_stationary() {
+        let mut m = WeatherModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut acc = 0.0;
+        let mut acc2 = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let x = m.step_front(&mut rng, 300.0);
+            acc += x;
+            acc2 += x * x;
+        }
+        let mean = acc / n as f64;
+        let var = acc2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        let target = m.front_sd * m.front_sd;
+        assert!((var - target).abs() < 0.2 * target, "var {var} vs {target}");
+    }
+
+    #[test]
+    fn front_accessor_matches_last_step() {
+        let mut m = WeatherModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = m.step_front(&mut rng, 300.0);
+        assert_eq!(m.front(), x);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # segdiff-repro
+//!
+//! A full reproduction of *"On the brink: Searching for drops in sensor
+//! data"* (Chen, Cho & Hansen, EDBT 2008) as a Rust workspace. This facade
+//! crate re-exports the public API of every member crate so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`sensorgen`] — synthetic Cold-Air-Drainage transect workloads, the
+//!   data generating model G, robust smoothing;
+//! * [`segmentation`] — piecewise-linear approximation (online sliding
+//!   window, bottom-up, SWAB);
+//! * [`featurespace`] — parallelogram feature geometry, slope-case corner
+//!   analysis, query regions;
+//! * [`pagestore`] — the embedded page/B+tree storage engine;
+//! * [`segdiff`] — the SegDiff framework and the exhaustive baseline.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+
+pub use featurespace;
+pub use pagestore;
+pub use segdiff;
+pub use segmentation;
+pub use sensorgen;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use featurespace::{QueryRegion, SearchKind};
+    pub use segdiff::{
+        exh::ExhIndex, oracle, QueryPlan, SegDiffConfig, SegDiffIndex, SegmentPair,
+    };
+    pub use segmentation::{segment_series, PiecewiseLinear, Segment, Segmenter};
+    pub use sensorgen::{
+        generate_sensor, generate_transect, smooth::RobustSmoother, CadTransectConfig,
+        TimeSeries, DAY, HOUR, MINUTE, SAMPLE_PERIOD,
+    };
+}

@@ -1,0 +1,122 @@
+//! The exhaustive baseline must agree *exactly* with the brute-force
+//! oracle on sampled observations — Exh has no approximation.
+
+use segdiff_repro::prelude::*;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("segdiff-exh-it-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn walk_series(n: usize, seed: u64) -> TimeSeries {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut v = 0.0;
+    let mut s = TimeSeries::with_capacity(n);
+    for _ in 0..n {
+        t += 120.0 + rng.random::<f64>() * 400.0;
+        v += (rng.random::<f64>() - 0.5) * 3.0;
+        s.push(t, v);
+    }
+    s
+}
+
+#[test]
+fn exh_equals_oracle_for_many_queries() {
+    let dir = tmpdir("oracle");
+    let series = walk_series(600, 5);
+    let w = 6.0 * HOUR;
+    let mut exh = ExhIndex::create(&dir, w, 1024).unwrap();
+    exh.ingest_series(&series).unwrap();
+    exh.finish().unwrap();
+    exh.build_indexes().unwrap();
+
+    let regions = [
+        QueryRegion::drop(1.0 * HOUR, -2.0),
+        QueryRegion::drop(0.25 * HOUR, -0.5),
+        QueryRegion::drop(6.0 * HOUR, -5.0),
+        QueryRegion::jump(2.0 * HOUR, 1.0),
+        QueryRegion::jump(0.5 * HOUR, 3.0),
+    ];
+    // Exh stores (dt, dv, t2) — the paper's 3-column row — so t1 comes back
+    // as t2 - dt with ulp-level error; sort on a microsecond-rounded key so
+    // both sides order identically.
+    let sort_key = |p: &(f64, f64)| ((p.0 * 1e6).round() as i64, (p.1 * 1e6).round() as i64);
+    for region in &regions {
+        let mut want: Vec<(f64, f64)> = oracle::true_events(&series, region);
+        want.sort_by_key(sort_key);
+        for plan in [QueryPlan::SeqScan, QueryPlan::Index] {
+            let (events, stats) = exh.query(region, plan).unwrap();
+            let mut got: Vec<(f64, f64)> = events.iter().map(|e| (e.t1, e.t2)).collect();
+            got.sort_by_key(sort_key);
+            assert_eq!(got.len(), want.len(), "plan {plan:?} region {region:?}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.0 - w.0).abs() < 1e-6 && g.1 == w.1,
+                    "plan {plan:?} region {region:?}: got {g:?}, want {w:?}"
+                );
+            }
+            assert_eq!(stats.results as usize, got.len());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exh_row_count_formula() {
+    // With regular sampling every p seconds and window w, each observation
+    // past the warm-up emits floor(w/p) rows.
+    let dir = tmpdir("count");
+    let p = 300.0;
+    let w = 8.0 * HOUR;
+    let per = (w / p) as u64; // 96
+    let n = 500u64;
+    let series: TimeSeries = (0..n).map(|i| (i as f64 * p, (i % 7) as f64)).collect();
+    let mut exh = ExhIndex::create(&dir, w, 512).unwrap();
+    exh.ingest_series(&series).unwrap();
+    // Warm-up: observation i < per emits i rows; afterwards `per` rows.
+    let expected: u64 = (0..n).map(|i| i.min(per)).sum();
+    assert_eq!(exh.stats().n_rows, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn segdiff_results_cover_every_exh_event() {
+    // Cross-system consistency: anything Exh finds, SegDiff must cover
+    // (SegDiff may return more — its 2-epsilon tolerance).
+    let dir_e = tmpdir("cover-exh");
+    let dir_s = tmpdir("cover-seg");
+    let series = walk_series(500, 42);
+    let w = 4.0 * HOUR;
+
+    let mut exh = ExhIndex::create(&dir_e, w, 512).unwrap();
+    exh.ingest_series(&series).unwrap();
+    let mut seg = SegDiffIndex::create(
+        &dir_s,
+        SegDiffConfig::default().with_epsilon(0.3).with_window(w),
+    )
+    .unwrap();
+    seg.ingest_series(&series).unwrap();
+    seg.finish().unwrap();
+
+    let region = QueryRegion::drop(1.0 * HOUR, -1.5);
+    let (events, _) = exh.query(&region, QueryPlan::SeqScan).unwrap();
+    let (pairs, _) = seg.query(&region, QueryPlan::SeqScan).unwrap();
+    assert!(!events.is_empty(), "test needs events to compare");
+    // Tolerance on t1: Exh reconstructs it as t2 - dt (ulp-level error).
+    let covers_approx = |p: &SegmentPair, t1: f64, t2: f64| {
+        p.t_d - 1e-6 <= t1 && t1 <= p.t_c + 1e-6 && p.t_b - 1e-6 <= t2 && t2 <= p.t_a + 1e-6
+    };
+    for e in &events {
+        assert!(
+            pairs.iter().any(|p| covers_approx(p, e.t1, e.t2)),
+            "SegDiff missed Exh event ({}, {})",
+            e.t1,
+            e.t2
+        );
+    }
+    std::fs::remove_dir_all(&dir_e).ok();
+    std::fs::remove_dir_all(&dir_s).ok();
+}

@@ -1,0 +1,120 @@
+//! The full exploratory loop over a CAD winter: query → refine → analyze.
+//! Checks the domain-level expectations the paper motivates: CAD events
+//! concentrate in the early morning and in the cold season, and refined
+//! depths respect the query threshold.
+
+use segdiff_repro::prelude::*;
+use segdiff_repro::segdiff::analysis::{ascii_histogram, depth_stats, merge_episodes, summarize};
+use segdiff_repro::segdiff::refine::refine_results;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("segdiff-explore-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[test]
+fn cad_events_cluster_in_early_morning() {
+    let days = 60u32;
+    let cfg = CadTransectConfig::default().with_days(days).clean();
+    let series = generate_sensor(&cfg, 12, 8);
+    let dir = tmpdir("morning");
+    let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+    idx.ingest_series(&series).unwrap();
+    idx.finish().unwrap();
+
+    let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+    let (results, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+    assert!(!results.is_empty());
+
+    let summary = summarize(&results, days as f64);
+    assert!(summary.episodes >= 5, "winter month must have episodes");
+    assert!(summary.episodes <= summary.periods);
+    // The generator plants events between 03:00 and 07:00; allowing for
+    // drop durations and segment extents, the 02:00-08:00 bins must hold
+    // the majority of episode starts.
+    let morning: u32 = summary.hour_histogram[2..8].iter().sum();
+    let total: u32 = summary.hour_histogram.iter().sum();
+    assert!(
+        morning * 2 > total,
+        "morning {morning} of {total}: {}",
+        ascii_histogram(&summary.hour_histogram, |h| format!("{h:02}h"))
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn refined_depths_respect_threshold_and_duration() {
+    let cfg = CadTransectConfig::default().with_days(30).clean();
+    let series = generate_sensor(&cfg, 12, 9);
+    let dir = tmpdir("depths");
+    let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+    idx.ingest_series(&series).unwrap();
+    idx.finish().unwrap();
+
+    let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+    let (results, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+    let refined = refine_results(&series, &results, &region, 24);
+    let stats = depth_stats(&refined).expect("a winter month has exact hits");
+    assert!(stats.count > 0);
+    assert!(stats.mean <= -3.0, "mean depth {}", stats.mean);
+    assert!(stats.extreme <= stats.median && stats.median <= -3.0);
+    assert!(stats.mean_duration > 0.0 && stats.mean_duration <= 1.0 * HOUR + 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn episodes_are_far_fewer_than_periods() {
+    // Many overlapping segment pairs describe one physical event; episode
+    // merging is what makes the output readable for a biologist.
+    let cfg = CadTransectConfig::default().with_days(20).clean();
+    let series = generate_sensor(&cfg, 12, 10);
+    let dir = tmpdir("episodes");
+    let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+    idx.ingest_series(&series).unwrap();
+    idx.finish().unwrap();
+    let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+    let (results, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+    let episodes = merge_episodes(&results);
+    assert!(!episodes.is_empty());
+    assert!(
+        episodes.len() * 2 <= results.len(),
+        "{} episodes from {} periods",
+        episodes.len(),
+        results.len()
+    );
+    // Episodes are disjoint and ordered.
+    for w in episodes.windows(2) {
+        assert!(w[0].1 < w[1].0);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seasonal_contrast_summer_vs_winter() {
+    // Winter (days 0-60 from Dec 1) vs summer (days 180-240). At -3 degC/h
+    // ordinary summer evening cooling already qualifies (the summer diurnal
+    // amplitude is 8 degC), so the seasonal CAD contrast shows at *deep*
+    // thresholds that only drainage events can reach.
+    let cfg = CadTransectConfig::default().with_days(240).clean();
+    let series = generate_sensor(&cfg, 12, 11);
+    let region = QueryRegion::drop(1.0 * HOUR, -5.0);
+    let winter = series.sub_range(0.0, 60.0 * DAY);
+    let summer = series.sub_range(180.0 * DAY, 240.0 * DAY);
+    let count = |s: &TimeSeries, tag: &str| -> usize {
+        let dir = tmpdir(tag);
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(s).unwrap();
+        idx.finish().unwrap();
+        let (results, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+        let n = merge_episodes(&results).len();
+        std::fs::remove_dir_all(&dir).ok();
+        n
+    };
+    let w = count(&winter, "winter");
+    let s = count(&summer, "summer");
+    assert!(
+        w >= 3 * s.max(1) || (s == 0 && w >= 3),
+        "winter {w} vs summer {s}"
+    );
+}

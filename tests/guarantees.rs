@@ -1,0 +1,150 @@
+//! End-to-end validation of Theorem 1 on the full pipeline:
+//!
+//! * **no false negatives** — every true event among sampled observations
+//!   is covered by some returned segment pair, for both query plans;
+//! * **bounded false positives** — every returned pair contains an event of
+//!   model G with `Δv <= V + 2ε` (drop) / `Δv >= V - 2ε` (jump) within
+//!   `Δt <= T`.
+
+use proptest::prelude::*;
+use segdiff_repro::prelude::*;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "segdiff-guarantee-{}-{tag}-{}",
+        std::process::id(),
+        rand_suffix()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn rand_suffix() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A deterministic random-walk series with irregular sampling.
+fn walk_series(n: usize, seed: u64) -> TimeSeries {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut v = 10.0;
+    let mut s = TimeSeries::with_capacity(n);
+    for _ in 0..n {
+        t += 60.0 + rng.random::<f64>() * 600.0;
+        v += (rng.random::<f64>() - 0.5) * 2.0;
+        s.push(t, v);
+    }
+    s
+}
+
+/// Builds an index over `series`, runs `region` under both plans, and
+/// checks both halves of Theorem 1.
+fn check_theorem1(series: &TimeSeries, eps: f64, w: f64, region: &QueryRegion, tag: &str) {
+    let dir = tmpdir(tag);
+    let mut idx = SegDiffIndex::create(
+        &dir,
+        SegDiffConfig::default()
+            .with_epsilon(eps)
+            .with_window(w)
+            .with_pool_pages(512),
+    )
+    .unwrap();
+    idx.ingest_series(series).unwrap();
+    idx.finish().unwrap();
+    idx.build_indexes().unwrap();
+
+    let events = oracle::true_events(series, region);
+    let (scan, _) = idx.query(region, QueryPlan::SeqScan).unwrap();
+    let (indexed, _) = idx.query(region, QueryPlan::Index).unwrap();
+    assert_eq!(scan, indexed, "plans disagree ({tag})");
+
+    // Completeness.
+    if let Some(missed) = oracle::find_missed_event(&events, &scan) {
+        panic!(
+            "missed true event {missed:?} (tag {tag}, eps {eps}, T {}, V {}, {} results)",
+            region.t,
+            region.v,
+            scan.len()
+        );
+    }
+
+    // Bounded false positives (Lemma 5).
+    for pair in &scan {
+        let extreme = oracle::pair_extreme_change(series, pair, region, 48)
+            .unwrap_or_else(|| panic!("returned pair {pair:?} admits no event at all ({tag})"));
+        match region.kind {
+            SearchKind::Drop => assert!(
+                extreme <= region.v + 2.0 * eps + 1e-9,
+                "false positive beyond 2eps: pair {pair:?} min dv {extreme} vs V {} + 2*{eps} ({tag})",
+                region.v
+            ),
+            SearchKind::Jump => assert!(
+                extreme >= region.v - 2.0 * eps - 1e-9,
+                "false positive beyond 2eps: pair {pair:?} max dv {extreme} vs V {} - 2*{eps} ({tag})",
+                region.v
+            ),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn theorem1_on_random_walks_default_params() {
+    for seed in 0..6 {
+        let series = walk_series(400, seed);
+        let region = QueryRegion::drop(1.0 * HOUR, -2.0);
+        check_theorem1(&series, 0.2, 8.0 * HOUR, &region, "walk-default");
+    }
+}
+
+#[test]
+fn theorem1_jump_search() {
+    for seed in 10..14 {
+        let series = walk_series(400, seed);
+        let region = QueryRegion::jump(2.0 * HOUR, 1.5);
+        check_theorem1(&series, 0.3, 4.0 * HOUR, &region, "walk-jump");
+    }
+}
+
+#[test]
+fn theorem1_on_cad_workload() {
+    let cfg = CadTransectConfig::default().with_days(4).clean();
+    let raw = generate_sensor(&cfg, 12, 77);
+    let series = RobustSmoother::default().smooth(&raw);
+    for &(t, v) in &[(1.0 * HOUR, -3.0), (0.5 * HOUR, -2.0), (4.0 * HOUR, -6.0)] {
+        let region = QueryRegion::drop(t, v);
+        check_theorem1(&series, 0.2, 8.0 * HOUR, &region, "cad");
+    }
+}
+
+#[test]
+fn theorem1_zero_epsilon_is_exact_on_pairs() {
+    // At eps = 0 the approximation interpolates every sample exactly only
+    // where segments end; completeness must still hold.
+    let series = walk_series(250, 99);
+    let region = QueryRegion::drop(1.5 * HOUR, -1.0);
+    check_theorem1(&series, 0.0, 6.0 * HOUR, &region, "eps0");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized Theorem 1: random series, tolerance, window and query.
+    #[test]
+    fn theorem1_randomized(
+        seed in 0u64..10_000,
+        eps in 0.0f64..0.8,
+        w_hours in 1.0f64..12.0,
+        t_frac in 0.05f64..1.0,
+        v in -4.0f64..-0.2,
+        n in 60usize..300,
+    ) {
+        let series = walk_series(n, seed);
+        let w = w_hours * HOUR;
+        let region = QueryRegion::drop(t_frac * w, v);
+        check_theorem1(&series, eps, w, &region, "prop");
+    }
+}

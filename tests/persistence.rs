@@ -1,0 +1,118 @@
+//! Durability: indexes survive process restarts (reopen) and ingestion
+//! resumes across the restart without losing events near the boundary.
+
+use segdiff_repro::prelude::*;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("segdiff-persist-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn walk(n: usize, seed: u64) -> TimeSeries {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = 5.0;
+    (0..n)
+        .map(|i| {
+            v += (rng.random::<f64>() - 0.5) * 2.0;
+            (i as f64 * 300.0, v)
+        })
+        .collect()
+}
+
+#[test]
+fn segdiff_reopen_answers_identically() {
+    let dir = tmpdir("seg-reopen");
+    let series = walk(500, 3);
+    let region = QueryRegion::drop(1.0 * HOUR, -1.5);
+    let before = {
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&series).unwrap();
+        idx.finish().unwrap();
+        idx.build_indexes().unwrap();
+        idx.query(&region, QueryPlan::SeqScan).unwrap().0
+    };
+    let idx = SegDiffIndex::open(&dir, 1024).unwrap();
+    let (scan, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+    let (indexed, _) = idx.query(&region, QueryPlan::Index).unwrap();
+    assert_eq!(before, scan);
+    assert_eq!(before, indexed);
+    // Stats (histograms, counts) survive too.
+    let s = idx.stats();
+    assert_eq!(s.n_observations, 500);
+    assert!(s.n_segments > 0);
+    assert_eq!(s.corner_hist().total(), s.n_rows);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn segdiff_resumed_ingest_preserves_completeness() {
+    // Ingest the first half, finish, reopen, ingest the second half.
+    // Theorem 1's completeness must hold over the whole series, including
+    // events that straddle the restart.
+    let dir = tmpdir("seg-resume");
+    let series = walk(600, 17);
+    let half = series.len() / 2;
+    {
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        for i in 0..half {
+            let (t, v) = series.get(i);
+            idx.push(t, v).unwrap();
+        }
+        idx.finish().unwrap();
+    }
+    let mut idx = SegDiffIndex::open(&dir, 1024).unwrap();
+    for i in half..series.len() {
+        let (t, v) = series.get(i);
+        idx.push(t, v).unwrap();
+    }
+    idx.finish().unwrap();
+
+    let region = QueryRegion::drop(1.0 * HOUR, -1.5);
+    let events = oracle::true_events(&series, &region);
+    assert!(!events.is_empty());
+    let (results, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+    assert_eq!(
+        oracle::find_missed_event(&events, &results),
+        None,
+        "an event was lost across the restart"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exh_reopen_and_resume() {
+    let dir = tmpdir("exh-resume");
+    let series = walk(400, 5);
+    let half = series.len() / 2;
+    {
+        let mut exh = ExhIndex::create(&dir, 4.0 * HOUR, 512).unwrap();
+        for i in 0..half {
+            let (t, v) = series.get(i);
+            exh.push(t, v).unwrap();
+        }
+        exh.finish().unwrap();
+    }
+    let mut exh = ExhIndex::open(&dir, 512).unwrap();
+    for i in half..series.len() {
+        let (t, v) = series.get(i);
+        exh.push(t, v).unwrap();
+    }
+    exh.finish().unwrap();
+
+    // Exh must remain *exactly* the brute force — including the pairs that
+    // straddle the restart, which the persisted window tail provides.
+    let region = QueryRegion::drop(1.0 * HOUR, -1.0);
+    let want = oracle::true_events(&series, &region);
+    let (events, _) = exh.query(&region, QueryPlan::SeqScan).unwrap();
+    assert_eq!(events.len(), want.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopen_missing_directory_fails_cleanly() {
+    let dir = tmpdir("nope");
+    assert!(SegDiffIndex::open(&dir, 128).is_err());
+    assert!(ExhIndex::open(&dir, 128).is_err());
+}
