@@ -12,8 +12,8 @@ use segdiff::QueryPlan;
 use segdiff_bench::{build_segdiff, default_series};
 use sensorgen::HOUR;
 use std::hint::black_box;
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_corner_reduction(c: &mut Criterion) {
     let series = default_series(10, 1);
@@ -31,14 +31,21 @@ fn bench_corner_reduction(c: &mut Criterion) {
     let (a, _) = reduced.index.query(&region, QueryPlan::SeqScan).unwrap();
     let (b, _) = full.query(&region).unwrap();
     assert_eq!(a, b, "corner reduction changed the results");
-    assert!(
-        reduced.index.stats().feature_payload_bytes < full.stats().feature_payload_bytes
-    );
+    assert!(reduced.index.stats().feature_payload_bytes < full.stats().feature_payload_bytes);
 
     let mut group = c.benchmark_group("ablation/corners_scan");
     group.sample_size(20);
     group.bench_function("reduced_1to3", |bch| {
-        bch.iter(|| black_box(reduced.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+        bch.iter(|| {
+            black_box(
+                reduced
+                    .index
+                    .query(&region, QueryPlan::SeqScan)
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
     });
     group.bench_function("full_4", |bch| {
         bch.iter(|| black_box(full.query(&region).unwrap().0.len()))
@@ -85,8 +92,8 @@ fn bench_bulk_vs_incremental(c: &mut Criterion) {
             round += 1;
             let pool = Arc::new(BufferPool::new(8192));
             let fid = pool.register_file(PageFile::create(&path).unwrap());
-            let bt = BTree::bulk_load(pool, fid, 16, entries.iter().map(|k| (k.as_slice(), 0)))
-                .unwrap();
+            let bt =
+                BTree::bulk_load(pool, fid, 16, entries.iter().map(|k| (k.as_slice(), 0))).unwrap();
             std::fs::remove_file(&path).ok();
             black_box(bt.len().min(n))
         })

@@ -17,15 +17,38 @@ fn bench_scaling(c: &mut Criterion) {
     for days in [4u32, 8, 16] {
         let series = default_series(days, 1);
         let n = series.len();
-        let seg = build_segdiff(&series, 0.2, w, 8192, &base.join(format!("seg{days}")), false);
+        let seg = build_segdiff(
+            &series,
+            0.2,
+            w,
+            8192,
+            &base.join(format!("seg{days}")),
+            false,
+        );
         group.bench_with_input(BenchmarkId::new("segdiff", n), &n, |b, _| {
-            b.iter(|| black_box(seg.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+            b.iter(|| {
+                black_box(
+                    seg.index
+                        .query(&region, QueryPlan::SeqScan)
+                        .unwrap()
+                        .0
+                        .len(),
+                )
+            })
         });
         // Exh only at the two smaller sizes (the paper aborts it early).
         if days <= 8 {
             let exh = build_exh(&series, w, 8192, &base.join(format!("exh{days}")), false);
             group.bench_with_input(BenchmarkId::new("exh", n), &n, |b, _| {
-                b.iter(|| black_box(exh.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+                b.iter(|| {
+                    black_box(
+                        exh.index
+                            .query(&region, QueryPlan::SeqScan)
+                            .unwrap()
+                            .0
+                            .len(),
+                    )
+                })
             });
         }
     }

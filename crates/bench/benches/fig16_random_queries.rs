@@ -31,16 +31,12 @@ fn bench_random_queries(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("segdiff_{plan_name}"), label),
                 region,
-                |b, region| {
-                    b.iter(|| black_box(seg.index.query(region, plan).unwrap().0.len()))
-                },
+                |b, region| b.iter(|| black_box(seg.index.query(region, plan).unwrap().0.len())),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("exh_{plan_name}"), label),
                 region,
-                |b, region| {
-                    b.iter(|| black_box(exh.index.query(region, plan).unwrap().0.len()))
-                },
+                |b, region| b.iter(|| black_box(exh.index.query(region, plan).unwrap().0.len())),
             );
         }
     }
@@ -52,13 +48,25 @@ fn bench_random_queries(c: &mut Criterion) {
     group.bench_function("segdiff_scan", |b| {
         b.iter(|| {
             seg.index.clear_cache().unwrap();
-            black_box(seg.index.query(&region, QueryPlan::SeqScan).unwrap().0.len())
+            black_box(
+                seg.index
+                    .query(&region, QueryPlan::SeqScan)
+                    .unwrap()
+                    .0
+                    .len(),
+            )
         })
     });
     group.bench_function("exh_scan", |b| {
         b.iter(|| {
             exh.index.clear_cache().unwrap();
-            black_box(exh.index.query(&region, QueryPlan::SeqScan).unwrap().0.len())
+            black_box(
+                exh.index
+                    .query(&region, QueryPlan::SeqScan)
+                    .unwrap()
+                    .0
+                    .len(),
+            )
         })
     });
     group.bench_function("segdiff_index", |b| {

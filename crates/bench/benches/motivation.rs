@@ -40,10 +40,26 @@ fn bench_motivation(c: &mut Criterion) {
         b.iter(|| black_box(naive.query(&region).unwrap().0.len()))
     });
     group.bench_function("exh_scan", |b| {
-        b.iter(|| black_box(exh.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+        b.iter(|| {
+            black_box(
+                exh.index
+                    .query(&region, QueryPlan::SeqScan)
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
     });
     group.bench_function("segdiff_scan", |b| {
-        b.iter(|| black_box(seg.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+        b.iter(|| {
+            black_box(
+                seg.index
+                    .query(&region, QueryPlan::SeqScan)
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
     });
     group.finish();
     std::fs::remove_dir_all(&base).ok();

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pagestore::{encode_f64, BTree, BufferPool, Database, PageFile, TableSpec};
 use std::hint::black_box;
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_encode(c: &mut Criterion) {
     c.bench_function("storage/encode_f64", |b| {
@@ -60,10 +60,14 @@ fn bench_btree(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, &span| {
             b.iter(|| {
                 let mut count = 0u64;
-                bt.range(&50_000u64.to_be_bytes(), &(50_000 + span).to_be_bytes(), |_, _| {
-                    count += 1;
-                    true
-                })
+                bt.range(
+                    &50_000u64.to_be_bytes(),
+                    &(50_000 + span).to_be_bytes(),
+                    |_, _| {
+                        count += 1;
+                        true
+                    },
+                )
                 .unwrap();
                 black_box(count)
             })
@@ -78,7 +82,9 @@ fn bench_heap_scan(c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("segdiff-bench-heap-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let db = Database::create(&dir, 8192).unwrap();
-    let t = db.create_table(TableSpec::new("rows", &["a", "b", "c"])).unwrap();
+    let t = db
+        .create_table(TableSpec::new("rows", &["a", "b", "c"]))
+        .unwrap();
     for i in 0..200_000 {
         t.insert(&[i as f64, -(i as f64), 0.5 * i as f64]).unwrap();
     }

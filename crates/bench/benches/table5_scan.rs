@@ -17,14 +17,37 @@ fn bench_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5/seq_scan");
     group.sample_size(20);
     for eps in [0.1, 0.2, 1.0] {
-        let seg = build_segdiff(&series, eps, w, 8192, &base.join(format!("seg{eps}")), false);
+        let seg = build_segdiff(
+            &series,
+            eps,
+            w,
+            8192,
+            &base.join(format!("seg{eps}")),
+            false,
+        );
         group.bench_with_input(BenchmarkId::new("segdiff", eps), &eps, |b, _| {
-            b.iter(|| black_box(seg.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+            b.iter(|| {
+                black_box(
+                    seg.index
+                        .query(&region, QueryPlan::SeqScan)
+                        .unwrap()
+                        .0
+                        .len(),
+                )
+            })
         });
     }
     let exh = build_exh(&series, w, 8192, &base.join("exh"), false);
     group.bench_function("exh", |b| {
-        b.iter(|| black_box(exh.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+        b.iter(|| {
+            black_box(
+                exh.index
+                    .query(&region, QueryPlan::SeqScan)
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
     });
     group.finish();
     std::fs::remove_dir_all(&base).ok();

@@ -45,7 +45,16 @@ fn bench_window(c: &mut Criterion) {
             false,
         );
         group.bench_with_input(BenchmarkId::from_parameter(wh), &wh, |b, _| {
-            b.iter(|| black_box(built.index.query(&region, QueryPlan::SeqScan).unwrap().0.len()))
+            b.iter(|| {
+                black_box(
+                    built
+                        .index
+                        .query(&region, QueryPlan::SeqScan)
+                        .unwrap()
+                        .0
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

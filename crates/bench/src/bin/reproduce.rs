@@ -12,6 +12,7 @@
 //! `--tiny` (smoke-test scale), `--out PATH` (write markdown).
 
 use segdiff_bench::experiments::{self, EpsSweep, RandomQueryPoint, ScalePoint, WPoint};
+use segdiff_bench::harness::with_registry_delta;
 use segdiff_bench::{Report, Scale};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -42,8 +43,10 @@ fn parse_args() -> Args {
                 args.scale.subset_days = it.next().and_then(|v| v.parse().ok()).expect("--days N")
             }
             "--full-days" => {
-                args.scale.full_days =
-                    it.next().and_then(|v| v.parse().ok()).expect("--full-days N")
+                args.scale.full_days = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--full-days N")
             }
             "--repeats" => {
                 args.scale.repeats = it.next().and_then(|v| v.parse().ok()).expect("--repeats N")
@@ -74,8 +77,9 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let want =
-        |name: &str| -> bool { args.experiments.contains("all") || args.experiments.contains(name) };
+    let want = |name: &str| -> bool {
+        args.experiments.contains("all") || args.experiments.contains(name)
+    };
     let mut report = Report::new();
     report.para(&format!(
         "# SegDiff reproduction run\n\nsubset: {} days, full: {} days, repeats: {}, seed: {}",
@@ -86,9 +90,12 @@ fn main() {
         .iter()
         .any(|e| want(e));
     let mut eps_sweep: Option<EpsSweep> = None;
+    let mut eps_metrics = None;
     if needs_eps {
         eprintln!("[reproduce] running epsilon sweep ...");
-        eps_sweep = Some(experiments::run_eps_sweep(&args.scale));
+        let (sweep, delta) = with_registry_delta(|| experiments::run_eps_sweep(&args.scale));
+        eps_sweep = Some(sweep);
+        eps_metrics = Some(delta);
     }
     if let Some(sweep) = &eps_sweep {
         if want("table3") {
@@ -106,18 +113,25 @@ fn main() {
         if want("fig7_11") {
             experiments::figs7_to_11(sweep, &mut report);
         }
+        if let Some(delta) = &eps_metrics {
+            report.metrics("Telemetry: epsilon sweep", delta);
+        }
     }
 
     if want("table7") || want("fig12_13") {
         eprintln!("[reproduce] running window sweep ...");
-        let points: Vec<WPoint> = experiments::run_w_sweep(&args.scale);
+        let (points, delta): (Vec<WPoint>, _) =
+            with_registry_delta(|| experiments::run_w_sweep(&args.scale));
         experiments::table7_figs12_13(&points, &mut report);
+        report.metrics("Telemetry: window sweep", &delta);
     }
 
     if want("fig14_15") {
         eprintln!("[reproduce] running scalability experiment ...");
-        let points: Vec<ScalePoint> = experiments::run_scaling(&args.scale);
+        let (points, delta): (Vec<ScalePoint>, _) =
+            with_registry_delta(|| experiments::run_scaling(&args.scale));
         experiments::figs14_15(&points, &mut report);
+        report.metrics("Telemetry: scalability", &delta);
     }
 
     if want("fig16_24") {
@@ -125,9 +139,10 @@ fn main() {
             "[reproduce] running random-query study ({} queries) ...",
             args.queries
         );
-        let points: Vec<RandomQueryPoint> =
-            experiments::run_random_queries(&args.scale, args.queries);
+        let (points, delta): (Vec<RandomQueryPoint>, _) =
+            with_registry_delta(|| experiments::run_random_queries(&args.scale, args.queries));
         experiments::figs16_24(&points, &mut report);
+        report.metrics("Telemetry: random queries", &delta);
     }
 
     if let Some(path) = &args.out {

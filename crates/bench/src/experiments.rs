@@ -142,7 +142,13 @@ pub fn table4(sweep: &EpsSweep, report: &mut Report) {
         })
         .collect();
     report.table(
-        &["eps", "one corner %", "two corners %", "three corners %", "effective"],
+        &[
+            "eps",
+            "one corner %",
+            "two corners %",
+            "three corners %",
+            "effective",
+        ],
         &rows,
     );
     report.para(
@@ -166,10 +172,7 @@ pub fn table5(sweep: &EpsSweep, report: &mut Report) {
             ]
         })
         .collect();
-    report.table(
-        &["eps", "r_f (physical)", "r_f (paper c2)", "r_st"],
-        &rows,
-    );
+    report.table(&["eps", "r_f (physical)", "r_f (paper c2)", "r_st"], &rows);
     report.para("(paper: r_f 5.88..61.71, r_st 3.19..19.22 — both grow with eps)");
 }
 
@@ -184,7 +187,10 @@ pub fn table6(sweep: &EpsSweep, report: &mut Report) {
                 format!("{}", p.eps),
                 ratio(sweep.exh_disk as f64, p.seg_disk as f64),
                 ratio(sweep.exh_idx.seconds, p.index.seconds),
-                ratio(sweep.exh_idx.pages_read as f64, p.index.pages_read.max(1) as f64),
+                ratio(
+                    sweep.exh_idx.pages_read as f64,
+                    p.index.pages_read.max(1) as f64,
+                ),
             ]
         })
         .collect();
@@ -383,7 +389,11 @@ pub fn run_scaling(scale: &Scale) -> Vec<ScalePoint> {
     let mut out = Vec::new();
     for g in 0..5 {
         let lo = g * group;
-        let hi = if g == 4 { series.len() } else { (g + 1) * group };
+        let hi = if g == 4 {
+            series.len()
+        } else {
+            (g + 1) * group
+        };
         for i in lo..hi {
             let (t, v) = series.get(i);
             seg.index.push(t, v).expect("seg push");
@@ -433,19 +443,30 @@ pub fn figs14_15(points: &[ScalePoint], report: &mut Report) {
         .map(|p| {
             let exh_feat = match p.exh_payload {
                 Some(b) => mib(b),
-                None => format!("~{} (extrapolated)", mib((base + slope * (p.n_obs as f64 - base_n)) as u64)),
+                None => format!(
+                    "~{} (extrapolated)",
+                    mib((base + slope * (p.n_obs as f64 - base_n)) as u64)
+                ),
             };
             vec![
                 format!("{}", p.n_obs),
                 mib(p.seg_payload),
                 exh_feat,
                 ms(p.seg_scan.seconds),
-                p.exh_scan.map(|t| ms(t.seconds)).unwrap_or_else(|| "aborted".into()),
+                p.exh_scan
+                    .map(|t| ms(t.seconds))
+                    .unwrap_or_else(|| "aborted".into()),
             ]
         })
         .collect();
     report.table(
-        &["n", "SegDiff MiB", "Exh MiB", "SegDiff scan ms", "Exh scan ms"],
+        &[
+            "n",
+            "SegDiff MiB",
+            "Exh MiB",
+            "SegDiff scan ms",
+            "Exh scan ms",
+        ],
         &rows,
     );
     report.para(
@@ -475,7 +496,14 @@ pub fn run_random_queries(scale: &Scale, n_queries: usize) -> Vec<RandomQueryPoi
     use rand::{rngs::StdRng, RngExt, SeedableRng};
     let series = default_series(scale.subset_days, scale.seed);
     let w = 8.0 * HOUR;
-    let seg = build_segdiff(&series, 0.2, w, scale.pool_pages, &scratch_dir("rq-seg"), true);
+    let seg = build_segdiff(
+        &series,
+        0.2,
+        w,
+        scale.pool_pages,
+        &scratch_dir("rq-seg"),
+        true,
+    );
     let exh = build_exh(&series, w, scale.pool_pages, &scratch_dir("rq-exh"), true);
 
     let v_extent = series.value_range();
@@ -554,7 +582,11 @@ pub fn figs16_24(points: &[RandomQueryPoint], report: &mut Report) {
                 format!("{:.2}", p.t_hours),
                 format!("{:.2}", p.v),
                 format!("{}", p.results),
-                if p.results >= hard_threshold { "hard".into() } else { "".into() },
+                if p.results >= hard_threshold {
+                    "hard".into()
+                } else {
+                    "".into()
+                },
             ]
         })
         .collect();

@@ -135,6 +135,18 @@ pub fn build_exh(
     }
 }
 
+/// Runs `f` with the global metrics registry snapshotted around it and
+/// returns the closure's output plus the registry delta for that window:
+/// counters as differences, histograms as the post-run summaries of every
+/// series that advanced. Use it to bracket the timed portion of an
+/// experiment so the report can embed exactly the telemetry it generated.
+pub fn with_registry_delta<T>(f: impl FnOnce() -> T) -> (T, obs::MetricsSnapshot) {
+    let before = obs::global().snapshot();
+    let out = f();
+    let delta = obs::global().snapshot().delta(&before);
+    (out, delta)
+}
+
 /// Timing result of a repeated query.
 #[derive(Debug, Clone, Copy)]
 pub struct TimedQuery {

@@ -56,6 +56,46 @@ impl Report {
         }
     }
 
+    /// Appends a telemetry section: counter deltas and span latency
+    /// summaries collected while an experiment ran (see
+    /// [`crate::harness::with_registry_delta`]).
+    pub fn metrics(&mut self, title: &str, delta: &obs::MetricsSnapshot) {
+        self.heading(title);
+        if delta.counters.is_empty() && delta.histograms.is_empty() {
+            self.para("(no metrics recorded)");
+            return;
+        }
+        if !delta.counters.is_empty() {
+            let rows: Vec<Vec<String>> = delta
+                .counters
+                .iter()
+                .map(|(k, v)| vec![k.clone(), v.to_string()])
+                .collect();
+            self.table(&["counter", "delta"], &rows);
+        }
+        if !delta.histograms.is_empty() {
+            self.para("");
+            let rows: Vec<Vec<String>> = delta
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    vec![
+                        k.clone(),
+                        h.count.to_string(),
+                        ms(h.p50 as f64 / 1e9),
+                        ms(h.p90 as f64 / 1e9),
+                        ms(h.p99 as f64 / 1e9),
+                        ms(h.max as f64 / 1e9),
+                    ]
+                })
+                .collect();
+            self.table(
+                &["span", "count", "p50 ms", "p90 ms", "p99 ms", "max ms"],
+                &rows,
+            );
+        }
+    }
+
     /// The accumulated markdown.
     pub fn markdown(&self) -> &str {
         &self.buf
@@ -108,6 +148,28 @@ mod tests {
         assert!(md.contains("## Demo"));
         assert!(md.contains("| 0.1 |"));
         assert!(md.contains("18.55"));
+    }
+
+    #[test]
+    fn metrics_section_renders_counters_and_spans() {
+        let reg = obs::MetricsRegistry::new();
+        reg.counter("pool.hits").add(7);
+        reg.histogram("span.query").record(2_000_000);
+        let delta = reg.snapshot().delta(&obs::MetricsSnapshot::default());
+        let mut r = Report::new();
+        r.metrics("Telemetry", &delta);
+        let md = r.markdown();
+        assert!(md.contains("## Telemetry"));
+        assert!(
+            md.lines()
+                .any(|l| l.contains("pool.hits") && l.contains('7')),
+            "{md}"
+        );
+        assert!(md.contains("span.query"));
+
+        let mut empty = Report::new();
+        empty.metrics("Telemetry", &obs::MetricsSnapshot::default());
+        assert!(empty.markdown().contains("(no metrics recorded)"));
     }
 
     #[test]

@@ -8,9 +8,13 @@ usage:
   segdiff generate --csv FILE --days N [--sensor K] [--seed S] [--raw]
   segdiff ingest   --index DIR --csv FILE [--epsilon E] [--window-hours H] [--no-smooth]
   segdiff query    --index DIR --kind drop|jump --v V --t-hours H
-                   [--plan scan|index] [--refine FILE] [--limit N]
-  segdiff stats    --index DIR
-  segdiff sql      --index DIR \"SELECT ...\"";
+                   [--plan scan|index] [--refine FILE] [--limit N] [--trace]
+  segdiff stats    --index DIR [--json]
+  segdiff metrics  --index DIR [--json]
+  segdiff sql      --index DIR \"SELECT ...\"
+
+environment:
+  SEGDIFF_LOG=off|error|warn|info|debug   diagnostic verbosity (default warn)";
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,11 +61,22 @@ pub enum Command {
         refine: Option<PathBuf>,
         /// Max results to print.
         limit: usize,
+        /// Print an EXPLAIN ANALYZE-style per-phase trace.
+        trace: bool,
     },
     /// Print index statistics.
     Stats {
         /// Index directory.
         index: PathBuf,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
+    /// Print the telemetry registry after probing the index.
+    Metrics {
+        /// Index directory.
+        index: PathBuf,
+        /// Emit line-delimited JSON instead of text.
+        json: bool,
     },
     /// Execute a SQL statement against the index's database.
     Sql {
@@ -72,11 +87,7 @@ pub enum Command {
     },
 }
 
-fn take_value<'a>(
-    argv: &'a [String],
-    i: &mut usize,
-    flag: &str,
-) -> Result<&'a str, String> {
+fn take_value<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
     *i += 1;
     argv.get(*i)
         .map(|s| s.as_str())
@@ -102,6 +113,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut refine: Option<PathBuf> = None;
     let mut limit = 50usize;
     let mut statement: Option<String> = None;
+    let mut trace = false;
+    let mut json = false;
 
     let mut i = 1;
     while i < argv.len() {
@@ -159,6 +172,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "--limit must be an integer")?
             }
+            "--trace" => trace = true,
+            "--json" => json = true,
             other if !other.starts_with("--") && sub == "sql" && statement.is_none() => {
                 statement = Some(other.to_string());
             }
@@ -198,10 +213,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 plan,
                 refine,
                 limit,
+                trace,
             })
         }
         "stats" => Ok(Command::Stats {
             index: index.ok_or("stats needs --index")?,
+            json,
+        }),
+        "metrics" => Ok(Command::Metrics {
+            index: index.ok_or("metrics needs --index")?,
+            json,
         }),
         "sql" => Ok(Command::Sql {
             index: index.ok_or("sql needs --index")?,
@@ -238,13 +259,45 @@ mod tests {
     fn parses_query_with_defaults() {
         let c = parse(&argv("query --index d --kind drop --v -3 --t-hours 1")).unwrap();
         match c {
-            Command::Query { plan, limit, refine, .. } => {
+            Command::Query {
+                plan,
+                limit,
+                refine,
+                trace,
+                ..
+            } => {
                 assert_eq!(plan, "scan");
                 assert_eq!(limit, 50);
                 assert!(refine.is_none());
+                assert!(!trace);
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_trace_and_json_flags() {
+        match parse(&argv(
+            "query --index d --kind drop --v -3 --t-hours 1 --trace",
+        ))
+        .unwrap()
+        {
+            Command::Query { trace, .. } => assert!(trace),
+            _ => panic!(),
+        }
+        match parse(&argv("stats --index d --json")).unwrap() {
+            Command::Stats { json, .. } => assert!(json),
+            _ => panic!(),
+        }
+        match parse(&argv("stats --index d")).unwrap() {
+            Command::Stats { json, .. } => assert!(!json),
+            _ => panic!(),
+        }
+        match parse(&argv("metrics --index d --json")).unwrap() {
+            Command::Metrics { json, .. } => assert!(json),
+            _ => panic!(),
+        }
+        assert!(parse(&argv("metrics")).is_err());
     }
 
     #[test]
@@ -253,7 +306,10 @@ mod tests {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("generate --days 3")).is_err());
         assert!(parse(&argv("query --index d --kind sideways --v -3 --t-hours 1")).is_err());
-        assert!(parse(&argv("query --index d --kind drop --v -3 --t-hours 1 --plan turbo")).is_err());
+        assert!(parse(&argv(
+            "query --index d --kind drop --v -3 --t-hours 1 --plan turbo"
+        ))
+        .is_err());
         assert!(parse(&argv("ingest --index d --csv f --epsilon nope")).is_err());
     }
 

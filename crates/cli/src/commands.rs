@@ -2,6 +2,8 @@
 
 use crate::args::Command;
 use featurespace::QueryRegion;
+use obs::export::Exporter;
+use obs::json::Json;
 use segdiff::refine::refine_results;
 use segdiff::{QueryPlan, SegDiffConfig, SegDiffIndex};
 use sensorgen::{
@@ -37,8 +39,19 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
             plan,
             refine,
             limit,
-        } => query(&index, &kind, v, t_hours, &plan, refine.as_deref(), limit),
-        Command::Stats { index } => stats(&index),
+            trace,
+        } => query(
+            &index,
+            &kind,
+            v,
+            t_hours,
+            &plan,
+            refine.as_deref(),
+            limit,
+            trace,
+        ),
+        Command::Stats { index, json } => stats(&index, json),
+        Command::Metrics { index, json } => metrics(&index, json),
         Command::Sql { index, statement } => sql(&index, &statement),
     }
 }
@@ -46,8 +59,10 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
 fn generate(csv: &Path, days: u32, sensor: u32, seed: u64, raw: bool) -> Result<(), Anyhow> {
     let cfg = CadTransectConfig::default().with_days(days);
     let mut series = generate_sensor(&cfg, sensor, seed);
+    obs::debug!("generated {} raw observations (seed {seed})", series.len());
     if !raw {
         series = RobustSmoother::default().smooth(&series);
+        obs::debug!("smoothed to {} observations", series.len());
     }
     write_csv(csv, &series)?;
     println!(
@@ -61,8 +76,13 @@ fn generate(csv: &Path, days: u32, sensor: u32, seed: u64, raw: bool) -> Result<
 
 fn open_or_create(index: &Path, epsilon: f64, window_hours: f64) -> Result<SegDiffIndex, Anyhow> {
     if index.join("segdiff.meta").exists() {
+        obs::info!("resuming existing index at {}", index.display());
         Ok(SegDiffIndex::open(index, 4096)?)
     } else {
+        obs::info!(
+            "creating index at {} (epsilon {epsilon}, window {window_hours} h)",
+            index.display()
+        );
         let cfg = SegDiffConfig::default()
             .with_epsilon(epsilon)
             .with_window(window_hours * HOUR);
@@ -85,6 +105,7 @@ fn ingest(
     let before = idx.stats().n_observations;
     idx.ingest_series(&series)?;
     idx.finish()?;
+    idx.build_indexes()?;
     let s = idx.stats();
     println!(
         "ingested {} observations (total {}), {} segments (r = {:.2}), {} feature rows",
@@ -97,6 +118,28 @@ fn ingest(
     Ok(())
 }
 
+/// Renders one span of the query trace, `EXPLAIN ANALYZE`-style.
+fn print_trace_node(node: &obs::TraceNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let mut attrs = String::new();
+    for (k, v) in &node.attrs {
+        let rendered = match v {
+            Json::Str(s) => s.clone(),
+            other => other.to_string_compact(),
+        };
+        attrs.push_str(&format!("  {k}={rendered}"));
+    }
+    println!(
+        "{indent}-> {}  wall={:.3}ms{attrs}",
+        node.name,
+        node.wall_nanos as f64 / 1e6
+    );
+    for child in &node.children {
+        print_trace_node(child, depth + 1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn query(
     index: &Path,
     kind: &str,
@@ -105,6 +148,7 @@ fn query(
     plan: &str,
     refine: Option<&Path>,
     limit: usize,
+    trace: bool,
 ) -> Result<(), Anyhow> {
     let idx = SegDiffIndex::open(index, 4096)?;
     let region = match kind {
@@ -116,6 +160,9 @@ fn query(
     } else {
         QueryPlan::SeqScan
     };
+    if trace {
+        obs::trace_begin();
+    }
     let (results, qstats) = idx.query(&region, plan)?;
     println!(
         "{} periods ({} rows examined, {:.2} ms)",
@@ -123,6 +170,32 @@ fn query(
         qstats.rows_considered,
         qstats.wall_seconds * 1e3
     );
+    if trace {
+        if let Some(node) = obs::trace_take() {
+            println!();
+            print_trace_node(&node, 0);
+        }
+        // The phase deltas tile the query: summing them must reproduce
+        // the pool's total delta. Print both so it can be checked.
+        let mut phases = pagestore::PoolStats::default();
+        for p in &qstats.phases {
+            phases = phases.merged(&p.io);
+        }
+        let consistent = phases == qstats.io;
+        println!(
+            "io: phases {}r+{}w ({} hit, {} miss) vs query total {}r+{}w ({} hit, {} miss) => {}",
+            phases.physical_reads,
+            phases.physical_writes,
+            phases.hits,
+            phases.misses,
+            qstats.io.physical_reads,
+            qstats.io.physical_writes,
+            qstats.io.hits,
+            qstats.io.misses,
+            if consistent { "consistent" } else { "MISMATCH" },
+        );
+        println!();
+    }
     for p in results.iter().take(limit) {
         println!(
             "start in [{:.1}, {:.1}]  end in [{:.1}, {:.1}]{}",
@@ -130,7 +203,11 @@ fn query(
             p.t_c,
             p.t_b,
             p.t_a,
-            if p.is_self_pair() { "  (single segment)" } else { "" }
+            if p.is_self_pair() {
+                "  (single segment)"
+            } else {
+                ""
+            }
         );
     }
     if results.len() > limit {
@@ -140,7 +217,11 @@ fn query(
         let series = read_csv(raw_csv)?;
         let refined = refine_results(&series, &results, &region, 24);
         let exact = refined.iter().filter(|e| e.meets_threshold).count();
-        println!("\nrefined against {}: {exact}/{} meet the threshold exactly", raw_csv.display(), refined.len());
+        println!(
+            "\nrefined against {}: {exact}/{} meet the threshold exactly",
+            raw_csv.display(),
+            refined.len()
+        );
         for e in refined.iter().filter(|e| e.meets_threshold).take(limit) {
             println!(
                 "event at t = {:.1} .. {:.1}: change {:.3}",
@@ -151,14 +232,52 @@ fn query(
     Ok(())
 }
 
-fn stats(index: &Path) -> Result<(), Anyhow> {
+fn stats(index: &Path, json: bool) -> Result<(), Anyhow> {
     let idx = SegDiffIndex::open(index, 4096)?;
     let s = idx.stats();
     let hist = s.corner_hist();
+    if json {
+        let doc = Json::obj([
+            ("observations", Json::from(s.n_observations)),
+            ("segments", Json::from(s.n_segments)),
+            ("compression_rate", Json::from(s.compression_rate())),
+            ("feature_rows", Json::from(s.n_rows)),
+            ("feature_payload_bytes", Json::from(s.feature_payload_bytes)),
+            ("paper_feature_bytes", Json::from(s.paper_feature_bytes)),
+            ("heap_bytes", Json::from(s.heap_bytes)),
+            ("index_bytes", Json::from(s.index_bytes)),
+            ("disk_bytes", Json::from(s.disk_bytes())),
+            (
+                "corner_hist",
+                Json::obj([
+                    ("one", Json::from(hist.counts[0])),
+                    ("two", Json::from(hist.counts[1])),
+                    ("three", Json::from(hist.counts[2])),
+                    ("effective", Json::from(hist.effective_corners())),
+                ]),
+            ),
+            (
+                "config",
+                Json::obj([
+                    ("epsilon", Json::from(idx.config().epsilon)),
+                    ("window_hours", Json::from(idx.config().window / HOUR)),
+                ]),
+            ),
+        ]);
+        println!("{doc}");
+        return Ok(());
+    }
     println!("observations:    {}", s.n_observations);
-    println!("segments:        {} (r = {:.2})", s.n_segments, s.compression_rate());
+    println!(
+        "segments:        {} (r = {:.2})",
+        s.n_segments,
+        s.compression_rate()
+    );
     println!("feature rows:    {}", s.n_rows);
-    println!("feature bytes:   {} ({} under the paper's c2 accounting)", s.feature_payload_bytes, s.paper_feature_bytes);
+    println!(
+        "feature bytes:   {} ({} under the paper's c2 accounting)",
+        s.feature_payload_bytes, s.paper_feature_bytes
+    );
     println!("heap bytes:      {}", s.heap_bytes);
     println!("index bytes:     {}", s.index_bytes);
     println!(
@@ -168,7 +287,34 @@ fn stats(index: &Path) -> Result<(), Anyhow> {
         hist.percent(3),
         hist.effective_corners()
     );
-    println!("config:          epsilon {}, window {:.1} h", idx.config().epsilon, idx.config().window / HOUR);
+    println!(
+        "config:          epsilon {}, window {:.1} h",
+        idx.config().epsilon,
+        idx.config().window / HOUR
+    );
+    Ok(())
+}
+
+/// Opens the index, runs one representative query per plan against it,
+/// and dumps everything the telemetry registry collected — pool and
+/// B+tree counters, ingest counters, and per-span latency histograms.
+fn metrics(index: &Path, json: bool) -> Result<(), Anyhow> {
+    let idx = SegDiffIndex::open(index, 4096)?;
+    let w = idx.config().window;
+    // A permissive probe region so the probe touches all three tables.
+    for region in [QueryRegion::drop(w, -0.1), QueryRegion::jump(w, 0.1)] {
+        let _ = idx.query(&region, QueryPlan::SeqScan)?;
+        // Also exercise the B+tree path when indexes exist (they may not,
+        // for an index built before `ingest` created them).
+        let _ = idx.query(&region, QueryPlan::Index);
+    }
+    let snapshot = obs::global().snapshot();
+    let rendered = if json {
+        obs::export::JsonLinesExporter.export(&snapshot)
+    } else {
+        obs::export::TextExporter.export(&snapshot)
+    };
+    print!("{rendered}");
     Ok(())
 }
 
@@ -180,7 +326,11 @@ fn sql(index: &Path, statement: &str) -> Result<(), Anyhow> {
         pagestore::ExecOutcome::Count { count, plan } => {
             println!("count: {count}  (plan: {plan:?})")
         }
-        pagestore::ExecOutcome::Rows { columns, rows, plan } => {
+        pagestore::ExecOutcome::Rows {
+            columns,
+            rows,
+            plan,
+        } => {
             println!("-- plan: {plan:?}");
             println!("{}", columns.join(","));
             for row in rows {

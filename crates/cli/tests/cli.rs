@@ -16,7 +16,10 @@ fn tmp(tag: &str) -> PathBuf {
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(bin()).args(args).output().expect("spawn segdiff")
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn segdiff")
 }
 
 fn stdout(o: &Output) -> String {
@@ -30,7 +33,15 @@ fn full_workflow_through_the_binary() {
     let idx = dir.join("index");
 
     // generate
-    let o = run(&["generate", "--csv", csv.to_str().unwrap(), "--days", "7", "--seed", "7"]);
+    let o = run(&[
+        "generate",
+        "--csv",
+        csv.to_str().unwrap(),
+        "--days",
+        "7",
+        "--seed",
+        "7",
+    ]);
     assert!(o.status.success(), "{o:?}");
     assert!(stdout(&o).contains("wrote"));
     assert!(csv.exists());
@@ -135,11 +146,189 @@ fn resume_ingest_across_invocations() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Builds a 10-day index for the observability tests and returns
+/// (dir, csv, index) paths.
+fn build_ten_day_index(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = tmp(tag);
+    let csv = dir.join("data.csv");
+    let idx = dir.join("index");
+    let o = run(&[
+        "generate",
+        "--csv",
+        csv.to_str().unwrap(),
+        "--days",
+        "10",
+        "--seed",
+        "11",
+    ]);
+    assert!(o.status.success(), "{o:?}");
+    let o = run(&[
+        "ingest",
+        "--index",
+        idx.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+        "--no-smooth",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    (dir, csv, idx)
+}
+
+#[test]
+fn stats_json_round_trips_through_a_parser() {
+    let (dir, _csv, idx) = build_ten_day_index("statsjson");
+    let o = run(&["stats", "--index", idx.to_str().unwrap(), "--json"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = stdout(&o);
+    // A single machine-readable line that survives a strict JSON parser.
+    assert_eq!(text.trim().lines().count(), 1, "{text}");
+    let doc = obs::json::Json::parse(text.trim()).expect("stats --json must be valid JSON");
+
+    // Schema-stable keys with sane values.
+    let obs_count = doc.get("observations").and_then(|v| v.as_u64()).unwrap();
+    assert!(obs_count > 0, "{text}");
+    let segments = doc.get("segments").and_then(|v| v.as_u64()).unwrap();
+    assert!(segments > 0 && segments <= obs_count, "{text}");
+    assert!(
+        doc.get("compression_rate")
+            .and_then(|v| v.as_f64())
+            .unwrap()
+            >= 1.0
+    );
+    for key in [
+        "feature_rows",
+        "feature_payload_bytes",
+        "paper_feature_bytes",
+        "heap_bytes",
+        "index_bytes",
+        "disk_bytes",
+    ] {
+        assert!(
+            doc.get(key).and_then(|v| v.as_u64()).is_some(),
+            "missing {key}: {text}"
+        );
+    }
+    let hist = doc.get("corner_hist").expect("corner_hist");
+    for key in ["one", "two", "three"] {
+        assert!(
+            hist.get(key).and_then(|v| v.as_u64()).is_some(),
+            "missing corner_hist.{key}"
+        );
+    }
+    assert!(hist.get("effective").and_then(|v| v.as_f64()).is_some());
+    let cfg = doc.get("config").expect("config");
+    assert_eq!(cfg.get("epsilon").and_then(|v| v.as_f64()), Some(0.2));
+    assert_eq!(cfg.get("window_hours").and_then(|v| v.as_f64()), Some(8.0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_trace_prints_consistent_phase_tree() {
+    let (dir, _csv, idx) = build_ten_day_index("trace");
+    for (plan, phases) in [
+        ("scan", &["query.plan", "query.scan", "query.refine"][..]),
+        (
+            "index",
+            &["query.plan", "query.probe", "query.fetch", "query.refine"][..],
+        ),
+    ] {
+        let o = run(&[
+            "query",
+            "--index",
+            idx.to_str().unwrap(),
+            "--kind",
+            "drop",
+            "--v",
+            "-3",
+            "--t-hours",
+            "1",
+            "--plan",
+            plan,
+            "--trace",
+        ]);
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+        let text = stdout(&o);
+        // The trace tree: a root query span with one nested line per phase,
+        // each reporting wall time and buffer-pool deltas.
+        assert!(text.contains("-> query  wall="), "{text}");
+        for phase in phases {
+            let line = text
+                .lines()
+                .find(|l| l.trim_start().starts_with(&format!("-> {phase} ")))
+                .unwrap_or_else(|| panic!("missing phase {phase} in:\n{text}"));
+            assert!(line.contains("wall="), "{line}");
+            assert!(line.contains("physical_reads="), "{line}");
+            assert!(line.contains("pool_hits="), "{line}");
+        }
+        // The per-phase I/O deltas must tile the query's total delta.
+        assert!(text.contains("=> consistent"), "{text}");
+        assert!(!text.contains("MISMATCH"), "{text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_emits_parseable_json_lines() {
+    let (dir, _csv, idx) = build_ten_day_index("metrics");
+    let o = run(&["metrics", "--index", idx.to_str().unwrap(), "--json"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = stdout(&o);
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let doc = obs::json::Json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable metrics line {line:?}: {e}"));
+        let kind = doc
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .expect("kind")
+            .to_string();
+        assert!(kind == "counter" || kind == "histogram", "{line}");
+        names.push(
+            doc.get("name")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .to_string(),
+        );
+        if kind == "counter" {
+            assert!(
+                doc.get("value").and_then(|v| v.as_u64()).is_some(),
+                "{line}"
+            );
+        } else {
+            for key in ["count", "sum", "p50", "p90", "p99", "max"] {
+                assert!(doc.get(key).is_some(), "missing {key} in {line}");
+            }
+        }
+    }
+    // Probing the index must feed both the pool counters and the query
+    // span histograms.
+    assert!(names.iter().any(|n| n.starts_with("pool.")), "{names:?}");
+    assert!(names.iter().any(|n| n == "span.query"), "{names:?}");
+
+    // Text mode renders the same registry human-readably.
+    let o = run(&["metrics", "--index", idx.to_str().unwrap()]);
+    assert!(o.status.success());
+    let text = stdout(&o);
+    assert!(text.contains("counters:"), "{text}");
+    assert!(text.contains("histograms"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     let o = run(&["frobnicate"]);
     assert_eq!(o.status.code(), Some(2));
-    let o = run(&["query", "--index", "/nonexistent", "--kind", "drop", "--v", "-3", "--t-hours", "1"]);
+    let o = run(&[
+        "query",
+        "--index",
+        "/nonexistent",
+        "--kind",
+        "drop",
+        "--v",
+        "-3",
+        "--t-hours",
+        "1",
+    ]);
     assert_eq!(o.status.code(), Some(1));
     let err = String::from_utf8_lossy(&o.stderr);
     assert!(err.contains("error:"), "{err}");

@@ -58,7 +58,10 @@ pub struct FullCornerIndex {
 impl FullCornerIndex {
     /// Creates the ablation index under `dir`.
     pub fn create(dir: &Path, epsilon: f64, window: f64, pool_pages: usize) -> Result<Self> {
-        assert!(window.is_finite() && window > 0.0, "window must be positive");
+        assert!(
+            window.is_finite() && window > 0.0,
+            "window must be positive"
+        );
         let db = Database::create(dir, pool_pages)?;
         let drop_table = db.create_table(TableSpec::new("drop4", &COLS))?;
         let jump_table = db.create_table(TableSpec::new("jump4", &COLS))?;
@@ -112,7 +115,9 @@ impl FullCornerIndex {
         }
         let mut row = [0.0f64; 12];
         for cd in &self.prev {
-            let Some(cd_eff) = cd.truncate_left(win_start) else { continue };
+            let Some(cd_eff) = cd.truncate_left(win_start) else {
+                continue;
+            };
             for kind in [SearchKind::Drop, SearchKind::Jump] {
                 if let Some(corners) = extract_full_corners(&cd_eff, &ab, self.epsilon, kind) {
                     Self::fill_row(&mut row, &corners, &cd_eff, &ab);
@@ -184,6 +189,7 @@ impl FullCornerIndex {
             rows_considered,
             results: out.len() as u64,
             io: self.db.stats().since(&io_before),
+            phases: Vec::new(),
         };
         Ok((out, stats))
     }
@@ -278,7 +284,9 @@ mod tests {
         full.finish().unwrap();
         let mut reduced = SegDiffIndex::create(
             &d2,
-            SegDiffConfig::default().with_epsilon(0.2).with_window(4.0 * HOUR),
+            SegDiffConfig::default()
+                .with_epsilon(0.2)
+                .with_window(4.0 * HOUR),
         )
         .unwrap();
         reduced.ingest_series(&series).unwrap();

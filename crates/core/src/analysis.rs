@@ -176,7 +176,12 @@ mod tests {
             dv,
             meets_threshold: hit,
         };
-        let events = vec![mk(-3.0, true), mk(-5.0, true), mk(-4.0, true), mk(-1.0, false)];
+        let events = vec![
+            mk(-3.0, true),
+            mk(-5.0, true),
+            mk(-4.0, true),
+            mk(-1.0, false),
+        ];
         let d = depth_stats(&events).unwrap();
         assert_eq!(d.count, 3);
         assert!((d.mean + 4.0).abs() < 1e-12);

@@ -36,7 +36,10 @@ impl SegDiffConfig {
     ///
     /// Panics if `epsilon` is negative or not finite.
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be >= 0"
+        );
         self.epsilon = epsilon;
         self
     }
@@ -47,7 +50,10 @@ impl SegDiffConfig {
     ///
     /// Panics unless `window` is positive and finite.
     pub fn with_window(mut self, window: f64) -> Self {
-        assert!(window.is_finite() && window > 0.0, "window must be positive");
+        assert!(
+            window.is_finite() && window > 0.0,
+            "window must be positive"
+        );
         self.window = window;
         self
     }

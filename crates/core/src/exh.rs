@@ -63,7 +63,10 @@ pub struct ExhIndex {
 impl ExhIndex {
     /// Creates an Exh index under `dir` for window `w` seconds.
     pub fn create(dir: &Path, window: f64, pool_pages: usize) -> Result<Self> {
-        assert!(window.is_finite() && window > 0.0, "window must be positive");
+        assert!(
+            window.is_finite() && window > 0.0,
+            "window must be positive"
+        );
         let db = Database::create(dir, pool_pages)?;
         let table = db.create_table(TableSpec::new("exh", &["dt", "dv", "t"]))?;
         Ok(Self {
@@ -99,7 +102,9 @@ impl ExhIndex {
             }
         }
         let Some(window) = window else {
-            return Err(pagestore::StoreError::Corrupt("exh meta missing window".into()));
+            return Err(pagestore::StoreError::Corrupt(
+                "exh meta missing window".into(),
+            ));
         };
         let db = Database::open(dir, pool_pages)?;
         let table = db.table("exh")?;
@@ -236,6 +241,7 @@ impl ExhIndex {
             rows_considered,
             results: out.len() as u64,
             io: self.db.stats().since(&io_before),
+            phases: Vec::new(),
         };
         Ok((out, stats))
     }

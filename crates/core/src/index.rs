@@ -39,6 +39,26 @@ pub struct SegDiffIndex {
     n_segments: u64,
     drop_hist: CornerHistogram,
     jump_hist: CornerHistogram,
+    metrics: IngestMetrics,
+}
+
+/// Global-registry counters for the ingest pipeline (`ingest.*`),
+/// shared by every index in the process.
+struct IngestMetrics {
+    observations: Arc<obs::Counter>,
+    segments: Arc<obs::Counter>,
+    feature_rows: Arc<obs::Counter>,
+}
+
+impl IngestMetrics {
+    fn new() -> Self {
+        let r = obs::global();
+        IngestMetrics {
+            observations: r.counter("ingest.observations"),
+            segments: r.counter("ingest.segments"),
+            feature_rows: r.counter("ingest.feature_rows"),
+        }
+    }
 }
 
 impl SegDiffIndex {
@@ -77,6 +97,7 @@ impl SegDiffIndex {
             n_segments: 0,
             drop_hist: CornerHistogram::default(),
             jump_hist: CornerHistogram::default(),
+            metrics: IngestMetrics::new(),
         })
     }
 
@@ -131,8 +152,16 @@ impl SegDiffIndex {
             .with_pool_pages(pool_pages);
         let db = Database::open(dir, pool_pages)?;
         let get = |name: &str| db.table(name);
-        let drop_tables = [get(DROP_TABLES[0])?, get(DROP_TABLES[1])?, get(DROP_TABLES[2])?];
-        let jump_tables = [get(JUMP_TABLES[0])?, get(JUMP_TABLES[1])?, get(JUMP_TABLES[2])?];
+        let drop_tables = [
+            get(DROP_TABLES[0])?,
+            get(DROP_TABLES[1])?,
+            get(DROP_TABLES[2])?,
+        ];
+        let jump_tables = [
+            get(JUMP_TABLES[0])?,
+            get(JUMP_TABLES[1])?,
+            get(JUMP_TABLES[2])?,
+        ];
         let segments_table = get(SEGMENTS_TABLE)?;
 
         let mut idx = Self {
@@ -150,6 +179,7 @@ impl SegDiffIndex {
             n_segments: 0,
             drop_hist,
             jump_hist,
+            metrics: IngestMetrics::new(),
         };
         // Re-prime the extractor window and re-anchor the segmenter.
         let segments = idx.segments()?;
@@ -181,8 +211,12 @@ jump_hist {} {} {}
             self.config.epsilon,
             self.config.window,
             self.n_observations,
-            h[0], h[1], h[2],
-            j[0], j[1], j[2],
+            h[0],
+            h[1],
+            h[2],
+            j[0],
+            j[1],
+            j[2],
         );
         std::fs::write(Self::meta_path(&self.dir), text)?;
         Ok(())
@@ -202,6 +236,7 @@ jump_hist {} {} {}
     /// extraction happen incrementally).
     pub fn push(&mut self, t: f64, v: f64) -> Result<()> {
         self.n_observations += 1;
+        self.metrics.observations.inc();
         if let Some(seg) = self.segmenter.push(t, v) {
             self.store_segment(seg)?;
         }
@@ -210,9 +245,16 @@ jump_hist {} {} {}
 
     /// Ingests a whole series through the online path.
     pub fn ingest_series(&mut self, series: &TimeSeries) -> Result<()> {
+        let span = obs::span("ingest.series");
         for (t, v) in series.iter() {
             self.push(t, v)?;
         }
+        span.record("observations", series.len());
+        obs::info!(
+            "ingested {} observations into {}",
+            series.len(),
+            self.dir.display()
+        );
         Ok(())
     }
 
@@ -231,6 +273,7 @@ jump_hist {} {} {}
     /// Flushes the trailing open segment and persists everything, including
     /// the metadata needed by [`SegDiffIndex::open`].
     pub fn finish(&mut self) -> Result<()> {
+        let _span = obs::span("ingest.finish");
         if let Some(seg) = self.segmenter.finish() {
             self.store_segment(seg)?;
         }
@@ -240,11 +283,13 @@ jump_hist {} {} {}
 
     fn store_segment(&mut self, seg: Segment) -> Result<()> {
         self.n_segments += 1;
+        self.metrics.segments.inc();
         self.segments_table
             .insert(&[seg.t_start, seg.v_start, seg.t_end, seg.v_end])?;
         self.rows_buf.clear();
         let mut rows = std::mem::take(&mut self.rows_buf);
         self.extractor.push_segment(seg, &mut rows);
+        self.metrics.feature_rows.add(rows.len() as u64);
         for row in &rows {
             self.insert_feature_row(row)?;
         }
@@ -267,17 +312,26 @@ jump_hist {} {} {}
         Ok(())
     }
 
-    /// Builds every point- and line-query B+tree (call once, after
-    /// ingesting; required for [`QueryPlan::Index`]).
+    /// Builds every point- and line-query B+tree (required for
+    /// [`QueryPlan::Index`]). Idempotent: B+trees that already exist are
+    /// kept (they are maintained incrementally on insert), so this is
+    /// safe to call after every ingest.
     pub fn build_indexes(&self) -> Result<()> {
+        let _span = obs::span("ingest.build_indexes");
+        let mut built = 0u32;
         for kind in [SearchKind::Drop, SearchKind::Jump] {
             for corners in 1..=3 {
                 let tname = table_name(kind, corners);
+                let table = self.db.table(tname)?;
                 for (iname, cols) in index_specs(corners) {
-                    self.db.create_index(tname, &iname, &cols)?;
+                    if table.index(&iname).is_err() {
+                        self.db.create_index(tname, &iname, &cols)?;
+                        built += 1;
+                    }
                 }
             }
         }
+        obs::info!("built {built} query B+trees in {}", self.dir.display());
         self.db.flush()
     }
 
@@ -300,16 +354,32 @@ jump_hist {} {} {}
             SearchKind::Drop => &self.drop_tables,
             SearchKind::Jump => &self.jump_tables,
         };
+        let span = obs::span("query");
         let io_before = self.db.stats();
         let start = Instant::now();
         let mut rows_considered = 0u64;
-        let results = run_feature_query(tables, region, plan, &mut rows_considered)?;
+        let (results, phases) =
+            run_feature_query(&self.db, tables, region, plan, &mut rows_considered)?;
         let wall = start.elapsed().as_secs_f64();
+        span.record("plan", plan.name());
+        span.record("kind", region.kind.name());
+        span.record("rows_considered", rows_considered);
+        span.record("results", results.len() as u64);
+        obs::debug!(
+            "query kind={} plan={} T={} V={}: {} results, {} rows considered",
+            region.kind.name(),
+            plan.name(),
+            region.t,
+            region.v,
+            results.len(),
+            rows_considered
+        );
         let stats = QueryStats {
             wall_seconds: wall,
             rows_considered,
             results: results.len() as u64,
             io: self.db.stats().since(&io_before),
+            phases,
         };
         Ok((results, stats))
     }
@@ -326,7 +396,12 @@ jump_hist {} {} {}
         let mut payload = 0u64;
         let mut heap = 0u64;
         let mut index = 0u64;
-        for (i, t) in self.drop_tables.iter().chain(self.jump_tables.iter()).enumerate() {
+        for (i, t) in self
+            .drop_tables
+            .iter()
+            .chain(self.jump_tables.iter())
+            .enumerate()
+        {
             let _ = i;
             n_rows += t.num_rows();
             payload += t.payload_bytes();
@@ -469,6 +544,60 @@ mod tests {
         );
         assert!(s.paper_feature_bytes < s.feature_payload_bytes);
         assert_eq!(idx.segments().unwrap().len() as u64, s.n_segments);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn phase_io_deltas_tile_the_query() {
+        let dir = tmpdir("phases");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        idx.build_indexes().unwrap();
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        for plan in [QueryPlan::SeqScan, QueryPlan::Index] {
+            idx.clear_cache().unwrap();
+            let (_, stats) = idx.query(&region, plan).unwrap();
+            assert!(!stats.phases.is_empty(), "{plan:?} produced no phases");
+            let expected_names: &[&str] = match plan {
+                QueryPlan::SeqScan => &["plan", "scan", "refine"],
+                QueryPlan::Index => &["plan", "probe", "fetch", "refine"],
+            };
+            let names: Vec<&str> = stats.phases.iter().map(|p| p.name).collect();
+            assert_eq!(names, expected_names, "{plan:?}");
+            // The acceptance criterion: phase I/O deltas sum to the
+            // query's total pool delta, component for component.
+            let mut summed = pagestore::PoolStats::default();
+            for p in &stats.phases {
+                summed = summed.merged(&p.io);
+            }
+            assert_eq!(summed, stats.io, "{plan:?} phases do not tile the query");
+            // Rows flow through the phases consistently.
+            let scan = &stats.phases[1];
+            assert_eq!(scan.rows_in, stats.rows_considered, "{plan:?}");
+            let refine = stats.phases.last().unwrap();
+            assert_eq!(refine.rows_out, stats.results, "{plan:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_emits_span_trace() {
+        let dir = tmpdir("trace");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        obs::trace_begin();
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        let (_, stats) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+        let trace = obs::trace_take().expect("query produced a trace");
+        assert_eq!(trace.name, "query");
+        let child_names: Vec<&str> = trace.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(child_names, ["query.plan", "query.scan", "query.refine"]);
+        assert_eq!(
+            trace.attr("results").and_then(|j| j.as_u64()),
+            Some(stats.results)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -45,8 +45,14 @@ pub struct FeatureExtractor {
 impl FeatureExtractor {
     /// Creates an extractor with tolerance `epsilon` and window `w` seconds.
     pub fn new(epsilon: f64, window: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
-        assert!(window.is_finite() && window > 0.0, "window must be positive");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be >= 0"
+        );
+        assert!(
+            window.is_finite() && window > 0.0,
+            "window must be positive"
+        );
         Self {
             epsilon,
             window,
@@ -257,8 +263,10 @@ mod tests {
         // win_start = 5; the first segment (ends at 10) is retained but
         // truncated, the second fully retained.
         let rows = extract_all(&segs, 0.0, 15.0);
-        let truncated: Vec<&FeatureRow> =
-            rows.iter().filter(|r| r.t_b == 20.0 && r.t_c == 10.0).collect();
+        let truncated: Vec<&FeatureRow> = rows
+            .iter()
+            .filter(|r| r.t_b == 20.0 && r.t_c == 10.0)
+            .collect();
         assert!(!truncated.is_empty(), "pair with first segment exists");
         for r in truncated {
             assert_eq!(r.t_d, 5.0, "first segment truncated at win start");
@@ -325,7 +333,10 @@ mod tests {
         let rows = extract_all(&segs, eps, 100.0);
         let with_eps: Vec<_> = rows.iter().filter(|r| r.kind == SearchKind::Drop).collect();
         let plain = extract_all(&segs, 0.0, 100.0);
-        let without: Vec<_> = plain.iter().filter(|r| r.kind == SearchKind::Drop).collect();
+        let without: Vec<_> = plain
+            .iter()
+            .filter(|r| r.kind == SearchKind::Drop)
+            .collect();
         // Any drop row present at eps 0 must exist shifted down at eps 0.5
         // for the same pair.
         for w in &without {

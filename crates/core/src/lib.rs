@@ -73,7 +73,7 @@ pub mod transect;
 pub use config::SegDiffConfig;
 pub use index::SegDiffIndex;
 pub use ingest::{FeatureExtractor, FeatureRow};
-pub use query::{QueryPlan, QueryStats};
+pub use query::{PhaseStats, QueryPlan, QueryStats};
 pub use result::SegmentPair;
 pub use stats::{CornerHistogram, SegDiffStats};
 pub use transect::TransectIndex;

@@ -42,10 +42,7 @@ pub fn true_events(series: &TimeSeries, region: &QueryRegion) -> Vec<(f64, f64)>
 
 /// Returns the first true event not covered by any result pair, or `None`
 /// when recall is perfect.
-pub fn find_missed_event(
-    events: &[(f64, f64)],
-    results: &[SegmentPair],
-) -> Option<(f64, f64)> {
+pub fn find_missed_event(events: &[(f64, f64)], results: &[SegmentPair]) -> Option<(f64, f64)> {
     events
         .iter()
         .find(|&&(t1, t2)| !results.iter().any(|p| p.covers(t1, t2)))
@@ -76,13 +73,17 @@ pub fn pair_extreme_change(
     let overlap = pair.t_d.max(pair.t_b) < pair.t_c.min(pair.t_a);
     let mut best: Option<f64> = if overlap { Some(0.0) } else { None };
     for &t1 in &earlier {
-        let Some(v1) = series.interpolate(t1) else { continue };
+        let Some(v1) = series.interpolate(t1) else {
+            continue;
+        };
         for &t2 in &later {
             let dt = t2 - t1;
             if dt <= 0.0 || dt > region.t {
                 continue;
             }
-            let Some(v2) = series.interpolate(t2) else { continue };
+            let Some(v2) = series.interpolate(t2) else {
+                continue;
+            };
             let dv = v2 - v1;
             best = Some(match (best, region.kind) {
                 (None, _) => dv,
@@ -120,10 +121,7 @@ mod tests {
     use featurespace::QueryRegion;
 
     fn series() -> TimeSeries {
-        TimeSeries::from_parts(
-            vec![0.0, 300.0, 600.0, 900.0],
-            vec![10.0, 6.0, 6.0, 8.0],
-        )
+        TimeSeries::from_parts(vec![0.0, 300.0, 600.0, 900.0], vec![10.0, 6.0, 6.0, 8.0])
     }
 
     #[test]
@@ -154,7 +152,10 @@ mod tests {
             t_b: 200.0,
             t_a: 1000.0,
         };
-        assert_eq!(find_missed_event(&events, &[covers_first, covers_both]), None);
+        assert_eq!(
+            find_missed_event(&events, &[covers_first, covers_both]),
+            None
+        );
     }
 
     #[test]
@@ -168,7 +169,10 @@ mod tests {
         };
         let region = QueryRegion::drop(600.0, -1.0);
         let min = pair_extreme_change(&s, &pair, &region, 32).unwrap();
-        assert!((min - (-4.0)).abs() < 1e-9, "steepest drop is -4, got {min}");
+        assert!(
+            (min - (-4.0)).abs() < 1e-9,
+            "steepest drop is -4, got {min}"
+        );
         let region = QueryRegion::jump(600.0, 1.0);
         let max = pair_extreme_change(&s, &pair, &region, 32).unwrap();
         // Earlier in [0,300] (falling from 10), later in [300,600] (flat 6):

@@ -1,11 +1,19 @@
 //! Query plans and execution over the feature tables (§4.4).
+//!
+//! Execution is split into named *phases* whose buffer-pool deltas tile
+//! the query: snapshots are taken only at phase boundaries, so the sum of
+//! per-phase I/O deltas equals the pool's total delta for the query by
+//! construction. Each phase also runs under an [`obs::span`], so query
+//! execution feeds the `span.query.*` latency histograms and — when a
+//! trace is active — an `EXPLAIN ANALYZE`-style call tree.
 
 use crate::result::SegmentPair;
 use crate::tables::{boundary_from_row, pair_from_row};
 use featurespace::{edge_crosses_region, FeaturePoint, QueryRegion, SearchKind};
-use pagestore::{PoolStats, Result, Table};
+use pagestore::{Database, PoolStats, Result, Table};
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How a search is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,8 +27,37 @@ pub enum QueryPlan {
     Index,
 }
 
+impl QueryPlan {
+    /// Stable display name (`seq_scan` / `index`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryPlan::SeqScan => "seq_scan",
+            QueryPlan::Index => "index",
+        }
+    }
+}
+
+/// Metrics for one execution phase of a query.
+///
+/// Phases tile the query's execution: buffer-pool snapshots are taken
+/// only at phase boundaries, so summing `io` over the phases reproduces
+/// [`QueryStats::io`] exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Phase name (`plan`, `scan`, `probe`, `fetch`, `refine`).
+    pub name: &'static str,
+    /// Wall-clock time spent in the phase, in seconds.
+    pub wall_seconds: f64,
+    /// Rows (or index entries) entering the phase.
+    pub rows_in: u64,
+    /// Rows leaving the phase.
+    pub rows_out: u64,
+    /// Buffer-pool activity during the phase.
+    pub io: PoolStats,
+}
+
 /// Execution metrics for one query.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryStats {
     /// Wall-clock execution time in seconds.
     pub wall_seconds: f64,
@@ -30,32 +67,98 @@ pub struct QueryStats {
     pub results: u64,
     /// Buffer-pool activity during the query.
     pub io: PoolStats,
+    /// Per-phase breakdown; the phase `io` deltas sum to `io`.
+    pub phases: Vec<PhaseStats>,
+}
+
+/// Measures one phase: wall time, an [`obs`] span, and the pool delta
+/// from construction to [`Phase::finish`]. Phases must be constructed
+/// and finished back-to-back so their deltas tile the query.
+struct Phase<'a> {
+    db: &'a Database,
+    span: obs::SpanGuard,
+    io_start: PoolStats,
+    t_start: Instant,
+}
+
+impl<'a> Phase<'a> {
+    fn start(db: &'a Database, name: &'static str) -> Self {
+        Phase {
+            db,
+            span: obs::span(name),
+            io_start: db.stats(),
+            t_start: Instant::now(),
+        }
+    }
+
+    fn finish(self, rows_in: u64, rows_out: u64) -> PhaseStats {
+        let io = self.db.stats().since(&self.io_start);
+        let wall_seconds = self.t_start.elapsed().as_secs_f64();
+        self.span.record("rows_in", rows_in);
+        self.span.record("rows_out", rows_out);
+        self.span.record("physical_reads", io.physical_reads);
+        self.span.record("physical_writes", io.physical_writes);
+        self.span.record("pool_hits", io.hits);
+        self.span.record("pool_misses", io.misses);
+        // Strip the "query." prefix used for span/histogram names.
+        let name = self.span.name().rsplit('.').next().unwrap();
+        PhaseStats {
+            name,
+            wall_seconds,
+            rows_in,
+            rows_out,
+            io,
+        }
+    }
 }
 
 /// Runs a drop/jump search over the three per-corner-count feature tables
-/// of the matching kind. Returns deduplicated, time-ordered segment pairs.
+/// of the matching kind. Returns deduplicated, time-ordered segment pairs
+/// plus the per-phase breakdown.
 pub(crate) fn run_feature_query(
+    db: &Database,
     tables: &[Arc<Table>; 3],
     region: &QueryRegion,
     plan: QueryPlan,
     rows_considered: &mut u64,
-) -> Result<Vec<SegmentPair>> {
+) -> Result<(Vec<SegmentPair>, Vec<PhaseStats>)> {
+    let mut phases = Vec::with_capacity(4);
+
+    // Phase: plan selection. Trivial here (the caller chose), but gives
+    // the trace its "plan chosen" node and anchors the I/O accounting.
+    let p = Phase::start(db, "query.plan");
+    p.span.record("plan", plan.name());
+    p.span.record("kind", region.kind.name());
+    phases.push(p.finish(0, 0));
+
     let mut out = Vec::new();
     match plan {
         QueryPlan::SeqScan => {
+            // Phase: sequential candidate scan with the ε-shifted corner
+            // intersection test fused into the scan (one pass, no
+            // candidate materialization).
+            let p = Phase::start(db, "query.scan");
+            let mut scanned = 0u64;
             for (i, table) in tables.iter().enumerate() {
                 let corners = i + 1;
                 table.seq_scan(|_rid, row| {
-                    *rows_considered += 1;
+                    scanned += 1;
                     if boundary_from_row(row, corners).intersects(region) {
                         out.push(pair_from_row(row, corners));
                     }
                     true
                 })?;
             }
+            *rows_considered += scanned;
+            phases.push(p.finish(scanned, out.len() as u64));
         }
         QueryPlan::Index => {
-            let mut rowbuf = Vec::new();
+            // Phase: index probes — point and line B+tree range scans with
+            // the ε-shifted corner predicate applied to each entry, unioned
+            // by row id.
+            let p = Phase::start(db, "query.probe");
+            let mut probed = 0u64;
+            let mut all_rids: Vec<(usize, HashSet<u64>)> = Vec::with_capacity(3);
             for (i, table) in tables.iter().enumerate() {
                 let corners = i + 1;
                 let mut rids: HashSet<u64> = HashSet::new();
@@ -64,7 +167,7 @@ pub(crate) fn run_feature_query(
                     let lo = [f64::NEG_INFINITY, f64::NEG_INFINITY];
                     let hi = [region.t, f64::INFINITY];
                     table.index_scan(&format!("pt{j}"), &lo, &hi, |rid, cols| {
-                        *rows_considered += 1;
+                        probed += 1;
                         let matches = match region.kind {
                             SearchKind::Drop => cols[1] <= region.v,
                             SearchKind::Jump => cols[1] >= region.v,
@@ -81,7 +184,7 @@ pub(crate) fn run_feature_query(
                     let lo = [f64::NEG_INFINITY; 4];
                     let hi = [region.t, f64::INFINITY, f64::INFINITY, f64::INFINITY];
                     table.index_scan(&format!("ln{j}"), &lo, &hi, |rid, cols| {
-                        *rows_considered += 1;
+                        probed += 1;
                         let p1 = FeaturePoint::new(cols[0], cols[1]);
                         let p2 = FeaturePoint::new(cols[2], cols[3]);
                         if edge_crosses_region(p1, p2, region) {
@@ -90,15 +193,33 @@ pub(crate) fn run_feature_query(
                         true
                     })?;
                 }
+                all_rids.push((corners, rids));
+            }
+            *rows_considered += probed;
+            let n_rids: u64 = all_rids.iter().map(|(_, r)| r.len() as u64).sum();
+            phases.push(p.finish(probed, n_rids));
+
+            // Phase: fetch the matched heap rows.
+            let p = Phase::start(db, "query.fetch");
+            let mut rowbuf = Vec::new();
+            for (corners, rids) in all_rids {
+                let table = &tables[corners - 1];
                 for rid in rids {
                     table.fetch(rid, &mut rowbuf)?;
                     out.push(pair_from_row(&rowbuf, corners));
                 }
             }
+            phases.push(p.finish(n_rids, out.len() as u64));
         }
     }
+
+    // Phase: refinement — sort by time and drop duplicate pairs.
+    let p = Phase::start(db, "query.refine");
+    let before = out.len() as u64;
     crate::result::sort_dedup(&mut out);
-    Ok(out)
+    phases.push(p.finish(before, out.len() as u64));
+
+    Ok((out, phases))
 }
 
 #[cfg(test)]
@@ -116,5 +237,12 @@ mod tests {
         assert_eq!(s.rows_considered, 0);
         assert_eq!(s.results, 0);
         assert_eq!(s.wall_seconds, 0.0);
+        assert!(s.phases.is_empty());
+    }
+
+    #[test]
+    fn plan_names_are_stable() {
+        assert_eq!(QueryPlan::SeqScan.name(), "seq_scan");
+        assert_eq!(QueryPlan::Index.name(), "index");
     }
 }

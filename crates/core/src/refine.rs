@@ -93,13 +93,17 @@ fn locate_event(
     let later = times(pair.t_b, pair.t_a);
     let mut best = (pair.t_c, pair.t_b, f64::INFINITY);
     for &t1 in &earlier {
-        let Some(v1) = series.interpolate(t1) else { continue };
+        let Some(v1) = series.interpolate(t1) else {
+            continue;
+        };
         for &t2 in &later {
             let dt = t2 - t1;
             if dt <= 0.0 || dt > region.t {
                 continue;
             }
-            let Some(v2) = series.interpolate(t2) else { continue };
+            let Some(v2) = series.interpolate(t2) else {
+                continue;
+            };
             let dv = v2 - v1;
             let gap = (dv - target).abs();
             if gap < best.2 {
@@ -176,11 +180,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("segdiff-refine2-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         // Large epsilon: tolerance admits pairs whose best drop is above V.
-        let mut idx = SegDiffIndex::create(
-            &dir,
-            SegDiffConfig::default().with_epsilon(1.0),
-        )
-        .unwrap();
+        let mut idx =
+            SegDiffIndex::create(&dir, SegDiffConfig::default().with_epsilon(1.0)).unwrap();
         idx.ingest_series(&series).unwrap();
         idx.finish().unwrap();
         let region = QueryRegion::drop(1.0 * HOUR, -3.9);

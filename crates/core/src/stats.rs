@@ -130,7 +130,9 @@ mod tests {
     #[test]
     fn merged_adds() {
         let a = CornerHistogram { counts: [1, 2, 3] };
-        let b = CornerHistogram { counts: [10, 20, 30] };
+        let b = CornerHistogram {
+            counts: [10, 20, 30],
+        };
         assert_eq!(a.merged(&b).counts, [11, 22, 33]);
     }
 

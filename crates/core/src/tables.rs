@@ -89,10 +89,7 @@ pub(crate) fn index_specs(corners: usize) -> Vec<(String, Vec<&'static str>)> {
     let coord = ["dt1", "dv1", "dt2", "dv2", "dt3", "dv3"];
     let mut specs = Vec::new();
     for j in 0..corners {
-        specs.push((
-            format!("pt{}", j + 1),
-            vec![coord[2 * j], coord[2 * j + 1]],
-        ));
+        specs.push((format!("pt{}", j + 1), vec![coord[2 * j], coord[2 * j + 1]]));
     }
     for j in 0..corners.saturating_sub(1) {
         specs.push((

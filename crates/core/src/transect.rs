@@ -145,11 +145,20 @@ impl TransectIndex {
             merged.wall_seconds = merged.wall_seconds.max(s.wall_seconds);
             merged.rows_considered += s.rows_considered;
             merged.results += s.results;
-            merged.io.hits += s.io.hits;
-            merged.io.misses += s.io.misses;
-            merged.io.evictions += s.io.evictions;
-            merged.io.physical_reads += s.io.physical_reads;
-            merged.io.physical_writes += s.io.physical_writes;
+            merged.io = merged.io.merged(&s.io);
+            // Merge phases by name: rows and I/O sum across sensors; wall
+            // time takes the slowest sensor (phases ran in parallel).
+            for phase in s.phases {
+                match merged.phases.iter_mut().find(|p| p.name == phase.name) {
+                    Some(m) => {
+                        m.wall_seconds = m.wall_seconds.max(phase.wall_seconds);
+                        m.rows_in += phase.rows_in;
+                        m.rows_out += phase.rows_out;
+                        m.io = m.io.merged(&phase.io);
+                    }
+                    None => merged.phases.push(phase),
+                }
+            }
             results.push(r);
         }
         Ok((results, merged))
@@ -183,7 +192,10 @@ mod tests {
 
     fn build(tag: &str, sensors: u32, days: u32) -> (TransectIndex, PathBuf) {
         let root = tmpdir(tag);
-        let cfg = CadTransectConfig::default().with_days(days).with_sensors(sensors).clean();
+        let cfg = CadTransectConfig::default()
+            .with_days(days)
+            .with_sensors(sensors)
+            .clean();
         let mut t = TransectIndex::create(&root, SegDiffConfig::default(), sensors).unwrap();
         for k in 0..sensors {
             let series = generate_sensor(&cfg, k, 7);
@@ -201,7 +213,9 @@ mod tests {
         assert_eq!(all.len(), 4);
         let mut total = 0u64;
         for (k, per) in all.iter().enumerate() {
-            let (single, _) = t.query_sensor(k as u32, &region, QueryPlan::SeqScan).unwrap();
+            let (single, _) = t
+                .query_sensor(k as u32, &region, QueryPlan::SeqScan)
+                .unwrap();
             assert_eq!(per, &single, "sensor {k}");
             total += per.len() as u64;
         }

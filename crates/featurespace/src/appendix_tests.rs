@@ -22,7 +22,7 @@ fn case1() -> (Segment, Segment) {
 /// Case 2: k_CD >= 0, k_AB >= k_CD.
 fn case2() -> (Segment, Segment) {
     (
-        Segment::new(0.0, 0.0, 10.0, 1.0), // slope 0.1
+        Segment::new(0.0, 0.0, 10.0, 1.0),  // slope 0.1
         Segment::new(15.0, 0.0, 25.0, 5.0), // slope 0.5
     )
 }
@@ -30,7 +30,7 @@ fn case2() -> (Segment, Segment) {
 /// Case 3: k_CD >= 0, 0 < k_AB < k_CD.
 fn case3() -> (Segment, Segment) {
     (
-        Segment::new(0.0, 0.0, 10.0, 5.0), // slope 0.5
+        Segment::new(0.0, 0.0, 10.0, 5.0),  // slope 0.5
         Segment::new(15.0, 0.0, 25.0, 1.0), // slope 0.1
     )
 }
@@ -54,8 +54,8 @@ fn case5() -> (Segment, Segment) {
 /// Case 6: k_CD < 0, k_CD < k_AB < 0.
 fn case6() -> (Segment, Segment) {
     (
-        Segment::new(0.0, 5.0, 10.0, 0.0),   // slope -0.5
-        Segment::new(15.0, 2.0, 25.0, 1.0),  // slope -0.1
+        Segment::new(0.0, 5.0, 10.0, 0.0),  // slope -0.5
+        Segment::new(15.0, 2.0, 25.0, 1.0), // slope -0.1
     )
 }
 
@@ -190,8 +190,9 @@ fn boundaries_face_the_right_way() {
                         SearchKind::Jump if dv > 1e-6 => QueryRegion::jump(dt + 1e-9, dv - 1e-9),
                         _ => continue,
                     };
-                    let b = extract_boundary(cd, ab, 0.0, kind)
-                        .unwrap_or_else(|| panic!("pruned a matching pair in {:?}", classify(cd, ab)));
+                    let b = extract_boundary(cd, ab, 0.0, kind).unwrap_or_else(|| {
+                        panic!("pruned a matching pair in {:?}", classify(cd, ab))
+                    });
                     assert!(
                         b.intersects(&region),
                         "case {:?} {kind:?}: boundary missed sampled point ({dt}, {dv})",

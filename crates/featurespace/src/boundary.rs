@@ -42,7 +42,10 @@ impl Boundary {
     /// A three-corner boundary (two edges).
     pub fn three(p: FeaturePoint, q: FeaturePoint, r: FeaturePoint) -> Self {
         debug_assert!(p.dt <= q.dt && q.dt <= r.dt);
-        Self { pts: [p, q, r], len: 3 }
+        Self {
+            pts: [p, q, r],
+            len: 3,
+        }
     }
 
     /// The corners, ordered by increasing `Δt`.
@@ -106,9 +109,7 @@ pub fn extract_boundary(
                 // Lower-left boundary (BC, AC); lowest corner is AC.
                 SlopeCase::C1 => (ac.dv - eps <= 0.0).then(|| Boundary::two(bc, ac)),
                 // Degenerate lower-left boundary: the single corner BC.
-                SlopeCase::C2 | SlopeCase::C3 => {
-                    (bc.dv - eps <= 0.0).then(|| Boundary::one(bc))
-                }
+                SlopeCase::C2 | SlopeCase::C3 => (bc.dv - eps <= 0.0).then(|| Boundary::one(bc)),
                 // Lower-left boundary (BC, BD); lowest corner is BD.
                 SlopeCase::C4 => (bd.dv - eps <= 0.0).then(|| Boundary::two(bc, bd)),
                 // Chain (BC, AC, AD); drop II degrades to (AC, AD).
@@ -161,9 +162,7 @@ pub fn extract_boundary(
                 // Upper-left boundary (BC, AC); highest corner is AC.
                 SlopeCase::C4 => (ac.dv + eps > 0.0).then(|| Boundary::two(bc, ac)),
                 // Degenerate upper-left boundary: the single corner BC.
-                SlopeCase::C5 | SlopeCase::C6 => {
-                    (bc.dv + eps > 0.0).then(|| Boundary::one(bc))
-                }
+                SlopeCase::C5 | SlopeCase::C6 => (bc.dv + eps > 0.0).then(|| Boundary::one(bc)),
             };
             b.map(|b| b.shifted(eps))
         }
@@ -186,8 +185,7 @@ pub fn extract_self_boundary(seg: &Segment, eps: f64, kind: SearchKind) -> Optio
         SearchKind::Drop => {
             // Lowest shifted dv: min(-eps, Δv - eps). Only boundaries that
             // dip below zero can ever satisfy Δv <= V < 0.
-            (far.dv.min(0.0) - eps < 0.0)
-                .then(|| Boundary::two(origin, far).shifted(-eps))
+            (far.dv.min(0.0) - eps < 0.0).then(|| Boundary::two(origin, far).shifted(-eps))
         }
         SearchKind::Jump => {
             (far.dv.max(0.0) + eps > 0.0).then(|| Boundary::two(origin, far).shifted(eps))
@@ -254,7 +252,7 @@ mod tests {
         assert!(para.bc.dv > 0.0 && para.ac.dv < 0.0);
         let b = extract_boundary(&cd, &ab, 0.0, SearchKind::Drop).unwrap();
         assert_eq!(b.len(), 3); // drop I: AC itself is a drop
-        // Now lift ab so AC becomes a jump but AD stays a drop.
+                                // Now lift ab so AC becomes a jump but AD stays a drop.
         let ab2 = Segment::new(10.0, 19.0, 20.0, 9.5); // ac.dv = 1.5, ad.dv = -0.5
         let para2 = Parallelogram::from_pair(&cd, &ab2);
         assert!(para2.ac.dv > 0.0 && para2.ad.dv < 0.0);
@@ -276,7 +274,10 @@ mod tests {
     fn self_boundary_of_falling_segment() {
         let seg = Segment::new(0.0, 10.0, 3600.0, 5.0); // 5-unit drop in 1 h
         let b = extract_self_boundary(&seg, 0.0, SearchKind::Drop).unwrap();
-        assert_eq!(b.corners(), &[FeaturePoint::new(0.0, 0.0), FeaturePoint::new(3600.0, -5.0)]);
+        assert_eq!(
+            b.corners(),
+            &[FeaturePoint::new(0.0, 0.0), FeaturePoint::new(3600.0, -5.0)]
+        );
         // A 3-unit drop within 1 h is found via the line/point queries.
         let region = QueryRegion::drop(3600.0, -3.0);
         assert!(b.intersects(&region));

@@ -45,7 +45,10 @@ fn shift_and_prune(
             (lowest - eps <= 0.0).then(|| corners.map(|p| p.shifted(-eps)))
         }
         SearchKind::Jump => {
-            let highest = corners.iter().map(|p| p.dv).fold(f64::NEG_INFINITY, f64::max);
+            let highest = corners
+                .iter()
+                .map(|p| p.dv)
+                .fold(f64::NEG_INFINITY, f64::max);
             (highest + eps > 0.0).then(|| corners.map(|p| p.shifted(eps)))
         }
     }
@@ -132,10 +135,22 @@ mod tests {
         // The central ablation claim: for a grid of regions, the 4-corner
         // geometric test and the reduced-corner boundary test agree.
         let pairs = [
-            (Segment::new(0.0, 1.0, 10.0, 4.0), Segment::new(25.0, 6.0, 40.0, 2.0)),
-            (Segment::new(0.0, 5.0, 8.0, 3.0), Segment::new(8.0, 3.0, 30.0, -4.0)),
-            (Segment::new(0.0, -2.0, 12.0, 7.0), Segment::new(20.0, 1.0, 26.0, 9.0)),
-            (Segment::new(0.0, 4.0, 5.0, 4.5), Segment::new(9.0, 2.0, 19.0, 1.0)),
+            (
+                Segment::new(0.0, 1.0, 10.0, 4.0),
+                Segment::new(25.0, 6.0, 40.0, 2.0),
+            ),
+            (
+                Segment::new(0.0, 5.0, 8.0, 3.0),
+                Segment::new(8.0, 3.0, 30.0, -4.0),
+            ),
+            (
+                Segment::new(0.0, -2.0, 12.0, 7.0),
+                Segment::new(20.0, 1.0, 26.0, 9.0),
+            ),
+            (
+                Segment::new(0.0, 4.0, 5.0, 4.5),
+                Segment::new(9.0, 2.0, 19.0, 1.0),
+            ),
         ];
         for (cd, ab) in &pairs {
             for kind in [SearchKind::Drop, SearchKind::Jump] {
@@ -168,11 +183,17 @@ mod tests {
         let seg = Segment::new(0.0, 10.0, 3600.0, 5.0);
         let c = extract_full_self_corners(&seg, 0.0, SearchKind::Drop).unwrap();
         assert!(full_corners_intersect(&c, &QueryRegion::drop(3600.0, -3.0)));
-        assert!(!full_corners_intersect(&c, &QueryRegion::drop(3600.0, -6.0)));
+        assert!(!full_corners_intersect(
+            &c,
+            &QueryRegion::drop(3600.0, -6.0)
+        ));
         // Interior drop needs the clip: -3 within 1h fails on a 2h segment.
         let slow = Segment::new(0.0, 10.0, 7200.0, 5.0);
         let c = extract_full_self_corners(&slow, 0.0, SearchKind::Drop).unwrap();
-        assert!(!full_corners_intersect(&c, &QueryRegion::drop(3600.0, -3.0)));
+        assert!(!full_corners_intersect(
+            &c,
+            &QueryRegion::drop(3600.0, -3.0)
+        ));
         assert!(full_corners_intersect(&c, &QueryRegion::drop(5400.0, -3.0)));
     }
 }

@@ -161,10 +161,7 @@ mod tests {
         let ab = Segment::new(20.0, 5.0, 30.0, 6.0);
         let p = Parallelogram::from_pair(&cd, &ab);
         // Midpoint of the bc -> ad diagonal is inside.
-        let mid = FeaturePoint::new(
-            (p.bc.dt + p.ad.dt) / 2.0,
-            (p.bc.dv + p.ad.dv) / 2.0,
-        );
+        let mid = FeaturePoint::new((p.bc.dt + p.ad.dt) / 2.0, (p.bc.dv + p.ad.dv) / 2.0);
         assert!(p.contains(mid, 1e-9));
         assert!(!p.contains(FeaturePoint::new(mid.dt, mid.dv + 1.0), 1e-3));
     }

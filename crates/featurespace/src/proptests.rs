@@ -11,9 +11,7 @@
 //!    point inside both the parallelogram and the region;
 //! 4. growing ε never loses results (monotonicity of the shift + prune).
 
-use crate::{
-    extract_boundary, point_in_region, FeaturePoint, Parallelogram, QueryRegion,
-};
+use crate::{extract_boundary, point_in_region, FeaturePoint, Parallelogram, QueryRegion};
 use proptest::prelude::*;
 use segmentation::Segment;
 
@@ -52,7 +50,12 @@ fn grid_features(cd: &Segment, ab: &Segment, steps: usize) -> Vec<FeaturePoint> 
         let tc = cd.t_start + cd.duration() * i as f64 / steps as f64;
         for j in 0..=steps {
             let tb = ab.t_start + ab.duration() * j as f64 / steps as f64;
-            out.push(FeaturePoint::of_pair(tc, cd.value_at(tc), tb, ab.value_at(tb)));
+            out.push(FeaturePoint::of_pair(
+                tc,
+                cd.value_at(tc),
+                tb,
+                ab.value_at(tb),
+            ));
         }
     }
     out

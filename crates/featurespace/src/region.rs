@@ -11,6 +11,16 @@ pub enum SearchKind {
     Jump,
 }
 
+impl SearchKind {
+    /// Stable display name (`drop` / `jump`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchKind::Drop => "drop",
+            SearchKind::Jump => "jump",
+        }
+    }
+}
+
 /// A query region (paper §3): all feature points satisfying the user's
 /// thresholds `T` (time span) and `V` (change).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,7 +41,10 @@ impl QueryRegion {
     /// Panics unless `t > 0` and `v < 0`.
     pub fn drop(t: f64, v: f64) -> Self {
         assert!(t > 0.0 && t.is_finite(), "T must be positive");
-        assert!(v < 0.0 && v.is_finite(), "V must be negative for drop search");
+        assert!(
+            v < 0.0 && v.is_finite(),
+            "V must be negative for drop search"
+        );
         Self {
             kind: SearchKind::Drop,
             t,
@@ -46,7 +59,10 @@ impl QueryRegion {
     /// Panics unless `t > 0` and `v > 0`.
     pub fn jump(t: f64, v: f64) -> Self {
         assert!(t > 0.0 && t.is_finite(), "T must be positive");
-        assert!(v > 0.0 && v.is_finite(), "V must be positive for jump search");
+        assert!(
+            v > 0.0 && v.is_finite(),
+            "V must be positive for jump search"
+        );
         Self {
             kind: SearchKind::Jump,
             t,

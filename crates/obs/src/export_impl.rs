@@ -1,0 +1,136 @@
+//! Snapshot exporters.
+//!
+//! An [`Exporter`] renders a [`MetricsSnapshot`] to a string. Two
+//! implementations ship with the crate: [`TextExporter`] for humans and
+//! [`JsonLinesExporter`] emitting one JSON object per metric, suitable
+//! for piping into log collectors.
+
+use crate::json_impl::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// Renders a metrics snapshot to a string.
+pub trait Exporter {
+    /// Renders `snapshot`.
+    fn export(&self, snapshot: &MetricsSnapshot) -> String;
+}
+
+/// Human-readable, aligned text output.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TextExporter;
+
+impl Exporter for TextExporter {
+    fn export(&self, snapshot: &MetricsSnapshot) -> String {
+        let mut out = String::new();
+        if !snapshot.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = snapshot.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &snapshot.counters {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !snapshot.histograms.is_empty() {
+            out.push_str("histograms (nanos):\n");
+            let width = snapshot
+                .histograms
+                .keys()
+                .map(|k| k.len())
+                .max()
+                .unwrap_or(0);
+            for (name, s) in &snapshot.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  count={} p50={} p90={} p99={} max={}\n",
+                    s.count, s.p50, s.p90, s.p99, s.max
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Line-delimited JSON: one object per metric, stable field order.
+///
+/// Counters: `{"kind":"counter","name":...,"value":...}`.
+/// Histograms: `{"kind":"histogram","name":...,"count":...,"sum":...,
+/// "p50":...,"p90":...,"p99":...,"max":...}`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JsonLinesExporter;
+
+impl Exporter for JsonLinesExporter {
+    fn export(&self, snapshot: &MetricsSnapshot) -> String {
+        let mut out = String::new();
+        for (name, value) in &snapshot.counters {
+            let j = Json::obj([
+                ("kind", Json::from("counter")),
+                ("name", Json::from(name.as_str())),
+                ("value", Json::from(*value)),
+            ]);
+            out.push_str(&j.to_string_compact());
+            out.push('\n');
+        }
+        for (name, s) in &snapshot.histograms {
+            let j = Json::obj([
+                ("kind", Json::from("histogram")),
+                ("name", Json::from(name.as_str())),
+                ("count", Json::from(s.count)),
+                ("sum", Json::from(s.sum)),
+                ("p50", Json::from(s.p50)),
+                ("p90", Json::from(s.p90)),
+                ("p99", Json::from(s.p99)),
+                ("max", Json::from(s.max)),
+            ]);
+            out.push_str(&j.to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample() -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.counter("pool.hits").add(10);
+        r.counter("pool.misses").add(3);
+        r.histogram("span.query").record(1500);
+        r.snapshot()
+    }
+
+    #[test]
+    fn text_export_lists_everything() {
+        let text = TextExporter.export(&sample());
+        assert!(text.contains("pool.hits"));
+        assert!(text.contains("10"));
+        assert!(text.contains("span.query"));
+        assert!(text.contains("count=1"));
+    }
+
+    #[test]
+    fn text_export_empty() {
+        let text = TextExporter.export(&MetricsSnapshot::default());
+        assert!(text.contains("no metrics"));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_round_trip() {
+        let out = JsonLinesExporter.export(&sample());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let j = Json::parse(line).expect("each line is valid JSON");
+            assert!(j.get("kind").is_some());
+            assert!(j.get("name").is_some());
+        }
+        let hits = lines
+            .iter()
+            .map(|l| Json::parse(l).unwrap())
+            .find(|j| j.get("name").and_then(Json::as_str) == Some("pool.hits"))
+            .unwrap();
+        assert_eq!(hits.get("value").and_then(Json::as_u64), Some(10));
+    }
+}

@@ -1,0 +1,448 @@
+//! Named counters and log-bucketed latency histograms.
+//!
+//! The registry is the single rendezvous point for every layer's
+//! telemetry: the buffer pool publishes `pool.*` counters, the B+tree
+//! publishes `btree.*`, query execution records `span.*` latency
+//! histograms. Handles ([`Counter`], [`Histogram`]) are `Arc`-backed and
+//! lock-free on the hot path; the registry lock is taken only on first
+//! registration and when snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values `v` with
+/// `bit_width(v) == i`, i.e. power-of-two boundaries, so 64 buckets
+/// cover the full `u64` range. Bucket 0 holds only the value 0.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Recording is lock-free (`fetch_add` / `fetch_max`). Quantiles are
+/// estimated from the bucket counts by linear interpolation inside the
+/// bucket containing the target rank, which bounds the relative error
+/// of a reported percentile by the bucket width (a factor of 2).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`,
+/// so bucket `i > 0` spans `[2^(i-1), 2^i)`.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Lower bound of bucket `i` (inclusive).
+pub(crate) fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Upper bound of bucket `i` (inclusive, saturating at `u64::MAX`).
+pub(crate) fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimates quantile `q` in `[0, 1]` by linear interpolation inside
+    /// the bucket holding the target rank. Returns 0 for an empty
+    /// histogram. The estimate never exceeds the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target sample.
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            let c = self.buckets[i].load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = bucket_lo(i) as f64;
+                let hi = bucket_hi(i) as f64;
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo + (hi - lo) * frac;
+                return (est as u64).min(self.max());
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
+    /// A point-in-time summary (count, sum, p50/p90/p99, max).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Observed maximum.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A thread-safe registry of named [`Counter`]s and [`Histogram`]s.
+///
+/// Use [`crate::global`] for the process-wide instance; independent
+/// registries can be created for tests.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = inner.counters.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        inner.counters.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Returns the histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = inner.histograms.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        inner.histograms.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Captures a point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable point-in-time snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values, keyed by name (sorted).
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries, keyed by name (sorted).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference `self - earlier`, saturating at zero so a
+    /// registry reset between snapshots cannot produce absurd deltas.
+    /// Histograms keep the *later* summary for any name present in
+    /// `self` whose count advanced; unchanged histograms are dropped.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter(|(k, s)| {
+                let before = earlier.histograms.get(*k).map(|b| b.count).unwrap_or(0);
+                s.count > before
+            })
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_inc_add() {
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        // Bucket 0 is exactly {0}; bucket i spans [2^(i-1), 2^i - 1].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..64 {
+            // Each bucket's bounds map back to that bucket.
+            assert_eq!(bucket_index(bucket_lo(i)), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(bucket_hi(i)), i, "hi of bucket {i}");
+            // Buckets tile the line with no gaps.
+            assert_eq!(bucket_hi(i) + 1, bucket_lo(i + 1));
+        }
+        assert_eq!(bucket_hi(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let h = Histogram::new();
+        h.record(100);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 100);
+        assert_eq!(s.max, 100);
+        // All quantiles of a single sample must not exceed it.
+        assert!(s.p50 <= 100 && s.p50 >= 64, "p50 = {}", s.p50);
+        assert_eq!(s.p99, s.p50);
+    }
+
+    #[test]
+    fn histogram_percentile_estimation() {
+        // 100 samples at 1000, 10 at 1_000_000: p50 must sit in the low
+        // bucket, p99 in the high one.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!(
+            (bucket_lo(bucket_index(1000))..=bucket_hi(bucket_index(1000))).contains(&p50),
+            "p50 = {p50}"
+        );
+        assert!(p99 > 500_000, "p99 = {p99}");
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn histogram_quantile_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 7, 64, 900, 4096, 70_000, 1 << 40] {
+            h.record(v);
+        }
+        let qs: Vec<u64> = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        assert_eq!(*qs.last().unwrap(), h.max());
+    }
+
+    #[test]
+    fn registry_reuses_handles() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("x").get(), 2);
+        assert_eq!(r.snapshot().counters["x"], 2);
+    }
+
+    #[test]
+    fn snapshot_delta_saturates() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(10);
+        let before = r.snapshot();
+        r.counter("a").add(5);
+        r.counter("b").add(3);
+        let after = r.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counters["a"], 5);
+        assert_eq!(d.counters["b"], 3);
+        // A counter that went "backwards" (reset) saturates to 0 and is
+        // dropped, rather than wrapping to ~u64::MAX.
+        let d2 = before.delta(&after);
+        assert!(!d2.counters.contains_key("a"));
+    }
+
+    #[test]
+    fn snapshot_delta_histograms_keep_latest_when_advanced() {
+        let r = MetricsRegistry::new();
+        r.histogram("h").record(10);
+        let before = r.snapshot();
+        let unchanged = r.snapshot().delta(&before);
+        assert!(unchanged.histograms.is_empty());
+        r.histogram("h").record(20);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let r = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    let c = r.counter("shared");
+                    let h = r.histogram("lat");
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("shared").get(), 4000);
+        assert_eq!(r.histogram("lat").count(), 4000);
+    }
+}

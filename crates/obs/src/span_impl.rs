@@ -1,0 +1,247 @@
+//! RAII span timers and trace-tree collection.
+//!
+//! A [`span`] measures the wall time of a scope and records it into the
+//! global histogram `span.<name>`. When a trace is being collected on
+//! the current thread ([`trace_begin`]), finished spans additionally
+//! assemble into a [`TraceNode`] call-tree, which [`trace_take`]
+//! returns — this is what powers `segdiff query --trace`.
+//!
+//! Collection is thread-local: tracing one query never observes spans
+//! from concurrently executing threads, and costs nothing when no trace
+//! is active beyond one histogram record per span.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::json_impl::Json;
+
+/// One node of a collected trace: a named phase with its wall time,
+/// free-form attributes, and child phases in execution order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceNode {
+    /// Span name (e.g. `query`, `scan`, `refine`).
+    pub name: String,
+    /// Wall time of the span in nanoseconds.
+    pub wall_nanos: u64,
+    /// Attributes recorded via [`SpanGuard::record`], in insertion order.
+    pub attrs: Vec<(String, Json)>,
+    /// Child spans, in the order they finished opening.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&Json> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes the node (recursively) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("name".to_string(), Json::from(self.name.as_str())),
+            ("wall_nanos".to_string(), Json::from(self.wall_nanos)),
+        ];
+        for (k, v) in &self.attrs {
+            obj.push((k.clone(), v.clone()));
+        }
+        if !self.children.is_empty() {
+            obj.push((
+                "children".to_string(),
+                Json::Array(self.children.iter().map(|c| c.to_json()).collect()),
+            ));
+        }
+        Json::Object(obj)
+    }
+}
+
+struct OpenSpan {
+    name: &'static str,
+    started: Instant,
+    attrs: Vec<(String, Json)>,
+    children: Vec<TraceNode>,
+}
+
+#[derive(Default)]
+struct Collector {
+    /// Stack of open spans; `roots` receives spans that close with no parent.
+    stack: Vec<OpenSpan>,
+    roots: Vec<TraceNode>,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Starts collecting a trace on the current thread, discarding any
+/// previously collected one.
+pub fn trace_begin() {
+    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::default()));
+}
+
+/// Whether a trace is being collected on the current thread.
+pub fn trace_active() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// Stops collection and returns the last completed root span, if any.
+pub fn trace_take() -> Option<TraceNode> {
+    COLLECTOR
+        .with(|c| c.borrow_mut().take())
+        .and_then(|col| col.roots.into_iter().next_back())
+}
+
+/// Opens a span named `name`; the span closes when the guard drops.
+///
+/// The wall time is always recorded into the global histogram
+/// `span.<name>`; if a trace is active on this thread the span is also
+/// added to the trace tree under the currently open span.
+pub fn span(name: &'static str) -> SpanGuard {
+    let collecting = COLLECTOR.with(|c| {
+        let mut borrow = c.borrow_mut();
+        if let Some(col) = borrow.as_mut() {
+            col.stack.push(OpenSpan {
+                name,
+                started: Instant::now(),
+                attrs: Vec::new(),
+                children: Vec::new(),
+            });
+            true
+        } else {
+            false
+        }
+    });
+    SpanGuard {
+        name,
+        started: Instant::now(),
+        collecting,
+    }
+}
+
+/// RAII guard returned by [`span`]; closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    started: Instant,
+    collecting: bool,
+}
+
+impl SpanGuard {
+    /// Attaches an attribute to the span (visible in the trace tree).
+    /// A no-op when no trace is being collected.
+    pub fn record(&self, key: &str, value: impl Into<Json>) {
+        if !self.collecting {
+            return;
+        }
+        let value = value.into();
+        COLLECTOR.with(|c| {
+            if let Some(col) = c.borrow_mut().as_mut() {
+                if let Some(open) = col.stack.last_mut() {
+                    open.attrs.push((key.to_string(), value));
+                }
+            }
+        });
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        crate::global()
+            .histogram(&format!("span.{}", self.name))
+            .record_duration(elapsed);
+        if !self.collecting {
+            return;
+        }
+        COLLECTOR.with(|c| {
+            let mut borrow = c.borrow_mut();
+            let Some(col) = borrow.as_mut() else { return };
+            // Guards drop in reverse creation order within a thread, so
+            // the top of the stack is this span.
+            let Some(open) = col.stack.pop() else { return };
+            let node = TraceNode {
+                name: open.name.to_string(),
+                wall_nanos: open.started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                attrs: open.attrs,
+                children: open.children,
+            };
+            match col.stack.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => col.roots.push(node),
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_histograms_without_trace() {
+        {
+            let _s = span("unit_no_trace");
+        }
+        let h = crate::global().histogram("span.unit_no_trace");
+        assert!(h.count() >= 1);
+        assert!(trace_take().is_none());
+    }
+
+    #[test]
+    fn trace_builds_nested_tree() {
+        trace_begin();
+        {
+            let root = span("root");
+            root.record("plan", "Index");
+            {
+                let child = span("child_a");
+                child.record("rows", 7u64);
+            }
+            {
+                let _child = span("child_b");
+            }
+        }
+        let t = trace_take().expect("trace collected");
+        assert_eq!(t.name, "root");
+        assert_eq!(t.attr("plan"), Some(&Json::from("Index")));
+        assert_eq!(t.children.len(), 2);
+        assert_eq!(t.children[0].name, "child_a");
+        assert_eq!(t.children[0].attr("rows"), Some(&Json::from(7u64)));
+        assert_eq!(t.children[1].name, "child_b");
+        // Children's wall time is bounded by the parent's.
+        assert!(t.children.iter().map(|c| c.wall_nanos).sum::<u64>() <= t.wall_nanos);
+    }
+
+    #[test]
+    fn trace_keeps_last_root() {
+        trace_begin();
+        {
+            let _a = span("first_root");
+        }
+        {
+            let _b = span("second_root");
+        }
+        let t = trace_take().expect("trace collected");
+        assert_eq!(t.name, "second_root");
+    }
+
+    #[test]
+    fn trace_is_thread_local() {
+        trace_begin();
+        std::thread::spawn(|| {
+            assert!(!trace_active());
+            let _s = span("other_thread");
+        })
+        .join()
+        .unwrap();
+        {
+            let _s = span("this_thread");
+        }
+        let t = trace_take().expect("trace collected");
+        assert_eq!(t.name, "this_thread");
+    }
+}

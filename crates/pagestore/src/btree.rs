@@ -21,6 +21,25 @@ const KIND_INTERNAL: u8 = 1;
 /// Sentinel for "no next leaf".
 const NO_PAGE: u32 = u32::MAX;
 
+/// Global-registry counters for index activity (`btree.*`), shared by
+/// every tree in the process.
+struct BTreeMetrics {
+    inserts: Arc<obs::Counter>,
+    range_scans: Arc<obs::Counter>,
+    entries_scanned: Arc<obs::Counter>,
+}
+
+impl BTreeMetrics {
+    fn new() -> Self {
+        let r = obs::global();
+        BTreeMetrics {
+            inserts: r.counter("btree.inserts"),
+            range_scans: r.counter("btree.range_scans"),
+            entries_scanned: r.counter("btree.entries_scanned"),
+        }
+    }
+}
+
 /// A B+tree index. See the module docs.
 pub struct BTree {
     pool: Arc<BufferPool>,
@@ -31,6 +50,7 @@ pub struct BTree {
     count: u64,
     leaf_cap: usize,
     int_cap: usize,
+    metrics: BTreeMetrics,
 }
 
 impl BTree {
@@ -40,7 +60,10 @@ impl BTree {
         assert!(key_width >= 1, "key width must be positive");
         let leaf_cap = (PAGE_SIZE - HDR) / (key_width + 8);
         let int_cap = (PAGE_SIZE - HDR) / (key_width + 4);
-        assert!(leaf_cap >= 4 && int_cap >= 4, "key width too large for a page");
+        assert!(
+            leaf_cap >= 4 && int_cap >= 4,
+            "key width too large for a page"
+        );
         let meta = pool.allocate_page(fid)?;
         debug_assert_eq!(meta, META_PAGE);
         let root = pool.allocate_page(fid)?;
@@ -58,6 +81,7 @@ impl BTree {
             count: 0,
             leaf_cap,
             int_cap,
+            metrics: BTreeMetrics::new(),
         };
         t.write_meta()?;
         Ok(t)
@@ -86,6 +110,7 @@ impl BTree {
             root,
             height,
             count,
+            metrics: BTreeMetrics::new(),
         })
     }
 
@@ -133,6 +158,7 @@ impl BTree {
     /// engine appends a unique row-id suffix to every key anyway).
     pub fn insert(&mut self, key: &[u8], val: u64) -> Result<()> {
         assert_eq!(key.len(), self.key_width, "key width mismatch");
+        self.metrics.inserts.inc();
         // Descend, recording the path of internal pages.
         let mut path: Vec<PageId> = Vec::with_capacity(self.height as usize);
         let mut pid = self.root;
@@ -298,6 +324,7 @@ impl BTree {
     ) -> Result<()> {
         assert_eq!(lo.len(), self.key_width, "lo width mismatch");
         assert_eq!(hi.len(), self.key_width, "hi width mismatch");
+        self.metrics.range_scans.inc();
         if lo > hi || self.count == 0 {
             return Ok(());
         }
@@ -322,6 +349,7 @@ impl BTree {
                     return Ok(());
                 }
                 let val = page::get_u64(b, off + kw);
+                self.metrics.entries_scanned.inc();
                 if !visit(key, val) {
                     return Ok(());
                 }
@@ -612,8 +640,10 @@ mod tests {
         })
         .unwrap();
         assert!(seen.is_empty());
-        bt.range(&key8(20), &key8(10), |_, _| panic!("inverted range must visit nothing"))
-            .unwrap();
+        bt.range(&key8(20), &key8(10), |_, _| {
+            panic!("inverted range must visit nothing")
+        })
+        .unwrap();
         std::fs::remove_file(&p).ok();
     }
 
@@ -772,7 +802,8 @@ mod bulk_tests {
             pool.clone(),
             fid,
             8,
-            keys.iter().map(|k| (k.as_slice(), u64::from_be_bytes(*k) * 3)),
+            keys.iter()
+                .map(|k| (k.as_slice(), u64::from_be_bytes(*k) * 3)),
         )
         .unwrap();
         assert_eq!(bt.len(), 50_000);
@@ -804,7 +835,8 @@ mod bulk_tests {
         let bt = BTree::bulk_load(pool, fid, 8, std::iter::empty()).unwrap();
         assert_eq!(bt.len(), 0);
         assert_eq!(bt.height(), 0);
-        bt.range(&key8(0), &key8(10), |_, _| panic!("empty")).unwrap();
+        bt.range(&key8(0), &key8(10), |_, _| panic!("empty"))
+            .unwrap();
         std::fs::remove_file(&p).ok();
     }
 

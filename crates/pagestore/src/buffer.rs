@@ -30,13 +30,52 @@ pub struct PoolStats {
 
 impl PoolStats {
     /// Component-wise difference `self - earlier` (for per-query deltas).
+    ///
+    /// Saturates at zero: if a counter went backwards between the two
+    /// snapshots (a [`BufferPool::reset_stats`] in between), the delta is
+    /// clamped to 0 instead of wrapping to ~`u64::MAX`.
     pub fn since(&self, earlier: &PoolStats) -> PoolStats {
         PoolStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
-            physical_reads: self.physical_reads - earlier.physical_reads,
-            physical_writes: self.physical_writes - earlier.physical_writes,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+        }
+    }
+
+    /// Component-wise sum (for merging per-thread or per-phase deltas).
+    pub fn merged(&self, other: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            physical_reads: self.physical_reads + other.physical_reads,
+            physical_writes: self.physical_writes + other.physical_writes,
+        }
+    }
+}
+
+/// Global-registry handles mirroring [`PoolStats`]. Every increment of
+/// the per-pool counters also lands here, so `segdiff metrics` and the
+/// bench harness see pool activity without holding a pool reference.
+struct PoolMetrics {
+    hits: std::sync::Arc<obs::Counter>,
+    misses: std::sync::Arc<obs::Counter>,
+    evictions: std::sync::Arc<obs::Counter>,
+    physical_reads: std::sync::Arc<obs::Counter>,
+    physical_writes: std::sync::Arc<obs::Counter>,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        let r = obs::global();
+        PoolMetrics {
+            hits: r.counter("pool.hits"),
+            misses: r.counter("pool.misses"),
+            evictions: r.counter("pool.evictions"),
+            physical_reads: r.counter("pool.physical_reads"),
+            physical_writes: r.counter("pool.physical_writes"),
         }
     }
 }
@@ -55,6 +94,7 @@ struct Inner {
     frames: Vec<Frame>,
     hand: usize,
     stats: PoolStats,
+    metrics: PoolMetrics,
 }
 
 /// A shared buffer pool over a set of registered page files.
@@ -77,6 +117,7 @@ impl BufferPool {
                 frames: Vec::new(),
                 hand: 0,
                 stats: PoolStats::default(),
+                metrics: PoolMetrics::new(),
             }),
         }
     }
@@ -104,6 +145,7 @@ impl BufferPool {
         let mut g = self.inner.lock();
         let pid = g.files[fid as usize].allocate()?;
         g.stats.physical_writes += 1; // the zero-fill write
+        g.metrics.physical_writes.inc();
         let frame = g.frame_for(fid, pid, false)?;
         *g.frames[frame].buf.bytes_mut() = [0u8; PAGE_SIZE];
         Ok(pid)
@@ -181,6 +223,7 @@ impl Inner {
                 self.files[fid as usize].write_page(pid, buf)?;
                 self.frames[i].dirty = false;
                 self.stats.physical_writes += 1;
+                self.metrics.physical_writes.inc();
             }
         }
         for f in &mut self.files {
@@ -196,10 +239,12 @@ impl Inner {
     fn frame_for(&mut self, fid: FileId, pid: PageId, load: bool) -> Result<usize> {
         if let Some(&i) = self.map.get(&(fid, pid)) {
             self.stats.hits += 1;
+            self.metrics.hits.inc();
             self.frames[i].referenced = true;
             return Ok(i);
         }
         self.stats.misses += 1;
+        self.metrics.misses.inc();
         let i = if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 key: (fid, pid),
@@ -215,9 +260,11 @@ impl Inner {
                 let buf = self.frames[victim].buf.bytes();
                 self.files[old.0 as usize].write_page(old.1, buf)?;
                 self.stats.physical_writes += 1;
+                self.metrics.physical_writes.inc();
             }
             self.map.remove(&old);
             self.stats.evictions += 1;
+            self.metrics.evictions.inc();
             self.frames[victim].key = (fid, pid);
             self.frames[victim].dirty = false;
             self.frames[victim].referenced = true;
@@ -227,6 +274,7 @@ impl Inner {
             let buf = self.frames[i].buf.bytes_mut();
             self.files[fid as usize].read_page(pid, buf)?;
             self.stats.physical_reads += 1;
+            self.metrics.physical_reads.inc();
         }
         self.map.insert((fid, pid), i);
         Ok(i)
@@ -341,6 +389,94 @@ mod tests {
         assert_eq!(d.hits, 15);
         assert_eq!(d.misses, 5);
         assert_eq!(d.evictions, 0);
+    }
+
+    #[test]
+    fn stats_since_saturates_on_counter_reset() {
+        // If reset_stats() ran between the snapshots, "later" counters can
+        // be smaller than "earlier". The delta must clamp to 0 per field,
+        // never wrap.
+        let earlier = PoolStats {
+            hits: 100,
+            misses: 50,
+            evictions: 10,
+            physical_reads: 50,
+            physical_writes: 20,
+        };
+        let later = PoolStats {
+            hits: 3,
+            misses: 60,
+            evictions: 0,
+            physical_reads: 1,
+            physical_writes: 25,
+        };
+        let d = later.since(&earlier);
+        assert_eq!(
+            d,
+            PoolStats {
+                hits: 0,
+                misses: 10,
+                evictions: 0,
+                physical_reads: 0,
+                physical_writes: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn stats_since_of_self_is_zero() {
+        let s = PoolStats {
+            hits: 7,
+            misses: 7,
+            evictions: 7,
+            physical_reads: 7,
+            physical_writes: 7,
+        };
+        assert_eq!(s.since(&s), PoolStats::default());
+    }
+
+    #[test]
+    fn stats_merged_adds_componentwise() {
+        let a = PoolStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            physical_reads: 4,
+            physical_writes: 5,
+        };
+        let b = PoolStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            physical_reads: 40,
+            physical_writes: 50,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.hits, 11);
+        assert_eq!(m.misses, 22);
+        assert_eq!(m.evictions, 33);
+        assert_eq!(m.physical_reads, 44);
+        assert_eq!(m.physical_writes, 55);
+        // since() inverts merged(): (a+b) - b == a.
+        assert_eq!(m.since(&b), a);
+    }
+
+    #[test]
+    fn pool_publishes_global_counters() {
+        let before = obs::global().snapshot();
+        let (pool, fid, p) = pool_with_file("obs", 16);
+        let pid = pool.allocate_page(fid).unwrap();
+        pool.with_page(fid, pid, |_| ()).unwrap();
+        pool.clear_cache().unwrap();
+        pool.with_page(fid, pid, |_| ()).unwrap();
+        let d = obs::global().snapshot().delta(&before);
+        // One hit (first access after allocate), one miss + physical read
+        // (after the cache drop). Other tests may run concurrently, so
+        // assert lower bounds only.
+        assert!(d.counters.get("pool.hits").copied().unwrap_or(0) >= 1);
+        assert!(d.counters.get("pool.misses").copied().unwrap_or(0) >= 1);
+        assert!(d.counters.get("pool.physical_reads").copied().unwrap_or(0) >= 1);
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

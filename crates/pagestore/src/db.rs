@@ -260,7 +260,9 @@ mod tests {
         let dir = tmpdir("basic");
         std::fs::remove_dir_all(&dir).ok();
         let db = Database::create(&dir, 128).unwrap();
-        let t = db.create_table(TableSpec::new("ev", &["dt", "dv"])).unwrap();
+        let t = db
+            .create_table(TableSpec::new("ev", &["dt", "dv"]))
+            .unwrap();
         for i in 0..100 {
             t.insert(&[i as f64, -(i as f64)]).unwrap();
         }
@@ -281,7 +283,9 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         {
             let db = Database::create(&dir, 128).unwrap();
-            let t = db.create_table(TableSpec::new("ev", &["a", "b", "c"])).unwrap();
+            let t = db
+                .create_table(TableSpec::new("ev", &["a", "b", "c"]))
+                .unwrap();
             db.create_index("ev", "by_ab", &["a", "b"]).unwrap();
             for i in 0..1000 {
                 t.insert(&[(i % 10) as f64, i as f64, 3.0]).unwrap();

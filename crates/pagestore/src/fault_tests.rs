@@ -46,7 +46,10 @@ fn btree_with_wrong_magic_rejected() {
     std::fs::write(&p, vec![0x17; PAGE_SIZE * 2]).unwrap();
     let pool = Arc::new(BufferPool::new(16));
     let fid = pool.register_file(PageFile::open(&p).unwrap());
-    assert!(matches!(BTree::open(pool, fid), Err(StoreError::Corrupt(_))));
+    assert!(matches!(
+        BTree::open(pool, fid),
+        Err(StoreError::Corrupt(_))
+    ));
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -43,7 +43,10 @@ impl HeapFile {
     /// Creates an empty heap in the (already registered, freshly created)
     /// file `fid`.
     pub fn create(pool: Arc<BufferPool>, fid: FileId, ncols: usize) -> Result<Self> {
-        assert!(ncols > 0 && ncols * 8 <= PAGE_SIZE - PAGE_HDR, "bad column count");
+        assert!(
+            ncols > 0 && ncols * 8 <= PAGE_SIZE - PAGE_HDR,
+            "bad column count"
+        );
         let meta = pool.allocate_page(fid)?;
         debug_assert_eq!(meta, META_PAGE);
         let h = Self {

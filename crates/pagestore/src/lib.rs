@@ -46,8 +46,8 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
-mod buffer;
 mod btree;
+mod buffer;
 mod db;
 mod encode;
 mod error;
@@ -62,8 +62,8 @@ mod fault_tests;
 #[cfg(test)]
 mod proptests;
 
-pub use buffer::{BufferPool, PoolStats};
 pub use btree::BTree;
+pub use buffer::{BufferPool, PoolStats};
 pub use db::{Database, TableSpec};
 pub use encode::{decode_f64, encode_f64, encode_key, KeyBuf};
 pub use error::{Result, StoreError};

@@ -7,8 +7,8 @@ use crate::pagefile::PageFile;
 use crate::BTree;
 use proptest::prelude::*;
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static NEXT: AtomicU64 = AtomicU64::new(0);
 

@@ -31,9 +31,10 @@ pub enum Compiled {
 pub fn compile(expr: &Expr, cols: &[String]) -> Result<Compiled> {
     Ok(match expr {
         Expr::Column(name) => {
-            let idx = cols.iter().position(|c| c == name).ok_or_else(|| {
-                StoreError::NotFound(format!("column {name} in SQL expression"))
-            })?;
+            let idx = cols
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| StoreError::NotFound(format!("column {name} in SQL expression")))?;
             Compiled::Column(idx)
         }
         Expr::Number(n) => Compiled::Number(*n),
@@ -95,7 +96,9 @@ mod tests {
 
     fn compile_where(sql: &str, cols: &[&str]) -> Compiled {
         let full = format!("SELECT * FROM t WHERE {sql}");
-        let Statement::Select { predicate, .. } = parse(&full).unwrap() else { panic!() };
+        let Statement::Select { predicate, .. } = parse(&full).unwrap() else {
+            panic!()
+        };
         let cols: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
         compile(&predicate.unwrap(), &cols).unwrap()
     }
@@ -132,7 +135,9 @@ mod tests {
     #[test]
     fn unknown_column_rejected() {
         let full = "SELECT * FROM t WHERE nope > 1".to_string();
-        let Statement::Select { predicate, .. } = parse(&full).unwrap() else { panic!() };
+        let Statement::Select { predicate, .. } = parse(&full).unwrap() else {
+            panic!()
+        };
         assert!(compile(&predicate.unwrap(), &["a".to_string()]).is_err());
     }
 

@@ -98,15 +98,16 @@ struct Bounds {
     hi: f64,
 }
 
-fn column_bounds(
-    predicate: &Option<super::ast::Expr>,
-    cols: &[String],
-) -> Vec<Option<Bounds>> {
+fn column_bounds(predicate: &Option<super::ast::Expr>, cols: &[String]) -> Vec<Option<Bounds>> {
     let mut out = vec![None::<Bounds>; cols.len()];
     let Some(pred) = predicate else { return out };
     for conj in pred.conjuncts() {
-        let Some((name, op, lit)) = conj.as_column_bound() else { continue };
-        let Some(idx) = cols.iter().position(|c| c == name) else { continue };
+        let Some((name, op, lit)) = conj.as_column_bound() else {
+            continue;
+        };
+        let Some(idx) = cols.iter().position(|c| c == name) else {
+            continue;
+        };
         let b = out[idx].get_or_insert(Bounds {
             lo: f64::NEG_INFINITY,
             hi: f64::INFINITY,
@@ -170,10 +171,7 @@ fn select(
 ) -> Result<ExecOutcome> {
     let table = db.table(table_name)?;
     let cols = table.columns().to_vec();
-    let compiled = predicate
-        .as_ref()
-        .map(|p| compile(p, &cols))
-        .transpose()?;
+    let compiled = predicate.as_ref().map(|p| compile(p, &cols)).transpose()?;
     let proj_idx: Vec<usize> = match &projection {
         Projection::All => (0..cols.len()).collect(),
         Projection::Count => Vec::new(),
@@ -237,8 +235,7 @@ fn select(
             }
             // Covered execution: if the predicate and projection only touch
             // indexed columns, evaluate on key bytes and never fetch.
-            let key_col_names: Vec<String> =
-                idx_cols.iter().map(|&c| cols[c].clone()).collect();
+            let key_col_names: Vec<String> = idx_cols.iter().map(|&c| cols[c].clone()).collect();
             let covered_pred = predicate
                 .as_ref()
                 .and_then(|p| compile(p, &key_col_names).ok());
@@ -348,7 +345,14 @@ mod tests {
         let out = db
             .execute("SELECT t FROM ev WHERE dt <= 120 AND dv <= -5")
             .unwrap();
-        let ExecOutcome::Rows { columns, rows, plan } = out else { panic!() };
+        let ExecOutcome::Rows {
+            columns,
+            rows,
+            plan,
+        } = out
+        else {
+            panic!()
+        };
         assert_eq!(columns, vec!["t".to_string()]);
         assert_eq!(plan, Plan::SeqScan);
         // Verify against manual filter.
@@ -374,9 +378,18 @@ mod tests {
         db.execute("CREATE INDEX by_dt_dv ON ev (dt, dv)").unwrap();
         let sql = "SELECT t FROM ev WHERE dt <= 300 AND dv <= -4";
         let out = db.execute(sql).unwrap();
-        let ExecOutcome::Rows { rows: indexed, plan, .. } = out else { panic!() };
+        let ExecOutcome::Rows {
+            rows: indexed,
+            plan,
+            ..
+        } = out
+        else {
+            panic!()
+        };
         match &plan {
-            Plan::IndexRange { index, hi, covered, .. } => {
+            Plan::IndexRange {
+                index, hi, covered, ..
+            } => {
                 assert_eq!(index, "by_dt_dv");
                 assert_eq!(hi[0], 300.0);
                 assert!(!covered, "projection of t is not covered");
@@ -406,13 +419,16 @@ mod tests {
         let out = db
             .execute("SELECT COUNT(*) FROM ev WHERE dt <= 600 AND dv <= -3")
             .unwrap();
-        let ExecOutcome::Count { count, plan } = out else { panic!() };
+        let ExecOutcome::Count { count, plan } = out else {
+            panic!()
+        };
         match plan {
             Plan::IndexRange { covered, .. } => assert!(covered),
             other => panic!("expected covered index plan, got {other:?}"),
         }
-        let ExecOutcome::Count { count: want, .. } =
-            db.execute("SELECT COUNT(*) FROM ev WHERE dt + 0 <= 600 AND dv <= -3").unwrap()
+        let ExecOutcome::Count { count: want, .. } = db
+            .execute("SELECT COUNT(*) FROM ev WHERE dt + 0 <= 600 AND dv <= -3")
+            .unwrap()
         else {
             panic!()
         };
@@ -428,7 +444,9 @@ mod tests {
         let out = db
             .execute("SELECT dv FROM ev WHERE dv <= -4 USING INDEX by_t")
             .unwrap();
-        let ExecOutcome::Rows { plan, .. } = out else { panic!() };
+        let ExecOutcome::Rows { plan, .. } = out else {
+            panic!()
+        };
         match plan {
             Plan::IndexRange { index, lo, hi, .. } => {
                 assert_eq!(index, "by_t");
@@ -448,9 +466,7 @@ mod tests {
     fn limit_stops_early() {
         let (db, dir) = setup("limit");
         fill(&db);
-        let ExecOutcome::Rows { rows, .. } =
-            db.execute("SELECT * FROM ev LIMIT 7").unwrap()
-        else {
+        let ExecOutcome::Rows { rows, .. } = db.execute("SELECT * FROM ev LIMIT 7").unwrap() else {
             panic!()
         };
         assert_eq!(rows.len(), 7);

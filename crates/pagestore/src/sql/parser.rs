@@ -347,12 +347,10 @@ mod tests {
                 predicate,
                 ..
             } => {
-                assert_eq!(projection, Projection::Columns(vec![
-                    "td".into(),
-                    "tc".into(),
-                    "tb".into(),
-                    "ta".into()
-                ]));
+                assert_eq!(
+                    projection,
+                    Projection::Columns(vec!["td".into(), "tc".into(), "tb".into(), "ta".into()])
+                );
                 assert_eq!(table, "drop2");
                 let conj = predicate.unwrap();
                 assert_eq!(conj.conjuncts().len(), 5);
@@ -382,7 +380,12 @@ mod tests {
     #[test]
     fn precedence_is_sane() {
         let s = parse("SELECT * FROM t WHERE a + 2 * 3 = 7 OR NOT b > 1 AND c < 2").unwrap();
-        let Statement::Select { predicate: Some(e), .. } = s else { panic!() };
+        let Statement::Select {
+            predicate: Some(e), ..
+        } = s
+        else {
+            panic!()
+        };
         // Top level must be OR.
         assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
     }

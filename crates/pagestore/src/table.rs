@@ -231,7 +231,8 @@ mod tests {
     use std::sync::Arc;
 
     fn setup(name: &str, cols: &[&str]) -> (Arc<BufferPool>, Table, Vec<PathBuf>) {
-        let base = std::env::temp_dir().join(format!("pagestore-tbl-{}-{name}", std::process::id()));
+        let base =
+            std::env::temp_dir().join(format!("pagestore-tbl-{}-{name}", std::process::id()));
         let pool = Arc::new(BufferPool::new(256));
         let heap_path = base.with_extension("tbl");
         let fid = pool.register_file(PageFile::create(&heap_path).unwrap());

@@ -40,7 +40,10 @@ type MergeCandidate = Reverse<(Cost, usize, u32, usize, u32)>;
 impl BottomUpSegmenter {
     /// Segments `series` with user tolerance `ε` (chord bound `ε/2`).
     pub fn segment(&self, series: &TimeSeries, epsilon: f64) -> PiecewiseLinear {
-        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be >= 0"
+        );
         let n = series.len();
         if n < 2 {
             return PiecewiseLinear::default();
@@ -58,7 +61,9 @@ impl BottomUpSegmenter {
         // Doubly linked list over slots; usize::MAX = none.
         const NONE: usize = usize::MAX;
         let mut prev: Vec<usize> = (0..m).map(|k| if k == 0 { NONE } else { k - 1 }).collect();
-        let mut next: Vec<usize> = (0..m).map(|k| if k + 1 == m { NONE } else { k + 1 }).collect();
+        let mut next: Vec<usize> = (0..m)
+            .map(|k| if k + 1 == m { NONE } else { k + 1 })
+            .collect();
 
         let merge_cost = |s: usize, e: usize| -> f64 {
             let (t0, v0) = (ts[s], vs[s]);
@@ -110,7 +115,12 @@ impl BottomUpSegmenter {
         // the right neighbour into the left slot).
         debug_assert!(alive[k]);
         loop {
-            segs.push(Segment::new(ts[start[k]], vs[start[k]], ts[end[k]], vs[end[k]]));
+            segs.push(Segment::new(
+                ts[start[k]],
+                vs[start[k]],
+                ts[end[k]],
+                vs[end[k]],
+            ));
             if next[k] == NONE {
                 break;
             }
@@ -168,7 +178,10 @@ mod tests {
         let bu = BottomUpSegmenter.segment(&s, 0.4).num_segments();
         let sw = segment_series(&s, 0.4).num_segments();
         // Bottom-up is the stronger offline heuristic; allow a little slack.
-        assert!(bu as f64 <= sw as f64 * 1.2, "bottom-up {bu} vs sliding {sw}");
+        assert!(
+            bu as f64 <= sw as f64 * 1.2,
+            "bottom-up {bu} vs sliding {sw}"
+        );
     }
 
     #[test]
@@ -183,10 +196,8 @@ mod tests {
 
     #[test]
     fn zero_epsilon_merges_only_collinear_runs() {
-        let s = TimeSeries::from_parts(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 1.0, 2.0, 1.0, 0.0],
-        );
+        let s =
+            TimeSeries::from_parts(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 1.0, 2.0, 1.0, 0.0]);
         let pla = BottomUpSegmenter.segment(&s, 0.0);
         assert_eq!(pla.num_segments(), 2);
         assert_eq!(pla.max_abs_error(&s), 0.0);

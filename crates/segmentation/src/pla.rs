@@ -130,8 +130,7 @@ mod tests {
     #[test]
     fn max_abs_error_measures_deviation() {
         let p = pla();
-        let series =
-            TimeSeries::from_parts(vec![0.0, 5.0, 10.0, 20.0], vec![0.0, 3.0, 5.0, 2.5]);
+        let series = TimeSeries::from_parts(vec![0.0, 5.0, 10.0, 20.0], vec![0.0, 3.0, 5.0, 2.5]);
         // Deviations: 0, 0.5, 0, 0.5 -> max 0.5.
         assert!((p.max_abs_error(&series) - 0.5).abs() < 1e-12);
     }

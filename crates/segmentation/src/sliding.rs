@@ -43,7 +43,10 @@ impl SlidingWindowSegmenter {
     ///
     /// Panics if `epsilon` is negative or not finite.
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be >= 0"
+        );
         Self {
             max_error: epsilon / 2.0,
             buf_t: Vec::with_capacity(64),
@@ -87,7 +90,12 @@ impl SlidingWindowSegmenter {
         }
         // Close the segment at the previous observation, restart there.
         let n = self.buf_t.len();
-        let seg = Segment::new(self.buf_t[0], self.buf_v[0], self.buf_t[n - 1], self.buf_v[n - 1]);
+        let seg = Segment::new(
+            self.buf_t[0],
+            self.buf_v[0],
+            self.buf_t[n - 1],
+            self.buf_v[n - 1],
+        );
         let (at, av) = (self.buf_t[n - 1], self.buf_v[n - 1]);
         self.buf_t.clear();
         self.buf_v.clear();
@@ -151,7 +159,9 @@ mod tests {
 
     #[test]
     fn straight_line_is_one_segment() {
-        let series: TimeSeries = (0..1000).map(|i| (i as f64, 3.0 + 0.25 * i as f64)).collect();
+        let series: TimeSeries = (0..1000)
+            .map(|i| (i as f64, 3.0 + 0.25 * i as f64))
+            .collect();
         let pla = segment_series(&series, 0.1);
         assert_eq!(pla.num_segments(), 1);
         assert_eq!(pla.max_abs_error(&series), 0.0);
@@ -192,7 +202,12 @@ mod tests {
     #[test]
     fn larger_epsilon_fewer_segments() {
         let series: TimeSeries = (0..3000)
-            .map(|i| (i as f64, ((i as f64) / 15.0).sin() * 5.0 + ((i as f64) / 111.0).cos()))
+            .map(|i| {
+                (
+                    i as f64,
+                    ((i as f64) / 15.0).sin() * 5.0 + ((i as f64) / 111.0).cos(),
+                )
+            })
             .collect();
         let tight = segment_series(&series, 0.1).num_segments();
         let loose = segment_series(&series, 1.0).num_segments();
@@ -234,10 +249,7 @@ mod tests {
 
     #[test]
     fn zero_epsilon_connects_every_bend() {
-        let series = TimeSeries::from_parts(
-            vec![0.0, 1.0, 2.0, 3.0],
-            vec![0.0, 1.0, 0.0, 1.0],
-        );
+        let series = TimeSeries::from_parts(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0]);
         let pla = segment_series(&series, 0.0);
         assert_eq!(pla.num_segments(), 3);
         assert_eq!(pla.max_abs_error(&series), 0.0);
@@ -253,10 +265,8 @@ mod tests {
 
     #[test]
     fn emitted_counter_tracks_segments() {
-        let series = TimeSeries::from_parts(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 5.0, 0.0, 5.0, 0.0],
-        );
+        let series =
+            TimeSeries::from_parts(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 5.0, 0.0, 5.0, 0.0]);
         let mut seg = SlidingWindowSegmenter::new(0.1);
         let mut count = 0;
         for (t, v) in series.iter() {

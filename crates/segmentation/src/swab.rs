@@ -29,7 +29,10 @@ impl SwabSegmenter {
 
     /// Segments `series` with user tolerance `ε` (chord bound `ε/2`).
     pub fn segment(&self, series: &TimeSeries, epsilon: f64) -> PiecewiseLinear {
-        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be >= 0");
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be >= 0"
+        );
         let n = series.len();
         if n < 2 {
             return PiecewiseLinear::default();

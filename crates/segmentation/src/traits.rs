@@ -28,7 +28,9 @@ impl Segmenter {
         match *self {
             Segmenter::SlidingWindow => segment_series(series, epsilon),
             Segmenter::BottomUp => BottomUpSegmenter.segment(series, epsilon),
-            Segmenter::Swab { buffer_len } => SwabSegmenter::new(buffer_len).segment(series, epsilon),
+            Segmenter::Swab { buffer_len } => {
+                SwabSegmenter::new(buffer_len).segment(series, epsilon)
+            }
         }
     }
 

@@ -86,7 +86,8 @@ impl CadTransectConfig {
 /// Deterministic in `(cfg, sensor, seed)`: each sensor derives its own RNG
 /// stream, so series can be generated independently and in parallel.
 pub fn generate_sensor(cfg: &CadTransectConfig, sensor: u32, seed: u64) -> TimeSeries {
-    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(sensor as u64 + 1)));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(sensor as u64 + 1)));
     let mut weather = cfg.weather.clone();
     let schedule = EventSchedule::generate(
         &mut rng,
@@ -262,7 +263,10 @@ mod tests {
 
     #[test]
     fn correlated_transect_shares_fronts() {
-        let cfg = CadTransectConfig::default().with_days(10).with_sensors(4).clean();
+        let cfg = CadTransectConfig::default()
+            .with_days(10)
+            .with_sensors(4)
+            .clean();
         // Disable CAD events so the shared front dominates the residual.
         let cfg = CadTransectConfig {
             winter_daily_prob: 0.0,

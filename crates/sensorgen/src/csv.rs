@@ -95,7 +95,6 @@ pub fn read_csv(path: &Path) -> Result<TimeSeries, CsvError> {
 mod tests {
     use super::*;
 
-
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
         p.push(format!("sensorgen-csv-{}-{name}", std::process::id()));
@@ -104,7 +103,9 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let s: TimeSeries = (0..100).map(|i| (i as f64 * 2.5, (i as f64).sin())).collect();
+        let s: TimeSeries = (0..100)
+            .map(|i| (i as f64 * 2.5, (i as f64).sin()))
+            .collect();
         let p = tmp("roundtrip.csv");
         write_csv(&p, &s).unwrap();
         let r = read_csv(&p).unwrap();

@@ -79,9 +79,8 @@ impl EventSchedule {
     ) -> Self {
         let mut events = Vec::new();
         for day in 0..days {
-            let season = 0.5
-                - 0.5
-                    * (std::f64::consts::TAU * (day as f64 - coldest_day) / 365.0).cos();
+            let season =
+                0.5 - 0.5 * (std::f64::consts::TAU * (day as f64 - coldest_day) / 365.0).cos();
             let p = winter_daily_prob + season * (summer_daily_prob - winter_daily_prob);
             if rng.random::<f64>() >= p {
                 continue;
@@ -90,9 +89,8 @@ impl EventSchedule {
             let drop_minutes = (20.0 + 40.0 * rng.random::<f64>()).clamp(15.0, 70.0);
             // Depth: mostly 3–8 °C, occasionally deeper — the real data set
             // contains drops down to −35 °C over longer spans (paper §6.1).
-            let depth = (3.0 + sample_exp(rng, 2.0) + normal(rng, 0.0, 0.5))
-                .clamp(2.0, 30.0)
-                * depth_scale;
+            let depth =
+                (3.0 + sample_exp(rng, 2.0) + normal(rng, 0.0, 0.5)).clamp(2.0, 30.0) * depth_scale;
             let recovery_hours = 1.5 + 2.5 * rng.random::<f64>();
             events.push(CadEvent {
                 start: day as f64 * DAY + start_hour * HOUR,
@@ -203,7 +201,11 @@ mod tests {
                 !(91.0..=274.0).contains(&d)
             })
             .count();
-        assert!(winter * 2 > s.len(), "winter events {winter} of {}", s.len());
+        assert!(
+            winter * 2 > s.len(),
+            "winter events {winter} of {}",
+            s.len()
+        );
     }
 
     #[test]
@@ -221,8 +223,14 @@ mod tests {
     fn schedule_offset_sums_overlapping_events() {
         let s = EventSchedule {
             events: vec![
-                CadEvent { start: 0.0, ..event() },
-                CadEvent { start: 900.0, ..event() },
+                CadEvent {
+                    start: 0.0,
+                    ..event()
+                },
+                CadEvent {
+                    start: 900.0,
+                    ..event()
+                },
             ],
         };
         let t = 1800.0;

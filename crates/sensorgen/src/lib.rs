@@ -41,7 +41,9 @@ mod series;
 pub mod smooth;
 mod weather;
 
-pub use cad::{generate_sensor, generate_transect, generate_transect_correlated, CadTransectConfig};
+pub use cad::{
+    generate_sensor, generate_transect, generate_transect_correlated, CadTransectConfig,
+};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use events::{CadEvent, EventSchedule};
 pub use noise::NoiseConfig;

@@ -130,7 +130,7 @@ fn local_linear(ts: &[f64], vs: &[f64], rob: &[f64], lo: usize, hi: usize, x: f6
         return swy / sw; // degenerate: weighted mean
     }
     let slope = (sw * swxy - swx * swy) / denom;
-    
+
     (swy - slope * swx) / sw // evaluated at xc = 0, i.e. at x
 }
 
@@ -148,7 +148,9 @@ mod tests {
     use super::*;
 
     fn line_series(n: usize) -> TimeSeries {
-        (0..n).map(|i| (i as f64 * 10.0, 2.0 + 0.5 * i as f64)).collect()
+        (0..n)
+            .map(|i| (i as f64 * 10.0, 2.0 + 0.5 * i as f64))
+            .collect()
     }
 
     #[test]
@@ -181,7 +183,11 @@ mod tests {
         // A 5-degree drop over 8 consecutive samples is signal, not anomaly.
         let mut vs: Vec<f64> = vec![10.0; 40];
         for (i, v) in vs.iter_mut().enumerate().skip(20) {
-            *v = if i < 28 { 10.0 - 5.0 * (i - 20) as f64 / 8.0 } else { 5.0 };
+            *v = if i < 28 {
+                10.0 - 5.0 * (i - 20) as f64 / 8.0
+            } else {
+                5.0
+            };
         }
         let ts: Vec<f64> = (0..40).map(|i| i as f64 * 300.0).collect();
         let s = TimeSeries::from_parts(ts, vs);
@@ -199,7 +205,10 @@ mod tests {
     #[test]
     fn zero_half_width_passthrough() {
         let s = line_series(10);
-        let sm = RobustSmoother { half_width: 0, iterations: 2 };
+        let sm = RobustSmoother {
+            half_width: 0,
+            iterations: 2,
+        };
         assert_eq!(sm.smooth(&s), s);
     }
 
@@ -217,7 +226,10 @@ mod tests {
         let mut s = TimeSeries::new();
         for i in 0..500 {
             let t = i as f64 * 300.0;
-            s.push(t, (t / 5000.0).sin() * 5.0 + crate::rng::normal(&mut rng, 0.0, 0.4));
+            s.push(
+                t,
+                (t / 5000.0).sin() * 5.0 + crate::rng::normal(&mut rng, 0.0, 0.4),
+            );
         }
         let sm = RobustSmoother::default().smooth(&s);
         let noise_raw: f64 = (0..500)
@@ -232,6 +244,9 @@ mod tests {
                 (sm.values()[i] - (t / 5000.0).sin() * 5.0).powi(2)
             })
             .sum();
-        assert!(noise_sm < noise_raw / 2.0, "raw {noise_raw} smoothed {noise_sm}");
+        assert!(
+            noise_sm < noise_raw / 2.0,
+            "raw {noise_raw} smoothed {noise_sm}"
+        );
     }
 }

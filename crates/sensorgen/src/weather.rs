@@ -60,8 +60,7 @@ impl WeatherModel {
     pub fn diurnal_amplitude(&self, t: f64) -> f64 {
         let day = t / DAY;
         // 0 at the coldest day, 1 half a year later.
-        let season = 0.5
-            - 0.5 * (std::f64::consts::TAU * (day - self.coldest_day) / 365.0).cos();
+        let season = 0.5 - 0.5 * (std::f64::consts::TAU * (day - self.coldest_day) / 365.0).cos();
         self.diurnal_amp_winter + season * (self.diurnal_amp_summer - self.diurnal_amp_winter)
     }
 

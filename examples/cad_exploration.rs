@@ -18,7 +18,9 @@ fn main() {
     std::fs::remove_dir_all(&base).ok();
 
     println!("generating {sensors} sensors x {days} days of transect data ...");
-    let cfg = CadTransectConfig::default().with_days(days).with_sensors(sensors);
+    let cfg = CadTransectConfig::default()
+        .with_days(days)
+        .with_sensors(sensors);
     let smoother = RobustSmoother::default();
 
     // One index per sensor, as a deployment would maintain.
@@ -88,7 +90,10 @@ fn main() {
         "\nsensor {bottom}: {} periods -> {} episodes ({:.2} per day); start hours:",
         summary.periods, summary.episodes, summary.rate_per_day
     );
-    print!("{}", ascii_histogram(&summary.hour_histogram, |h| format!("{h:02}h")));
+    print!(
+        "{}",
+        ascii_histogram(&summary.hour_histogram, |h| format!("{h:02}h"))
+    );
 
     std::fs::remove_dir_all(&base).ok();
 }

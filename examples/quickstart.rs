@@ -54,7 +54,11 @@ fn main() {
             p.t_c / HOUR,
             p.t_b / HOUR,
             p.t_a / HOUR,
-            if p.is_self_pair() { "  (within one segment)" } else { "" }
+            if p.is_self_pair() {
+                "  (within one segment)"
+            } else {
+                ""
+            }
         );
     }
     if results.len() > 10 {

@@ -109,6 +109,10 @@ fn main() {
         );
     }
 
-    assert_eq!(found, regressions.len(), "an injected regression was missed");
+    assert_eq!(
+        found,
+        regressions.len(),
+        "an injected regression was missed"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

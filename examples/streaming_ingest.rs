@@ -60,7 +60,19 @@ fn main() {
     // Completeness holds at every point, including after streaming.
     let events = oracle::true_events(&series, &region);
     assert!(oracle::find_missed_event(&events, &final_results).is_none());
-    println!("oracle check passed: all {} true events covered", events.len());
+    println!(
+        "oracle check passed: all {} true events covered",
+        events.len()
+    );
+
+    // Everything above also fed the global telemetry registry: ingest and
+    // pool counters, plus latency histograms for each query phase.
+    use segdiff_repro::obs::export::Exporter;
+    println!("\ntelemetry collected during the run:");
+    print!(
+        "{}",
+        segdiff_repro::obs::export::TextExporter.export(&segdiff_repro::obs::global().snapshot())
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

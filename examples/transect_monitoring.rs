@@ -23,7 +23,9 @@ fn main() {
     std::fs::remove_dir_all(&root).ok();
 
     println!("generating a correlated transect: {sensors} sensors x {days} days ...");
-    let cfg = CadTransectConfig::default().with_days(days).with_sensors(sensors);
+    let cfg = CadTransectConfig::default()
+        .with_days(days)
+        .with_sensors(sensors);
     let raw = generate_transect_correlated(&cfg, 20_080_325);
     let smoother = RobustSmoother::default();
     let series: Vec<TimeSeries> = raw.iter().map(|s| smoother.smooth(s)).collect();
@@ -44,7 +46,9 @@ fn main() {
 
     // The standing question, fanned out across all sensors in parallel.
     let region = QueryRegion::drop(1.0 * HOUR, -3.0);
-    let (per_sensor, stats) = transect.query_all(&region, QueryPlan::SeqScan).expect("query");
+    let (per_sensor, stats) = transect
+        .query_all(&region, QueryPlan::SeqScan)
+        .expect("query");
     println!(
         "\nCAD query over {} sensors: {} total periods in {:.1} ms (slowest sensor)",
         sensors,
@@ -84,9 +88,7 @@ fn main() {
             .iter()
             .enumerate()
             .filter(|(k, _)| *k != bottom)
-            .filter(|(_, rs)| {
-                rs.iter().any(|p| p.t_d <= e.t2 && e.t1 <= p.t_a)
-            })
+            .filter(|(_, rs)| rs.iter().any(|p| p.t_d <= e.t2 && e.t1 <= p.t_a))
             .count();
         if neighbours > 0 {
             simultaneous += 1;

@@ -1,0 +1,137 @@
+//! Offline shim for the `bytes` API surface used by this workspace: a
+//! growable byte buffer ([`BytesMut`]) and the [`BufMut`] write trait.
+//!
+//! Only the composite-key encoding in `pagestore` uses these, so the shim
+//! is a thin wrapper over `Vec<u8>`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, reusable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Self { inner: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Clears the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Extends the buffer from a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.inner.extend_from_slice(s);
+    }
+
+    /// Consumes the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        Self { inner: s.to_vec() }
+    }
+}
+
+/// Append-style writes into a byte buffer.
+pub trait BufMut {
+    /// Appends a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u32` in big-endian byte order.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u64` in big-endian byte order.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_read_back() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 2, 3]);
+        b.put_u64(0xDEAD);
+        assert_eq!(b.len(), 11);
+        assert_eq!(&b[..3], &[1, 2, 3]);
+        assert_eq!(u64::from_be_bytes(b[3..11].try_into().unwrap()), 0xDEAD);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn lexicographic_comparison_via_deref() {
+        let mut a = BytesMut::new();
+        let mut b = BytesMut::new();
+        a.put_slice(&[1, 2]);
+        b.put_slice(&[1, 3]);
+        assert!(a[..] < b[..]);
+        assert!(a < b);
+    }
+}

@@ -14,12 +14,14 @@
 //! * [`featurespace`] — parallelogram feature geometry, slope-case corner
 //!   analysis, query regions;
 //! * [`pagestore`] — the embedded page/B+tree storage engine;
-//! * [`segdiff`] — the SegDiff framework and the exhaustive baseline.
+//! * [`segdiff`] — the SegDiff framework and the exhaustive baseline;
+//! * [`obs`] — metrics, span traces, and logging (zero dependencies).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-versus-measured record.
 
 pub use featurespace;
+pub use obs;
 pub use pagestore;
 pub use segdiff;
 pub use segmentation;
@@ -28,12 +30,10 @@ pub use sensorgen;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use featurespace::{QueryRegion, SearchKind};
-    pub use segdiff::{
-        exh::ExhIndex, oracle, QueryPlan, SegDiffConfig, SegDiffIndex, SegmentPair,
-    };
+    pub use segdiff::{exh::ExhIndex, oracle, QueryPlan, SegDiffConfig, SegDiffIndex, SegmentPair};
     pub use segmentation::{segment_series, PiecewiseLinear, Segment, Segmenter};
     pub use sensorgen::{
-        generate_sensor, generate_transect, smooth::RobustSmoother, CadTransectConfig,
-        TimeSeries, DAY, HOUR, MINUTE, SAMPLE_PERIOD,
+        generate_sensor, generate_transect, smooth::RobustSmoother, CadTransectConfig, TimeSeries,
+        DAY, HOUR, MINUTE, SAMPLE_PERIOD,
     };
 }

@@ -6,8 +6,8 @@
 //!   four-corner parallelogram intersection would return (the corner
 //!   reduction of §4.3.1 loses nothing).
 
-use segdiff_repro::prelude::*;
 use segdiff_repro::featurespace::Parallelogram;
+use segdiff_repro::prelude::*;
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!("segdiff-abl-{}-{tag}", std::process::id()));
@@ -39,7 +39,9 @@ fn all_segmenters_preserve_completeness() {
         let dir = tmpdir(&format!("seg-{i}"));
         let mut idx = SegDiffIndex::create(
             &dir,
-            SegDiffConfig::default().with_epsilon(0.2).with_window(4.0 * HOUR),
+            SegDiffConfig::default()
+                .with_epsilon(0.2)
+                .with_window(4.0 * HOUR),
         )
         .unwrap();
         let pla = alg.segment(&series, 0.2);
@@ -59,7 +61,9 @@ fn all_segmenters_preserve_completeness() {
 #[test]
 fn offline_segmenters_compress_at_least_as_well() {
     let series = walk_series(3000, 12);
-    let sw = Segmenter::SlidingWindow.segment(&series, 0.4).num_segments();
+    let sw = Segmenter::SlidingWindow
+        .segment(&series, 0.4)
+        .num_segments();
     let bu = Segmenter::BottomUp.segment(&series, 0.4).num_segments();
     assert!(
         bu as f64 <= sw as f64 * 1.15,
@@ -233,7 +237,10 @@ fn window_parameter_bounds_results() {
     // Window truncation can alter t_d of truncated pairs, so compare the
     // covered (t_c, t_b) cores, which identify the pairs.
     let core = |rs: &Vec<SegmentPair>| -> Vec<(u64, u64)> {
-        let mut v: Vec<(u64, u64)> = rs.iter().map(|p| (p.t_c.to_bits(), p.t_b.to_bits())).collect();
+        let mut v: Vec<(u64, u64)> = rs
+            .iter()
+            .map(|p| (p.t_c.to_bits(), p.t_b.to_bits()))
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -254,7 +261,9 @@ fn online_ingest_equals_offline_pla_ingest() {
     let region = QueryRegion::drop(1.0 * HOUR, -1.5);
     let d1 = tmpdir("online");
     let d2 = tmpdir("offline");
-    let cfg = SegDiffConfig::default().with_epsilon(0.2).with_window(4.0 * HOUR);
+    let cfg = SegDiffConfig::default()
+        .with_epsilon(0.2)
+        .with_window(4.0 * HOUR);
 
     let mut online = SegDiffIndex::create(&d1, cfg.clone()).unwrap();
     online.ingest_series(&series).unwrap();
