@@ -24,9 +24,9 @@ struct Args {
     out: Option<PathBuf>,
 }
 
-const KNOWN: [&str; 10] = [
+const KNOWN: [&str; 11] = [
     "all", "table3", "table4", "table5", "table6", "table7", "fig7_11", "fig12_13", "fig14_15",
-    "fig16_24",
+    "fig16_24", "serving",
 ];
 
 fn parse_args() -> Args {
@@ -143,6 +143,22 @@ fn main() {
             with_registry_delta(|| experiments::run_random_queries(&args.scale, args.queries));
         experiments::figs16_24(&points, &mut report);
         report.metrics("Telemetry: random queries", &delta);
+    }
+
+    if want("serving") {
+        eprintln!("[reproduce] running serving benchmark ...");
+        // Short points at --tiny scale so smoke runs stay fast; real runs
+        // get long enough windows for stable qps.
+        let per_point = if args.scale.subset_days <= 2 {
+            std::time::Duration::from_millis(500)
+        } else {
+            std::time::Duration::from_secs(3)
+        };
+        let (points, delta) = with_registry_delta(|| {
+            segdiff_bench::serving::run_serving(&args.scale, &[1, 8], per_point)
+        });
+        segdiff_bench::serving::serving_report(&points, &mut report);
+        report.metrics("Telemetry: serving", &delta);
     }
 
     if let Some(path) = &args.out {

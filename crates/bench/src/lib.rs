@@ -8,6 +8,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod serving;
 
 pub use harness::{
     build_exh, build_segdiff, default_series, time_query_exh, time_query_segdiff, BuiltExh,

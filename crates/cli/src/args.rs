@@ -12,6 +12,9 @@ usage:
   segdiff stats    --index DIR [--json]
   segdiff metrics  --index DIR [--json]
   segdiff sql      --index DIR \"SELECT ...\"
+  segdiff serve    --index DIR [--port P] [--threads N] [--queue-depth Q] [--json]
+  segdiff loadgen  --url http://HOST:PORT [--concurrency N] [--duration-secs S]
+                   [--kind drop|jump] [--v V] [--t-hours H] [--guard FILE]
 
 environment:
   SEGDIFF_LOG=off|error|warn|info|debug   diagnostic verbosity (default warn)";
@@ -85,6 +88,36 @@ pub enum Command {
         /// The statement.
         statement: String,
     },
+    /// Run the HTTP query service over an index.
+    Serve {
+        /// Index directory.
+        index: PathBuf,
+        /// TCP port (0 picks an ephemeral port).
+        port: u16,
+        /// Worker threads.
+        threads: usize,
+        /// Bounded accept-queue depth (503s beyond it).
+        queue_depth: usize,
+        /// Emit the final telemetry snapshot as JSON lines.
+        json: bool,
+    },
+    /// Drive a running server with a closed-loop load generator.
+    Loadgen {
+        /// Base URL of the server (`http://host:port`).
+        url: String,
+        /// Concurrent closed-loop workers.
+        concurrency: usize,
+        /// Run duration in seconds.
+        duration_secs: f64,
+        /// "drop" or "jump".
+        kind: String,
+        /// Threshold V for the query mix.
+        v: f64,
+        /// Threshold T in hours for the query mix.
+        t_hours: f64,
+        /// p99 regression-guard file (JSON with `max_p99_ms`).
+        guard: Option<PathBuf>,
+    },
 }
 
 fn take_value<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
@@ -115,6 +148,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut statement: Option<String> = None;
     let mut trace = false;
     let mut json = false;
+    let mut port = 7878u16;
+    let mut threads = 8usize;
+    let mut queue_depth = 64usize;
+    let mut url: Option<String> = None;
+    let mut concurrency = 8usize;
+    let mut duration_secs = 5.0f64;
+    let mut guard: Option<PathBuf> = None;
 
     let mut i = 1;
     while i < argv.len() {
@@ -174,6 +214,33 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             "--trace" => trace = true,
             "--json" => json = true,
+            "--port" => {
+                port = take_value(argv, &mut i, "--port")?
+                    .parse()
+                    .map_err(|_| "--port must be an integer")?
+            }
+            "--threads" => {
+                threads = take_value(argv, &mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer")?
+            }
+            "--queue-depth" => {
+                queue_depth = take_value(argv, &mut i, "--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth must be an integer")?
+            }
+            "--url" => url = Some(take_value(argv, &mut i, "--url")?.to_string()),
+            "--concurrency" => {
+                concurrency = take_value(argv, &mut i, "--concurrency")?
+                    .parse()
+                    .map_err(|_| "--concurrency must be an integer")?
+            }
+            "--duration-secs" => {
+                duration_secs = take_value(argv, &mut i, "--duration-secs")?
+                    .parse()
+                    .map_err(|_| "--duration-secs must be a number")?
+            }
+            "--guard" => guard = Some(PathBuf::from(take_value(argv, &mut i, "--guard")?)),
             other if !other.starts_with("--") && sub == "sql" && statement.is_none() => {
                 statement = Some(other.to_string());
             }
@@ -228,6 +295,46 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             index: index.ok_or("sql needs --index")?,
             statement: statement.ok_or("sql needs a statement argument")?,
         }),
+        "serve" => {
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(Command::Serve {
+                index: index.ok_or("serve needs --index")?,
+                port,
+                threads,
+                queue_depth: queue_depth.max(1),
+                json,
+            })
+        }
+        "loadgen" => {
+            let kind = kind.unwrap_or_else(|| "drop".to_string());
+            if kind != "drop" && kind != "jump" {
+                return Err("--kind must be drop or jump".into());
+            }
+            if concurrency == 0 {
+                return Err("--concurrency must be at least 1".into());
+            }
+            if !(duration_secs.is_finite() && duration_secs > 0.0) {
+                return Err("--duration-secs must be positive".into());
+            }
+            let v = v.unwrap_or(if kind == "drop" { -1.0 } else { 1.0 });
+            if kind == "drop" && v >= 0.0 {
+                return Err("--v must be negative for drop queries".into());
+            }
+            if kind == "jump" && v <= 0.0 {
+                return Err("--v must be positive for jump queries".into());
+            }
+            Ok(Command::Loadgen {
+                url: url.ok_or("loadgen needs --url")?,
+                concurrency,
+                duration_secs,
+                kind,
+                v,
+                t_hours: t_hours.unwrap_or(1.0),
+                guard,
+            })
+        }
         other => Err(format!("unknown subcommand {other}")),
     }
 }
@@ -311,6 +418,70 @@ mod tests {
         ))
         .is_err());
         assert!(parse(&argv("ingest --index d --csv f --epsilon nope")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let c = parse(&argv("serve --index d")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                index: "d".into(),
+                port: 7878,
+                threads: 8,
+                queue_depth: 64,
+                json: false,
+            }
+        );
+        let c = parse(&argv(
+            "serve --index d --port 0 --threads 2 --queue-depth 4 --json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                index: "d".into(),
+                port: 0,
+                threads: 2,
+                queue_depth: 4,
+                json: true,
+            }
+        );
+        assert!(parse(&argv("serve")).is_err());
+        assert!(parse(&argv("serve --index d --threads 0")).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen_with_defaults() {
+        let c = parse(&argv("loadgen --url http://127.0.0.1:7878")).unwrap();
+        assert_eq!(
+            c,
+            Command::Loadgen {
+                url: "http://127.0.0.1:7878".into(),
+                concurrency: 8,
+                duration_secs: 5.0,
+                kind: "drop".into(),
+                v: -1.0,
+                t_hours: 1.0,
+                guard: None,
+            }
+        );
+        let c = parse(&argv(
+            "loadgen --url http://h:1 --concurrency 2 --duration-secs 0.5 \
+             --kind jump --v 2 --t-hours 0.5 --guard ci/serving-guard.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Loadgen { kind, v, guard, .. } => {
+                assert_eq!(kind, "jump");
+                assert_eq!(v, 2.0);
+                assert_eq!(guard, Some("ci/serving-guard.json".into()));
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("loadgen")).is_err());
+        assert!(parse(&argv("loadgen --url u --kind drop --v 3")).is_err());
+        assert!(parse(&argv("loadgen --url u --duration-secs -1")).is_err());
     }
 
     #[test]

@@ -53,6 +53,30 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
         Command::Stats { index, json } => stats(&index, json),
         Command::Metrics { index, json } => metrics(&index, json),
         Command::Sql { index, statement } => sql(&index, &statement),
+        Command::Serve {
+            index,
+            port,
+            threads,
+            queue_depth,
+            json,
+        } => serve(&index, port, threads, queue_depth, json),
+        Command::Loadgen {
+            url,
+            concurrency,
+            duration_secs,
+            kind,
+            v,
+            t_hours,
+            guard,
+        } => loadgen(
+            &url,
+            concurrency,
+            duration_secs,
+            &kind,
+            v,
+            t_hours,
+            guard.as_deref(),
+        ),
     }
 }
 
@@ -315,6 +339,162 @@ fn metrics(index: &Path, json: bool) -> Result<(), Anyhow> {
         obs::export::TextExporter.export(&snapshot)
     };
     print!("{rendered}");
+    Ok(())
+}
+
+fn render_registry(json: bool) -> String {
+    let snapshot = obs::global().snapshot();
+    if json {
+        obs::export::JsonLinesExporter.export(&snapshot)
+    } else {
+        obs::export::TextExporter.export(&snapshot)
+    }
+}
+
+fn serve(
+    index: &Path,
+    port: u16,
+    threads: usize,
+    queue_depth: usize,
+    json: bool,
+) -> Result<(), Anyhow> {
+    use segdiff_server::server::signal;
+    use segdiff_server::{Server, ServerConfig};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    let idx = Arc::new(SegDiffIndex::open(index, 4096)?);
+    signal::install();
+    let server = Server::bind(
+        &format!("127.0.0.1:{port}"),
+        Arc::clone(&idx),
+        ServerConfig {
+            threads,
+            queue_depth,
+            ..ServerConfig::default()
+        },
+    )?;
+    let flag = server.shutdown_flag();
+    // Bridge SIGINT/SIGTERM to the server's shutdown flag. The watcher
+    // also exits when the flag is set another way (POST /shutdown).
+    {
+        let flag = Arc::clone(&flag);
+        std::thread::spawn(move || loop {
+            if signal::triggered() {
+                obs::info!("signal received; draining");
+                flag.store(true, Ordering::Release);
+                return;
+            }
+            if flag.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+    println!(
+        "listening on http://{} ({threads} worker thread{}, queue depth {queue_depth})",
+        server.local_addr(),
+        if threads == 1 { "" } else { "s" },
+    );
+    server.run()?;
+    // Drained: no query is in flight. Flush dirty pages, then print the
+    // final registry snapshot in the same shape as `segdiff metrics`.
+    idx.database().flush()?;
+    println!("shutdown complete; final telemetry:");
+    print!("{}", render_registry(json));
+    Ok(())
+}
+
+fn loadgen(
+    url: &str,
+    concurrency: usize,
+    duration_secs: f64,
+    kind: &str,
+    v: f64,
+    t_hours: f64,
+    guard: Option<&Path>,
+) -> Result<(), Anyhow> {
+    use segdiff_server::loadgen::{fetch, parse_url, query_mix, run as run_load};
+    use segdiff_server::LoadgenConfig;
+
+    let host = parse_url(url)?;
+    let bodies = query_mix(kind, v, t_hours);
+    println!(
+        "loadgen: {concurrency} closed-loop worker{} x {duration_secs} s against http://{host} \
+         ({} distinct queries)",
+        if concurrency == 1 { "" } else { "s" },
+        bodies.len()
+    );
+    let report = run_load(&LoadgenConfig {
+        host: host.clone(),
+        concurrency,
+        duration: std::time::Duration::from_secs_f64(duration_secs),
+        bodies,
+    })?;
+    let l = report.latency;
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    println!(
+        "requests: {} ok, {} non-2xx, {} errors in {:.2} s => {:.1} qps",
+        report.ok,
+        report.non_2xx,
+        report.errors,
+        report.elapsed,
+        report.qps()
+    );
+    println!(
+        "latency:  p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+        ms(l.p50),
+        ms(l.p90),
+        ms(l.p99),
+        ms(l.max)
+    );
+    // Best-effort server-side cache view, so a run shows whether the
+    // repeat queries actually hit the result cache.
+    if let Ok((200, text)) = fetch(&host, "GET", "/metrics?format=json", None) {
+        let value_of = |name: &str| -> u64 {
+            text.lines()
+                .filter_map(|line| Json::parse(line).ok())
+                .filter(|j| j.get("name").and_then(Json::as_str) == Some(name))
+                .filter_map(|j| j.get("value").and_then(Json::as_u64))
+                .sum()
+        };
+        println!(
+            "server:   cache.hit {}  cache.miss {}  server.rejected {}",
+            value_of("cache.hit"),
+            value_of("cache.miss"),
+            value_of("server.rejected")
+        );
+    }
+    if let Some(guard_path) = guard {
+        let text = std::fs::read_to_string(guard_path)
+            .map_err(|e| format!("guard file {}: {e}", guard_path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("guard file: {e}"))?;
+        let max_p99_ms = doc
+            .get("max_p99_ms")
+            .and_then(Json::as_f64)
+            .ok_or("guard file needs a numeric max_p99_ms field")?;
+        if ms(l.p99) > max_p99_ms {
+            return Err(format!(
+                "p99 {:.2} ms exceeds guard limit {max_p99_ms:.2} ms",
+                ms(l.p99)
+            )
+            .into());
+        }
+        println!(
+            "guard:    p99 {:.2} ms within limit {max_p99_ms:.2} ms",
+            ms(l.p99)
+        );
+    }
+    if report.errors > 0 || report.non_2xx > 0 {
+        return Err(format!(
+            "{} transport errors, {} non-2xx responses",
+            report.errors, report.non_2xx
+        )
+        .into());
+    }
+    if report.ok == 0 {
+        return Err("no request completed".into());
+    }
     Ok(())
 }
 

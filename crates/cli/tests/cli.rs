@@ -314,6 +314,165 @@ fn metrics_emits_parseable_json_lines() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One raw-TCP HTTP/1.1 exchange with `Connection: close` — the test
+/// speaks the wire protocol itself instead of reusing the server crate's
+/// client, so a framing bug cannot cancel itself out.
+fn http_once(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serve_answers_http_queries_matching_offline_results() {
+    use std::io::BufRead;
+
+    let (dir, _csv, idx) = build_ten_day_index("serve");
+
+    // Offline ground truth through the ordinary query subcommand.
+    let o = run(&[
+        "query",
+        "--index",
+        idx.to_str().unwrap(),
+        "--kind",
+        "drop",
+        "--v",
+        "-2",
+        "--t-hours",
+        "1",
+        "--plan",
+        "index",
+        "--limit",
+        "100000",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let offline = stdout(&o);
+    let offline_periods: Vec<&str> = offline
+        .lines()
+        .filter(|l| l.starts_with("start in ["))
+        .collect();
+
+    // Serve the same index on an ephemeral port.
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--index",
+            idx.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "4",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn segdiff serve");
+    let mut child_out = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+
+    let (status, body) = http_once(&addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    // The served results must equal the offline run, period for period.
+    let query = r#"{"kind":"drop","v":-2.0,"t_hours":1.0,"plan":"index"}"#;
+    let (status, body) = http_once(&addr, "POST", "/query", Some(query));
+    assert_eq!(status, 200, "{body}");
+    let doc = obs::json::Json::parse(&body).expect("query response is JSON");
+    let results = doc.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), offline_periods.len(), "{body}");
+    for (got, want) in results.iter().zip(&offline_periods) {
+        let f = |key: &str| got.get(key).and_then(|v| v.as_f64()).unwrap();
+        let rendered = format!(
+            "start in [{:.1}, {:.1}]  end in [{:.1}, {:.1}]",
+            f("t_d"),
+            f("t_c"),
+            f("t_b"),
+            f("t_a")
+        );
+        assert!(
+            want.starts_with(&rendered),
+            "served {rendered:?} vs offline {want:?}"
+        );
+    }
+
+    // Second identical request is served from the result cache.
+    let (_, body) = http_once(&addr, "POST", "/query", Some(query));
+    assert!(body.contains("\"cached\":true"), "{body}");
+
+    // Invalid parameters are a clean 400.
+    let (status, _) = http_once(
+        &addr,
+        "POST",
+        "/query",
+        Some(r#"{"kind":"drop","v":1.0,"t_hours":1.0}"#),
+    );
+    assert_eq!(status, 400);
+
+    // Drive it briefly with the loadgen subcommand: zero failures.
+    let o = run(&[
+        "loadgen",
+        "--url",
+        &format!("http://{addr}"),
+        "--concurrency",
+        "4",
+        "--duration-secs",
+        "1",
+        "--kind",
+        "drop",
+        "--v",
+        "-2",
+        "--t-hours",
+        "1",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = stdout(&o);
+    assert!(text.contains("0 non-2xx, 0 errors"), "{text}");
+    assert!(text.contains("qps"), "{text}");
+
+    // Clean shutdown over HTTP: process drains and exits 0 with a final
+    // telemetry snapshot in the same shape as `segdiff metrics`.
+    let (status, _) = http_once(&addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("serve exits");
+    assert!(exit.success(), "serve exited with {exit:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut child_out, &mut rest).unwrap();
+    assert!(rest.contains("final telemetry"), "{rest}");
+    assert!(rest.contains("server.requests"), "{rest}");
+    assert!(rest.contains("cache.hit"), "{rest}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     let o = run(&["frobnicate"]);

@@ -17,6 +17,8 @@ pub struct SegDiffConfig {
     pub window: f64,
     /// Buffer-pool capacity in 4 KiB pages.
     pub pool_pages: usize,
+    /// Entry bound of the epoch-tagged query result cache.
+    pub cache_entries: usize,
 }
 
 impl Default for SegDiffConfig {
@@ -25,6 +27,7 @@ impl Default for SegDiffConfig {
             epsilon: 0.2,
             window: 8.0 * HOUR,
             pool_pages: 4096, // 16 MiB
+            cache_entries: 256,
         }
     }
 }
@@ -61,6 +64,12 @@ impl SegDiffConfig {
     /// Sets the buffer-pool size in pages.
     pub fn with_pool_pages(mut self, pages: usize) -> Self {
         self.pool_pages = pages;
+        self
+    }
+
+    /// Sets the result-cache entry bound (min 1).
+    pub fn with_cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries.max(1);
         self
     }
 }

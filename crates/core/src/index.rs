@@ -1,5 +1,6 @@
 //! The [`SegDiffIndex`]: online ingest plus search.
 
+use crate::cache::{CacheKey, QueryCache};
 use crate::config::SegDiffConfig;
 use crate::ingest::{FeatureExtractor, FeatureRow};
 use crate::query::{run_feature_query, QueryPlan, QueryStats};
@@ -13,6 +14,7 @@ use pagestore::{Database, Result, Table, TableSpec};
 use segmentation::{PiecewiseLinear, Segment, SlidingWindowSegmenter};
 use sensorgen::TimeSeries;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,6 +42,10 @@ pub struct SegDiffIndex {
     drop_hist: CornerHistogram,
     jump_hist: CornerHistogram,
     metrics: IngestMetrics,
+    /// Bumped on every ingest mutation and on `build_indexes`; tags
+    /// result-cache keys so stale entries can never be returned.
+    epoch: AtomicU64,
+    cache: QueryCache,
 }
 
 /// Global-registry counters for the ingest pipeline (`ingest.*`),
@@ -82,6 +88,7 @@ impl SegDiffIndex {
             SEGMENTS_TABLE,
             &["t_start", "v_start", "t_end", "v_end"],
         ))?;
+        let cache = QueryCache::new(config.cache_entries);
         Ok(Self {
             dir: dir.to_path_buf(),
             segmenter: SlidingWindowSegmenter::new(config.epsilon),
@@ -98,6 +105,8 @@ impl SegDiffIndex {
             drop_hist: CornerHistogram::default(),
             jump_hist: CornerHistogram::default(),
             metrics: IngestMetrics::new(),
+            epoch: AtomicU64::new(0),
+            cache,
         })
     }
 
@@ -164,6 +173,7 @@ impl SegDiffIndex {
         ];
         let segments_table = get(SEGMENTS_TABLE)?;
 
+        let cache = QueryCache::new(config.cache_entries);
         let mut idx = Self {
             dir: dir.to_path_buf(),
             segmenter: SlidingWindowSegmenter::new(epsilon),
@@ -180,6 +190,8 @@ impl SegDiffIndex {
             drop_hist,
             jump_hist,
             metrics: IngestMetrics::new(),
+            epoch: AtomicU64::new(0),
+            cache,
         };
         // Re-prime the extractor window and re-anchor the segmenter.
         let segments = idx.segments()?;
@@ -282,6 +294,7 @@ jump_hist {} {} {}
     }
 
     fn store_segment(&mut self, seg: Segment) -> Result<()> {
+        self.bump_epoch();
         self.n_segments += 1;
         self.metrics.segments.inc();
         self.segments_table
@@ -332,7 +345,53 @@ jump_hist {} {} {}
             }
         }
         obs::info!("built {built} query B+trees in {}", self.dir.display());
+        self.bump_epoch();
         self.db.flush()
+    }
+
+    /// The current cache epoch. Every ingest mutation and every
+    /// [`SegDiffIndex::build_indexes`] call advances it, which atomically
+    /// invalidates all previously cached query results (the epoch is part
+    /// of every cache key).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        // Stale entries can never hit (their epoch differs); clearing just
+        // releases their memory promptly.
+        self.cache.clear();
+    }
+
+    /// The epoch-tagged result cache (for observability and tests).
+    pub fn result_cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Like [`SegDiffIndex::query`], but consults the epoch-tagged result
+    /// cache first. Returns the (shared) result set, the execution stats,
+    /// and whether the answer came from the cache. A hit costs one hash
+    /// lookup — no B+tree or heap access at all — and reports zero I/O.
+    pub fn query_cached(
+        &self,
+        region: &QueryRegion,
+        plan: QueryPlan,
+    ) -> Result<(Arc<Vec<SegmentPair>>, QueryStats, bool)> {
+        let key = CacheKey::new(region, plan, self.epoch());
+        let start = Instant::now();
+        if let Some(results) = self.cache.get(&key) {
+            let stats = QueryStats {
+                wall_seconds: start.elapsed().as_secs_f64(),
+                results: results.len() as u64,
+                ..QueryStats::default()
+            };
+            return Ok((results, stats, true));
+        }
+        let (results, stats) = self.query(region, plan)?;
+        let results = Arc::new(results);
+        self.cache.insert(key, Arc::clone(&results));
+        Ok((results, stats, false))
     }
 
     /// Runs a drop or jump search; returns the matching segment pairs
@@ -598,6 +657,65 @@ mod tests {
             trace.attr("results").and_then(|j| j.as_u64()),
             Some(stats.results)
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_query_hits_and_matches_uncached() {
+        let dir = tmpdir("cache");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        idx.build_indexes().unwrap();
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        let (plain, _) = idx.query(&region, QueryPlan::Index).unwrap();
+        let (first, _, hit1) = idx.query_cached(&region, QueryPlan::Index).unwrap();
+        assert!(!hit1, "first cached query must miss");
+        let (second, stats2, hit2) = idx.query_cached(&region, QueryPlan::Index).unwrap();
+        assert!(hit2, "second cached query must hit");
+        assert_eq!(*first, plain, "cached results must equal query()");
+        assert_eq!(*second, plain);
+        // A hit does no storage work at all.
+        assert_eq!(stats2.io, pagestore::PoolStats::default());
+        assert_eq!(stats2.rows_considered, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_bumps_epoch_and_invalidates_cache() {
+        let dir = tmpdir("epoch");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        let e0 = idx.epoch();
+        assert!(e0 > 0, "ingest must advance the epoch");
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        let (before, _, _) = idx.query_cached(&region, QueryPlan::SeqScan).unwrap();
+        // Re-ingest: extend the series with a second, later drop. The
+        // cached answer for the old epoch must not resurface.
+        let mut tail = TimeSeries::new();
+        let mut v = 12.0;
+        for i in 200..400 {
+            let t = i as f64 * 300.0;
+            if (280..286).contains(&i) {
+                v -= 4.0 / 6.0;
+            }
+            tail.push(t, v);
+        }
+        idx.ingest_series(&tail).unwrap();
+        idx.finish().unwrap();
+        assert!(idx.epoch() > e0, "re-ingest must advance the epoch");
+        let (after, _, hit) = idx.query_cached(&region, QueryPlan::SeqScan).unwrap();
+        assert!(!hit, "epoch change must force a recompute");
+        assert!(
+            after.len() > before.len(),
+            "new drop must appear: {} vs {}",
+            after.len(),
+            before.len()
+        );
+        // And the fresh answer matches an uncached query exactly.
+        let (plain, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+        assert_eq!(*after, plain);
         std::fs::remove_dir_all(&dir).ok();
     }
 

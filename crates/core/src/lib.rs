@@ -56,6 +56,7 @@
 
 pub mod ablation;
 pub mod analysis;
+mod cache;
 mod config;
 pub mod exh;
 mod index;
@@ -70,6 +71,7 @@ mod stats;
 mod tables;
 pub mod transect;
 
+pub use cache::{CacheKey, QueryCache};
 pub use config::SegDiffConfig;
 pub use index::SegDiffIndex;
 pub use ingest::{FeatureExtractor, FeatureRow};

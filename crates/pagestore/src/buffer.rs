@@ -1,10 +1,17 @@
-//! The shared buffer pool: clock eviction plus I/O accounting.
+//! The shared buffer pool: striped clock eviction plus I/O accounting.
+//!
+//! The pool is divided into `N` independent *shards*, each protecting its
+//! own frame table, hash map, clock hand and counters with its own lock.
+//! A page `(FileId, PageId)` is pinned to one shard by hashing, so two
+//! threads touching pages in different shards never contend. Physical
+//! I/O goes through a per-file mutex *below* the shard lock, which keeps
+//! the lock order (`files` registry → shard → file) acyclic.
 
 use crate::error::Result;
 use crate::page::PageBuf;
 use crate::pagefile::{FileId, PageFile, PageId};
 use crate::PAGE_SIZE;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 
 /// Cumulative buffer-pool counters.
@@ -59,6 +66,8 @@ impl PoolStats {
 /// Global-registry handles mirroring [`PoolStats`]. Every increment of
 /// the per-pool counters also lands here, so `segdiff metrics` and the
 /// bench harness see pool activity without holding a pool reference.
+/// One set exists for the pool as a whole (`pool.*`) and one per shard
+/// (`pool.shard<i>.*`); the shard counters sum to the pool counters.
 struct PoolMetrics {
     hits: std::sync::Arc<obs::Counter>,
     misses: std::sync::Arc<obs::Counter>,
@@ -68,14 +77,22 @@ struct PoolMetrics {
 }
 
 impl PoolMetrics {
-    fn new() -> Self {
+    fn global() -> Self {
+        Self::with_prefix("pool")
+    }
+
+    fn for_shard(i: usize) -> Self {
+        Self::with_prefix(&format!("pool.shard{i}"))
+    }
+
+    fn with_prefix(prefix: &str) -> Self {
         let r = obs::global();
         PoolMetrics {
-            hits: r.counter("pool.hits"),
-            misses: r.counter("pool.misses"),
-            evictions: r.counter("pool.evictions"),
-            physical_reads: r.counter("pool.physical_reads"),
-            physical_writes: r.counter("pool.physical_writes"),
+            hits: r.counter(&format!("{prefix}.hits")),
+            misses: r.counter(&format!("{prefix}.misses")),
+            evictions: r.counter(&format!("{prefix}.evictions")),
+            physical_reads: r.counter(&format!("{prefix}.physical_reads")),
+            physical_writes: r.counter(&format!("{prefix}.physical_writes")),
         }
     }
 }
@@ -87,81 +104,136 @@ struct Frame {
     referenced: bool,
 }
 
-struct Inner {
+/// One lock stripe: an independent frame table with its own clock hand.
+struct Shard {
     capacity: usize,
-    files: Vec<PageFile>,
     map: HashMap<(FileId, PageId), usize>,
     frames: Vec<Frame>,
     hand: usize,
     stats: PoolStats,
-    metrics: PoolMetrics,
 }
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            capacity,
+            map: HashMap::new(),
+            frames: Vec::new(),
+            hand: 0,
+            stats: PoolStats::default(),
+        }
+    }
+}
+
+/// Smallest sensible shard: below this many frames per shard the clock
+/// degenerates, so `new`/`with_shards` reduce the shard count instead.
+const MIN_FRAMES_PER_SHARD: usize = 8;
+
+/// Default number of lock stripes (reduced for small pools).
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// A shared buffer pool over a set of registered page files.
 ///
 /// All page access goes through the pool so that cache behaviour — and the
 /// cold/warm distinction the paper's §6.4 experiments rely on — is fully
-/// under the caller's control via [`BufferPool::clear_cache`].
+/// under the caller's control via [`BufferPool::clear_cache`]. The pool is
+/// safe for concurrent use from many threads; see the module docs for the
+/// striping design.
 pub struct BufferPool {
-    inner: Mutex<Inner>,
+    files: RwLock<Vec<Mutex<PageFile>>>,
+    shards: Vec<Mutex<Shard>>,
+    metrics: PoolMetrics,
+    shard_metrics: Vec<PoolMetrics>,
+}
+
+/// Shard index for a page: a cheap multiplicative hash over the key so
+/// consecutive pages of one file spread across all shards.
+fn shard_for(nshards: usize, fid: FileId, pid: PageId) -> usize {
+    let h = (fid as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(17)
+        ^ (pid as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    (h % nshards as u64) as usize
 }
 
 impl BufferPool {
-    /// Creates a pool holding at most `capacity` pages (min 8).
+    /// Creates a pool holding at most `capacity` pages (min 8), striped
+    /// over [`DEFAULT_SHARDS`] shards (fewer for small capacities).
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a pool with an explicit shard count. The count is clamped
+    /// so every shard holds at least [`MIN_FRAMES_PER_SHARD`] frames; the
+    /// total capacity is preserved exactly (frames are distributed as
+    /// evenly as possible).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(8);
+        let nshards = shards.clamp(1, (capacity / MIN_FRAMES_PER_SHARD).max(1));
+        let base = capacity / nshards;
+        let rem = capacity % nshards;
+        let shards: Vec<Mutex<Shard>> = (0..nshards)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < rem))))
+            .collect();
+        let shard_metrics = (0..nshards).map(PoolMetrics::for_shard).collect();
         Self {
-            inner: Mutex::new(Inner {
-                capacity: capacity.max(8),
-                files: Vec::new(),
-                map: HashMap::new(),
-                frames: Vec::new(),
-                hand: 0,
-                stats: PoolStats::default(),
-                metrics: PoolMetrics::new(),
-            }),
+            files: RwLock::new(Vec::new()),
+            shards,
+            metrics: PoolMetrics::global(),
+            shard_metrics,
         }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Registers a file; all subsequent access uses the returned id.
     pub fn register_file(&self, file: PageFile) -> FileId {
-        let mut g = self.inner.lock();
-        g.files.push(file);
-        (g.files.len() - 1) as FileId
+        let mut files = self.files.write();
+        files.push(Mutex::new(file));
+        (files.len() - 1) as FileId
     }
 
     /// Number of pages currently allocated in file `fid`.
     pub fn file_pages(&self, fid: FileId) -> u32 {
-        self.inner.lock().files[fid as usize].num_pages()
+        self.files.read()[fid as usize].lock().num_pages()
     }
 
     /// On-disk size of file `fid` in bytes.
     pub fn file_size_bytes(&self, fid: FileId) -> u64 {
-        self.inner.lock().files[fid as usize].size_bytes()
+        self.files.read()[fid as usize].lock().size_bytes()
     }
 
     /// Appends a zeroed page to file `fid` and returns its id. The page is
     /// installed in the pool as a clean frame (no physical read needed).
     pub fn allocate_page(&self, fid: FileId) -> Result<PageId> {
-        let mut g = self.inner.lock();
-        let pid = g.files[fid as usize].allocate()?;
-        g.stats.physical_writes += 1; // the zero-fill write
-        g.metrics.physical_writes.inc();
-        let frame = g.frame_for(fid, pid, false)?;
-        *g.frames[frame].buf.bytes_mut() = [0u8; PAGE_SIZE];
+        let files = self.files.read();
+        let pid = files[fid as usize].lock().allocate()?;
+        let si = shard_for(self.shards.len(), fid, pid);
+        let mut shard = self.shards[si].lock();
+        shard.stats.physical_writes += 1; // the zero-fill write
+        self.metrics.physical_writes.inc();
+        self.shard_metrics[si].physical_writes.inc();
+        let frame = self.frame_for(&mut shard, si, &files, fid, pid, false)?;
+        *shard.frames[frame].buf.bytes_mut() = [0u8; PAGE_SIZE];
         Ok(pid)
     }
 
     /// Runs `f` over a read-only view of the page. The closure executes
-    /// under the pool lock, so it must not re-enter the pool.
+    /// under the page's shard lock, so it must not re-enter the pool.
     pub fn with_page<R>(
         &self,
         fid: FileId,
         pid: PageId,
         f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        let mut g = self.inner.lock();
-        let frame = g.frame_for(fid, pid, true)?;
-        Ok(f(g.frames[frame].buf.bytes()))
+        let files = self.files.read();
+        let si = shard_for(self.shards.len(), fid, pid);
+        let mut shard = self.shards[si].lock();
+        let frame = self.frame_for(&mut shard, si, &files, fid, pid, true)?;
+        Ok(f(shard.frames[frame].buf.bytes()))
     }
 
     /// Runs `f` over a mutable view of the page and marks it dirty.
@@ -171,126 +243,166 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        let mut g = self.inner.lock();
-        let frame = g.frame_for(fid, pid, true)?;
-        g.frames[frame].dirty = true;
-        Ok(f(g.frames[frame].buf.bytes_mut()))
+        let files = self.files.read();
+        let si = shard_for(self.shards.len(), fid, pid);
+        let mut shard = self.shards[si].lock();
+        let frame = self.frame_for(&mut shard, si, &files, fid, pid, true)?;
+        shard.frames[frame].dirty = true;
+        Ok(f(shard.frames[frame].buf.bytes_mut()))
     }
 
     /// Copies the page into `out`. Use this when the caller needs to run
     /// user code over the contents (scans), so no lock is held meanwhile.
     pub fn read_page_into(&self, fid: FileId, pid: PageId, out: &mut PageBuf) -> Result<()> {
-        let mut g = self.inner.lock();
-        let frame = g.frame_for(fid, pid, true)?;
-        out.bytes_mut().copy_from_slice(g.frames[frame].buf.bytes());
+        let files = self.files.read();
+        let si = shard_for(self.shards.len(), fid, pid);
+        let mut shard = self.shards[si].lock();
+        let frame = self.frame_for(&mut shard, si, &files, fid, pid, true)?;
+        out.bytes_mut()
+            .copy_from_slice(shard.frames[frame].buf.bytes());
         Ok(())
     }
 
     /// Writes every dirty frame back to its file.
     pub fn flush_all(&self) -> Result<()> {
-        let mut g = self.inner.lock();
-        g.flush_all()
+        let files = self.files.read();
+        for (si, s) in self.shards.iter().enumerate() {
+            let mut shard = s.lock();
+            self.flush_shard(&mut shard, si, &files)?;
+        }
+        for f in files.iter() {
+            f.lock().sync()?;
+        }
+        Ok(())
     }
 
     /// Flushes and then drops every cached frame: the next access to any
     /// page is a miss ("cold cache").
     pub fn clear_cache(&self) -> Result<()> {
-        let mut g = self.inner.lock();
-        g.flush_all()?;
-        g.map.clear();
-        g.frames.clear();
-        g.hand = 0;
+        let files = self.files.read();
+        for (si, s) in self.shards.iter().enumerate() {
+            let mut shard = s.lock();
+            self.flush_shard(&mut shard, si, &files)?;
+            shard.map.clear();
+            shard.frames.clear();
+            shard.hand = 0;
+        }
+        for f in files.iter() {
+            f.lock().sync()?;
+        }
         Ok(())
     }
 
-    /// Snapshot of the cumulative counters.
+    /// Snapshot of the cumulative counters, merged across all shards.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        let mut total = PoolStats::default();
+        for s in &self.shards {
+            total = total.merged(&s.lock().stats);
+        }
+        total
     }
 
-    /// Resets the cumulative counters to zero.
+    /// Per-shard counter snapshots (same order as the `pool.shard<i>.*`
+    /// registry counters). Their merge equals [`BufferPool::stats`].
+    pub fn shard_stats(&self) -> Vec<PoolStats> {
+        self.shards.iter().map(|s| s.lock().stats).collect()
+    }
+
+    /// Resets the cumulative counters to zero (all shards).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = PoolStats::default();
+        for s in &self.shards {
+            s.lock().stats = PoolStats::default();
+        }
     }
-}
 
-impl Inner {
-    fn flush_all(&mut self) -> Result<()> {
-        for i in 0..self.frames.len() {
-            if self.frames[i].dirty {
-                let (fid, pid) = self.frames[i].key;
-                let buf = self.frames[i].buf.bytes();
-                self.files[fid as usize].write_page(pid, buf)?;
-                self.frames[i].dirty = false;
-                self.stats.physical_writes += 1;
+    fn flush_shard(&self, shard: &mut Shard, si: usize, files: &[Mutex<PageFile>]) -> Result<()> {
+        for i in 0..shard.frames.len() {
+            if shard.frames[i].dirty {
+                let (fid, pid) = shard.frames[i].key;
+                let buf = shard.frames[i].buf.bytes();
+                files[fid as usize].lock().write_page(pid, buf)?;
+                shard.frames[i].dirty = false;
+                shard.stats.physical_writes += 1;
                 self.metrics.physical_writes.inc();
+                self.shard_metrics[si].physical_writes.inc();
             }
         }
-        for f in &mut self.files {
-            f.sync()?;
-        }
         Ok(())
     }
 
-    /// Returns the frame index holding `(fid, pid)`, loading (and possibly
-    /// evicting) as needed. `load` controls whether a miss reads the page
-    /// from disk (true) or leaves the frame contents unspecified for the
-    /// caller to overwrite (false, used by `allocate_page`).
-    fn frame_for(&mut self, fid: FileId, pid: PageId, load: bool) -> Result<usize> {
-        if let Some(&i) = self.map.get(&(fid, pid)) {
-            self.stats.hits += 1;
+    /// Returns the frame index holding `(fid, pid)` within `shard`,
+    /// loading (and possibly evicting) as needed. `load` controls whether
+    /// a miss reads the page from disk (true) or leaves the frame contents
+    /// unspecified for the caller to overwrite (false, used by
+    /// `allocate_page`).
+    fn frame_for(
+        &self,
+        shard: &mut Shard,
+        si: usize,
+        files: &[Mutex<PageFile>],
+        fid: FileId,
+        pid: PageId,
+        load: bool,
+    ) -> Result<usize> {
+        if let Some(&i) = shard.map.get(&(fid, pid)) {
+            shard.stats.hits += 1;
             self.metrics.hits.inc();
-            self.frames[i].referenced = true;
+            self.shard_metrics[si].hits.inc();
+            shard.frames[i].referenced = true;
             return Ok(i);
         }
-        self.stats.misses += 1;
+        shard.stats.misses += 1;
         self.metrics.misses.inc();
-        let i = if self.frames.len() < self.capacity {
-            self.frames.push(Frame {
+        self.shard_metrics[si].misses.inc();
+        let i = if shard.frames.len() < shard.capacity {
+            shard.frames.push(Frame {
                 key: (fid, pid),
                 buf: PageBuf::zeroed(),
                 dirty: false,
                 referenced: true,
             });
-            self.frames.len() - 1
+            shard.frames.len() - 1
         } else {
-            let victim = self.clock_victim();
-            let old = self.frames[victim].key;
-            if self.frames[victim].dirty {
-                let buf = self.frames[victim].buf.bytes();
-                self.files[old.0 as usize].write_page(old.1, buf)?;
-                self.stats.physical_writes += 1;
+            let victim = clock_victim(shard);
+            let old = shard.frames[victim].key;
+            if shard.frames[victim].dirty {
+                let buf = shard.frames[victim].buf.bytes();
+                files[old.0 as usize].lock().write_page(old.1, buf)?;
+                shard.stats.physical_writes += 1;
                 self.metrics.physical_writes.inc();
+                self.shard_metrics[si].physical_writes.inc();
             }
-            self.map.remove(&old);
-            self.stats.evictions += 1;
+            shard.map.remove(&old);
+            shard.stats.evictions += 1;
             self.metrics.evictions.inc();
-            self.frames[victim].key = (fid, pid);
-            self.frames[victim].dirty = false;
-            self.frames[victim].referenced = true;
+            self.shard_metrics[si].evictions.inc();
+            shard.frames[victim].key = (fid, pid);
+            shard.frames[victim].dirty = false;
+            shard.frames[victim].referenced = true;
             victim
         };
         if load {
-            let buf = self.frames[i].buf.bytes_mut();
-            self.files[fid as usize].read_page(pid, buf)?;
-            self.stats.physical_reads += 1;
+            let buf = shard.frames[i].buf.bytes_mut();
+            files[fid as usize].lock().read_page(pid, buf)?;
+            shard.stats.physical_reads += 1;
             self.metrics.physical_reads.inc();
+            self.shard_metrics[si].physical_reads.inc();
         }
-        self.map.insert((fid, pid), i);
+        shard.map.insert((fid, pid), i);
         Ok(i)
     }
+}
 
-    /// Second-chance clock: clear referenced bits until an unreferenced
-    /// frame is found.
-    fn clock_victim(&mut self) -> usize {
-        loop {
-            let i = self.hand;
-            self.hand = (self.hand + 1) % self.frames.len();
-            if self.frames[i].referenced {
-                self.frames[i].referenced = false;
-            } else {
-                return i;
-            }
+/// Second-chance clock over one shard: clear referenced bits until an
+/// unreferenced frame is found.
+fn clock_victim(shard: &mut Shard) -> usize {
+    loop {
+        let i = shard.hand;
+        shard.hand = (shard.hand + 1) % shard.frames.len();
+        if shard.frames[i].referenced {
+            shard.frames[i].referenced = false;
+        } else {
+            return i;
         }
     }
 }
@@ -505,5 +617,103 @@ mod tests {
         assert_eq!(pool.with_page(f2, b, |x| x[0]).unwrap(), 2);
         std::fs::remove_file(&p1).ok();
         std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn shard_count_respects_capacity() {
+        // Tiny pools collapse to one shard; big pools get the default.
+        assert_eq!(BufferPool::new(8).num_shards(), 1);
+        assert_eq!(BufferPool::new(64).num_shards(), 8);
+        assert_eq!(BufferPool::new(4096).num_shards(), DEFAULT_SHARDS);
+        assert_eq!(BufferPool::with_shards(4096, 16).num_shards(), 16);
+        assert_eq!(BufferPool::with_shards(4096, 0).num_shards(), 1);
+    }
+
+    #[test]
+    fn shard_capacities_tile_total() {
+        // 100 frames over 8 shards: sums must preserve the capacity
+        // exactly even when it does not divide evenly.
+        let pool = BufferPool::with_shards(100, 8);
+        let total: usize = pool.shards.iter().map(|s| s.lock().capacity).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn shard_stats_merge_to_pool_stats() {
+        let (pool, fid, p) = pool_with_file("shardsum", 128);
+        let mut pids = Vec::new();
+        for i in 0..64u32 {
+            let pid = pool.allocate_page(fid).unwrap();
+            pool.with_page_mut(fid, pid, |b| b[0] = i as u8).unwrap();
+            pids.push(pid);
+        }
+        for &pid in &pids {
+            pool.with_page(fid, pid, |_| ()).unwrap();
+        }
+        let mut merged = PoolStats::default();
+        for s in pool.shard_stats() {
+            merged = merged.merged(&s);
+        }
+        assert_eq!(merged, pool.stats());
+        assert!(pool.num_shards() > 1, "test should exercise >1 shard");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn pages_spread_across_shards() {
+        let pool = BufferPool::new(1024);
+        let n = pool.num_shards();
+        let mut seen = vec![false; n];
+        for pid in 0..64u32 {
+            seen[shard_for(n, 0, pid)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "64 consecutive pages should touch every one of {n} shards"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_stats_are_consistent() {
+        let (pool, fid, p) = pool_with_file("conc", 64);
+        let mut pids = Vec::new();
+        for i in 0..128u32 {
+            let pid = pool.allocate_page(fid).unwrap();
+            pool.with_page_mut(fid, pid, |b| b[3] = (i % 251) as u8)
+                .unwrap();
+            pids.push(pid);
+        }
+        pool.flush_all().unwrap();
+        pool.reset_stats();
+        let pool = std::sync::Arc::new(pool);
+        let threads = 8;
+        let rounds = 50;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let pool = std::sync::Arc::clone(&pool);
+                let pids = pids.clone();
+                s.spawn(move || {
+                    for r in 0..rounds {
+                        for (i, &pid) in pids.iter().enumerate() {
+                            if (i + t + r) % 3 == 0 {
+                                let v = pool.with_page(fid, pid, |b| b[3]).unwrap();
+                                assert_eq!(v, (i % 251) as u8);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        // Every logical request is either a hit or a miss; every miss did
+        // one physical read (no allocations or writes here).
+        assert_eq!(s.physical_reads, s.misses);
+        assert_eq!(s.physical_writes, 0);
+        let mut merged = PoolStats::default();
+        for sh in pool.shard_stats() {
+            merged = merged.merged(&sh);
+        }
+        assert_eq!(merged, s, "shard stats must tile the pool stats");
+        std::fs::remove_file(&p).ok();
     }
 }

@@ -61,6 +61,8 @@ mod table;
 mod fault_tests;
 #[cfg(test)]
 mod proptests;
+#[cfg(test)]
+mod stress_tests;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, PoolStats};

@@ -5,7 +5,7 @@ use crate::encode::{decode_key_rid, encode_key, KeyBuf};
 use crate::error::Result;
 use crate::heap::{HeapFile, RowId};
 use crate::StoreError;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 /// A secondary index over a subset of a table's columns.
 ///
@@ -18,7 +18,7 @@ pub struct Index {
     name: String,
     /// Positions of the indexed columns within the table schema.
     cols: Vec<usize>,
-    tree: Mutex<BTree>,
+    tree: RwLock<BTree>,
 }
 
 impl Index {
@@ -34,12 +34,12 @@ impl Index {
 
     /// Bytes used on disk.
     pub fn size_bytes(&self) -> u64 {
-        self.tree.lock().size_bytes()
+        self.tree.read().size_bytes()
     }
 
     /// Number of entries.
     pub fn len(&self) -> u64 {
-        self.tree.lock().len()
+        self.tree.read().len()
     }
 
     /// Whether the index is empty.
@@ -52,8 +52,8 @@ impl Index {
 pub struct Table {
     name: String,
     cols: Vec<String>,
-    heap: Mutex<HeapFile>,
-    indexes: Mutex<Vec<std::sync::Arc<Index>>>,
+    heap: RwLock<HeapFile>,
+    indexes: RwLock<Vec<std::sync::Arc<Index>>>,
 }
 
 impl Table {
@@ -61,16 +61,16 @@ impl Table {
         Self {
             name,
             cols,
-            heap: Mutex::new(heap),
-            indexes: Mutex::new(Vec::new()),
+            heap: RwLock::new(heap),
+            indexes: RwLock::new(Vec::new()),
         }
     }
 
     pub(crate) fn attach_index(&self, name: String, cols: Vec<usize>, tree: BTree) {
-        self.indexes.lock().push(std::sync::Arc::new(Index {
+        self.indexes.write().push(std::sync::Arc::new(Index {
             name,
             cols,
-            tree: Mutex::new(tree),
+            tree: RwLock::new(tree),
         }));
     }
 
@@ -94,29 +94,29 @@ impl Table {
 
     /// Number of rows.
     pub fn num_rows(&self) -> u64 {
-        self.heap.lock().num_rows()
+        self.heap.read().num_rows()
     }
 
     /// Heap bytes on disk (pages, including the meta page).
     pub fn heap_bytes(&self) -> u64 {
-        self.heap.lock().size_bytes()
+        self.heap.read().size_bytes()
     }
 
     /// Raw row payload bytes (rows x columns x 8) — the paper's
     /// "feature size" notion, independent of page padding.
     pub fn payload_bytes(&self) -> u64 {
-        self.heap.lock().payload_bytes()
+        self.heap.read().payload_bytes()
     }
 
     /// Total index bytes on disk.
     pub fn index_bytes(&self) -> u64 {
-        self.indexes.lock().iter().map(|i| i.size_bytes()).sum()
+        self.indexes.read().iter().map(|i| i.size_bytes()).sum()
     }
 
     /// Appends a row, maintaining every index.
     pub fn insert(&self, row: &[f64]) -> Result<RowId> {
-        let rid = self.heap.lock().insert(row)?;
-        let indexes = self.indexes.lock();
+        let rid = self.heap.write().insert(row)?;
+        let indexes = self.indexes.read();
         if !indexes.is_empty() {
             let mut key = KeyBuf::new();
             let mut colbuf = Vec::new();
@@ -124,7 +124,7 @@ impl Table {
                 colbuf.clear();
                 colbuf.extend(idx.cols.iter().map(|&c| row[c]));
                 encode_key(&colbuf, rid, &mut key);
-                idx.tree.lock().insert(&key, rid)?;
+                idx.tree.write().insert(&key, rid)?;
             }
         }
         Ok(rid)
@@ -132,21 +132,22 @@ impl Table {
 
     /// Reads one row by id.
     pub fn fetch(&self, rid: RowId, out: &mut Vec<f64>) -> Result<()> {
-        self.heap.lock().fetch(rid, out)
+        self.heap.read().fetch(rid, out)
     }
 
     /// Full scan in storage order; return `false` to stop early.
     pub fn seq_scan(&self, visit: impl FnMut(RowId, &[f64]) -> bool) -> Result<()> {
         // HeapFile::scan copies pages out of the pool, so holding the heap
-        // lock during the visitor cannot deadlock against the pool; it only
-        // serializes concurrent access to this table, which is intended.
-        self.heap.lock().scan(visit)
+        // lock during the visitor cannot deadlock against the pool. The
+        // lock is a read lock: any number of scans proceed in parallel,
+        // and only inserts take the heap exclusively.
+        self.heap.read().scan(visit)
     }
 
     /// Looks up an index by name.
     pub fn index(&self, name: &str) -> Result<std::sync::Arc<Index>> {
         self.indexes
-            .lock()
+            .read()
             .iter()
             .find(|i| i.name == name)
             .cloned()
@@ -155,7 +156,7 @@ impl Table {
 
     /// Names of all indexes.
     pub fn index_names(&self) -> Vec<String> {
-        self.indexes.lock().iter().map(|i| i.name.clone()).collect()
+        self.indexes.read().iter().map(|i| i.name.clone()).collect()
     }
 
     /// Range scan over an index: visits every entry whose indexed columns
@@ -179,7 +180,7 @@ impl Table {
         encode_key(lo, 0, &mut lo_key);
         encode_key(hi, u64::MAX, &mut hi_key);
         let mut cols = vec![0.0f64; ncols];
-        let result = idx.tree.lock().range(&lo_key, &hi_key, |key, _val| {
+        let result = idx.tree.read().range(&lo_key, &hi_key, |key, _val| {
             for (i, c) in cols.iter_mut().enumerate() {
                 *c = crate::encode::decode_key_col(key, i);
             }
@@ -191,9 +192,9 @@ impl Table {
 
     /// Persists heap and index metadata (called by `Database::flush`).
     pub(crate) fn sync_meta(&self) -> Result<()> {
-        self.heap.lock().sync_meta()?;
-        for idx in self.indexes.lock().iter() {
-            idx.tree.lock().sync_meta()?;
+        self.heap.read().sync_meta()?;
+        for idx in self.indexes.read().iter() {
+            idx.tree.read().sync_meta()?;
         }
         Ok(())
     }
@@ -207,14 +208,14 @@ impl Table {
         let mut key = KeyBuf::new();
         let mut colbuf = Vec::new();
         let mut pending: Vec<(KeyBuf, RowId)> = Vec::new();
-        self.heap.lock().scan(|rid, row| {
+        self.heap.read().scan(|rid, row| {
             colbuf.clear();
             colbuf.extend(idx.cols.iter().map(|&c| row[c]));
             encode_key(&colbuf, rid, &mut key);
             pending.push((key.clone(), rid));
             true
         })?;
-        let mut tree = idx.tree.lock();
+        let mut tree = idx.tree.write();
         for (k, rid) in pending {
             tree.insert(&k, rid)?;
         }

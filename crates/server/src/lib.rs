@@ -1,0 +1,254 @@
+#![warn(missing_docs)]
+
+//! **segdiff-server** — a concurrent HTTP query service over a SegDiff
+//! index, built entirely on `std::net` (zero external dependencies).
+//!
+//! The paper evaluates SegDiff as an offline index; this crate turns it
+//! into the online artifact a deployment would actually run: many
+//! clients searching one shared index at once. The pieces:
+//!
+//! * [`http`] — minimal HTTP/1.1 framing (requests, responses,
+//!   keep-alive, `Content-Length` bodies), shared by server and client;
+//! * [`queue`] — the bounded accept queue between the non-blocking
+//!   accept loop and the worker pool (`503` load-shedding when full);
+//! * [`service`] — the routes: `POST /query`, `GET /metrics`,
+//!   `GET /healthz`, `POST /shutdown`;
+//! * [`server`] — the worker pool, graceful drain on shutdown, and the
+//!   SIGINT/SIGTERM latch ([`server::signal`]);
+//! * [`loadgen`] — a closed-loop load generator with persistent
+//!   connections, used by `segdiff loadgen` and the bench harness.
+//!
+//! Concurrent reads are safe because [`segdiff::SegDiffIndex::query`]
+//! and `query_cached` take `&self`: the buffer pool is striped into
+//! lock shards and the table internals are reader/writer-locked, so
+//! worker threads genuinely execute in parallel. Repeated queries are
+//! answered from the epoch-tagged result cache (`cache.*` counters).
+
+pub mod http;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use http::{Request, Response};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use queue::BoundedQueue;
+pub use server::{Server, ServerConfig};
+pub use service::{QuerySpec, Service};
+
+#[cfg(test)]
+mod e2e_tests {
+    use super::loadgen::{fetch, query_mix};
+    use super::*;
+    use obs::json::Json;
+    use segdiff::{QueryPlan, SegDiffConfig, SegDiffIndex};
+    use sensorgen::{generate_sensor, CadTransectConfig};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("segdiff-server-{tag}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn build_index(dir: &std::path::Path) -> Arc<SegDiffIndex> {
+        let series = generate_sensor(&CadTransectConfig::default().with_days(5).clean(), 12, 7);
+        let mut idx = SegDiffIndex::create(dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&series).unwrap();
+        idx.finish().unwrap();
+        idx.build_indexes().unwrap();
+        Arc::new(idx)
+    }
+
+    fn start_server(
+        idx: Arc<SegDiffIndex>,
+        threads: usize,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            idx,
+            ServerConfig {
+                threads,
+                queue_depth: 32,
+                read_timeout: Duration::from_millis(250),
+            },
+        )
+        .unwrap();
+        let host = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (host, handle)
+    }
+
+    #[test]
+    fn serves_queries_matching_offline_results() {
+        let dir = TempDir::new("e2e");
+        let idx = build_index(&dir.0);
+        let (expected, _) = idx
+            .query(
+                &featurespace::QueryRegion::drop(3600.0, -2.0),
+                QueryPlan::Index,
+            )
+            .unwrap();
+        let (host, handle) = start_server(Arc::clone(&idx), 4);
+
+        let (status, body) = fetch(&host, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let health = Json::parse(&body).unwrap();
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+        let query = r#"{"kind":"drop","v":-2.0,"t_hours":1.0,"plan":"index"}"#;
+        let (status, body) = fetch(&host, "POST", "/query", Some(query)).unwrap();
+        assert_eq!(status, 200, "body: {body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(false)));
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), expected.len());
+        for (got, want) in results.iter().zip(expected.iter()) {
+            assert_eq!(got.get("t_d").unwrap().as_f64().unwrap(), want.t_d);
+            assert_eq!(got.get("t_a").unwrap().as_f64().unwrap(), want.t_a);
+        }
+
+        // Same query again: answered from the epoch-tagged cache.
+        let (_, body) = fetch(&host, "POST", "/query", Some(query)).unwrap();
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            doc.get("count").unwrap().as_u64().unwrap(),
+            expected.len() as u64
+        );
+
+        // Traced query carries a span tree.
+        let traced = r#"{"kind":"drop","v":-2.5,"t_hours":1.0,"plan":"scan","trace":true}"#;
+        let (_, body) = fetch(&host, "POST", "/query", Some(traced)).unwrap();
+        let doc = Json::parse(&body).unwrap();
+        assert!(doc.get("trace").is_some(), "missing trace: {body}");
+
+        // Bad input is a 400, not a worker panic.
+        let (status, _) = fetch(
+            &host,
+            "POST",
+            "/query",
+            Some(r#"{"kind":"drop","v":2.0,"t_hours":1.0}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = fetch(&host, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+
+        // Metrics dump includes server and cache counters.
+        let (status, text) = fetch(&host, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(text.contains("server.requests"), "metrics: {text}");
+        assert!(text.contains("cache."), "metrics: {text}");
+
+        let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn loadgen_closed_loop_round_trips() {
+        let dir = TempDir::new("loadgen");
+        let idx = build_index(&dir.0);
+        let (host, handle) = start_server(idx, 4);
+
+        let report = loadgen::run(&LoadgenConfig {
+            host: host.clone(),
+            concurrency: 4,
+            duration: Duration::from_millis(600),
+            bodies: query_mix("drop", -2.0, 1.0),
+        })
+        .unwrap();
+        assert!(report.ok > 0, "no successful requests: {report:?}");
+        assert_eq!(report.non_2xx, 0, "{report:?}");
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert!(report.latency.count == report.ok);
+        assert!(report.latency.p50 <= report.latency.p99);
+
+        // The mix repeats queries, so the server cache must have hits.
+        let (_, text) = fetch(&host, "GET", "/metrics?format=json", None).unwrap();
+        let hits: u64 = text
+            .lines()
+            .filter_map(|l| Json::parse(l).ok())
+            .filter(|j| j.get("name").and_then(Json::as_str) == Some("cache.hit"))
+            .filter_map(|j| j.get("value").and_then(Json::as_u64))
+            .sum();
+        assert!(hits > 0, "expected cache hits after repeated queries");
+
+        let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        handle.join().unwrap();
+    }
+
+    /// With ONE worker thread, a hot keep-alive client must not starve a
+    /// second connection: after `YIELD_AFTER` consecutive requests the
+    /// worker re-queues the hot connection and serves the waiter.
+    #[test]
+    fn single_worker_round_robins_hot_connections() {
+        use super::http::{read_response, write_request};
+        use std::io::BufReader;
+        use std::net::TcpStream;
+
+        let dir = TempDir::new("fair");
+        let idx = build_index(&dir.0);
+        let (host, handle) = start_server(idx, 1);
+
+        // Connection A claims the only worker with a first request.
+        let mut a = TcpStream::connect(&host).unwrap();
+        a.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut a_reader = BufReader::new(a.try_clone().unwrap());
+        write_request(&mut a, "GET", "/healthz", &host, None).unwrap();
+        let (status, _) = read_response(&mut a_reader).unwrap();
+        assert_eq!(status, 200);
+
+        // Connection B sends a request and then waits in the queue.
+        let mut b = TcpStream::connect(&host).unwrap();
+        b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut b_reader = BufReader::new(b.try_clone().unwrap());
+        write_request(&mut b, "GET", "/healthz", &host, None).unwrap();
+
+        // A stays hot well past the yield threshold. The worker must
+        // re-queue A at some point in this loop and answer B; A's own
+        // requests still all complete (the pending one is served when the
+        // worker rotates back).
+        for _ in 0..80 {
+            write_request(&mut a, "GET", "/healthz", &host, None).unwrap();
+            let (status, _) = read_response(&mut a_reader).unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, _) = read_response(&mut b_reader).unwrap();
+        assert_eq!(status, 200);
+
+        drop((a, b));
+        let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_flag_drains_and_stops() {
+        let dir = TempDir::new("drain");
+        let idx = build_index(&dir.0);
+        let server = Server::bind("127.0.0.1:0", idx, ServerConfig::default()).unwrap();
+        let host = server.local_addr().to_string();
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let (status, _) = fetch(&host, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        flag.store(true, Ordering::Release);
+        handle.join().unwrap();
+        // The listener is gone: new connections are refused.
+        assert!(fetch(&host, "GET", "/healthz", None).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Closed-loop HTTP load generator for the query service.
+//!
+//! Each of `concurrency` workers keeps one persistent connection and
+//! issues requests back-to-back (closed loop: a worker never has more
+//! than one request outstanding, so offered load adapts to service
+//! capacity instead of overrunning it). Latency is recorded per request
+//! into a run-local histogram — p50/p90/p99 come from the same
+//! log-bucketed estimator the server uses — and also mirrored into the
+//! global registry as `loadgen.request_nanos`.
+
+use crate::http::{read_response, write_request, HttpError};
+use obs::HistogramSummary;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a load run should do.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target `host:port`.
+    pub host: String,
+    /// Concurrent closed-loop workers.
+    pub concurrency: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// JSON bodies for `POST /query`, rotated round-robin per worker
+    /// (each worker starts at a different offset so the mix interleaves).
+    pub bodies: Vec<String>,
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests that completed with a 2xx status.
+    pub ok: u64,
+    /// Responses with a non-2xx status.
+    pub non_2xx: u64,
+    /// Transport failures that persisted after one reconnect retry.
+    pub errors: u64,
+    /// Measured wall time of the run in seconds.
+    pub elapsed: f64,
+    /// Request latency distribution (nanoseconds).
+    pub latency: HistogramSummary,
+}
+
+impl LoadReport {
+    /// Completed 2xx requests per second.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed > 0.0 {
+            self.ok as f64 / self.elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Total requests attempted.
+    pub fn total(&self) -> u64 {
+        self.ok + self.non_2xx + self.errors
+    }
+}
+
+/// Extracts `host:port` from `http://host:port[/...]` (scheme optional).
+pub fn parse_url(url: &str) -> Result<String, String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    if rest.starts_with("https://") {
+        return Err("https is not supported".to_string());
+    }
+    let authority = rest.split('/').next().unwrap_or("");
+    let (host, port) = authority
+        .rsplit_once(':')
+        .ok_or_else(|| format!("URL must include a port: {url}"))?;
+    if host.is_empty() || port.parse::<u16>().is_err() {
+        return Err(format!("cannot parse host:port from {url}"));
+    }
+    Ok(authority.to_string())
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn connect(host: &str) -> Result<TcpStream, HttpError> {
+    let stream = TcpStream::connect(host)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+fn roundtrip_once(
+    stream: &mut TcpStream,
+    host: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, Vec<u8>), HttpError> {
+    write_request(stream, method, path, host, body)?;
+    // A fresh BufReader per request wastes a little but guarantees no
+    // buffered bytes survive a connection swap on retry.
+    let mut reader = BufReader::new(stream.try_clone().map_err(HttpError::Io)?);
+    read_response(&mut reader)
+}
+
+/// One request over a pooled connection with a single reconnect retry:
+/// a keep-alive connection the server idled out looks like an EOF or a
+/// reset exactly once, and a retry on a fresh connection recovers it.
+pub fn pooled_request(
+    conn: &mut Option<TcpStream>,
+    host: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, Vec<u8>), HttpError> {
+    let reused = conn.is_some();
+    if conn.is_none() {
+        *conn = Some(connect(host)?);
+    }
+    match roundtrip_once(conn.as_mut().unwrap(), host, method, path, body) {
+        Ok(out) => Ok(out),
+        Err(e) => {
+            *conn = None;
+            if !reused {
+                return Err(e);
+            }
+            *conn = Some(connect(host)?);
+            match roundtrip_once(conn.as_mut().unwrap(), host, method, path, body) {
+                Ok(out) => Ok(out),
+                Err(e) => {
+                    *conn = None;
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+/// One-shot request on a fresh connection; returns `(status, body)`.
+pub fn fetch(
+    host: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut conn = None;
+    let (status, bytes) =
+        pooled_request(&mut conn, host, method, path, body).map_err(|e| e.to_string())?;
+    String::from_utf8(bytes)
+        .map(|text| (status, text))
+        .map_err(|_| "response body is not UTF-8".to_string())
+}
+
+/// Runs the closed loop and aggregates a [`LoadReport`].
+pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
+    if config.bodies.is_empty() {
+        return Err("loadgen needs at least one query body".to_string());
+    }
+    if config.concurrency == 0 {
+        return Err("loadgen needs at least one worker".to_string());
+    }
+    let latency = Arc::new(obs::Histogram::new());
+    let global_latency = obs::global().histogram("loadgen.request_nanos");
+    let ok = Arc::new(AtomicU64::new(0));
+    let non_2xx = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    std::thread::scope(|s| {
+        for worker in 0..config.concurrency {
+            let latency = Arc::clone(&latency);
+            let global_latency = Arc::clone(&global_latency);
+            let ok = Arc::clone(&ok);
+            let non_2xx = Arc::clone(&non_2xx);
+            let errors = Arc::clone(&errors);
+            let host = config.host.clone();
+            let bodies = &config.bodies;
+            let duration = config.duration;
+            s.spawn(move || {
+                let mut conn: Option<TcpStream> = None;
+                let mut i = worker; // offset so workers interleave the mix
+                while start.elapsed() < duration {
+                    let body = &bodies[i % bodies.len()];
+                    i += 1;
+                    let t0 = Instant::now();
+                    match pooled_request(&mut conn, &host, "POST", "/query", Some(body)) {
+                        Ok((status, _body)) => {
+                            let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            latency.record(nanos);
+                            global_latency.record(nanos);
+                            if (200..300).contains(&status) {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                non_2xx.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            // Back off briefly so a down server does not
+                            // spin the loop at connect-failure speed.
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    Ok(LoadReport {
+        ok: ok.load(Ordering::Relaxed),
+        non_2xx: non_2xx.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: start.elapsed().as_secs_f64(),
+        latency: latency.summary(),
+    })
+}
+
+/// Builds the standard query mix for one `(kind, v, t_hours)` target:
+/// both plans over four time thresholds, so a run exercises scan and
+/// index paths and produces plenty of repeat queries for the cache.
+pub fn query_mix(kind: &str, v: f64, t_hours: f64) -> Vec<String> {
+    let mut bodies = Vec::new();
+    for plan in ["scan", "index"] {
+        for frac in [1.0, 0.75, 0.5, 0.25] {
+            bodies.push(format!(
+                r#"{{"kind":"{kind}","v":{v},"t_hours":{},"plan":"{plan}"}}"#,
+                t_hours * frac
+            ));
+        }
+    }
+    bodies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_urls() {
+        assert_eq!(
+            parse_url("http://127.0.0.1:7878").unwrap(),
+            "127.0.0.1:7878"
+        );
+        assert_eq!(
+            parse_url("http://localhost:80/query").unwrap(),
+            "localhost:80"
+        );
+        assert_eq!(parse_url("10.0.0.1:9000").unwrap(), "10.0.0.1:9000");
+        assert!(parse_url("http://nohost").is_err());
+        assert!(parse_url("https://h:1").is_err());
+        assert!(parse_url(":123").is_err());
+    }
+
+    #[test]
+    fn query_mix_is_distinct_and_valid_json() {
+        let mix = query_mix("drop", -3.0, 1.0);
+        assert_eq!(mix.len(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for body in &mix {
+            assert!(obs::json::Json::parse(body).is_ok(), "bad body: {body}");
+            assert!(seen.insert(body.clone()), "duplicate body: {body}");
+        }
+    }
+
+    #[test]
+    fn report_math() {
+        let r = LoadReport {
+            ok: 100,
+            non_2xx: 2,
+            errors: 1,
+            elapsed: 4.0,
+            latency: HistogramSummary::default(),
+        };
+        assert_eq!(r.qps(), 25.0);
+        assert_eq!(r.total(), 103);
+    }
+}

@@ -1,0 +1,304 @@
+//! The multi-threaded HTTP server: accept loop, worker pool, shutdown.
+//!
+//! Architecture: one non-blocking accept loop (the thread that calls
+//! [`Server::run`]) feeds accepted connections into a bounded
+//! [`BoundedQueue`]; a fixed pool of worker threads pops connections and
+//! serves keep-alive request streams off them. When the queue is full
+//! the acceptor answers `503` inline — bounded memory under overload,
+//! the textbook load-shedding move. Workers yield a connection back to
+//! the queue after [`YIELD_AFTER`] consecutive requests whenever other
+//! connections are waiting, so hot keep-alive clients cannot starve the
+//! rest even with a single worker thread.
+//!
+//! Shutdown is cooperative: setting the shared flag (SIGINT/SIGTERM via
+//! [`crate::signal`], or `POST /shutdown`) stops the acceptor, which
+//! closes the queue; workers drain already-queued connections, finish
+//! the request in flight, and exit. `run` returns only after every
+//! worker has joined, so the caller can flush and print a final metrics
+//! snapshot knowing no query is still executing.
+
+use crate::http::{read_request, HttpError, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::service::Service;
+use obs::Counter;
+use segdiff::SegDiffIndex;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (min 1).
+    pub threads: usize,
+    /// Accepted connections waiting for a worker before `503`s start.
+    pub queue_depth: usize,
+    /// Per-connection read timeout; idle keep-alive connections are
+    /// closed after this long, which also bounds shutdown latency.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 8,
+            queue_depth: 64,
+            read_timeout: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running query server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// prepares the service. No thread is spawned until [`Server::run`].
+    pub fn bind(addr: &str, index: Arc<SegDiffIndex>, config: ServerConfig) -> io::Result<Server> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(Service::new(index, Arc::clone(&shutdown)));
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            service,
+            shutdown,
+            config,
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that makes the server drain and stop when set.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown, then
+    /// drains and joins the workers.
+    pub fn run(self) -> io::Result<()> {
+        let registry = obs::global();
+        let accepted = registry.counter("server.accepted");
+        let rejected = registry.counter("server.rejected");
+        let requeued = registry.counter("server.requeued");
+        let queue: Arc<BoundedQueue<TcpStream>> =
+            Arc::new(BoundedQueue::new(self.config.queue_depth));
+
+        let mut workers = Vec::new();
+        for i in 0..self.config.threads.max(1) {
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            let requeued = Arc::clone(&requeued);
+            let timeout = self.config.read_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("segdiff-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            handle_connection(
+                                &service, stream, &queue, &requeued, &shutdown, timeout,
+                            );
+                        }
+                    })?,
+            );
+        }
+
+        while !self.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    accepted.inc();
+                    match queue.try_push(stream) {
+                        Ok(()) => {}
+                        Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+                            rejected.inc();
+                            shed(stream);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    obs::warn!("accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+
+        obs::info!(
+            "draining: {} request(s) in flight",
+            self.service.in_flight()
+        );
+        queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Answers `503` on a connection the queue refused.
+fn shed(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = Response::error(503, "server overloaded, try again")
+        .with_close()
+        .write_to(&mut stream);
+}
+
+/// How many requests one connection may be served in a row while other
+/// connections wait in the queue. A keep-alive client with a hot request
+/// loop would otherwise monopolize its worker indefinitely — with
+/// `--threads 1` and N clients, N-1 of them would starve for the whole
+/// run. After a burst the connection goes to the back of the queue and
+/// the worker picks up the next waiter, so a single worker round-robins.
+const YIELD_AFTER: u32 = 32;
+
+/// Serves a keep-alive request stream until close, error, or shutdown.
+///
+/// Fairness: after [`YIELD_AFTER`] requests, if other connections are
+/// waiting in `queue`, the connection is pushed to the back of the queue
+/// (counted in `server.requeued`) and this call returns so the worker can
+/// serve a waiter. The re-queue is skipped when the client has already
+/// pipelined bytes into the read buffer — those would be lost with the
+/// `BufReader` — or when the queue filled up in the meantime.
+fn handle_connection(
+    service: &Service,
+    stream: TcpStream,
+    queue: &BoundedQueue<TcpStream>,
+    requeued: &Counter,
+    shutdown: &AtomicBool,
+    timeout: Duration,
+) {
+    // Accepted sockets are blocking on Linux regardless of the listener's
+    // non-blocking flag, but make it explicit rather than rely on that.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut served: u32 = 0;
+    loop {
+        let outcome = match read_request(&mut reader) {
+            Ok(req) => {
+                let mut resp = service.handle(&req);
+                // The request in flight finishes; the connection does not
+                // outlive a shutdown.
+                if !req.keep_alive() || shutdown.load(Ordering::Acquire) {
+                    resp.close = true;
+                }
+                let close = resp.close;
+                if resp.write_to(&mut writer).is_err() || close {
+                    None
+                } else {
+                    Some(())
+                }
+            }
+            Err(HttpError::Closed) => None,
+            Err(HttpError::TooLarge) => {
+                let _ = Response::error(413, "request too large")
+                    .with_close()
+                    .write_to(&mut writer);
+                None
+            }
+            Err(HttpError::Malformed(m)) => {
+                let _ = Response::error(400, m).with_close().write_to(&mut writer);
+                None
+            }
+            // Timeouts land here. A timed-out read may have consumed a
+            // partial request, so the stream cannot be resynchronized —
+            // drop the connection and let the client reconnect.
+            Err(HttpError::Io(_)) => None,
+        };
+        if outcome.is_none() {
+            return;
+        }
+        served += 1;
+        if served >= YIELD_AFTER
+            && !queue.is_empty()
+            && reader.buffer().is_empty()
+            && !shutdown.load(Ordering::Acquire)
+        {
+            match queue.try_push(reader.into_inner()) {
+                Ok(()) => {
+                    requeued.inc();
+                    return;
+                }
+                // The queue filled between the is_empty check and the
+                // push; keep serving this connection rather than drop it.
+                Err(PushError::Full(stream)) => {
+                    reader = BufReader::new(stream);
+                    served = 0;
+                }
+                // Shutdown began; the connection does not outlive it.
+                Err(PushError::Closed(_)) => return,
+            }
+        }
+    }
+}
+
+/// Process-wide SIGINT/SIGTERM latch, installed without any external
+/// crate via the C `signal(2)` entry point (libc is already linked by
+/// std). The handler only stores to an atomic, which is async-signal
+/// safe; the serving loop polls [`signal::triggered`].
+pub mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGINT and SIGTERM to the latch. Idempotent.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// No-op off unix: `POST /shutdown` remains the only trigger.
+    #[cfg(not(unix))]
+    pub fn install() {}
+
+    /// Whether a shutdown signal has arrived.
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+
+    /// Clears the latch (tests only).
+    #[doc(hidden)]
+    pub fn reset() {
+        TRIGGERED.store(false, Ordering::SeqCst);
+    }
+}

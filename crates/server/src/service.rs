@@ -1,0 +1,367 @@
+//! Request routing and query execution against a shared index.
+//!
+//! The service is the pure request→response core of the server: it owns
+//! no sockets and no threads, which makes every route unit-testable
+//! without networking. Handlers run concurrently on worker threads over
+//! one shared read-only [`SegDiffIndex`], so everything here takes
+//! `&self`.
+
+use crate::http::{Request, Response};
+use obs::export::Exporter;
+use obs::json::Json;
+use obs::TraceNode;
+use segdiff::{QueryPlan, SegDiffIndex};
+use sensorgen::HOUR;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `server.*` telemetry published to the global registry.
+struct ServiceMetrics {
+    requests: Arc<obs::Counter>,
+    queries: Arc<obs::Counter>,
+    bad_requests: Arc<obs::Counter>,
+    not_found: Arc<obs::Counter>,
+    errors: Arc<obs::Counter>,
+    request_nanos: Arc<obs::Histogram>,
+    query_nanos: Arc<obs::Histogram>,
+}
+
+impl ServiceMetrics {
+    fn new() -> Self {
+        let r = obs::global();
+        ServiceMetrics {
+            requests: r.counter("server.requests"),
+            queries: r.counter("server.queries"),
+            bad_requests: r.counter("server.bad_requests"),
+            not_found: r.counter("server.not_found"),
+            errors: r.counter("server.errors"),
+            request_nanos: r.histogram("server.request_nanos"),
+            query_nanos: r.histogram("server.query_nanos"),
+        }
+    }
+}
+
+/// The HTTP-facing facade over one open index.
+pub struct Service {
+    index: Arc<SegDiffIndex>,
+    shutdown: Arc<AtomicBool>,
+    in_flight: AtomicU64,
+    metrics: ServiceMetrics,
+}
+
+/// A validated `/query` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Optional caller-supplied series label, echoed in the response.
+    pub series: Option<String>,
+    /// `"drop"` or `"jump"`.
+    pub kind: String,
+    /// Value threshold `V` (negative for drops, positive for jumps).
+    pub v: f64,
+    /// Time threshold `T` in hours.
+    pub t_hours: f64,
+    /// `"scan"` or `"index"`.
+    pub plan: String,
+    /// Whether to attach an `EXPLAIN ANALYZE`-style trace.
+    pub trace: bool,
+}
+
+impl QuerySpec {
+    /// Parses and validates a JSON body. Every constraint the checked
+    /// [`featurespace::QueryRegion`] constructors would `assert!` is
+    /// verified here first, so invalid input becomes a `400`, never a
+    /// worker-thread panic.
+    pub fn from_json(body: &str) -> Result<QuerySpec, String> {
+        let doc = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing field: kind (\"drop\" or \"jump\")")?
+            .to_string();
+        if kind != "drop" && kind != "jump" {
+            return Err(format!("kind must be \"drop\" or \"jump\", got {kind:?}"));
+        }
+        let v = doc
+            .get("v")
+            .and_then(Json::as_f64)
+            .ok_or("missing field: v (number)")?;
+        let t_hours = match doc.get("t_hours").and_then(Json::as_f64) {
+            Some(h) => h,
+            None => {
+                doc.get("t_seconds")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing field: t_hours (number)")?
+                    / HOUR
+            }
+        };
+        if !t_hours.is_finite() || t_hours <= 0.0 {
+            return Err(format!(
+                "t_hours must be positive and finite, got {t_hours}"
+            ));
+        }
+        if kind == "drop" && !(v.is_finite() && v < 0.0) {
+            return Err(format!("v must be negative for a drop search, got {v}"));
+        }
+        if kind == "jump" && !(v.is_finite() && v > 0.0) {
+            return Err(format!("v must be positive for a jump search, got {v}"));
+        }
+        let plan = doc
+            .get("plan")
+            .and_then(Json::as_str)
+            .unwrap_or("scan")
+            .to_string();
+        if plan != "scan" && plan != "index" {
+            return Err(format!("plan must be \"scan\" or \"index\", got {plan:?}"));
+        }
+        let trace = matches!(doc.get("trace"), Some(Json::Bool(true)));
+        let series = doc
+            .get("series")
+            .and_then(Json::as_str)
+            .map(|s| s.to_string());
+        Ok(QuerySpec {
+            series,
+            kind,
+            v,
+            t_hours,
+            plan,
+            trace,
+        })
+    }
+
+    /// The parsed plan.
+    pub fn query_plan(&self) -> QueryPlan {
+        if self.plan == "index" {
+            QueryPlan::Index
+        } else {
+            QueryPlan::SeqScan
+        }
+    }
+
+    /// The validated region (safe: `from_json` already enforced the
+    /// constructor preconditions).
+    pub fn region(&self) -> featurespace::QueryRegion {
+        if self.kind == "drop" {
+            featurespace::QueryRegion::drop(self.t_hours * HOUR, self.v)
+        } else {
+            featurespace::QueryRegion::jump(self.t_hours * HOUR, self.v)
+        }
+    }
+}
+
+fn trace_to_json(node: &TraceNode) -> Json {
+    let mut fields = vec![
+        ("span".to_string(), Json::Str(node.name.clone())),
+        ("wall_nanos".to_string(), Json::Uint(node.wall_nanos)),
+    ];
+    for (k, v) in &node.attrs {
+        fields.push((k.clone(), v.clone()));
+    }
+    if !node.children.is_empty() {
+        fields.push((
+            "children".to_string(),
+            Json::Array(node.children.iter().map(trace_to_json).collect()),
+        ));
+    }
+    Json::Object(fields)
+}
+
+impl Service {
+    /// Creates a service over `index`. Setting `shutdown` (from any
+    /// thread, or via `POST /shutdown`) makes the accept loop drain.
+    pub fn new(index: Arc<SegDiffIndex>, shutdown: Arc<AtomicBool>) -> Self {
+        Service {
+            index,
+            shutdown,
+            in_flight: AtomicU64::new(0),
+            metrics: ServiceMetrics::new(),
+        }
+    }
+
+    /// The shared shutdown flag.
+    pub fn shutdown_flag(&self) -> &Arc<AtomicBool> {
+        &self.shutdown
+    }
+
+    /// Number of requests currently executing.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Dispatches one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        self.metrics.requests.inc();
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let resp = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/query") => self.query(req),
+            ("GET", "/metrics") => self.metrics_dump(req),
+            ("GET", "/healthz") => self.healthz(),
+            ("POST", "/shutdown") => self.initiate_shutdown(),
+            (_, "/query" | "/metrics" | "/healthz" | "/shutdown") => {
+                Response::error(405, format!("method {} not allowed", req.method))
+            }
+            _ => {
+                self.metrics.not_found.inc();
+                Response::error(404, format!("no route for {}", req.path))
+            }
+        };
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if resp.status >= 400 {
+            self.metrics.errors.inc();
+        }
+        self.metrics.request_nanos.record_duration(start.elapsed());
+        resp
+    }
+
+    fn query(&self, req: &Request) -> Response {
+        let body = match req.body_str() {
+            Ok(b) => b,
+            Err(e) => {
+                self.metrics.bad_requests.inc();
+                return Response::error(400, e.to_string());
+            }
+        };
+        let spec = match QuerySpec::from_json(body) {
+            Ok(s) => s,
+            Err(e) => {
+                self.metrics.bad_requests.inc();
+                return Response::error(400, e);
+            }
+        };
+        self.metrics.queries.inc();
+        let start = Instant::now();
+        if spec.trace {
+            obs::trace_begin();
+        }
+        let outcome = self.index.query_cached(&spec.region(), spec.query_plan());
+        let trace = if spec.trace { obs::trace_take() } else { None };
+        let (results, stats, cached) = match outcome {
+            Ok(t) => t,
+            Err(e) => return Response::error(500, format!("query failed: {e}")),
+        };
+        self.metrics.query_nanos.record_duration(start.elapsed());
+
+        let mut fields = Vec::new();
+        if let Some(series) = &spec.series {
+            fields.push(("series".to_string(), Json::Str(series.clone())));
+        }
+        fields.extend([
+            ("kind".to_string(), Json::Str(spec.kind.clone())),
+            ("v".to_string(), Json::Float(spec.v)),
+            ("t_hours".to_string(), Json::Float(spec.t_hours)),
+            ("plan".to_string(), Json::Str(spec.plan.clone())),
+            ("epoch".to_string(), Json::Uint(self.index.epoch())),
+            ("cached".to_string(), Json::Bool(cached)),
+            ("count".to_string(), Json::Uint(results.len() as u64)),
+            (
+                "rows_considered".to_string(),
+                Json::Uint(stats.rows_considered),
+            ),
+            ("wall_ms".to_string(), Json::Float(stats.wall_seconds * 1e3)),
+            (
+                "results".to_string(),
+                Json::Array(
+                    results
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("t_d", Json::Float(p.t_d)),
+                                ("t_c", Json::Float(p.t_c)),
+                                ("t_b", Json::Float(p.t_b)),
+                                ("t_a", Json::Float(p.t_a)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Some(node) = trace {
+            fields.push(("trace".to_string(), trace_to_json(&node)));
+        }
+        Response::json(200, &Json::Object(fields))
+    }
+
+    fn metrics_dump(&self, req: &Request) -> Response {
+        let snapshot = obs::global().snapshot();
+        if req.query_param("format") == Some("json") {
+            Response::text(200, obs::export::JsonLinesExporter.export(&snapshot))
+        } else {
+            Response::text(200, obs::export::TextExporter.export(&snapshot))
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        Response::json(
+            200,
+            &Json::obj([
+                ("status", Json::from("ok")),
+                ("epoch", Json::Uint(self.index.epoch())),
+                ("cache_entries", Json::from(self.index.result_cache().len())),
+            ]),
+        )
+    }
+
+    fn initiate_shutdown(&self) -> Response {
+        obs::info!("shutdown requested over HTTP");
+        self.shutdown.store(true, Ordering::Release);
+        Response::json(200, &Json::obj([("status", Json::from("shutting down"))])).with_close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_query_spec() {
+        let s = QuerySpec::from_json(r#"{"kind":"drop","v":-3,"t_hours":1}"#).unwrap();
+        assert_eq!(s.kind, "drop");
+        assert_eq!(s.v, -3.0);
+        assert_eq!(s.t_hours, 1.0);
+        assert_eq!(s.plan, "scan");
+        assert!(!s.trace);
+        assert!(s.series.is_none());
+        assert_eq!(s.query_plan(), QueryPlan::SeqScan);
+    }
+
+    #[test]
+    fn accepts_t_seconds_alternative() {
+        let s = QuerySpec::from_json(r#"{"kind":"jump","v":2,"t_seconds":1800}"#).unwrap();
+        assert_eq!(s.t_hours, 0.5);
+    }
+
+    #[test]
+    fn parses_full_query_spec() {
+        let s = QuerySpec::from_json(
+            r#"{"series":"cad-12","kind":"jump","v":1.5,"t_hours":0.5,"plan":"index","trace":true}"#,
+        )
+        .unwrap();
+        assert_eq!(s.series.as_deref(), Some("cad-12"));
+        assert_eq!(s.query_plan(), QueryPlan::Index);
+        assert!(s.trace);
+        let r = s.region();
+        assert_eq!(r.v, 1.5);
+        assert_eq!(r.t, 0.5 * HOUR);
+    }
+
+    #[test]
+    fn rejects_invalid_specs() {
+        // Each of these would have tripped a QueryRegion assert.
+        for body in [
+            "not json",
+            "{}",
+            r#"{"kind":"sideways","v":-1,"t_hours":1}"#,
+            r#"{"kind":"drop","v":1,"t_hours":1}"#,
+            r#"{"kind":"drop","v":0,"t_hours":1}"#,
+            r#"{"kind":"jump","v":-1,"t_hours":1}"#,
+            r#"{"kind":"drop","v":-1,"t_hours":0}"#,
+            r#"{"kind":"drop","v":-1,"t_hours":-2}"#,
+            r#"{"kind":"drop","v":-1}"#,
+            r#"{"kind":"drop","t_hours":1}"#,
+            r#"{"kind":"drop","v":-1,"t_hours":1,"plan":"turbo"}"#,
+        ] {
+            assert!(QuerySpec::from_json(body).is_err(), "accepted: {body}");
+        }
+    }
+}
