@@ -1,0 +1,288 @@
+//! Crash-injection harness for the durability subsystem.
+//!
+//! The parent repeatedly spawns a child process (this same binary with
+//! `--child`) that ingests a deterministic transect into a WAL-backed
+//! index, throttled so the kill window is wide, and SIGKILLs it at a
+//! random point. After every kill the parent reopens the index — which
+//! runs WAL recovery — and asserts the two properties the durability
+//! design promises:
+//!
+//! 1. **Prefix consistency**: the recovered index equals the index a
+//!    crash-free run would have produced over some prefix of the input
+//!    (segment chain unbroken, feature tables exactly reproducible by
+//!    replaying extraction over the stored segments).
+//! 2. **Theorem-1 completeness over the prefix**: a drop query against
+//!    the recovered index finds every true event inside the recovered
+//!    prefix — no event is lost across the crash/recovery seam.
+//!
+//! The child then *resumes* from the recovered prefix, so one run also
+//! exercises repeated crash–recover–resume cycles over the same store.
+//!
+//! ```sh
+//! cargo run --release -p segdiff-bench --bin crash -- --iterations 20
+//! ```
+//!
+//! Flags: `--iterations N` (default 20), `--days D` (default 2),
+//! `--seed S`, `--throttle-us U` (per-observation ingest delay in the
+//! child), `--dir PATH` (index directory), `--log PATH` (recovery log,
+//! default `crash-recovery.log` in the index dir's parent).
+
+use featurespace::QueryRegion;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use segdiff::{oracle, QueryPlan, SegDiffConfig, SegDiffIndex};
+use sensorgen::{generate_sensor, CadTransectConfig, TimeSeries, HOUR};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{exit, Command};
+use std::time::Duration;
+
+struct Args {
+    child: bool,
+    iterations: u32,
+    days: u32,
+    seed: u64,
+    throttle_us: u64,
+    dir: Option<PathBuf>,
+    log: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        child: false,
+        iterations: 20,
+        days: 2,
+        seed: 7,
+        throttle_us: 2000,
+        dir: None,
+        log: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a number"))
+        };
+        match a.as_str() {
+            "--child" => args.child = true,
+            "--iterations" => args.iterations = num("--iterations") as u32,
+            "--days" => args.days = num("--days") as u32,
+            "--seed" => args.seed = num("--seed"),
+            "--throttle-us" => args.throttle_us = num("--throttle-us"),
+            "--dir" => args.dir = Some(PathBuf::from(it.next().expect("--dir PATH"))),
+            "--log" => args.log = Some(PathBuf::from(it.next().expect("--log PATH"))),
+            other => {
+                eprintln!("unknown flag {other}");
+                exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The workload both parent and child derive independently: a clean CAD
+/// transect (no anomalies), fully determined by `days` and `seed`.
+fn workload(days: u32, seed: u64) -> TimeSeries {
+    generate_sensor(
+        &CadTransectConfig::default().with_days(days).clean(),
+        12,
+        seed,
+    )
+}
+
+fn durable_config() -> SegDiffConfig {
+    // SIGKILL leaves the OS page cache intact, so fsyncs are not needed
+    // for crash *consistency* — and skipping them keeps iterations fast.
+    SegDiffConfig::default()
+        .with_sync(false)
+        .with_pool_pages(512)
+}
+
+/// Child mode: resume (or start) ingesting the workload into `dir`,
+/// sleeping `throttle_us` per observation so kills land mid-ingest.
+fn run_child(dir: &Path, days: u32, seed: u64, throttle_us: u64) {
+    let series = workload(days, seed);
+    let (mut idx, last_t) = if dir.join("segdiff.meta").exists() {
+        match SegDiffIndex::open(dir, 512) {
+            Ok(idx) => {
+                let last_t = idx
+                    .segments()
+                    .expect("segments")
+                    .last()
+                    .map(|s| s.t_end)
+                    .unwrap_or(f64::NEG_INFINITY);
+                (idx, last_t)
+            }
+            // A kill inside create() can leave a meta file whose tables
+            // were pruned as uncommitted; start over like the parent does.
+            Err(pagestore::StoreError::NotFound(_)) => {
+                std::fs::remove_dir_all(dir).ok();
+                (
+                    SegDiffIndex::create(dir, durable_config()).expect("create"),
+                    f64::NEG_INFINITY,
+                )
+            }
+            Err(e) => panic!("child reopen failed: {e}"),
+        }
+    } else {
+        std::fs::remove_dir_all(dir).ok();
+        (
+            SegDiffIndex::create(dir, durable_config()).expect("create"),
+            f64::NEG_INFINITY,
+        )
+    };
+    for (t, v) in series.iter().filter(|&(t, _)| t > last_t) {
+        idx.push(t, v).expect("push");
+        if throttle_us > 0 {
+            std::thread::sleep(Duration::from_micros(throttle_us));
+        }
+    }
+    idx.finish().expect("finish");
+    exit(0);
+}
+
+/// One recovered-prefix check: consistency invariants plus Theorem-1
+/// completeness of a drop query over the prefix the index covers.
+/// Returns a human-readable summary for the recovery log.
+fn verify(dir: &Path, series: &TimeSeries) -> Result<String, String> {
+    let idx = match SegDiffIndex::open(dir, 512) {
+        Ok(idx) => idx,
+        // Killed before the first commit made it to disk: recovery pruned
+        // everything, which is a valid (empty) prefix. Start over.
+        Err(pagestore::StoreError::NotFound(_)) => {
+            std::fs::remove_dir_all(dir).ok();
+            return Ok("empty prefix (killed before first commit); reset".into());
+        }
+        Err(e) => return Err(format!("reopen failed: {e}")),
+    };
+    let report = idx
+        .recovery_report()
+        .ok_or("index opened without WAL recovery")?
+        .clone();
+    idx.verify_consistency()
+        .map_err(|e| format!("prefix inconsistent: {e}"))?;
+    let segments = idx.segments().map_err(|e| e.to_string())?;
+    let Some(last) = segments.last() else {
+        return Ok(format!(
+            "clean={} replayed={} segments=0 (no committed segment yet)",
+            report.clean, report.replayed_pages
+        ));
+    };
+    // Completeness over the recovered prefix: every true drop event that
+    // lies entirely within the covered time range must be found.
+    let mut prefix = TimeSeries::new();
+    for (t, v) in series.iter().filter(|&(t, _)| t <= last.t_end) {
+        prefix.push(t, v);
+    }
+    let region = QueryRegion::drop(1.0 * HOUR, -1.0);
+    let events = oracle::true_events(&prefix, &region);
+    let (results, _) = idx
+        .query(&region, QueryPlan::SeqScan)
+        .map_err(|e| e.to_string())?;
+    if let Some(missed) = oracle::find_missed_event(&events, &results) {
+        return Err(format!(
+            "completeness violated: true event {missed:?} in the recovered \
+             prefix (t <= {}) is not covered by any of {} results",
+            last.t_end,
+            results.len()
+        ));
+    }
+    Ok(format!(
+        "clean={} replayed={} truncated={} segments={} events={} results={}",
+        report.clean,
+        report.replayed_pages,
+        report.truncated_rows,
+        segments.len(),
+        events.len(),
+        results.len()
+    ))
+}
+
+fn main() {
+    let args = parse_args();
+    let dir = args.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("segdiff-crash-{}", std::process::id()))
+    });
+    if args.child {
+        run_child(&dir, args.days, args.seed, args.throttle_us);
+    }
+
+    let log_path = args.log.clone().unwrap_or_else(|| {
+        let mut name = dir.file_name().unwrap_or_default().to_os_string();
+        name.push("-recovery.log");
+        dir.with_file_name(name)
+    });
+    let mut log = std::fs::File::create(&log_path).expect("create recovery log");
+    let exe = std::env::current_exe().expect("current_exe");
+    let series = workload(args.days, args.seed);
+    let full_span = series.times().last().copied().unwrap_or(0.0);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xC4A5_4CBA);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut kills = 0u32;
+    let mut completions = 0u32;
+    let mut failures = 0u32;
+    for i in 0..args.iterations {
+        let mut child = Command::new(&exe)
+            .arg("--child")
+            .args(["--dir".as_ref(), dir.as_os_str()])
+            .args(["--days", &args.days.to_string()])
+            .args(["--seed", &args.seed.to_string()])
+            .args(["--throttle-us", &args.throttle_us.to_string()])
+            .spawn()
+            .expect("spawn child");
+        let delay_ms: u64 = rng.random_range(5..400);
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        let completed = match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "child failed on its own: {status}");
+                completions += 1;
+                true
+            }
+            None => {
+                child.kill().expect("SIGKILL child"); // SIGKILL on unix
+                child.wait().expect("reap child");
+                kills += 1;
+                false
+            }
+        };
+        let outcome = verify(&dir, &series);
+        let line = format!(
+            "iter={i} delay_ms={delay_ms} {}: {}",
+            if completed { "completed" } else { "killed" },
+            match &outcome {
+                Ok(s) => s.clone(),
+                Err(e) => format!("FAIL {e}"),
+            }
+        );
+        eprintln!("[crash] {line}");
+        writeln!(log, "{line}").expect("write log");
+        if outcome.is_err() {
+            failures += 1;
+        }
+        if completed {
+            // Ingest ran to the end: the prefix is the whole workload.
+            // Reset so remaining iterations keep exercising the seam.
+            if let Ok(idx) = SegDiffIndex::open(&dir, 512) {
+                let last = idx.segments().expect("segments").last().copied();
+                assert_eq!(
+                    last.map(|s| s.t_end),
+                    Some(full_span),
+                    "completed run must cover the full workload"
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    let summary = format!(
+        "done: {} iterations, {kills} kills, {completions} completions, {failures} failures",
+        args.iterations
+    );
+    eprintln!("[crash] {summary}");
+    writeln!(log, "{summary}").expect("write log");
+    println!("recovery log: {}", log_path.display());
+    if failures > 0 {
+        exit(1);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

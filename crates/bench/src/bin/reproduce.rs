@@ -24,9 +24,19 @@ struct Args {
     out: Option<PathBuf>,
 }
 
-const KNOWN: [&str; 11] = [
-    "all", "table3", "table4", "table5", "table6", "table7", "fig7_11", "fig12_13", "fig14_15",
-    "fig16_24", "serving",
+const KNOWN: [&str; 12] = [
+    "all",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig7_11",
+    "fig12_13",
+    "fig14_15",
+    "fig16_24",
+    "serving",
+    "durability",
 ];
 
 fn parse_args() -> Args {
@@ -159,6 +169,13 @@ fn main() {
         });
         segdiff_bench::serving::serving_report(&points, &mut report);
         report.metrics("Telemetry: serving", &delta);
+    }
+
+    if want("durability") {
+        eprintln!("[reproduce] running durability experiment ...");
+        let (result, delta) = with_registry_delta(|| experiments::run_durability(&args.scale));
+        experiments::durability_report(&result, &mut report);
+        report.metrics("Telemetry: durability", &delta);
     }
 
     if let Some(path) = &args.out {

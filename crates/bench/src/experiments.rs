@@ -658,6 +658,187 @@ pub fn figs16_24(points: &[RandomQueryPoint], report: &mut Report) {
     );
 }
 
+/// One recovery point of the durability experiment: the index was built
+/// with a given checkpoint interval, the process "crashed" (dropped the
+/// index without flushing), and the next open replayed the WAL.
+pub struct RecoveryPoint {
+    /// Checkpoint trigger, bytes of WAL.
+    pub checkpoint_wal_bytes: u64,
+    /// WAL size at the simulated crash.
+    pub wal_bytes: u64,
+    /// Page images replayed on reopen.
+    pub replayed_pages: u64,
+    /// Wall-clock reopen (recovery included), seconds.
+    pub recover_seconds: f64,
+}
+
+/// One ingest configuration of the durability experiment.
+pub struct IngestMode {
+    /// Human-readable configuration ("WAL, fsync off, group 8").
+    pub label: String,
+    /// Ingest + finish wall time (best of the repeats), seconds.
+    pub seconds: f64,
+}
+
+/// The durability experiment: WAL ingest overhead across group-commit
+/// settings and recovery time as a function of the checkpoint interval.
+pub struct DurabilityResult {
+    /// Observations ingested per run.
+    pub n: u64,
+    /// Ingest timings; the first entry is the no-WAL baseline.
+    pub modes: Vec<IngestMode>,
+    /// Recovery time per checkpoint interval.
+    pub recovery: Vec<RecoveryPoint>,
+}
+
+/// Runs the durability experiment. Not part of the paper — it
+/// characterizes the write-ahead log this reproduction adds: what
+/// logging costs at ingest time and how the checkpoint interval bounds
+/// replay after a crash.
+pub fn run_durability(scale: &Scale) -> DurabilityResult {
+    use segdiff::{SegDiffConfig, SegDiffIndex};
+    use std::time::Instant;
+
+    let series = default_series(scale.subset_days, scale.seed);
+    let w = 8.0 * HOUR;
+    let base = || {
+        SegDiffConfig::default()
+            .with_epsilon(0.2)
+            .with_window(w)
+            .with_pool_pages(scale.pool_pages)
+    };
+    let repeats = scale.repeats.clamp(1, 3);
+    let ingest = |cfg: &SegDiffConfig, tag: &str| -> f64 {
+        // Best-of-repeats: these runs are tens of milliseconds, so one
+        // scheduler hiccup would otherwise dominate the overhead column.
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let dir = scratch_dir(&format!("durability-{tag}"));
+            std::fs::remove_dir_all(&dir).ok();
+            let start = Instant::now();
+            let mut idx = SegDiffIndex::create(&dir, cfg.clone()).expect("create");
+            idx.ingest_series(&series).expect("ingest");
+            idx.finish().expect("finish");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let mut modes = vec![IngestMode {
+        label: "no WAL".into(),
+        seconds: ingest(&base().with_durable(false), "off"),
+    }];
+    for group in [1u64, 8, 32] {
+        let cfg = base()
+            .with_durable(true)
+            .with_sync(false)
+            .with_group_commit(group);
+        modes.push(IngestMode {
+            label: format!("WAL, fsync off, group {group}"),
+            seconds: ingest(&cfg, &format!("nosync-g{group}")),
+        });
+    }
+    for group in [8u64, 32] {
+        let cfg = base()
+            .with_durable(true)
+            .with_sync(true)
+            .with_group_commit(group);
+        modes.push(IngestMode {
+            label: format!("WAL, fsync on, group {group}"),
+            seconds: ingest(&cfg, &format!("sync-g{group}")),
+        });
+    }
+
+    let mut recovery = Vec::new();
+    for checkpoint_mib in [1u64, 2, 4, 8] {
+        let checkpoint_wal_bytes = checkpoint_mib << 20;
+        let dir = scratch_dir(&format!("durability-crash-{checkpoint_mib}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = base()
+            .with_durable(true)
+            .with_sync(false)
+            .with_checkpoint_wal_bytes(checkpoint_wal_bytes);
+        let mut idx = SegDiffIndex::create(&dir, cfg).expect("create");
+        idx.ingest_series(&series).expect("ingest");
+        // Simulated crash: drop without finish(); dirty pages die with
+        // the pool, only the WAL survives.
+        drop(idx);
+        let wal_bytes = std::fs::metadata(dir.join("wal.log"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let start = Instant::now();
+        let idx = SegDiffIndex::open(&dir, scale.pool_pages).expect("recovering open");
+        let recover_seconds = start.elapsed().as_secs_f64();
+        let replayed_pages = idx.recovery_report().map(|r| r.replayed_pages).unwrap_or(0);
+        idx.verify_consistency()
+            .expect("recovered index consistent");
+        recovery.push(RecoveryPoint {
+            checkpoint_wal_bytes,
+            wal_bytes,
+            replayed_pages,
+            recover_seconds,
+        });
+    }
+    DurabilityResult {
+        n: series.len() as u64,
+        modes,
+        recovery,
+    }
+}
+
+/// Renders the durability experiment.
+pub fn durability_report(r: &DurabilityResult, report: &mut Report) {
+    report.heading("Durability: WAL ingest overhead");
+    report.para(&format!(
+        "Ingest + finish over {} observations (ε = 0.2, w = 8 h), best of \
+         repeats. Overhead is relative to the no-WAL build; \"group N\" \
+         appends (and in sync mode fsyncs) one batch of page images + \
+         commit record per N segment commits.",
+        r.n
+    ));
+    let baseline = r.modes.first().map(|m| m.seconds).unwrap_or(1.0);
+    let rows: Vec<Vec<String>> = r
+        .modes
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let over = if i == 0 {
+                "—".into()
+            } else {
+                format!("{:+.1}%", (m.seconds / baseline - 1.0) * 100.0)
+            };
+            vec![m.label.clone(), ms(m.seconds), over]
+        })
+        .collect();
+    report.table(&["mode", "ingest", "overhead"], &rows);
+    report.heading("Durability: recovery time vs checkpoint interval");
+    report.para(
+        "Crash injected after full ingest (index dropped without flushing); \
+         the next open replays the WAL tail since the last checkpoint.",
+    );
+    let rows: Vec<Vec<String>> = r
+        .recovery
+        .iter()
+        .map(|p| {
+            vec![
+                mib(p.checkpoint_wal_bytes),
+                mib(p.wal_bytes),
+                p.replayed_pages.to_string(),
+                ms(p.recover_seconds),
+            ]
+        })
+        .collect();
+    report.table(
+        &[
+            "checkpoint every",
+            "WAL at crash",
+            "pages replayed",
+            "recovery",
+        ],
+        &rows,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -686,6 +867,23 @@ mod tests {
         table6(&sweep, &mut r);
         figs7_to_11(&sweep, &mut r);
         assert!(r.markdown().contains("Table 3"));
+    }
+
+    #[test]
+    fn tiny_durability_experiment_runs() {
+        let scale = Scale::tiny();
+        let r = run_durability(&scale);
+        assert!(r.n > 0);
+        assert_eq!(r.modes.len(), 6, "baseline + 3 nosync + 2 sync modes");
+        assert!(r.modes.iter().all(|m| m.seconds > 0.0));
+        assert_eq!(r.recovery.len(), 4);
+        for p in &r.recovery {
+            assert!(p.wal_bytes > 0, "crash must leave a WAL behind");
+            assert!(p.replayed_pages > 0, "recovery must replay something");
+        }
+        let mut rep = Report::new();
+        durability_report(&r, &mut rep);
+        assert!(rep.markdown().contains("recovery time vs checkpoint"));
     }
 
     #[test]

@@ -76,10 +76,14 @@ pub fn build_segdiff(
     with_indexes: bool,
 ) -> BuiltSegDiff {
     std::fs::remove_dir_all(dir).ok();
+    // Paper-reproduction builds skip the WAL so measured build and query
+    // times stay comparable to the seed numbers; the `durability`
+    // experiment measures the WAL's cost explicitly.
     let cfg = SegDiffConfig::default()
         .with_epsilon(epsilon)
         .with_window(window)
-        .with_pool_pages(pool_pages);
+        .with_pool_pages(pool_pages)
+        .with_durable(false);
     let start = Instant::now();
     let mut index = SegDiffIndex::create(dir, cfg).expect("create segdiff");
     index.ingest_series(series).expect("ingest");

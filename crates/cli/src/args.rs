@@ -10,6 +10,7 @@ usage:
   segdiff query    --index DIR --kind drop|jump --v V --t-hours H
                    [--plan scan|index] [--refine FILE] [--limit N] [--trace]
   segdiff stats    --index DIR [--json]
+  segdiff recover  --index DIR [--json]
   segdiff metrics  --index DIR [--json]
   segdiff sql      --index DIR \"SELECT ...\"
   segdiff serve    --index DIR [--port P] [--threads N] [--queue-depth Q] [--json]
@@ -69,6 +70,14 @@ pub enum Command {
     },
     /// Print index statistics.
     Stats {
+        /// Index directory.
+        index: PathBuf,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
+    /// Open an index (running WAL recovery if needed), verify its
+    /// consistency, and report what recovery did — an fsck for indexes.
+    Recover {
         /// Index directory.
         index: PathBuf,
         /// Emit machine-readable JSON instead of text.
@@ -287,6 +296,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             index: index.ok_or("stats needs --index")?,
             json,
         }),
+        "recover" => Ok(Command::Recover {
+            index: index.ok_or("recover needs --index")?,
+            json,
+        }),
         "metrics" => Ok(Command::Metrics {
             index: index.ok_or("metrics needs --index")?,
             json,
@@ -405,6 +418,22 @@ mod tests {
             _ => panic!(),
         }
         assert!(parse(&argv("metrics")).is_err());
+    }
+
+    #[test]
+    fn parses_recover() {
+        assert_eq!(
+            parse(&argv("recover --index d --json")).unwrap(),
+            Command::Recover {
+                index: "d".into(),
+                json: true,
+            }
+        );
+        match parse(&argv("recover --index d")).unwrap() {
+            Command::Recover { json, .. } => assert!(!json),
+            _ => panic!(),
+        }
+        assert!(parse(&argv("recover")).is_err());
     }
 
     #[test]

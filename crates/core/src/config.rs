@@ -1,5 +1,6 @@
 //! Configuration of a [`crate::SegDiffIndex`].
 
+use pagestore::{sync_from_env, DurabilityOptions};
 use sensorgen::HOUR;
 
 /// Parameters of the SegDiff framework.
@@ -19,15 +20,33 @@ pub struct SegDiffConfig {
     pub pool_pages: usize,
     /// Entry bound of the epoch-tagged query result cache.
     pub cache_entries: usize,
+    /// Write-ahead logging: when `true` (the default) every stored segment
+    /// ends in a WAL commit record, so a crash mid-ingest recovers to a
+    /// prefix-consistent index (last committed segment boundary).
+    pub durable: bool,
+    /// Fsync discipline. Defaults to [`sync_from_env`] (`SEGDIFF_SYNC=0`
+    /// turns fsyncs off for benchmarks that only need crash *consistency*
+    /// against process kills, not power failure).
+    pub sync: bool,
+    /// Group commit: fsync the WAL once every this many commit records.
+    pub group_commit: u64,
+    /// Checkpoint the WAL (flush data pages, truncate the log) whenever it
+    /// grows past this many bytes. Bounds replay time after a crash.
+    pub checkpoint_wal_bytes: u64,
 }
 
 impl Default for SegDiffConfig {
     fn default() -> Self {
+        let d = DurabilityOptions::default();
         Self {
             epsilon: 0.2,
             window: 8.0 * HOUR,
             pool_pages: 4096, // 16 MiB
             cache_entries: 256,
+            durable: true,
+            sync: sync_from_env(),
+            group_commit: d.group_commit,
+            checkpoint_wal_bytes: d.checkpoint_wal_bytes,
         }
     }
 }
@@ -72,6 +91,41 @@ impl SegDiffConfig {
         self.cache_entries = entries.max(1);
         self
     }
+
+    /// Enables or disables write-ahead logging.
+    pub fn with_durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
+    /// Enables or disables fsyncs (overrides the `SEGDIFF_SYNC` default).
+    pub fn with_sync(mut self, sync: bool) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Sets the group-commit batch size (min 1).
+    pub fn with_group_commit(mut self, every: u64) -> Self {
+        self.group_commit = every.max(1);
+        self
+    }
+
+    /// Sets the WAL size that triggers an automatic checkpoint.
+    pub fn with_checkpoint_wal_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_wal_bytes = bytes;
+        self
+    }
+
+    /// The [`DurabilityOptions`] this configuration asks the storage engine
+    /// for.
+    pub fn durability(&self) -> DurabilityOptions {
+        DurabilityOptions {
+            wal: self.durable,
+            sync: self.sync,
+            group_commit: self.group_commit,
+            checkpoint_wal_bytes: self.checkpoint_wal_bytes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +160,25 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
         SegDiffConfig::default().with_window(0.0);
+    }
+
+    #[test]
+    fn durability_knobs_map_to_options() {
+        let c = SegDiffConfig::default()
+            .with_durable(true)
+            .with_sync(false)
+            .with_group_commit(0)
+            .with_checkpoint_wal_bytes(1 << 20);
+        let d = c.durability();
+        assert!(d.wal);
+        assert!(!d.sync);
+        assert_eq!(d.group_commit, 1, "group commit clamps to 1");
+        assert_eq!(d.checkpoint_wal_bytes, 1 << 20);
+        assert!(
+            !SegDiffConfig::default()
+                .with_durable(false)
+                .durability()
+                .wal
+        );
     }
 }

@@ -10,7 +10,7 @@ use crate::tables::{
     encode_row, index_specs, table_cols, table_name, DROP_TABLES, JUMP_TABLES, SEGMENTS_TABLE,
 };
 use featurespace::{QueryRegion, SearchKind};
-use pagestore::{Database, Result, Table, TableSpec};
+use pagestore::{Database, RecoveryReport, Result, StoreError, Table, TableSpec};
 use segmentation::{PiecewiseLinear, Segment, SlidingWindowSegmenter};
 use sensorgen::TimeSeries;
 use std::path::{Path, PathBuf};
@@ -69,8 +69,12 @@ impl IngestMetrics {
 
 impl SegDiffIndex {
     /// Creates a new index stored under `dir`.
+    ///
+    /// With `config.durable` (the default) the storage engine write-ahead
+    /// logs every page write; each stored segment then ends in a commit
+    /// record, so a crash mid-ingest recovers to the last completed segment.
     pub fn create(dir: &Path, config: SegDiffConfig) -> Result<Self> {
-        let db = Database::create(dir, config.pool_pages)?;
+        let db = Database::create_with(dir, config.pool_pages, config.durability())?;
         let mk = |db: &Arc<Database>, name: &str, corners: usize| -> Result<Arc<Table>> {
             db.create_table(TableSpec::new(name, &table_cols(corners)))
         };
@@ -89,7 +93,7 @@ impl SegDiffIndex {
             &["t_start", "v_start", "t_end", "v_end"],
         ))?;
         let cache = QueryCache::new(config.cache_entries);
-        Ok(Self {
+        let idx = Self {
             dir: dir.to_path_buf(),
             segmenter: SlidingWindowSegmenter::new(config.epsilon),
             extractor: FeatureExtractor::new(config.epsilon, config.window),
@@ -107,7 +111,15 @@ impl SegDiffIndex {
             metrics: IngestMetrics::new(),
             epoch: AtomicU64::new(0),
             cache,
-        })
+        };
+        // Make the empty index durable right away: a crash after `create`
+        // must reopen cleanly, not leave half a catalog behind.
+        idx.write_meta()?;
+        if idx.db.wal().is_some() {
+            idx.db.commit(idx.meta_text().as_bytes())?;
+            idx.db.flush()?;
+        }
+        Ok(idx)
     }
 
     /// Reopens an index previously persisted with [`SegDiffIndex::finish`].
@@ -118,10 +130,34 @@ impl SegDiffIndex {
     /// further observations continues the online pipeline. (The restart can
     /// split what would have been one trailing segment into two — harmless
     /// for the guarantees, which only require the `ε/2` bound.)
+    ///
+    /// If the storage engine detected an unclean shutdown, its WAL recovery
+    /// has already rolled the tables back to the last commit point; the
+    /// metadata snapshot carried by that commit record then overrides
+    /// `segdiff.meta` (which may be from a different instant) and is written
+    /// back to disk, so the whole index — tables, B+trees, metadata — is one
+    /// consistent prefix of the ingest history.
     pub fn open(dir: &Path, pool_pages: usize) -> Result<Self> {
-        let meta = std::fs::read_to_string(Self::meta_path(dir)).map_err(|_| {
-            pagestore::StoreError::NotFound(format!("segdiff meta in {}", dir.display()))
-        })?;
+        let db = Database::open(dir, pool_pages)?;
+        let unclean = db.recovery_report().is_some_and(|r| !r.clean);
+        let blob_text = db.recovery_report().and_then(|r| {
+            std::str::from_utf8(&r.committed.blob)
+                .ok()
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+        });
+        let disk_meta = std::fs::read_to_string(Self::meta_path(dir)).ok();
+        let (meta, rewrite_meta) = match (unclean, blob_text, disk_meta) {
+            (true, Some(blob), _) => (blob, true),
+            (_, _, Some(text)) => (text, false),
+            (_, Some(blob), None) => (blob, true),
+            (_, None, None) => {
+                return Err(StoreError::NotFound(format!(
+                    "segdiff meta in {}",
+                    dir.display()
+                )))
+            }
+        };
         let mut epsilon = None;
         let mut window = None;
         let mut n_observations = 0u64;
@@ -151,15 +187,15 @@ impl SegDiffIndex {
             }
         }
         let (Some(epsilon), Some(window)) = (epsilon, window) else {
-            return Err(pagestore::StoreError::Corrupt(
+            return Err(StoreError::Corrupt(
                 "segdiff meta is missing epsilon/window".into(),
             ));
         };
         let config = SegDiffConfig::default()
             .with_epsilon(epsilon)
             .with_window(window)
-            .with_pool_pages(pool_pages);
-        let db = Database::open(dir, pool_pages)?;
+            .with_pool_pages(pool_pages)
+            .with_durable(db.wal().is_some());
         let get = |name: &str| db.table(name);
         let drop_tables = [
             get(DROP_TABLES[0])?,
@@ -193,6 +229,9 @@ impl SegDiffIndex {
             epoch: AtomicU64::new(0),
             cache,
         };
+        if rewrite_meta {
+            idx.write_meta()?;
+        }
         // Re-prime the extractor window and re-anchor the segmenter.
         let segments = idx.segments()?;
         idx.n_segments = segments.len() as u64;
@@ -210,10 +249,12 @@ impl SegDiffIndex {
         dir.join("segdiff.meta")
     }
 
-    fn write_meta(&self) -> Result<()> {
+    /// The metadata snapshot as text — the `segdiff.meta` file body, and
+    /// also the application blob carried by every WAL commit record.
+    fn meta_text(&self) -> String {
         let h = &self.drop_hist.counts;
         let j = &self.jump_hist.counts;
-        let text = format!(
+        format!(
             "epsilon {}
 window {}
 n_observations {}
@@ -229,8 +270,21 @@ jump_hist {} {} {}
             j[0],
             j[1],
             j[2],
-        );
-        std::fs::write(Self::meta_path(&self.dir), text)?;
+        )
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        // Atomic replace: a crash mid-write must never leave a truncated
+        // meta file next to good tables.
+        let tmp = self.dir.join("segdiff.meta.tmp");
+        std::fs::write(&tmp, self.meta_text())?;
+        if self.db.durability().sync {
+            std::fs::File::open(&tmp)?.sync_all()?;
+        }
+        std::fs::rename(&tmp, Self::meta_path(&self.dir))?;
+        if self.db.durability().sync {
+            pagestore::wal::sync_dir(&self.dir)?;
+        }
         Ok(())
     }
 
@@ -289,6 +343,11 @@ jump_hist {} {} {}
         if let Some(seg) = self.segmenter.finish() {
             self.store_segment(seg)?;
         }
+        // Commit once more so the checkpoint written by `flush` carries the
+        // final observation count, then persist the meta file.
+        if self.db.wal().is_some() {
+            self.db.commit(self.meta_text().as_bytes())?;
+        }
         self.write_meta()?;
         self.db.flush()
     }
@@ -307,6 +366,11 @@ jump_hist {} {} {}
             self.insert_feature_row(row)?;
         }
         self.rows_buf = rows;
+        // Segment boundaries are the commit points: recovery always lands
+        // on a state where segment, feature, and meta data agree.
+        if self.db.wal().is_some() {
+            self.db.commit(self.meta_text().as_bytes())?;
+        }
         Ok(())
     }
 
@@ -481,6 +545,89 @@ jump_hist {} {} {}
             drop_hist: self.drop_hist,
             jump_hist: self.jump_hist,
         }
+    }
+
+    /// What WAL recovery did when this index was opened, if the storage
+    /// engine detected an unclean shutdown (`None` for a fresh index or a
+    /// non-durable one).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.db.recovery_report()
+    }
+
+    /// LSN of the last WAL checkpoint, if write-ahead logging is on.
+    pub fn last_checkpoint_lsn(&self) -> Option<u64> {
+        self.db.wal().map(|w| w.last_checkpoint_lsn())
+    }
+
+    /// Verifies that the on-disk index is internally consistent — the
+    /// invariant WAL recovery promises to restore.
+    ///
+    /// Two checks, both exact:
+    ///
+    /// 1. The stored segments form an unbroken chain (consecutive segments
+    ///    share their boundary point — the segmenter guarantees this, and
+    ///    recovery truncates whole segments, never splits one).
+    /// 2. Replaying feature extraction over the stored segments reproduces
+    ///    every feature table row for row. Extraction is deterministic and
+    ///    insertion order equals replay order, so any divergence means the
+    ///    tables and the segment log are from different instants.
+    ///
+    /// Returns [`StoreError::Corrupt`] describing the first violation.
+    pub fn verify_consistency(&self) -> Result<()> {
+        let segments = self.segments()?;
+        for w in segments.windows(2) {
+            if w[1].t_start != w[0].t_end || w[1].v_start != w[0].v_end {
+                return Err(StoreError::Corrupt(format!(
+                    "segment chain broken at t={}: segment ends ({}, {}) but next starts ({}, {})",
+                    w[0].t_end, w[0].t_end, w[0].v_end, w[1].t_start, w[1].v_start
+                )));
+            }
+        }
+        let mut replay = FeatureExtractor::new(self.config.epsilon, self.config.window);
+        let mut expected: Vec<Vec<Vec<f64>>> = vec![Vec::new(); 6];
+        let mut rows = Vec::new();
+        let mut colbuf = Vec::new();
+        for seg in &segments {
+            rows.clear();
+            replay.push_segment(*seg, &mut rows);
+            for row in &rows {
+                let corners = row.boundary.len();
+                let slot = match row.kind {
+                    SearchKind::Drop => corners - 1,
+                    SearchKind::Jump => 3 + corners - 1,
+                };
+                encode_row(row, &mut colbuf);
+                expected[slot].push(colbuf.clone());
+            }
+        }
+        for (slot, table) in self
+            .drop_tables
+            .iter()
+            .chain(self.jump_tables.iter())
+            .enumerate()
+        {
+            let want = &expected[slot];
+            let mut i = 0usize;
+            let mut mismatch = false;
+            table.seq_scan(|_, row| {
+                if want.get(i).map(Vec::as_slice) != Some(row) {
+                    mismatch = true;
+                    return false;
+                }
+                i += 1;
+                true
+            })?;
+            if mismatch || i != want.len() {
+                return Err(StoreError::Corrupt(format!(
+                    "feature table {} disagrees with segment replay at row {i} \
+                     ({} stored, {} expected)",
+                    table.name(),
+                    table.num_rows(),
+                    want.len()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The stored segments, in temporal order (used by examples to overlay
@@ -716,6 +863,151 @@ mod tests {
         // And the fresh answer matches an uncached query exactly.
         let (plain, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
         assert_eq!(*after, plain);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_mid_ingest_recovers_prefix_consistent() {
+        let dir = tmpdir("crash");
+        {
+            // group_commit 1: every segment commit is appended, so even
+            // this short series leaves recoverable commit points.
+            let mut idx =
+                SegDiffIndex::create(&dir, SegDiffConfig::default().with_group_commit(1)).unwrap();
+            idx.ingest_series(&drop_series()).unwrap();
+            // No finish(): simulated crash with dirty pages still in the
+            // pool and the trailing segment open.
+        }
+        let mut idx = SegDiffIndex::open(&dir, 4096).unwrap();
+        let report = idx.recovery_report().expect("WAL recovery must run");
+        assert!(!report.clean, "crash must be detected");
+        idx.verify_consistency().unwrap();
+        let segments = idx.segments().unwrap();
+        assert!(!segments.is_empty(), "committed segments survive the crash");
+        let stats = idx.stats();
+        assert!(stats.n_observations > 0, "meta recovered from commit blob");
+        assert_eq!(stats.n_segments, segments.len() as u64);
+        // Ingestion resumes: push the remainder of the series (strictly
+        // after the recovered prefix) and the planted drop is found.
+        let last_t = segments.last().unwrap().t_end;
+        for (t, v) in drop_series().iter().filter(|&(t, _)| t > last_t) {
+            idx.push(t, v).unwrap();
+        }
+        idx.finish().unwrap();
+        idx.verify_consistency().unwrap();
+        let (results, _) = idx
+            .query(&QueryRegion::drop(1.0 * HOUR, -3.0), QueryPlan::SeqScan)
+            .unwrap();
+        assert!(
+            results.iter().any(|p| p.covers(24_000.0, 25_800.0)),
+            "planted drop lost across the crash seam: {results:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_resume_crash_stays_consistent() {
+        // Three crashes with deferred (grouped) commits, mirroring the
+        // crash-harness failure sequence. Crash 2 leaves heap files
+        // extended past the durable tail with a *clean* log (all of its
+        // commits were deferred), so no recovery truncation repairs the
+        // files before crash 3's run appends. That run must append into
+        // the leftover pages, or crash 3's logical truncation chops off
+        // the rows that landed past the gap of empty pages.
+        let dir = tmpdir("crashseam");
+        // A zigzag makes the segmenter emit a steady stream of short
+        // segments, so commits cross several groups of 32.
+        let mut series = TimeSeries::new();
+        for i in 0..400 {
+            let t = i as f64 * 300.0;
+            let v = (i % 8) as f64 * 0.7;
+            series.push(t, v);
+        }
+        let resume = |idx: &mut SegDiffIndex, take: usize| {
+            let last_t = idx.segments().unwrap().last().map_or(-1.0, |s| s.t_end);
+            for (t, v) in series.iter().filter(|&(t, _)| t > last_t).take(take) {
+                idx.push(t, v).unwrap();
+            }
+        };
+        {
+            // Crash 1: crosses a commit group, so the next open recovers.
+            let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+            resume(&mut idx, 200);
+        }
+        {
+            // Crash 2: every commit of this run stays deferred (fewer
+            // than 32 segments), but rows were appended and pages
+            // allocated — the files end up extended past the durable
+            // tail while the log stays clean.
+            let mut idx = SegDiffIndex::open(&dir, 4096).unwrap();
+            idx.verify_consistency().unwrap();
+            resume(&mut idx, 60);
+        }
+        {
+            // Crash 3: resumes from a clean log over the extended files
+            // and crosses at least one commit group.
+            let mut idx = SegDiffIndex::open(&dir, 4096).unwrap();
+            assert!(
+                idx.recovery_report().is_some_and(|r| r.clean),
+                "crash 2 must leave a clean log for the gap to persist"
+            );
+            idx.verify_consistency().unwrap();
+            resume(&mut idx, usize::MAX);
+        }
+        let idx = SegDiffIndex::open(&dir, 4096).unwrap();
+        idx.verify_consistency().unwrap();
+        assert!(!idx.segments().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_finish_reopens_clean_with_exact_counts() {
+        let dir = tmpdir("cleanreopen");
+        {
+            let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+            idx.ingest_series(&drop_series()).unwrap();
+            idx.finish().unwrap();
+        }
+        let idx = SegDiffIndex::open(&dir, 4096).unwrap();
+        assert!(
+            idx.recovery_report().unwrap().clean,
+            "finish() is a clean shutdown"
+        );
+        assert!(idx.last_checkpoint_lsn().is_some(), "reopen keeps WAL mode");
+        assert_eq!(
+            idx.stats().n_observations,
+            200,
+            "final commit carries the exact count"
+        );
+        idx.verify_consistency().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_durable_index_skips_wal() {
+        let dir = tmpdir("nowal");
+        let mut idx =
+            SegDiffIndex::create(&dir, SegDiffConfig::default().with_durable(false)).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        assert!(idx.last_checkpoint_lsn().is_none());
+        assert!(!dir.join("wal.log").exists());
+        idx.verify_consistency().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_consistency_detects_divergence() {
+        let dir = tmpdir("diverge");
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.ingest_series(&drop_series()).unwrap();
+        idx.finish().unwrap();
+        // Forge an extra segment row the extractor never saw.
+        idx.segments_table.insert(&[1e9, 0.0, 2e9, -5.0]).unwrap();
+        assert!(matches!(
+            idx.verify_consistency(),
+            Err(pagestore::StoreError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

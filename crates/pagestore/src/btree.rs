@@ -87,6 +87,27 @@ impl BTree {
         Ok(t)
     }
 
+    /// True when the file at `path` plausibly holds a finished tree:
+    /// page-aligned, non-empty, tree magic on the meta page. B+trees are
+    /// unlogged and rebuildable, so [`crate::Database::open`] uses this
+    /// to tell a usable index apart from one a crash left torn (typically
+    /// all zeros: pages allocated, cached writes never flushed) and
+    /// silently rebuilds the latter instead of failing the open.
+    pub(crate) fn file_is_valid(path: &std::path::Path) -> bool {
+        use std::io::Read;
+        let Ok(meta) = std::fs::metadata(path) else {
+            return false;
+        };
+        if meta.len() == 0 || meta.len() % PAGE_SIZE as u64 != 0 {
+            return false;
+        }
+        let Ok(mut f) = std::fs::File::open(path) else {
+            return false;
+        };
+        let mut magic = [0u8; 4];
+        f.read_exact(&mut magic).is_ok() && u32::from_le_bytes(magic) == MAGIC
+    }
+
     /// Opens an existing tree in file `fid`.
     pub fn open(pool: Arc<BufferPool>, fid: FileId) -> Result<Self> {
         let (magic, kw, root, height, count) = pool.with_page(fid, META_PAGE, |b| {

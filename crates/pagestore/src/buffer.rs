@@ -10,9 +10,12 @@
 use crate::error::Result;
 use crate::page::PageBuf;
 use crate::pagefile::{FileId, PageFile, PageId};
+use crate::wal::Wal;
 use crate::PAGE_SIZE;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Cumulative buffer-pool counters.
 ///
@@ -101,7 +104,19 @@ struct Frame {
     key: (FileId, PageId),
     buf: PageBuf,
     dirty: bool,
+    /// Whether the current dirty contents have been appended to the WAL.
+    /// Cleared on every mutation, set by the WAL-before-data append.
+    logged: bool,
     referenced: bool,
+}
+
+/// A registered file plus its durability identity. Files registered with
+/// a `wal_name` have their dirty pages logged (WAL-before-data) before
+/// any writeback; files without one (B+tree indexes, plain-pool users)
+/// are written back directly.
+struct FileEntry {
+    file: Mutex<PageFile>,
+    wal_name: Option<String>,
 }
 
 /// One lock stripe: an independent frame table with its own clock hand.
@@ -140,8 +155,14 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// safe for concurrent use from many threads; see the module docs for the
 /// striping design.
 pub struct BufferPool {
-    files: RwLock<Vec<Mutex<PageFile>>>,
+    files: RwLock<Vec<FileEntry>>,
     shards: Vec<Mutex<Shard>>,
+    /// When attached, dirty pages of WAL-named files are appended to the
+    /// log before every writeback (flush and eviction alike).
+    wal: RwLock<Option<Arc<Wal>>>,
+    /// Whether flushes end in `fsync` (true) or only drain userspace
+    /// buffers (false, the test/bench escape hatch).
+    sync: AtomicBool,
     metrics: PoolMetrics,
     shard_metrics: Vec<PoolMetrics>,
 }
@@ -179,6 +200,8 @@ impl BufferPool {
         Self {
             files: RwLock::new(Vec::new()),
             shards,
+            wal: RwLock::new(None),
+            sync: AtomicBool::new(true),
             metrics: PoolMetrics::global(),
             shard_metrics,
         }
@@ -190,27 +213,51 @@ impl BufferPool {
     }
 
     /// Registers a file; all subsequent access uses the returned id.
+    /// The file's pages are *not* WAL-logged; see
+    /// [`BufferPool::register_file_named`].
     pub fn register_file(&self, file: PageFile) -> FileId {
+        self.register_file_named(file, None)
+    }
+
+    /// Registers a file with a durability identity: when `wal_name` is
+    /// `Some` and a WAL is attached, every dirty page of this file is
+    /// appended to the log (under that name) before it is written back.
+    pub fn register_file_named(&self, file: PageFile, wal_name: Option<String>) -> FileId {
         let mut files = self.files.write();
-        files.push(Mutex::new(file));
+        files.push(FileEntry {
+            file: Mutex::new(file),
+            wal_name,
+        });
         (files.len() - 1) as FileId
+    }
+
+    /// Attaches the write-ahead log enforcing WAL-before-data on
+    /// writeback of WAL-named files.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        *self.wal.write() = Some(wal);
+    }
+
+    /// Sets whether flushes fsync the files (default) or stop at
+    /// draining userspace buffers.
+    pub fn set_sync(&self, sync: bool) {
+        self.sync.store(sync, Ordering::Release);
     }
 
     /// Number of pages currently allocated in file `fid`.
     pub fn file_pages(&self, fid: FileId) -> u32 {
-        self.files.read()[fid as usize].lock().num_pages()
+        self.files.read()[fid as usize].file.lock().num_pages()
     }
 
     /// On-disk size of file `fid` in bytes.
     pub fn file_size_bytes(&self, fid: FileId) -> u64 {
-        self.files.read()[fid as usize].lock().size_bytes()
+        self.files.read()[fid as usize].file.lock().size_bytes()
     }
 
     /// Appends a zeroed page to file `fid` and returns its id. The page is
     /// installed in the pool as a clean frame (no physical read needed).
     pub fn allocate_page(&self, fid: FileId) -> Result<PageId> {
         let files = self.files.read();
-        let pid = files[fid as usize].lock().allocate()?;
+        let pid = files[fid as usize].file.lock().allocate()?;
         let si = shard_for(self.shards.len(), fid, pid);
         let mut shard = self.shards[si].lock();
         shard.stats.physical_writes += 1; // the zero-fill write
@@ -248,6 +295,7 @@ impl BufferPool {
         let mut shard = self.shards[si].lock();
         let frame = self.frame_for(&mut shard, si, &files, fid, pid, true)?;
         shard.frames[frame].dirty = true;
+        shard.frames[frame].logged = false;
         Ok(f(shard.frames[frame].buf.bytes_mut()))
     }
 
@@ -263,15 +311,43 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Writes every dirty frame back to its file.
+    /// Writes every dirty frame back to its file, then syncs the files
+    /// (a real `fsync` unless [`BufferPool::set_sync`] opted out).
     pub fn flush_all(&self) -> Result<()> {
         let files = self.files.read();
         for (si, s) in self.shards.iter().enumerate() {
             let mut shard = s.lock();
             self.flush_shard(&mut shard, si, &files)?;
         }
-        for f in files.iter() {
-            f.lock().sync()?;
+        self.sync_files(&files)
+    }
+
+    /// Writes the dirty frames of one file back and syncs just that
+    /// file. Used where something else must not reach disk before the
+    /// file's contents do (e.g. the catalog line naming a freshly built
+    /// B+tree).
+    pub fn flush_file(&self, fid: FileId) -> Result<()> {
+        let files = self.files.read();
+        for (si, s) in self.shards.iter().enumerate() {
+            let mut shard = s.lock();
+            for i in 0..shard.frames.len() {
+                if shard.frames[i].dirty && shard.frames[i].key.0 == fid {
+                    self.log_before_write(&files, &mut shard.frames[i])?;
+                    let (fid, pid) = shard.frames[i].key;
+                    let buf = shard.frames[i].buf.bytes();
+                    files[fid as usize].file.lock().write_page(pid, buf)?;
+                    shard.frames[i].dirty = false;
+                    shard.stats.physical_writes += 1;
+                    self.metrics.physical_writes.inc();
+                    self.shard_metrics[si].physical_writes.inc();
+                }
+            }
+        }
+        let mut file = files[fid as usize].file.lock();
+        if self.sync.load(Ordering::Acquire) {
+            file.sync_all()?;
+        } else {
+            file.sync()?;
         }
         Ok(())
     }
@@ -287,8 +363,60 @@ impl BufferPool {
             shard.frames.clear();
             shard.hand = 0;
         }
+        self.sync_files(&files)
+    }
+
+    /// Appends the image of every dirty-but-unlogged page of every
+    /// WAL-named file to the attached log (commit preparation). Returns
+    /// the number of images appended. A no-op without an attached WAL.
+    pub fn log_dirty_pages(&self) -> Result<u64> {
+        let files = self.files.read();
+        let Some(wal) = self.wal.read().clone() else {
+            return Ok(0);
+        };
+        let mut logged = 0u64;
+        for s in self.shards.iter() {
+            let mut shard = s.lock();
+            for frame in shard.frames.iter_mut() {
+                if frame.dirty && !frame.logged {
+                    if let Some(name) = &files[frame.key.0 as usize].wal_name {
+                        wal.append_image(name, frame.key.1, frame.buf.bytes())?;
+                        frame.logged = true;
+                        logged += 1;
+                    }
+                }
+            }
+        }
+        Ok(logged)
+    }
+
+    fn sync_files(&self, files: &[FileEntry]) -> Result<()> {
+        let fsync = self.sync.load(Ordering::Acquire);
         for f in files.iter() {
-            f.lock().sync()?;
+            let mut file = f.file.lock();
+            if fsync {
+                file.sync_all()?;
+            } else {
+                file.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// WAL-before-data: appends the frame's image to the log if its file
+    /// is WAL-named and the current contents are not yet logged. Called
+    /// on every writeback path (flush and eviction).
+    fn log_before_write(&self, files: &[FileEntry], frame: &mut Frame) -> Result<()> {
+        if frame.logged {
+            return Ok(());
+        }
+        if let Some(name) = &files[frame.key.0 as usize].wal_name {
+            // Clone the handle so no pool lock is held while appending.
+            let wal = self.wal.read().clone();
+            if let Some(wal) = wal {
+                wal.append_image(name, frame.key.1, frame.buf.bytes())?;
+                frame.logged = true;
+            }
         }
         Ok(())
     }
@@ -315,12 +443,13 @@ impl BufferPool {
         }
     }
 
-    fn flush_shard(&self, shard: &mut Shard, si: usize, files: &[Mutex<PageFile>]) -> Result<()> {
+    fn flush_shard(&self, shard: &mut Shard, si: usize, files: &[FileEntry]) -> Result<()> {
         for i in 0..shard.frames.len() {
             if shard.frames[i].dirty {
+                self.log_before_write(files, &mut shard.frames[i])?;
                 let (fid, pid) = shard.frames[i].key;
                 let buf = shard.frames[i].buf.bytes();
-                files[fid as usize].lock().write_page(pid, buf)?;
+                files[fid as usize].file.lock().write_page(pid, buf)?;
                 shard.frames[i].dirty = false;
                 shard.stats.physical_writes += 1;
                 self.metrics.physical_writes.inc();
@@ -339,7 +468,7 @@ impl BufferPool {
         &self,
         shard: &mut Shard,
         si: usize,
-        files: &[Mutex<PageFile>],
+        files: &[FileEntry],
         fid: FileId,
         pid: PageId,
         load: bool,
@@ -359,6 +488,7 @@ impl BufferPool {
                 key: (fid, pid),
                 buf: PageBuf::zeroed(),
                 dirty: false,
+                logged: false,
                 referenced: true,
             });
             shard.frames.len() - 1
@@ -366,8 +496,9 @@ impl BufferPool {
             let victim = clock_victim(shard);
             let old = shard.frames[victim].key;
             if shard.frames[victim].dirty {
+                self.log_before_write(files, &mut shard.frames[victim])?;
                 let buf = shard.frames[victim].buf.bytes();
-                files[old.0 as usize].lock().write_page(old.1, buf)?;
+                files[old.0 as usize].file.lock().write_page(old.1, buf)?;
                 shard.stats.physical_writes += 1;
                 self.metrics.physical_writes.inc();
                 self.shard_metrics[si].physical_writes.inc();
@@ -378,12 +509,13 @@ impl BufferPool {
             self.shard_metrics[si].evictions.inc();
             shard.frames[victim].key = (fid, pid);
             shard.frames[victim].dirty = false;
+            shard.frames[victim].logged = false;
             shard.frames[victim].referenced = true;
             victim
         };
         if load {
             let buf = shard.frames[i].buf.bytes_mut();
-            files[fid as usize].lock().read_page(pid, buf)?;
+            files[fid as usize].file.lock().read_page(pid, buf)?;
             shard.stats.physical_reads += 1;
             self.metrics.physical_reads.inc();
             self.shard_metrics[si].physical_reads.inc();

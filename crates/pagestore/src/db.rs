@@ -5,8 +5,10 @@ use crate::btree::BTree;
 use crate::buffer::{BufferPool, PoolStats};
 use crate::error::Result;
 use crate::heap::HeapFile;
-use crate::pagefile::PageFile;
+use crate::pagefile::{FileId, PageFile};
+use crate::recovery::{self, RecoveryReport};
 use crate::table::Table;
+use crate::wal::{sync_dir, CommitState, Wal, WAL_FILE};
 use crate::StoreError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -15,6 +17,57 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const CATALOG: &str = "catalog.txt";
+
+/// Reads the `SEGDIFF_SYNC` escape hatch: `0`/`false`/`off` disables
+/// fsync discipline process-wide (tests and benches on throwaway data).
+pub fn sync_from_env() -> bool {
+    !matches!(
+        std::env::var("SEGDIFF_SYNC").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
+}
+
+/// Durability configuration of a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Write-ahead logging + commit points. Off by default so plain
+    /// [`Database::create`] keeps its historical behaviour; the SegDiff
+    /// index layer turns it on.
+    pub wal: bool,
+    /// Fsync discipline: when false, flushes stop at draining userspace
+    /// buffers (crash-unsafe, but fast for tests/benches). Defaults to
+    /// the `SEGDIFF_SYNC` environment hatch (on unless set to `0`).
+    pub sync: bool,
+    /// Group commit: dirty page images and one commit record are
+    /// appended to the log (and fsynced, in sync mode) on every Nth
+    /// [`Database::commit`]; the intermediate commits cost no I/O and
+    /// are folded into the next batch, flush, or checkpoint. `1` makes
+    /// every commit point immediately recoverable.
+    pub group_commit: u64,
+    /// Auto-checkpoint once the log outgrows this many bytes.
+    pub checkpoint_wal_bytes: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            wal: false,
+            sync: sync_from_env(),
+            group_commit: 32,
+            checkpoint_wal_bytes: 16 << 20,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// The fully durable configuration: WAL on, defaults elsewhere.
+    pub fn durable() -> Self {
+        Self {
+            wal: true,
+            ..Self::default()
+        }
+    }
+}
 
 /// Declares a table to be created: name plus column names.
 #[derive(Debug, Clone)]
@@ -35,19 +88,41 @@ impl TableSpec {
     }
 }
 
-/// A directory-backed database: catalog + shared buffer pool.
+/// A directory-backed database: catalog + shared buffer pool, with an
+/// optional write-ahead log providing crash recovery to commit points.
 pub struct Database {
     dir: PathBuf,
     pool: Arc<BufferPool>,
     tables: Mutex<HashMap<String, Arc<Table>>>,
     /// Catalog lines for persistence, in creation order.
     catalog: Mutex<Vec<String>>,
+    opts: DurabilityOptions,
+    wal: Option<Arc<Wal>>,
+    /// The application blob of the last commit (re-logged by checkpoints).
+    last_blob: Mutex<Vec<u8>>,
+    /// Commits deferred since the last appended commit record (group
+    /// commit batches both the page images and the record itself).
+    pending_commits: Mutex<u64>,
+    /// What recovery did when this handle was opened (None for `create`).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Database {
     /// Creates a fresh database in `dir` (created if missing; an existing
-    /// catalog there is an error) with a pool of `pool_pages` pages.
+    /// catalog there is an error) with a pool of `pool_pages` pages and
+    /// default durability (no WAL, fsync on flush).
     pub fn create(dir: &Path, pool_pages: usize) -> Result<Arc<Self>> {
+        Self::create_with(dir, pool_pages, DurabilityOptions::default())
+    }
+
+    /// Creates a fresh database with explicit durability options. With
+    /// `opts.wal`, the directory immediately holds a log whose initial
+    /// checkpoint makes even the empty database recoverable.
+    pub fn create_with(
+        dir: &Path,
+        pool_pages: usize,
+        opts: DurabilityOptions,
+    ) -> Result<Arc<Self>> {
         fs::create_dir_all(dir)?;
         let cat = dir.join(CATALOG);
         if cat.exists() {
@@ -57,32 +132,85 @@ impl Database {
             )));
         }
         fs::write(&cat, "")?;
+        let pool = Arc::new(BufferPool::new(pool_pages));
+        pool.set_sync(opts.sync);
+        let wal = if opts.wal {
+            // Cadence 1: group commit batches at the Database level (see
+            // [`Database::commit`]), so every appended record is already
+            // a whole group.
+            let wal = Arc::new(Wal::create(dir, &CommitState::default(), opts.sync, 1)?);
+            pool.attach_wal(Arc::clone(&wal));
+            Some(wal)
+        } else {
+            None
+        };
+        if opts.sync {
+            sync_dir(dir)?;
+        }
         Ok(Arc::new(Self {
             dir: dir.to_path_buf(),
-            pool: Arc::new(BufferPool::new(pool_pages)),
+            pool,
             tables: Mutex::new(HashMap::new()),
             catalog: Mutex::new(Vec::new()),
+            opts,
+            wal,
+            last_blob: Mutex::new(Vec::new()),
+            pending_commits: Mutex::new(0),
+            recovery: None,
         }))
     }
 
-    /// Opens an existing database.
+    /// Opens an existing database with default durability options.
+    ///
+    /// If the directory holds a `wal.log`, crash recovery runs first and
+    /// WAL mode stays on regardless of the options — a logged database
+    /// cannot silently degrade to an unlogged one.
     pub fn open(dir: &Path, pool_pages: usize) -> Result<Arc<Self>> {
+        Self::open_with(dir, pool_pages, DurabilityOptions::default())
+    }
+
+    /// Opens an existing database with explicit durability options; see
+    /// [`Database::open`] for the recovery behaviour.
+    pub fn open_with(dir: &Path, pool_pages: usize, opts: DurabilityOptions) -> Result<Arc<Self>> {
+        let wal_exists = dir.join(WAL_FILE).exists();
+        let report = if wal_exists {
+            Some(recovery::recover(dir)?)
+        } else {
+            None
+        };
+        let wal_mode = wal_exists || opts.wal;
+
         let cat_path = dir.join(CATALOG);
         let text = fs::read_to_string(&cat_path)
             .map_err(|_| StoreError::NotFound(format!("database at {}", dir.display())))?;
-        let db = Arc::new(Self {
+        let mut db = Self {
             dir: dir.to_path_buf(),
             pool: Arc::new(BufferPool::new(pool_pages)),
             tables: Mutex::new(HashMap::new()),
             catalog: Mutex::new(Vec::new()),
-        });
+            opts,
+            wal: None,
+            last_blob: Mutex::new(
+                report
+                    .as_ref()
+                    .map(|r| r.committed.blob.clone())
+                    .unwrap_or_default(),
+            ),
+            pending_commits: Mutex::new(0),
+            recovery: report,
+        };
+        db.pool.set_sync(db.opts.sync);
+        let mut rebuilt_indexes = false;
         for line in text.lines() {
             let parts: Vec<&str> = line.split_whitespace().collect();
             match parts.as_slice() {
                 ["table", name, cols] => {
                     let cols: Vec<String> = cols.split(',').map(|s| s.to_string()).collect();
                     let path = db.table_path(name);
-                    let fid = db.pool.register_file(PageFile::open(&path)?);
+                    let wal_name = wal_mode.then(|| format!("{name}.tbl"));
+                    let fid = db
+                        .pool
+                        .register_file_named(PageFile::open(&path)?, wal_name);
                     let heap = HeapFile::open(db.pool.clone(), fid)?;
                     if heap.ncols() != cols.len() {
                         return Err(StoreError::Corrupt(format!(
@@ -97,12 +225,27 @@ impl Database {
                 ["index", tname, iname, cols] => {
                     let cols: Vec<usize> = cols
                         .split(',')
-                        .map(|s| s.parse().expect("catalog column index"))
-                        .collect();
+                        .map(|s| {
+                            s.parse().map_err(|_| {
+                                StoreError::Corrupt(format!("bad catalog column index: {line}"))
+                            })
+                        })
+                        .collect::<Result<_>>()?;
                     let table = db.table(tname)?;
                     let path = db.index_path(tname, iname);
-                    let fid = db.pool.register_file(PageFile::open(&path)?);
-                    let tree = BTree::open(db.pool.clone(), fid)?;
+                    let tree = if BTree::file_is_valid(&path) {
+                        let fid = db.pool.register_file(PageFile::open(&path)?);
+                        BTree::open(db.pool.clone(), fid)?
+                    } else {
+                        // The file is missing (recovery dropped the
+                        // unlogged B+tree) or torn (a crash caught the
+                        // build before its pages were flushed); rebuild
+                        // it from the recovered heap with the same
+                        // deterministic bulk load that created it.
+                        let fid = db.pool.register_file(PageFile::create(&path)?);
+                        rebuilt_indexes = true;
+                        db.bulk_build_tree(&table, fid, &cols)?
+                    };
                     table.attach_index(iname.to_string(), cols, tree);
                 }
                 [] => {}
@@ -111,6 +254,31 @@ impl Database {
                 }
             }
             db.catalog.lock().push(line.to_string());
+        }
+
+        if wal_mode {
+            // Cadence 1: group commit batches at the Database level, so
+            // every record the log does see is already a whole group and
+            // must be fsynced.
+            let wal = if dir.join(WAL_FILE).exists() {
+                Wal::open(dir, db.opts.sync, 1)?
+            } else {
+                // A legacy (unlogged) database upgraded in place: start
+                // the log with a checkpoint of the current row counts.
+                Wal::create(dir, &db.current_state(), db.opts.sync, 1)?
+            };
+            let wal = Arc::new(wal);
+            db.pool.attach_wal(Arc::clone(&wal));
+            db.wal = Some(wal);
+        }
+
+        let db = Arc::new(db);
+        // After an unclean recovery (or an index rebuild), checkpoint:
+        // the recovered state becomes durable in the data files and the
+        // replayed log truncates back to a single checkpoint record.
+        let unclean = db.recovery.as_ref().is_some_and(|r| !r.clean);
+        if unclean || rebuilt_indexes {
+            db.checkpoint()?;
         }
         Ok(db)
     }
@@ -123,9 +291,16 @@ impl Database {
         self.dir.join(format!("{table}.{index}.idx"))
     }
 
+    /// Atomic catalog rewrite: temp file + rename + directory fsync, so
+    /// a crash mid-write leaves the old or the new catalog, never a mix.
     fn persist_catalog(&self) -> Result<()> {
         let text = self.catalog.lock().join("\n");
-        fs::write(self.dir.join(CATALOG), text)?;
+        let tmp = self.dir.join("catalog.txt.tmp");
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.dir.join(CATALOG))?;
+        if self.opts.sync {
+            sync_dir(&self.dir)?;
+        }
         Ok(())
     }
 
@@ -136,7 +311,13 @@ impl Database {
             return Err(StoreError::AlreadyExists(format!("table {}", spec.name)));
         }
         let path = self.table_path(&spec.name);
-        let fid = self.pool.register_file(PageFile::create(&path)?);
+        let wal_name = self.wal.is_some().then(|| format!("{}.tbl", spec.name));
+        let fid = self
+            .pool
+            .register_file_named(PageFile::create(&path)?, wal_name);
+        if self.opts.sync {
+            sync_dir(&self.dir)?;
+        }
         let heap = HeapFile::create(self.pool.clone(), fid, spec.cols.len())?;
         let table = Arc::new(Table::new(spec.name.clone(), spec.cols.clone(), heap));
         tables.insert(spec.name.clone(), table.clone());
@@ -163,8 +344,29 @@ impl Database {
             .collect::<Result<_>>()?;
         let path = self.index_path(table_name, index_name);
         let fid = self.pool.register_file(PageFile::create(&path)?);
-        // Bulk-load existing rows (sorted once, leaves written left to
-        // right) instead of inserting them one by one.
+        if self.opts.sync {
+            sync_dir(&self.dir)?;
+        }
+        let tree = self.bulk_build_tree(&table, fid, &col_idx)?;
+        // The tree's pages must reach disk before the catalog names it:
+        // B+trees are unlogged, so a crash between the two would leave a
+        // cataloged index whose file is still unwritten zeros.
+        self.pool.flush_file(fid)?;
+        table.attach_index(index_name.to_string(), col_idx.clone(), tree);
+        let cols_text: Vec<String> = col_idx.iter().map(|c| c.to_string()).collect();
+        self.catalog.lock().push(format!(
+            "index {table_name} {index_name} {}",
+            cols_text.join(",")
+        ));
+        self.persist_catalog()?;
+        Ok(())
+    }
+
+    /// Bulk-loads a B+tree over `col_idx` from the table's current rows
+    /// (sorted once, leaves written left to right). Deterministic for a
+    /// given heap, which is what makes post-recovery index rebuilds
+    /// byte-equivalent to the trees they replace.
+    fn bulk_build_tree(&self, table: &Arc<Table>, fid: FileId, col_idx: &[usize]) -> Result<BTree> {
         let mut entries: Vec<(Vec<u8>, u64)> = Vec::with_capacity(table.num_rows() as usize);
         {
             let mut key = crate::encode::KeyBuf::new();
@@ -178,21 +380,93 @@ impl Database {
             })?;
         }
         entries.sort();
-        let tree = BTree::bulk_load(
+        BTree::bulk_load(
             self.pool.clone(),
             fid,
             col_idx.len() * 8 + 8,
             entries.iter().map(|(k, v)| (k.as_slice(), *v)),
-        )?;
-        drop(entries);
-        table.attach_index(index_name.to_string(), col_idx.clone(), tree);
-        let cols_text: Vec<String> = col_idx.iter().map(|c| c.to_string()).collect();
-        self.catalog.lock().push(format!(
-            "index {table_name} {index_name} {}",
-            cols_text.join(",")
-        ));
-        self.persist_catalog()?;
+        )
+    }
+
+    /// The current per-table row counts plus the last commit blob — the
+    /// state a commit or checkpoint record pins down. Tables are sorted
+    /// by name so record bytes are deterministic.
+    fn current_state(&self) -> CommitState {
+        let mut tables: Vec<(String, u64)> = self
+            .tables
+            .lock()
+            .values()
+            .map(|t| (t.name().to_string(), t.num_rows()))
+            .collect();
+        tables.sort();
+        CommitState {
+            tables,
+            blob: self.last_blob.lock().clone(),
+        }
+    }
+
+    /// Commits: declares the current state (per-table row counts plus
+    /// `blob`, opaque application metadata returned by recovery) an
+    /// application-consistent point. On every `group_commit`-th call the
+    /// dirty pages of logged files are appended to the WAL followed by
+    /// one commit record, and the log is fsynced (in sync mode);
+    /// intermediate commits cost no I/O and become recoverable at the
+    /// next batch, flush, or checkpoint. An oversized log
+    /// auto-checkpoints.
+    ///
+    /// Without a WAL this only retains `blob` in memory — durability
+    /// then comes from [`Database::flush`] alone.
+    pub fn commit(&self, blob: &[u8]) -> Result<()> {
+        *self.last_blob.lock() = blob.to_vec();
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        {
+            let mut pending = self.pending_commits.lock();
+            *pending += 1;
+            if *pending < self.opts.group_commit {
+                return Ok(());
+            }
+            *pending = 0;
+        }
+        self.pool.log_dirty_pages()?;
+        wal.append_commit(&self.current_state())?;
+        if wal.size_bytes() > self.opts.checkpoint_wal_bytes {
+            self.checkpoint()?;
+        }
         Ok(())
+    }
+
+    /// Fuzzy checkpoint: flushes and fsyncs all data files, then
+    /// atomically truncates the log to a single checkpoint record of the
+    /// current state (which subsumes any commits still deferred by group
+    /// commit). Replay after a crash restarts from here.
+    pub fn checkpoint(&self) -> Result<()> {
+        for t in self.tables.lock().values() {
+            t.sync_meta()?;
+        }
+        self.pool.flush_all()?;
+        if let Some(wal) = &self.wal {
+            wal.checkpoint(&self.current_state())?;
+        }
+        *self.pending_commits.lock() = 0;
+        Ok(())
+    }
+
+    /// The write-ahead log, when this database runs with one.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// What recovery did when this handle was opened (None when opened
+    /// without a log, or freshly created).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The durability options this database runs with.
+    pub fn durability(&self) -> &DurabilityOptions {
+        &self.opts
     }
 
     /// Looks up a table.
@@ -214,8 +488,13 @@ impl Database {
         &self.pool
     }
 
-    /// Writes all metadata and dirty pages to disk.
+    /// Writes all metadata and dirty pages to disk, ending in `fsync`
+    /// (unless the sync escape hatch is off). With a WAL this is a full
+    /// checkpoint, so a clean shutdown leaves a checkpoint-only log.
     pub fn flush(&self) -> Result<()> {
+        if self.wal.is_some() {
+            return self.checkpoint();
+        }
         for t in self.tables.lock().values() {
             t.sync_meta()?;
         }
@@ -356,6 +635,204 @@ mod tests {
             cold.physical_reads,
             warm.physical_reads
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// WAL on, every commit point immediately recoverable (no group
+    /// commit deferral) — what the per-commit recovery tests need.
+    fn durable_every_commit() -> DurabilityOptions {
+        DurabilityOptions {
+            group_commit: 1,
+            ..DurabilityOptions::durable()
+        }
+    }
+
+    #[test]
+    fn wal_recovers_to_last_commit() {
+        let dir = tmpdir("walcommit");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = Database::create_with(&dir, 128, durable_every_commit()).unwrap();
+            let t = db.create_table(TableSpec::new("ev", &["a", "b"])).unwrap();
+            for i in 0..1000 {
+                t.insert(&[i as f64, -(i as f64)]).unwrap();
+            }
+            db.commit(b"state-at-1000").unwrap();
+            // Uncommitted tail: must vanish on recovery.
+            for i in 1000..1400 {
+                t.insert(&[i as f64, 0.0]).unwrap();
+            }
+            // Dropped without flush: a simulated crash.
+        }
+        let db = Database::open(&dir, 128).unwrap();
+        let report = db.recovery_report().expect("recovery ran").clone();
+        assert!(!report.clean, "crash must be detected");
+        assert_eq!(report.committed.blob, b"state-at-1000");
+        let t = db.table("ev").unwrap();
+        assert_eq!(t.num_rows(), 1000, "uncommitted rows truncated");
+        let mut n = 0u64;
+        t.seq_scan(|_, row| {
+            assert_eq!(row[1], -row[0]);
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 1000);
+        // The post-recovery checkpoint leaves a clean log.
+        drop(db);
+        let db = Database::open(&dir, 128).unwrap();
+        assert!(db.recovery_report().unwrap().clean);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_rebuilds_dropped_btrees() {
+        let dir = tmpdir("walidx");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = Database::create_with(&dir, 128, durable_every_commit()).unwrap();
+            let t = db.create_table(TableSpec::new("ev", &["x"])).unwrap();
+            for i in 0..500 {
+                t.insert(&[i as f64]).unwrap();
+            }
+            db.create_index("ev", "by_x", &["x"]).unwrap();
+            db.commit(&[]).unwrap();
+            db.flush().unwrap();
+            // More rows after the checkpoint, committed but not flushed.
+            for i in 500..800 {
+                t.insert(&[i as f64]).unwrap();
+            }
+            db.commit(&[]).unwrap();
+        }
+        let db = Database::open(&dir, 128).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(!report.clean);
+        assert!(report.dropped_indexes >= 1, "stale B+tree dropped");
+        let t = db.table("ev").unwrap();
+        assert_eq!(t.num_rows(), 800);
+        let mut hits = 0;
+        t.index_scan("by_x", &[600.0], &[699.0], |_, _| {
+            hits += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(hits, 100, "rebuilt index sees recovered rows");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_index_file_is_rebuilt_on_open() {
+        let dir = tmpdir("tornidx");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = Database::create(&dir, 128).unwrap();
+            let t = db.create_table(TableSpec::new("ev", &["x"])).unwrap();
+            for i in 0..300 {
+                t.insert(&[i as f64]).unwrap();
+            }
+            db.create_index("ev", "by_x", &["x"]).unwrap();
+            db.commit(&[]).unwrap();
+            db.flush().unwrap();
+        }
+        // Simulate a SIGKILL that caught `create_index` after the catalog
+        // named the tree but before its cached pages were flushed: the
+        // file exists at full size but holds only the zeros `allocate`
+        // wrote. The log is clean, so WAL recovery won't repair this —
+        // open itself has to notice and rebuild.
+        let idx = dir.join("ev.by_x.idx");
+        let len = std::fs::metadata(&idx).unwrap().len();
+        std::fs::write(&idx, vec![0u8; len as usize]).unwrap();
+        let db = Database::open(&dir, 128).unwrap();
+        let t = db.table("ev").unwrap();
+        let mut hits = 0;
+        t.index_scan("by_x", &[100.0], &[199.0], |_, _| {
+            hits += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(hits, 100, "torn index rebuilt from the heap");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_table_is_pruned_on_recovery() {
+        let dir = tmpdir("walprune");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = Database::create_with(&dir, 128, durable_every_commit()).unwrap();
+            let t = db.create_table(TableSpec::new("keep", &["x"])).unwrap();
+            t.insert(&[1.0]).unwrap();
+            db.commit(&[]).unwrap();
+            let t2 = db.create_table(TableSpec::new("gone", &["y"])).unwrap();
+            t2.insert(&[2.0]).unwrap();
+            // Crash before the next commit.
+        }
+        let db = Database::open(&dir, 128).unwrap();
+        assert!(db.table("keep").is_ok());
+        assert!(db.table("gone").is_err(), "uncommitted table pruned");
+        assert_eq!(
+            db.recovery_report().unwrap().pruned_tables,
+            vec!["gone".to_string()]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_shutdown_leaves_checkpoint_only_log() {
+        let dir = tmpdir("walclean");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = Database::create_with(&dir, 128, DurabilityOptions::durable()).unwrap();
+            let t = db.create_table(TableSpec::new("t", &["x"])).unwrap();
+            for i in 0..100 {
+                t.insert(&[i as f64]).unwrap();
+            }
+            db.commit(b"blob").unwrap();
+            db.flush().unwrap();
+        }
+        let db = Database::open(&dir, 128).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(report.clean);
+        assert_eq!(report.replayed_pages, 0);
+        assert_eq!(report.committed.blob, b"blob");
+        assert_eq!(db.table("t").unwrap().num_rows(), 100);
+        assert!(db.wal().is_some(), "wal mode persists across reopen");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_batches_wal_appends() {
+        let dir = tmpdir("walgroup");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let opts = DurabilityOptions {
+                group_commit: 4,
+                ..DurabilityOptions::durable()
+            };
+            let db = Database::create_with(&dir, 128, opts).unwrap();
+            let t = db.create_table(TableSpec::new("t", &["x"])).unwrap();
+            // flush() checkpoints, so the created table itself is durable
+            // and the deferral counter starts at zero.
+            db.commit(b"c0").unwrap();
+            db.flush().unwrap();
+            // Three deferred commits, then the fourth forces the batch.
+            for (i, blob) in [b"c1", b"c2", b"c3", b"c4"].iter().enumerate() {
+                t.insert(&[i as f64]).unwrap();
+                db.commit(*blob).unwrap();
+            }
+            // A deferred tail past the batch boundary: lost on crash.
+            t.insert(&[9.0]).unwrap();
+            db.commit(b"c5").unwrap();
+            // Crash: dropped without flush.
+        }
+        let db = Database::open(&dir, 128).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(!report.clean);
+        assert_eq!(
+            report.committed.blob, b"c4",
+            "recovery lands on the last appended batch, not the deferred tail"
+        );
+        assert_eq!(db.table("t").unwrap().num_rows(), 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 

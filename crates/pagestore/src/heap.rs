@@ -130,6 +130,12 @@ impl HeapFile {
 
     /// Appends a row; returns its [`RowId`].
     ///
+    /// Rows are kept physically contiguous: a new page is always the one
+    /// right after the logical tail, even when a crash left the file
+    /// extended further (pages allocated whose rows never became durable).
+    /// WAL recovery's logical truncation and the scan order both rely on
+    /// page `p` holding exactly rows `(p-1)*rows_per_page..`.
+    ///
     /// # Panics
     ///
     /// Panics if `row.len() != ncols`.
@@ -137,10 +143,23 @@ impl HeapFile {
         assert_eq!(row.len(), self.ncols, "row arity mismatch");
         let (pid, slot) = match self.tail {
             Some((pid, n)) if (n as usize) < self.rows_per_page => (pid, n),
-            _ => (self.pool.allocate_page(self.fid)?, 0),
+            _ => {
+                let next = self.tail.map_or(1, |(pid, _)| pid + 1);
+                let pid = if next < self.pool.file_pages(self.fid) {
+                    next // reuse a leftover page from an interrupted extension
+                } else {
+                    self.pool.allocate_page(self.fid)?
+                };
+                (pid, 0)
+            }
         };
         let off = PAGE_HDR + slot as usize * self.ncols * 8;
         self.pool.with_page_mut(self.fid, pid, |b| {
+            if slot == 0 {
+                // First row of the page: clear any stale bytes a reused
+                // leftover page may carry.
+                *b = [0u8; PAGE_SIZE];
+            }
             for (i, &v) in row.iter().enumerate() {
                 page::put_f64(b, off + i * 8, v);
             }
@@ -288,6 +307,53 @@ mod tests {
         })
         .unwrap();
         assert_eq!(count, 1001);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn reopen_with_leftover_pages_appends_contiguously() {
+        // A crash can leave the file extended past the logical tail:
+        // pages were allocated (and one even dirtied) but the rows they
+        // held never became durable. Reopening must append into those
+        // leftover pages — zeroed — so rows stay physically contiguous;
+        // WAL recovery's logical truncation would otherwise chop off
+        // rows that ended up past a gap of empty pages.
+        let p = std::env::temp_dir().join(format!("pagestore-heap-{}-gap", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        {
+            let pool = Arc::new(BufferPool::new(64));
+            let fid = pool.register_file(PageFile::create(&p).unwrap());
+            let mut h = HeapFile::create(pool.clone(), fid, 1).unwrap();
+            for i in 0..511 {
+                h.insert(&[i as f64]).unwrap(); // fills data page 1 exactly
+            }
+            h.sync_meta().unwrap();
+            // Crash remnant: two more pages allocated, one full of stale
+            // bytes, with no surviving rows (meta still says 511).
+            let g1 = pool.allocate_page(fid).unwrap();
+            pool.allocate_page(fid).unwrap();
+            pool.with_page_mut(fid, g1, |b| b.fill(0xAB)).unwrap();
+            pool.flush_all().unwrap();
+        }
+        let pool = Arc::new(BufferPool::new(64));
+        let fid = pool.register_file(PageFile::open(&p).unwrap());
+        let mut h = HeapFile::open(pool.clone(), fid).unwrap();
+        assert_eq!(h.num_rows(), 511);
+        let r = h.insert(&[511.0]).unwrap();
+        assert_eq!(r >> 16, 2, "insert must reuse the first leftover page");
+        assert_eq!(pool.file_pages(fid), 4, "no page appended past the gap");
+        let stale = pool
+            .with_page(fid, 2, |b| b[PAGE_HDR + 8..].iter().any(|&x| x != 0))
+            .unwrap();
+        assert!(!stale, "reused page must be zeroed beyond its rows");
+        let mut seen = 0u64;
+        h.scan(|_, row| {
+            assert_eq!(row[0], seen as f64);
+            seen += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, 512);
         std::fs::remove_file(&p).ok();
     }
 

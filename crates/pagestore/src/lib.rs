@@ -54,8 +54,10 @@ mod error;
 mod heap;
 pub mod page;
 mod pagefile;
+pub mod recovery;
 pub mod sql;
 mod table;
+pub mod wal;
 
 #[cfg(test)]
 mod fault_tests;
@@ -66,13 +68,15 @@ mod stress_tests;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, PoolStats};
-pub use db::{Database, TableSpec};
+pub use db::{sync_from_env, Database, DurabilityOptions, TableSpec};
 pub use encode::{decode_f64, encode_f64, encode_key, KeyBuf};
 pub use error::{Result, StoreError};
 pub use heap::{HeapFile, RowId};
 pub use pagefile::{FileId, PageFile, PageId};
+pub use recovery::RecoveryReport;
 pub use sql::{ExecOutcome, Plan};
 pub use table::{Index, Table};
+pub use wal::{CommitState, Wal};
 
 /// Size of every page in bytes.
 pub const PAGE_SIZE: usize = 4096;

@@ -112,9 +112,16 @@ impl PageFile {
         Ok(())
     }
 
-    /// Flushes file contents to the OS.
+    /// Flushes file contents to the OS (no durability guarantee).
     pub fn sync(&mut self) -> Result<()> {
         self.file.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs: contents and length are durable on return.
+    pub fn sync_all(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.sync_all()?;
         Ok(())
     }
 }

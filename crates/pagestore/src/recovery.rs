@@ -1,0 +1,425 @@
+//! Crash recovery: log replay and logical truncation to the last commit.
+//!
+//! [`recover`] runs at raw-file level, before any [`crate::Database`]
+//! structure is built, and restores the directory to the state of the
+//! last durable commit point:
+//!
+//! 1. **Scan** `wal.log`, stopping at the first torn or garbled record
+//!    (bad magic / bad CRC / short frame). The log always begins with a
+//!    checkpoint, so a log that is *only* that checkpoint means the last
+//!    shutdown was clean and recovery is a no-op.
+//! 2. **Replay** every valid page image into its file (full after-images
+//!    are idempotent, so images past the last commit are harmless).
+//! 3. **Truncate logically** to the last commit's per-table row counts:
+//!    chop each heap file to the committed page count, rewrite the
+//!    per-page slot counts, zero the uncommitted tail slots, and restore
+//!    the meta-page row count. Tables created after the last commit are
+//!    removed (file + catalog line) — they never reached a durable state.
+//! 4. **Drop B+tree files.** Index pages are not WAL-logged; on an
+//!    unclean shutdown every `*.idx` file is deleted and
+//!    [`crate::Database::open`] rebuilds it from the (recovered) heap via
+//!    the same bulk-load path that created it, which is deterministic.
+//!
+//! Anything inconsistent with the committed state — a heap shorter than
+//! its committed rows, a bad heap magic — is a typed
+//! [`StoreError::Corrupt`], never a panic.
+
+use crate::error::Result;
+use crate::wal::{self, CommitState, Record, WAL_FILE};
+use crate::{StoreError, PAGE_SIZE};
+use std::collections::HashSet;
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const HEAP_MAGIC: u32 = 0x5344_4850; // keep in sync with heap.rs
+const PAGE_HDR: usize = 8;
+
+/// What [`recover`] did, surfaced through
+/// [`crate::Database::recovery_report`] and `segdiff recover`.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// True when the log held nothing beyond its checkpoint: the last
+    /// shutdown was clean and no replay happened.
+    pub clean: bool,
+    /// Valid WAL records scanned (checkpoint included).
+    pub scanned_records: u64,
+    /// Page images written back into data files.
+    pub replayed_pages: u64,
+    /// Bytes of torn/garbled log tail discarded.
+    pub torn_bytes: u64,
+    /// LSN of the last valid record.
+    pub last_lsn: u64,
+    /// LSN of the checkpoint the log begins with.
+    pub checkpoint_lsn: u64,
+    /// Uncommitted rows removed by logical truncation.
+    pub truncated_rows: u64,
+    /// `*.idx` files deleted (open() rebuilds them from the heaps).
+    pub dropped_indexes: u64,
+    /// Tables created after the last commit and therefore removed.
+    pub pruned_tables: Vec<String>,
+    /// The committed state recovery restored: per-table row counts and
+    /// the application blob of the last commit.
+    pub committed: CommitState,
+}
+
+/// Recovers the database directory `dir` to its last commit point.
+/// Call only when `dir/wal.log` exists; a clean log is a cheap no-op.
+pub fn recover(dir: &Path) -> Result<RecoveryReport> {
+    let scan = wal::scan(&dir.join(WAL_FILE))?;
+    let mut report = RecoveryReport {
+        torn_bytes: scan.torn_bytes,
+        scanned_records: scan.records.len() as u64,
+        ..RecoveryReport::default()
+    };
+    let Some((first_lsn, Record::Checkpoint(_))) = scan.records.first() else {
+        return Err(StoreError::Corrupt(
+            "wal.log does not begin with a valid checkpoint record".into(),
+        ));
+    };
+    report.checkpoint_lsn = *first_lsn;
+    report.last_lsn = scan.records.last().map(|(l, _)| *l).unwrap_or(0);
+
+    // Committed state: the last commit or checkpoint in the valid prefix.
+    let committed = scan
+        .records
+        .iter()
+        .rev()
+        .find_map(|(_, r)| match r {
+            Record::Commit(s) | Record::Checkpoint(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("first record is a checkpoint");
+    report.committed = committed;
+
+    if scan.records.len() == 1 && scan.torn_bytes == 0 {
+        report.clean = true;
+        return Ok(report);
+    }
+
+    // Unclean shutdown: replay all valid page images in log order.
+    let replayed = obs::global().counter("wal.replayed_records");
+    for (_, rec) in &scan.records {
+        if let Record::PageImage { file, pid, image } = rec {
+            write_image(&dir.join(file), *pid, image)?;
+            report.replayed_pages += 1;
+        }
+        replayed.inc();
+    }
+
+    // Logical truncation of every committed heap, then removal of
+    // anything that never reached a commit.
+    let committed_names: HashSet<&str> = report
+        .committed
+        .tables
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    for (name, nrows) in &report.committed.tables {
+        report.truncated_rows += truncate_heap(&dir.join(format!("{name}.tbl")), *nrows)?;
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let fname = entry.file_name();
+        let Some(fname) = fname.to_str() else {
+            continue;
+        };
+        if let Some(stem) = fname.strip_suffix(".tbl") {
+            if !committed_names.contains(stem) {
+                std::fs::remove_file(entry.path())?;
+                report.pruned_tables.push(stem.to_string());
+            }
+        } else if fname.ends_with(".idx") {
+            std::fs::remove_file(entry.path())?;
+            report.dropped_indexes += 1;
+        }
+    }
+    prune_catalog(dir, &report.pruned_tables)?;
+    Ok(report)
+}
+
+/// Writes one full page image at its offset, extending the file if the
+/// page lies beyond the current end (the zero-fill of allocation may
+/// not have reached disk).
+fn write_image(path: &Path, pid: u32, image: &[u8; PAGE_SIZE]) -> Result<()> {
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    let off = pid as u64 * PAGE_SIZE as u64;
+    let len = f.metadata()?.len();
+    if len < off {
+        f.set_len(off)?;
+    }
+    f.seek(SeekFrom::Start(off))?;
+    f.write_all(image)?;
+    Ok(())
+}
+
+/// Truncates a heap file to exactly `nrows` committed rows: page count,
+/// per-page slot counts, tail-slot contents and the meta row count all
+/// restored. Returns how many uncommitted rows were discarded.
+fn truncate_heap(path: &Path, nrows: u64) -> Result<u64> {
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if len < PAGE_SIZE as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "{}: shorter than its meta page",
+            path.display()
+        )));
+    }
+    let mut page = vec![0u8; PAGE_SIZE];
+    f.seek(SeekFrom::Start(0))?;
+    f.read_exact(&mut page)?;
+    let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
+    if magic != HEAP_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "{}: bad heap magic after replay",
+            path.display()
+        )));
+    }
+    let ncols = u16::from_le_bytes(page[4..6].try_into().unwrap()) as usize;
+    if ncols == 0 || ncols * 8 > PAGE_SIZE - PAGE_HDR {
+        return Err(StoreError::Corrupt(format!(
+            "{}: impossible column count {ncols}",
+            path.display()
+        )));
+    }
+    let rpp = (PAGE_SIZE - PAGE_HDR) / (ncols * 8);
+    let need_pages = 1 + nrows.div_ceil(rpp as u64);
+    let old_pages = len / PAGE_SIZE as u64;
+    if old_pages < need_pages {
+        return Err(StoreError::Corrupt(format!(
+            "{}: {nrows} committed rows need {need_pages} pages, file has {old_pages}",
+            path.display()
+        )));
+    }
+
+    // Count the rows visible before truncation (for the report).
+    let mut observed = 0u64;
+    for pid in 1..old_pages {
+        f.seek(SeekFrom::Start(pid * PAGE_SIZE as u64))?;
+        let mut hdr = [0u8; 2];
+        f.read_exact(&mut hdr)?;
+        observed += (u16::from_le_bytes(hdr) as u64).min(rpp as u64);
+    }
+
+    f.set_len(need_pages * PAGE_SIZE as u64)?;
+    for pid in 1..need_pages {
+        let expect = (nrows - (pid - 1) * rpp as u64).min(rpp as u64) as u16;
+        f.seek(SeekFrom::Start(pid * PAGE_SIZE as u64))?;
+        f.read_exact(&mut page)?;
+        page[0..2].copy_from_slice(&expect.to_le_bytes());
+        // Zero the uncommitted tail slots so stale row bytes cannot leak.
+        let used = PAGE_HDR + expect as usize * ncols * 8;
+        for b in &mut page[used..] {
+            *b = 0;
+        }
+        f.seek(SeekFrom::Start(pid * PAGE_SIZE as u64))?;
+        f.write_all(&page)?;
+    }
+
+    // Restore the committed row count on the meta page.
+    f.seek(SeekFrom::Start(8))?;
+    f.write_all(&nrows.to_le_bytes())?;
+    Ok(observed.saturating_sub(nrows))
+}
+
+/// Drops catalog lines referring to pruned (uncommitted) tables, leaving
+/// the committed prefix intact. Atomic rewrite (temp + rename).
+fn prune_catalog(dir: &Path, pruned: &[String]) -> Result<()> {
+    if pruned.is_empty() {
+        return Ok(());
+    }
+    let path = dir.join("catalog.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Ok(());
+    };
+    let gone: HashSet<&str> = pruned.iter().map(|s| s.as_str()).collect();
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|line| {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["table", name, ..] => !gone.contains(name),
+                ["index", tname, ..] => !gone.contains(tname),
+                _ => true,
+            }
+        })
+        .collect();
+    let tmp = dir.join("catalog.txt.tmp");
+    std::fs::write(&tmp, kept.join("\n"))?;
+    std::fs::rename(&tmp, &path)?;
+    wal::sync_dir(dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::Wal;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pagestore-rec-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Builds a raw heap file: meta page + data pages with `counts`
+    /// rows each, every cell set to the row's global ordinal.
+    fn write_heap(path: &Path, ncols: usize, counts: &[u16]) {
+        let mut data = vec![0u8; (1 + counts.len()) * PAGE_SIZE];
+        data[0..4].copy_from_slice(&HEAP_MAGIC.to_le_bytes());
+        data[4..6].copy_from_slice(&(ncols as u16).to_le_bytes());
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        data[8..16].copy_from_slice(&total.to_le_bytes());
+        let mut ordinal = 0f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let base = (i + 1) * PAGE_SIZE;
+            data[base..base + 2].copy_from_slice(&c.to_le_bytes());
+            for slot in 0..c as usize {
+                let off = base + PAGE_HDR + slot * ncols * 8;
+                for col in 0..ncols {
+                    data[off + col * 8..off + col * 8 + 8].copy_from_slice(&ordinal.to_le_bytes());
+                }
+                ordinal += 1.0;
+            }
+        }
+        std::fs::write(path, data).unwrap();
+    }
+
+    #[test]
+    fn clean_log_is_a_noop() {
+        let dir = tmpdir("clean");
+        let state = CommitState {
+            tables: vec![("t".into(), 7)],
+            blob: b"meta".to_vec(),
+        };
+        Wal::create(&dir, &state, false, 8).unwrap();
+        let report = recover(&dir).unwrap();
+        assert!(report.clean);
+        assert_eq!(report.committed, state);
+        assert_eq!(report.replayed_pages, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncates_uncommitted_tail_rows() {
+        let dir = tmpdir("trunc");
+        // Heap with 2 cols -> 255 rows/page; 255 + 40 rows on disk, but
+        // only 264 committed.
+        let heap = dir.join("t.tbl");
+        write_heap(&heap, 2, &[255, 40]);
+        let state = CommitState {
+            tables: vec![("t".into(), 264)],
+            blob: Vec::new(),
+        };
+        let wal = Wal::create(&dir, &state, false, 8).unwrap();
+        // A post-checkpoint commit makes the log unclean with the same
+        // counts (models a crash right after a commit).
+        wal.append_commit(&state).unwrap();
+        drop(wal);
+        let report = recover(&dir).unwrap();
+        assert!(!report.clean);
+        assert_eq!(report.truncated_rows, 31);
+        let data = std::fs::read(&heap).unwrap();
+        assert_eq!(data.len(), 3 * PAGE_SIZE);
+        assert_eq!(
+            u64::from_le_bytes(data[8..16].try_into().unwrap()),
+            264,
+            "meta row count restored"
+        );
+        let p2 = 2 * PAGE_SIZE;
+        assert_eq!(u16::from_le_bytes(data[p2..p2 + 2].try_into().unwrap()), 9);
+        // Slot 9 (first uncommitted) is zeroed.
+        let off = p2 + PAGE_HDR + 9 * 16;
+        assert!(data[off..off + 16].iter().all(|&b| b == 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replays_images_and_drops_indexes() {
+        let dir = tmpdir("replay");
+        let heap = dir.join("t.tbl");
+        write_heap(&heap, 1, &[3]);
+        std::fs::write(dir.join("t.i.idx"), vec![0u8; PAGE_SIZE]).unwrap();
+        let state = CommitState {
+            tables: vec![("t".into(), 3)],
+            blob: Vec::new(),
+        };
+        let wal = Wal::create(&dir, &state, false, 8).unwrap();
+        // Clobber the data page on "disk", but log the good image.
+        let mut good = [0u8; PAGE_SIZE];
+        good[0..2].copy_from_slice(&3u16.to_le_bytes());
+        good[PAGE_HDR] = 0xAB;
+        wal.append_image("t.tbl", 1, &good).unwrap();
+        wal.append_commit(&state).unwrap();
+        drop(wal);
+        let mut bad = std::fs::read(&heap).unwrap();
+        for b in &mut bad[PAGE_SIZE..] {
+            *b = 0xFF;
+        }
+        std::fs::write(&heap, &bad).unwrap();
+
+        let report = recover(&dir).unwrap();
+        assert_eq!(report.replayed_pages, 1);
+        assert_eq!(report.dropped_indexes, 1);
+        assert!(!dir.join("t.i.idx").exists());
+        let data = std::fs::read(&heap).unwrap();
+        assert_eq!(data[PAGE_SIZE + PAGE_HDR], 0xAB, "image replayed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prunes_uncommitted_tables_and_catalog() {
+        let dir = tmpdir("prune");
+        write_heap(&dir.join("old.tbl"), 1, &[2]);
+        write_heap(&dir.join("new.tbl"), 1, &[5]);
+        std::fs::write(
+            dir.join("catalog.txt"),
+            "table old c\nindex old i 0\ntable new c",
+        )
+        .unwrap();
+        let state = CommitState {
+            tables: vec![("old".into(), 2)],
+            blob: Vec::new(),
+        };
+        let wal = Wal::create(&dir, &state, false, 8).unwrap();
+        wal.append_commit(&state).unwrap();
+        drop(wal);
+        let report = recover(&dir).unwrap();
+        assert_eq!(report.pruned_tables, vec!["new".to_string()]);
+        assert!(!dir.join("new.tbl").exists());
+        let cat = std::fs::read_to_string(dir.join("catalog.txt")).unwrap();
+        assert_eq!(cat, "table old c\nindex old i 0");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_log_head_is_typed_error() {
+        let dir = tmpdir("badhead");
+        std::fs::write(dir.join(WAL_FILE), b"not a wal").unwrap();
+        assert!(matches!(recover(&dir), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_heap_is_typed_error() {
+        let dir = tmpdir("short");
+        // Commit claims 5000 rows but the heap has one data page.
+        write_heap(&dir.join("t.tbl"), 1, &[10]);
+        let state = CommitState {
+            tables: vec![("t".into(), 5000)],
+            blob: Vec::new(),
+        };
+        let wal = Wal::create(&dir, &state, false, 8).unwrap();
+        wal.append_commit(&state).unwrap();
+        drop(wal);
+        assert!(matches!(recover(&dir), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -55,6 +55,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     service: Arc<Service>,
+    index: Arc<SegDiffIndex>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 }
@@ -64,7 +65,7 @@ impl Server {
     /// prepares the service. No thread is spawned until [`Server::run`].
     pub fn bind(addr: &str, index: Arc<SegDiffIndex>, config: ServerConfig) -> io::Result<Server> {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(Service::new(index, Arc::clone(&shutdown)));
+        let service = Arc::new(Service::new(Arc::clone(&index), Arc::clone(&shutdown)));
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -72,6 +73,7 @@ impl Server {
             listener,
             addr,
             service,
+            index,
             shutdown,
             config,
         })
@@ -148,6 +150,21 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // Every query has finished; make the store durable before telling
+        // the caller the drain is complete. With WAL on this checkpoints
+        // and truncates the log, so the next open is clean.
+        let flush_start = std::time::Instant::now();
+        self.index
+            .database()
+            .flush()
+            .map_err(|e| io::Error::other(format!("flush on drain failed: {e}")))?;
+        registry
+            .histogram("server.flush_ms")
+            .record(flush_start.elapsed().as_millis().min(u64::MAX as u128) as u64);
+        obs::info!(
+            "drained and flushed in {:.1} ms",
+            flush_start.elapsed().as_secs_f64() * 1e3
+        );
         Ok(())
     }
 }
