@@ -36,7 +36,7 @@ pub struct EventSummary {
 /// after `t_d` and ends by `t_a`.
 pub fn merge_episodes(results: &[SegmentPair]) -> Vec<(f64, f64)> {
     let mut intervals: Vec<(f64, f64)> = results.iter().map(|p| (p.t_d, p.t_a)).collect();
-    intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (s, e) in intervals {
         match out.last_mut() {
@@ -94,7 +94,7 @@ pub fn depth_stats(events: &[RefinedEvent]) -> Option<DepthStats> {
         return None;
     }
     let mut dvs: Vec<f64> = hits.iter().map(|e| e.dv).collect();
-    dvs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    dvs.sort_by(f64::total_cmp);
     let n = dvs.len();
     let mean = dvs.iter().sum::<f64>() / n as f64;
     let extreme = if mean < 0.0 { dvs[0] } else { dvs[n - 1] };

@@ -96,7 +96,12 @@ impl ExhIndex {
                 ["window", v] => window = v.parse().ok(),
                 ["n_observations", v] => n_observations = v.parse().unwrap_or(0),
                 ["tail", t, v] => {
-                    buf.push_back((t.parse().unwrap(), v.parse().unwrap()));
+                    let (Ok(t), Ok(v)) = (t.parse::<f64>(), v.parse::<f64>()) else {
+                        return Err(pagestore::StoreError::Corrupt(
+                            "exh meta: malformed tail entry".into(),
+                        ));
+                    };
+                    buf.push_back((t, v));
                 }
                 _ => {}
             }
@@ -155,13 +160,12 @@ impl ExhIndex {
     /// Persists everything, including the metadata and window tail needed
     /// by [`ExhIndex::open`].
     pub fn finish(&self) -> Result<()> {
-        use std::fmt::Write as _;
         let mut meta = format!(
             "window {}\nn_observations {}\n",
             self.window, self.n_observations
         );
         for (t, v) in &self.buf {
-            let _ = writeln!(meta, "tail {t} {v}");
+            meta.push_str(&format!("tail {t} {v}\n"));
         }
         std::fs::write(self.dir.join("exh.meta"), meta)?;
         self.db.flush()
@@ -234,7 +238,7 @@ impl ExhIndex {
                 }
             }
         }
-        out.sort_by(|a, b| (a.t1, a.t2).partial_cmp(&(b.t1, b.t2)).unwrap());
+        out.sort_by(|a, b| a.t1.total_cmp(&b.t1).then(a.t2.total_cmp(&b.t2)));
         let wall = start.elapsed().as_secs_f64();
         let stats = QueryStats {
             wall_seconds: wall,

@@ -519,13 +519,7 @@ jump_hist {} {} {}
         let mut payload = 0u64;
         let mut heap = 0u64;
         let mut index = 0u64;
-        for (i, t) in self
-            .drop_tables
-            .iter()
-            .chain(self.jump_tables.iter())
-            .enumerate()
-        {
-            let _ = i;
+        for t in self.drop_tables.iter().chain(self.jump_tables.iter()) {
             n_rows += t.num_rows();
             payload += t.payload_bytes();
             heap += t.heap_bytes();

@@ -102,7 +102,7 @@ impl NaiveSearch {
             window.push_back((t, v));
             true
         })?;
-        out.sort_by(|a, b| (a.t1, a.t2).partial_cmp(&(b.t1, b.t2)).unwrap());
+        out.sort_by(|a, b| a.t1.total_cmp(&b.t1).then(a.t2.total_cmp(&b.t2)));
         let stats = QueryStats {
             wall_seconds: start.elapsed().as_secs_f64(),
             rows_considered,

@@ -110,7 +110,7 @@ fn candidate_times(series: &TimeSeries, lo: f64, hi: f64, grid: usize) -> Vec<f6
     } else {
         out.push(lo);
     }
-    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.sort_by(f64::total_cmp);
     out.dedup();
     out
 }

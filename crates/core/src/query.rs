@@ -101,7 +101,11 @@ impl<'a> Phase<'a> {
         self.span.record("pool_hits", io.hits);
         self.span.record("pool_misses", io.misses);
         // Strip the "query." prefix used for span/histogram names.
-        let name = self.span.name().rsplit('.').next().unwrap();
+        let name = self
+            .span
+            .name()
+            .rsplit_once('.')
+            .map_or(self.span.name(), |(_, last)| last);
         PhaseStats {
             name,
             wall_seconds,

@@ -85,7 +85,7 @@ fn locate_event(
         } else {
             v.push(lo);
         }
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v.dedup();
         v
     };

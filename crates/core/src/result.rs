@@ -46,9 +46,11 @@ impl SegmentPair {
 /// Sorts by time and removes duplicates in place.
 pub(crate) fn sort_dedup(results: &mut Vec<SegmentPair>) {
     results.sort_by(|a, b| {
-        (a.t_d, a.t_c, a.t_b, a.t_a)
-            .partial_cmp(&(b.t_d, b.t_c, b.t_b, b.t_a))
-            .unwrap()
+        a.t_d
+            .total_cmp(&b.t_d)
+            .then(a.t_c.total_cmp(&b.t_c))
+            .then(a.t_b.total_cmp(&b.t_b))
+            .then(a.t_a.total_cmp(&b.t_a))
     });
     results.dedup_by_key(|p| p.key());
 }

@@ -135,7 +135,13 @@ impl TransectIndex {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("query thread panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(pagestore::StoreError::Io(std::io::Error::other(
+                            "sensor query thread panicked",
+                        )))
+                    })
+                })
                 .collect()
         });
         let mut results = Vec::with_capacity(outcomes.len());

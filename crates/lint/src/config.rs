@@ -1,0 +1,183 @@
+//! Lint configuration: rule scopes (which crates each rule covers) and
+//! the lock-order declaration loaded from `ci/lock-order.toml`.
+
+use crate::toml;
+
+/// Crates whose production code must be panic-free (rule L1): the
+/// serving and storage path. The math kernels (`segmentation`,
+/// `featurespace`, `sensorgen`) assert paper invariants with panics and
+/// are deliberately out of scope until they move onto the hot path.
+pub const L1_CRATES: &[&str] = &["pagestore", "server", "core", "cli", "obs", "lint"];
+
+/// Crates where `let _ =` result discards are forbidden (rule L5).
+pub const L5_CRATES: &[&str] = &["pagestore", "core"];
+
+/// Workspace-relative path of the lock-order declaration.
+pub const LOCK_ORDER_PATH: &str = "ci/lock-order.toml";
+
+/// Workspace-relative path of the metric registry source.
+pub const NAMES_RS_PATH: &str = "crates/obs/src/names.rs";
+
+/// README markers delimiting the generated metrics table.
+pub const METRICS_TABLE_BEGIN: &str = "<!-- metrics-table:begin -->";
+/// Closing marker.
+pub const METRICS_TABLE_END: &str = "<!-- metrics-table:end -->";
+
+/// One lock class: a name, its rank in the global order, and the
+/// receiver-path patterns that identify its acquisition sites.
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    /// Class name as declared in `order`.
+    pub name: String,
+    /// Position in the declared order (lower acquires first).
+    pub rank: usize,
+    /// Receiver-path globs (e.g. `*.shards[]`, `files[].file`).
+    pub paths: Vec<String>,
+    /// Path glob limiting which files the mapping applies to
+    /// (empty = everywhere).
+    pub scope: String,
+    /// Whether two *different* instances of this class may nest
+    /// (same-path double acquisition is always a violation).
+    pub reentrant: bool,
+}
+
+/// The parsed `ci/lock-order.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrder {
+    /// All classes, resolvable by pattern.
+    pub classes: Vec<LockClass>,
+}
+
+impl LockOrder {
+    /// Parses the declaration. Every `[[class]]` must appear in
+    /// `order`, and vice versa.
+    pub fn parse(src: &str) -> Result<LockOrder, String> {
+        let doc = toml::parse(src).map_err(|e| e.to_string())?;
+        let order: Vec<String> = doc
+            .root
+            .get("order")
+            .and_then(|v| v.as_array())
+            .ok_or("missing top-level `order = [...]`")?
+            .to_vec();
+        let mut classes = Vec::new();
+        for entry in doc.arrays.get("class").map(|v| v.as_slice()).unwrap_or(&[]) {
+            let name = entry
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or("[[class]] missing `name`")?
+                .to_string();
+            let rank = order
+                .iter()
+                .position(|o| *o == name)
+                .ok_or_else(|| format!("class `{name}` not listed in `order`"))?;
+            let paths = entry
+                .get("paths")
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| format!("class `{name}` missing `paths`"))?
+                .to_vec();
+            let scope = entry
+                .get("scope")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string();
+            let reentrant = matches!(entry.get("reentrant"), Some(toml::Value::Bool(true)));
+            classes.push(LockClass {
+                name,
+                rank,
+                paths,
+                scope,
+                reentrant,
+            });
+        }
+        for o in &order {
+            if !classes.iter().any(|c| c.name == *o) {
+                return Err(format!("order lists `{o}` but no [[class]] defines it"));
+            }
+        }
+        Ok(LockOrder { classes })
+    }
+
+    /// Classifies an acquisition: the first class whose scope covers
+    /// `file` and whose patterns match the receiver `path`.
+    pub fn classify(&self, file: &str, path: &str) -> Option<&LockClass> {
+        self.classes.iter().find(|c| {
+            (c.scope.is_empty() || glob_match(&c.scope, file))
+                && c.paths.iter().any(|p| glob_match(p, path))
+        })
+    }
+}
+
+/// Wildcard matching: `*` matches any (possibly empty) run of
+/// characters. Case-sensitive; no character classes.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[u8], t: &[u8]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some((b'*', rest)) => (0..=t.len()).any(|skip| inner(rest, &t[skip..])),
+            Some((&c, rest)) => t
+                .split_first()
+                .is_some_and(|(&tc, tr)| tc == c && inner(rest, tr)),
+        }
+    }
+    inner(pattern.as_bytes(), text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+order = ["pool.files", "pool.shard", "pool.file"]
+
+[[class]]
+name = "pool.files"
+paths = ["*.files"]
+scope = "crates/pagestore/*"
+
+[[class]]
+name = "pool.shard"
+paths = ["*.shards[]", "s"]
+scope = "crates/pagestore/src/buffer.rs"
+
+[[class]]
+name = "pool.file"
+paths = ["files[].file", "*.file"]
+reentrant = false
+"#;
+
+    #[test]
+    fn parse_and_classify() {
+        let lo = LockOrder::parse(SAMPLE).unwrap();
+        assert_eq!(lo.classes.len(), 3);
+        let c = lo
+            .classify("crates/pagestore/src/buffer.rs", "self.shards[]")
+            .unwrap();
+        assert_eq!(c.name, "pool.shard");
+        assert_eq!(c.rank, 1);
+        // Scope excludes other files.
+        assert!(lo.classify("crates/server/src/queue.rs", "s").is_none());
+        // Unscoped class applies everywhere.
+        assert!(lo
+            .classify("crates/core/src/index.rs", "files[].file")
+            .is_some());
+    }
+
+    #[test]
+    fn order_and_classes_must_agree() {
+        assert!(LockOrder::parse("order = [\"a\"]").is_err());
+        let missing_order = "order = []\n[[class]]\nname = \"x\"\npaths = [\"x\"]\n";
+        assert!(LockOrder::parse(missing_order).is_err());
+    }
+
+    #[test]
+    fn globbing() {
+        assert!(glob_match("*.files", "self.files"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("files[].file", "files[].file"));
+        assert!(!glob_match("*.files", "self.file"));
+        assert!(glob_match(
+            "crates/pagestore/*",
+            "crates/pagestore/src/db.rs"
+        ));
+    }
+}

@@ -1,0 +1,208 @@
+//! Diagnostics: rule identifiers, one finding, and the two output
+//! formats (rustc-style text, JSON for CI artifacts).
+
+use std::fmt;
+
+/// The lint rules. `L0` audits the suppression comments themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Suppression audit: `// lint: allow(…)` must name known rules and
+    /// carry a non-empty reason.
+    L0,
+    /// No `.unwrap()` / `.expect()` / `panic!` / `unimplemented!` /
+    /// `todo!` in production code paths.
+    L1,
+    /// Every `unsafe` is immediately preceded by a `// SAFETY:` comment.
+    L2,
+    /// Lock acquisitions respect the declared partial order.
+    L3,
+    /// Metric names match the `obs::names` registry (both directions),
+    /// and the README table is in sync.
+    L4,
+    /// No `let _ =` result discards in `pagestore` / `core`.
+    L5,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 6] = [Rule::L0, Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5];
+
+    /// Parses `"L1"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "L0" => Some(Rule::L0),
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
+            _ => None,
+        }
+    }
+
+    /// `"L1"`, …
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L0 => "L0",
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::L5 => "L5",
+        }
+    }
+
+    /// One-line rule description (for `--list`).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::L0 => "suppression comments name known rules and carry a reason",
+            Rule::L1 => "no unwrap/expect/panic!/unimplemented!/todo! in production paths",
+            Rule::L2 => "every `unsafe` is immediately preceded by a `// SAFETY:` comment",
+            Rule::L3 => "lock acquisitions respect the order declared in ci/lock-order.toml",
+            Rule::L4 => "obs metric names match the crates/obs/src/names.rs registry",
+            Rule::L5 => "no `let _ =` result discards in pagestore/core production code",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding at a source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or suppress it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// rustc-style rendering:
+    /// `error[L1]: message\n  --> file:line:col\n   = help: …`
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "error[{}]: {}\n  --> {}:{}:{}\n",
+            self.rule, self.message, self.file, self.line, self.col
+        );
+        if !self.help.is_empty() {
+            out.push_str(&format!("   = help: {}\n", self.help));
+        }
+        out
+    }
+
+    /// One JSON object (manual serialization; the crate is zero-dep).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
+            self.rule,
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.help),
+        )
+    }
+}
+
+/// Renders the full report in the requested format. Text mode ends with
+/// a `error: N violation(s)` summary line; JSON mode is a single object
+/// with a `diagnostics` array, stable for CI artifact consumers.
+pub fn render_report(diags: &[Diagnostic], json: bool) -> String {
+    if json {
+        let items: Vec<String> = diags.iter().map(|d| d.render_json()).collect();
+        format!(
+            "{{\"count\":{},\"diagnostics\":[{}]}}\n",
+            diags.len(),
+            items.join(",")
+        )
+    } else if diags.is_empty() {
+        String::new()
+    } else {
+        let mut out = String::new();
+        for d in diags {
+            out.push_str(&d.render_text());
+            out.push('\n');
+        }
+        out.push_str(&format!("error: {} violation(s)\n", diags.len()));
+        out
+    }
+}
+
+/// JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: Rule::L1,
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            col: 13,
+            message: "`.unwrap()` in production code".into(),
+            help: "propagate the error".into(),
+        }
+    }
+
+    #[test]
+    fn text_is_rustc_style() {
+        let t = sample().render_text();
+        assert!(t.starts_with("error[L1]: "));
+        assert!(t.contains("--> crates/x/src/lib.rs:7:13"));
+        assert!(t.contains("= help: propagate"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = render_report(&[sample()], true);
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("\"rule\":\"L1\""));
+        assert!(j.contains("\"line\":7"));
+        // Valid-enough JSON: balanced braces, no trailing comma.
+        assert!(j.trim_end().ends_with("}]}"));
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn rule_parse_roundtrip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::parse(r.id()), Some(r));
+        }
+        assert_eq!(Rule::parse("l3"), Some(Rule::L3));
+        assert_eq!(Rule::parse("L9"), None);
+    }
+}

@@ -1,0 +1,189 @@
+#![warn(missing_docs)]
+
+//! **segdiff-lint** — the workspace invariant checker.
+//!
+//! The concurrent, crash-safe layers grown in PRs 1–3 rely on
+//! invariants the compiler cannot see: lock acquisition order across
+//! the striped buffer pool and the WAL, WAL-before-data call
+//! discipline, a hand-maintained metric namespace, panic-free worker
+//! loops. In the spirit of the paper's own conservative guarantees
+//! (SegDiff's "no false negatives, bounded false positives",
+//! Theorem 1), this crate enforces those invariants as named,
+//! individually suppressable rules over a lightweight Rust lexer — no
+//! rustc plumbing, no external dependencies:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | L0 | `// lint: allow(…)` suppressions name known rules and carry a reason |
+//! | L1 | no `.unwrap()`/`.expect()`/`panic!`/`unimplemented!`/`todo!` in production paths |
+//! | L2 | every `unsafe` is immediately preceded by `// SAFETY:` |
+//! | L3 | lock order follows `ci/lock-order.toml` |
+//! | L4 | metric names round-trip through `crates/obs/src/names.rs` (and the README table) |
+//! | L5 | no `let _ =` result discards in `pagestore`/`core` |
+//!
+//! Run as `cargo run -p lint` (binary `segdiff-lint`); it emits
+//! rustc-style `file:line:col` diagnostics (or `--format json` for CI
+//! artifacts) and exits nonzero on any violation.
+
+pub mod config;
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod toml;
+
+use config::{LockOrder, LOCK_ORDER_PATH, NAMES_RS_PATH};
+use context::FileCtx;
+use diag::{Diagnostic, Rule};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// What to check and where.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// Enabled rules (default: all).
+    pub rules: BTreeSet<Rule>,
+}
+
+impl Options {
+    /// All rules at the given root.
+    pub fn new(root: PathBuf) -> Options {
+        Options {
+            root,
+            rules: Rule::ALL.into_iter().collect(),
+        }
+    }
+}
+
+/// A fatal error (I/O, config) as opposed to lint findings.
+#[derive(Debug)]
+pub struct Fatal(pub String);
+
+impl std::fmt::Display for Fatal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runs every enabled rule over the workspace and returns the sorted
+/// findings.
+pub fn run(opts: &Options) -> Result<Vec<Diagnostic>, Fatal> {
+    let files = workspace_files(&opts.root)?;
+    let lock_order = if opts.rules.contains(&Rule::L3) {
+        let path = opts.root.join(LOCK_ORDER_PATH);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| Fatal(format!("cannot read {}: {e}", path.display())))?;
+        Some(LockOrder::parse(&src).map_err(|e| Fatal(format!("{LOCK_ORDER_PATH}: {e}")))?)
+    } else {
+        None
+    };
+
+    let mut diags = Vec::new();
+    let mut collected = rules::names::Collected::default();
+    for rel in &files {
+        let abs = opts.root.join(rel);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| Fatal(format!("cannot read {}: {e}", abs.display())))?;
+        let ctx = FileCtx::new(rel, &src);
+        if opts.rules.contains(&Rule::L0) {
+            diags.extend(ctx.audit_suppressions());
+        }
+        if opts.rules.contains(&Rule::L1) {
+            diags.extend(rules::panics::check(&ctx));
+        }
+        if opts.rules.contains(&Rule::L2) {
+            diags.extend(rules::safety::check(&ctx));
+        }
+        if let Some(order) = &lock_order {
+            diags.extend(rules::locks::check(&ctx, order));
+        }
+        if opts.rules.contains(&Rule::L4) {
+            rules::names::collect(&ctx, &mut collected);
+        }
+        if opts.rules.contains(&Rule::L5) {
+            diags.extend(rules::discard::check(&ctx));
+        }
+    }
+
+    if opts.rules.contains(&Rule::L4) {
+        let registry = load_registry(&opts.root)?;
+        let readme = std::fs::read_to_string(opts.root.join("README.md")).ok();
+        diags.extend(rules::names::reconcile(
+            &collected,
+            &registry,
+            readme.as_deref(),
+        ));
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(diags)
+}
+
+/// Parses the checked-in metric registry.
+pub fn load_registry(root: &Path) -> Result<Vec<rules::names::RegistryEntry>, Fatal> {
+    let path = root.join(NAMES_RS_PATH);
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| Fatal(format!("cannot read {}: {e}", path.display())))?;
+    let registry = rules::names::parse_registry(&src);
+    if registry.is_empty() {
+        return Err(Fatal(format!(
+            "{NAMES_RS_PATH}: no MetricDef entries found"
+        )));
+    }
+    Ok(registry)
+}
+
+/// Every `.rs` file the lint walks: `crates/*/src/**` plus the facade
+/// crate's `src/**`, workspace-relative with forward slashes, sorted.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, Fatal> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| Fatal(format!("cannot read {}: {e}", crates_dir.display())))?;
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk(&src, root, &mut out)?;
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        walk(&facade, root, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), Fatal> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| Fatal(format!("cannot read {}: {e}", dir.display())))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root: walks up from `start` looking for the
+/// lock-order declaration next to a `Cargo.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join(LOCK_ORDER_PATH).is_file() && d.join("Cargo.toml").is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,85 @@
+//! Rule L5: no `let _ = …;` in `pagestore`/`core` production code.
+//!
+//! Both crates return `Result` from almost every public operation, and
+//! `let _ =` silently swallows the error *and* drops any guard the
+//! value held. A discard that is genuinely sound (e.g. best-effort
+//! logging) must say so: `// lint: allow(L5) <reason>`.
+
+use crate::config::L5_CRATES;
+use crate::context::FileCtx;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+
+/// Runs L5 over one file.
+pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
+    if !L5_CRATES.contains(&ctx.crate_name.as_str()) || ctx.test_file {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text(ctx.src) != "let" {
+            continue;
+        }
+        let (Some(underscore), Some(eq)) = (toks.get(i + 1), toks.get(i + 2)) else {
+            continue;
+        };
+        if underscore.kind != TokKind::Ident
+            || underscore.text(ctx.src) != "_"
+            || eq.kind != TokKind::Punct(b'=')
+            // `let _ == …` can't occur; but skip `let _ =` in `==`.
+            || toks.get(i + 3).map(|n| n.kind) == Some(TokKind::Punct(b'='))
+        {
+            continue;
+        }
+        if ctx.in_test(t.line) || ctx.suppressed(Rule::L5, t.line) {
+            continue;
+        }
+        out.push(ctx.diag(
+            Rule::L5,
+            t.line,
+            t.col,
+            "`let _ =` discards a result in a durability-critical crate".into(),
+            "handle the value, or justify with `// lint: allow(L5) <reason>`".into(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        check(&FileCtx::new(path, src))
+    }
+
+    #[test]
+    fn flags_discard_in_scope() {
+        let d = run(
+            "crates/pagestore/src/heap.rs",
+            "fn f() { let _ = fallible(); }",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(run("crates/core/src/exh.rs", "fn f() { let _ = w(); }").len() == 1);
+    }
+
+    #[test]
+    fn out_of_scope_crates_and_tests_pass() {
+        assert!(run("crates/server/src/server.rs", "fn f() { let _ = x(); }").is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { let _ = x(); } }\n";
+        assert!(run("crates/core/src/lib.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn named_and_typed_bindings_pass() {
+        assert!(run("crates/core/src/lib.rs", "fn f() { let _guard = x(); }").is_empty());
+        assert!(run("crates/core/src/lib.rs", "fn f() { let r = x(); }").is_empty());
+    }
+
+    #[test]
+    fn suppression() {
+        let src = "fn f() {\n  // lint: allow(L5) best-effort debug output\n  let _ = writeln!(w, \"x\");\n}\n";
+        assert!(run("crates/core/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Rule L3: lock acquisitions respect the partial order declared in
+//! `ci/lock-order.toml`.
+//!
+//! The pass is lexical, not type-aware: an *acquisition site* is a
+//! zero-argument `.lock()` / `.read()` / `.write()` call (the
+//! zero-argument requirement filters out `io::Read::read` and friends,
+//! which always take a buffer). The receiver path — `self.shards[si]`
+//! → `self.shards[]` — is matched against the class patterns from the
+//! config, scoped per file so short names like `s` only mean "a pool
+//! shard" inside `buffer.rs`.
+//!
+//! Guard lifetime model (deliberately conservative):
+//! * `let g = <acquisition>;` — the guard lives until its enclosing
+//!   block closes or `drop(g)` / `std::mem::drop(g)` is seen;
+//! * any other acquisition (chained, passed to a call, match/if-let
+//!   scrutinee) — the guard lives until the next `;` at the same brace
+//!   depth, which over-approximates Rust's temporary lifetime rules.
+//!
+//! A violation is: acquiring class B while a live guard holds class A
+//! with `order(A) > order(B)`, or re-acquiring the same class while a
+//! guard of it is live (same receiver path always; different paths
+//! unless the class is declared `reentrant = true`).
+
+use crate::config::LockOrder;
+use crate::context::FileCtx;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+
+/// Runs L3 over one file with the given declaration.
+pub fn check(ctx: &FileCtx, order: &LockOrder) -> Vec<Diagnostic> {
+    if ctx.test_file {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &ctx.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text(ctx.src) == "fn" {
+            // Find the body: the first `{` before any `;` (a `;` first
+            // means a bodiless trait/extern declaration).
+            let mut j = i + 1;
+            let mut body = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct(b'{') => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokKind::Punct(b';') => break,
+                    _ => j += 1,
+                }
+            }
+            if let (Some(open), Some(close)) = (body, body.and_then(|b| ctx.close_of(b))) {
+                check_body(ctx, order, open, close, &mut out);
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+struct Guard {
+    class_rank: usize,
+    class_name: String,
+    path: String,
+    /// `Some(name)` for `let name = …;` bindings (scope-lived),
+    /// `None` for temporaries (statement-lived).
+    binding: Option<String>,
+    /// Brace depth at acquisition (relative to function body).
+    depth: usize,
+    line: u32,
+}
+
+/// Walks one function body tracking live guards.
+fn check_body(
+    ctx: &FileCtx,
+    order: &LockOrder,
+    open: usize,
+    close: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &ctx.toks;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i <= close {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                // Block end drops let-bound guards created inside it
+                // (and any temporary that leaked this far).
+                guards.retain(|g| g.depth <= depth);
+            }
+            TokKind::Punct(b';') => {
+                // Statement end drops temporaries at this depth.
+                guards.retain(|g| g.binding.is_some() || g.depth != depth);
+            }
+            // drop(name) kills the named guard.
+            TokKind::Ident
+                if t.text(ctx.src) == "drop"
+                    && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct(b'('))
+                    && toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Ident)
+                    && toks.get(i + 3).map(|n| n.kind) == Some(TokKind::Punct(b')')) =>
+            {
+                let name = toks[i + 2].text(ctx.src);
+                guards.retain(|g| g.binding.as_deref() != Some(name));
+            }
+            TokKind::Ident
+                if matches!(t.text(ctx.src), "lock" | "read" | "write")
+                    && i > 0
+                    && toks[i - 1].kind == TokKind::Punct(b'.')
+                    && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct(b'('))
+                    && toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Punct(b')')) =>
+            {
+                if let Some(path) = receiver_path(ctx, i - 1) {
+                    if let Some(class) = order.classify(&ctx.path, &path) {
+                        if !ctx.in_test(t.line) && !ctx.suppressed(Rule::L3, t.line) {
+                            for g in &guards {
+                                let bad_order = g.class_rank > class.rank;
+                                let double = g.class_name == class.name
+                                    && (g.path == path || !class.reentrant);
+                                if bad_order || double {
+                                    let what = if bad_order {
+                                        format!(
+                                            "acquires `{}` while holding `{}` (declared order: {} before {})",
+                                            class.name, g.class_name, class.name, g.class_name
+                                        )
+                                    } else {
+                                        format!(
+                                            "re-acquires `{}` (guard from line {} still live) — self-deadlock",
+                                            class.name, g.line
+                                        )
+                                    };
+                                    out.push(ctx.diag(
+                                        Rule::L3,
+                                        t.line,
+                                        t.col,
+                                        what,
+                                        "release the earlier guard first, fix ci/lock-order.toml, or justify with `// lint: allow(L3) <reason>`"
+                                            .into(),
+                                    ));
+                                }
+                            }
+                        }
+                        guards.push(Guard {
+                            class_rank: class.rank,
+                            class_name: class.name.clone(),
+                            path,
+                            binding: binding_of(ctx, i),
+                            depth,
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Reconstructs the receiver path left of the `.` at token `dot`:
+/// identifiers and field accesses, with index expressions collapsed to
+/// `[]`. Returns `None` when the receiver is not a simple path (e.g. a
+/// call result).
+fn receiver_path(ctx: &FileCtx, dot: usize) -> Option<String> {
+    let toks = &ctx.toks;
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot; // points at the `.`
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &toks[i - 1];
+        match prev.kind {
+            TokKind::Ident => {
+                parts.push(prev.text(ctx.src).to_string());
+                i -= 1;
+                // A further `.` continues the path.
+                if i > 0 && toks[i - 1].kind == TokKind::Punct(b'.') {
+                    i -= 1;
+                    continue;
+                }
+                break;
+            }
+            TokKind::Punct(b']') => {
+                // Collapse the index expression: scan back to the
+                // matching `[`.
+                let mut depth = 1usize;
+                let mut j = i - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match toks[j].kind {
+                        TokKind::Punct(b']') => depth += 1,
+                        TokKind::Punct(b'[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth != 0 {
+                    return None;
+                }
+                parts.push("[]".to_string());
+                i = j;
+            }
+            _ => break,
+        }
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    // Join, attaching `[]` to the preceding segment.
+    let mut path = String::new();
+    for p in parts {
+        if p == "[]" {
+            path.push_str("[]");
+        } else {
+            if !path.is_empty() {
+                path.push('.');
+            }
+            path.push_str(&p);
+        }
+    }
+    Some(path)
+}
+
+/// `Some(name)` when the acquisition at token `i` (the `lock` ident)
+/// is the whole right-hand side of a `let name = …;` statement — i.e.
+/// the `()` is directly followed by `;` or `.unwrap…;`-free chain end.
+fn binding_of(ctx: &FileCtx, i: usize) -> Option<String> {
+    let toks = &ctx.toks;
+    // After `lock ( )` the next token must end the statement for the
+    // guard to be bound as-is; any chaining makes it a temporary.
+    if toks.get(i + 3).map(|t| t.kind) != Some(TokKind::Punct(b';')) {
+        return None;
+    }
+    // Scan back to the statement start: the nearest `;`, `{` or `}`.
+    let mut j = i;
+    while j > 0
+        && !matches!(
+            toks[j - 1].kind,
+            TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}')
+        )
+    {
+        j -= 1;
+    }
+    // Expect `let [mut] name =`.
+    if toks.get(j).map(|t| (t.kind, t.text(ctx.src))) != Some((TokKind::Ident, "let")) {
+        return None;
+    }
+    let mut k = j + 1;
+    if toks.get(k).map(|t| (t.kind, t.text(ctx.src))) == Some((TokKind::Ident, "mut")) {
+        k += 1;
+    }
+    let name = toks.get(k)?;
+    if name.kind == TokKind::Ident && toks.get(k + 1).map(|t| t.kind) == Some(TokKind::Punct(b'='))
+    {
+        Some(name.text(ctx.src).to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LockOrder;
+
+    const ORDER: &str = r#"
+order = ["files", "shard", "file", "wal"]
+
+[[class]]
+name = "files"
+paths = ["*.files"]
+
+[[class]]
+name = "shard"
+paths = ["*.shards[]", "s"]
+
+[[class]]
+name = "file"
+paths = ["files[].file", "*.file"]
+
+[[class]]
+name = "wal"
+paths = ["*.wal_inner"]
+"#;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let order = LockOrder::parse(ORDER).unwrap();
+        check(&FileCtx::new("crates/pagestore/src/buffer.rs", src), &order)
+    }
+
+    #[test]
+    fn legal_nesting_passes() {
+        let src = r#"
+fn flush(&self) {
+    let files = self.files.read();
+    let mut shard = self.shards[si].lock();
+    let mut file = files[fid].file.lock();
+    file.write_page();
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn inverted_order_flagged() {
+        let src = r#"
+fn bad(&self) {
+    let mut file = files[fid].file.lock();
+    let files = self.files.read();
+}
+"#;
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0]
+            .message
+            .contains("acquires `files` while holding `file`"));
+    }
+
+    #[test]
+    fn double_lock_flagged() {
+        let src = "fn bad(&self) {\n let a = self.shards[i].lock();\n let b = self.shards[j].lock();\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("re-acquires `shard`"));
+    }
+
+    #[test]
+    fn scope_exit_releases() {
+        let src = r#"
+fn ok(&self) {
+    {
+        let mut file = files[fid].file.lock();
+    }
+    let files = self.files.read();
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases() {
+        let src = r#"
+fn ok(&self) {
+    let mut file = files[fid].file.lock();
+    drop(file);
+    let files = self.files.read();
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_dies_at_statement_end() {
+        let src = r#"
+fn ok(&self) {
+    let n = self.files.read().len();
+    let pages = files[fid].file.lock().num_pages();
+    let files = self.files.read();
+}
+"#;
+        // Each statement's temporary guard dies at its `;`, so the
+        // final read() sees nothing held.
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn chained_temporaries_nest_within_statement() {
+        // files.read() is still live while file.lock() happens inside
+        // one statement — legal order, no diagnostic.
+        let src = "fn ok(&self) {\n let p = self.files.read()[fid].file.lock();\n}\n";
+        assert!(run(src).is_empty());
+        // The inverse nesting inside one statement is flagged.
+        let bad = "fn bad(&self) {\n let p = x.file.lock().files.read();\n}\n";
+        // receiver of read() is `lock().files` → not a simple path, so
+        // it is not classified; construct a real inversion instead:
+        let bad2 =
+            "fn bad(&self) {\n let w = self.wal_inner.lock().probe(self.shards[i].lock());\n}\n";
+        assert!(run(bad).is_empty());
+        let d = run(bad2);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("while holding `wal`"));
+    }
+
+    #[test]
+    fn io_read_write_with_args_ignored() {
+        let src = "fn ok(&self) {\n let n = stream.read(&mut buf);\n stream.write(&buf);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_honored() {
+        let src = "fn f(&self) {\n let a = files[fid].file.lock();\n let b = self.files.read(); // lint: allow(L3) startup only, single-threaded\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! The individual lint rules. Each rule is a pure function over a
+//! [`crate::context::FileCtx`] (plus shared config for L3/L4), so the
+//! unit tests feed them fixture snippets directly.
+
+pub mod discard;
+pub mod locks;
+pub mod names;
+pub mod panics;
+pub mod safety;

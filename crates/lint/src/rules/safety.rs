@@ -1,0 +1,103 @@
+//! Rule L2: every `unsafe` block, fn, or impl is immediately preceded
+//! by a comment containing `SAFETY:` — trailing on the same line,
+//! within the three lines above it (room for attributes), or anywhere
+//! in the contiguous comment block directly above — stating why the
+//! usage is sound.
+
+use crate::context::{is_comment, FileCtx};
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+use std::collections::BTreeMap;
+
+/// Runs L2 over one file. Applies everywhere, tests included —
+/// `unsafe` in a test deserves a justification too.
+pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
+    // Lines covered by comments → whether that comment says `SAFETY:`.
+    let mut comment_lines: BTreeMap<u32, bool> = BTreeMap::new();
+    for c in ctx.toks.iter().filter(|c| is_comment(c.kind)) {
+        let text = c.text(ctx.src);
+        let has = text.contains("SAFETY:");
+        for k in 0..=text.matches('\n').count() as u32 {
+            let e = comment_lines.entry(c.line + k).or_insert(false);
+            *e = *e || has;
+        }
+    }
+    let mut out = Vec::new();
+    for t in ctx.toks.iter() {
+        if t.kind != TokKind::Ident || t.text(ctx.src) != "unsafe" {
+            continue;
+        }
+        if ctx.suppressed(Rule::L2, t.line) {
+            continue;
+        }
+        let mut documented = ctx.toks.iter().any(|c| {
+            is_comment(c.kind)
+                && c.line + 3 >= t.line
+                && c.line <= t.line
+                && c.text(ctx.src).contains("SAFETY:")
+        });
+        // Walk the contiguous comment block directly above, so a long
+        // multi-line `// SAFETY:` justification still counts.
+        let mut l = t.line;
+        while !documented && l > 1 && comment_lines.contains_key(&(l - 1)) {
+            l -= 1;
+            documented = comment_lines[&l];
+        }
+        if !documented {
+            out.push(ctx.diag(
+                Rule::L2,
+                t.line,
+                t.col,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment".into(),
+                "state the invariant that makes this sound in a `// SAFETY: …` comment".into(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&FileCtx::new("crates/server/src/server.rs", src))
+    }
+
+    #[test]
+    fn flags_undocumented_unsafe() {
+        let d = run("fn f() { unsafe { do_it(); } }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn safety_comment_satisfies() {
+        assert!(
+            run("// SAFETY: handler only stores to an atomic\nunsafe { install(); }").is_empty()
+        );
+        // Within three lines, e.g. above an attribute.
+        assert!(run("// SAFETY: fine\n#[inline]\nunsafe fn g() {}").is_empty());
+        // Block comments count too.
+        assert!(run("/* SAFETY: ok */ unsafe { x(); }").is_empty());
+        // A long multi-line justification: SAFETY: may start more than
+        // three lines up if the comment block reaches the `unsafe`.
+        let long = "// SAFETY: libc `signal` is handed a handler that\n\
+                    // only performs an atomic store — async-signal-safe,\n\
+                    // no allocation, no locks, and no unwinding across\n\
+                    // the FFI boundary.\n\
+                    unsafe { install(); }";
+        assert!(run(long).is_empty());
+    }
+
+    #[test]
+    fn distant_comment_does_not() {
+        let src = "// SAFETY: too far away\n\n\n\n\nunsafe { x(); }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_ignored() {
+        assert!(run("// mentions unsafe\nlet s = \"unsafe\";").is_empty());
+    }
+}

@@ -345,6 +345,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
                     *pos += 1;
                 }
+                // lint: allow(L1) slice follows scalar boundaries of a valid &str
                 out.push_str(std::str::from_utf8(&bytes[start..*pos]).unwrap());
             }
         }
@@ -367,7 +368,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap_or("");
     if text.is_empty() || text == "-" {
         return Err(format!("invalid number at byte {start}"));
     }

@@ -51,6 +51,7 @@ mod export_impl;
 mod json_impl;
 mod log_impl;
 mod metrics;
+pub mod names;
 mod span_impl;
 
 pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};

@@ -1,0 +1,245 @@
+//! The metric-name registry: every counter and histogram the system
+//! publishes, checked in as data.
+//!
+//! Telemetry names are stringly typed at their call sites
+//! (`obs::global().counter("pool.hits")`), which makes typos and doc
+//! drift invisible to the compiler. This module is the single source of
+//! truth the `segdiff-lint` L4 rule enforces in both directions:
+//!
+//! * every name passed to [`crate::MetricsRegistry::counter`] /
+//!   [`crate::MetricsRegistry::histogram`] / [`crate::span`] in
+//!   non-test code must [`lookup`] to a registry entry of the right
+//!   kind, and
+//! * every registry entry must be referenced by at least one call site
+//!   — dead entries are flagged too.
+//!
+//! The README "Metrics reference" table is generated from this registry
+//! ([`markdown_table`]) and `segdiff-lint` fails when the two diverge,
+//! so the docs cannot drift either.
+
+/// Whether a metric is a monotonic counter or a latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic `u64` counter ([`crate::Counter`]).
+    Counter,
+    /// Log-bucketed histogram ([`crate::Histogram`]), nanoseconds
+    /// unless the name says otherwise (`*_ms`).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lower-case label used in docs and JSON exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered metric name.
+///
+/// `name` may contain a single `*` wildcard covering one dot-free,
+/// non-empty segment run — used for the per-shard counters
+/// (`pool.shard*.hits` matches `pool.shard0.hits`, `pool.shard12.hits`,
+/// … but not `pool.shard.hits` or `pool.shardX.extra.hits`).
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Counter or histogram.
+    pub kind: MetricKind,
+    /// Registered name (optionally with one `*` wildcard).
+    pub name: &'static str,
+    /// One-line description, surfaced in the generated docs table.
+    pub help: &'static str,
+}
+
+impl MetricDef {
+    /// A counter entry.
+    pub const fn counter(name: &'static str, help: &'static str) -> Self {
+        MetricDef {
+            kind: MetricKind::Counter,
+            name,
+            help,
+        }
+    }
+
+    /// A histogram entry.
+    pub const fn histogram(name: &'static str, help: &'static str) -> Self {
+        MetricDef {
+            kind: MetricKind::Histogram,
+            name,
+            help,
+        }
+    }
+
+    /// Whether `name` is this entry (exact, or via the `*` wildcard).
+    pub fn matches(&self, name: &str) -> bool {
+        match self.name.split_once('*') {
+            None => self.name == name,
+            Some((prefix, suffix)) => {
+                name.len() > prefix.len() + suffix.len()
+                    && name.starts_with(prefix)
+                    && name.ends_with(suffix)
+                    && !name[prefix.len()..name.len() - suffix.len()].contains('.')
+            }
+        }
+    }
+}
+
+/// Every metric name the system may publish, grouped by namespace.
+pub const METRICS: &[MetricDef] = &[
+    // Buffer pool (pagestore::buffer) — the paper's I/O cost model.
+    MetricDef::counter("pool.hits", "Logical page requests served from the pool"),
+    MetricDef::counter(
+        "pool.misses",
+        "Logical page requests that had to read from a file",
+    ),
+    MetricDef::counter("pool.evictions", "Frames evicted to make room"),
+    MetricDef::counter("pool.physical_reads", "Pages read from backing files"),
+    MetricDef::counter("pool.physical_writes", "Pages written to backing files"),
+    MetricDef::counter(
+        "pool.shard*.hits",
+        "Per-shard pool hits (sum equals `pool.hits`)",
+    ),
+    MetricDef::counter("pool.shard*.misses", "Per-shard pool misses"),
+    MetricDef::counter("pool.shard*.evictions", "Per-shard evictions"),
+    MetricDef::counter("pool.shard*.physical_reads", "Per-shard physical reads"),
+    MetricDef::counter("pool.shard*.physical_writes", "Per-shard physical writes"),
+    // B+trees (pagestore::btree).
+    MetricDef::counter("btree.inserts", "Entries inserted into B+tree indexes"),
+    MetricDef::counter("btree.range_scans", "Range scans started on B+tree indexes"),
+    MetricDef::counter(
+        "btree.entries_scanned",
+        "Index entries visited by range scans",
+    ),
+    // Write-ahead log (pagestore::wal).
+    MetricDef::counter("wal.appends", "Records appended to the write-ahead log"),
+    MetricDef::counter("wal.bytes", "Bytes appended to the write-ahead log"),
+    MetricDef::counter("wal.fsyncs", "fsync(2) calls issued by the log"),
+    MetricDef::counter("wal.commits", "Commit records appended"),
+    MetricDef::counter(
+        "wal.checkpoints",
+        "Fuzzy checkpoints taken (log truncations)",
+    ),
+    MetricDef::counter(
+        "wal.replayed_records",
+        "Log records replayed during recovery",
+    ),
+    // Crash recovery (pagestore::recovery).
+    MetricDef::counter(
+        "recovery.runs",
+        "Recovery passes that found an unclean shutdown",
+    ),
+    // Ingest (core, the paper's Algorithm 1).
+    MetricDef::counter("ingest.observations", "Raw sensor observations ingested"),
+    MetricDef::counter("ingest.segments", "PLA segments produced by ingestion"),
+    MetricDef::counter("ingest.feature_rows", "Feature-space rows written"),
+    // Query result cache (core::cache).
+    MetricDef::counter(
+        "cache.hit",
+        "Query results served from the epoch-tagged cache",
+    ),
+    MetricDef::counter("cache.miss", "Query cache lookups that missed"),
+    MetricDef::counter("cache.insert", "Results inserted into the query cache"),
+    MetricDef::counter("cache.evict", "Query cache entries evicted (LRU)"),
+    // HTTP server (server).
+    MetricDef::counter("server.accepted", "TCP connections accepted"),
+    MetricDef::counter("server.rejected", "Connections shed with 503 (queue full)"),
+    MetricDef::counter(
+        "server.requeued",
+        "Keep-alive connections yielded back to the queue",
+    ),
+    MetricDef::counter("server.requests", "HTTP requests served"),
+    MetricDef::counter("server.queries", "POST /query requests executed"),
+    MetricDef::counter("server.bad_requests", "Requests answered 400"),
+    MetricDef::counter("server.not_found", "Requests answered 404"),
+    MetricDef::counter("server.errors", "Requests answered 5xx"),
+    MetricDef::histogram("server.request_nanos", "Wall time per HTTP request"),
+    MetricDef::histogram("server.query_nanos", "Wall time per executed query"),
+    MetricDef::histogram(
+        "server.flush_ms",
+        "Store flush duration at drain (milliseconds)",
+    ),
+    // Load generator (server::loadgen).
+    MetricDef::histogram(
+        "loadgen.request_nanos",
+        "Client-observed wall time per request",
+    ),
+    // Spans: every obs::span("<name>") records into `span.<name>`.
+    MetricDef::histogram("span.query", "End-to-end query execution"),
+    MetricDef::histogram("span.query.plan", "Query phase: plan selection"),
+    MetricDef::histogram("span.query.scan", "Query phase: sequential feature scan"),
+    MetricDef::histogram("span.query.probe", "Query phase: index probe"),
+    MetricDef::histogram("span.query.fetch", "Query phase: row fetch after probe"),
+    MetricDef::histogram("span.query.refine", "Query phase: candidate refinement"),
+    MetricDef::histogram("span.ingest.series", "Ingest of one series"),
+    MetricDef::histogram("span.ingest.finish", "Ingest finalization (flush + commit)"),
+    MetricDef::histogram(
+        "span.ingest.build_indexes",
+        "Index build over feature tables",
+    ),
+];
+
+/// Finds the registry entry for `name`, honoring `*` wildcards.
+pub fn lookup(name: &str) -> Option<&'static MetricDef> {
+    METRICS.iter().find(|d| d.matches(name))
+}
+
+/// The generated markdown metrics table (README "Metrics reference").
+///
+/// `segdiff-lint` regenerates this and fails when the README section
+/// between the `<!-- metrics-table:begin -->` / `end` markers differs.
+pub fn markdown_table() -> String {
+    let mut out = String::from("| name | kind | description |\n|---|---|---|\n");
+    for d in METRICS {
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            d.name,
+            d.kind.label(),
+            d.help
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_wildcard_lookup() {
+        assert!(lookup("pool.hits").is_some());
+        assert!(lookup("pool.shard0.hits").is_some());
+        assert!(lookup("pool.shard12.physical_writes").is_some());
+        assert!(lookup("pool.shard.hits").is_none());
+        assert!(lookup("pool.shard0.extra.hits").is_none());
+        assert!(lookup("pool.hit").is_none());
+        assert!(lookup("span.query.refine").is_some());
+    }
+
+    #[test]
+    fn kinds_are_recorded() {
+        assert_eq!(lookup("cache.hit").unwrap().kind, MetricKind::Counter);
+        assert_eq!(
+            lookup("server.flush_ms").unwrap().kind,
+            MetricKind::Histogram
+        );
+    }
+
+    #[test]
+    fn no_duplicate_or_overlapping_names() {
+        for (i, a) in METRICS.iter().enumerate() {
+            for b in METRICS.iter().skip(i + 1) {
+                assert_ne!(a.name, b.name, "duplicate registry entry {}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table_lists_every_entry() {
+        let table = markdown_table();
+        for d in METRICS {
+            assert!(table.contains(d.name), "table missing {}", d.name);
+        }
+    }
+}

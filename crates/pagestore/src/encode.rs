@@ -53,12 +53,12 @@ pub fn encode_key(cols: &[f64], rid: u64, out: &mut KeyBuf) {
 /// Decodes the `i`-th `f64` column of a composite key produced by
 /// [`encode_key`].
 pub fn decode_key_col(key: &[u8], i: usize) -> f64 {
-    decode_f64(key[i * 8..i * 8 + 8].try_into().unwrap())
+    decode_f64(crate::page::arr(key, i * 8))
 }
 
 /// Decodes the row-id suffix of a composite key with `ncols` columns.
 pub fn decode_key_rid(key: &[u8], ncols: usize) -> u64 {
-    u64::from_be_bytes(key[ncols * 8..ncols * 8 + 8].try_into().unwrap())
+    u64::from_be_bytes(crate::page::arr(key, ncols * 8))
 }
 
 #[cfg(test)]

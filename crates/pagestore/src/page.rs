@@ -9,7 +9,7 @@ pub struct PageBuf(Box<[u8; PAGE_SIZE]>);
 impl PageBuf {
     /// A fresh zeroed page.
     pub fn zeroed() -> Self {
-        Self(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap())
+        Self(Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Read-only view of the raw bytes.
@@ -35,10 +35,19 @@ impl std::fmt::Debug for PageBuf {
     }
 }
 
+/// Copies the `N` bytes at `off` into an array. The slice taken is
+/// exactly `N` bytes long, so the conversion cannot fail (the range
+/// index is the only panic site, as with any accessor below).
+#[inline]
+pub(crate) fn arr<const N: usize>(buf: &[u8], off: usize) -> [u8; N] {
+    // lint: allow(L1) a slice of length N always converts to [u8; N]
+    buf[off..off + N].try_into().unwrap()
+}
+
 /// Reads a `u16` at byte offset `off`.
 #[inline]
 pub fn get_u16(buf: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())
+    u16::from_le_bytes(arr(buf, off))
 }
 
 /// Writes a `u16` at byte offset `off`.
@@ -50,7 +59,7 @@ pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
 /// Reads a `u32` at byte offset `off`.
 #[inline]
 pub fn get_u32(buf: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+    u32::from_le_bytes(arr(buf, off))
 }
 
 /// Writes a `u32` at byte offset `off`.
@@ -62,7 +71,7 @@ pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
 /// Reads a `u64` at byte offset `off`.
 #[inline]
 pub fn get_u64(buf: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+    u64::from_le_bytes(arr(buf, off))
 }
 
 /// Writes a `u64` at byte offset `off`.
@@ -74,7 +83,7 @@ pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
 /// Reads an `f64` at byte offset `off`.
 #[inline]
 pub fn get_f64(buf: &[u8], off: usize) -> f64 {
-    f64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+    f64::from_le_bytes(arr(buf, off))
 }
 
 /// Writes an `f64` at byte offset `off`.

@@ -89,7 +89,7 @@ pub fn recover(dir: &Path) -> Result<RecoveryReport> {
             Record::Commit(s) | Record::Checkpoint(s) => Some(s.clone()),
             _ => None,
         })
-        .expect("first record is a checkpoint");
+        .ok_or_else(|| StoreError::Corrupt("wal holds no checkpoint or commit record".into()))?;
     report.committed = committed;
 
     if scan.records.len() == 1 && scan.torn_bytes == 0 {
@@ -98,6 +98,7 @@ pub fn recover(dir: &Path) -> Result<RecoveryReport> {
     }
 
     // Unclean shutdown: replay all valid page images in log order.
+    obs::global().counter("recovery.runs").inc();
     let replayed = obs::global().counter("wal.replayed_records");
     for (_, rec) in &scan.records {
         if let Record::PageImage { file, pid, image } = rec {
@@ -173,14 +174,14 @@ fn truncate_heap(path: &Path, nrows: u64) -> Result<u64> {
     let mut page = vec![0u8; PAGE_SIZE];
     f.seek(SeekFrom::Start(0))?;
     f.read_exact(&mut page)?;
-    let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
+    let magic = u32::from_le_bytes([page[0], page[1], page[2], page[3]]);
     if magic != HEAP_MAGIC {
         return Err(StoreError::Corrupt(format!(
             "{}: bad heap magic after replay",
             path.display()
         )));
     }
-    let ncols = u16::from_le_bytes(page[4..6].try_into().unwrap()) as usize;
+    let ncols = u16::from_le_bytes([page[4], page[5]]) as usize;
     if ncols == 0 || ncols * 8 > PAGE_SIZE - PAGE_HDR {
         return Err(StoreError::Corrupt(format!(
             "{}: impossible column count {ncols}",

@@ -142,14 +142,10 @@ fn pick_index(
         let idx = table.index(&name)?;
         let mut usable = 0;
         for &c in idx.cols() {
-            if bounds[c].is_some() {
-                usable += 1;
-                // Only continue past this column if it is pinned exactly.
-                let b = bounds[c].unwrap();
-                if b.lo != b.hi {
-                    break;
-                }
-            } else {
+            let Some(b) = &bounds[c] else { break };
+            usable += 1;
+            // Only continue past this column if it is pinned exactly.
+            if b.lo != b.hi {
                 break;
             }
         }
@@ -248,9 +244,7 @@ fn select(
                     .collect(),
             };
             let covered = covered_pred.is_some() && covered_proj.is_some();
-            if covered {
-                let cpred = covered_pred.unwrap();
-                let cproj = covered_proj.unwrap();
+            if let (Some(cpred), Some(cproj)) = (covered_pred, covered_proj) {
                 table.index_scan(&index_name, &lo, &hi, |_rid, key_vals| {
                     if matches(&cpred, key_vals) {
                         count += 1;

@@ -143,11 +143,11 @@ impl<'a> Cursor<'a> {
     }
     fn u32(&mut self) -> Option<u32> {
         self.take(4)
-            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
     fn u64(&mut self) -> Option<u64> {
         self.take(8)
-            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
     fn str(&mut self) -> Option<String> {
         let n = self.u16()? as usize;
@@ -218,11 +218,11 @@ pub(crate) fn scan(path: &Path) -> Result<WalScan> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while let Some(hdr) = data.get(pos..pos + FRAME_HDR) {
-        if u32::from_le_bytes(hdr[0..4].try_into().unwrap()) != WAL_MAGIC {
+        if u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) != WAL_MAGIC {
             break;
         }
-        let len = u32::from_le_bytes(hdr[4..8].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+        let len = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as usize;
+        let crc = u32::from_le_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]);
         let Some(payload) = data.get(pos + FRAME_HDR..pos + FRAME_HDR + len) else {
             break;
         };

@@ -48,7 +48,9 @@ pub use sliding::{segment_series, SlidingWindowSegmenter};
 pub use swab::SwabSegmenter;
 pub use traits::Segmenter;
 
-#[cfg(test)]
+// Property tests sample thousands of cases; under Miri's interpreter
+// that is hours, not seconds, so they run natively only.
+#[cfg(all(test, not(miri)))]
 mod proptests {
     use crate::{segment_series, Segmenter};
     use proptest::prelude::*;

@@ -112,18 +112,18 @@ pub fn pooled_request(
     body: Option<&str>,
 ) -> Result<(u16, Vec<u8>), HttpError> {
     let reused = conn.is_some();
-    if conn.is_none() {
-        *conn = Some(connect(host)?);
-    }
-    match roundtrip_once(conn.as_mut().unwrap(), host, method, path, body) {
+    let stream = match conn.take() {
+        Some(s) => s,
+        None => connect(host)?,
+    };
+    match roundtrip_once(conn.insert(stream), host, method, path, body) {
         Ok(out) => Ok(out),
         Err(e) => {
             *conn = None;
             if !reused {
                 return Err(e);
             }
-            *conn = Some(connect(host)?);
-            match roundtrip_once(conn.as_mut().unwrap(), host, method, path, body) {
+            match roundtrip_once(conn.insert(connect(host)?), host, method, path, body) {
                 Ok(out) => Ok(out),
                 Err(e) => {
                     *conn = None;

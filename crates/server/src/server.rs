@@ -298,6 +298,10 @@ pub mod signal {
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        // SAFETY: libc `signal` is called with valid signal numbers and
+        // a handler that is an `extern "C" fn(i32)` whose body only
+        // performs an atomic store — async-signal-safe, no allocation,
+        // no locks, no Rust unwinding across the FFI boundary.
         unsafe {
             signal(SIGINT, handler);
             signal(SIGTERM, handler);

@@ -1,0 +1,49 @@
+//! The workspace must satisfy its own lint, and the registry table the
+//! lint re-derives lexically must match the one `obs` generates — if
+//! either drifts, CI should say so here before the lint job does.
+
+use lint::diag::Rule;
+use lint::{load_registry, run, Options};
+use std::path::PathBuf;
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = run(&Options::new(root())).expect("lint must run");
+    assert!(
+        diags.is_empty(),
+        "segdiff-lint found violations:\n{}",
+        diags
+            .iter()
+            .map(|d| format!(
+                "{}:{}:{} [{}] {}",
+                d.file,
+                d.line,
+                d.col,
+                d.rule.id(),
+                d.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_is_exercised_by_default() {
+    let opts = Options::new(root());
+    assert_eq!(opts.rules.len(), Rule::ALL.len());
+}
+
+#[test]
+fn lint_metrics_table_matches_obs_registry() {
+    let registry = load_registry(&root()).expect("names.rs parses");
+    assert_eq!(
+        lint::rules::names::markdown_table(&registry),
+        segdiff_repro::obs::names::markdown_table(),
+        "crates/lint re-derives the metrics table lexically from \
+         crates/obs/src/names.rs; the two generators must agree"
+    );
+}
