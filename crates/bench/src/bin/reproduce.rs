@@ -7,9 +7,14 @@
 //! ```
 //!
 //! Experiments: `table3 table4 table5 table6 table7 fig7_11 fig12_13
-//! fig14_15 fig16_24 all`. Flags: `--days N` (subset size), `--full-days N`
-//! (scalability run), `--queries N` (random-query count), `--repeats N`,
-//! `--tiny` (smoke-test scale), `--out PATH` (write markdown).
+//! fig14_15 fig16_24 serving durability scaling all`. Flags: `--days N`
+//! (subset size), `--full-days N` (scalability run), `--queries N`
+//! (random-query count), `--repeats N`, `--tiny` (smoke-test scale),
+//! `--out PATH` (write markdown). The `scaling` experiment also honours
+//! `--record-baseline` (write `BENCH_query.json`), `--baseline PATH`
+//! (compare against a recorded file, default `BENCH_query.json`) and
+//! `--guard PATH` (fail when the index-plan p99 exceeds the guard's
+//! `max_p99_ms`, mirroring `loadgen --guard`).
 
 use segdiff_bench::experiments::{self, EpsSweep, RandomQueryPoint, ScalePoint, WPoint};
 use segdiff_bench::harness::with_registry_delta;
@@ -22,9 +27,12 @@ struct Args {
     scale: Scale,
     queries: usize,
     out: Option<PathBuf>,
+    baseline: PathBuf,
+    record_baseline: bool,
+    guard: Option<PathBuf>,
 }
 
-const KNOWN: [&str; 12] = [
+const KNOWN: [&str; 13] = [
     "all",
     "table3",
     "table4",
@@ -37,6 +45,7 @@ const KNOWN: [&str; 12] = [
     "fig16_24",
     "serving",
     "durability",
+    "scaling",
 ];
 
 fn parse_args() -> Args {
@@ -45,6 +54,9 @@ fn parse_args() -> Args {
         scale: Scale::default(),
         queries: 30,
         out: None,
+        baseline: PathBuf::from("BENCH_query.json"),
+        record_baseline: false,
+        guard: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,6 +78,9 @@ fn parse_args() -> Args {
             }
             "--tiny" => args.scale = Scale::tiny(),
             "--out" => args.out = Some(PathBuf::from(it.next().expect("--out PATH"))),
+            "--baseline" => args.baseline = PathBuf::from(it.next().expect("--baseline PATH")),
+            "--record-baseline" => args.record_baseline = true,
+            "--guard" => args.guard = Some(PathBuf::from(it.next().expect("--guard PATH"))),
             name if !name.starts_with('-') => {
                 if !KNOWN.contains(&name) {
                     eprintln!("unknown experiment {name}; known: {KNOWN:?}");
@@ -169,6 +184,27 @@ fn main() {
         });
         segdiff_bench::serving::serving_report(&points, &mut report);
         report.metrics("Telemetry: serving", &delta);
+    }
+
+    if want("scaling") {
+        eprintln!("[reproduce] running query-scaling benchmark ...");
+        let (points, delta) =
+            with_registry_delta(|| segdiff_bench::scaling::run_query_scaling(&args.scale, &[1, 8]));
+        if args.record_baseline {
+            let json = segdiff_bench::scaling::baseline_json(&args.scale, &points);
+            std::fs::write(&args.baseline, json).expect("write baseline");
+            eprintln!("[reproduce] recorded baseline {}", args.baseline.display());
+        }
+        let baseline = segdiff_bench::scaling::load_baseline(&args.baseline);
+        segdiff_bench::scaling::scaling_report(&points, baseline.as_deref(), &mut report);
+        report.metrics("Telemetry: query scaling", &delta);
+        if let Some(guard) = &args.guard {
+            if let Err(msg) = segdiff_bench::scaling::check_guard(&points, guard) {
+                eprintln!("[reproduce] query guard FAILED: {msg}");
+                std::process::exit(1);
+            }
+            eprintln!("[reproduce] query guard OK ({})", guard.display());
+        }
     }
 
     if want("durability") {

@@ -8,6 +8,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod scaling;
 pub mod serving;
 
 pub use harness::{

@@ -1,0 +1,372 @@
+//! Query-execution scaling: seq_scan vs index plans across sensor counts.
+//!
+//! This experiment times the *executor* (not the HTTP layer): a
+//! [`TransectIndex`] fan-out query over 1 and 8 sensors, both plans, with
+//! per-repeat wall-clock latencies summarized as p50/p90/p99. The numbers
+//! are recorded to `BENCH_query.json` (`--record-baseline`) so later
+//! executor changes are measured against a checked-in baseline, and a CI
+//! guard (`ci/query-guard.json`, `--guard`) fails the smoke job when the
+//! index-plan p99 regresses past an absolute bound — the same shape as
+//! the serving-guard used by `segdiff loadgen`.
+
+use crate::harness::{scratch_dir, Scale};
+use crate::report::Report;
+use obs::json::Json;
+use segdiff::{QueryPlan, SegDiffConfig, TransectIndex};
+use sensorgen::{generate_sensor, smooth::RobustSmoother, CadTransectConfig, HOUR};
+use std::path::Path;
+use std::time::Instant;
+
+/// One measured `(sensors, plan)` combination.
+#[derive(Debug, Clone)]
+pub struct QueryScalingPoint {
+    /// Sensors fanned out over.
+    pub sensors: u32,
+    /// Plan name (`seq_scan` / `index`).
+    pub plan: &'static str,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th percentile latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Pages read (physical + pool misses) during one representative run.
+    pub pages_read: u64,
+    /// Result rows across all sensors.
+    pub results: u64,
+    /// Rows / index entries examined across all sensors.
+    pub rows_considered: u64,
+    /// Zone-map pages skipped during the timed runs (seq_scan only).
+    pub pages_pruned: u64,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted_ms.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted_ms.len() - 1);
+    sorted_ms[idx]
+}
+
+/// Builds a transect of `sensors` smoothed canyon sensors and times both
+/// plans over the paper's default region, `repeats` timed runs each
+/// (after one warm-up), returning one point per `(sensors, plan)`.
+pub fn run_query_scaling(scale: &Scale, sensor_counts: &[u32]) -> Vec<QueryScalingPoint> {
+    let region = featurespace::QueryRegion::drop(1.0 * HOUR, -3.0);
+    let mut points = Vec::new();
+    for &n in sensor_counts {
+        let root = scratch_dir(&format!("qscaling-{n}"));
+        std::fs::remove_dir_all(&root).ok();
+        let cfg = SegDiffConfig::default()
+            .with_epsilon(0.2)
+            .with_window(8.0 * HOUR)
+            .with_pool_pages(scale.pool_pages)
+            .with_durable(false);
+        let gen_cfg = CadTransectConfig::default()
+            .with_days(scale.subset_days)
+            .with_sensors(n.max(2));
+        let mut transect = TransectIndex::create(&root, cfg, n).expect("create transect");
+        for k in 0..n {
+            let series =
+                RobustSmoother::default().smooth(&generate_sensor(&gen_cfg, k, scale.seed));
+            transect.ingest_series(k, &series).expect("ingest sensor");
+        }
+        transect.finish_all().expect("finish transect");
+        transect
+            .build_indexes_all()
+            .expect("build transect indexes");
+
+        for (plan, name) in [
+            (QueryPlan::SeqScan, "seq_scan"),
+            (QueryPlan::Index, "index"),
+        ] {
+            // Warm-up so the timed repeats measure a warm buffer pool.
+            let _ = transect.query_all(&region, plan).expect("warmup");
+            let before = obs::global().snapshot();
+            let mut lat_ms = Vec::new();
+            let mut first = None;
+            for _ in 0..scale.repeats.max(1) {
+                let t = Instant::now();
+                let (_, stats) = transect.query_all(&region, plan).expect("query_all");
+                lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                first.get_or_insert(stats);
+            }
+            let delta = obs::global().snapshot().delta(&before);
+            lat_ms.sort_by(|a, b| a.total_cmp(b));
+            let stats = first.expect("at least one repeat");
+            points.push(QueryScalingPoint {
+                sensors: n,
+                plan: name,
+                p50_ms: percentile(&lat_ms, 0.50),
+                p90_ms: percentile(&lat_ms, 0.90),
+                p99_ms: percentile(&lat_ms, 0.99),
+                pages_read: stats.io.physical_reads + stats.io.misses,
+                results: stats.results,
+                rows_considered: stats.rows_considered,
+                pages_pruned: delta
+                    .counters
+                    .get("zonemap.pages_pruned")
+                    .copied()
+                    .unwrap_or(0),
+            });
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+    points
+}
+
+/// Serializes points to the `BENCH_query.json` document.
+pub fn baseline_json(scale: &Scale, points: &[QueryScalingPoint]) -> String {
+    let arr = points
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("sensors", Json::from(p.sensors)),
+                ("plan", Json::from(p.plan)),
+                ("p50_ms", Json::from(p.p50_ms)),
+                ("p90_ms", Json::from(p.p90_ms)),
+                ("p99_ms", Json::from(p.p99_ms)),
+                ("pages_read", Json::from(p.pages_read)),
+                ("results", Json::from(p.results)),
+                ("rows_considered", Json::from(p.rows_considered)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        (
+            "comment",
+            Json::from(
+                "Query-executor latency baseline recorded by `reproduce scaling \
+                 --record-baseline`; compared on later runs to report speedups.",
+            ),
+        ),
+        ("subset_days", Json::from(scale.subset_days)),
+        ("repeats", Json::from(scale.repeats)),
+        ("seed", Json::from(scale.seed)),
+        ("points", Json::Array(arr)),
+    ]);
+    let mut s = doc.to_string_compact();
+    s.push('\n');
+    s
+}
+
+/// A `(sensors, plan)` row parsed back from `BENCH_query.json`.
+#[derive(Debug, Clone)]
+pub struct BaselinePoint {
+    /// Sensor count of the recorded row.
+    pub sensors: u32,
+    /// Plan name of the recorded row.
+    pub plan: String,
+    /// Recorded median latency, milliseconds.
+    pub p50_ms: f64,
+}
+
+/// Loads the recorded baseline, if the file exists and parses.
+pub fn load_baseline(path: &Path) -> Option<Vec<BaselinePoint>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    let mut out = Vec::new();
+    for p in doc.get("points")?.as_array()? {
+        out.push(BaselinePoint {
+            sensors: p.get("sensors")?.as_u64()? as u32,
+            plan: p.get("plan")?.as_str()?.to_string(),
+            p50_ms: p.get("p50_ms")?.as_f64()?,
+        });
+    }
+    Some(out)
+}
+
+/// Renders the scaling table, plus baseline speedups when available.
+pub fn scaling_report(
+    points: &[QueryScalingPoint],
+    baseline: Option<&[BaselinePoint]>,
+    report: &mut Report,
+) {
+    report.heading("Query scaling (beyond the paper): batched, pruned, parallel execution");
+    report.para(
+        "End-to-end executor latency of a fan-out query over every sensor of a \
+         transect (default region: 3 degC drop within 1 h), p50/p90/p99 over \
+         warm repeats. `pruned` counts heap pages skipped by zone maps on the \
+         seq_scan plan.",
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.sensors.to_string(),
+                p.plan.to_string(),
+                format!("{:.3}", p.p50_ms),
+                format!("{:.3}", p.p90_ms),
+                format!("{:.3}", p.p99_ms),
+                p.pages_read.to_string(),
+                p.rows_considered.to_string(),
+                p.results.to_string(),
+                p.pages_pruned.to_string(),
+            ]
+        })
+        .collect();
+    report.table(
+        &[
+            "sensors",
+            "plan",
+            "p50 ms",
+            "p90 ms",
+            "p99 ms",
+            "pages read",
+            "rows considered",
+            "results",
+            "pruned",
+        ],
+        &rows,
+    );
+    if let Some(base) = baseline {
+        let mut lines = Vec::new();
+        for p in points {
+            if let Some(b) = base
+                .iter()
+                .find(|b| b.sensors == p.sensors && b.plan == p.plan)
+            {
+                if p.p50_ms > 0.0 {
+                    lines.push(format!(
+                        "{} x{} sensors: p50 {:.3} ms vs baseline {:.3} ms ({:.2}x)",
+                        p.plan,
+                        p.sensors,
+                        p.p50_ms,
+                        b.p50_ms,
+                        b.p50_ms / p.p50_ms
+                    ));
+                }
+            }
+        }
+        if !lines.is_empty() {
+            report.para(&format!(
+                "Against the recorded `BENCH_query.json` baseline: {}.",
+                lines.join("; ")
+            ));
+        }
+    } else {
+        report.para(
+            "No `BENCH_query.json` baseline found; run with `--record-baseline` \
+             to record one.",
+        );
+    }
+}
+
+/// Checks the index-plan p99 against the guard file's `max_p99_ms`, and
+/// that zone maps pruned at least one page across the seq-scan points
+/// (the workload's region is selective, so zero pruning means the maps
+/// were not built or not consulted). Returns an error string describing
+/// the first violation, if any.
+pub fn check_guard(
+    points: &[QueryScalingPoint],
+    guard_path: &Path,
+) -> std::result::Result<(), String> {
+    let text = std::fs::read_to_string(guard_path)
+        .map_err(|e| format!("read {}: {e}", guard_path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {}: {e}", guard_path.display()))?;
+    let max_p99_ms = doc
+        .get("max_p99_ms")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "guard file needs a numeric max_p99_ms field".to_string())?;
+    for p in points.iter().filter(|p| p.plan == "index") {
+        if p.p99_ms > max_p99_ms {
+            return Err(format!(
+                "index plan p99 {:.2} ms at {} sensors exceeds guard limit {:.2} ms",
+                p.p99_ms, p.sensors, max_p99_ms
+            ));
+        }
+    }
+    let seq_points: Vec<_> = points.iter().filter(|p| p.plan == "seq_scan").collect();
+    if !seq_points.is_empty() && seq_points.iter().all(|p| p.pages_pruned == 0) {
+        return Err(
+            "zone maps pruned zero pages on every seq scan of a selective region".to_string(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.50), 3.0);
+        assert_eq!(percentile(&v, 0.90), 5.0);
+        assert_eq!(percentile(&v, 0.99), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_report() {
+        let points = vec![
+            QueryScalingPoint {
+                sensors: 8,
+                plan: "index",
+                p50_ms: 1.0,
+                p90_ms: 2.0,
+                p99_ms: 3.0,
+                pages_read: 10,
+                results: 5,
+                rows_considered: 100,
+                pages_pruned: 0,
+            },
+            QueryScalingPoint {
+                sensors: 8,
+                plan: "seq_scan",
+                p50_ms: 4.0,
+                p90_ms: 5.0,
+                p99_ms: 6.0,
+                pages_read: 40,
+                results: 5,
+                rows_considered: 400,
+                pages_pruned: 7,
+            },
+        ];
+        let dir = scratch_dir("scaling-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_query.json");
+        std::fs::write(&path, baseline_json(&Scale::tiny(), &points)).unwrap();
+        let base = load_baseline(&path).expect("baseline parses");
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].plan, "index");
+        assert_eq!(base[0].p50_ms, 1.0);
+
+        let mut report = Report::new();
+        scaling_report(&points, Some(&base), &mut report);
+        let md = report.markdown();
+        assert!(md.contains("| sensors |"), "{md}");
+        assert!(md.contains("1.00x"), "{md}");
+
+        let guard = dir.join("guard.json");
+        std::fs::write(&guard, "{\"max_p99_ms\": 2.5}").unwrap();
+        assert!(check_guard(&points, &guard).is_err());
+        std::fs::write(&guard, "{\"max_p99_ms\": 250.0}").unwrap();
+        assert!(check_guard(&points, &guard).is_ok());
+
+        // A seq scan that pruned nothing on this selective workload
+        // means zone maps are broken; the guard must catch that too.
+        let mut unpruned = points.clone();
+        unpruned[1].pages_pruned = 0;
+        let err = check_guard(&unpruned, &guard).unwrap_err();
+        assert!(err.contains("pruned zero pages"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiny_scaling_run_completes() {
+        let mut scale = Scale::tiny();
+        scale.subset_days = 3;
+        let points = run_query_scaling(&scale, &[2]);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().any(|p| p.plan == "seq_scan"));
+        let (seq, idx) = (
+            points.iter().find(|p| p.plan == "seq_scan").unwrap(),
+            points.iter().find(|p| p.plan == "index").unwrap(),
+        );
+        assert_eq!(seq.results, idx.results, "plans must agree: {points:?}");
+    }
+}

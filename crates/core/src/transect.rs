@@ -119,31 +119,32 @@ impl TransectIndex {
         self.sensors[sensor as usize].query(region, plan)
     }
 
-    /// Queries every sensor in parallel; returns per-sensor results plus
-    /// merged execution statistics (wall time = slowest sensor, the rest
-    /// summed).
+    /// Queries every sensor in parallel (one worker per sensor); returns
+    /// per-sensor results plus merged execution statistics (wall time =
+    /// slowest sensor, the rest summed).
     pub fn query_all(
         &self,
         region: &QueryRegion,
         plan: QueryPlan,
     ) -> Result<(Vec<Vec<SegmentPair>>, QueryStats)> {
-        let outcomes: Vec<Result<(Vec<SegmentPair>, QueryStats)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .sensors
-                .iter()
-                .map(|s| scope.spawn(move || s.query(region, plan)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(pagestore::StoreError::Io(std::io::Error::other(
-                            "sensor query thread panicked",
-                        )))
-                    })
-                })
-                .collect()
-        });
+        self.query_all_with_threads(region, plan, self.sensors.len())
+    }
+
+    /// Like [`TransectIndex::query_all`], but fans the per-sensor queries
+    /// out on a fixed pool of at most `threads` worker threads
+    /// ([`crate::pool::run_on_pool`]). Results are identical for every
+    /// thread count — per-sensor execution is independent and the merge
+    /// preserves sensor order — which the integration tests assert.
+    pub fn query_all_with_threads(
+        &self,
+        region: &QueryRegion,
+        plan: QueryPlan,
+        threads: usize,
+    ) -> Result<(Vec<Vec<SegmentPair>>, QueryStats)> {
+        let outcomes: Vec<Result<(Vec<SegmentPair>, QueryStats)>> =
+            crate::pool::run_on_pool(threads.max(1), self.sensors.len(), |k| {
+                self.sensors[k].query(region, plan)
+            });
         let mut results = Vec::with_capacity(outcomes.len());
         let mut merged = QueryStats::default();
         for outcome in outcomes {
@@ -168,6 +169,21 @@ impl TransectIndex {
             results.push(r);
         }
         Ok((results, merged))
+    }
+
+    /// Sum of the per-sensor invalidation epochs; changes whenever any
+    /// sensor's data changes, so it can version fan-out query responses
+    /// the way [`SegDiffIndex::epoch`] versions single-sensor ones.
+    pub fn epoch(&self) -> u64 {
+        self.sensors.iter().map(|s| s.epoch()).sum()
+    }
+
+    /// Flushes every sensor's database (dirty pages + checkpoint).
+    pub fn flush_all(&self) -> Result<()> {
+        for s in &self.sensors {
+            s.database().flush()?;
+        }
+        Ok(())
     }
 
     /// Per-sensor statistics.
@@ -226,6 +242,25 @@ mod tests {
             total += per.len() as u64;
         }
         assert_eq!(merged.results, total);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Results are identical whatever the worker-pool size — the
+    /// acceptance criterion for parallel fan-out.
+    #[test]
+    fn query_all_is_thread_count_invariant() {
+        let (t, root) = build("threads", 5, 3);
+        t.build_indexes_all().unwrap();
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        for plan in [QueryPlan::SeqScan, QueryPlan::Index] {
+            let (r1, s1) = t.query_all_with_threads(&region, plan, 1).unwrap();
+            let (r8, s8) = t.query_all_with_threads(&region, plan, 8).unwrap();
+            let (rd, _) = t.query_all(&region, plan).unwrap();
+            assert_eq!(r1, r8, "{plan:?}: thread count changed results");
+            assert_eq!(r1, rd, "{plan:?}: default fan-out disagrees");
+            assert_eq!(s1.results, s8.results);
+            assert_eq!(s1.rows_considered, s8.rows_considered);
+        }
         std::fs::remove_dir_all(&root).ok();
     }
 

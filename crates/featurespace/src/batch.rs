@@ -1,0 +1,281 @@
+//! Columnar batch predicates: the kernels of §4.4 over struct-of-arrays
+//! corner buffers.
+//!
+//! The row-at-a-time executor materializes one [`FeaturePoint`] per stored
+//! corner and calls [`crate::point_in_region`] /
+//! [`crate::edge_crosses_region`] per row.
+//! These kernels evaluate the same predicates over column slices decoded a
+//! page at a time: one pass per corner column, accumulating into a shared
+//! match mask. The scalar predicates stay the single source of truth — the
+//! property tests assert the batch kernels agree with them bit for bit.
+//!
+//! The module also hosts [`zone_may_intersect`], the page-level pruning
+//! predicate derived from the same conditions: a page whose per-column
+//! min/max summary fails it cannot contain any matching row, so a
+//! sequential scan may skip it without changing results.
+
+use crate::intersect::edge_crosses_region;
+use crate::{FeaturePoint, QueryRegion, SearchKind};
+
+/// OR-accumulates the point query (`point_in_region`) over parallel
+/// `(Δt, Δv)` columns into `mask`.
+///
+/// # Panics
+///
+/// Panics unless `dts`, `dvs` and `mask` have equal lengths.
+pub fn points_in_region(dts: &[f64], dvs: &[f64], region: &QueryRegion, mask: &mut [bool]) {
+    assert!(dts.len() == dvs.len() && dts.len() == mask.len());
+    let (t, v) = (region.t, region.v);
+    match region.kind {
+        SearchKind::Drop => {
+            for i in 0..mask.len() {
+                mask[i] |= dts[i] <= t && dvs[i] <= v;
+            }
+        }
+        SearchKind::Jump => {
+            for i in 0..mask.len() {
+                mask[i] |= dts[i] <= t && dvs[i] >= v;
+            }
+        }
+    }
+}
+
+/// OR-accumulates the line query (`edge_crosses_region`) over parallel
+/// edge-endpoint columns (`p1 = (dt1s, dv1s)`, `p2 = (dt2s, dv2s)`,
+/// `p1.dt <= p2.dt` per lane) into `mask`. Lanes already set are skipped —
+/// the union semantics of [`crate::Boundary::intersects`].
+///
+/// # Panics
+///
+/// Panics unless all five slices have equal lengths.
+pub fn edges_cross_region(
+    dt1s: &[f64],
+    dv1s: &[f64],
+    dt2s: &[f64],
+    dv2s: &[f64],
+    region: &QueryRegion,
+    mask: &mut [bool],
+) {
+    assert!(
+        dt1s.len() == dv1s.len()
+            && dt1s.len() == dt2s.len()
+            && dt1s.len() == dv2s.len()
+            && dt1s.len() == mask.len()
+    );
+    for i in 0..mask.len() {
+        if !mask[i] {
+            mask[i] = edge_crosses_region(
+                FeaturePoint::new(dt1s[i], dv1s[i]),
+                FeaturePoint::new(dt2s[i], dv2s[i]),
+                region,
+            );
+        }
+    }
+}
+
+/// Evaluates [`crate::Boundary::intersects`] for a block of stored
+/// boundary rows in struct-of-arrays form.
+///
+/// `cols` holds `2 * corners` column slices in storage order
+/// (`Δt₁, Δv₁, …, Δtᶜ, Δvᶜ`), each `len` rows long. `mask` is resized to
+/// `len` and overwritten: `mask[i]` is true iff row `i`'s boundary
+/// intersects `region` — the union of the point query on every corner and
+/// the line query on every adjacent corner pair, exactly as the scalar
+/// path computes it.
+///
+/// # Panics
+///
+/// Panics unless `corners` is 1–3 and `cols` has `2 * corners` slices of
+/// length `len`.
+pub fn boundaries_intersect(
+    corners: usize,
+    cols: &[&[f64]],
+    len: usize,
+    region: &QueryRegion,
+    mask: &mut Vec<bool>,
+) {
+    assert!((1..=3).contains(&corners), "corners must be 1-3");
+    assert_eq!(cols.len(), 2 * corners, "need dt/dv columns per corner");
+    for c in cols {
+        assert_eq!(c.len(), len);
+    }
+    mask.clear();
+    mask.resize(len, false);
+    for j in 0..corners {
+        points_in_region(cols[2 * j], cols[2 * j + 1], region, mask);
+    }
+    for j in 0..corners.saturating_sub(1) {
+        edges_cross_region(
+            cols[2 * j],
+            cols[2 * j + 1],
+            cols[2 * j + 2],
+            cols[2 * j + 3],
+            region,
+            mask,
+        );
+    }
+}
+
+/// Page-level pruning predicate for zone maps: can *any* row whose corner
+/// columns lie within `[mins, maxs]` (per column, storage order
+/// `Δt₁, Δv₁, …`) intersect `region`?
+///
+/// Derived from the §4.4 conditions: every match — point or line — needs
+/// some corner with `Δt <= T` and some corner with `Δv <= V` (drop; for
+/// the line query the right endpoint satisfies `Δv < V`). So a page can be
+/// skipped when every corner column's minimum `Δt` exceeds `T`, or every
+/// corner column's minimum `Δv` exceeds `V` (drop) / maximum `Δv` falls
+/// short of `V` (jump). Returning `true` never loses a match — the
+/// losslessness property the query tests check end to end.
+///
+/// # Panics
+///
+/// Panics unless `mins` and `maxs` cover the `2 * corners` corner columns.
+pub fn zone_may_intersect(
+    corners: usize,
+    mins: &[f64],
+    maxs: &[f64],
+    region: &QueryRegion,
+) -> bool {
+    assert!((1..=3).contains(&corners), "corners must be 1-3");
+    assert!(mins.len() >= 2 * corners && maxs.len() >= 2 * corners);
+    let min_dt = (0..corners)
+        .map(|j| mins[2 * j])
+        .fold(f64::INFINITY, f64::min);
+    if min_dt > region.t {
+        return false;
+    }
+    match region.kind {
+        SearchKind::Drop => {
+            let min_dv = (0..corners)
+                .map(|j| mins[2 * j + 1])
+                .fold(f64::INFINITY, f64::min);
+            min_dv <= region.v
+        }
+        SearchKind::Jump => {
+            let max_dv = (0..corners)
+                .map(|j| maxs[2 * j + 1])
+                .fold(f64::NEG_INFINITY, f64::max);
+            max_dv >= region.v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Boundary;
+
+    fn soa(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let ncols = rows.first().map_or(0, Vec::len);
+        (0..ncols)
+            .map(|c| rows.iter().map(|r| r[c]).collect())
+            .collect()
+    }
+
+    fn check_against_scalar(corners: usize, rows: &[Vec<f64>], region: &QueryRegion) {
+        let cols = soa(rows);
+        let views: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let mut mask = Vec::new();
+        boundaries_intersect(corners, &views, rows.len(), region, &mut mask);
+        for (i, row) in rows.iter().enumerate() {
+            let pts: Vec<FeaturePoint> = (0..corners)
+                .map(|j| FeaturePoint::new(row[2 * j], row[2 * j + 1]))
+                .collect();
+            let b = match corners {
+                1 => Boundary::one(pts[0]),
+                2 => Boundary::two(pts[0], pts[1]),
+                _ => Boundary::three(pts[0], pts[1], pts[2]),
+            };
+            assert_eq!(mask[i], b.intersects(region), "row {i}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_boundaries() {
+        let region = QueryRegion::drop(10.0, -2.0);
+        // Two-corner rows covering point hit, edge hit, and miss.
+        let rows2 = vec![
+            vec![2.0, -1.0, 12.0, -6.0],  // edge crossing
+            vec![5.0, -3.0, 8.0, -4.0],   // corner inside
+            vec![11.0, -3.0, 20.0, -6.0], // entirely right of T
+            vec![2.0, -1.0, 9.0, -1.5],   // too shallow
+        ];
+        check_against_scalar(2, &rows2, &region);
+        let rows1 = vec![vec![5.0, -3.0], vec![5.0, -1.0]];
+        check_against_scalar(1, &rows1, &region);
+        let rows3 = vec![
+            vec![1.0, -0.5, 6.0, -1.0, 14.0, -5.0],
+            vec![1.0, 0.5, 6.0, 1.0, 14.0, 5.0],
+        ];
+        check_against_scalar(3, &rows3, &region);
+        let jump = QueryRegion::jump(10.0, 2.0);
+        let rows_j = vec![
+            vec![2.0, 1.0, 12.0, 6.0],
+            vec![5.0, 3.0, 8.0, 4.0],
+            vec![2.0, 1.0, 9.0, 1.5],
+        ];
+        check_against_scalar(2, &rows_j, &jump);
+    }
+
+    #[test]
+    fn zone_predicate_is_conservative_on_examples() {
+        let region = QueryRegion::drop(10.0, -2.0);
+        // Page holding a matching row must never be pruned.
+        assert!(zone_may_intersect(
+            2,
+            &[2.0, -1.0, 12.0, -6.0],
+            &[2.0, -1.0, 12.0, -6.0],
+            &region
+        ));
+        // All corners far right of T: prune.
+        assert!(!zone_may_intersect(
+            2,
+            &[11.0, -9.0, 20.0, -9.0],
+            &[30.0, 0.0, 40.0, 0.0],
+            &region
+        ));
+        // All dv too shallow: prune.
+        assert!(!zone_may_intersect(
+            2,
+            &[1.0, -1.0, 2.0, -1.5],
+            &[9.0, 0.0, 9.0, 0.0],
+            &region
+        ));
+        let jump = QueryRegion::jump(10.0, 2.0);
+        assert!(zone_may_intersect(1, &[1.0, 0.0], &[5.0, 3.0], &jump));
+        assert!(!zone_may_intersect(1, &[1.0, 0.0], &[5.0, 1.0], &jump));
+    }
+
+    #[test]
+    fn zone_predicate_never_prunes_a_match() {
+        // Any single-row page: zone = the row itself; if the row matches,
+        // the zone must pass.
+        let regions = [QueryRegion::drop(8.0, -1.5), QueryRegion::jump(8.0, 1.5)];
+        let mut x = 0.37f64;
+        let mut next = move || {
+            // Tiny deterministic LCG over [-10, 15].
+            x = (x * 9301.0 + 49297.0) % 233280.0;
+            x / 233280.0 * 25.0 - 10.0
+        };
+        for region in &regions {
+            for _ in 0..500 {
+                let (dt1, dt2) = {
+                    let (a, b) = (next().abs(), next().abs());
+                    (a.min(b), a.max(b))
+                };
+                let row = [dt1, next(), dt2, next()];
+                let b = Boundary::two(
+                    FeaturePoint::new(row[0], row[1]),
+                    FeaturePoint::new(row[2], row[3]),
+                );
+                if b.intersects(region) {
+                    assert!(
+                        zone_may_intersect(2, &row, &row, region),
+                        "pruned a matching row {row:?} for {region:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -105,6 +105,26 @@ pub const METRICS: &[MetricDef] = &[
     MetricDef::counter("pool.shard*.evictions", "Per-shard evictions"),
     MetricDef::counter("pool.shard*.physical_reads", "Per-shard physical reads"),
     MetricDef::counter("pool.shard*.physical_writes", "Per-shard physical writes"),
+    // Zone maps (pagestore::heap + zonemap).
+    MetricDef::counter(
+        "zonemap.pages_pruned",
+        "Heap pages skipped by zone-map pruning during sequential scans",
+    ),
+    MetricDef::counter(
+        "zonemap.builds",
+        "Zone maps rebuilt from a full scan (missing or stale sidecar)",
+    ),
+    // Batched index probes (pagestore::btree::search_batch).
+    MetricDef::counter("probe.batches", "Batched B+tree probe calls"),
+    MetricDef::counter("probe.ranges", "Key ranges submitted across probe batches"),
+    MetricDef::counter(
+        "probe.descents",
+        "Root-to-leaf descents performed by batched probes",
+    ),
+    MetricDef::counter(
+        "probe.leaf_hops",
+        "Leaf-sibling links followed by batched probes instead of re-descending",
+    ),
     // B+trees (pagestore::btree).
     MetricDef::counter("btree.inserts", "Entries inserted into B+tree indexes"),
     MetricDef::counter("btree.range_scans", "Range scans started on B+tree indexes"),
@@ -134,6 +154,12 @@ pub const METRICS: &[MetricDef] = &[
     MetricDef::counter("ingest.observations", "Raw sensor observations ingested"),
     MetricDef::counter("ingest.segments", "PLA segments produced by ingestion"),
     MetricDef::counter("ingest.feature_rows", "Feature-space rows written"),
+    // Worker pool (core::pool).
+    MetricDef::counter("parallel.jobs", "Worker-pool fan-out jobs executed"),
+    MetricDef::counter(
+        "parallel.tasks",
+        "Individual tasks dispatched to worker-pool threads",
+    ),
     // Query result cache (core::cache).
     MetricDef::counter(
         "cache.hit",

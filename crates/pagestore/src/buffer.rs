@@ -253,6 +253,16 @@ impl BufferPool {
         self.files.read()[fid as usize].file.lock().size_bytes()
     }
 
+    /// Filesystem path of file `fid` (used for derived sidecar files,
+    /// e.g. zone maps).
+    pub fn file_path(&self, fid: FileId) -> std::path::PathBuf {
+        self.files.read()[fid as usize]
+            .file
+            .lock()
+            .path()
+            .to_path_buf()
+    }
+
     /// Appends a zeroed page to file `fid` and returns its id. The page is
     /// installed in the pool as a clean frame (no physical read needed).
     pub fn allocate_page(&self, fid: FileId) -> Result<PageId> {

@@ -4,6 +4,7 @@ use crate::buffer::BufferPool;
 use crate::error::Result;
 use crate::page::{self, PageBuf};
 use crate::pagefile::FileId;
+use crate::zonemap::ZoneMap;
 use crate::{StoreError, PAGE_SIZE};
 use std::sync::Arc;
 
@@ -37,6 +38,19 @@ pub struct HeapFile {
     nrows: u64,
     /// Last data page and its row count, for O(1) appends.
     tail: Option<(u32, u16)>,
+    /// Per-page min/max column summaries, when available. Maintained
+    /// incrementally on insert; `None` after opening a heap whose sidecar
+    /// was missing or stale (rebuild with [`HeapFile::rebuild_zones`]).
+    zones: Option<ZoneMap>,
+}
+
+/// Page-skip accounting returned by [`HeapFile::scan_blocks`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZoneScanStats {
+    /// Data pages whose rows were decoded and visited.
+    pub pages_scanned: u64,
+    /// Data pages skipped because their zone failed the filter.
+    pub pages_pruned: u64,
 }
 
 impl HeapFile {
@@ -56,6 +70,7 @@ impl HeapFile {
             rows_per_page: (PAGE_SIZE - PAGE_HDR) / (ncols * 8),
             nrows: 0,
             tail: None,
+            zones: Some(ZoneMap::new(ncols)),
         };
         h.write_meta()?;
         Ok(h)
@@ -85,6 +100,7 @@ impl HeapFile {
                 Some((full_pages as u32 + 1, rem as u16))
             }
         };
+        let zones = ZoneMap::load(&pool.file_path(fid), ncols, nrows);
         Ok(Self {
             pool,
             fid,
@@ -92,6 +108,7 @@ impl HeapFile {
             rows_per_page,
             nrows,
             tail,
+            zones,
         })
     }
 
@@ -103,9 +120,14 @@ impl HeapFile {
         })
     }
 
-    /// Persists the row count to the meta page.
+    /// Persists the row count to the meta page, and the zone-map sidecar
+    /// when one is maintained.
     pub fn sync_meta(&self) -> Result<()> {
-        self.write_meta()
+        self.write_meta()?;
+        if let Some(z) = &self.zones {
+            z.save(&self.pool.file_path(self.fid))?;
+        }
+        Ok(())
     }
 
     /// Number of columns per row.
@@ -167,6 +189,9 @@ impl HeapFile {
         })?;
         self.tail = Some((pid, slot + 1));
         self.nrows += 1;
+        if let Some(z) = &mut self.zones {
+            z.observe(pid, row);
+        }
         Ok(rid(pid, slot))
     }
 
@@ -211,6 +236,144 @@ impl HeapFile {
                     return Ok(());
                 }
                 off += self.ncols * 8;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a zone map is currently maintained.
+    pub fn has_zones(&self) -> bool {
+        self.zones.is_some()
+    }
+
+    /// Rebuilds the zone map from a full scan (idempotent; a heap that
+    /// already maintains one is left untouched). Needed after opening a
+    /// heap whose sidecar was missing or stale — e.g. created before zone
+    /// maps existed, or truncated by WAL recovery.
+    pub fn rebuild_zones(&mut self) -> Result<()> {
+        if self.zones.is_some() {
+            return Ok(());
+        }
+        obs::global().counter("zonemap.builds").inc();
+        let mut z = ZoneMap::new(self.ncols);
+        let npages = self.pool.file_pages(self.fid);
+        let mut buf = PageBuf::zeroed();
+        let mut row = vec![0.0f64; self.ncols];
+        let mut remaining = self.nrows;
+        'pages: for pid in 1..npages {
+            self.pool.read_page_into(self.fid, pid, &mut buf)?;
+            let b = buf.bytes();
+            let n = page::get_u16(b, 0) as usize;
+            let mut off = PAGE_HDR;
+            for _slot in 0..n {
+                if remaining == 0 {
+                    break 'pages;
+                }
+                for (i, r) in row.iter_mut().enumerate() {
+                    *r = page::get_f64(b, off + i * 8);
+                }
+                z.observe(pid, &row);
+                remaining -= 1;
+                off += self.ncols * 8;
+            }
+        }
+        self.zones = Some(z);
+        Ok(())
+    }
+
+    /// Drops the zone map and deletes its sidecar, forcing subsequent
+    /// scans down the unpruned path (used by tests and ablations).
+    pub fn drop_zones(&mut self) {
+        self.zones = None;
+        std::fs::remove_file(ZoneMap::sidecar_path(&self.pool.file_path(self.fid))).ok();
+    }
+
+    /// Scans rows a page at a time, skipping pages whose zone summary
+    /// fails `filter` (called with the page's per-column `(mins, maxs)`;
+    /// pages without zone coverage are always visited). The visitor
+    /// receives the page's rows as one row-major block of
+    /// `n * ncols` decoded columns; returning `false` stops the scan.
+    ///
+    /// Skipped pages are counted into `zonemap.pages_pruned` and the
+    /// returned [`ZoneScanStats`]. The filter must be *conservative* —
+    /// return `true` whenever any row in the bounds could match — for
+    /// pruning to be lossless.
+    pub fn scan_blocks(
+        &self,
+        mut filter: impl FnMut(&[f64], &[f64]) -> bool,
+        mut visit: impl FnMut(&[f64], usize) -> bool,
+    ) -> Result<ZoneScanStats> {
+        let npages = self.pool.file_pages(self.fid);
+        let mut buf = PageBuf::zeroed();
+        let mut block = Vec::new();
+        let mut stats = ZoneScanStats::default();
+        for pid in 1..npages {
+            if let Some((mins, maxs)) = self.zones.as_ref().and_then(|z| z.page_bounds(pid)) {
+                if !filter(mins, maxs) {
+                    stats.pages_pruned += 1;
+                    continue;
+                }
+            }
+            stats.pages_scanned += 1;
+            self.pool.read_page_into(self.fid, pid, &mut buf)?;
+            let b = buf.bytes();
+            let n = page::get_u16(b, 0) as usize;
+            block.clear();
+            block.reserve(n * self.ncols);
+            let mut off = PAGE_HDR;
+            for _ in 0..n * self.ncols {
+                block.push(page::get_f64(b, off));
+                off += 8;
+            }
+            if !visit(&block, n) {
+                break;
+            }
+        }
+        if stats.pages_pruned > 0 {
+            obs::global()
+                .counter("zonemap.pages_pruned")
+                .add(stats.pages_pruned);
+        }
+        Ok(stats)
+    }
+
+    /// Fetches many rows with one page read per distinct page. `rids`
+    /// must be sorted (ascending row id — which is page-major order);
+    /// consecutive ids on the same page decode from a single buffered
+    /// page copy. The visitor receives each row id with its decoded
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the ids are sorted.
+    pub fn fetch_many(
+        &self,
+        rids: &[RowId],
+        mut visit: impl FnMut(RowId, &[f64]) -> bool,
+    ) -> Result<()> {
+        debug_assert!(rids.windows(2).all(|w| w[0] <= w[1]), "rids must be sorted");
+        let mut buf = PageBuf::zeroed();
+        let mut row = vec![0.0f64; self.ncols];
+        let mut loaded: Option<u32> = None;
+        for &r in rids {
+            let (pid, slot) = rid_parts(r);
+            if loaded != Some(pid) {
+                self.pool.read_page_into(self.fid, pid, &mut buf)?;
+                loaded = Some(pid);
+            }
+            let b = buf.bytes();
+            let n = page::get_u16(b, 0);
+            if slot >= n {
+                return Err(StoreError::Corrupt(format!(
+                    "row {r:#x}: slot {slot} >= page rows {n}"
+                )));
+            }
+            let off = PAGE_HDR + slot as usize * self.ncols * 8;
+            for (i, o) in row.iter_mut().enumerate() {
+                *o = page::get_f64(b, off + i * 8);
+            }
+            if !visit(r, &row) {
+                break;
             }
         }
         Ok(())

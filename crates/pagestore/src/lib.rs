@@ -58,6 +58,7 @@ pub mod recovery;
 pub mod sql;
 mod table;
 pub mod wal;
+mod zonemap;
 
 #[cfg(test)]
 mod fault_tests;
@@ -71,12 +72,13 @@ pub use buffer::{BufferPool, PoolStats};
 pub use db::{sync_from_env, Database, DurabilityOptions, TableSpec};
 pub use encode::{decode_f64, encode_f64, encode_key, KeyBuf};
 pub use error::{Result, StoreError};
-pub use heap::{HeapFile, RowId};
+pub use heap::{HeapFile, RowId, ZoneScanStats};
 pub use pagefile::{FileId, PageFile, PageId};
 pub use recovery::RecoveryReport;
 pub use sql::{ExecOutcome, Plan};
 pub use table::{Index, Table};
 pub use wal::{CommitState, Wal};
+pub use zonemap::ZoneMap;
 
 /// Size of every page in bytes.
 pub const PAGE_SIZE: usize = 4096;

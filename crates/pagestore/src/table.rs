@@ -190,6 +190,83 @@ impl Table {
         result
     }
 
+    /// Batched variant of [`Table::index_scan`]: runs every `(lo, hi)`
+    /// probe in one pass over the index via [`BTree::search_batch`]. The
+    /// visitor receives the *range index* (position in `ranges`), the row
+    /// id and the decoded indexed columns; entries arrive in key order
+    /// within each range, with ranges processed in ascending-`lo` order.
+    /// Returning `false` stops the whole batch.
+    pub fn index_scan_batch(
+        &self,
+        index_name: &str,
+        ranges: &[(&[f64], &[f64])],
+        mut visit: impl FnMut(usize, RowId, &[f64]) -> bool,
+    ) -> Result<()> {
+        let idx = self.index(index_name)?;
+        let ncols = idx.cols.len();
+        let mut keys: Vec<(KeyBuf, KeyBuf)> = Vec::with_capacity(ranges.len());
+        for (lo, hi) in ranges {
+            assert_eq!(lo.len(), ncols, "lo bound arity");
+            assert_eq!(hi.len(), ncols, "hi bound arity");
+            let mut lo_key = KeyBuf::new();
+            let mut hi_key = KeyBuf::new();
+            encode_key(lo, 0, &mut lo_key);
+            encode_key(hi, u64::MAX, &mut hi_key);
+            keys.push((lo_key, hi_key));
+        }
+        let byte_ranges: Vec<(&[u8], &[u8])> =
+            keys.iter().map(|(lo, hi)| (&lo[..], &hi[..])).collect();
+        let mut cols = vec![0.0f64; ncols];
+        let tree = idx.tree.read();
+        let result = tree.search_batch(&byte_ranges, |ri, key, _val| {
+            for (i, c) in cols.iter_mut().enumerate() {
+                *c = crate::encode::decode_key_col(key, i);
+            }
+            let rid = decode_key_rid(key, ncols);
+            visit(ri, rid, &cols)
+        });
+        result
+    }
+
+    /// Fetches many rows with one page read per distinct page. `rids`
+    /// must be sorted ascending (page-major order); see
+    /// [`HeapFile::fetch_many`].
+    pub fn fetch_many(
+        &self,
+        rids: &[RowId],
+        visit: impl FnMut(RowId, &[f64]) -> bool,
+    ) -> Result<()> {
+        self.heap.read().fetch_many(rids, visit)
+    }
+
+    /// Page-at-a-time scan with zone-map pruning; see
+    /// [`HeapFile::scan_blocks`]. The visitor receives each surviving
+    /// page's rows as one row-major block of `n * ncols` values.
+    pub fn scan_blocks(
+        &self,
+        filter: impl FnMut(&[f64], &[f64]) -> bool,
+        visit: impl FnMut(&[f64], usize) -> bool,
+    ) -> Result<crate::heap::ZoneScanStats> {
+        self.heap.read().scan_blocks(filter, visit)
+    }
+
+    /// Whether the heap currently maintains a zone map.
+    pub fn has_zones(&self) -> bool {
+        self.heap.read().has_zones()
+    }
+
+    /// Builds the zone map from existing rows when the sidecar was
+    /// missing or stale (idempotent); see [`HeapFile::rebuild_zones`].
+    pub fn ensure_zones(&self) -> Result<()> {
+        self.heap.write().rebuild_zones()
+    }
+
+    /// Drops the zone map and its sidecar, disabling pruning (tests and
+    /// ablations).
+    pub fn drop_zones(&self) {
+        self.heap.write().drop_zones()
+    }
+
     /// Persists heap and index metadata (called by `Database::flush`).
     pub(crate) fn sync_meta(&self) -> Result<()> {
         self.heap.read().sync_meta()?;
@@ -352,6 +429,108 @@ mod tests {
             })
             .unwrap();
         assert_eq!(seen, vec![100.0, 101.0, 102.0, 103.0, 104.0]);
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn batch_scan_matches_single_probes_and_fetch_many() {
+        let (pool, table, mut paths) = setup("batch", &["dt", "dv", "t"]);
+        add_index(&pool, &table, "by_dt_dv", vec![0, 1], &mut paths);
+        for i in 0..3000 {
+            let dt = (i % 120) as f64;
+            let dv = -((i % 11) as f64);
+            table.insert(&[dt, dv, i as f64]).unwrap();
+        }
+        let neg = f64::NEG_INFINITY;
+        let bounds: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![neg, neg], vec![10.0, f64::INFINITY]),
+            (vec![50.0, neg], vec![60.0, -5.0]),
+            (vec![5.0, neg], vec![15.0, f64::INFINITY]), // overlaps the first
+            (vec![500.0, neg], vec![600.0, 0.0]),        // empty
+        ];
+        let ranges: Vec<(&[f64], &[f64])> = bounds
+            .iter()
+            .map(|(lo, hi)| (lo.as_slice(), hi.as_slice()))
+            .collect();
+        let mut batched: Vec<(usize, RowId, Vec<f64>)> = Vec::new();
+        table
+            .index_scan_batch("by_dt_dv", &ranges, |ri, rid, cols| {
+                batched.push((ri, rid, cols.to_vec()));
+                true
+            })
+            .unwrap();
+        // Reference: one index_scan per range, ascending-lo order.
+        let mut single: Vec<(usize, RowId, Vec<f64>)> = Vec::new();
+        for &ri in &[0usize, 2, 1, 3] {
+            table
+                .index_scan("by_dt_dv", ranges[ri].0, ranges[ri].1, |rid, cols| {
+                    single.push((ri, rid, cols.to_vec()));
+                    true
+                })
+                .unwrap();
+        }
+        assert_eq!(batched, single);
+        assert!(batched.iter().any(|(ri, _, _)| *ri == 2), "overlap covered");
+        assert!(batched.iter().all(|(ri, _, _)| *ri != 3), "empty range");
+        // fetch_many over the sorted, deduped matches agrees with fetch.
+        let mut rids: Vec<RowId> = batched.iter().map(|(_, rid, _)| *rid).collect();
+        rids.sort_unstable();
+        rids.dedup();
+        let mut row = Vec::new();
+        let mut n = 0;
+        table
+            .fetch_many(&rids, |rid, cols| {
+                table.fetch(rid, &mut row).unwrap();
+                assert_eq!(cols, row.as_slice());
+                n += 1;
+                true
+            })
+            .unwrap();
+        assert_eq!(n, rids.len());
+        cleanup(&paths);
+    }
+
+    #[test]
+    fn scan_blocks_prunes_losslessly() {
+        let (_pool, table, paths) = setup("zones", &["dt", "dv"]);
+        for i in 0..4000 {
+            table.insert(&[i as f64, -((i % 13) as f64)]).unwrap();
+        }
+        assert!(table.has_zones());
+        // Count rows with dt <= 100 via pruned block scan.
+        let mut pruned_rows = 0;
+        let stats = table
+            .scan_blocks(
+                |mins, _maxs| mins[0] <= 100.0,
+                |block, n| {
+                    for r in 0..n {
+                        if block[r * 2] <= 100.0 {
+                            pruned_rows += 1;
+                        }
+                    }
+                    true
+                },
+            )
+            .unwrap();
+        assert!(stats.pages_pruned > 0, "selective scan must prune");
+        // Ground truth from the unpruned row scan.
+        let mut expect = 0;
+        table
+            .seq_scan(|_, row| {
+                if row[0] <= 100.0 {
+                    expect += 1;
+                }
+                true
+            })
+            .unwrap();
+        assert_eq!(pruned_rows, expect);
+        // Dropping zones disables pruning but not the scan itself.
+        table.drop_zones();
+        assert!(!table.has_zones());
+        let stats = table.scan_blocks(|_, _| false, |_, _| true).unwrap();
+        assert_eq!(stats.pages_pruned, 0);
+        table.ensure_zones().unwrap();
+        assert!(table.has_zones());
         cleanup(&paths);
     }
 

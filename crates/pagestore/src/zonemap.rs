@@ -1,0 +1,231 @@
+//! Zone maps: per-page min/max column summaries for heap files.
+//!
+//! A zone map holds, for every data page of a heap, the minimum and
+//! maximum of each column over the rows stored on that page. A sequential
+//! scan with a *conservative* page predicate (one that returns `true`
+//! whenever any row on the page could match) may then skip whole pages
+//! without reading them — MacroBase-style pruning adapted to the feature
+//! tables' corner columns.
+//!
+//! Zone maps are derived data, like the B+trees: they are persisted to a
+//! `<heap>.zones` sidecar (atomic temp + rename) keyed by the heap's row
+//! count, and a sidecar whose row count disagrees with the heap meta —
+//! e.g. after WAL recovery truncated the heap — is discarded and rebuilt
+//! from a scan. They are maintained incrementally on insert, so a freshly
+//! created heap always carries an up-to-date map.
+
+use crate::error::{Result, StoreError};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x5344_5A4D; // "SDZM"
+
+/// Per-page min/max summaries of every column of a heap file.
+///
+/// Data pages start at 1 (page 0 is the heap meta page); page `p` maps to
+/// entry `p - 1`. Entries are stored page-major: `mins[(p-1)*ncols + c]`
+/// is the minimum of column `c` on page `p`.
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    ncols: usize,
+    /// Rows observed; must equal the heap's row count to be valid.
+    nrows: u64,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl ZoneMap {
+    /// An empty zone map for rows of `ncols` columns.
+    pub fn new(ncols: usize) -> Self {
+        assert!(ncols > 0, "zone map needs at least one column");
+        Self {
+            ncols,
+            nrows: 0,
+            mins: Vec::new(),
+            maxs: Vec::new(),
+        }
+    }
+
+    /// Number of data pages covered.
+    pub fn pages(&self) -> u32 {
+        (self.mins.len() / self.ncols) as u32
+    }
+
+    /// Rows observed so far.
+    pub fn num_rows(&self) -> u64 {
+        self.nrows
+    }
+
+    /// Folds one row stored on data page `page` into the summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page == 0` (the meta page holds no rows) or the row
+    /// arity differs from the map's.
+    pub fn observe(&mut self, page: u32, row: &[f64]) {
+        assert!(page > 0, "data pages start at 1");
+        assert_eq!(row.len(), self.ncols, "row arity mismatch");
+        let want = page as usize * self.ncols;
+        if self.mins.len() < want {
+            self.mins.resize(want, f64::INFINITY);
+            self.maxs.resize(want, f64::NEG_INFINITY);
+        }
+        let base = (page as usize - 1) * self.ncols;
+        for (c, &v) in row.iter().enumerate() {
+            let m = &mut self.mins[base + c];
+            *m = m.min(v);
+            let m = &mut self.maxs[base + c];
+            *m = m.max(v);
+        }
+        self.nrows += 1;
+    }
+
+    /// The `(mins, maxs)` column summaries of data page `page`, or `None`
+    /// when the page is not covered (no rows observed there).
+    pub fn page_bounds(&self, page: u32) -> Option<(&[f64], &[f64])> {
+        if page == 0 || page > self.pages() {
+            return None;
+        }
+        let base = (page as usize - 1) * self.ncols;
+        Some((
+            &self.mins[base..base + self.ncols],
+            &self.maxs[base..base + self.ncols],
+        ))
+    }
+
+    /// The sidecar path for a heap stored at `heap_path`.
+    pub fn sidecar_path(heap_path: &Path) -> PathBuf {
+        let mut os = heap_path.as_os_str().to_os_string();
+        os.push(".zones");
+        PathBuf::from(os)
+    }
+
+    /// Serializes the map (little-endian, fixed layout).
+    fn to_bytes(&self) -> Vec<u8> {
+        let npages = self.pages();
+        let mut out = Vec::with_capacity(24 + self.mins.len() * 16);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.ncols as u32).to_le_bytes());
+        out.extend_from_slice(&self.nrows.to_le_bytes());
+        out.extend_from_slice(&npages.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]); // reserved / alignment
+        for &v in &self.mins {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.maxs {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Writes the sidecar for `heap_path` atomically (temp + rename).
+    pub fn save(&self, heap_path: &Path) -> Result<()> {
+        let path = Self::sidecar_path(heap_path);
+        let tmp = path.with_extension("zones.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Loads the sidecar for `heap_path`, returning `None` when it is
+    /// missing, malformed, or stale (`ncols`/`nrows` disagree with the
+    /// heap meta). A stale map is deleted so it cannot be mistaken for
+    /// current later.
+    pub fn load(heap_path: &Path, ncols: usize, nrows: u64) -> Option<ZoneMap> {
+        let path = Self::sidecar_path(heap_path);
+        let bytes = std::fs::read(&path).ok()?;
+        let map = Self::from_bytes(&bytes).ok();
+        let valid = map
+            .as_ref()
+            .is_some_and(|m| m.ncols == ncols && m.nrows == nrows);
+        if !valid {
+            std::fs::remove_file(&path).ok();
+            return None;
+        }
+        map
+    }
+
+    fn from_bytes(b: &[u8]) -> Result<ZoneMap> {
+        let corrupt = || StoreError::Corrupt("zone-map sidecar malformed".into());
+        if b.len() < 24 {
+            return Err(corrupt());
+        }
+        if u32::from_le_bytes(crate::page::arr(b, 0)) != MAGIC {
+            return Err(corrupt());
+        }
+        let ncols = u32::from_le_bytes(crate::page::arr(b, 4)) as usize;
+        let nrows = u64::from_le_bytes(crate::page::arr(b, 8));
+        let npages = u32::from_le_bytes(crate::page::arr(b, 16)) as usize;
+        let n = npages * ncols;
+        if ncols == 0 || b.len() != 24 + n * 16 {
+            return Err(corrupt());
+        }
+        let read_f64s = |start: usize| -> Vec<f64> {
+            b[start..start + n * 8]
+                .chunks_exact(8)
+                .map(|c| {
+                    let mut a = [0u8; 8];
+                    a.copy_from_slice(c);
+                    f64::from_le_bytes(a)
+                })
+                .collect()
+        };
+        Ok(ZoneMap {
+            ncols,
+            nrows,
+            mins: read_f64s(24),
+            maxs: read_f64s(24 + n * 8),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_tracks_min_max_per_page() {
+        let mut z = ZoneMap::new(2);
+        z.observe(1, &[1.0, -5.0]);
+        z.observe(1, &[3.0, -1.0]);
+        z.observe(2, &[10.0, 0.0]);
+        assert_eq!(z.pages(), 2);
+        assert_eq!(z.num_rows(), 3);
+        let (mins, maxs) = z.page_bounds(1).unwrap();
+        assert_eq!(mins, &[1.0, -5.0]);
+        assert_eq!(maxs, &[3.0, -1.0]);
+        let (mins, maxs) = z.page_bounds(2).unwrap();
+        assert_eq!(mins, &[10.0, 0.0]);
+        assert_eq!(maxs, &[10.0, 0.0]);
+        assert!(z.page_bounds(0).is_none());
+        assert!(z.page_bounds(3).is_none());
+    }
+
+    #[test]
+    fn sidecar_roundtrip_and_staleness() {
+        let dir = std::env::temp_dir().join(format!("segdiff-zones-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let heap = dir.join("t.tbl");
+        let mut z = ZoneMap::new(3);
+        z.observe(1, &[1.0, 2.0, 3.0]);
+        z.observe(2, &[-1.0, 0.0, 9.0]);
+        z.save(&heap).unwrap();
+        let loaded = ZoneMap::load(&heap, 3, 2).expect("valid sidecar loads");
+        assert_eq!(loaded.page_bounds(2), z.page_bounds(2));
+        // Row-count mismatch (e.g. recovery truncation): discarded + deleted.
+        assert!(ZoneMap::load(&heap, 3, 1).is_none());
+        assert!(
+            !ZoneMap::sidecar_path(&heap).exists(),
+            "stale sidecar must be deleted"
+        );
+        // Malformed bytes: rejected.
+        std::fs::write(ZoneMap::sidecar_path(&heap), b"junk").unwrap();
+        assert!(ZoneMap::load(&heap, 3, 2).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_sidecar_is_none() {
+        let heap = std::env::temp_dir().join("segdiff-zones-missing.tbl");
+        assert!(ZoneMap::load(&heap, 2, 0).is_none());
+    }
+}

@@ -34,7 +34,7 @@ pub use http::{Request, Response};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig};
-pub use service::{QuerySpec, Service};
+pub use service::{Engine, QuerySpec, Service};
 
 #[cfg(test)]
 mod e2e_tests {
@@ -151,6 +151,66 @@ mod e2e_tests {
         assert_eq!(status, 200);
         assert!(text.contains("server.requests"), "metrics: {text}");
         assert!(text.contains("cache."), "metrics: {text}");
+
+        let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        handle.join().unwrap();
+    }
+
+    /// The transect engine serves the parallel fan-out path: a `/query`
+    /// answer equals the offline `query_all` results concatenated in
+    /// sensor order, whatever the pool size.
+    #[test]
+    fn serves_transect_fan_out_matching_offline_results() {
+        use segdiff::TransectIndex;
+
+        let dir = TempDir::new("transect");
+        let cfg = CadTransectConfig::default()
+            .with_days(3)
+            .with_sensors(3)
+            .clean();
+        let mut t = TransectIndex::create(&dir.0, SegDiffConfig::default(), 3).unwrap();
+        for k in 0..3 {
+            t.ingest_series(k, &generate_sensor(&cfg, k, 7)).unwrap();
+        }
+        t.finish_all().unwrap();
+        t.build_indexes_all().unwrap();
+        let t = Arc::new(t);
+
+        let region = featurespace::QueryRegion::drop(3600.0, -2.0);
+        let (offline, _) = t.query_all(&region, QueryPlan::Index).unwrap();
+        let expected: Vec<_> = offline.into_iter().flatten().collect();
+
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Engine::transect(Arc::clone(&t), 2),
+            ServerConfig {
+                threads: 4,
+                queue_depth: 32,
+                read_timeout: Duration::from_millis(250),
+            },
+        )
+        .unwrap();
+        let host = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let (status, body) = fetch(&host, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let health = Json::parse(&body).unwrap();
+        assert_eq!(health.get("sensors").and_then(Json::as_u64), Some(3));
+
+        let query = r#"{"kind":"drop","v":-2.0,"t_hours":1.0,"plan":"index"}"#;
+        let (status, body) = fetch(&host, "POST", "/query", Some(query)).unwrap();
+        assert_eq!(status, 200, "body: {body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("sensors").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(false)));
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), expected.len());
+        for (got, want) in results.iter().zip(expected.iter()) {
+            assert_eq!(got.get("t_d").unwrap().as_f64().unwrap(), want.t_d);
+            assert_eq!(got.get("t_a").unwrap().as_f64().unwrap(), want.t_a);
+        }
 
         let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
         assert_eq!(status, 200);

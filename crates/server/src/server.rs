@@ -19,9 +19,8 @@
 
 use crate::http::{read_request, HttpError, Response};
 use crate::queue::{BoundedQueue, PushError};
-use crate::service::Service;
+use crate::service::{Engine, Service};
 use obs::Counter;
-use segdiff::SegDiffIndex;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,17 +54,18 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     service: Arc<Service>,
-    index: Arc<SegDiffIndex>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// prepares the service. No thread is spawned until [`Server::run`].
-    pub fn bind(addr: &str, index: Arc<SegDiffIndex>, config: ServerConfig) -> io::Result<Server> {
+    /// prepares the service over `engine` — an `Arc<SegDiffIndex>`, an
+    /// `Arc<TransectIndex>`, or an explicit [`Engine`]. No thread is
+    /// spawned until [`Server::run`].
+    pub fn bind(addr: &str, engine: impl Into<Engine>, config: ServerConfig) -> io::Result<Server> {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(Service::new(Arc::clone(&index), Arc::clone(&shutdown)));
+        let service = Arc::new(Service::new(engine, Arc::clone(&shutdown)));
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -73,7 +73,6 @@ impl Server {
             listener,
             addr,
             service,
-            index,
             shutdown,
             config,
         })
@@ -154,8 +153,8 @@ impl Server {
         // the caller the drain is complete. With WAL on this checkpoints
         // and truncates the log, so the next open is clean.
         let flush_start = std::time::Instant::now();
-        self.index
-            .database()
+        self.service
+            .engine()
             .flush()
             .map_err(|e| io::Error::other(format!("flush on drain failed: {e}")))?;
         registry

@@ -10,11 +10,102 @@ use crate::http::{Request, Response};
 use obs::export::Exporter;
 use obs::json::Json;
 use obs::TraceNode;
-use segdiff::{QueryPlan, SegDiffIndex};
+use segdiff::{QueryPlan, QueryStats, SegDiffIndex, SegmentPair, TransectIndex};
 use sensorgen::HOUR;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The query backend a [`Service`] executes against: one sensor's index,
+/// or a whole transect fanned out on the worker pool
+/// ([`TransectIndex::query_all_with_threads`]).
+#[derive(Clone)]
+pub enum Engine {
+    /// One sensor's index, answered through its epoch-tagged result cache.
+    Single(Arc<SegDiffIndex>),
+    /// A transect of per-sensor indexes queried in parallel; results are
+    /// concatenated in sensor order, so responses are deterministic for
+    /// every `threads` value.
+    Transect {
+        /// The per-sensor index collection.
+        index: Arc<TransectIndex>,
+        /// Worker threads per fan-out query.
+        threads: usize,
+    },
+}
+
+impl Engine {
+    /// A transect engine with an explicit worker-pool size (min 1).
+    pub fn transect(index: Arc<TransectIndex>, threads: usize) -> Engine {
+        Engine::Transect {
+            index,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Executes one query; the bool reports whether the answer came from
+    /// a result cache (the transect path is always computed fresh).
+    fn query(
+        &self,
+        region: &featurespace::QueryRegion,
+        plan: QueryPlan,
+    ) -> pagestore::Result<(Arc<Vec<SegmentPair>>, QueryStats, bool)> {
+        match self {
+            Engine::Single(idx) => idx.query_cached(region, plan),
+            Engine::Transect { index, threads } => {
+                let (per_sensor, stats) = index.query_all_with_threads(region, plan, *threads)?;
+                let flat: Vec<SegmentPair> = per_sensor.into_iter().flatten().collect();
+                Ok((Arc::new(flat), stats, false))
+            }
+        }
+    }
+
+    /// The invalidation epoch versioning responses.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            Engine::Single(idx) => idx.epoch(),
+            Engine::Transect { index, .. } => index.epoch(),
+        }
+    }
+
+    /// Entries currently held in result caches.
+    fn cache_entries(&self) -> usize {
+        match self {
+            Engine::Single(idx) => idx.result_cache().len(),
+            Engine::Transect { .. } => 0,
+        }
+    }
+
+    /// Number of sensors served.
+    pub fn num_sensors(&self) -> u32 {
+        match self {
+            Engine::Single(_) => 1,
+            Engine::Transect { index, .. } => index.num_sensors(),
+        }
+    }
+
+    /// Flushes dirty pages (and checkpoints the WAL) on every backing
+    /// database; called once the server has drained.
+    pub fn flush(&self) -> pagestore::Result<()> {
+        match self {
+            Engine::Single(idx) => idx.database().flush(),
+            Engine::Transect { index, .. } => index.flush_all(),
+        }
+    }
+}
+
+impl From<Arc<SegDiffIndex>> for Engine {
+    fn from(index: Arc<SegDiffIndex>) -> Engine {
+        Engine::Single(index)
+    }
+}
+
+impl From<Arc<TransectIndex>> for Engine {
+    fn from(index: Arc<TransectIndex>) -> Engine {
+        let threads = index.num_sensors() as usize;
+        Engine::transect(index, threads)
+    }
+}
 
 /// `server.*` telemetry published to the global registry.
 struct ServiceMetrics {
@@ -42,9 +133,9 @@ impl ServiceMetrics {
     }
 }
 
-/// The HTTP-facing facade over one open index.
+/// The HTTP-facing facade over one query engine.
 pub struct Service {
-    index: Arc<SegDiffIndex>,
+    engine: Engine,
     shutdown: Arc<AtomicBool>,
     in_flight: AtomicU64,
     metrics: ServiceMetrics,
@@ -167,15 +258,21 @@ fn trace_to_json(node: &TraceNode) -> Json {
 }
 
 impl Service {
-    /// Creates a service over `index`. Setting `shutdown` (from any
-    /// thread, or via `POST /shutdown`) makes the accept loop drain.
-    pub fn new(index: Arc<SegDiffIndex>, shutdown: Arc<AtomicBool>) -> Self {
+    /// Creates a service over `engine` (a single index or a transect).
+    /// Setting `shutdown` (from any thread, or via `POST /shutdown`)
+    /// makes the accept loop drain.
+    pub fn new(engine: impl Into<Engine>, shutdown: Arc<AtomicBool>) -> Self {
         Service {
-            index,
+            engine: engine.into(),
             shutdown,
             in_flight: AtomicU64::new(0),
             metrics: ServiceMetrics::new(),
         }
+    }
+
+    /// The engine queries execute against.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The shared shutdown flag.
@@ -234,7 +331,7 @@ impl Service {
         if spec.trace {
             obs::trace_begin();
         }
-        let outcome = self.index.query_cached(&spec.region(), spec.query_plan());
+        let outcome = self.engine.query(&spec.region(), spec.query_plan());
         let trace = if spec.trace { obs::trace_take() } else { None };
         let (results, stats, cached) = match outcome {
             Ok(t) => t,
@@ -251,7 +348,7 @@ impl Service {
             ("v".to_string(), Json::Float(spec.v)),
             ("t_hours".to_string(), Json::Float(spec.t_hours)),
             ("plan".to_string(), Json::Str(spec.plan.clone())),
-            ("epoch".to_string(), Json::Uint(self.index.epoch())),
+            ("epoch".to_string(), Json::Uint(self.engine.epoch())),
             ("cached".to_string(), Json::Bool(cached)),
             ("count".to_string(), Json::Uint(results.len() as u64)),
             (
@@ -276,6 +373,12 @@ impl Service {
                 ),
             ),
         ]);
+        if let Engine::Transect { .. } = &self.engine {
+            fields.push((
+                "sensors".to_string(),
+                Json::Uint(self.engine.num_sensors() as u64),
+            ));
+        }
         if let Some(node) = trace {
             fields.push(("trace".to_string(), trace_to_json(&node)));
         }
@@ -296,8 +399,9 @@ impl Service {
             200,
             &Json::obj([
                 ("status", Json::from("ok")),
-                ("epoch", Json::Uint(self.index.epoch())),
-                ("cache_entries", Json::from(self.index.result_cache().len())),
+                ("epoch", Json::Uint(self.engine.epoch())),
+                ("sensors", Json::Uint(self.engine.num_sensors() as u64)),
+                ("cache_entries", Json::from(self.engine.cache_entries())),
             ]),
         )
     }
