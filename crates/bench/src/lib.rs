@@ -5,6 +5,7 @@
 //! Criterion benches under `benches/` exercise reduced-size versions of the
 //! same code paths so `cargo bench` stays fast.
 
+pub mod alertsmoke;
 pub mod experiments;
 pub mod harness;
 pub mod report;

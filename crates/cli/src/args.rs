@@ -10,14 +10,17 @@ usage:
   segdiff query    --index DIR --kind drop|jump --v V --t-hours H
                    [--plan scan|index] [--refine FILE] [--limit N] [--trace]
                    [--all-sensors] [--threads N]
-  segdiff stats    --index DIR [--json]
+  segdiff stats    --index DIR [--json] [--series]
   segdiff recover  --index DIR [--json]
   segdiff metrics  --index DIR [--json]
   segdiff sql      --index DIR \"SELECT ...\"
   segdiff serve    --index DIR [--port P] [--threads N] [--queue-depth Q]
-                   [--all-sensors] [--json]
+                   [--all-sensors] [--json] [--sample-ms MS] [--slow-ms MS]
+                   [--alert-rules FILE]
   segdiff loadgen  --url http://HOST:PORT [--concurrency N] [--duration-secs S]
                    [--kind drop|jump] [--v V] [--t-hours H] [--guard FILE]
+  segdiff alerts   --url http://HOST:PORT [--json]
+  segdiff top      --url http://HOST:PORT [--interval-ms MS] [--iterations N]
 
 environment:
   SEGDIFF_LOG=off|error|warn|info|debug   diagnostic verbosity (default warn)";
@@ -81,6 +84,9 @@ pub enum Command {
         index: PathBuf,
         /// Emit machine-readable JSON instead of text.
         json: bool,
+        /// Also run the metric sampler over a probe query and print the
+        /// derived time series (rates, quantiles, gauges).
+        series: bool,
     },
     /// Open an index (running WAL recovery if needed), verify its
     /// consistency, and report what recovery did — an fsck for indexes.
@@ -119,6 +125,14 @@ pub enum Command {
         all_sensors: bool,
         /// Emit the final telemetry snapshot as JSON lines.
         json: bool,
+        /// Self-observation sampling period in milliseconds.
+        sample_ms: u64,
+        /// Requests at least this slow are tail-sampled into the
+        /// slow-trace ring.
+        slow_ms: u64,
+        /// Alert-rules TOML file (defaults to the built-in rules, which
+        /// mirror `ci/alert-rules.toml`).
+        alert_rules: Option<PathBuf>,
     },
     /// Drive a running server with a closed-loop load generator.
     Loadgen {
@@ -136,6 +150,22 @@ pub enum Command {
         t_hours: f64,
         /// p99 regression-guard file (JSON with `max_p99_ms`).
         guard: Option<PathBuf>,
+    },
+    /// Show a running server's standing alert rules and fired alerts.
+    Alerts {
+        /// Base URL of the server (`http://host:port`).
+        url: String,
+        /// Print the server's raw `/alerts` JSON instead of text.
+        json: bool,
+    },
+    /// Live terminal view of a running server's self-observed telemetry.
+    Top {
+        /// Base URL of the server (`http://host:port`).
+        url: String,
+        /// Refresh interval in milliseconds.
+        interval_ms: u64,
+        /// Frames to render before exiting (0 = until interrupted).
+        iterations: u64,
     },
 }
 
@@ -175,6 +205,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut concurrency = 8usize;
     let mut duration_secs = 5.0f64;
     let mut guard: Option<PathBuf> = None;
+    let mut series = false;
+    let mut sample_ms = 500u64;
+    let mut slow_ms = 25u64;
+    let mut alert_rules: Option<PathBuf> = None;
+    let mut interval_ms = 1000u64;
+    let mut iterations = 0u64;
 
     let mut i = 1;
     while i < argv.len() {
@@ -262,6 +298,30 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .map_err(|_| "--duration-secs must be a number")?
             }
             "--guard" => guard = Some(PathBuf::from(take_value(argv, &mut i, "--guard")?)),
+            "--series" => series = true,
+            "--sample-ms" => {
+                sample_ms = take_value(argv, &mut i, "--sample-ms")?
+                    .parse()
+                    .map_err(|_| "--sample-ms must be an integer")?
+            }
+            "--slow-ms" => {
+                slow_ms = take_value(argv, &mut i, "--slow-ms")?
+                    .parse()
+                    .map_err(|_| "--slow-ms must be an integer")?
+            }
+            "--alert-rules" => {
+                alert_rules = Some(PathBuf::from(take_value(argv, &mut i, "--alert-rules")?))
+            }
+            "--interval-ms" => {
+                interval_ms = take_value(argv, &mut i, "--interval-ms")?
+                    .parse()
+                    .map_err(|_| "--interval-ms must be an integer")?
+            }
+            "--iterations" => {
+                iterations = take_value(argv, &mut i, "--iterations")?
+                    .parse()
+                    .map_err(|_| "--iterations must be an integer")?
+            }
             other if !other.starts_with("--") && sub == "sql" && statement.is_none() => {
                 statement = Some(other.to_string());
             }
@@ -322,6 +382,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "stats" => Ok(Command::Stats {
             index: index.ok_or("stats needs --index")?,
             json,
+            series,
         }),
         "recover" => Ok(Command::Recover {
             index: index.ok_or("recover needs --index")?,
@@ -339,6 +400,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if threads == 0 {
                 return Err("--threads must be at least 1".into());
             }
+            if sample_ms == 0 {
+                return Err("--sample-ms must be at least 1".into());
+            }
             Ok(Command::Serve {
                 index: index.ok_or("serve needs --index")?,
                 port,
@@ -346,6 +410,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 queue_depth: queue_depth.max(1),
                 all_sensors,
                 json,
+                sample_ms,
+                slow_ms,
+                alert_rules,
             })
         }
         "loadgen" => {
@@ -374,6 +441,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 v,
                 t_hours: t_hours.unwrap_or(1.0),
                 guard,
+            })
+        }
+        "alerts" => Ok(Command::Alerts {
+            url: url.ok_or("alerts needs --url")?,
+            json,
+        }),
+        "top" => {
+            if interval_ms == 0 {
+                return Err("--interval-ms must be at least 1".into());
+            }
+            Ok(Command::Top {
+                url: url.ok_or("top needs --url")?,
+                interval_ms,
+                iterations,
             })
         }
         other => Err(format!("unknown subcommand {other}")),
@@ -525,10 +606,14 @@ mod tests {
                 queue_depth: 64,
                 all_sensors: false,
                 json: false,
+                sample_ms: 500,
+                slow_ms: 25,
+                alert_rules: None,
             }
         );
         let c = parse(&argv(
-            "serve --index d --port 0 --threads 2 --queue-depth 4 --json",
+            "serve --index d --port 0 --threads 2 --queue-depth 4 --json \
+             --sample-ms 100 --slow-ms 5 --alert-rules ci/alert-rules.toml",
         ))
         .unwrap();
         assert_eq!(
@@ -540,10 +625,62 @@ mod tests {
                 queue_depth: 4,
                 all_sensors: false,
                 json: true,
+                sample_ms: 100,
+                slow_ms: 5,
+                alert_rules: Some("ci/alert-rules.toml".into()),
             }
         );
         assert!(parse(&argv("serve")).is_err());
         assert!(parse(&argv("serve --index d --threads 0")).is_err());
+        assert!(parse(&argv("serve --index d --sample-ms 0")).is_err());
+    }
+
+    #[test]
+    fn parses_stats_series_flag() {
+        match parse(&argv("stats --index d --series --json")).unwrap() {
+            Command::Stats { json, series, .. } => {
+                assert!(json);
+                assert!(series);
+            }
+            _ => panic!(),
+        }
+        match parse(&argv("stats --index d")).unwrap() {
+            Command::Stats { series, .. } => assert!(!series),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_alerts_and_top() {
+        assert_eq!(
+            parse(&argv("alerts --url http://h:1 --json")).unwrap(),
+            Command::Alerts {
+                url: "http://h:1".into(),
+                json: true,
+            }
+        );
+        assert!(parse(&argv("alerts")).is_err());
+        assert_eq!(
+            parse(&argv("top --url http://h:1")).unwrap(),
+            Command::Top {
+                url: "http://h:1".into(),
+                interval_ms: 1000,
+                iterations: 0,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "top --url http://h:1 --interval-ms 50 --iterations 3"
+            ))
+            .unwrap(),
+            Command::Top {
+                url: "http://h:1".into(),
+                interval_ms: 50,
+                iterations: 3,
+            }
+        );
+        assert!(parse(&argv("top")).is_err());
+        assert!(parse(&argv("top --url u --interval-ms 0")).is_err());
     }
 
     #[test]

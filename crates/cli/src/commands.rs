@@ -58,7 +58,11 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
                 )
             }
         }
-        Command::Stats { index, json } => stats(&index, json),
+        Command::Stats {
+            index,
+            json,
+            series,
+        } => stats(&index, json, series),
         Command::Recover { index, json } => recover(&index, json),
         Command::Metrics { index, json } => metrics(&index, json),
         Command::Sql { index, statement } => sql(&index, &statement),
@@ -69,7 +73,20 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
             queue_depth,
             all_sensors,
             json,
-        } => serve(&index, port, threads, queue_depth, all_sensors, json),
+            sample_ms,
+            slow_ms,
+            alert_rules,
+        } => serve(
+            &index,
+            port,
+            threads,
+            queue_depth,
+            all_sensors,
+            json,
+            sample_ms,
+            slow_ms,
+            alert_rules.as_deref(),
+        ),
         Command::Loadgen {
             url,
             concurrency,
@@ -87,6 +104,12 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
             t_hours,
             guard.as_deref(),
         ),
+        Command::Alerts { url, json } => alerts(&url, json),
+        Command::Top {
+            url,
+            interval_ms,
+            iterations,
+        } => top(&url, interval_ms, iterations),
     }
 }
 
@@ -326,12 +349,37 @@ fn query_all_sensors(
     Ok(())
 }
 
-fn stats(index: &Path, json: bool) -> Result<(), Anyhow> {
+/// `segdiff stats --series`: runs the self-observation sampler over a
+/// probe query offline — tick, probe, tick — so the same derived series
+/// a running server publishes on `GET /series` (counter rates, interval
+/// quantiles, gauges) can be inspected without a server.
+fn sampled_series(idx: &SegDiffIndex) -> Result<obs::series::SeriesStore, Anyhow> {
+    let store = obs::series::SeriesStore::new(obs::series::DEFAULT_SERIES_CAPACITY);
+    let mut sampler = obs::series::SamplerState::new();
+    let w = idx.config().window;
+    sampler.tick(obs::global(), &store, obs::unix_ms());
+    for region in [QueryRegion::drop(w, -0.1), QueryRegion::jump(w, 0.1)] {
+        let _ = idx.query(&region, QueryPlan::SeqScan)?;
+        let _ = idx.query(&region, QueryPlan::Index);
+    }
+    // The sampler derives rates and interval quantiles from deltas
+    // between ticks, so the clock must advance between them.
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    sampler.tick(obs::global(), &store, obs::unix_ms());
+    Ok(store)
+}
+
+fn stats(index: &Path, json: bool, series: bool) -> Result<(), Anyhow> {
     let idx = SegDiffIndex::open(index, 4096)?;
     let s = idx.stats();
     let hist = s.corner_hist();
+    let sampled = if series {
+        Some(sampled_series(&idx)?)
+    } else {
+        None
+    };
     if json {
-        let doc = Json::obj([
+        let mut doc = Json::obj([
             ("observations", Json::from(s.n_observations)),
             ("segments", Json::from(s.n_segments)),
             ("compression_rate", Json::from(s.compression_rate())),
@@ -372,6 +420,21 @@ fn stats(index: &Path, json: bool) -> Result<(), Anyhow> {
                 ]),
             ),
         ]);
+        if let (Some(store), Json::Object(fields)) = (&sampled, &mut doc) {
+            let series_json: Vec<Json> = store
+                .names()
+                .iter()
+                .map(|name| {
+                    let last = store.last(name);
+                    Json::obj([
+                        ("name", Json::from(name.as_str())),
+                        ("points", Json::from(store.since(name, 0).len() as u64)),
+                        ("last", last.map_or(Json::Null, |p| Json::Float(p.value))),
+                    ])
+                })
+                .collect();
+            fields.push(("series".to_string(), Json::Array(series_json)));
+        }
         println!("{doc}");
         return Ok(());
     }
@@ -410,6 +473,15 @@ fn stats(index: &Path, json: bool) -> Result<(), Anyhow> {
             }
         ),
         None => println!("durability:      WAL off"),
+    }
+    if let Some(store) = &sampled {
+        println!("sampled series (probe query, one interval):");
+        for name in store.names() {
+            let last = store
+                .last(&name)
+                .map_or("-".to_string(), |p| format!("{:.3}", p.value));
+            println!("  {name:<40} {last}");
+        }
     }
     Ok(())
 }
@@ -511,7 +583,7 @@ fn metrics(index: &Path, json: bool) -> Result<(), Anyhow> {
     }
     let snapshot = obs::global().snapshot();
     let rendered = if json {
-        obs::export::JsonLinesExporter.export(&snapshot)
+        obs::export::JsonLinesExporter::default().export(&snapshot)
     } else {
         obs::export::TextExporter.export(&snapshot)
     };
@@ -522,12 +594,13 @@ fn metrics(index: &Path, json: bool) -> Result<(), Anyhow> {
 fn render_registry(json: bool) -> String {
     let snapshot = obs::global().snapshot();
     if json {
-        obs::export::JsonLinesExporter.export(&snapshot)
+        obs::export::JsonLinesExporter::default().export(&snapshot)
     } else {
         obs::export::TextExporter.export(&snapshot)
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve(
     index: &Path,
     port: u16,
@@ -535,6 +608,9 @@ fn serve(
     queue_depth: usize,
     all_sensors: bool,
     json: bool,
+    sample_ms: u64,
+    slow_ms: u64,
+    alert_rules: Option<&Path>,
 ) -> Result<(), Anyhow> {
     use segdiff_server::server::signal;
     use segdiff_server::{Engine, Server, ServerConfig};
@@ -546,6 +622,10 @@ fn serve(
     } else {
         Engine::from(Arc::new(SegDiffIndex::open(index, 4096)?))
     };
+    let rules = match alert_rules {
+        Some(path) => segdiff::alerts::AlertRuleSet::load(path)?,
+        None => segdiff::alerts::AlertRuleSet::defaults(),
+    };
     signal::install();
     let server = Server::bind(
         &format!("127.0.0.1:{port}"),
@@ -553,6 +633,9 @@ fn serve(
         ServerConfig {
             threads,
             queue_depth,
+            sample_period: std::time::Duration::from_millis(sample_ms),
+            slow_trace: std::time::Duration::from_millis(slow_ms),
+            alert_rules: rules,
             ..ServerConfig::default()
         },
     )?;
@@ -680,6 +763,157 @@ fn loadgen(
         return Err("no request completed".into());
     }
     Ok(())
+}
+
+/// `segdiff alerts`: the server's standing drop/jump rules and every
+/// alert they have fired, straight from `GET /alerts`.
+fn alerts(url: &str, json: bool) -> Result<(), Anyhow> {
+    use segdiff_server::loadgen::{fetch, parse_url};
+
+    let host = parse_url(url)?;
+    let (status, body) = fetch(&host, "GET", "/alerts", None)?;
+    if status != 200 {
+        return Err(format!("GET /alerts returned {status}: {body}").into());
+    }
+    if json {
+        println!("{body}");
+        return Ok(());
+    }
+    let doc = Json::parse(&body).map_err(|e| format!("bad /alerts response: {e}"))?;
+    let empty = Vec::new();
+    let rules = doc.get("rules").and_then(Json::as_array).unwrap_or(&empty);
+    println!("standing rules ({}):", rules.len());
+    for r in rules {
+        let f = |k: &str| r.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "  {:<20} {:<5} on {:<28} V={:<8} T={:.0}s  epsilon={} scale={}",
+            r.get("name").and_then(Json::as_str).unwrap_or("?"),
+            r.get("kind").and_then(Json::as_str).unwrap_or("?"),
+            r.get("metric").and_then(Json::as_str).unwrap_or("?"),
+            f("v"),
+            f("t_seconds"),
+            f("epsilon"),
+            f("scale"),
+        );
+    }
+    let alerts = doc.get("alerts").and_then(Json::as_array).unwrap_or(&empty);
+    if alerts.is_empty() {
+        println!("no alerts fired");
+        return Ok(());
+    }
+    println!("fired ({}):", alerts.len());
+    for a in alerts {
+        let f = |k: &str| a.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "  [{}] {} {} on {}: dv={:.2} start in [{:.0}, {:.0}] end in [{:.0}, {:.0}]",
+            a.get("fired_at_ms").and_then(Json::as_u64).unwrap_or(0),
+            a.get("rule").and_then(Json::as_str).unwrap_or("?"),
+            a.get("kind").and_then(Json::as_str).unwrap_or("?"),
+            a.get("metric").and_then(Json::as_str).unwrap_or("?"),
+            f("dv"),
+            f("t_d"),
+            f("t_c"),
+            f("t_b"),
+            f("t_a"),
+        );
+    }
+    Ok(())
+}
+
+/// One `segdiff top` frame: the headline series, alert count, and the
+/// slowest recent requests, all fetched from the server's observability
+/// routes.
+fn top_frame(host: &str) -> Result<String, Anyhow> {
+    use segdiff_server::loadgen::fetch;
+
+    let mut out = String::new();
+    let last_of = |name: &str| -> Option<f64> {
+        let (status, body) =
+            fetch(host, "GET", &format!("/series?name={name}&window=5m"), None).ok()?;
+        if status != 200 {
+            return None;
+        }
+        let doc = Json::parse(&body).ok()?;
+        doc.get("points")?
+            .as_array()?
+            .last()?
+            .get("value")
+            .and_then(Json::as_f64)
+    };
+    let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+    out.push_str(&format!(
+        "qps {:<10} inflight {:<6} queue {:<6} resident pages {}\n",
+        fmt(last_of("server.queries.rate")),
+        fmt(last_of("server.inflight")),
+        fmt(last_of("server.queue_depth")),
+        fmt(last_of("pool.resident_pages")),
+    ));
+    let ms = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{:.2}ms", x / 1e6));
+    out.push_str(&format!(
+        "query latency p50 {:<12} p99 {}\n",
+        ms(last_of("server.query_nanos.p50")),
+        ms(last_of("server.query_nanos.p99")),
+    ));
+    let (status, body) = fetch(host, "GET", "/alerts", None)?;
+    if status == 200 {
+        let doc = Json::parse(&body).map_err(|e| format!("bad /alerts response: {e}"))?;
+        let fired = doc.get("fired").and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!("alerts fired: {fired}"));
+        if let Some(last) = doc
+            .get("alerts")
+            .and_then(Json::as_array)
+            .and_then(|a| a.last())
+        {
+            out.push_str(&format!(
+                "  (latest: {} on {})",
+                last.get("rule").and_then(Json::as_str).unwrap_or("?"),
+                last.get("metric").and_then(Json::as_str).unwrap_or("?"),
+            ));
+        }
+        out.push('\n');
+    }
+    let (status, body) = fetch(host, "GET", "/debug/traces?ring=slow&n=3", None)?;
+    if status == 200 {
+        let doc = Json::parse(&body).map_err(|e| format!("bad /debug/traces response: {e}"))?;
+        let empty = Vec::new();
+        let traces = doc.get("traces").and_then(Json::as_array).unwrap_or(&empty);
+        out.push_str(&format!("slow/error traces retained: {}\n", traces.len()));
+        for t in traces {
+            out.push_str(&format!(
+                "  #{} {} {:.2}ms status {}\n",
+                t.get("trace_id").and_then(Json::as_u64).unwrap_or(0),
+                t.get("name").and_then(Json::as_str).unwrap_or("?"),
+                t.get("wall_nanos").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6,
+                t.get("status").and_then(Json::as_u64).unwrap_or(0),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `segdiff top`: a periodically refreshing view of the server watching
+/// itself. `--iterations N` renders N frames and exits (0 = run until
+/// interrupted); each frame is one screenful, separated by a rule line
+/// so the output also reads fine in a pipe.
+fn top(url: &str, interval_ms: u64, iterations: u64) -> Result<(), Anyhow> {
+    use segdiff_server::loadgen::parse_url;
+
+    let host = parse_url(url)?;
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        match top_frame(&host) {
+            Ok(body) => {
+                println!("--- segdiff top @ {host} (frame {frame}) ---");
+                print!("{body}");
+            }
+            Err(e) => println!("--- segdiff top @ {host} (frame {frame}): {e} ---"),
+        }
+        if iterations > 0 && frame >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 fn sql(index: &Path, statement: &str) -> Result<(), Anyhow> {

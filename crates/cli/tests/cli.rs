@@ -282,28 +282,39 @@ fn metrics_emits_parseable_json_lines() {
             .and_then(|v| v.as_str())
             .expect("kind")
             .to_string();
-        assert!(kind == "counter" || kind == "histogram", "{line}");
+        assert!(
+            kind == "counter" || kind == "gauge" || kind == "histogram",
+            "{line}"
+        );
+        // Every line is stamped with the export timestamp.
+        assert!(
+            doc.get("ts")
+                .and_then(|v| v.as_u64())
+                .is_some_and(|t| t > 0),
+            "missing ts in {line}"
+        );
         names.push(
             doc.get("name")
                 .and_then(|v| v.as_str())
                 .unwrap()
                 .to_string(),
         );
-        if kind == "counter" {
-            assert!(
-                doc.get("value").and_then(|v| v.as_u64()).is_some(),
-                "{line}"
-            );
-        } else {
-            for key in ["count", "sum", "p50", "p90", "p99", "max"] {
+        if kind == "histogram" {
+            for key in ["count", "sum", "min", "p50", "p90", "p99", "p999", "max"] {
                 assert!(doc.get(key).is_some(), "missing {key} in {line}");
             }
+        } else {
+            assert!(doc.get("value").is_some(), "{line}");
         }
     }
     // Probing the index must feed both the pool counters and the query
-    // span histograms.
+    // span histograms, and leave probed pages resident in the gauge.
     assert!(names.iter().any(|n| n.starts_with("pool.")), "{names:?}");
     assert!(names.iter().any(|n| n == "span.query"), "{names:?}");
+    assert!(
+        names.iter().any(|n| n == "pool.resident_pages"),
+        "{names:?}"
+    );
 
     // Text mode renders the same registry human-readably.
     let o = run(&["metrics", "--index", idx.to_str().unwrap()]);
@@ -549,6 +560,113 @@ fn all_sensors_query_is_thread_count_invariant() {
     }
 
     // Both plans agree on the total period count per sensor.
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The self-observation surface through the binary: `serve` runs the
+/// sampler, `alerts` and `top` read it back over HTTP, and
+/// `stats --series` runs the same sampler offline.
+#[test]
+fn observability_subcommands_round_trip() {
+    use std::io::BufRead;
+
+    let (dir, _csv, idx) = build_ten_day_index("observe");
+
+    // stats --series runs the sampler offline over a probe query.
+    let o = run(&["stats", "--index", idx.to_str().unwrap(), "--series"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = stdout(&o);
+    assert!(text.contains("sampled series"), "{text}");
+    assert!(text.contains("sampler.ticks.rate"), "{text}");
+    let o = run(&[
+        "stats",
+        "--index",
+        idx.to_str().unwrap(),
+        "--series",
+        "--json",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let doc = obs::json::Json::parse(stdout(&o).trim()).expect("stats --series --json parses");
+    let series = doc.get("series").unwrap().as_array().unwrap();
+    assert!(
+        series
+            .iter()
+            .any(|s| { s.get("name").and_then(|v| v.as_str()) == Some("pool.resident_pages") }),
+        "sampled series must include the resident-pages gauge"
+    );
+
+    // Serve with a fast sampler, then read the observability routes back
+    // through the dedicated subcommands.
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--index",
+            idx.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "2",
+            "--sample-ms",
+            "50",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn segdiff serve");
+    let mut child_out = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+    let url = format!("http://{addr}");
+
+    // Give the rings content and the sampler a few periods.
+    let query = r#"{"kind":"drop","v":-2.0,"t_hours":1.0,"plan":"index"}"#;
+    for _ in 0..3 {
+        let (status, body) = http_once(&addr, "POST", "/query", Some(query));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"trace_id\":"), "{body}");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // segdiff alerts: lists the standing rules; clean run, no firing of
+    // the latency rule.
+    let o = run(&["alerts", "--url", &url]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = stdout(&o);
+    assert!(text.contains("standing rules"), "{text}");
+    assert!(text.contains("query-latency-jump"), "{text}");
+    assert!(text.contains("query-rate-drop"), "{text}");
+    let o = run(&["alerts", "--url", &url, "--json"]);
+    assert!(o.status.success());
+    let doc = obs::json::Json::parse(stdout(&o).trim()).expect("alerts --json parses");
+    assert!(doc.get("rules").is_some(), "{doc:?}");
+
+    // segdiff top: two frames and exit.
+    let o = run(&[
+        "top",
+        "--url",
+        &url,
+        "--interval-ms",
+        "50",
+        "--iterations",
+        "2",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = stdout(&o);
+    assert!(text.contains("segdiff top"), "{text}");
+    assert!(text.contains("frame 2"), "{text}");
+    assert!(text.contains("qps"), "{text}");
+    assert!(text.contains("alerts fired:"), "{text}");
+
+    let (status, _) = http_once(&addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("serve exits");
+    assert!(exit.success(), "serve exited with {exit:?}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

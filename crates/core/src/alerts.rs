@@ -1,0 +1,629 @@
+//! Dogfooded alerting: the paper's drop/jump detector pointed at the
+//! system's own metric series.
+//!
+//! Each standing [`AlertRule`] names an internal series (as produced by
+//! the obs sampler, e.g. `server.query_nanos.p50` or
+//! `server.queries.rate`), a search kind, and the paper's `(V, T)`
+//! thresholds. The [`AlertEngine`] runs one online segmentation +
+//! feature-extraction pipeline (Algorithm 1) per rule over the series
+//! points, and fires whenever an extracted boundary intersects the
+//! rule's [`QueryRegion`] — exactly the detector queries use, so a fired
+//! alert carries the offending segment pair `(t_d, t_c, t_b, t_a)`.
+//!
+//! Detection latency: the sliding-window segmenter only *commits* a
+//! segment when the next chord breaks, which could delay pairing a
+//! fresh drop by an unbounded amount on a stable-after-the-drop series.
+//! Each evaluation therefore also clones the per-rule segmenter and
+//! extractor and `finish()`es the clones, evaluating the *provisional*
+//! final segment too — a drop becomes visible within roughly one
+//! sampling period of the data showing it. Fired alerts are deduplicated
+//! on the pair's start times so the provisional sighting and the later
+//! committed one count once.
+//!
+//! Rules load from a minimal TOML subset (`ci/alert-rules.toml`); see
+//! [`AlertRuleSet::parse`] for the grammar.
+
+use featurespace::{QueryRegion, SearchKind};
+use obs::json::Json;
+use obs::series::SeriesStore;
+use segmentation::SlidingWindowSegmenter;
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use crate::ingest::{FeatureExtractor, FeatureRow};
+
+/// One standing `(V, T)` drop/jump rule over an internal series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Rule name, shown in the alert log (e.g. `query-latency-jump`).
+    pub name: String,
+    /// Series to watch (a name in the sampler's [`SeriesStore`]).
+    pub metric: String,
+    /// Drop or jump.
+    pub kind: SearchKind,
+    /// Change threshold `V` in scaled units: negative for drops,
+    /// positive for jumps.
+    pub v: f64,
+    /// Time threshold `T` in seconds: fire on changes of at least `|V|`
+    /// within `T`.
+    pub t_seconds: f64,
+    /// Segmentation tolerance `ε` in scaled units.
+    pub epsilon: f64,
+    /// Multiplier applied to raw series values before segmentation
+    /// (e.g. `1e-6` renders nanosecond latencies in milliseconds, so
+    /// `v` and `epsilon` read naturally).
+    pub scale: f64,
+}
+
+impl AlertRule {
+    /// The rule's query region in `(Δt, Δv)` feature space.
+    pub fn region(&self) -> QueryRegion {
+        match self.kind {
+            SearchKind::Drop => QueryRegion::drop(self.t_seconds, self.v),
+            SearchKind::Jump => QueryRegion::jump(self.t_seconds, self.v),
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let ctx = |msg: String| format!("rule '{}': {}", self.name, msg);
+        if self.metric.is_empty() {
+            return Err(ctx("missing 'metric'".to_string()));
+        }
+        if !(self.t_seconds.is_finite() && self.t_seconds > 0.0) {
+            return Err(ctx(format!(
+                "t_seconds must be > 0, got {}",
+                self.t_seconds
+            )));
+        }
+        match self.kind {
+            SearchKind::Drop if !(self.v.is_finite() && self.v < 0.0) => {
+                return Err(ctx(format!("drop rules need v < 0, got {}", self.v)));
+            }
+            SearchKind::Jump if !(self.v.is_finite() && self.v > 0.0) => {
+                return Err(ctx(format!("jump rules need v > 0, got {}", self.v)));
+            }
+            _ => {}
+        }
+        if !(self.epsilon.is_finite() && self.epsilon >= 0.0) {
+            return Err(ctx(format!("epsilon must be >= 0, got {}", self.epsilon)));
+        }
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(ctx(format!("scale must be > 0, got {}", self.scale)));
+        }
+        Ok(())
+    }
+}
+
+/// A parsed set of standing rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AlertRuleSet {
+    /// The rules, in file order.
+    pub rules: Vec<AlertRule>,
+}
+
+impl AlertRuleSet {
+    /// Parses the `ci/alert-rules.toml` grammar — a minimal TOML subset:
+    ///
+    /// ```toml
+    /// # comment
+    /// [[rule]]
+    /// name = "query-latency-jump"     # string values are double-quoted
+    /// metric = "server.query_nanos.p50"
+    /// kind = "jump"                   # "drop" | "jump"
+    /// v = 20.0                        # scaled units; sign must match kind
+    /// t_seconds = 60.0
+    /// epsilon = 8.0
+    /// scale = 1e-6                    # optional, default 1.0
+    /// ```
+    ///
+    /// Anything else (tables, arrays, multi-line strings) is rejected.
+    pub fn parse(src: &str) -> Result<AlertRuleSet, String> {
+        let mut rules: Vec<AlertRule> = Vec::new();
+        let mut current: Option<AlertRule> = None;
+        for (lineno, raw) in src.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| format!("alert-rules line {}: {}", lineno + 1, msg);
+            if line == "[[rule]]" {
+                if let Some(rule) = current.take() {
+                    rule.validate()?;
+                    rules.push(rule);
+                }
+                current = Some(AlertRule {
+                    name: String::new(),
+                    metric: String::new(),
+                    kind: SearchKind::Drop,
+                    v: f64::NAN,
+                    t_seconds: f64::NAN,
+                    epsilon: 0.0,
+                    scale: 1.0,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(format!("expected 'key = value', got '{line}'")));
+            };
+            let Some(rule) = current.as_mut() else {
+                return Err(err("key before any [[rule]] header".to_string()));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "name" => rule.name = parse_string(value).map_err(err)?,
+                "metric" => rule.metric = parse_string(value).map_err(err)?,
+                "kind" => {
+                    rule.kind = match parse_string(value).map_err(err)?.as_str() {
+                        "drop" => SearchKind::Drop,
+                        "jump" => SearchKind::Jump,
+                        other => return Err(err(format!("kind must be drop|jump, got {other}"))),
+                    }
+                }
+                "v" => rule.v = parse_number(value).map_err(err)?,
+                "t_seconds" => rule.t_seconds = parse_number(value).map_err(err)?,
+                "epsilon" => rule.epsilon = parse_number(value).map_err(err)?,
+                "scale" => rule.scale = parse_number(value).map_err(err)?,
+                other => return Err(err(format!("unknown key '{other}'"))),
+            }
+        }
+        if let Some(rule) = current.take() {
+            rule.validate()?;
+            rules.push(rule);
+        }
+        Ok(AlertRuleSet { rules })
+    }
+
+    /// Loads and parses a rules file.
+    pub fn load(path: &std::path::Path) -> Result<AlertRuleSet, String> {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse(&src)
+    }
+
+    /// The built-in rules used when no file is given: watch query
+    /// latency for jumps and query throughput for drops. Mirrors
+    /// `ci/alert-rules.toml`.
+    pub fn defaults() -> AlertRuleSet {
+        AlertRuleSet {
+            rules: vec![
+                AlertRule {
+                    name: "query-latency-jump".to_string(),
+                    metric: "server.query_nanos.p50".to_string(),
+                    kind: SearchKind::Jump,
+                    v: 20.0,
+                    t_seconds: 60.0,
+                    epsilon: 8.0,
+                    scale: 1e-6,
+                },
+                // Thresholds sized against the measured clean baseline
+                // (~5.5k qps on the alert-smoke workload, with noise
+                // between sampling intervals of a few hundred qps): the
+                // rule must catch a collapse, not closed-loop jitter.
+                AlertRule {
+                    name: "query-rate-drop".to_string(),
+                    metric: "server.queries.rate".to_string(),
+                    kind: SearchKind::Drop,
+                    v: -2000.0,
+                    t_seconds: 60.0,
+                    epsilon: 500.0,
+                    scale: 1.0,
+                },
+            ],
+        }
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a double-quoted string, got '{value}'"))?;
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(format!("escapes are not supported: '{value}'"));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_number(value: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("expected a number, got '{value}'"))
+}
+
+/// One fired alert: the rule plus the offending segment pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Series the rule watches.
+    pub metric: String,
+    /// Drop or jump.
+    pub kind: SearchKind,
+    /// When the engine observed the event, unix milliseconds.
+    pub fired_at_ms: u64,
+    /// Start of the earlier segment of the offending pair (unix seconds).
+    pub t_d: f64,
+    /// End of the earlier segment.
+    pub t_c: f64,
+    /// Start of the later segment.
+    pub t_b: f64,
+    /// End of the later segment.
+    pub t_a: f64,
+    /// The boundary corner change `Δv` with the largest magnitude, in
+    /// scaled units — roughly "how big the drop/jump was".
+    pub dv: f64,
+}
+
+impl Alert {
+    /// Serializes the alert as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rule", Json::from(self.rule.as_str())),
+            ("metric", Json::from(self.metric.as_str())),
+            ("kind", Json::from(self.kind.name())),
+            ("fired_at_ms", Json::from(self.fired_at_ms)),
+            ("t_d", Json::from(self.t_d)),
+            ("t_c", Json::from(self.t_c)),
+            ("t_b", Json::from(self.t_b)),
+            ("t_a", Json::from(self.t_a)),
+            ("dv", Json::from(self.dv)),
+        ])
+    }
+}
+
+/// Per-rule online pipeline state.
+struct RuleState {
+    rule: AlertRule,
+    region: QueryRegion,
+    segmenter: SlidingWindowSegmenter,
+    extractor: FeatureExtractor,
+    /// Timestamp (ms) of the last series point consumed.
+    last_point_ms: u64,
+    /// Time of the last observation pushed into the segmenter (seconds);
+    /// guards against a non-monotonic wall clock.
+    last_t: f64,
+    /// Pairs already fired, keyed on `(t_d, t_b)` bits so a provisional
+    /// sighting and its later committed form count once.
+    fired_pairs: HashSet<(u64, u64)>,
+}
+
+impl RuleState {
+    fn new(rule: AlertRule) -> RuleState {
+        let region = rule.region();
+        // The extractor window only needs to cover pairs within T; the
+        // segmenter tolerance is the rule's ε (the ε/2 split is applied
+        // inside the segmenter, matching ingest).
+        let segmenter = SlidingWindowSegmenter::new(rule.epsilon);
+        let extractor = FeatureExtractor::new(rule.epsilon, rule.t_seconds);
+        RuleState {
+            rule,
+            region,
+            segmenter,
+            extractor,
+            last_point_ms: 0,
+            last_t: f64::NEG_INFINITY,
+            fired_pairs: HashSet::new(),
+        }
+    }
+}
+
+/// The standing-rule evaluator plus its bounded alert log.
+pub struct AlertEngine {
+    states: Mutex<Vec<RuleState>>,
+    log: Mutex<VecDeque<Alert>>,
+    log_capacity: usize,
+    evaluated: Arc<obs::Counter>,
+    fired: Arc<obs::Counter>,
+}
+
+/// Alerts retained in the log before the oldest are dropped.
+pub const DEFAULT_ALERT_LOG_CAPACITY: usize = 256;
+
+impl AlertEngine {
+    /// Creates an engine over `rules` with a log bounded to
+    /// `log_capacity` entries. Counters register in [`obs::global`].
+    pub fn new(rules: AlertRuleSet, log_capacity: usize) -> AlertEngine {
+        let registry = obs::global();
+        AlertEngine {
+            states: Mutex::new(rules.rules.into_iter().map(RuleState::new).collect()),
+            log: Mutex::new(VecDeque::new()),
+            log_capacity: log_capacity.max(1),
+            evaluated: registry.counter("alert.evaluated"),
+            fired: registry.counter("alert.fired"),
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> Vec<AlertRule> {
+        let states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        states.iter().map(|s| s.rule.clone()).collect()
+    }
+
+    /// A snapshot of the alert log, oldest first.
+    pub fn alerts(&self) -> Vec<Alert> {
+        let log = self.log.lock().unwrap_or_else(|e| e.into_inner());
+        log.iter().cloned().collect()
+    }
+
+    /// Consumes new points of every watched series from `store` and
+    /// evaluates all rules, returning newly fired alerts (also appended
+    /// to the log).
+    pub fn tick(&self, store: &SeriesStore, now_ms: u64) -> Vec<Alert> {
+        let mut fired = Vec::new();
+        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        for state in states.iter_mut() {
+            self.evaluated.inc();
+            let points = store.since(&state.rule.metric, state.last_point_ms);
+            if points.is_empty() {
+                continue;
+            }
+            let mut rows: Vec<FeatureRow> = Vec::new();
+            for p in points {
+                state.last_point_ms = p.ts_ms;
+                let t = p.ts_ms as f64 / 1e3;
+                if t <= state.last_t {
+                    continue; // non-monotonic clock; drop the point
+                }
+                state.last_t = t;
+                let v = p.value * state.rule.scale;
+                if !v.is_finite() {
+                    continue;
+                }
+                if let Some(seg) = state.segmenter.push(t, v) {
+                    state.extractor.push_segment(seg, &mut rows);
+                }
+            }
+            // Provisional tail: finish() clones so a drop that already
+            // happened is paired now instead of after the next chord
+            // break commits its segment.
+            let mut seg_clone = state.segmenter.clone();
+            let mut ex_clone = state.extractor.clone();
+            if let Some(seg) = seg_clone.finish() {
+                ex_clone.push_segment(seg, &mut rows);
+            }
+            for row in rows {
+                if row.kind != state.rule.kind || !row.boundary.intersects(&state.region) {
+                    continue;
+                }
+                let key = (row.t_d.to_bits(), row.t_b.to_bits());
+                if !state.fired_pairs.insert(key) {
+                    continue;
+                }
+                // Bound the dedup set; clearing can at worst re-fire an
+                // old pair, and the log below is bounded anyway.
+                if state.fired_pairs.len() > 8192 {
+                    state.fired_pairs.clear();
+                    state.fired_pairs.insert(key);
+                }
+                let dv = row
+                    .boundary
+                    .corners()
+                    .iter()
+                    .map(|c| c.dv)
+                    .fold(
+                        0.0f64,
+                        |acc, dv| if dv.abs() > acc.abs() { dv } else { acc },
+                    );
+                let alert = Alert {
+                    rule: state.rule.name.clone(),
+                    metric: state.rule.metric.clone(),
+                    kind: state.rule.kind,
+                    fired_at_ms: now_ms,
+                    t_d: row.t_d,
+                    t_c: row.t_c,
+                    t_b: row.t_b,
+                    t_a: row.t_a,
+                    dv,
+                };
+                self.fired.inc();
+                fired.push(alert);
+            }
+        }
+        drop(states);
+        if !fired.is_empty() {
+            let mut log = self.log.lock().unwrap_or_else(|e| e.into_inner());
+            for alert in &fired {
+                if log.len() >= self.log_capacity {
+                    log.pop_front();
+                }
+                log.push_back(alert.clone());
+                obs::warn!(
+                    "alert {}: {} on {} (pair {:.1}..{:.1} -> {:.1}..{:.1}, dv {:.2})",
+                    alert.rule,
+                    alert.kind.name(),
+                    alert.metric,
+                    alert.t_d,
+                    alert.t_c,
+                    alert.t_b,
+                    alert.t_a,
+                    alert.dv
+                );
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &str = r#"
+# watch the query latency median for jumps
+[[rule]]
+name = "lat-jump"                     # trailing comment
+metric = "server.query_nanos.p50"
+kind = "jump"
+v = 20.0
+t_seconds = 60.0
+epsilon = 8.0
+scale = 1e-6
+
+[[rule]]
+name = "qps-drop"
+metric = "server.queries.rate"
+kind = "drop"
+v = -100.0
+t_seconds = 60.0
+epsilon = 50.0
+"#;
+
+    #[test]
+    fn parses_the_rules_grammar() {
+        let set = AlertRuleSet::parse(RULES).expect("parses");
+        assert_eq!(set.rules.len(), 2);
+        let lat = &set.rules[0];
+        assert_eq!(lat.name, "lat-jump");
+        assert_eq!(lat.metric, "server.query_nanos.p50");
+        assert_eq!(lat.kind, SearchKind::Jump);
+        assert_eq!(lat.scale, 1e-6);
+        let qps = &set.rules[1];
+        assert_eq!(qps.kind, SearchKind::Drop);
+        assert_eq!(qps.scale, 1.0, "scale defaults to 1");
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        for (src, why) in [
+            ("name = \"x\"\n", "key before header"),
+            ("[[rule]]\nname = \"x\"\nbogus = 1\n", "unknown key"),
+            ("[[rule]]\nname = \"x\"\nkind = \"sideways\"\n", "bad kind"),
+            (
+                "[[rule]]\nname=\"x\"\nmetric=\"m\"\nkind=\"drop\"\nv=5\nt_seconds=60\n",
+                "drop with positive v",
+            ),
+            (
+                "[[rule]]\nname=\"x\"\nmetric=\"m\"\nkind=\"jump\"\nv=5\nt_seconds=0\n",
+                "t_seconds = 0",
+            ),
+            ("[[rule]]\nname = x\n", "unquoted string"),
+        ] {
+            assert!(AlertRuleSet::parse(src).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn defaults_validate() {
+        for rule in AlertRuleSet::defaults().rules {
+            assert!(rule.validate().is_ok(), "{rule:?}");
+        }
+    }
+
+    /// `ci/alert-rules.toml` claims to mirror [`AlertRuleSet::defaults`];
+    /// hold it to that, so tuning one without the other fails CI.
+    #[test]
+    fn ci_rules_file_mirrors_defaults() {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../ci/alert-rules.toml");
+        let parsed = AlertRuleSet::load(&path).expect("ci/alert-rules.toml loads");
+        assert_eq!(parsed, AlertRuleSet::defaults());
+    }
+
+    fn drop_rule(v: f64, t_seconds: f64, epsilon: f64) -> AlertRuleSet {
+        AlertRuleSet {
+            rules: vec![AlertRule {
+                name: "test-drop".to_string(),
+                metric: "m".to_string(),
+                kind: SearchKind::Drop,
+                v,
+                t_seconds,
+                epsilon,
+                scale: 1.0,
+            }],
+        }
+    }
+
+    /// A steady series that collapses: the alert must fire within a few
+    /// samples of the collapse — not wait for the flat after-level to
+    /// end — and carry a pair bracketing the drop.
+    #[test]
+    fn fires_on_a_drop_with_provisional_segments() {
+        let store = SeriesStore::new(1024);
+        let engine = AlertEngine::new(drop_rule(-50.0, 60.0, 5.0), 16);
+
+        // 60 s of level 100, sampled at 1 Hz.
+        for i in 0..60u64 {
+            store.push("m", i * 1000, 100.0);
+        }
+        assert!(engine.tick(&store, 59_000).is_empty(), "no false positive");
+
+        // The collapse: level 10 from t=60 on.
+        let mut first_fired_at = None;
+        let mut all_fired = Vec::new();
+        let mut late_fires = 0usize;
+        for i in 60..180u64 {
+            store.push("m", i * 1000, 10.0);
+            let fired = engine.tick(&store, i * 1000);
+            if !fired.is_empty() && first_fired_at.is_none() {
+                first_fired_at = Some(i);
+            }
+            if i >= 120 {
+                late_fires += fired.len();
+            }
+            all_fired.extend(fired);
+        }
+        let i = first_fired_at.expect("the drop must fire");
+        assert!(
+            i <= 65,
+            "provisional evaluation should catch the drop within ~5 samples, fired at {i}"
+        );
+        // One underlying event may surface through a handful of segment
+        // pairs (cross + self, provisional + committed), but pair-key
+        // dedup keeps it from flapping forever.
+        assert!(all_fired.len() <= 6, "fired {}", all_fired.len());
+        assert_eq!(late_fires, 0, "no re-fires once the pairs are known");
+        let alert = &all_fired[0];
+        assert_eq!(alert.rule, "test-drop");
+        assert!(alert.dv <= -50.0, "dv = {}", alert.dv);
+        assert!(
+            alert.t_c <= 61.0 && alert.t_b >= 59.0,
+            "pair must bracket the drop: {alert:?}"
+        );
+        assert_eq!(engine.alerts().len(), all_fired.len());
+    }
+
+    #[test]
+    fn noise_within_epsilon_does_not_fire() {
+        let store = SeriesStore::new(1024);
+        let engine = AlertEngine::new(drop_rule(-50.0, 60.0, 10.0), 16);
+        // +-3 units of jitter around 100: well inside epsilon.
+        for i in 0..300u64 {
+            let v = 100.0 + if i % 2 == 0 { 3.0 } else { -3.0 };
+            store.push("m", i * 1000, v);
+            assert!(engine.tick(&store, i * 1000).is_empty(), "i = {i}");
+        }
+    }
+
+    #[test]
+    fn log_is_bounded() {
+        let store = SeriesStore::new(4096);
+        // Tiny thresholds so every zigzag fires.
+        let engine = AlertEngine::new(drop_rule(-5.0, 120.0, 0.1), 4);
+        for i in 0..600u64 {
+            let v = if (i / 3) % 2 == 0 { 100.0 } else { 50.0 };
+            store.push("m", i * 1000, v);
+            engine.tick(&store, i * 1000);
+        }
+        assert!(engine.alerts().len() <= 4, "log stays bounded");
+        assert!(
+            obs::global().counter("alert.fired").get() > 4,
+            "more alerts fired than the log retains"
+        );
+    }
+}

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod ablation;
+pub mod alerts;
 pub mod analysis;
 mod cache;
 mod config;

@@ -60,17 +60,23 @@ where
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
+    // The caller's trace id follows the fan-out onto the worker threads,
+    // so spans recorded inside tasks still carry the request's id.
+    let trace_id = obs::current_trace_id().unwrap_or(0);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let _scope = obs::TraceIdScope::enter(trace_id);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 }
-                let out = f(i);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
             });
         }
     });

@@ -117,6 +117,38 @@ impl<'a> Phase<'a> {
     }
 }
 
+/// Fault-injection hatch for the alert-smoke harness: when
+/// `SEGDIFF_FAULT_SLEEP_MS` is set, every query executed after
+/// `SEGDIFF_FAULT_DELAY_SECS` (default 0, measured from the *first*
+/// query) sleeps that long before running — a controlled latency jump
+/// the dogfooded alerting pipeline must detect. Both variables are read
+/// once; unset or unparsable values disable the hatch entirely, so
+/// production runs pay one atomic load.
+fn fault_injection_sleep() {
+    use std::sync::OnceLock;
+    use std::time::Duration;
+    static CONFIG: OnceLock<Option<(Duration, Duration)>> = OnceLock::new();
+    static FIRST_QUERY: OnceLock<Instant> = OnceLock::new();
+    fn read_config() -> Option<(Duration, Duration)> {
+        let sleep_ms: u64 = std::env::var("SEGDIFF_FAULT_SLEEP_MS").ok()?.parse().ok()?;
+        let delay_secs: u64 = std::env::var("SEGDIFF_FAULT_DELAY_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        Some((
+            Duration::from_millis(sleep_ms),
+            Duration::from_secs(delay_secs),
+        ))
+    }
+    let Some((sleep, delay)) = *CONFIG.get_or_init(read_config) else {
+        return;
+    };
+    let first = *FIRST_QUERY.get_or_init(Instant::now);
+    if first.elapsed() >= delay {
+        std::thread::sleep(sleep);
+    }
+}
+
 /// Runs a drop/jump search over the three per-corner-count feature tables
 /// of the matching kind. Returns deduplicated, time-ordered segment pairs
 /// plus the per-phase breakdown.
@@ -128,12 +160,18 @@ pub(crate) fn run_feature_query(
     rows_considered: &mut u64,
 ) -> Result<(Vec<SegmentPair>, Vec<PhaseStats>)> {
     let mut phases = Vec::with_capacity(4);
+    fault_injection_sleep();
 
     // Phase: plan selection. Trivial here (the caller chose), but gives
     // the trace its "plan chosen" node and anchors the I/O accounting.
     let p = Phase::start(db, "query.plan");
     p.span.record("plan", plan.name());
     p.span.record("kind", region.kind.name());
+    if let Some(id) = obs::current_trace_id() {
+        // The server tags the worker thread with the request's trace id;
+        // stamping it here proves propagation reached the executor.
+        p.span.record("trace_id", id);
+    }
     phases.push(p.finish(0, 0));
 
     let mut out = Vec::new();

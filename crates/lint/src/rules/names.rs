@@ -20,11 +20,14 @@ use crate::diag::{Diagnostic, Rule};
 use crate::lexer::{lex, TokKind};
 use std::collections::HashSet;
 
-/// Counter or histogram, as implied by the call site / registry ctor.
+/// Counter, gauge, or histogram, as implied by the call site /
+/// registry ctor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kind {
     /// `.counter(…)` / `MetricDef::counter(…)`.
     Counter,
+    /// `.gauge(…)` / `MetricDef::gauge(…)`.
+    Gauge,
     /// `.histogram(…)` / `span(…)` / `MetricDef::histogram(…)`.
     Histogram,
 }
@@ -33,6 +36,7 @@ impl Kind {
     fn label(self) -> &'static str {
         match self {
             Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
             Kind::Histogram => "histogram",
         }
     }
@@ -93,6 +97,7 @@ pub fn collect(ctx: &FileCtx, into: &mut Collected) {
         let name = t.text(ctx.src);
         let kind = match name {
             "counter" => Kind::Counter,
+            "gauge" => Kind::Gauge,
             "histogram" => Kind::Histogram,
             "span" => Kind::Histogram,
             _ => continue,
@@ -180,6 +185,7 @@ pub fn parse_registry(src: &str) -> Vec<RegistryEntry> {
         }
         let kind = match t.text(src) {
             "counter" => Kind::Counter,
+            "gauge" => Kind::Gauge,
             "histogram" => Kind::Histogram,
             _ => continue,
         };
@@ -370,6 +376,7 @@ mod tests {
 pub const METRICS: &[MetricDef] = &[
     MetricDef::counter("pool.hits", "Pool hits"),
     MetricDef::counter("pool.shard*.hits", "Per-shard hits"),
+    MetricDef::gauge("pool.level", "Pool level"),
     MetricDef::histogram("span.query", "Query time"),
     MetricDef::histogram("span.query.plan", "Plan phase"),
     MetricDef::counter("dead.metric", "Never used"),
@@ -385,10 +392,11 @@ pub const METRICS: &[MetricDef] = &[
     #[test]
     fn registry_parses() {
         let reg = parse_registry(REGISTRY_SRC);
-        assert_eq!(reg.len(), 5);
+        assert_eq!(reg.len(), 6);
         assert_eq!(reg[0].name, "pool.hits");
         assert_eq!(reg[0].kind, Kind::Counter);
-        assert_eq!(reg[2].kind, Kind::Histogram);
+        assert_eq!(reg[2].kind, Kind::Gauge);
+        assert_eq!(reg[3].kind, Kind::Histogram);
         assert_eq!(reg[1].help, "Per-shard hits");
     }
 
@@ -410,6 +418,7 @@ pub const METRICS: &[MetricDef] = &[
 fn f(prefix: &str, i: usize) {
     r.counter("pool.hits").inc();
     r.counter(&format!("{prefix}.hits")).inc();
+    r.gauge("pool.level").set(1);
     let s = span("query");
 }
 "#;
@@ -436,6 +445,7 @@ fn f(prefix: &str, i: usize) {
 fn f() {
     r.counter("pool.hits").inc();
     r.counter(&format!("pool.shard{i}.hits")).inc();
+    r.gauge("pool.level").set(1);
     let s = span("query");
     let phase = Phase::start(db, "query.plan");
 }

@@ -28,6 +28,13 @@ impl Exporter for TextExporter {
                 out.push_str(&format!("  {name:<width$}  {value}\n"));
             }
         }
+        if !snapshot.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = snapshot.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &snapshot.gauges {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
         if !snapshot.histograms.is_empty() {
             out.push_str("histograms (nanos):\n");
             let width = snapshot
@@ -38,8 +45,8 @@ impl Exporter for TextExporter {
                 .unwrap_or(0);
             for (name, s) in &snapshot.histograms {
                 out.push_str(&format!(
-                    "  {name:<width$}  count={} p50={} p90={} p99={} max={}\n",
-                    s.count, s.p50, s.p90, s.p99, s.max
+                    "  {name:<width$}  count={} min={} p50={} p90={} p99={} p999={} max={}\n",
+                    s.count, s.min, s.p50, s.p90, s.p99, s.p999, s.max
                 ));
             }
         }
@@ -51,20 +58,51 @@ impl Exporter for TextExporter {
 }
 
 /// Line-delimited JSON: one object per metric, stable field order.
+/// Every line carries the same `ts` (unix milliseconds at export time)
+/// so scrapers can order samples across scrapes; metric names pass
+/// through the JSON string writer, so a hostile name (quotes, control
+/// characters, non-ASCII) can never break the line format.
 ///
-/// Counters: `{"kind":"counter","name":...,"value":...}`.
-/// Histograms: `{"kind":"histogram","name":...,"count":...,"sum":...,
-/// "p50":...,"p90":...,"p99":...,"max":...}`.
+/// Counters: `{"kind":"counter","name":...,"ts":...,"value":...}`.
+/// Gauges: `{"kind":"gauge","name":...,"ts":...,"value":...}`.
+/// Histograms: `{"kind":"histogram","name":...,"ts":...,"count":...,
+/// "sum":...,"min":...,"p50":...,"p90":...,"p99":...,"p999":...,
+/// "max":...}`.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct JsonLinesExporter;
+pub struct JsonLinesExporter {
+    /// When set, stamps every line with this timestamp instead of the
+    /// current wall clock (deterministic output for tests).
+    pub fixed_ts_ms: Option<u64>,
+}
+
+impl JsonLinesExporter {
+    /// An exporter that stamps lines with `ts_ms` instead of "now".
+    pub fn with_ts(ts_ms: u64) -> Self {
+        JsonLinesExporter {
+            fixed_ts_ms: Some(ts_ms),
+        }
+    }
+}
 
 impl Exporter for JsonLinesExporter {
     fn export(&self, snapshot: &MetricsSnapshot) -> String {
+        let ts = self.fixed_ts_ms.unwrap_or_else(crate::unix_ms);
         let mut out = String::new();
         for (name, value) in &snapshot.counters {
             let j = Json::obj([
                 ("kind", Json::from("counter")),
                 ("name", Json::from(name.as_str())),
+                ("ts", Json::from(ts)),
+                ("value", Json::from(*value)),
+            ]);
+            out.push_str(&j.to_string_compact());
+            out.push('\n');
+        }
+        for (name, value) in &snapshot.gauges {
+            let j = Json::obj([
+                ("kind", Json::from("gauge")),
+                ("name", Json::from(name.as_str())),
+                ("ts", Json::from(ts)),
                 ("value", Json::from(*value)),
             ]);
             out.push_str(&j.to_string_compact());
@@ -74,11 +112,14 @@ impl Exporter for JsonLinesExporter {
             let j = Json::obj([
                 ("kind", Json::from("histogram")),
                 ("name", Json::from(name.as_str())),
+                ("ts", Json::from(ts)),
                 ("count", Json::from(s.count)),
                 ("sum", Json::from(s.sum)),
+                ("min", Json::from(s.min)),
                 ("p50", Json::from(s.p50)),
                 ("p90", Json::from(s.p90)),
                 ("p99", Json::from(s.p99)),
+                ("p999", Json::from(s.p999)),
                 ("max", Json::from(s.max)),
             ]);
             out.push_str(&j.to_string_compact());
@@ -102,6 +143,59 @@ mod tests {
     }
 
     #[test]
+    fn text_export_includes_gauges_and_tail_quantiles() {
+        let r = MetricsRegistry::new();
+        r.gauge("server.inflight").set(4);
+        r.histogram("span.query").record(1500);
+        let text = TextExporter.export(&r.snapshot());
+        assert!(text.contains("gauges:"), "{text}");
+        assert!(text.contains("server.inflight"), "{text}");
+        assert!(text.contains("p999="), "{text}");
+        assert!(text.contains("min="), "{text}");
+    }
+
+    #[test]
+    fn jsonl_stamps_ts_and_exports_gauges() {
+        let r = MetricsRegistry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(-7);
+        r.histogram("h").record(100);
+        let out = JsonLinesExporter::with_ts(1234).export(&r.snapshot());
+        let lines: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 3);
+        for j in &lines {
+            assert_eq!(j.get("ts").and_then(Json::as_u64), Some(1234));
+        }
+        let g = lines
+            .iter()
+            .find(|j| j.get("kind").and_then(Json::as_str) == Some("gauge"))
+            .unwrap();
+        assert_eq!(g.get("name").and_then(Json::as_str), Some("g"));
+        assert_eq!(g.get("value"), Some(&Json::Int(-7)));
+        let h = lines
+            .iter()
+            .find(|j| j.get("kind").and_then(Json::as_str) == Some("histogram"))
+            .unwrap();
+        assert_eq!(h.get("p999").and_then(Json::as_u64), Some(100));
+        assert_eq!(h.get("min").and_then(Json::as_u64), Some(100));
+    }
+
+    #[test]
+    fn jsonl_escapes_hostile_metric_names() {
+        // Nothing in the system generates names like these, but the
+        // exporter must not be the thing that breaks if one appears.
+        let r = MetricsRegistry::new();
+        let hostile = "evil\"name\\with\nnewline\tand\u{1}ctrl";
+        r.counter(hostile).add(1);
+        let out = JsonLinesExporter::with_ts(1).export(&r.snapshot());
+        let lines: Vec<&str> = out.lines().collect();
+        // The raw newline must be escaped, not emitted: exactly one line.
+        assert_eq!(lines.len(), 1, "{out:?}");
+        let j = Json::parse(lines[0]).expect("hostile name still parses");
+        assert_eq!(j.get("name").and_then(Json::as_str), Some(hostile));
+    }
+
+    #[test]
     fn text_export_lists_everything() {
         let text = TextExporter.export(&sample());
         assert!(text.contains("pool.hits"));
@@ -118,7 +212,7 @@ mod tests {
 
     #[test]
     fn jsonl_lines_parse_and_round_trip() {
-        let out = JsonLinesExporter.export(&sample());
+        let out = JsonLinesExporter::default().export(&sample());
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
         for line in &lines {

@@ -7,9 +7,19 @@
 //! quantities observable in one place, for every layer of the system:
 //!
 //! * [`MetricsRegistry`] — a global, thread-safe registry of named
-//!   [`Counter`]s and log-bucketed [`Histogram`]s (count / p50 / p90 /
-//!   p99 / max). The storage engine publishes buffer-pool and B+tree
-//!   counters here; query execution feeds per-phase latency histograms.
+//!   [`Counter`]s, [`Gauge`]s and log-bucketed [`Histogram`]s (count /
+//!   min / p50 / p90 / p99 / p999 / max). The storage engine publishes
+//!   buffer-pool and B+tree counters here; query execution feeds
+//!   per-phase latency histograms.
+//! * [`series`] — the time axis: a background sampler scrapes every
+//!   registered metric at a fixed cadence into bounded ring buffers
+//!   (counters as rates, gauges raw, histograms as interval-windowed
+//!   quantiles), which is what `GET /series` and the dogfooded alerting
+//!   pipeline read.
+//! * [`tracering`] — always-on request tracing: bounded rings of recent
+//!   traces with tail-sampling that always retains slow or erroring
+//!   requests, plus thread-propagated trace ids
+//!   ([`next_trace_id`] / [`TraceIdScope`]).
 //! * [`span`] / [`SpanGuard`] — RAII span timers. Every span records its
 //!   wall time into the histogram `span.<name>`; when a trace is being
 //!   collected ([`trace_begin`] / [`trace_take`]) spans also assemble a
@@ -52,10 +62,19 @@ mod json_impl;
 mod log_impl;
 mod metrics;
 pub mod names;
+pub mod series;
 mod span_impl;
+pub mod tracering;
 
-pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
-pub use span_impl::{span, trace_active, trace_begin, trace_take, SpanGuard, TraceNode};
+pub use metrics::{
+    quantile_from_counts, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry,
+    MetricsSnapshot, BUCKETS,
+};
+pub use series::unix_ms;
+pub use span_impl::{
+    current_trace_id, next_trace_id, set_current_trace_id, span, trace_active, trace_begin,
+    trace_take, SpanGuard, TraceIdScope, TraceNode,
+};
 
 /// Snapshot exporters (text and line-delimited JSON).
 pub mod export {

@@ -8,7 +8,7 @@
 //! registration and when snapshotting.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing atomic counter.
@@ -34,10 +34,40 @@ impl Counter {
     }
 }
 
+/// An instantaneous signed level: in-flight requests, queue depth,
+/// resident pages. Unlike [`Counter`] it can move both ways, so the
+/// sampler stores its raw value instead of a rate.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the absolute level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// Number of histogram buckets: bucket `i` holds values `v` with
 /// `bit_width(v) == i`, i.e. power-of-two boundaries, so 64 buckets
 /// cover the full `u64` range. Bucket 0 holds only the value 0.
-const BUCKETS: usize = 65;
+pub const BUCKETS: usize = 65;
 
 /// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
 ///
@@ -50,6 +80,9 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    // `min` uses `u64::MAX` as the "nothing recorded" sentinel so that
+    // `fetch_min` works without a compare-and-swap loop.
+    min: AtomicU64,
     max: AtomicU64,
 }
 
@@ -59,6 +92,7 @@ impl Default for Histogram {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
     }
@@ -101,6 +135,7 @@ impl Histogram {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -119,51 +154,92 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            m
+        }
+    }
+
     /// Largest recorded sample (0 if empty).
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Raw bucket counts, one load per bucket. The sampler diffs two of
+    /// these arrays to compute interval-windowed quantiles from the
+    /// cumulative counts (see [`quantile_from_counts`]).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
     /// Estimates quantile `q` in `[0, 1]` by linear interpolation inside
     /// the bucket holding the target rank. Returns 0 for an empty
-    /// histogram. The estimate never exceeds the observed maximum.
+    /// histogram. The estimate is clamped to the observed `[min, max]`
+    /// range, so a single sample reports itself exactly at every
+    /// quantile instead of smearing across its bucket.
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
-        // 1-based rank of the target sample.
-        let rank = ((q * count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for i in 0..BUCKETS {
-            let c = self.buckets[i].load(Ordering::Relaxed);
-            if c == 0 {
-                continue;
-            }
-            if seen + c >= rank {
-                let lo = bucket_lo(i) as f64;
-                let hi = bucket_hi(i) as f64;
-                let frac = (rank - seen) as f64 / c as f64;
-                let est = lo + (hi - lo) * frac;
-                return (est as u64).min(self.max());
-            }
-            seen += c;
-        }
-        self.max()
+        quantile_from_counts(&self.bucket_counts(), q)
+            .max(self.min())
+            .min(self.max())
     }
 
-    /// A point-in-time summary (count, sum, p50/p90/p99, max).
+    /// A point-in-time summary (count, sum, min, p50/p90/p99/p999, max).
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count(),
             sum: self.sum(),
+            min: self.min(),
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
             max: self.max(),
         }
     }
+}
+
+/// Quantile estimate over a raw bucket-count array (see
+/// [`Histogram::bucket_counts`]): linear interpolation inside the bucket
+/// holding the target rank, clamped only to bucket bounds. Callers with
+/// observed min/max (the live histogram) clamp further; callers with
+/// only a count delta (the sampler's interval windows) cannot.
+pub fn quantile_from_counts(counts: &[u64; BUCKETS], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // 1-based rank of the target sample.
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    let mut last_nonempty = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        last_nonempty = i;
+        if seen + c >= rank {
+            let lo = bucket_lo(i) as f64;
+            let hi = bucket_hi(i) as f64;
+            let frac = (rank - seen) as f64 / c as f64;
+            let est = lo + (hi - lo) * frac;
+            return est as u64;
+        }
+        seen += c;
+    }
+    bucket_hi(last_nonempty)
 }
 
 /// Point-in-time summary of a [`Histogram`].
@@ -173,12 +249,16 @@ pub struct HistogramSummary {
     pub count: u64,
     /// Sum of samples.
     pub sum: u64,
+    /// Observed minimum.
+    pub min: u64,
     /// Estimated median.
     pub p50: u64,
     /// Estimated 90th percentile.
     pub p90: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
+    /// Estimated 99.9th percentile.
+    pub p999: u64,
     /// Observed maximum.
     pub max: u64,
 }
@@ -197,6 +277,7 @@ impl HistogramSummary {
 #[derive(Default)]
 struct Inner {
     counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
     histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
@@ -226,6 +307,17 @@ impl MetricsRegistry {
         c
     }
 
+    /// Returns the gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(g) = inner.gauges.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        inner.gauges.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
     /// Returns the histogram named `name`, registering it on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -237,12 +329,49 @@ impl MetricsRegistry {
         h
     }
 
+    /// Every registered counter with its live handle. The sampler uses
+    /// the handles so each tick reads current values without re-taking
+    /// the registry lock per metric.
+    pub fn counter_handles(&self) -> Vec<(String, Arc<Counter>)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Every registered gauge with its live handle.
+    pub fn gauge_handles(&self) -> Vec<(String, Arc<Gauge>)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Every registered histogram with its live handle.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
     /// Captures a point-in-time snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         MetricsSnapshot {
             counters: inner
                 .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
@@ -260,6 +389,8 @@ impl MetricsRegistry {
 pub struct MetricsSnapshot {
     /// Counter values, keyed by name (sorted).
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels, keyed by name (sorted).
+    pub gauges: BTreeMap<String, i64>,
     /// Histogram summaries, keyed by name (sorted).
     pub histograms: BTreeMap<String, HistogramSummary>,
 }
@@ -267,6 +398,7 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Counter-wise difference `self - earlier`, saturating at zero so a
     /// registry reset between snapshots cannot produce absurd deltas.
+    /// Gauges keep the *later* level for any name whose level changed.
     /// Histograms keep the *later* summary for any name present in
     /// `self` whose count advanced; unchanged histograms are dropped.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
@@ -279,6 +411,12 @@ impl MetricsSnapshot {
             })
             .filter(|(_, v)| *v > 0)
             .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .filter(|(k, &v)| earlier.gauges.get(*k).copied().unwrap_or(0) != v)
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
         let histograms = self
             .histograms
             .iter()
@@ -290,6 +428,7 @@ impl MetricsSnapshot {
             .collect();
         MetricsSnapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -424,6 +563,181 @@ mod tests {
         r.histogram("h").record(20);
         let d = r.snapshot().delta(&before);
         assert_eq!(d.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn gauge_set_add_sub() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0);
+        g.set(10);
+        g.add(5);
+        g.sub(7);
+        assert_eq!(g.get(), 8);
+        g.sub(20);
+        assert_eq!(g.get(), -12, "gauges may go negative");
+    }
+
+    #[test]
+    fn registry_gauges_snapshot_and_delta() {
+        let r = MetricsRegistry::new();
+        r.gauge("inflight").set(3);
+        let before = r.snapshot();
+        assert_eq!(before.gauges["inflight"], 3);
+        r.gauge("inflight").add(2);
+        r.gauge("depth").set(1);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(
+            d.gauges["inflight"], 5,
+            "changed gauges keep the later level"
+        );
+        assert_eq!(d.gauges["depth"], 1);
+        let unchanged = r.snapshot().delta(&r.snapshot());
+        assert!(unchanged.gauges.is_empty());
+    }
+
+    #[test]
+    fn histogram_min_tracked() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0, "empty histogram reports 0");
+        h.record(500);
+        h.record(70);
+        h.record(9_000);
+        assert_eq!(h.min(), 70);
+        assert_eq!(h.max(), 9_000);
+    }
+
+    #[test]
+    fn quantiles_clamped_to_observed_range() {
+        // All samples are 100, which sits inside bucket [64, 127]. Without
+        // the min clamp, low quantiles would interpolate down toward 64.
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 100, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_vs_exact_on_synthetic_data() {
+        // Deterministic synthetic workload: a skewed mixture spanning many
+        // buckets. The log2-bucket estimate must stay within one bucket
+        // width (a factor of 2) of the exact order statistic, and inside
+        // the observed [min, max] envelope.
+        let h = Histogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..10_000 {
+            // xorshift64
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = 1_000 + x % 1_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = samples[rank];
+            let est = h.quantile(q);
+            assert!(
+                est >= exact / 2 && est <= exact.saturating_mul(2),
+                "q={q}: est {est} vs exact {exact}"
+            );
+            assert!(est >= h.min() && est <= h.max(), "q={q}: est {est}");
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+        assert!(s.p999 <= s.max && s.min <= s.p50);
+    }
+
+    #[test]
+    fn quantile_from_counts_interval_window() {
+        // Simulates the sampler: cumulative bucket counts at two ticks,
+        // where the second tick adds only slow samples. The windowed
+        // quantile must reflect the interval, not the lifetime mixture.
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(1_000);
+        }
+        let before = h.bucket_counts();
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        let after = h.bucket_counts();
+        let mut window = [0u64; BUCKETS];
+        for ((w, a), b) in window.iter_mut().zip(after.iter()).zip(before.iter()) {
+            *w = a.saturating_sub(*b);
+        }
+        let p50 = quantile_from_counts(&window, 0.5);
+        assert!(
+            (524_288..=1_048_575).contains(&p50),
+            "windowed p50 must land in the slow bucket, got {p50}"
+        );
+        // The lifetime p50 still sits in the fast bucket.
+        assert!(h.quantile(0.5) < 2_048);
+    }
+
+    /// Satellite: threaded stress of counter increments + sampler-style
+    /// reads. Asserts rates stay monotonic (counters never observed going
+    /// backwards) and histogram snapshots are never torn into
+    /// impossibilities (quantiles outside [min, max], count behind the
+    /// bucket total already seen).
+    #[test]
+    fn concurrent_sampler_reads_see_monotonic_consistent_state() {
+        use std::sync::atomic::AtomicBool;
+        let r = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    let c = r.counter("stress.ops");
+                    let h = r.histogram("stress.lat");
+                    for i in 0..20_000u64 {
+                        c.inc();
+                        h.record(100 + (t * 20_000 + i) % 10_000);
+                    }
+                });
+            }
+            let r2 = Arc::clone(&r);
+            let stop2 = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut last_count = 0u64;
+                let mut last_bucket_total = 0u64;
+                while !stop2.load(Ordering::Relaxed) {
+                    let c = r2.counter("stress.ops").get();
+                    assert!(
+                        c >= last_count,
+                        "counter went backwards: {c} < {last_count}"
+                    );
+                    last_count = c;
+                    let h = r2.histogram("stress.lat");
+                    let counts = h.bucket_counts();
+                    let total: u64 = counts.iter().sum();
+                    assert!(
+                        total >= last_bucket_total,
+                        "bucket totals went backwards: {total} < {last_bucket_total}"
+                    );
+                    last_bucket_total = total;
+                    let s = h.summary();
+                    if s.count > 0 {
+                        assert!(s.min >= 100 && s.max < 100 + 10_000);
+                        assert!(s.p50 >= s.min && s.p999 <= s.max, "torn summary: {s:?}");
+                        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            // Let the reader race the producers for a while, then stop it;
+            // the producers are joined by the scope itself.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(r.counter("stress.ops").get(), 80_000);
+        assert_eq!(r.histogram("stress.lat").count(), 80_000);
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //! ([`markdown_table`]) and `segdiff-lint` fails when the two diverge,
 //! so the docs cannot drift either.
 
-/// Whether a metric is a monotonic counter or a latency histogram.
+/// Whether a metric is a monotonic counter, an instantaneous gauge, or
+/// a latency histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
     /// Monotonic `u64` counter ([`crate::Counter`]).
     Counter,
+    /// Instantaneous signed level ([`crate::Gauge`]).
+    Gauge,
     /// Log-bucketed histogram ([`crate::Histogram`]), nanoseconds
     /// unless the name says otherwise (`*_ms`).
     Histogram,
@@ -32,6 +35,7 @@ impl MetricKind {
     pub fn label(self) -> &'static str {
         match self {
             MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
             MetricKind::Histogram => "histogram",
         }
     }
@@ -58,6 +62,15 @@ impl MetricDef {
     pub const fn counter(name: &'static str, help: &'static str) -> Self {
         MetricDef {
             kind: MetricKind::Counter,
+            name,
+            help,
+        }
+    }
+
+    /// A gauge entry.
+    pub const fn gauge(name: &'static str, help: &'static str) -> Self {
+        MetricDef {
+            kind: MetricKind::Gauge,
             name,
             help,
         }
@@ -105,6 +118,10 @@ pub const METRICS: &[MetricDef] = &[
     MetricDef::counter("pool.shard*.evictions", "Per-shard evictions"),
     MetricDef::counter("pool.shard*.physical_reads", "Per-shard physical reads"),
     MetricDef::counter("pool.shard*.physical_writes", "Per-shard physical writes"),
+    MetricDef::gauge(
+        "pool.resident_pages",
+        "Pages currently resident across all pool shards",
+    ),
     // Zone maps (pagestore::heap + zonemap).
     MetricDef::counter(
         "zonemap.pages_pruned",
@@ -168,6 +185,22 @@ pub const METRICS: &[MetricDef] = &[
     MetricDef::counter("cache.miss", "Query cache lookups that missed"),
     MetricDef::counter("cache.insert", "Results inserted into the query cache"),
     MetricDef::counter("cache.evict", "Query cache entries evicted (LRU)"),
+    // Self-observation: sampler (obs::series), tracing (obs::tracering)
+    // and dogfooded alerting (core::alerts).
+    MetricDef::counter("sampler.ticks", "Scrape passes taken by the metric sampler"),
+    MetricDef::counter(
+        "trace.recorded",
+        "Finished requests retained in the recent-trace ring",
+    ),
+    MetricDef::counter(
+        "trace.slow_retained",
+        "Slow or erroring requests tail-sampled into the slow-trace ring",
+    ),
+    MetricDef::counter(
+        "alert.evaluated",
+        "Alert-rule evaluation passes over internal series",
+    ),
+    MetricDef::counter("alert.fired", "Standing drop/jump alerts fired"),
     // HTTP server (server).
     MetricDef::counter("server.accepted", "TCP connections accepted"),
     MetricDef::counter("server.rejected", "Connections shed with 503 (queue full)"),
@@ -180,6 +213,11 @@ pub const METRICS: &[MetricDef] = &[
     MetricDef::counter("server.bad_requests", "Requests answered 400"),
     MetricDef::counter("server.not_found", "Requests answered 404"),
     MetricDef::counter("server.errors", "Requests answered 5xx"),
+    MetricDef::gauge("server.inflight", "Requests currently executing"),
+    MetricDef::gauge(
+        "server.queue_depth",
+        "Accepted connections waiting for a worker",
+    ),
     MetricDef::histogram("server.request_nanos", "Wall time per HTTP request"),
     MetricDef::histogram("server.query_nanos", "Wall time per executed query"),
     MetricDef::histogram(
@@ -246,6 +284,11 @@ mod tests {
     #[test]
     fn kinds_are_recorded() {
         assert_eq!(lookup("cache.hit").unwrap().kind, MetricKind::Counter);
+        assert_eq!(lookup("server.inflight").unwrap().kind, MetricKind::Gauge);
+        assert_eq!(
+            lookup("pool.resident_pages").unwrap().kind,
+            MetricKind::Gauge
+        );
         assert_eq!(
             lookup("server.flush_ms").unwrap().kind,
             MetricKind::Histogram

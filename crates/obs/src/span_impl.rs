@@ -70,6 +70,55 @@ struct Collector {
 
 thread_local! {
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    /// The request's trace id, propagated across layers (0 = none).
+    static TRACE_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+static NEXT_TRACE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Allocates a fresh process-unique trace id (never 0).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Tags the current thread with a trace id. The server sets this at
+/// request entry; layers below read it with [`current_trace_id`] to
+/// stamp their spans, and worker pools copy it into spawned closures so
+/// the id follows the request across threads. Set 0 to clear.
+pub fn set_current_trace_id(id: u64) {
+    TRACE_ID.with(|t| t.set(id));
+}
+
+/// The trace id tagged on the current thread, if any.
+pub fn current_trace_id() -> Option<u64> {
+    let id = TRACE_ID.with(|t| t.get());
+    if id == 0 {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// RAII scope for [`set_current_trace_id`]: restores the previous id on
+/// drop, so nested scopes (e.g. a worker thread reused across requests)
+/// cannot leak an id into unrelated work.
+#[derive(Debug)]
+pub struct TraceIdScope {
+    prev: u64,
+}
+
+impl TraceIdScope {
+    /// Tags the current thread with `id` until the scope drops.
+    pub fn enter(id: u64) -> TraceIdScope {
+        let prev = TRACE_ID.with(|t| t.replace(id));
+        TraceIdScope { prev }
+    }
+}
+
+impl Drop for TraceIdScope {
+    fn drop(&mut self) {
+        TRACE_ID.with(|t| t.set(self.prev));
+    }
 }
 
 /// Starts collecting a trace on the current thread, discarding any
@@ -227,6 +276,30 @@ mod tests {
         }
         let t = trace_take().expect("trace collected");
         assert_eq!(t.name, "second_root");
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_scoped() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(current_trace_id(), None);
+        {
+            let _outer = TraceIdScope::enter(a);
+            assert_eq!(current_trace_id(), Some(a));
+            {
+                let _inner = TraceIdScope::enter(b);
+                assert_eq!(current_trace_id(), Some(b));
+            }
+            assert_eq!(current_trace_id(), Some(a));
+        }
+        assert_eq!(current_trace_id(), None);
+        // Plain set/clear round-trip.
+        set_current_trace_id(a);
+        assert_eq!(current_trace_id(), Some(a));
+        set_current_trace_id(0);
+        assert_eq!(current_trace_id(), None);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Always-on request tracing: bounded rings of recent traces with
+//! tail-sampling for slow and erroring requests.
+//!
+//! Head-sampling (decide up front whether to trace) loses exactly the
+//! requests you want: the slow tail is unknowable until the request
+//! finishes. Here every request is traced (span collection is
+//! thread-local and cheap), the finished trace is pushed into a
+//! fixed-size *recent* ring, and — the tail-sampling step — traces that
+//! finished slow or with an error are additionally retained in a
+//! separate *slow* ring, so a burst of fast requests can never evict
+//! the evidence of the one that mattered.
+//!
+//! The rings are lock-free at ring level: a single atomic cursor claims
+//! a slot, and each slot holds its own tiny mutex guarding an
+//! `Option<Arc<TraceRecord>>` swap. Writers never contend unless two
+//! requests land on the same slot in the same instant (ring wrap), and
+//! readers only clone `Arc`s.
+
+use crate::json_impl::Json;
+use crate::span_impl::TraceNode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One finished request, as retained by the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Process-unique id ([`crate::next_trace_id`]).
+    pub trace_id: u64,
+    /// Request name (e.g. `POST /query`).
+    pub name: String,
+    /// Request start, unix milliseconds.
+    pub started_ms: u64,
+    /// End-to-end wall time in nanoseconds.
+    pub wall_nanos: u64,
+    /// HTTP status (or equivalent) of the response.
+    pub status: u16,
+    /// Whether the request failed (status >= 400).
+    pub error: bool,
+    /// The collected span tree, if span collection yielded one.
+    pub root: Option<TraceNode>,
+}
+
+impl TraceRecord {
+    /// Summary JSON (no span tree): one line of a slow-query log.
+    pub fn to_json_summary(&self) -> Json {
+        Json::obj([
+            ("trace_id", Json::from(self.trace_id)),
+            ("name", Json::from(self.name.as_str())),
+            ("started_ms", Json::from(self.started_ms)),
+            ("wall_nanos", Json::from(self.wall_nanos)),
+            ("status", Json::from(self.status as u64)),
+            ("error", Json::from(self.error)),
+        ])
+    }
+
+    /// Full JSON including the span tree under `"trace"`.
+    pub fn to_json_full(&self) -> Json {
+        let mut j = self.to_json_summary();
+        if let (Json::Object(fields), Some(root)) = (&mut j, &self.root) {
+            fields.push(("trace".to_string(), root.to_json()));
+        }
+        j
+    }
+}
+
+/// Fixed-size overwrite ring of `Arc<TraceRecord>`s.
+struct Ring {
+    slots: Vec<Mutex<Option<Arc<TraceRecord>>>>,
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, rec: Arc<TraceRecord>) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        *self.slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(rec);
+    }
+
+    /// Up to `n` most recent records, newest first.
+    fn recent(&self, n: usize) -> Vec<Arc<TraceRecord>> {
+        let len = self.slots.len();
+        let cursor = self.cursor.load(Ordering::Relaxed) as usize;
+        let mut out = Vec::new();
+        for back in 1..=len.min(n.max(1)) {
+            // Walk backwards from the most recently claimed slot.
+            let i = (cursor + len - back) % len;
+            if let Some(rec) = self.slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+            {
+                out.push(Arc::clone(rec));
+            }
+        }
+        out
+    }
+}
+
+/// The tail-sampling trace store: a *recent* ring holding the last N
+/// requests regardless of outcome, and a *slow* ring that only admits
+/// requests that finished slow or erroring.
+pub struct TraceStore {
+    recent: Ring,
+    slow: Ring,
+    slow_threshold_nanos: AtomicU64,
+    recorded: Arc<crate::Counter>,
+    slow_retained: Arc<crate::Counter>,
+}
+
+impl TraceStore {
+    /// Creates a store with `recent_capacity` / `slow_capacity` slots
+    /// and the given slow threshold. Counters register in [`crate::global`].
+    pub fn new(
+        recent_capacity: usize,
+        slow_capacity: usize,
+        slow_threshold: Duration,
+    ) -> TraceStore {
+        let registry = crate::global();
+        TraceStore {
+            recent: Ring::new(recent_capacity),
+            slow: Ring::new(slow_capacity),
+            slow_threshold_nanos: AtomicU64::new(
+                slow_threshold.as_nanos().min(u64::MAX as u128) as u64
+            ),
+            recorded: registry.counter("trace.recorded"),
+            slow_retained: registry.counter("trace.slow_retained"),
+        }
+    }
+
+    /// The current slow threshold.
+    pub fn slow_threshold(&self) -> Duration {
+        Duration::from_nanos(self.slow_threshold_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Whether a request of this duration qualifies for the slow ring.
+    pub fn is_slow(&self, wall_nanos: u64) -> bool {
+        wall_nanos >= self.slow_threshold_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Retains a finished request; returns the shared record. Slow or
+    /// erroring requests land in both rings (tail-sampling).
+    pub fn record(&self, rec: TraceRecord) -> Arc<TraceRecord> {
+        let slow = self.is_slow(rec.wall_nanos) || rec.error;
+        let rec = Arc::new(rec);
+        self.recorded.inc();
+        self.recent.push(Arc::clone(&rec));
+        if slow {
+            self.slow_retained.inc();
+            self.slow.push(Arc::clone(&rec));
+        }
+        rec
+    }
+
+    /// Up to `n` most recent requests, newest first.
+    pub fn recent(&self, n: usize) -> Vec<Arc<TraceRecord>> {
+        self.recent.recent(n)
+    }
+
+    /// Up to `n` most recent slow/erroring requests, newest first.
+    pub fn slow(&self, n: usize) -> Vec<Arc<TraceRecord>> {
+        self.slow.recent(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, wall_nanos: u64, status: u16) -> TraceRecord {
+        TraceRecord {
+            trace_id: id,
+            name: "POST /query".to_string(),
+            started_ms: 1_000 + id,
+            wall_nanos,
+            status,
+            error: status >= 400,
+            root: None,
+        }
+    }
+
+    #[test]
+    fn recent_ring_overwrites_oldest() {
+        let store = TraceStore::new(4, 4, Duration::from_secs(1));
+        for id in 0..10 {
+            store.record(rec(id, 100, 200));
+        }
+        let recent = store.recent(100);
+        assert_eq!(recent.len(), 4);
+        let ids: Vec<u64> = recent.iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, vec![9, 8, 7, 6], "newest first");
+        assert!(store.slow(100).is_empty());
+    }
+
+    #[test]
+    fn tail_sampling_retains_slow_and_errors() {
+        let store = TraceStore::new(4, 8, Duration::from_millis(1));
+        store.record(rec(1, 10, 200)); // fast, ok
+        store.record(rec(2, 2_000_000, 200)); // slow
+        store.record(rec(3, 10, 500)); // fast, error
+        for id in 10..20 {
+            store.record(rec(id, 10, 200)); // a burst of fast requests
+        }
+        // The burst evicted everything interesting from `recent`...
+        assert!(store.recent(100).iter().all(|r| r.trace_id >= 10));
+        // ...but the slow ring still holds the slow and erroring ones.
+        let slow_ids: Vec<u64> = store.slow(100).iter().map(|r| r.trace_id).collect();
+        assert_eq!(slow_ids, vec![3, 2]);
+    }
+
+    #[test]
+    fn json_shapes() {
+        let mut r = rec(7, 5_000, 200);
+        r.root = Some(TraceNode {
+            name: "query".to_string(),
+            wall_nanos: 4_500,
+            attrs: vec![],
+            children: vec![],
+        });
+        let summary = r.to_json_summary();
+        assert!(summary.get("trace").is_none());
+        assert_eq!(summary.get("trace_id").and_then(Json::as_u64), Some(7));
+        let full = r.to_json_full();
+        let tree = full.get("trace").expect("full includes tree");
+        assert_eq!(tree.get("name").and_then(Json::as_str), Some("query"));
+    }
+
+    #[test]
+    fn concurrent_pushes_do_not_lose_ring_shape() {
+        let store = Arc::new(TraceStore::new(16, 16, Duration::from_secs(1)));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        store.record(rec(t * 1_000 + i, 100, 200));
+                    }
+                });
+            }
+        });
+        let recent = store.recent(100);
+        assert_eq!(recent.len(), 16, "ring stays full, never corrupt");
+    }
+}

@@ -165,6 +165,11 @@ pub struct BufferPool {
     sync: AtomicBool,
     metrics: PoolMetrics,
     shard_metrics: Vec<PoolMetrics>,
+    /// Pages currently resident across all shards (the `pool.resident_pages`
+    /// gauge). Grows when a fresh frame is populated, shrinks on
+    /// [`BufferPool::clear_cache`] and pool drop; eviction reuses a frame,
+    /// so residency is unchanged there.
+    resident_pages: Arc<obs::Gauge>,
 }
 
 /// Shard index for a page: a cheap multiplicative hash over the key so
@@ -204,12 +209,20 @@ impl BufferPool {
             sync: AtomicBool::new(true),
             metrics: PoolMetrics::global(),
             shard_metrics,
+            resident_pages: obs::global().gauge("pool.resident_pages"),
         }
     }
 
     /// Number of lock stripes.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Pages currently resident across all shards. This is the per-pool
+    /// view of the global `pool.resident_pages` gauge (which sums every
+    /// live pool).
+    pub fn resident_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
     }
 
     /// Registers a file; all subsequent access uses the returned id.
@@ -369,6 +382,7 @@ impl BufferPool {
         for (si, s) in self.shards.iter().enumerate() {
             let mut shard = s.lock();
             self.flush_shard(&mut shard, si, &files)?;
+            self.resident_pages.sub(shard.frames.len() as i64);
             shard.map.clear();
             shard.frames.clear();
             shard.hand = 0;
@@ -501,6 +515,7 @@ impl BufferPool {
                 logged: false,
                 referenced: true,
             });
+            self.resident_pages.add(1);
             shard.frames.len() - 1
         } else {
             let victim = clock_victim(shard);
@@ -532,6 +547,18 @@ impl BufferPool {
         }
         shard.map.insert((fid, pid), i);
         Ok(i)
+    }
+}
+
+impl Drop for BufferPool {
+    /// Returns the pool's remaining residency to the global gauge, so a
+    /// test or bench run that builds many pools doesn't ratchet
+    /// `pool.resident_pages` upward forever.
+    fn drop(&mut self) {
+        for s in self.shards.iter() {
+            let shard = s.lock();
+            self.resident_pages.sub(shard.frames.len() as i64);
+        }
     }
 }
 
@@ -620,6 +647,24 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.physical_reads, 1);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn resident_pages_tracks_fill_eviction_and_clear() {
+        let (pool, fid, p) = pool_with_file("resident", 8);
+        assert_eq!(pool.resident_pages(), 0);
+        // Fill past capacity: residency saturates at capacity because
+        // eviction reuses frames instead of growing the table.
+        for _ in 0..32 {
+            let pid = pool.allocate_page(fid).unwrap();
+            pool.with_page_mut(fid, pid, |b| b[0] = 1).unwrap();
+        }
+        let resident = pool.resident_pages();
+        assert!(resident > 0 && resident <= 8, "resident={resident}");
+        assert!(pool.stats().evictions > 0);
+        pool.clear_cache().unwrap();
+        assert_eq!(pool.resident_pages(), 0, "clear_cache empties every shard");
         std::fs::remove_file(&p).ok();
     }
 

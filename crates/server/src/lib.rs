@@ -12,7 +12,12 @@
 //! * [`queue`] — the bounded accept queue between the non-blocking
 //!   accept loop and the worker pool (`503` load-shedding when full);
 //! * [`service`] — the routes: `POST /query`, `GET /metrics`,
-//!   `GET /healthz`, `POST /shutdown`;
+//!   `GET /healthz`, `GET /series`, `GET /alerts`,
+//!   `GET /debug/traces`, `POST /shutdown`;
+//! * [`observer`] — self-observation: the background thread sampling
+//!   every registered metric into ring-buffered time series and feeding
+//!   them through the paper's own drop/jump detection as standing
+//!   alert rules;
 //! * [`server`] — the worker pool, graceful drain on shutdown, and the
 //!   SIGINT/SIGTERM latch ([`server::signal`]);
 //! * [`loadgen`] — a closed-loop load generator with persistent
@@ -26,12 +31,14 @@
 
 pub mod http;
 pub mod loadgen;
+pub mod observer;
 pub mod queue;
 pub mod server;
 pub mod service;
 
 pub use http::{Request, Response};
 pub use loadgen::{LoadReport, LoadgenConfig};
+pub use observer::{Observability, Observer};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig};
 pub use service::{Engine, QuerySpec, Service};
@@ -82,6 +89,8 @@ mod e2e_tests {
                 threads,
                 queue_depth: 32,
                 read_timeout: Duration::from_millis(250),
+                sample_period: Duration::from_millis(50),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -188,6 +197,7 @@ mod e2e_tests {
                 threads: 4,
                 queue_depth: 32,
                 read_timeout: Duration::from_millis(250),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -211,6 +221,159 @@ mod e2e_tests {
             assert_eq!(got.get("t_d").unwrap().as_f64().unwrap(), want.t_d);
             assert_eq!(got.get("t_a").unwrap().as_f64().unwrap(), want.t_a);
         }
+
+        let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        handle.join().unwrap();
+    }
+
+    /// The self-observation surface end to end: `/query` responses carry
+    /// trace ids, `/debug/traces` retains the finished requests,
+    /// `/series` serves the sampled metric history, `/alerts` lists the
+    /// standing rules, and `/metrics?format=json` stamps every line with
+    /// a `ts` field.
+    #[test]
+    fn observability_routes_serve_series_alerts_and_traces() {
+        let dir = TempDir::new("observe");
+        let idx = build_index(&dir.0);
+        let (host, handle) = start_server(idx, 2);
+
+        // A couple of queries to give the rings and series content.
+        let query = r#"{"kind":"drop","v":-2.0,"t_hours":1.0,"plan":"index"}"#;
+        let mut trace_ids = Vec::new();
+        for _ in 0..3 {
+            let (status, body) = fetch(&host, "POST", "/query", Some(query)).unwrap();
+            assert_eq!(status, 200, "body: {body}");
+            let doc = Json::parse(&body).unwrap();
+            let id = doc.get("trace_id").and_then(Json::as_u64).unwrap();
+            assert!(id > 0, "trace_id must be assigned: {body}");
+            trace_ids.push(id);
+        }
+        assert!(
+            trace_ids.windows(2).all(|w| w[0] != w[1]),
+            "trace ids must be unique: {trace_ids:?}"
+        );
+
+        // The trace ring has the queries, newest first, with their ids.
+        let (status, body) = fetch(&host, "GET", "/debug/traces?n=50", None).unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        let traces = doc.get("traces").unwrap().as_array().unwrap();
+        for id in &trace_ids {
+            assert!(
+                traces
+                    .iter()
+                    .any(|t| t.get("trace_id").and_then(Json::as_u64) == Some(*id)),
+                "trace {id} missing from ring: {body}"
+            );
+        }
+        // Full dump parses too and query traces carry span trees.
+        let (status, body) = fetch(&host, "GET", "/debug/traces?n=50&full=1", None).unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        assert!(
+            doc.get("traces")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(
+                    |t| t.get("name").and_then(Json::as_str) == Some("POST /query")
+                        && t.get("trace").is_some()
+                ),
+            "query trace must include its span tree: {body}"
+        );
+        // The slow ring answers (possibly empty) and bad params are 400s.
+        let (status, _) = fetch(&host, "GET", "/debug/traces?ring=slow", None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = fetch(&host, "GET", "/debug/traces?ring=fast", None).unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = fetch(&host, "GET", "/debug/traces?n=0", None).unwrap();
+        assert_eq!(status, 400);
+
+        // The sampler (50ms period here) publishes derived series.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, body) = fetch(&host, "GET", "/series", None).unwrap();
+            assert_eq!(status, 200);
+            let doc = Json::parse(&body).unwrap();
+            let names: Vec<String> = doc
+                .get("series")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .filter_map(|j| j.as_str().map(str::to_string))
+                .collect();
+            if names.iter().any(|n| n == "server.requests.rate")
+                && names.iter().any(|n| n == "server.inflight")
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sampler never published request series: {names:?}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let (status, body) = fetch(
+            &host,
+            "GET",
+            "/series?name=server.requests.rate&window=1h",
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        assert!(
+            doc.get("count").and_then(Json::as_u64).unwrap() >= 1,
+            "windowed series must have points: {body}"
+        );
+        let (status, _) = fetch(&host, "GET", "/series?name=no.such.series", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = fetch(&host, "GET", "/series?name=x&window=soon", None).unwrap();
+        assert_eq!(status, 400);
+
+        // The standing rules are served; the clean run fired nothing...
+        let (status, body) = fetch(&host, "GET", "/alerts", None).unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        let rules = doc.get("rules").unwrap().as_array().unwrap();
+        assert!(
+            rules
+                .iter()
+                .any(|r| r.get("name").and_then(Json::as_str) == Some("query-latency-jump")),
+            "default rules must be listed: {body}"
+        );
+        // ...from the latency-jump rule (the rate rule can legitimately
+        // see the load stopping, so only the jump rule is asserted).
+        assert!(
+            !doc.get("alerts")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(|a| a.get("rule").and_then(Json::as_str) == Some("query-latency-jump")),
+            "no latency alert on a clean baseline: {body}"
+        );
+
+        // Satellite: every JSON metrics line is stamped with `ts`.
+        let (status, text) = fetch(&host, "GET", "/metrics?format=json", None).unwrap();
+        assert_eq!(status, 200);
+        let mut saw_gauge = false;
+        for line in text.lines() {
+            let j = Json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            assert!(
+                j.get("ts").and_then(Json::as_u64).unwrap() > 0,
+                "line missing ts: {line}"
+            );
+            if j.get("kind").and_then(Json::as_str) == Some("gauge") {
+                saw_gauge = true;
+            }
+        }
+        assert!(saw_gauge, "gauges must be exported: {text}");
+        assert!(text.contains("server.inflight"), "{text}");
+        assert!(text.contains("pool.resident_pages"), "{text}");
 
         let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
         assert_eq!(status, 200);

@@ -18,9 +18,11 @@
 //! snapshot knowing no query is still executing.
 
 use crate::http::{read_request, HttpError, Response};
+use crate::observer::{Observability, Observer};
 use crate::queue::{BoundedQueue, PushError};
 use crate::service::{Engine, Service};
 use obs::Counter;
+use segdiff::alerts::AlertRuleSet;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +39,17 @@ pub struct ServerConfig {
     /// Per-connection read timeout; idle keep-alive connections are
     /// closed after this long, which also bounds shutdown latency.
     pub read_timeout: Duration,
+    /// How often the self-observation thread scrapes the metrics
+    /// registry into the series store and evaluates alert rules.
+    pub sample_period: Duration,
+    /// Ring capacity (points per series) of the sampled history.
+    pub series_capacity: usize,
+    /// Requests at least this slow are retained in the tail-sampled
+    /// slow-trace ring regardless of how much fast traffic follows.
+    pub slow_trace: Duration,
+    /// Standing drop/jump alert rules evaluated over the sampled
+    /// series (defaults mirror `ci/alert-rules.toml`).
+    pub alert_rules: AlertRuleSet,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +58,10 @@ impl Default for ServerConfig {
             threads: 8,
             queue_depth: 64,
             read_timeout: Duration::from_millis(1000),
+            sample_period: Duration::from_millis(500),
+            series_capacity: obs::series::DEFAULT_SERIES_CAPACITY,
+            slow_trace: Duration::from_millis(25),
+            alert_rules: AlertRuleSet::defaults(),
         }
     }
 }
@@ -65,7 +82,16 @@ impl Server {
     /// spawned until [`Server::run`].
     pub fn bind(addr: &str, engine: impl Into<Engine>, config: ServerConfig) -> io::Result<Server> {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(Service::new(engine, Arc::clone(&shutdown)));
+        let observability = Arc::new(Observability::new(
+            config.series_capacity,
+            config.alert_rules.clone(),
+            config.slow_trace,
+        ));
+        let service = Arc::new(Service::with_observability(
+            engine,
+            Arc::clone(&shutdown),
+            observability,
+        ));
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -95,8 +121,13 @@ impl Server {
         let accepted = registry.counter("server.accepted");
         let rejected = registry.counter("server.rejected");
         let requeued = registry.counter("server.requeued");
+        let queue_depth = registry.gauge("server.queue_depth");
         let queue: Arc<BoundedQueue<TcpStream>> =
             Arc::new(BoundedQueue::new(self.config.queue_depth));
+        // The self-observation thread: samples every registered metric
+        // into the series store and runs the standing drop/jump rules
+        // over the fresh points, for as long as the server serves.
+        let observer = Observer::start(self.service.observability(), self.config.sample_period);
 
         let mut workers = Vec::new();
         for i in 0..self.config.threads.max(1) {
@@ -129,8 +160,10 @@ impl Server {
                             shed(stream);
                         }
                     }
+                    queue_depth.set(queue.len() as i64);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    queue_depth.set(queue.len() as i64);
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -164,6 +197,8 @@ impl Server {
             "drained and flushed in {:.1} ms",
             flush_start.elapsed().as_secs_f64() * 1e3
         );
+        observer.stop();
+        queue_depth.set(0);
         Ok(())
     }
 }

@@ -5,16 +5,28 @@
 //! without networking. Handlers run concurrently on worker threads over
 //! one shared read-only [`SegDiffIndex`], so everything here takes
 //! `&self`.
+//!
+//! Every request is traced: the service assigns a process-unique trace
+//! id, installs it in the handler thread (whence it propagates onto the
+//! executor's worker pool), collects the span tree, and records the
+//! finished request into the tail-sampling
+//! [`TraceStore`](obs::tracering::TraceStore) — slow or erroring
+//! requests are retained in a separate ring that fast traffic cannot
+//! evict. `GET /debug/traces` serves both rings; `GET /series` and
+//! `GET /alerts` serve the sampled metric history and the standing
+//! drop/jump alerts (see [`crate::observer`]).
 
 use crate::http::{Request, Response};
+use crate::observer::Observability;
 use obs::export::Exporter;
 use obs::json::Json;
+use obs::tracering::TraceRecord;
 use obs::TraceNode;
 use segdiff::{QueryPlan, QueryStats, SegDiffIndex, SegmentPair, TransectIndex};
 use sensorgen::HOUR;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The query backend a [`Service`] executes against: one sensor's index,
 /// or a whole transect fanned out on the worker pool
@@ -114,6 +126,7 @@ struct ServiceMetrics {
     bad_requests: Arc<obs::Counter>,
     not_found: Arc<obs::Counter>,
     errors: Arc<obs::Counter>,
+    inflight: Arc<obs::Gauge>,
     request_nanos: Arc<obs::Histogram>,
     query_nanos: Arc<obs::Histogram>,
 }
@@ -127,6 +140,7 @@ impl ServiceMetrics {
             bad_requests: r.counter("server.bad_requests"),
             not_found: r.counter("server.not_found"),
             errors: r.counter("server.errors"),
+            inflight: r.gauge("server.inflight"),
             request_nanos: r.histogram("server.request_nanos"),
             query_nanos: r.histogram("server.query_nanos"),
         }
@@ -139,6 +153,7 @@ pub struct Service {
     shutdown: Arc<AtomicBool>,
     in_flight: AtomicU64,
     metrics: ServiceMetrics,
+    observability: Arc<Observability>,
 }
 
 /// A validated `/query` request body.
@@ -240,6 +255,23 @@ impl QuerySpec {
     }
 }
 
+/// Parses a `/series` window parameter: plain seconds (`"90"`) or a
+/// number with an `s`/`m`/`h` suffix (`"90s"`, `"5m"`, `"2h"`).
+fn parse_window(raw: &str) -> Result<Duration, String> {
+    let (digits, unit_secs) = match raw.as_bytes().last() {
+        Some(b's') => (&raw[..raw.len() - 1], 1u64),
+        Some(b'm') => (&raw[..raw.len() - 1], 60),
+        Some(b'h') => (&raw[..raw.len() - 1], 3600),
+        _ => (raw, 1),
+    };
+    match digits.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(Duration::from_secs(n.saturating_mul(unit_secs))),
+        _ => Err(format!(
+            "window must be a positive duration like 90, 90s, 5m or 2h, got {raw:?}"
+        )),
+    }
+}
+
 fn trace_to_json(node: &TraceNode) -> Json {
     let mut fields = vec![
         ("span".to_string(), Json::Str(node.name.clone())),
@@ -262,17 +294,33 @@ impl Service {
     /// Setting `shutdown` (from any thread, or via `POST /shutdown`)
     /// makes the accept loop drain.
     pub fn new(engine: impl Into<Engine>, shutdown: Arc<AtomicBool>) -> Self {
+        Service::with_observability(engine, shutdown, Arc::new(Observability::default()))
+    }
+
+    /// [`Service::new`] with explicitly configured observability stores
+    /// (series capacity, alert rules, trace slow threshold).
+    pub fn with_observability(
+        engine: impl Into<Engine>,
+        shutdown: Arc<AtomicBool>,
+        observability: Arc<Observability>,
+    ) -> Self {
         Service {
             engine: engine.into(),
             shutdown,
             in_flight: AtomicU64::new(0),
             metrics: ServiceMetrics::new(),
+            observability,
         }
     }
 
     /// The engine queries execute against.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The observability stores the service records into and serves from.
+    pub fn observability(&self) -> &Arc<Observability> {
+        &self.observability
     }
 
     /// The shared shutdown flag.
@@ -286,56 +334,89 @@ impl Service {
     }
 
     /// Dispatches one request.
+    ///
+    /// Tracing is always on: every request gets a process-unique trace
+    /// id (propagated to executor worker threads via
+    /// [`obs::TraceIdScope`]) and lands in the tail-sampling trace ring
+    /// when it finishes — with its span tree for `/query`, summary-only
+    /// for the cheap routes.
     pub fn handle(&self, req: &Request) -> Response {
         let start = Instant::now();
+        let started_ms = obs::unix_ms();
         self.metrics.requests.inc();
         self.in_flight.fetch_add(1, Ordering::AcqRel);
-        let resp = match (req.method.as_str(), req.path.as_str()) {
-            ("POST", "/query") => self.query(req),
-            ("GET", "/metrics") => self.metrics_dump(req),
-            ("GET", "/healthz") => self.healthz(),
-            ("POST", "/shutdown") => self.initiate_shutdown(),
-            (_, "/query" | "/metrics" | "/healthz" | "/shutdown") => {
-                Response::error(405, format!("method {} not allowed", req.method))
-            }
+        self.metrics.inflight.add(1);
+        let trace_id = obs::next_trace_id();
+        let scope = obs::TraceIdScope::enter(trace_id);
+        let (resp, root) = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/query") => self.query(req, trace_id),
+            ("GET", "/metrics") => (self.metrics_dump(req), None),
+            ("GET", "/healthz") => (self.healthz(), None),
+            ("GET", "/series") => (self.series_dump(req), None),
+            ("GET", "/alerts") => (self.alerts_dump(), None),
+            ("GET", "/debug/traces") => (self.traces_dump(req), None),
+            ("POST", "/shutdown") => (self.initiate_shutdown(), None),
+            (
+                _,
+                "/query" | "/metrics" | "/healthz" | "/series" | "/alerts" | "/debug/traces"
+                | "/shutdown",
+            ) => (
+                Response::error(405, format!("method {} not allowed", req.method)),
+                None,
+            ),
             _ => {
                 self.metrics.not_found.inc();
-                Response::error(404, format!("no route for {}", req.path))
+                (
+                    Response::error(404, format!("no route for {}", req.path)),
+                    None,
+                )
             }
         };
+        drop(scope);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.metrics.inflight.sub(1);
         if resp.status >= 400 {
             self.metrics.errors.inc();
         }
-        self.metrics.request_nanos.record_duration(start.elapsed());
+        let wall = start.elapsed();
+        self.metrics.request_nanos.record_duration(wall);
+        self.observability.traces.record(TraceRecord {
+            trace_id,
+            name: format!("{} {}", req.method, req.path),
+            started_ms,
+            wall_nanos: wall.as_nanos().min(u64::MAX as u128) as u64,
+            status: resp.status,
+            error: resp.status >= 400,
+            root,
+        });
         resp
     }
 
-    fn query(&self, req: &Request) -> Response {
+    fn query(&self, req: &Request, trace_id: u64) -> (Response, Option<TraceNode>) {
         let body = match req.body_str() {
             Ok(b) => b,
             Err(e) => {
                 self.metrics.bad_requests.inc();
-                return Response::error(400, e.to_string());
+                return (Response::error(400, e.to_string()), None);
             }
         };
         let spec = match QuerySpec::from_json(body) {
             Ok(s) => s,
             Err(e) => {
                 self.metrics.bad_requests.inc();
-                return Response::error(400, e);
+                return (Response::error(400, e), None);
             }
         };
         self.metrics.queries.inc();
         let start = Instant::now();
-        if spec.trace {
-            obs::trace_begin();
-        }
+        obs::trace_begin();
         let outcome = self.engine.query(&spec.region(), spec.query_plan());
-        let trace = if spec.trace { obs::trace_take() } else { None };
+        let trace = obs::trace_take();
         let (results, stats, cached) = match outcome {
             Ok(t) => t,
-            Err(e) => return Response::error(500, format!("query failed: {e}")),
+            Err(e) => {
+                return (Response::error(500, format!("query failed: {e}")), trace);
+            }
         };
         self.metrics.query_nanos.record_duration(start.elapsed());
 
@@ -379,19 +460,174 @@ impl Service {
                 Json::Uint(self.engine.num_sensors() as u64),
             ));
         }
-        if let Some(node) = trace {
-            fields.push(("trace".to_string(), trace_to_json(&node)));
+        fields.push(("trace_id".to_string(), Json::Uint(trace_id)));
+        if spec.trace {
+            if let Some(node) = &trace {
+                fields.push(("trace".to_string(), trace_to_json(node)));
+            }
         }
-        Response::json(200, &Json::Object(fields))
+        (Response::json(200, &Json::Object(fields)), trace)
     }
 
     fn metrics_dump(&self, req: &Request) -> Response {
         let snapshot = obs::global().snapshot();
         if req.query_param("format") == Some("json") {
-            Response::text(200, obs::export::JsonLinesExporter.export(&snapshot))
+            Response::text(
+                200,
+                obs::export::JsonLinesExporter::default().export(&snapshot),
+            )
         } else {
             Response::text(200, obs::export::TextExporter.export(&snapshot))
         }
+    }
+
+    /// `GET /series` — the sampled metric history. Without a `name`
+    /// parameter, lists the sampled series; with one, returns the points
+    /// inside `window` (e.g. `60s`, `5m`, `2h`; default the whole ring).
+    fn series_dump(&self, req: &Request) -> Response {
+        let store = &self.observability.series;
+        let Some(name) = req.query_param("name") else {
+            let names = store.names();
+            return Response::json(
+                200,
+                &Json::obj([
+                    ("count", Json::from(names.len() as u64)),
+                    (
+                        "series",
+                        Json::Array(names.into_iter().map(Json::Str).collect()),
+                    ),
+                ]),
+            );
+        };
+        let window = match req.query_param("window").map(parse_window) {
+            None => None,
+            Some(Ok(w)) => Some(w),
+            Some(Err(e)) => {
+                self.metrics.bad_requests.inc();
+                return Response::error(400, e);
+            }
+        };
+        let points = match window {
+            Some(w) => store.window(name, w, obs::unix_ms()),
+            None => store.since(name, 0),
+        };
+        if points.is_empty() && !store.names().iter().any(|n| n == name) {
+            return Response::error(404, format!("no sampled series named {name:?}"));
+        }
+        Response::json(
+            200,
+            &Json::obj([
+                ("name", Json::from(name)),
+                ("count", Json::from(points.len() as u64)),
+                (
+                    "points",
+                    Json::Array(
+                        points
+                            .iter()
+                            .map(|p| {
+                                Json::obj([
+                                    ("ts_ms", Json::from(p.ts_ms)),
+                                    ("value", Json::Float(p.value)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )
+    }
+
+    /// `GET /alerts` — the standing rules and the bounded log of alerts
+    /// they have fired, oldest first.
+    fn alerts_dump(&self) -> Response {
+        let engine = &self.observability.alerts;
+        let rules: Vec<Json> = engine
+            .rules()
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::from(r.name.as_str())),
+                    ("metric", Json::from(r.metric.as_str())),
+                    ("kind", Json::from(r.kind.name())),
+                    ("v", Json::Float(r.v)),
+                    ("t_seconds", Json::Float(r.t_seconds)),
+                    ("epsilon", Json::Float(r.epsilon)),
+                    ("scale", Json::Float(r.scale)),
+                ])
+            })
+            .collect();
+        let alerts = engine.alerts();
+        Response::json(
+            200,
+            &Json::obj([
+                ("rules", Json::Array(rules)),
+                ("fired", Json::from(alerts.len() as u64)),
+                (
+                    "alerts",
+                    Json::Array(alerts.iter().map(|a| a.to_json()).collect()),
+                ),
+            ]),
+        )
+    }
+
+    /// `GET /debug/traces` — recently finished requests from the trace
+    /// rings. `?ring=slow` selects the tail-sampled slow/error ring,
+    /// `?n=` bounds the count (default 20), `?full=1` includes span
+    /// trees.
+    fn traces_dump(&self, req: &Request) -> Response {
+        let store = &self.observability.traces;
+        let n = match req.query_param("n") {
+            None => 20,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => n.min(4096),
+                _ => {
+                    self.metrics.bad_requests.inc();
+                    return Response::error(
+                        400,
+                        format!("n must be a positive integer, got {raw:?}"),
+                    );
+                }
+            },
+        };
+        let ring = req.query_param("ring").unwrap_or("recent");
+        let records = match ring {
+            "recent" => store.recent(n),
+            "slow" => store.slow(n),
+            other => {
+                self.metrics.bad_requests.inc();
+                return Response::error(
+                    400,
+                    format!("ring must be \"recent\" or \"slow\", got {other:?}"),
+                );
+            }
+        };
+        let full = req.query_param("full") == Some("1");
+        Response::json(
+            200,
+            &Json::obj([
+                ("ring", Json::from(ring)),
+                ("count", Json::from(records.len() as u64)),
+                (
+                    "slow_threshold_ms",
+                    Json::Float(store.slow_threshold().as_secs_f64() * 1e3),
+                ),
+                (
+                    "traces",
+                    Json::Array(
+                        records
+                            .iter()
+                            .map(|r| {
+                                if full {
+                                    r.to_json_full()
+                                } else {
+                                    r.to_json_summary()
+                                }
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )
     }
 
     fn healthz(&self) -> Response {
