@@ -1,0 +1,102 @@
+//! CI gate for the standing-query subsystem (DESIGN.md §5h).
+//!
+//! ```sh
+//! subsmoke --smoke [--subs N] [--out DIR]     # exactly-once push delivery
+//! subsmoke --churn [--regions N] [--out DIR]  # indexed matching is sublinear
+//! ```
+//!
+//! Smoke mode serves a real index, registers a population of standing
+//! queries over HTTP (matchers and decoys), ingests a planted-drop
+//! series through the live registry, and requires every matcher to be
+//! notified exactly once — writing the full notification log as an
+//! artifact. Churn mode registers N standing regions and requires the
+//! region index to reproduce brute-force matching with far fewer
+//! region tests.
+
+use segdiff_bench::subsmoke::{
+    churn_summary_json, judge_churn, judge_smoke, run_churn, run_subsmoke, smoke_summary_json,
+    ChurnConfig, SmokeConfig,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: subsmoke (--smoke | --churn) [--subs N] [--regions N] \
+     [--deadline-secs N] [--out DIR]";
+
+fn main() {
+    let mut mode: Option<bool> = None; // true = smoke
+    let mut out: Option<PathBuf> = None;
+    let mut smoke = SmokeConfig::ci();
+    let mut churn = ChurnConfig::ci();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a number\n{USAGE}"))
+        };
+        match a.as_str() {
+            "--smoke" => mode = Some(true),
+            "--churn" => mode = Some(false),
+            "--subs" => smoke.subs = num("--subs") as usize,
+            "--regions" => churn.regions = num("--regions") as usize,
+            "--deadline-secs" => smoke.deadline = Duration::from_secs(num("--deadline-secs")),
+            "--out" => out = Some(PathBuf::from(it.next().expect("--out DIR"))),
+            other => panic!("unknown argument '{other}'\n{USAGE}"),
+        }
+    }
+    let smoke_mode = mode.unwrap_or_else(|| panic!("pick --smoke or --churn\n{USAGE}"));
+
+    let (summary, failures, log) = if smoke_mode {
+        eprintln!(
+            "subsmoke: smoke run, {} subscriptions, {} s deadline",
+            smoke.subs,
+            smoke.deadline.as_secs()
+        );
+        let outcome = run_subsmoke(&smoke).expect("subsmoke run");
+        let failures = judge_smoke(&outcome);
+        let summary = smoke_summary_json(&outcome, &failures);
+        (
+            summary,
+            failures,
+            Some((outcome.notification_log, outcome.subs_body)),
+        )
+    } else {
+        eprintln!("subsmoke: churn run, {} standing regions", churn.regions);
+        let outcome = run_churn(&churn);
+        let failures = judge_churn(&outcome);
+        eprintln!(
+            "subsmoke: {} rows x {} regions: index tested {} of {} ({:.2}%), \
+             {:.1} ms indexed vs {:.1} ms brute",
+            outcome.rows,
+            outcome.regions,
+            outcome.regions_tested,
+            outcome.brute_tested,
+            outcome.test_ratio() * 100.0,
+            outcome.indexed_seconds * 1e3,
+            outcome.brute_seconds * 1e3,
+        );
+        (churn_summary_json(&outcome, &failures), failures, None)
+    };
+
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).expect("create --out dir");
+        std::fs::write(dir.join("summary.json"), summary.to_string()).expect("write summary");
+        if let Some((notifications, subs)) = &log {
+            std::fs::write(dir.join("notifications.ndjson"), notifications)
+                .expect("write notification log");
+            std::fs::write(dir.join("subscriptions.json"), subs).expect("write subscriptions");
+        }
+        eprintln!("subsmoke: artifacts in {}", dir.display());
+    }
+
+    println!("{summary}");
+    if failures.is_empty() {
+        eprintln!("subsmoke: PASS");
+    } else {
+        for failure in &failures {
+            eprintln!("subsmoke: FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,7 @@ pub mod harness;
 pub mod report;
 pub mod scaling;
 pub mod serving;
+pub mod subsmoke;
 
 pub use harness::{
     build_exh, build_segdiff, default_series, time_query_exh, time_query_segdiff, BuiltExh,

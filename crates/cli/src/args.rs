@@ -19,8 +19,14 @@ usage:
                    [--alert-rules FILE]
   segdiff loadgen  --url http://HOST:PORT [--concurrency N] [--duration-secs S]
                    [--kind drop|jump] [--v V] [--t-hours H] [--guard FILE]
-  segdiff alerts   --url http://HOST:PORT [--json]
+  segdiff alerts   --url http://HOST:PORT [--json] [--follow] [--after N]
+                   [--interval-ms MS] [--iterations N]
   segdiff top      --url http://HOST:PORT [--interval-ms MS] [--iterations N]
+  segdiff subscribe --url http://HOST:PORT --kind drop|jump --v V --t-hours H
+                   [--label NAME] [--sensors 1,2,...] [--json]
+  segdiff subscribe --url http://HOST:PORT --list | --delete ID  [--json]
+  segdiff watch    --url http://HOST:PORT --sub ID [--after N]
+                   [--interval-ms MS] [--iterations N] [--json]
 
 environment:
   SEGDIFF_LOG=off|error|warn|info|debug   diagnostic verbosity (default warn)";
@@ -157,6 +163,15 @@ pub enum Command {
         url: String,
         /// Print the server's raw `/alerts` JSON instead of text.
         json: bool,
+        /// Keep polling `/alerts?after=` and print each alert once as it
+        /// fires, instead of dumping the current log and exiting.
+        follow: bool,
+        /// Resume the follow cursor from this sequence number.
+        after: u64,
+        /// Poll interval in milliseconds (follow mode).
+        interval_ms: u64,
+        /// Polls before exiting in follow mode (0 = until interrupted).
+        iterations: u64,
     },
     /// Live terminal view of a running server's self-observed telemetry.
     Top {
@@ -166,6 +181,43 @@ pub enum Command {
         interval_ms: u64,
         /// Frames to render before exiting (0 = until interrupted).
         iterations: u64,
+    },
+    /// Register, list, or remove standing queries on a running server.
+    Subscribe {
+        /// Base URL of the server (`http://host:port`).
+        url: String,
+        /// List existing subscriptions instead of registering one.
+        list: bool,
+        /// Remove this subscription instead of registering one.
+        delete: Option<u64>,
+        /// "drop" or "jump" (register mode).
+        kind: String,
+        /// Threshold V (negative for drops).
+        v: f64,
+        /// Threshold T in hours.
+        t_hours: f64,
+        /// Human-readable label stored with the subscription.
+        label: String,
+        /// Sensors the subscription listens to (empty = all).
+        sensors: Vec<u32>,
+        /// Print the server's raw JSON response instead of text.
+        json: bool,
+    },
+    /// Follow a subscription's notification cursor on a running server.
+    Watch {
+        /// Base URL of the server (`http://host:port`).
+        url: String,
+        /// Subscription id to follow.
+        sub: u64,
+        /// Resume the cursor from this sequence number (0 replays the
+        /// retained backlog first).
+        after: u64,
+        /// Poll interval in milliseconds.
+        interval_ms: u64,
+        /// Polls before exiting (0 = until interrupted).
+        iterations: u64,
+        /// Print one raw JSON object per notification instead of text.
+        json: bool,
     },
 }
 
@@ -211,6 +263,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut alert_rules: Option<PathBuf> = None;
     let mut interval_ms = 1000u64;
     let mut iterations = 0u64;
+    let mut follow = false;
+    let mut after = 0u64;
+    let mut label: Option<String> = None;
+    let mut sensors: Option<String> = None;
+    let mut sub_id: Option<u64> = None;
+    let mut list = false;
+    let mut delete: Option<u64> = None;
 
     let mut i = 1;
     while i < argv.len() {
@@ -321,6 +380,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 iterations = take_value(argv, &mut i, "--iterations")?
                     .parse()
                     .map_err(|_| "--iterations must be an integer")?
+            }
+            "--follow" => follow = true,
+            "--after" => {
+                after = take_value(argv, &mut i, "--after")?
+                    .parse()
+                    .map_err(|_| "--after must be an integer")?
+            }
+            "--label" => label = Some(take_value(argv, &mut i, "--label")?.to_string()),
+            "--sensors" => sensors = Some(take_value(argv, &mut i, "--sensors")?.to_string()),
+            "--sub" => {
+                sub_id = Some(
+                    take_value(argv, &mut i, "--sub")?
+                        .parse()
+                        .map_err(|_| "--sub must be an integer")?,
+                )
+            }
+            "--list" => list = true,
+            "--delete" => {
+                delete = Some(
+                    take_value(argv, &mut i, "--delete")?
+                        .parse()
+                        .map_err(|_| "--delete must be a subscription id")?,
+                )
             }
             other if !other.starts_with("--") && sub == "sql" && statement.is_none() => {
                 statement = Some(other.to_string());
@@ -443,10 +525,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 guard,
             })
         }
-        "alerts" => Ok(Command::Alerts {
-            url: url.ok_or("alerts needs --url")?,
-            json,
-        }),
+        "alerts" => {
+            if interval_ms == 0 {
+                return Err("--interval-ms must be at least 1".into());
+            }
+            Ok(Command::Alerts {
+                url: url.ok_or("alerts needs --url")?,
+                json,
+                follow,
+                after,
+                interval_ms,
+                iterations,
+            })
+        }
         "top" => {
             if interval_ms == 0 {
                 return Err("--interval-ms must be at least 1".into());
@@ -455,6 +546,76 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 url: url.ok_or("top needs --url")?,
                 interval_ms,
                 iterations,
+            })
+        }
+        "subscribe" => {
+            let url = url.ok_or("subscribe needs --url")?;
+            if list && delete.is_some() {
+                return Err("--list and --delete are mutually exclusive".into());
+            }
+            if list || delete.is_some() {
+                return Ok(Command::Subscribe {
+                    url,
+                    list,
+                    delete,
+                    kind: String::new(),
+                    v: 0.0,
+                    t_hours: 0.0,
+                    label: String::new(),
+                    sensors: Vec::new(),
+                    json,
+                });
+            }
+            let kind = kind.ok_or("subscribe needs --kind drop|jump (or --list / --delete)")?;
+            if kind != "drop" && kind != "jump" {
+                return Err("--kind must be drop or jump".into());
+            }
+            let v = v.ok_or("subscribe needs --v")?;
+            if kind == "drop" && v >= 0.0 {
+                return Err("--v must be negative for drop subscriptions".into());
+            }
+            if kind == "jump" && v <= 0.0 {
+                return Err("--v must be positive for jump subscriptions".into());
+            }
+            let t_hours = t_hours.ok_or("subscribe needs --t-hours")?;
+            if !(t_hours.is_finite() && t_hours > 0.0) {
+                return Err("--t-hours must be positive".into());
+            }
+            let sensors = match sensors {
+                None => Vec::new(),
+                Some(s) => s
+                    .split(',')
+                    .filter(|p| !p.trim().is_empty())
+                    .map(|p| {
+                        p.trim()
+                            .parse::<u32>()
+                            .map_err(|_| format!("--sensors: {p:?} is not a sensor id"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?,
+            };
+            Ok(Command::Subscribe {
+                url,
+                list: false,
+                delete: None,
+                kind,
+                v,
+                t_hours,
+                label: label.unwrap_or_default(),
+                sensors,
+                json,
+            })
+        }
+        "watch" => {
+            if interval_ms == 0 {
+                return Err("--interval-ms must be at least 1".into());
+            }
+            Ok(Command::Watch {
+                url: url.ok_or("watch needs --url")?,
+                sub: sub_id.ok_or("watch needs --sub ID")?,
+                after,
+                interval_ms,
+                iterations,
+                json,
             })
         }
         other => Err(format!("unknown subcommand {other}")),
@@ -657,9 +818,28 @@ mod tests {
             Command::Alerts {
                 url: "http://h:1".into(),
                 json: true,
+                follow: false,
+                after: 0,
+                interval_ms: 1000,
+                iterations: 0,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "alerts --url http://h:1 --follow --after 7 --interval-ms 50 --iterations 2"
+            ))
+            .unwrap(),
+            Command::Alerts {
+                url: "http://h:1".into(),
+                json: false,
+                follow: true,
+                after: 7,
+                interval_ms: 50,
+                iterations: 2,
             }
         );
         assert!(parse(&argv("alerts")).is_err());
+        assert!(parse(&argv("alerts --url u --follow --interval-ms 0")).is_err());
         assert_eq!(
             parse(&argv("top --url http://h:1")).unwrap(),
             Command::Top {
@@ -714,6 +894,69 @@ mod tests {
         assert!(parse(&argv("loadgen")).is_err());
         assert!(parse(&argv("loadgen --url u --kind drop --v 3")).is_err());
         assert!(parse(&argv("loadgen --url u --duration-secs -1")).is_err());
+    }
+
+    #[test]
+    fn parses_subscribe_and_watch() {
+        assert_eq!(
+            parse(&argv(
+                "subscribe --url http://h:1 --kind drop --v -2 --t-hours 1.5 \
+                 --label coolant --sensors 3,7,11 --json"
+            ))
+            .unwrap(),
+            Command::Subscribe {
+                url: "http://h:1".into(),
+                list: false,
+                delete: None,
+                kind: "drop".into(),
+                v: -2.0,
+                t_hours: 1.5,
+                label: "coolant".into(),
+                sensors: vec![3, 7, 11],
+                json: true,
+            }
+        );
+        match parse(&argv("subscribe --url u --list")).unwrap() {
+            Command::Subscribe { list, delete, .. } => {
+                assert!(list);
+                assert!(delete.is_none());
+            }
+            _ => panic!(),
+        }
+        match parse(&argv("subscribe --url u --delete 9")).unwrap() {
+            Command::Subscribe { list, delete, .. } => {
+                assert!(!list);
+                assert_eq!(delete, Some(9));
+            }
+            _ => panic!(),
+        }
+        // Register mode validates the region like `query` does.
+        assert!(parse(&argv("subscribe --url u")).is_err());
+        assert!(parse(&argv("subscribe --url u --list --delete 1")).is_err());
+        assert!(parse(&argv("subscribe --url u --kind drop --v 2 --t-hours 1")).is_err());
+        assert!(parse(&argv("subscribe --url u --kind jump --v -2 --t-hours 1")).is_err());
+        assert!(parse(&argv("subscribe --url u --kind drop --v -2 --t-hours 0")).is_err());
+        assert!(parse(&argv(
+            "subscribe --url u --kind drop --v -2 --t-hours 1 --sensors x"
+        ))
+        .is_err());
+
+        assert_eq!(
+            parse(&argv(
+                "watch --url http://h:1 --sub 4 --after 10 --iterations 3"
+            ))
+            .unwrap(),
+            Command::Watch {
+                url: "http://h:1".into(),
+                sub: 4,
+                after: 10,
+                interval_ms: 1000,
+                iterations: 3,
+                json: false,
+            }
+        );
+        assert!(parse(&argv("watch --url u")).is_err());
+        assert!(parse(&argv("watch --url u --sub 1 --interval-ms 0")).is_err());
     }
 
     #[test]

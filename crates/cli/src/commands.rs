@@ -104,12 +104,46 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
             t_hours,
             guard.as_deref(),
         ),
-        Command::Alerts { url, json } => alerts(&url, json),
+        Command::Alerts {
+            url,
+            json,
+            follow,
+            after,
+            interval_ms,
+            iterations,
+        } => {
+            if follow {
+                alerts_follow(&url, after, interval_ms, iterations)
+            } else {
+                alerts(&url, json)
+            }
+        }
         Command::Top {
             url,
             interval_ms,
             iterations,
         } => top(&url, interval_ms, iterations),
+        Command::Subscribe {
+            url,
+            list,
+            delete,
+            kind,
+            v,
+            t_hours,
+            label,
+            sensors,
+            json,
+        } => subscribe(
+            &url, list, delete, &kind, v, t_hours, &label, &sensors, json,
+        ),
+        Command::Watch {
+            url,
+            sub,
+            after,
+            interval_ms,
+            iterations,
+            json,
+        } => watch(&url, sub, after, interval_ms, iterations, json),
     }
 }
 
@@ -803,21 +837,62 @@ fn alerts(url: &str, json: bool) -> Result<(), Anyhow> {
     }
     println!("fired ({}):", alerts.len());
     for a in alerts {
-        let f = |k: &str| a.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
-        println!(
-            "  [{}] {} {} on {}: dv={:.2} start in [{:.0}, {:.0}] end in [{:.0}, {:.0}]",
-            a.get("fired_at_ms").and_then(Json::as_u64).unwrap_or(0),
-            a.get("rule").and_then(Json::as_str).unwrap_or("?"),
-            a.get("kind").and_then(Json::as_str).unwrap_or("?"),
-            a.get("metric").and_then(Json::as_str).unwrap_or("?"),
-            f("dv"),
-            f("t_d"),
-            f("t_c"),
-            f("t_b"),
-            f("t_a"),
-        );
+        println!("  {}", alert_line(a));
     }
     Ok(())
+}
+
+/// Renders one fired alert from the `/alerts` JSON as a text line.
+fn alert_line(a: &Json) -> String {
+    let f = |k: &str| a.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    format!(
+        "[{}] {} {} on {}: dv={:.2} start in [{:.0}, {:.0}] end in [{:.0}, {:.0}]",
+        a.get("fired_at_ms").and_then(Json::as_u64).unwrap_or(0),
+        a.get("rule").and_then(Json::as_str).unwrap_or("?"),
+        a.get("kind").and_then(Json::as_str).unwrap_or("?"),
+        a.get("metric").and_then(Json::as_str).unwrap_or("?"),
+        f("dv"),
+        f("t_d"),
+        f("t_c"),
+        f("t_b"),
+        f("t_a"),
+    )
+}
+
+/// `segdiff alerts --follow`: tails the server's sequenced alert log over
+/// the `/alerts?after=` cursor, printing each alert exactly once. The
+/// cursor never repeats an alert; if the server's bounded log overflows
+/// between polls, the missed alerts show up as sequence gaps.
+fn alerts_follow(url: &str, after: u64, interval_ms: u64, iterations: u64) -> Result<(), Anyhow> {
+    use segdiff_server::loadgen::{fetch, parse_url};
+
+    let host = parse_url(url)?;
+    let mut cursor = after;
+    let mut polls = 0u64;
+    loop {
+        polls += 1;
+        let (status, body) = fetch(&host, "GET", &format!("/alerts?after={cursor}"), None)?;
+        if status != 200 {
+            return Err(format!("GET /alerts returned {status}: {body}").into());
+        }
+        let doc = Json::parse(&body).map_err(|e| format!("bad /alerts response: {e}"))?;
+        let empty = Vec::new();
+        for a in doc.get("alerts").and_then(Json::as_array).unwrap_or(&empty) {
+            println!(
+                "seq={} {}",
+                a.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                alert_line(a)
+            );
+        }
+        cursor = doc
+            .get("next_after")
+            .and_then(Json::as_u64)
+            .unwrap_or(cursor);
+        if iterations > 0 && polls >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 /// One `segdiff top` frame: the headline series, alert count, and the
@@ -910,6 +985,198 @@ fn top(url: &str, interval_ms: u64, iterations: u64) -> Result<(), Anyhow> {
             Err(e) => println!("--- segdiff top @ {host} (frame {frame}): {e} ---"),
         }
         if iterations > 0 && frame >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// `segdiff subscribe`: register a standing query region on a running
+/// server (or `--list` / `--delete ID` to manage existing ones). The
+/// server evaluates every committed feature against the region and
+/// queues notifications behind the per-subscription cursor that
+/// `segdiff watch` follows.
+#[allow(clippy::too_many_arguments)]
+fn subscribe(
+    url: &str,
+    list: bool,
+    delete: Option<u64>,
+    kind: &str,
+    v: f64,
+    t_hours: f64,
+    label: &str,
+    sensors: &[u32],
+    json: bool,
+) -> Result<(), Anyhow> {
+    use segdiff_server::loadgen::{fetch, parse_url};
+
+    let host = parse_url(url)?;
+    if list {
+        let (status, body) = fetch(&host, "GET", "/subscribe", None)?;
+        if status != 200 {
+            return Err(format!("GET /subscribe returned {status}: {body}").into());
+        }
+        if json {
+            println!("{body}");
+            return Ok(());
+        }
+        let doc = Json::parse(&body).map_err(|e| format!("bad /subscribe response: {e}"))?;
+        let empty = Vec::new();
+        let subs = doc
+            .get("subscriptions")
+            .and_then(Json::as_array)
+            .unwrap_or(&empty);
+        println!("standing queries ({}):", subs.len());
+        for s in subs {
+            let sensor_list = s
+                .get("sensors")
+                .and_then(Json::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Json::as_u64)
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .unwrap_or_default();
+            println!(
+                "  #{} {:<20} {:<5} V={:<8} T={:.0}s  sensors=[{}]",
+                s.get("id").and_then(Json::as_u64).unwrap_or(0),
+                s.get("label").and_then(Json::as_str).unwrap_or("-"),
+                s.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                s.get("v").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                s.get("t").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                sensor_list,
+            );
+        }
+        for st in doc
+            .get("sensors")
+            .and_then(Json::as_array)
+            .unwrap_or(&empty)
+        {
+            println!(
+                "  sensor {}: {} matching events seen (~{:.2}/h)",
+                st.get("sensor").and_then(Json::as_u64).unwrap_or(0),
+                st.get("events").and_then(Json::as_u64).unwrap_or(0),
+                st.get("expected_per_hour")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            );
+        }
+        return Ok(());
+    }
+    if let Some(id) = delete {
+        let (status, body) = fetch(&host, "DELETE", &format!("/subscribe/{id}"), None)?;
+        if status != 200 {
+            return Err(format!("DELETE /subscribe/{id} returned {status}: {body}").into());
+        }
+        if json {
+            println!("{body}");
+        } else {
+            println!("unsubscribed #{id}");
+        }
+        return Ok(());
+    }
+    let mut fields = vec![
+        ("kind".to_string(), Json::from(kind)),
+        ("v".to_string(), Json::from(v)),
+        ("t_hours".to_string(), Json::from(t_hours)),
+    ];
+    if !label.is_empty() {
+        fields.push(("label".to_string(), Json::from(label)));
+    }
+    if !sensors.is_empty() {
+        fields.push((
+            "sensors".to_string(),
+            Json::Array(sensors.iter().map(|&s| Json::from(u64::from(s))).collect()),
+        ));
+    }
+    let body = Json::Object(fields).to_string_compact();
+    let (status, resp) = fetch(&host, "POST", "/subscribe", Some(&body))?;
+    if status != 200 {
+        return Err(format!("POST /subscribe returned {status}: {resp}").into());
+    }
+    if json {
+        println!("{resp}");
+        return Ok(());
+    }
+    let doc = Json::parse(&resp).map_err(|e| format!("bad /subscribe response: {e}"))?;
+    let id = doc.get("id").and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "subscribed #{id} ({kind} V={v} T={:.0}s); follow it with: segdiff watch --url {url} --sub {id}",
+        t_hours * HOUR,
+    );
+    Ok(())
+}
+
+/// `segdiff watch`: follows one subscription's notification cursor via
+/// `GET /notifications?sub=&after=`, printing each match exactly once.
+/// The cursor survives reconnects — re-run with `--after N` to resume
+/// where a previous watch left off.
+fn watch(
+    url: &str,
+    sub: u64,
+    after: u64,
+    interval_ms: u64,
+    iterations: u64,
+    json: bool,
+) -> Result<(), Anyhow> {
+    use segdiff_server::loadgen::{fetch, parse_url};
+
+    let host = parse_url(url)?;
+    let (status, body) = fetch(&host, "GET", &format!("/subscribe/{sub}"), None)?;
+    if status != 200 {
+        return Err(format!("GET /subscribe/{sub} returned {status}: {body}").into());
+    }
+    if !json {
+        let doc = Json::parse(&body).map_err(|e| format!("bad /subscribe response: {e}"))?;
+        println!(
+            "watching #{sub} {} ({} V={} T={:.0}s) from seq {after}",
+            doc.get("label").and_then(Json::as_str).unwrap_or("-"),
+            doc.get("kind").and_then(Json::as_str).unwrap_or("?"),
+            doc.get("v").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            doc.get("t").and_then(Json::as_f64).unwrap_or(f64::NAN),
+        );
+    }
+    let mut cursor = after;
+    let mut polls = 0u64;
+    loop {
+        polls += 1;
+        let path = format!("/notifications?sub={sub}&after={cursor}&max=1000");
+        let (status, body) = fetch(&host, "GET", &path, None)?;
+        if status != 200 {
+            return Err(format!("GET /notifications returned {status}: {body}").into());
+        }
+        let doc = Json::parse(&body).map_err(|e| format!("bad /notifications response: {e}"))?;
+        let empty = Vec::new();
+        for n in doc
+            .get("notifications")
+            .and_then(Json::as_array)
+            .unwrap_or(&empty)
+        {
+            if json {
+                println!("{}", n.to_string_compact());
+                continue;
+            }
+            let f = |k: &str| n.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            println!(
+                "seq={} sensor={} {}: dv={:.2} start in [{:.0}, {:.0}] end in [{:.0}, {:.0}] committed={}",
+                n.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                n.get("sensor").and_then(Json::as_u64).unwrap_or(0),
+                n.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                f("dv"),
+                f("t_d"),
+                f("t_c"),
+                f("t_b"),
+                f("t_a"),
+                n.get("committed_ms").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+        cursor = doc
+            .get("next_after")
+            .and_then(Json::as_u64)
+            .unwrap_or(cursor);
+        if iterations > 0 && polls >= iterations {
             return Ok(());
         }
         std::thread::sleep(std::time::Duration::from_millis(interval_ms));

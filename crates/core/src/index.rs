@@ -46,6 +46,9 @@ pub struct SegDiffIndex {
     /// result-cache keys so stale entries can never be returned.
     epoch: AtomicU64,
     cache: QueryCache,
+    /// Standing-query hook: committed features are pushed here, tagged
+    /// with this index's sensor id.
+    subs: Option<(Arc<crate::subscribe::SubscriptionRegistry>, u32)>,
 }
 
 /// Global-registry counters for the ingest pipeline (`ingest.*`),
@@ -111,6 +114,7 @@ impl SegDiffIndex {
             metrics: IngestMetrics::new(),
             epoch: AtomicU64::new(0),
             cache,
+            subs: None,
         };
         // Make the empty index durable right away: a crash after `create`
         // must reopen cleanly, not leave half a catalog behind.
@@ -228,6 +232,7 @@ impl SegDiffIndex {
             metrics: IngestMetrics::new(),
             epoch: AtomicU64::new(0),
             cache,
+            subs: None,
         };
         if rewrite_meta {
             idx.write_meta()?;
@@ -302,6 +307,19 @@ jump_hist {} {} {}
         &self.db
     }
 
+    /// Attaches a standing-query registry: from now on every committed
+    /// segment's feature rows are evaluated against the registered
+    /// regions (tagged with `sensor`) and matches are published right
+    /// after the segment's WAL commit — so a published notification
+    /// trails durability by at most one group-commit window.
+    pub fn attach_subscriptions(
+        &mut self,
+        registry: Arc<crate::subscribe::SubscriptionRegistry>,
+        sensor: u32,
+    ) {
+        self.subs = Some((registry, sensor));
+    }
+
     /// Ingests one observation (online path: segmentation and feature
     /// extraction happen incrementally).
     pub fn push(&mut self, t: f64, v: f64) -> Result<()> {
@@ -374,6 +392,15 @@ jump_hist {} {} {}
         // on a state where segment, feature, and meta data agree.
         if self.db.wal().is_some() {
             self.db.commit(self.meta_text().as_bytes())?;
+        }
+        // Standing queries see the rows only after the commit point, so a
+        // notification can never describe a feature a crash would lose by
+        // more than the group-commit deferral window.
+        if let Some((subs, sensor)) = &self.subs {
+            if !self.rows_buf.is_empty() {
+                subs.on_features(*sensor, &self.rows_buf, obs::unix_ms());
+                subs.flush();
+            }
         }
         Ok(())
     }

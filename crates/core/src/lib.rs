@@ -70,6 +70,7 @@ pub mod refine;
 mod result;
 pub mod sqlgen;
 mod stats;
+pub mod subscribe;
 mod tables;
 pub mod transect;
 
@@ -80,6 +81,7 @@ pub use ingest::{FeatureExtractor, FeatureRow};
 pub use query::{PhaseStats, QueryPlan, QueryStats};
 pub use result::SegmentPair;
 pub use stats::{CornerHistogram, SegDiffStats};
+pub use subscribe::{Notification, Subscription, SubscriptionRegistry};
 pub use transect::TransectIndex;
 
 // Re-export the vocabulary types callers need.

@@ -1,0 +1,616 @@
+//! Standing queries: registered `(V, T, sensors)` regions evaluated
+//! against every feature the ingest path commits.
+//!
+//! The historical path stores features and waits for queries; a
+//! *subscription* inverts it — the query arrives first and waits for
+//! data. Clients register a [`Subscription`] (a [`QueryRegion`] plus an
+//! optional sensor restriction); the ingest path calls
+//! [`SubscriptionRegistry::on_features`] with each committed segment's
+//! feature rows, and matches become [`Notification`]s readable through a
+//! per-subscription monotone cursor ([`SubscriptionRegistry::since`]).
+//!
+//! Scaling: with thousands of standing queries a per-feature linear scan
+//! is O(all regions). Registered regions therefore live in a
+//! [`RegionIndex`] — the logarithmic `(T, |V|)` grid whose cell
+//! representatives are pruned with `zone_may_intersect` — so each
+//! committed feature tests O(matching) regions, exactly as the B+tree
+//! made historical queries sublinear. The `subscribe.regions_tested` /
+//! `subscribe.features_evaluated` counters expose the ratio.
+//!
+//! Delivery semantics: matches found by `on_features` are *staged*;
+//! [`SubscriptionRegistry::flush`] assigns sequence numbers and publishes
+//! them. The ingest hook flushes right after the WAL commit of the
+//! segment that produced the features, so a published notification may
+//! precede durability by at most one group-commit window — the same
+//! window a crash can already un-commit. Per-subscription logs are
+//! bounded; a slow consumer loses oldest-first (`notify.dropped`) rather
+//! than stalling ingest. A feature seen twice — e.g. provisionally and
+//! then committed, or across two evaluation ticks — notifies once per
+//! subscription, keyed on the pair's start times like the
+//! [`crate::alerts::AlertEngine`] dedup.
+//!
+//! Each sensor also accumulates an [`EventFrequency`] — observed event
+//! count over the observation span, in the spirit of Albrecht et al.'s
+//! event-series characterization on expected frequency — so `GET
+//! /subscribe` can report how eventful each sensor has been.
+
+use crate::ingest::FeatureRow;
+use featurespace::{QueryRegion, RegionIndex, RegionMatchStats, SearchKind};
+use obs::json::Json;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Notifications retained per subscription before the oldest are dropped.
+pub const DEFAULT_NOTIFICATION_LOG_CAPACITY: usize = 1024;
+
+/// Fired-pair keys retained per subscription before the dedup set is
+/// cleared (same bound the alert engine uses).
+const FIRED_PAIRS_BOUND: usize = 8192;
+
+/// One registered standing query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    /// Registry-assigned id, unique for the registry's lifetime.
+    pub id: u64,
+    /// Caller-chosen label (shown in listings; not interpreted).
+    pub label: String,
+    /// The `(V, T)` region in feature space.
+    pub region: QueryRegion,
+    /// Sensors this subscription watches; empty means all sensors.
+    pub sensors: Vec<u32>,
+    /// Registration time, unix milliseconds.
+    pub created_ms: u64,
+}
+
+impl Subscription {
+    fn covers(&self, sensor: u32) -> bool {
+        self.sensors.is_empty() || self.sensors.contains(&sensor)
+    }
+
+    /// Serializes the subscription as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id)),
+            ("label", Json::from(self.label.as_str())),
+            ("kind", Json::from(self.region.kind.name())),
+            ("t", Json::from(self.region.t)),
+            ("v", Json::from(self.region.v)),
+            (
+                "sensors",
+                Json::Array(
+                    self.sensors
+                        .iter()
+                        .map(|s| Json::from(u64::from(*s)))
+                        .collect(),
+                ),
+            ),
+            ("created_ms", Json::from(self.created_ms)),
+        ])
+    }
+}
+
+/// One pushed match: the offending segment pair, stamped with the
+/// subscription's cursor position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// Position in the subscription's cursor (1-based, monotone).
+    pub seq: u64,
+    /// The subscription this notification belongs to.
+    pub sub_id: u64,
+    /// Sensor whose ingest produced the feature.
+    pub sensor: u32,
+    /// Drop or jump.
+    pub kind: SearchKind,
+    /// Start of the earlier segment of the offending pair.
+    pub t_d: f64,
+    /// End of the earlier segment.
+    pub t_c: f64,
+    /// Start of the later segment.
+    pub t_b: f64,
+    /// End of the later segment.
+    pub t_a: f64,
+    /// The boundary corner change `Δv` with the largest magnitude.
+    pub dv: f64,
+    /// When the ingest path committed the feature, unix milliseconds.
+    pub committed_ms: u64,
+}
+
+impl Notification {
+    /// Serializes the notification as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            ("sub", Json::from(self.sub_id)),
+            ("sensor", Json::from(u64::from(self.sensor))),
+            ("kind", Json::from(self.kind.name())),
+            ("t_d", Json::from(self.t_d)),
+            ("t_c", Json::from(self.t_c)),
+            ("t_b", Json::from(self.t_b)),
+            ("t_a", Json::from(self.t_a)),
+            ("dv", Json::from(self.dv)),
+            ("committed_ms", Json::from(self.committed_ms)),
+        ])
+    }
+}
+
+/// Per-sensor event-series characterization: how many events this sensor
+/// has produced over what observation span.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventFrequency {
+    /// Distinct events observed (features that newly matched at least
+    /// one subscription watching the sensor).
+    pub events: u64,
+    /// First event time, unix milliseconds (0 when no event yet).
+    pub first_ms: u64,
+    /// Last event time, unix milliseconds.
+    pub last_ms: u64,
+}
+
+impl EventFrequency {
+    fn record(&mut self, now_ms: u64) {
+        if self.events == 0 {
+            self.first_ms = now_ms;
+        }
+        self.events += 1;
+        self.last_ms = self.last_ms.max(now_ms);
+    }
+
+    /// Expected events per hour over the observed span; 0 until the
+    /// span is non-degenerate.
+    pub fn expected_per_hour(&self) -> f64 {
+        let span_ms = self.last_ms.saturating_sub(self.first_ms);
+        if span_ms == 0 {
+            return 0.0;
+        }
+        self.events as f64 / (span_ms as f64 / 3_600_000.0)
+    }
+}
+
+/// Per-subscription delivery state.
+struct SubState {
+    sub: Subscription,
+    next_seq: u64,
+    /// Matches staged by `on_features`, published by `flush`.
+    pending: Vec<Notification>,
+    /// Published notifications, oldest first, bounded.
+    log: VecDeque<Notification>,
+    /// Pairs already notified, keyed on `(sensor, t_d, t_b)` bits.
+    fired: HashSet<(u32, u64, u64)>,
+}
+
+struct Inner {
+    next_id: u64,
+    index: RegionIndex,
+    subs: HashMap<u64, SubState>,
+    sensor_stats: HashMap<u32, EventFrequency>,
+    match_buf: Vec<u64>,
+}
+
+/// The standing-query registry: subscriptions, their region index, and
+/// the per-subscription notification logs.
+///
+/// One mutex guards everything; it is a leaf lock (never held while
+/// taking another), like the alert engine's.
+pub struct SubscriptionRegistry {
+    inner: Mutex<Inner>,
+    log_capacity: usize,
+    registered: Arc<obs::Counter>,
+    removed: Arc<obs::Counter>,
+    active: Arc<obs::Gauge>,
+    features_evaluated: Arc<obs::Counter>,
+    regions_tested: Arc<obs::Counter>,
+    cells_visited: Arc<obs::Counter>,
+    delivered: Arc<obs::Counter>,
+    deduped: Arc<obs::Counter>,
+    dropped: Arc<obs::Counter>,
+}
+
+impl Default for SubscriptionRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubscriptionRegistry {
+    /// A registry with the default per-subscription log capacity.
+    pub fn new() -> Self {
+        Self::with_log_capacity(DEFAULT_NOTIFICATION_LOG_CAPACITY)
+    }
+
+    /// A registry retaining at most `log_capacity` published
+    /// notifications per subscription. Counters register in
+    /// [`obs::global`].
+    pub fn with_log_capacity(log_capacity: usize) -> Self {
+        let r = obs::global();
+        SubscriptionRegistry {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                index: RegionIndex::new(),
+                subs: HashMap::new(),
+                sensor_stats: HashMap::new(),
+                match_buf: Vec::new(),
+            }),
+            log_capacity: log_capacity.max(1),
+            registered: r.counter("subscribe.registered"),
+            removed: r.counter("subscribe.removed"),
+            active: r.gauge("subscribe.active"),
+            features_evaluated: r.counter("subscribe.features_evaluated"),
+            regions_tested: r.counter("subscribe.regions_tested"),
+            cells_visited: r.counter("subscribe.cells_visited"),
+            delivered: r.counter("notify.delivered"),
+            deduped: r.counter("notify.deduped"),
+            dropped: r.counter("notify.dropped"),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a standing query; returns the stored subscription with
+    /// its assigned id. `sensors` empty means all sensors.
+    pub fn subscribe(
+        &self,
+        label: &str,
+        region: QueryRegion,
+        sensors: &[u32],
+        now_ms: u64,
+    ) -> Subscription {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let sub = Subscription {
+            id,
+            label: label.to_string(),
+            region,
+            sensors: sensors.to_vec(),
+            created_ms: now_ms,
+        };
+        inner.index.insert(id, region);
+        inner.subs.insert(
+            id,
+            SubState {
+                sub: sub.clone(),
+                next_seq: 1,
+                pending: Vec::new(),
+                log: VecDeque::new(),
+                fired: HashSet::new(),
+            },
+        );
+        self.registered.inc();
+        self.active.set(inner.subs.len() as i64);
+        sub
+    }
+
+    /// Removes a subscription (and its pending/published notifications);
+    /// returns whether it existed.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut inner = self.lock();
+        let Some(state) = inner.subs.remove(&id) else {
+            return false;
+        };
+        inner.index.remove(id, &state.sub.region);
+        self.removed.inc();
+        self.active.set(inner.subs.len() as i64);
+        true
+    }
+
+    /// All registered subscriptions, ordered by id.
+    pub fn subscriptions(&self) -> Vec<Subscription> {
+        let inner = self.lock();
+        let mut subs: Vec<Subscription> = inner.subs.values().map(|s| s.sub.clone()).collect();
+        subs.sort_by_key(|s| s.id);
+        subs
+    }
+
+    /// One subscription by id.
+    pub fn subscription(&self, id: u64) -> Option<Subscription> {
+        self.lock().subs.get(&id).map(|s| s.sub.clone())
+    }
+
+    /// The highest sequence number published to `id` so far (0 before
+    /// the first publication); `None` for an unknown subscription. A
+    /// live feed starts its cursor here to deliver only what happens
+    /// next.
+    pub fn last_seq(&self, id: u64) -> Option<u64> {
+        self.lock().subs.get(&id).map(|s| s.next_seq - 1)
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.lock().subs.len()
+    }
+
+    /// Whether no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates newly committed feature rows from `sensor` against the
+    /// region index and stages matches. Call [`Self::flush`] afterwards
+    /// (the ingest hook does, right after the segment's WAL commit) to
+    /// publish them to the cursors.
+    pub fn on_features(&self, sensor: u32, rows: &[FeatureRow], now_ms: u64) {
+        let mut inner = self.lock();
+        if inner.subs.is_empty() {
+            return;
+        }
+        let inner = &mut *inner;
+        for row in rows {
+            self.features_evaluated.inc();
+            let mut stats = RegionMatchStats::default();
+            inner.match_buf.clear();
+            inner
+                .index
+                .matches(&row.boundary, &mut inner.match_buf, &mut stats);
+            self.cells_visited.add(stats.cells_visited);
+            self.regions_tested.add(stats.regions_tested);
+            let mut novel = false;
+            for &id in &inner.match_buf {
+                let Some(state) = inner.subs.get_mut(&id) else {
+                    continue;
+                };
+                if !state.sub.covers(sensor) {
+                    continue;
+                }
+                let key = (sensor, row.t_d.to_bits(), row.t_b.to_bits());
+                if !state.fired.insert(key) {
+                    self.deduped.inc();
+                    continue;
+                }
+                // Bound the dedup set; clearing can at worst re-notify
+                // an old pair, and the log below is bounded anyway.
+                if state.fired.len() > FIRED_PAIRS_BOUND {
+                    state.fired.clear();
+                    state.fired.insert(key);
+                }
+                let dv = row
+                    .boundary
+                    .corners()
+                    .iter()
+                    .map(|c| c.dv)
+                    .fold(
+                        0.0f64,
+                        |acc, dv| if dv.abs() > acc.abs() { dv } else { acc },
+                    );
+                novel = true;
+                state.pending.push(Notification {
+                    seq: 0, // assigned at flush
+                    sub_id: id,
+                    sensor,
+                    kind: row.kind,
+                    t_d: row.t_d,
+                    t_c: row.t_c,
+                    t_b: row.t_b,
+                    t_a: row.t_a,
+                    dv,
+                    committed_ms: now_ms,
+                });
+            }
+            if novel {
+                inner.sensor_stats.entry(sensor).or_default().record(now_ms);
+            }
+        }
+    }
+
+    /// Publishes everything staged since the last flush: assigns
+    /// sequence numbers and appends to the bounded per-subscription
+    /// logs. Returns the number of notifications published.
+    pub fn flush(&self) -> u64 {
+        let mut inner = self.lock();
+        let mut published = 0u64;
+        for state in inner.subs.values_mut() {
+            for mut n in state.pending.drain(..) {
+                n.seq = state.next_seq;
+                state.next_seq += 1;
+                if state.log.len() >= self.log_capacity {
+                    state.log.pop_front();
+                    self.dropped.inc();
+                }
+                state.log.push_back(n);
+                self.delivered.inc();
+                published += 1;
+            }
+        }
+        published
+    }
+
+    /// Published notifications of subscription `sub_id` with `seq >
+    /// after`, oldest first, at most `max`; plus the cursor to pass as
+    /// the next `after`. `None` for an unknown subscription.
+    ///
+    /// A consumer that falls more than the log capacity behind misses
+    /// the dropped prefix — visible as a gap in the returned `seq`s.
+    pub fn since(&self, sub_id: u64, after: u64, max: usize) -> Option<(Vec<Notification>, u64)> {
+        let inner = self.lock();
+        let state = inner.subs.get(&sub_id)?;
+        let out: Vec<Notification> = state
+            .log
+            .iter()
+            .filter(|n| n.seq > after)
+            .take(max)
+            .cloned()
+            .collect();
+        let next_after = out.last().map_or(after, |n| n.seq);
+        Some((out, next_after))
+    }
+
+    /// Per-sensor event-frequency characterization, ordered by sensor.
+    pub fn sensor_stats(&self) -> Vec<(u32, EventFrequency)> {
+        let inner = self.lock();
+        let mut stats: Vec<(u32, EventFrequency)> =
+            inner.sensor_stats.iter().map(|(s, f)| (*s, *f)).collect();
+        stats.sort_by_key(|(s, _)| *s);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use featurespace::{Boundary, FeaturePoint};
+
+    fn drop_row(t_d: f64, dv: f64) -> FeatureRow {
+        FeatureRow {
+            kind: SearchKind::Drop,
+            boundary: Boundary::two(FeaturePoint::new(0.0, 0.0), FeaturePoint::new(1800.0, dv)),
+            t_d,
+            t_c: t_d + 600.0,
+            t_b: t_d + 1200.0,
+            t_a: t_d + 1800.0,
+        }
+    }
+
+    #[test]
+    fn subscribe_list_unsubscribe() {
+        let reg = SubscriptionRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.subscribe("deep", QueryRegion::drop(3600.0, -3.0), &[], 10);
+        let b = reg.subscribe("s1-only", QueryRegion::drop(3600.0, -1.0), &[1], 20);
+        assert_eq!(reg.len(), 2);
+        assert_ne!(a.id, b.id);
+        let listed = reg.subscriptions();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].id, a.id, "listing is id-ordered");
+        assert_eq!(
+            reg.subscription(b.id).map(|s| s.label),
+            Some("s1-only".into())
+        );
+        assert!(reg.unsubscribe(a.id));
+        assert!(!reg.unsubscribe(a.id));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn matching_feature_notifies_through_the_cursor() {
+        let reg = SubscriptionRegistry::new();
+        let sub = reg.subscribe("deep", QueryRegion::drop(3600.0, -3.0), &[], 0);
+        reg.on_features(0, &[drop_row(1000.0, -4.0)], 500);
+        // Staged but not yet published.
+        let (none, _) = reg.since(sub.id, 0, 100).unwrap();
+        assert!(none.is_empty(), "publication waits for flush");
+        assert_eq!(reg.flush(), 1);
+        let (got, next) = reg.since(sub.id, 0, 100).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[0].sensor, 0);
+        assert_eq!(got[0].committed_ms, 500);
+        assert!(got[0].dv <= -3.0);
+        assert_eq!(next, 1);
+        // Cursor is consumed: nothing new after `next`.
+        let (empty, same) = reg.since(sub.id, next, 100).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(same, next);
+        assert!(reg.since(999, 0, 100).is_none(), "unknown subscription");
+    }
+
+    #[test]
+    fn feature_spanning_two_ticks_notifies_once() {
+        // The AlertEngine-style dedup property: the same pair surfacing
+        // in two evaluation ticks (e.g. provisional then committed)
+        // produces one notification.
+        let reg = SubscriptionRegistry::new();
+        let sub = reg.subscribe("deep", QueryRegion::drop(3600.0, -3.0), &[], 0);
+        let row = drop_row(1000.0, -4.0);
+        reg.on_features(0, std::slice::from_ref(&row), 100);
+        reg.flush();
+        reg.on_features(0, std::slice::from_ref(&row), 200);
+        reg.flush();
+        let (got, _) = reg.since(sub.id, 0, 100).unwrap();
+        assert_eq!(got.len(), 1, "pair must notify once across ticks: {got:?}");
+        // A different pair still notifies.
+        reg.on_features(0, &[drop_row(9000.0, -4.0)], 300);
+        reg.flush();
+        let (got, _) = reg.since(sub.id, 0, 100).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].seq, 2);
+    }
+
+    #[test]
+    fn sensor_restriction_filters_matches() {
+        let reg = SubscriptionRegistry::new();
+        let only1 = reg.subscribe("s1", QueryRegion::drop(3600.0, -3.0), &[1], 0);
+        let all = reg.subscribe("all", QueryRegion::drop(3600.0, -3.0), &[], 0);
+        reg.on_features(2, &[drop_row(1000.0, -4.0)], 100);
+        reg.flush();
+        let (none, _) = reg.since(only1.id, 0, 100).unwrap();
+        assert!(none.is_empty(), "sensor 2 must not reach a sensor-1 sub");
+        let (got, _) = reg.since(all.id, 0, 100).unwrap();
+        assert_eq!(got.len(), 1);
+        reg.on_features(1, &[drop_row(9000.0, -4.0)], 200);
+        reg.flush();
+        let (got, _) = reg.since(only1.id, 0, 100).unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn log_is_bounded_and_cursor_pages() {
+        let reg = SubscriptionRegistry::with_log_capacity(3);
+        let sub = reg.subscribe("deep", QueryRegion::drop(36_000.0, -3.0), &[], 0);
+        let dropped_before = obs::global().counter("notify.dropped").get();
+        for i in 0..5 {
+            reg.on_features(0, &[drop_row(i as f64 * 10_000.0, -4.0)], i);
+        }
+        assert_eq!(reg.flush(), 5);
+        let (got, next) = reg.since(sub.id, 0, 2).unwrap();
+        assert_eq!(got.len(), 2, "max caps a page");
+        // Seqs 1 and 2 were dropped by the bound; the page starts at 3.
+        assert_eq!(got[0].seq, 3);
+        assert_eq!(next, 4);
+        let (rest, done) = reg.since(sub.id, next, 100).unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(done, 5);
+        assert_eq!(
+            obs::global().counter("notify.dropped").get() - dropped_before,
+            2
+        );
+    }
+
+    #[test]
+    fn sensor_stats_characterize_event_frequency() {
+        let reg = SubscriptionRegistry::new();
+        reg.subscribe("deep", QueryRegion::drop(36_000.0, -3.0), &[], 0);
+        // Two events an hour apart on sensor 3.
+        reg.on_features(3, &[drop_row(0.0, -4.0)], 0);
+        reg.on_features(3, &[drop_row(50_000.0, -4.0)], 3_600_000);
+        reg.flush();
+        let stats = reg.sensor_stats();
+        assert_eq!(stats.len(), 1);
+        let (sensor, freq) = stats[0];
+        assert_eq!(sensor, 3);
+        assert_eq!(freq.events, 2);
+        assert!((freq.expected_per_hour() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ingest_hook_pushes_committed_drops() {
+        use crate::{SegDiffConfig, SegDiffIndex};
+        use sensorgen::TimeSeries;
+
+        let dir = std::env::temp_dir().join(format!("segdiff-subhook-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let reg = Arc::new(SubscriptionRegistry::new());
+        let sub = reg.subscribe("planted", QueryRegion::drop(3600.0, -3.0), &[], 0);
+        let mut idx = SegDiffIndex::create(&dir, SegDiffConfig::default()).unwrap();
+        idx.attach_subscriptions(Arc::clone(&reg), 0);
+        // The index-test series: one unmistakable 4-degree drop.
+        let mut s = TimeSeries::new();
+        let mut v = 10.0;
+        for i in 0..200 {
+            let t = i as f64 * 300.0;
+            if (80..86).contains(&i) {
+                v -= 4.0 / 6.0;
+            }
+            s.push(t, v);
+        }
+        idx.ingest_series(&s).unwrap();
+        idx.finish().unwrap();
+        let (got, _) = reg.since(sub.id, 0, 1000).unwrap();
+        assert!(
+            got.iter().any(|n| n.t_d <= 25_800.0 && n.t_a >= 24_000.0),
+            "planted drop must be pushed: {got:?}"
+        );
+        // The hook published at commit time — no extra flush was needed.
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,316 @@
+//! An index over *registered query regions*: the dual of the historical
+//! query path.
+//!
+//! Historical search indexes stored features and probes them with one
+//! region; standing queries invert this — thousands of regions are
+//! registered up front and every newly committed feature boundary must
+//! find the regions it intersects. A linear scan is O(regions) per
+//! feature; this index makes it O(matching + occupied cells).
+//!
+//! Regions are bucketed on a logarithmic grid over `(T, |V|)`: cell
+//! `(i, j)` holds regions with `T ∈ [2ⁱ, 2ⁱ⁺¹)` and `|V| ∈ [2ʲ, 2ʲ⁺¹)`,
+//! per [`SearchKind`]. Each cell's *representative* is the most
+//! permissive region any member could be — `T` at the cell's upper bound,
+//! `|V|` at its lower bound — so [`zone_may_intersect`] on the
+//! representative is a sound coarse test: if it fails, no member region
+//! can intersect the boundary (the ε shift is already folded into the
+//! boundary corners, so cell bounds need no shift of their own). Cells
+//! that survive refine member by member with the exact
+//! [`Boundary::intersects`] predicate, which stays the single source of
+//! truth — [`RegionIndex::matches_brute`] runs it over every member and
+//! the property tests assert both paths return identical sets.
+
+use crate::batch::zone_may_intersect;
+use crate::{Boundary, QueryRegion, SearchKind};
+use std::collections::HashMap;
+
+/// Work counters for one [`RegionIndex::matches`] call, accumulated
+/// across calls so ingest paths can expose O(matching) evidence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionMatchStats {
+    /// Grid cells whose representative was zone-tested.
+    pub cells_visited: u64,
+    /// Member regions tested with the exact intersection predicate.
+    pub regions_tested: u64,
+}
+
+#[derive(Debug)]
+struct Cell {
+    /// Most permissive region representable in this cell: `T` at the
+    /// upper cell bound, `|V|` at the lower. Sound for pruning because
+    /// [`zone_may_intersect`] is monotone in both thresholds.
+    rep: QueryRegion,
+    members: Vec<(u64, QueryRegion)>,
+}
+
+/// A logarithmic `(T, |V|)` grid over registered query regions,
+/// supporting exact "which regions does this boundary intersect" lookups
+/// in O(matching + occupied cells) instead of O(all regions).
+#[derive(Debug, Default)]
+pub struct RegionIndex {
+    cells: HashMap<(SearchKind, i32, i32), Cell>,
+    len: usize,
+}
+
+/// Clamped `floor(log2(x))` for a positive finite threshold.
+fn bucket(x: f64) -> i32 {
+    debug_assert!(x > 0.0);
+    (x.log2().floor()).clamp(-1074.0, 1022.0) as i32
+}
+
+/// The most permissive region in cell `(bt, bv)`: largest `T`, smallest
+/// `|V|`. Built as a struct literal — the upper `T` bound may exceed what
+/// the checked constructors accept, and only `zone_may_intersect` ever
+/// sees it.
+fn representative(kind: SearchKind, bt: i32, bv: i32) -> QueryRegion {
+    let t = f64::exp2(f64::from(bt) + 1.0);
+    let t = if t.is_finite() { t } else { f64::MAX };
+    let mag = f64::exp2(f64::from(bv));
+    let v = match kind {
+        SearchKind::Drop => -mag,
+        SearchKind::Jump => mag,
+    };
+    QueryRegion { kind, t, v }
+}
+
+fn cell_key(region: &QueryRegion) -> (SearchKind, i32, i32) {
+    (region.kind, bucket(region.t), bucket(region.v.abs()))
+}
+
+/// Flattens a boundary into the `(Δt₁, Δv₁, …)` column layout
+/// [`zone_may_intersect`] expects; for a single boundary the per-column
+/// min and max coincide with the corner itself.
+fn corner_columns(boundary: &Boundary) -> ([f64; 6], usize) {
+    let mut cols = [0.0; 6];
+    let corners = boundary.corners();
+    for (j, p) in corners.iter().enumerate() {
+        cols[2 * j] = p.dt;
+        cols[2 * j + 1] = p.dv;
+    }
+    (cols, corners.len())
+}
+
+impl RegionIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Registers `region` under the caller-chosen `id`. Ids are opaque to
+    /// the index; registering the same id twice stores it twice.
+    pub fn insert(&mut self, id: u64, region: QueryRegion) {
+        let key = cell_key(&region);
+        let cell = self.cells.entry(key).or_insert_with(|| Cell {
+            rep: representative(key.0, key.1, key.2),
+            members: Vec::new(),
+        });
+        cell.members.push((id, region));
+        self.len += 1;
+    }
+
+    /// Removes the registration `(id, region)`; returns whether it was
+    /// present. The region must match what was inserted — it names the
+    /// cell to search.
+    pub fn remove(&mut self, id: u64, region: &QueryRegion) -> bool {
+        let key = cell_key(region);
+        let Some(cell) = self.cells.get_mut(&key) else {
+            return false;
+        };
+        let Some(pos) = cell.members.iter().position(|(mid, _)| *mid == id) else {
+            return false;
+        };
+        cell.members.swap_remove(pos);
+        self.len -= 1;
+        if cell.members.is_empty() {
+            self.cells.remove(&key);
+        }
+        true
+    }
+
+    /// Appends to `out` the ids of every registered region the boundary
+    /// intersects, via the grid: zone-test each occupied cell's
+    /// representative, then refine surviving cells member by member with
+    /// the exact predicate. Work counters accumulate into `stats`.
+    ///
+    /// Lossless by construction — returns exactly the ids
+    /// [`Self::matches_brute`] returns, in unspecified order.
+    pub fn matches(&self, boundary: &Boundary, out: &mut Vec<u64>, stats: &mut RegionMatchStats) {
+        let (cols, corners) = corner_columns(boundary);
+        for cell in self.cells.values() {
+            stats.cells_visited += 1;
+            if !zone_may_intersect(corners, &cols, &cols, &cell.rep) {
+                continue;
+            }
+            for (id, region) in &cell.members {
+                stats.regions_tested += 1;
+                if boundary.intersects(region) {
+                    out.push(*id);
+                }
+            }
+        }
+    }
+
+    /// Reference implementation: the exact predicate over *every*
+    /// registered region, no pruning. The property tests assert
+    /// [`Self::matches`] agrees with this bit for bit.
+    pub fn matches_brute(&self, boundary: &Boundary) -> Vec<u64> {
+        let mut out = Vec::new();
+        for cell in self.cells.values() {
+            for (id, region) in &cell.members {
+                if boundary.intersects(region) {
+                    out.push(*id);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeaturePoint;
+
+    /// Tiny deterministic LCG, same recurrence the batch tests use.
+    struct Lcg(f64);
+
+    impl Lcg {
+        fn next(&mut self) -> f64 {
+            self.0 = (self.0 * 9301.0 + 49297.0) % 233280.0;
+            self.0 / 233280.0
+        }
+
+        /// Uniform in `[lo, hi)`.
+        fn range(&mut self, lo: f64, hi: f64) -> f64 {
+            lo + self.next() * (hi - lo)
+        }
+    }
+
+    fn random_region(rng: &mut Lcg) -> QueryRegion {
+        // Thresholds spanning several log-buckets in both axes.
+        let t = f64::exp2(rng.range(-2.0, 6.0));
+        let mag = f64::exp2(rng.range(-3.0, 3.0));
+        if rng.next() < 0.5 {
+            QueryRegion::drop(t, -mag)
+        } else {
+            QueryRegion::jump(t, mag)
+        }
+    }
+
+    fn random_boundary(rng: &mut Lcg) -> Boundary {
+        let mut dts = [
+            rng.range(0.0, 40.0),
+            rng.range(0.0, 40.0),
+            rng.range(0.0, 40.0),
+        ];
+        dts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let dv = |rng: &mut Lcg| rng.range(-8.0, 8.0);
+        match (rng.next() * 3.0) as u32 {
+            0 => Boundary::one(FeaturePoint::new(dts[0], dv(rng))),
+            1 => Boundary::two(
+                FeaturePoint::new(dts[0], dv(rng)),
+                FeaturePoint::new(dts[1], dv(rng)),
+            ),
+            _ => Boundary::three(
+                FeaturePoint::new(dts[0], dv(rng)),
+                FeaturePoint::new(dts[1], dv(rng)),
+                FeaturePoint::new(dts[2], dv(rng)),
+            ),
+        }
+    }
+
+    fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut idx = RegionIndex::new();
+        assert!(idx.is_empty());
+        let r1 = QueryRegion::drop(10.0, -2.0);
+        let r2 = QueryRegion::jump(10.0, 2.0);
+        idx.insert(1, r1);
+        idx.insert(2, r2);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.remove(1, &r1));
+        assert!(!idx.remove(1, &r1));
+        assert!(!idx.remove(2, &r1)); // wrong cell: jump vs drop
+        assert!(idx.remove(2, &r2));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn matches_finds_registered_regions() {
+        let mut idx = RegionIndex::new();
+        idx.insert(7, QueryRegion::drop(20.0, -5.0));
+        idx.insert(8, QueryRegion::drop(1.0, -5.0));
+        idx.insert(9, QueryRegion::jump(20.0, 5.0));
+        // Right corner lies inside region 7 only.
+        let b = Boundary::two(FeaturePoint::new(2.0, -1.0), FeaturePoint::new(12.0, -6.0));
+        let mut out = Vec::new();
+        let mut stats = RegionMatchStats::default();
+        idx.matches(&b, &mut out, &mut stats);
+        assert_eq!(out, vec![7]);
+        assert_eq!(sorted(idx.matches_brute(&b)), vec![7]);
+        assert!(stats.cells_visited >= 1);
+    }
+
+    #[test]
+    fn indexed_matching_equals_brute_force() {
+        // The losslessness property: for random region sets and random
+        // boundaries, the grid path returns exactly the brute-force set.
+        let mut rng = Lcg(0.41);
+        let rounds = if cfg!(miri) { 3 } else { 60 };
+        let boundaries_per_round = if cfg!(miri) { 5 } else { 80 };
+        for round in 0..rounds {
+            let mut idx = RegionIndex::new();
+            let n_regions = 1 + (round * 7) % 50;
+            for id in 0..n_regions {
+                idx.insert(id as u64, random_region(&mut rng));
+            }
+            for _ in 0..boundaries_per_round {
+                let b = random_boundary(&mut rng);
+                let mut out = Vec::new();
+                let mut stats = RegionMatchStats::default();
+                idx.matches(&b, &mut out, &mut stats);
+                assert_eq!(
+                    sorted(out),
+                    sorted(idx.matches_brute(&b)),
+                    "index diverged from brute force for {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_prunes_non_matching_cells() {
+        // 1000 deep-drop regions a shallow boundary cannot reach: the
+        // grid must test far fewer regions than the brute scan would.
+        let mut idx = RegionIndex::new();
+        for id in 0..1000 {
+            idx.insert(id, QueryRegion::drop(100.0, -64.0 - (id % 7) as f64));
+        }
+        idx.insert(9999, QueryRegion::drop(100.0, -0.5));
+        let b = Boundary::two(FeaturePoint::new(1.0, -0.2), FeaturePoint::new(9.0, -1.0));
+        let mut out = Vec::new();
+        let mut stats = RegionMatchStats::default();
+        idx.matches(&b, &mut out, &mut stats);
+        assert_eq!(out, vec![9999]);
+        assert!(
+            stats.regions_tested < 100,
+            "expected pruning, tested {} regions",
+            stats.regions_tested
+        );
+    }
+}

@@ -201,6 +201,34 @@ pub const METRICS: &[MetricDef] = &[
         "Alert-rule evaluation passes over internal series",
     ),
     MetricDef::counter("alert.fired", "Standing drop/jump alerts fired"),
+    // Standing queries (core::subscribe).
+    MetricDef::counter("subscribe.registered", "Standing queries registered"),
+    MetricDef::counter("subscribe.removed", "Standing queries unsubscribed"),
+    MetricDef::gauge("subscribe.active", "Standing queries currently registered"),
+    MetricDef::counter(
+        "subscribe.features_evaluated",
+        "Committed feature rows evaluated against the region index",
+    ),
+    MetricDef::counter(
+        "subscribe.regions_tested",
+        "Registered regions tested exactly (after grid pruning)",
+    ),
+    MetricDef::counter(
+        "subscribe.cells_visited",
+        "Region-index grid cells zone-tested per feature",
+    ),
+    MetricDef::counter(
+        "notify.delivered",
+        "Notifications published to subscription cursors",
+    ),
+    MetricDef::counter(
+        "notify.deduped",
+        "Matches suppressed by per-subscription pair dedup",
+    ),
+    MetricDef::counter(
+        "notify.dropped",
+        "Published notifications evicted from a bounded log",
+    ),
     // HTTP server (server).
     MetricDef::counter("server.accepted", "TCP connections accepted"),
     MetricDef::counter("server.rejected", "Connections shed with 503 (queue full)"),

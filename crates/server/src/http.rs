@@ -1,10 +1,11 @@
 //! Minimal HTTP/1.1 framing over blocking byte streams.
 //!
 //! Only the subset the query service needs: request/response lines,
-//! `Content-Length`-delimited bodies, and keep-alive. No chunked
-//! encoding, no multipart, no TLS. The same framing code serves both
-//! sides — the server parses [`Request`]s, the load generator parses
-//! responses — so a protocol bug cannot hide behind an asymmetric
+//! `Content-Length`-delimited bodies, keep-alive, and (for the standing
+//! query live feed) `Transfer-Encoding: chunked` responses. No
+//! multipart, no TLS. The same framing code serves both sides — the
+//! server parses [`Request`]s, the load generator and `segdiff watch`
+//! parse responses — so a protocol bug cannot hide behind an asymmetric
 //! implementation.
 
 use obs::json::Json;
@@ -306,6 +307,99 @@ impl Response {
     }
 }
 
+/// Starts a `Transfer-Encoding: chunked` response on `w`: status line
+/// and headers only. Bodies follow as [`write_chunk`] calls terminated
+/// by [`finish_chunks`]. Chunked responses always close the connection
+/// afterwards — a live feed has no framing-safe way back to keep-alive.
+pub fn write_chunked_head(w: &mut impl Write, status: u16, content_type: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+    );
+    w.write_all(head.as_bytes())?;
+    w.flush()
+}
+
+/// Writes one non-empty chunk (`<hex-size>\r\n<bytes>\r\n`) and flushes,
+/// so a streaming client sees the bytes immediately. Empty input is a
+/// no-op: a zero-length chunk would be the stream terminator.
+pub fn write_chunk(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", bytes.len())?;
+    w.write_all(bytes)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked body (`0\r\n\r\n`, no trailers).
+pub fn finish_chunks(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+/// Reads a chunked response's status line and headers, leaving `r`
+/// positioned at the first chunk for [`read_chunk`]. Returns the status
+/// and headers so the caller can check `Transfer-Encoding` itself.
+pub fn read_chunked_head(r: &mut impl BufRead) -> Result<(u16, Vec<(String, String)>), HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let line = match read_line_limited(r, &mut budget)? {
+        None => return Err(HttpError::Closed),
+        Some(l) => l,
+    };
+    let mut parts = line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty status line".into()))?;
+    if !version.starts_with("HTTP/") {
+        return Err(HttpError::Malformed(format!("bad status line: {line}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line: {line}")))?;
+    let headers = read_headers(r, &mut budget)?;
+    Ok((status, headers))
+}
+
+/// Reads one chunk from a chunked body. `Ok(None)` is the terminating
+/// zero-length chunk; [`HttpError::Closed`] means the peer hung up
+/// mid-stream (how a live feed ends on server shutdown).
+pub fn read_chunk(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let line = match read_line_limited(r, &mut budget)? {
+        None => return Err(HttpError::Closed),
+        Some(l) => l,
+    };
+    // Chunk extensions (`;`-separated) are allowed by the RFC; ignore them.
+    let size_str = line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_str, 16)
+        .map_err(|_| HttpError::Malformed(format!("bad chunk size: {line:?}")))?;
+    if size > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    if size == 0 {
+        // Trailer section: read lines until the blank terminator.
+        while let Some(l) = read_line_limited(r, &mut budget)? {
+            if l.is_empty() {
+                break;
+            }
+        }
+        return Ok(None);
+    }
+    let mut chunk = vec![0u8; size];
+    r.read_exact(&mut chunk)?;
+    let mut crlf = [0u8; 2];
+    r.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(HttpError::Malformed("chunk not CRLF-terminated".into()));
+    }
+    Ok(Some(chunk))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +473,37 @@ mod tests {
             Json::parse(std::str::from_utf8(&body).unwrap()).unwrap(),
             Json::obj([("ok", Json::Bool(true))])
         );
+    }
+
+    #[test]
+    fn chunked_stream_round_trips() {
+        let mut buf = Vec::new();
+        write_chunked_head(&mut buf, 200, "application/x-ndjson").unwrap();
+        write_chunk(&mut buf, b"{\"seq\":1}\n").unwrap();
+        write_chunk(&mut buf, b"").unwrap(); // no-op, not a terminator
+        write_chunk(&mut buf, b"{\"seq\":2}\n").unwrap();
+        finish_chunks(&mut buf).unwrap();
+
+        let mut r = BufReader::new(buf.as_slice());
+        let (status, headers) = read_chunked_head(&mut r).unwrap();
+        assert_eq!(status, 200);
+        assert!(headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v == "chunked"));
+        assert_eq!(read_chunk(&mut r).unwrap().unwrap(), b"{\"seq\":1}\n");
+        assert_eq!(read_chunk(&mut r).unwrap().unwrap(), b"{\"seq\":2}\n");
+        assert!(read_chunk(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn chunk_reader_rejects_garbage_and_reports_hangup() {
+        let mut r = BufReader::new(&b"zz\r\n"[..]);
+        assert!(matches!(read_chunk(&mut r), Err(HttpError::Malformed(_))));
+        let mut r = BufReader::new(&b""[..]);
+        assert!(matches!(read_chunk(&mut r), Err(HttpError::Closed)));
+        // Size line present but body truncated mid-chunk.
+        let mut r = BufReader::new(&b"a\r\nhalf"[..]);
+        assert!(matches!(read_chunk(&mut r), Err(HttpError::Io(_))));
     }
 
     #[test]

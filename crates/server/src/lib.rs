@@ -13,7 +13,10 @@
 //!   accept loop and the worker pool (`503` load-shedding when full);
 //! * [`service`] — the routes: `POST /query`, `GET /metrics`,
 //!   `GET /healthz`, `GET /series`, `GET /alerts`,
-//!   `GET /debug/traces`, `POST /shutdown`;
+//!   `GET /debug/traces`, `POST /shutdown`, plus the standing-query
+//!   surface: `POST /subscribe`, `GET /subscribe`,
+//!   `GET /notifications?sub=&after=`, `DELETE /subscribe/<id>`, and
+//!   the chunked live feed `GET /subscribe/<id>/stream`;
 //! * [`observer`] — self-observation: the background thread sampling
 //!   every registered metric into ring-buffered time series and feeding
 //!   them through the paper's own drop/jump detection as standing
@@ -41,7 +44,7 @@ pub use loadgen::{LoadReport, LoadgenConfig};
 pub use observer::{Observability, Observer};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig};
-pub use service::{Engine, QuerySpec, Service};
+pub use service::{Engine, QuerySpec, Service, SubscribeSpec};
 
 #[cfg(test)]
 mod e2e_tests {
@@ -454,6 +457,221 @@ mod e2e_tests {
         assert_eq!(status, 200);
 
         drop((a, b));
+        let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        handle.join().unwrap();
+    }
+
+    /// The standing-query surface end to end: register over HTTP, attach
+    /// a live ingest to the server's registry, ingest a planted drop,
+    /// and receive it through both delivery paths — the durable polling
+    /// cursor and the chunked live stream — then unsubscribe.
+    #[test]
+    fn standing_queries_subscribe_ingest_poll_and_stream() {
+        use super::http::{read_chunk, read_chunked_head, write_request};
+        use std::io::BufReader;
+        use std::net::TcpStream;
+
+        let dir = TempDir::new("subs");
+        let live_dir = TempDir::new("subs-live");
+        let idx = build_index(&dir.0);
+        let server = Server::bind(
+            "127.0.0.1:0",
+            idx,
+            ServerConfig {
+                threads: 4,
+                queue_depth: 32,
+                read_timeout: Duration::from_millis(250),
+                sample_period: Duration::from_millis(50),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let host = server.local_addr().to_string();
+        let subs = Arc::clone(&server.service().observability().subs);
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        // Register: the response echoes the stored subscription with id.
+        let body = r#"{"label":"deep","kind":"drop","v":-3.0,"t_hours":1.0,"sensors":[7]}"#;
+        let (status, resp) = fetch(&host, "POST", "/subscribe", Some(body)).unwrap();
+        assert_eq!(status, 200, "body: {resp}");
+        let doc = Json::parse(&resp).unwrap();
+        let sub_id = doc.get("id").and_then(Json::as_u64).unwrap();
+        assert_eq!(doc.get("label").and_then(Json::as_str), Some("deep"));
+
+        // It shows up in the listing.
+        let (status, resp) = fetch(&host, "GET", "/subscribe", None).unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(1));
+
+        // Before any ingest: the cursor exists but is empty.
+        let path = format!("/notifications?sub={sub_id}&after=0");
+        let (status, resp) = fetch(&host, "GET", &path, None).unwrap();
+        assert_eq!(status, 200, "body: {resp}");
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(0));
+
+        // A live ingest path shares the server's registry: a second
+        // index (sensor 7) pushes committed features into it.
+        let mut live = SegDiffIndex::create(&live_dir.0, SegDiffConfig::default()).unwrap();
+        live.attach_subscriptions(Arc::clone(&subs), 7);
+        let mut series = sensorgen::TimeSeries::new();
+        let mut v = 10.0;
+        for i in 0..200 {
+            let t = i as f64 * 300.0;
+            if (80..86).contains(&i) {
+                v -= 4.0 / 6.0; // a planted 4-degree drop over 30 min
+            }
+            series.push(t, v);
+        }
+        live.ingest_series(&series).unwrap();
+        live.finish().unwrap();
+
+        // The polling cursor delivers the planted drop.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let (first_seq, next_after) = loop {
+            let (status, resp) = fetch(&host, "GET", &path, None).unwrap();
+            assert_eq!(status, 200, "body: {resp}");
+            let doc = Json::parse(&resp).unwrap();
+            let notifications = doc.get("notifications").unwrap().as_array().unwrap();
+            if let Some(n) = notifications.iter().find(|n| {
+                n.get("t_d").and_then(Json::as_f64).unwrap() <= 25_800.0
+                    && n.get("t_a").and_then(Json::as_f64).unwrap() >= 24_000.0
+            }) {
+                assert_eq!(n.get("sensor").and_then(Json::as_u64), Some(7));
+                assert_eq!(n.get("kind").and_then(Json::as_str), Some("drop"));
+                assert!(n.get("committed_ms").and_then(Json::as_u64).unwrap() > 0);
+                break (
+                    n.get("seq").and_then(Json::as_u64).unwrap(),
+                    doc.get("next_after").and_then(Json::as_u64).unwrap(),
+                );
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "planted drop never arrived: {resp}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        assert!(first_seq >= 1 && next_after >= first_seq);
+
+        // Resuming past the cursor returns nothing new (exactly once).
+        let (status, resp) = fetch(
+            &host,
+            "GET",
+            &format!("/notifications?sub={sub_id}&after={next_after}"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(0), "{resp}");
+
+        // The live stream replays from seq 0 and terminates after max=1:
+        // hello line first, then the notification as an NDJSON chunk.
+        let stream = TcpStream::connect(&host).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_request(
+            &mut writer,
+            "GET",
+            &format!("/subscribe/{sub_id}/stream?after=0&max=1"),
+            &host,
+            None,
+        )
+        .unwrap();
+        let (status, headers) = read_chunked_head(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        assert!(headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v == "chunked"));
+        let hello = read_chunk(&mut reader).unwrap().unwrap();
+        let hello = Json::parse(std::str::from_utf8(&hello).unwrap().trim()).unwrap();
+        assert!(hello.get("stream").is_some(), "hello line: {hello:?}");
+        let mut lines = Vec::new();
+        while let Some(chunk) = read_chunk(&mut reader).unwrap() {
+            let text = String::from_utf8(chunk).unwrap();
+            lines.extend(text.lines().map(Json::parse).map(Result::unwrap));
+        }
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.get("seq").and_then(Json::as_u64) == Some(first_seq)),
+            "stream must replay the notification: {lines:?}"
+        );
+
+        // Streaming an unknown subscription is an ordinary 404.
+        let (status, resp) = fetch(&host, "GET", "/subscribe/999/stream", None).unwrap();
+        assert_eq!(status, 404, "body: {resp}");
+
+        // Unsubscribe; the cursor and the id are gone.
+        let (status, _) = fetch(&host, "DELETE", &format!("/subscribe/{sub_id}"), None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = fetch(&host, "GET", &path, None).unwrap();
+        assert_eq!(status, 404);
+
+        let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        handle.join().unwrap();
+    }
+
+    /// The PR 6 audit satellite: malformed or unknown query parameters
+    /// are structured JSON 400 bodies on every route, old and new.
+    #[test]
+    fn malformed_query_params_are_structured_400s_everywhere() {
+        let dir = TempDir::new("params");
+        let idx = build_index(&dir.0);
+        let (host, handle) = start_server(idx, 2);
+
+        let bad = [
+            ("GET", "/metrics?format=xml"),
+            ("GET", "/metrics?fmt=json"),
+            ("GET", "/healthz?verbose=1"),
+            ("GET", "/series?nam=x"),
+            ("GET", "/series?name"), // pair without '='
+            ("GET", "/alerts?after=soon"),
+            ("GET", "/alerts?since=0"),
+            ("GET", "/debug/traces?full=2"),
+            ("GET", "/debug/traces?ring=fast"),
+            ("GET", "/debug/traces?count=5"),
+            ("GET", "/notifications"), // missing sub
+            ("GET", "/notifications?sub=xyz"),
+            ("GET", "/notifications?sub=1&max=0"),
+            ("GET", "/notifications?sub=1&page=2"),
+            ("GET", "/subscribe?x=1"),
+            ("DELETE", "/subscribe/xyz"),
+        ];
+        for (method, target) in bad {
+            let (status, body) = fetch(&host, method, target, None).unwrap();
+            assert_eq!(status, 400, "{method} {target}: {body}");
+            let doc = Json::parse(&body)
+                .unwrap_or_else(|e| panic!("{method} {target}: non-JSON 400 body {body:?}: {e}"));
+            assert!(
+                doc.get("error").and_then(Json::as_str).is_some(),
+                "{method} {target}: 400 body must carry an error field: {body}"
+            );
+        }
+        // Bad subscription bodies too.
+        let (status, body) = fetch(
+            &host,
+            "POST",
+            "/subscribe",
+            Some(r#"{"kind":"drop","v":2.0,"t_hours":1.0}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(Json::parse(&body).unwrap().get("error").is_some());
+
+        // And the unknowns stay 404 with an error body.
+        for target in ["/notifications?sub=999", "/subscribe/999"] {
+            let (status, body) = fetch(&host, "GET", target, None).unwrap();
+            assert_eq!(status, 404, "{target}: {body}");
+            assert!(Json::parse(&body).unwrap().get("error").is_some());
+        }
+
         let (status, _) = fetch(&host, "POST", "/shutdown", None).unwrap();
         assert_eq!(status, 200);
         handle.join().unwrap();

@@ -15,6 +15,7 @@
 use obs::series::{SamplerState, SeriesStore, DEFAULT_SERIES_CAPACITY};
 use obs::tracering::TraceStore;
 use segdiff::alerts::{AlertEngine, AlertRuleSet, DEFAULT_ALERT_LOG_CAPACITY};
+use segdiff::SubscriptionRegistry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,6 +38,10 @@ pub struct Observability {
     pub alerts: Arc<AlertEngine>,
     /// Tail-sampling ring of recently finished requests.
     pub traces: Arc<TraceStore>,
+    /// Standing-query registry behind `POST /subscribe` and
+    /// `GET /notifications`; the observer thread publishes any staged
+    /// notifications every tick as a fallback to the ingest-path flush.
+    pub subs: Arc<SubscriptionRegistry>,
 }
 
 impl Observability {
@@ -50,6 +55,7 @@ impl Observability {
                 TRACE_SLOW_CAPACITY,
                 slow_trace,
             )),
+            subs: Arc::new(SubscriptionRegistry::default()),
         }
     }
 }
@@ -82,6 +88,7 @@ impl Observer {
         let stop = Arc::new(AtomicBool::new(false));
         let series = Arc::clone(&obsv.series);
         let alerts = Arc::clone(&obsv.alerts);
+        let subs = Arc::clone(&obsv.subs);
         let stop_flag = Arc::clone(&stop);
         let period = period.max(Duration::from_millis(10));
         let join = std::thread::Builder::new()
@@ -91,6 +98,10 @@ impl Observer {
                 while !stop_flag.load(Ordering::Acquire) {
                     let now = obs::unix_ms();
                     sampler.tick(obs::global(), &series, now);
+                    // Publish any notifications staged since the last
+                    // ingest-path flush, so a stalled ingest cannot hold
+                    // matched features out of the cursors indefinitely.
+                    subs.flush();
                     let fired = alerts.tick(&series, now);
                     for a in &fired {
                         obs::warn!(

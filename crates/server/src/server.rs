@@ -17,10 +17,12 @@
 //! worker has joined, so the caller can flush and print a final metrics
 //! snapshot knowing no query is still executing.
 
-use crate::http::{read_request, HttpError, Response};
+use crate::http::{finish_chunks, read_request, write_chunk, write_chunked_head};
+use crate::http::{HttpError, Request, Response};
 use crate::observer::{Observability, Observer};
 use crate::queue::{BoundedQueue, PushError};
-use crate::service::{Engine, Service};
+use crate::service::{check_query_params, parse_u64_param, Engine, Service};
+use obs::json::Json;
 use obs::Counter;
 use segdiff::alerts::AlertRuleSet;
 use std::io::{self, BufReader};
@@ -112,6 +114,13 @@ impl Server {
     /// A handle that makes the server drain and stop when set.
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
+    }
+
+    /// The service behind this server — e.g. to reach the standing-query
+    /// registry (`service().observability().subs`) so a live ingest path
+    /// can push committed features into it.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
     }
 
     /// Runs the accept loop on the calling thread until shutdown, then
@@ -254,6 +263,13 @@ fn handle_connection(
     loop {
         let outcome = match read_request(&mut reader) {
             Ok(req) => {
+                // A live-feed request takes over the socket: the
+                // response is an open-ended chunked stream, so the
+                // connection never re-enters the keep-alive loop.
+                if let Some(sub_id) = Service::stream_target(&req) {
+                    serve_stream(service, &mut writer, &req, shutdown, sub_id);
+                    return;
+                }
                 let mut resp = service.handle(&req);
                 // The request in flight finishes; the connection does not
                 // outlive a shutdown.
@@ -307,6 +323,107 @@ fn handle_connection(
                 Err(PushError::Closed(_)) => return,
             }
         }
+    }
+}
+
+/// How often the live feed polls the registry for fresh notifications.
+const STREAM_POLL: Duration = Duration::from_millis(25);
+
+/// Idle live-feed connections get a heartbeat line this often, so a
+/// silent sensor still produces traffic and a dead client is detected
+/// by the write failing.
+const STREAM_HEARTBEAT: Duration = Duration::from_millis(1000);
+
+/// `GET /subscribe/<id>/stream` — the chunked live notification feed.
+///
+/// Writes one NDJSON line per notification as chunks on a
+/// `Transfer-Encoding: chunked` response, starting from `?after=`
+/// (default: only notifications published from now on). The stream ends
+/// cleanly (zero-length chunk) on server shutdown, on unsubscribe, or
+/// after `?max=` notifications; it ends abruptly when the client goes
+/// away and a write fails. The worker thread is occupied for the
+/// stream's lifetime — live feeds are for watchers, not for fan-out;
+/// polling `GET /notifications` scales to many consumers.
+fn serve_stream(
+    service: &Service,
+    w: &mut TcpStream,
+    req: &Request,
+    shutdown: &AtomicBool,
+    sub_id: u64,
+) {
+    let registry = Arc::clone(&service.observability().subs);
+    if let Err(e) = check_query_params(req, &["after", "max"]) {
+        let _ = Response::error(400, e).with_close().write_to(w);
+        return;
+    }
+    let Some(sub) = registry.subscription(sub_id) else {
+        let _ = Response::error(404, format!("no subscription {sub_id}"))
+            .with_close()
+            .write_to(w);
+        return;
+    };
+    // Default to "from now": everything already published is the
+    // polling cursor's job; the live feed is about what happens next.
+    let mut cursor = match parse_u64_param(req, "after", registry.last_seq(sub_id).unwrap_or(0)) {
+        Ok(n) => n,
+        Err(e) => {
+            let _ = Response::error(400, e).with_close().write_to(w);
+            return;
+        }
+    };
+    let max = match parse_u64_param(req, "max", 0) {
+        Ok(n) => n, // 0 = unbounded
+        Err(e) => {
+            let _ = Response::error(400, e).with_close().write_to(w);
+            return;
+        }
+    };
+    if write_chunked_head(w, 200, "application/x-ndjson").is_err() {
+        return;
+    }
+    // First line: what the stream is serving and where it starts, so a
+    // client can resume over `GET /notifications` after a disconnect.
+    let hello = Json::obj([("stream", sub.to_json()), ("after", Json::from(cursor))]);
+    if write_chunk(w, format!("{}\n", hello.to_string_compact()).as_bytes()).is_err() {
+        return;
+    }
+    let mut delivered = 0u64;
+    let mut last_write = std::time::Instant::now();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            let _ = finish_chunks(w);
+            return;
+        }
+        let Some((batch, next)) = registry.since(sub_id, cursor, 256) else {
+            // Unsubscribed mid-stream: end cleanly.
+            let _ = finish_chunks(w);
+            return;
+        };
+        cursor = next;
+        for n in &batch {
+            if write_chunk(
+                w,
+                format!("{}\n", n.to_json().to_string_compact()).as_bytes(),
+            )
+            .is_err()
+            {
+                return;
+            }
+            last_write = std::time::Instant::now();
+            delivered += 1;
+            if max > 0 && delivered >= max {
+                let _ = finish_chunks(w);
+                return;
+            }
+        }
+        if batch.is_empty() && last_write.elapsed() >= STREAM_HEARTBEAT {
+            let beat = Json::obj([("heartbeat", Json::from(obs::unix_ms()))]);
+            if write_chunk(w, format!("{}\n", beat.to_string_compact()).as_bytes()).is_err() {
+                return;
+            }
+            last_write = std::time::Instant::now();
+        }
+        std::thread::sleep(STREAM_POLL);
     }
 }
 

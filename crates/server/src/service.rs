@@ -255,6 +255,105 @@ impl QuerySpec {
     }
 }
 
+/// A validated `POST /subscribe` request body: the standing query's
+/// `(V, T)` region plus an optional label and sensor restriction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscribeSpec {
+    /// Caller-supplied label echoed in listings (default empty).
+    pub label: String,
+    /// `"drop"` or `"jump"`.
+    pub kind: String,
+    /// Value threshold `V` (negative for drops, positive for jumps).
+    pub v: f64,
+    /// Time threshold `T` in hours.
+    pub t_hours: f64,
+    /// Sensors the subscription watches; empty means all.
+    pub sensors: Vec<u32>,
+}
+
+impl SubscribeSpec {
+    /// Parses and validates a JSON body with the same rigor as
+    /// [`QuerySpec::from_json`]: every constraint the checked
+    /// [`featurespace::QueryRegion`] constructors would `assert!` becomes
+    /// a `400` here.
+    pub fn from_json(body: &str) -> Result<SubscribeSpec, String> {
+        let doc = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing field: kind (\"drop\" or \"jump\")")?
+            .to_string();
+        if kind != "drop" && kind != "jump" {
+            return Err(format!("kind must be \"drop\" or \"jump\", got {kind:?}"));
+        }
+        let v = doc
+            .get("v")
+            .and_then(Json::as_f64)
+            .ok_or("missing field: v (number)")?;
+        let t_hours = match doc.get("t_hours").and_then(Json::as_f64) {
+            Some(h) => h,
+            None => {
+                doc.get("t_seconds")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing field: t_hours (number)")?
+                    / HOUR
+            }
+        };
+        if !t_hours.is_finite() || t_hours <= 0.0 {
+            return Err(format!(
+                "t_hours must be positive and finite, got {t_hours}"
+            ));
+        }
+        if kind == "drop" && !(v.is_finite() && v < 0.0) {
+            return Err(format!("v must be negative for a drop search, got {v}"));
+        }
+        if kind == "jump" && !(v.is_finite() && v > 0.0) {
+            return Err(format!("v must be positive for a jump search, got {v}"));
+        }
+        let label = doc
+            .get("label")
+            .map(|l| {
+                l.as_str()
+                    .map(|s| s.to_string())
+                    .ok_or("label must be a string")
+            })
+            .transpose()?
+            .unwrap_or_default();
+        let sensors = match doc.get("sensors") {
+            None => Vec::new(),
+            Some(Json::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let id = item
+                        .as_u64()
+                        .filter(|&n| n <= u64::from(u32::MAX))
+                        .ok_or("sensors must be an array of non-negative sensor ids")?;
+                    out.push(id as u32);
+                }
+                out
+            }
+            Some(_) => return Err("sensors must be an array of sensor ids".to_string()),
+        };
+        Ok(SubscribeSpec {
+            label,
+            kind,
+            v,
+            t_hours,
+            sensors,
+        })
+    }
+
+    /// The validated region (safe: `from_json` already enforced the
+    /// constructor preconditions).
+    pub fn region(&self) -> featurespace::QueryRegion {
+        if self.kind == "drop" {
+            featurespace::QueryRegion::drop(self.t_hours * HOUR, self.v)
+        } else {
+            featurespace::QueryRegion::jump(self.t_hours * HOUR, self.v)
+        }
+    }
+}
+
 /// Parses a `/series` window parameter: plain seconds (`"90"`) or a
 /// number with an `s`/`m`/`h` suffix (`"90s"`, `"5m"`, `"2h"`).
 fn parse_window(raw: &str) -> Result<Duration, String> {
@@ -269,6 +368,41 @@ fn parse_window(raw: &str) -> Result<Duration, String> {
         _ => Err(format!(
             "window must be a positive duration like 90, 90s, 5m or 2h, got {raw:?}"
         )),
+    }
+}
+
+/// Uniform query-string validation: every pair must be `key=value` with
+/// a key in `allowed`. Routes apply this before doing any work, so a
+/// typo'd or unsupported parameter is a structured `400` on every route
+/// rather than silently ignored on some and rejected on others.
+pub(crate) fn check_query_params(req: &Request, allowed: &[&str]) -> Result<(), String> {
+    for pair in req.query.split('&').filter(|p| !p.is_empty()) {
+        let Some((key, _)) = pair.split_once('=') else {
+            return Err(format!(
+                "malformed query parameter {pair:?} (expected key=value)"
+            ));
+        };
+        if !allowed.contains(&key) {
+            return Err(if allowed.is_empty() {
+                format!("unknown query parameter {key:?} (route takes none)")
+            } else {
+                format!(
+                    "unknown query parameter {key:?} (allowed: {})",
+                    allowed.join(", ")
+                )
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Parses an optional unsigned query parameter, with a default.
+pub(crate) fn parse_u64_param(req: &Request, key: &str, default: u64) -> Result<u64, String> {
+    match req.query_param(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("{key} must be a non-negative integer, got {raw:?}")),
     }
 }
 
@@ -351,15 +485,21 @@ impl Service {
         let (resp, root) = match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/query") => self.query(req, trace_id),
             ("GET", "/metrics") => (self.metrics_dump(req), None),
-            ("GET", "/healthz") => (self.healthz(), None),
+            ("GET", "/healthz") => (self.healthz(req), None),
             ("GET", "/series") => (self.series_dump(req), None),
-            ("GET", "/alerts") => (self.alerts_dump(), None),
+            ("GET", "/alerts") => (self.alerts_dump(req), None),
             ("GET", "/debug/traces") => (self.traces_dump(req), None),
+            ("POST", "/subscribe") => (self.subscribe_create(req), None),
+            ("GET", "/subscribe") => (self.subscribe_list(req), None),
+            ("GET", "/notifications") => (self.notifications(req), None),
             ("POST", "/shutdown") => (self.initiate_shutdown(), None),
+            (method, path) if path.starts_with("/subscribe/") => {
+                (self.subscribe_item(method, path), None)
+            }
             (
                 _,
                 "/query" | "/metrics" | "/healthz" | "/series" | "/alerts" | "/debug/traces"
-                | "/shutdown",
+                | "/subscribe" | "/notifications" | "/shutdown",
             ) => (
                 Response::error(405, format!("method {} not allowed", req.method)),
                 None,
@@ -392,7 +532,16 @@ impl Service {
         resp
     }
 
+    /// A structured `400`, counted in `server.bad_requests`.
+    fn bad_request(&self, message: String) -> Response {
+        self.metrics.bad_requests.inc();
+        Response::error(400, message)
+    }
+
     fn query(&self, req: &Request, trace_id: u64) -> (Response, Option<TraceNode>) {
+        if let Err(e) = check_query_params(req, &[]) {
+            return (self.bad_request(e), None);
+        }
         let body = match req.body_str() {
             Ok(b) => b,
             Err(e) => {
@@ -470,14 +619,19 @@ impl Service {
     }
 
     fn metrics_dump(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &["format"]) {
+            return self.bad_request(e);
+        }
         let snapshot = obs::global().snapshot();
-        if req.query_param("format") == Some("json") {
-            Response::text(
+        match req.query_param("format") {
+            Some("json") => Response::text(
                 200,
                 obs::export::JsonLinesExporter::default().export(&snapshot),
-            )
-        } else {
-            Response::text(200, obs::export::TextExporter.export(&snapshot))
+            ),
+            None | Some("text") => Response::text(200, obs::export::TextExporter.export(&snapshot)),
+            Some(other) => self.bad_request(format!(
+                "format must be \"text\" or \"json\", got {other:?}"
+            )),
         }
     }
 
@@ -485,6 +639,9 @@ impl Service {
     /// parameter, lists the sampled series; with one, returns the points
     /// inside `window` (e.g. `60s`, `5m`, `2h`; default the whole ring).
     fn series_dump(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &["name", "window"]) {
+            return self.bad_request(e);
+        }
         let store = &self.observability.series;
         let Some(name) = req.query_param("name") else {
             let names = store.names();
@@ -538,8 +695,18 @@ impl Service {
     }
 
     /// `GET /alerts` — the standing rules and the bounded log of alerts
-    /// they have fired, oldest first.
-    fn alerts_dump(&self) -> Response {
+    /// they have fired, oldest first. `?after=N` returns only alerts
+    /// with sequence number > N (the polling cursor `segdiff alerts
+    /// --follow` rides on); each alert then carries its `seq` and the
+    /// response a `next_after` to resume from.
+    fn alerts_dump(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &["after"]) {
+            return self.bad_request(e);
+        }
+        let after = match parse_u64_param(req, "after", 0) {
+            Ok(n) => n,
+            Err(e) => return self.bad_request(e),
+        };
         let engine = &self.observability.alerts;
         let rules: Vec<Json> = engine
             .rules()
@@ -556,15 +723,28 @@ impl Service {
                 ])
             })
             .collect();
-        let alerts = engine.alerts();
+        let alerts = engine.alerts_since(after);
+        let next_after = alerts.last().map(|(seq, _)| *seq).unwrap_or(after);
         Response::json(
             200,
             &Json::obj([
                 ("rules", Json::Array(rules)),
                 ("fired", Json::from(alerts.len() as u64)),
+                ("next_after", Json::from(next_after)),
                 (
                     "alerts",
-                    Json::Array(alerts.iter().map(|a| a.to_json()).collect()),
+                    Json::Array(
+                        alerts
+                            .iter()
+                            .map(|(seq, a)| {
+                                let mut obj = a.to_json();
+                                if let Json::Object(fields) = &mut obj {
+                                    fields.insert(0, ("seq".to_string(), Json::from(*seq)));
+                                }
+                                obj
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
         )
@@ -575,6 +755,9 @@ impl Service {
     /// `?n=` bounds the count (default 20), `?full=1` includes span
     /// trees.
     fn traces_dump(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &["n", "ring", "full"]) {
+            return self.bad_request(e);
+        }
         let store = &self.observability.traces;
         let n = match req.query_param("n") {
             None => 20,
@@ -601,7 +784,13 @@ impl Service {
                 );
             }
         };
-        let full = req.query_param("full") == Some("1");
+        let full = match req.query_param("full") {
+            None | Some("0") => false,
+            Some("1") => true,
+            Some(other) => {
+                return self.bad_request(format!("full must be \"0\" or \"1\", got {other:?}"));
+            }
+        };
         Response::json(
             200,
             &Json::obj([
@@ -630,7 +819,175 @@ impl Service {
         )
     }
 
-    fn healthz(&self) -> Response {
+    /// `POST /subscribe` — register a standing query. The body is a
+    /// [`SubscribeSpec`]; the response echoes the stored subscription,
+    /// including the `id` used by `GET /notifications?sub=` and
+    /// `GET /subscribe/<id>/stream`.
+    fn subscribe_create(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &[]) {
+            return self.bad_request(e);
+        }
+        let body = match req.body_str() {
+            Ok(b) => b,
+            Err(e) => return self.bad_request(e.to_string()),
+        };
+        let spec = match SubscribeSpec::from_json(body) {
+            Ok(s) => s,
+            Err(e) => return self.bad_request(e),
+        };
+        let sub = self.observability.subs.subscribe(
+            &spec.label,
+            spec.region(),
+            &spec.sensors,
+            obs::unix_ms(),
+        );
+        Response::json(200, &sub.to_json())
+    }
+
+    /// `GET /subscribe` — every registered subscription plus the
+    /// per-sensor event-frequency characterization (events observed and
+    /// the expected rate per hour over the observed span).
+    fn subscribe_list(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &[]) {
+            return self.bad_request(e);
+        }
+        let registry = &self.observability.subs;
+        let subs = registry.subscriptions();
+        let sensors: Vec<Json> = registry
+            .sensor_stats()
+            .iter()
+            .map(|(sensor, f)| {
+                Json::obj([
+                    ("sensor", Json::from(u64::from(*sensor))),
+                    ("events", Json::from(f.events)),
+                    ("first_ms", Json::from(f.first_ms)),
+                    ("last_ms", Json::from(f.last_ms)),
+                    ("expected_per_hour", Json::Float(f.expected_per_hour())),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            &Json::obj([
+                ("count", Json::from(subs.len() as u64)),
+                (
+                    "subscriptions",
+                    Json::Array(subs.iter().map(|s| s.to_json()).collect()),
+                ),
+                ("sensors", Json::Array(sensors)),
+            ]),
+        )
+    }
+
+    /// `GET /notifications?sub=<id>` — the durable polling cursor.
+    /// Returns notifications with sequence number > `after` (default 0,
+    /// i.e. everything retained), at most `max` (default 100), plus a
+    /// `next_after` to resume from.
+    fn notifications(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &["sub", "after", "max"]) {
+            return self.bad_request(e);
+        }
+        let sub = match req.query_param("sub") {
+            None => return self.bad_request("missing query parameter \"sub\"".to_string()),
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    return self.bad_request(format!("sub must be a subscription id, got {raw:?}"));
+                }
+            },
+        };
+        let after = match parse_u64_param(req, "after", 0) {
+            Ok(n) => n,
+            Err(e) => return self.bad_request(e),
+        };
+        let max = match parse_u64_param(req, "max", 100) {
+            Ok(n) if (1..=1000).contains(&n) => n as usize,
+            Ok(n) => return self.bad_request(format!("max must be in 1..=1000, got {n}")),
+            Err(e) => return self.bad_request(e),
+        };
+        match self.observability.subs.since(sub, after, max) {
+            None => Response::error(404, format!("no subscription {sub}")),
+            Some((items, next_after)) => Response::json(
+                200,
+                &Json::obj([
+                    ("sub", Json::from(sub)),
+                    ("count", Json::from(items.len() as u64)),
+                    ("next_after", Json::from(next_after)),
+                    (
+                        "notifications",
+                        Json::Array(items.iter().map(|n| n.to_json()).collect()),
+                    ),
+                ]),
+            ),
+        }
+    }
+
+    /// Routes `/subscribe/<id>` (GET one, DELETE to unsubscribe) and the
+    /// `/subscribe/<id>/stream` tail. The stream variant is intercepted
+    /// by the connection handler before [`Service::handle`] (it takes
+    /// over the socket for a chunked live feed); reaching it here means
+    /// the transport cannot stream.
+    fn subscribe_item(&self, method: &str, path: &str) -> Response {
+        let rest = &path["/subscribe/".len()..];
+        if let Some(id_raw) = rest.strip_suffix("/stream") {
+            return if method == "GET" && id_raw.parse::<u64>().is_ok() {
+                Response::error(
+                    400,
+                    "the stream endpoint requires a dedicated streaming connection",
+                )
+            } else if method == "GET" {
+                self.bad_request(format!(
+                    "subscription id must be an integer, got {id_raw:?}"
+                ))
+            } else {
+                Response::error(405, format!("method {method} not allowed"))
+            };
+        }
+        let id = match rest.parse::<u64>() {
+            Ok(id) => id,
+            Err(_) => {
+                return self
+                    .bad_request(format!("subscription id must be an integer, got {rest:?}"))
+            }
+        };
+        match method {
+            "GET" => match self.observability.subs.subscription(id) {
+                Some(sub) => Response::json(200, &sub.to_json()),
+                None => Response::error(404, format!("no subscription {id}")),
+            },
+            "DELETE" => {
+                if self.observability.subs.unsubscribe(id) {
+                    Response::json(
+                        200,
+                        &Json::obj([
+                            ("status", Json::from("unsubscribed")),
+                            ("id", Json::from(id)),
+                        ]),
+                    )
+                } else {
+                    Response::error(404, format!("no subscription {id}"))
+                }
+            }
+            other => Response::error(405, format!("method {other} not allowed")),
+        }
+    }
+
+    /// The subscription id when `req` is `GET /subscribe/<id>/stream` —
+    /// the connection handler checks this before dispatching to
+    /// [`Service::handle`] and, on a hit, takes over the socket for a
+    /// chunked live notification feed.
+    pub fn stream_target(req: &Request) -> Option<u64> {
+        if req.method != "GET" {
+            return None;
+        }
+        let rest = req.path.strip_prefix("/subscribe/")?;
+        rest.strip_suffix("/stream")?.parse().ok()
+    }
+
+    fn healthz(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &[]) {
+            return self.bad_request(e);
+        }
         Response::json(
             200,
             &Json::obj([
@@ -683,6 +1040,65 @@ mod tests {
         let r = s.region();
         assert_eq!(r.v, 1.5);
         assert_eq!(r.t, 0.5 * HOUR);
+    }
+
+    #[test]
+    fn parses_subscribe_spec() {
+        let s = SubscribeSpec::from_json(
+            r#"{"label":"canyon","kind":"drop","v":-3,"t_hours":1,"sensors":[0,2]}"#,
+        )
+        .unwrap();
+        assert_eq!(s.label, "canyon");
+        assert_eq!(s.sensors, vec![0, 2]);
+        let r = s.region();
+        assert_eq!(r.v, -3.0);
+        assert_eq!(r.t, HOUR);
+
+        let s = SubscribeSpec::from_json(r#"{"kind":"jump","v":2,"t_seconds":1800}"#).unwrap();
+        assert!(s.label.is_empty());
+        assert!(s.sensors.is_empty(), "no sensors means all sensors");
+        assert_eq!(s.t_hours, 0.5);
+    }
+
+    #[test]
+    fn rejects_invalid_subscribe_specs() {
+        for body in [
+            "not json",
+            "{}",
+            r#"{"kind":"drop","v":1,"t_hours":1}"#,
+            r#"{"kind":"jump","v":-1,"t_hours":1}"#,
+            r#"{"kind":"drop","v":-1,"t_hours":0}"#,
+            r#"{"kind":"drop","v":-1,"t_hours":1,"sensors":7}"#,
+            r#"{"kind":"drop","v":-1,"t_hours":1,"sensors":[-1]}"#,
+            r#"{"kind":"drop","v":-1,"t_hours":1,"label":7}"#,
+        ] {
+            assert!(SubscribeSpec::from_json(body).is_err(), "accepted: {body}");
+        }
+    }
+
+    fn get(path_and_query: &str) -> crate::http::Request {
+        let raw = format!("GET {path_and_query} HTTP/1.1\r\n\r\n");
+        crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn query_param_checks_reject_unknown_and_malformed() {
+        let req = get("/series?name=x&window=5m");
+        assert!(check_query_params(&req, &["name", "window"]).is_ok());
+        let req = get("/series?nam=x");
+        assert!(check_query_params(&req, &["name", "window"]).is_err());
+        let req = get("/series?name");
+        assert!(check_query_params(&req, &["name", "window"]).is_err());
+        let req = get("/healthz");
+        assert!(check_query_params(&req, &[]).is_ok());
+    }
+
+    #[test]
+    fn stream_targets_are_recognized() {
+        assert_eq!(Service::stream_target(&get("/subscribe/7/stream")), Some(7));
+        assert_eq!(Service::stream_target(&get("/subscribe/7")), None);
+        assert_eq!(Service::stream_target(&get("/subscribe/x/stream")), None);
+        assert_eq!(Service::stream_target(&get("/notifications")), None);
     }
 
     #[test]
