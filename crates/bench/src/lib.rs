@@ -6,6 +6,7 @@
 //! same code paths so `cargo bench` stays fast.
 
 pub mod alertsmoke;
+pub mod clustersmoke;
 pub mod experiments;
 pub mod harness;
 pub mod report;

@@ -15,8 +15,15 @@ usage:
   segdiff metrics  --index DIR [--json]
   segdiff sql      --index DIR \"SELECT ...\"
   segdiff serve    --index DIR [--port P] [--threads N] [--queue-depth Q]
-                   [--all-sensors] [--json] [--sample-ms MS] [--slow-ms MS]
-                   [--alert-rules FILE]
+                   [--all-sensors] [--sensors 1,2,...] [--json]
+                   [--sample-ms MS] [--slow-ms MS] [--alert-rules FILE]
+  segdiff serve    --index DIR --replica-of http://HOST:PORT [--port P]
+                   [--threads N] [--poll-ms MS] [--json]
+  segdiff router   --shard PRIMARY[,REPLICA] [--shard ...] [--port P]
+                   [--threads N] [--queue-depth Q] [--health-interval-ms MS]
+                   [--json]
+  segdiff cluster  --index DIR --shards N [--print-plan] [--port P]
+                   [--threads N] [--json]
   segdiff loadgen  --url http://HOST:PORT [--concurrency N] [--duration-secs S]
                    [--kind drop|jump] [--v V] [--t-hours H] [--guard FILE]
   segdiff alerts   --url http://HOST:PORT [--json] [--follow] [--after N]
@@ -129,6 +136,15 @@ pub enum Command {
         /// Serve a transect root (every `sensor-<k>/` index) instead of
         /// a single-sensor index.
         all_sensors: bool,
+        /// Restrict a transect root to these global sensor ids — how a
+        /// cluster shard serves its ring slice (requires --all-sensors).
+        sensors: Vec<u32>,
+        /// Run as a warm replica of this primary (`http://host:port`):
+        /// bootstrap `--index` as the replica root, tail the primary's
+        /// WAL, and serve reads with role "replica".
+        replica_of: Option<String>,
+        /// Replica tail-poll interval in milliseconds.
+        poll_ms: u64,
         /// Emit the final telemetry snapshot as JSON lines.
         json: bool,
         /// Self-observation sampling period in milliseconds.
@@ -139,6 +155,38 @@ pub enum Command {
         /// Alert-rules TOML file (defaults to the built-in rules, which
         /// mirror `ci/alert-rules.toml`).
         alert_rules: Option<PathBuf>,
+    },
+    /// Run the cluster front-end: consistent-hash routing and
+    /// scatter-gather over shard servers.
+    Router {
+        /// TCP port (0 picks an ephemeral port).
+        port: u16,
+        /// Worker threads.
+        threads: usize,
+        /// Bounded accept-queue depth.
+        queue_depth: usize,
+        /// One `PRIMARY[,REPLICA]` spec per shard, in ring order.
+        shards: Vec<String>,
+        /// Health-probe interval in milliseconds (failover latency).
+        health_interval_ms: u64,
+        /// Emit the final telemetry snapshot as JSON lines.
+        json: bool,
+    },
+    /// One-process cluster quickstart (N shard servers + a router), or
+    /// print the ring's sensor assignment with --print-plan.
+    Cluster {
+        /// Transect root directory.
+        index: PathBuf,
+        /// Number of shards to partition the sensors over.
+        shards: usize,
+        /// Print the sensor→shard assignment as JSON and exit.
+        print_plan: bool,
+        /// Router TCP port (shards always bind ephemeral ports).
+        port: u16,
+        /// Worker threads per shard server and for the router.
+        threads: usize,
+        /// Emit the final telemetry snapshot as JSON lines.
+        json: bool,
     },
     /// Drive a running server with a closed-loop load generator.
     Loadgen {
@@ -221,6 +269,22 @@ pub enum Command {
     },
 }
 
+/// Parses a `--sensors 1,2,3` comma list (None or blanks allowed).
+fn parse_sensor_list(csv: Option<&str>) -> Result<Vec<u32>, String> {
+    match csv {
+        None => Ok(Vec::new()),
+        Some(s) => s
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| {
+                p.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("--sensors: {p:?} is not a sensor id"))
+            })
+            .collect(),
+    }
+}
+
 fn take_value<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
     *i += 1;
     argv.get(*i)
@@ -270,6 +334,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut sub_id: Option<u64> = None;
     let mut list = false;
     let mut delete: Option<u64> = None;
+    let mut replica_of: Option<String> = None;
+    let mut poll_ms = 200u64;
+    let mut shard_specs: Vec<String> = Vec::new();
+    let mut shard_count: Option<usize> = None;
+    let mut health_interval_ms = 500u64;
+    let mut print_plan = false;
 
     let mut i = 1;
     while i < argv.len() {
@@ -396,6 +466,28 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         .map_err(|_| "--sub must be an integer")?,
                 )
             }
+            "--replica-of" => {
+                replica_of = Some(take_value(argv, &mut i, "--replica-of")?.to_string())
+            }
+            "--poll-ms" => {
+                poll_ms = take_value(argv, &mut i, "--poll-ms")?
+                    .parse()
+                    .map_err(|_| "--poll-ms must be an integer")?
+            }
+            "--shard" => shard_specs.push(take_value(argv, &mut i, "--shard")?.to_string()),
+            "--shards" => {
+                shard_count = Some(
+                    take_value(argv, &mut i, "--shards")?
+                        .parse()
+                        .map_err(|_| "--shards must be an integer")?,
+                )
+            }
+            "--health-interval-ms" => {
+                health_interval_ms = take_value(argv, &mut i, "--health-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--health-interval-ms must be an integer")?
+            }
+            "--print-plan" => print_plan = true,
             "--list" => list = true,
             "--delete" => {
                 delete = Some(
@@ -485,16 +577,67 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if sample_ms == 0 {
                 return Err("--sample-ms must be at least 1".into());
             }
+            if poll_ms == 0 {
+                return Err("--poll-ms must be at least 1".into());
+            }
+            let sensors = parse_sensor_list(sensors.as_deref())?;
+            if !sensors.is_empty() && !all_sensors {
+                return Err("--sensors restricts a transect root; add --all-sensors".into());
+            }
+            if replica_of.is_some() && (all_sensors || !sensors.is_empty()) {
+                return Err("--replica-of mirrors whatever the primary serves; \
+                            it cannot be combined with --all-sensors or --sensors"
+                    .into());
+            }
             Ok(Command::Serve {
                 index: index.ok_or("serve needs --index")?,
                 port,
                 threads,
                 queue_depth: queue_depth.max(1),
                 all_sensors,
+                sensors,
+                replica_of,
+                poll_ms,
                 json,
                 sample_ms,
                 slow_ms,
                 alert_rules,
+            })
+        }
+        "router" => {
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            if health_interval_ms == 0 {
+                return Err("--health-interval-ms must be at least 1".into());
+            }
+            if shard_specs.is_empty() {
+                return Err("router needs at least one --shard PRIMARY[,REPLICA]".into());
+            }
+            Ok(Command::Router {
+                port,
+                threads,
+                queue_depth: queue_depth.max(1),
+                shards: shard_specs,
+                health_interval_ms,
+                json,
+            })
+        }
+        "cluster" => {
+            let shards = shard_count.ok_or("cluster needs --shards N")?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(Command::Cluster {
+                index: index.ok_or("cluster needs --index")?,
+                shards,
+                print_plan,
+                port,
+                threads,
+                json,
             })
         }
         "loadgen" => {
@@ -581,18 +724,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !(t_hours.is_finite() && t_hours > 0.0) {
                 return Err("--t-hours must be positive".into());
             }
-            let sensors = match sensors {
-                None => Vec::new(),
-                Some(s) => s
-                    .split(',')
-                    .filter(|p| !p.trim().is_empty())
-                    .map(|p| {
-                        p.trim()
-                            .parse::<u32>()
-                            .map_err(|_| format!("--sensors: {p:?} is not a sensor id"))
-                    })
-                    .collect::<Result<Vec<u32>, String>>()?,
-            };
+            let sensors = parse_sensor_list(sensors.as_deref())?;
             Ok(Command::Subscribe {
                 url,
                 list: false,
@@ -766,6 +898,9 @@ mod tests {
                 threads: 8,
                 queue_depth: 64,
                 all_sensors: false,
+                sensors: Vec::new(),
+                replica_of: None,
+                poll_ms: 200,
                 json: false,
                 sample_ms: 500,
                 slow_ms: 25,
@@ -785,6 +920,9 @@ mod tests {
                 threads: 2,
                 queue_depth: 4,
                 all_sensors: false,
+                sensors: Vec::new(),
+                replica_of: None,
+                poll_ms: 200,
                 json: true,
                 sample_ms: 100,
                 slow_ms: 5,
@@ -794,6 +932,100 @@ mod tests {
         assert!(parse(&argv("serve")).is_err());
         assert!(parse(&argv("serve --index d --threads 0")).is_err());
         assert!(parse(&argv("serve --index d --sample-ms 0")).is_err());
+    }
+
+    #[test]
+    fn parses_shard_serve() {
+        match parse(&argv("serve --index d --all-sensors --sensors 3,7,11")).unwrap() {
+            Command::Serve {
+                all_sensors,
+                sensors,
+                ..
+            } => {
+                assert!(all_sensors);
+                assert_eq!(sensors, vec![3, 7, 11]);
+            }
+            _ => panic!(),
+        }
+        // A sensor slice only makes sense over a transect root.
+        assert!(parse(&argv("serve --index d --sensors 1,2")).is_err());
+        assert!(parse(&argv("serve --index d --all-sensors --sensors x")).is_err());
+    }
+
+    #[test]
+    fn parses_replica_serve() {
+        match parse(&argv(
+            "serve --index r --replica-of http://h:1 --poll-ms 50",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                replica_of,
+                poll_ms,
+                ..
+            } => {
+                assert_eq!(replica_of.as_deref(), Some("http://h:1"));
+                assert_eq!(poll_ms, 50);
+            }
+            _ => panic!(),
+        }
+        // A replica mirrors the primary's sensor set; slicing it is a
+        // contradiction.
+        assert!(parse(&argv("serve --index r --replica-of u --all-sensors")).is_err());
+        assert!(parse(&argv("serve --index r --replica-of u --sensors 1")).is_err());
+        assert!(parse(&argv("serve --index r --replica-of u --poll-ms 0")).is_err());
+    }
+
+    #[test]
+    fn parses_router() {
+        assert_eq!(
+            parse(&argv(
+                "router --shard 127.0.0.1:7001,127.0.0.1:8001 --shard 127.0.0.1:7002 \
+                 --port 7900 --health-interval-ms 100 --json"
+            ))
+            .unwrap(),
+            Command::Router {
+                port: 7900,
+                threads: 8,
+                queue_depth: 64,
+                shards: vec![
+                    "127.0.0.1:7001,127.0.0.1:8001".into(),
+                    "127.0.0.1:7002".into(),
+                ],
+                health_interval_ms: 100,
+                json: true,
+            }
+        );
+        assert!(parse(&argv("router")).is_err(), "needs at least one shard");
+        assert!(parse(&argv("router --shard h:1 --health-interval-ms 0")).is_err());
+        assert!(parse(&argv("router --shard h:1 --threads 0")).is_err());
+    }
+
+    #[test]
+    fn parses_cluster() {
+        assert_eq!(
+            parse(&argv("cluster --index d --shards 4 --port 7900")).unwrap(),
+            Command::Cluster {
+                index: "d".into(),
+                shards: 4,
+                print_plan: false,
+                port: 7900,
+                threads: 8,
+                json: false,
+            }
+        );
+        match parse(&argv("cluster --index d --shards 2 --print-plan")).unwrap() {
+            Command::Cluster {
+                print_plan, shards, ..
+            } => {
+                assert!(print_plan);
+                assert_eq!(shards, 2);
+            }
+            _ => panic!(),
+        }
+        assert!(parse(&argv("cluster --index d")).is_err(), "needs --shards");
+        assert!(parse(&argv("cluster --shards 2")).is_err(), "needs --index");
+        assert!(parse(&argv("cluster --index d --shards 0")).is_err());
     }
 
     #[test]

@@ -72,21 +72,50 @@ pub fn run(cmd: Command) -> Result<(), Anyhow> {
             threads,
             queue_depth,
             all_sensors,
+            sensors,
+            replica_of,
+            poll_ms,
             json,
             sample_ms,
             slow_ms,
             alert_rules,
-        } => serve(
-            &index,
+        } => serve(ServeOpts {
+            index,
             port,
             threads,
             queue_depth,
             all_sensors,
+            sensors,
+            replica_of,
+            poll_ms,
             json,
             sample_ms,
             slow_ms,
-            alert_rules.as_deref(),
+            alert_rules,
+        }),
+        Command::Router {
+            port,
+            threads,
+            queue_depth,
+            shards,
+            health_interval_ms,
+            json,
+        } => router(
+            port,
+            threads,
+            queue_depth,
+            &shards,
+            health_interval_ms,
+            json,
         ),
+        Command::Cluster {
+            index,
+            shards,
+            print_plan,
+            port,
+            threads,
+            json,
+        } => cluster(&index, shards, print_plan, port, threads, json),
         Command::Loadgen {
             url,
             concurrency,
@@ -634,73 +663,312 @@ fn render_registry(json: bool) -> String {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn serve(
-    index: &Path,
+/// Everything `segdiff serve` parses, bundled so the four serving modes
+/// (single index, full transect, shard subset, warm replica) share one
+/// signature.
+struct ServeOpts {
+    index: std::path::PathBuf,
     port: u16,
     threads: usize,
     queue_depth: usize,
     all_sensors: bool,
+    sensors: Vec<u32>,
+    replica_of: Option<String>,
+    poll_ms: u64,
     json: bool,
     sample_ms: u64,
     slow_ms: u64,
-    alert_rules: Option<&Path>,
+    alert_rules: Option<std::path::PathBuf>,
+}
+
+/// Spawns the thread bridging SIGINT/SIGTERM into a shutdown flag. The
+/// watcher also exits when the flag is set another way (POST /shutdown).
+fn bridge_signals(flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use segdiff_server::server::signal;
+    use std::sync::atomic::Ordering;
+
+    std::thread::spawn(move || loop {
+        if signal::triggered() {
+            obs::info!("signal received; draining");
+            flag.store(true, Ordering::Release);
+            return;
+        }
+        if flag.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
+fn serve(opts: ServeOpts) -> Result<(), Anyhow> {
+    use segdiff_server::loadgen::parse_url;
+    use segdiff_server::server::signal;
+    use segdiff_server::{Engine, Replica, ReplicaConfig, Server, ServerConfig, ShardRole};
+    use std::sync::Arc;
+
+    // A replica bootstraps its store from the primary before binding, so
+    // the first request already sees data; the tail thread below keeps
+    // it warm afterwards.
+    let replica = match &opts.replica_of {
+        Some(url) => {
+            let primary = parse_url(url)?;
+            obs::info!(
+                "bootstrapping replica of http://{primary} into {}",
+                opts.index.display()
+            );
+            Some(Replica::bootstrap(ReplicaConfig {
+                primary,
+                root: opts.index.clone(),
+                threads: opts.threads,
+                poll: std::time::Duration::from_millis(opts.poll_ms),
+                ..ReplicaConfig::default()
+            })?)
+        }
+        None => None,
+    };
+    let engine = match &replica {
+        Some(r) => r.engine(),
+        None if !opts.sensors.is_empty() => Engine::transect(
+            Arc::new(TransectIndex::open_subset(
+                &opts.index,
+                4096,
+                &opts.sensors,
+            )?),
+            opts.threads,
+        ),
+        None if opts.all_sensors => Engine::transect(
+            Arc::new(TransectIndex::open(&opts.index, 4096)?),
+            opts.threads,
+        ),
+        None => Engine::from(Arc::new(SegDiffIndex::open(&opts.index, 4096)?)),
+    };
+    let rules = match &opts.alert_rules {
+        Some(path) => segdiff::alerts::AlertRuleSet::load(path)?,
+        None => segdiff::alerts::AlertRuleSet::defaults(),
+    };
+    signal::install();
+    let role = if replica.is_some() {
+        ShardRole::Replica
+    } else {
+        ShardRole::Primary
+    };
+    let server = Server::bind(
+        &format!("127.0.0.1:{}", opts.port),
+        engine.clone(),
+        ServerConfig {
+            threads: opts.threads,
+            queue_depth: opts.queue_depth,
+            sample_period: std::time::Duration::from_millis(opts.sample_ms),
+            slow_trace: std::time::Duration::from_millis(opts.slow_ms),
+            alert_rules: rules,
+            role,
+            ..ServerConfig::default()
+        },
+    )?;
+    let flag = server.shutdown_flag();
+    bridge_signals(Arc::clone(&flag));
+    // The WAL tail shares the server's shutdown flag, so one drain stops
+    // both the HTTP workers and the shipping loop.
+    let tail = replica.map(|r| {
+        let flag = Arc::clone(&flag);
+        std::thread::spawn(move || r.run(flag))
+    });
+    println!(
+        "listening on http://{} ({}, {} sensor{}, {} worker thread{}, queue depth {})",
+        server.local_addr(),
+        role.name(),
+        engine.num_sensors(),
+        if engine.num_sensors() == 1 { "" } else { "s" },
+        opts.threads,
+        if opts.threads == 1 { "" } else { "s" },
+        opts.queue_depth,
+    );
+    server.run()?;
+    if let Some(tail) = tail {
+        let _ = tail.join();
+    }
+    // Drained: no query is in flight. A primary flushes dirty pages (a
+    // replica's store is a disposable copy the tail thread re-syncs);
+    // both print the final registry snapshot like `segdiff metrics`.
+    if role == ShardRole::Primary {
+        engine.flush()?;
+    }
+    println!("shutdown complete; final telemetry:");
+    print!("{}", render_registry(opts.json));
+    Ok(())
+}
+
+/// `segdiff router`: the cluster front-end. Owns no data — consistent-
+/// hashes sensors over the configured shards and scatter–gathers every
+/// `POST /query` (see the `router` crate).
+fn router(
+    port: u16,
+    threads: usize,
+    queue_depth: usize,
+    shards: &[String],
+    health_interval_ms: u64,
+    json: bool,
 ) -> Result<(), Anyhow> {
+    use router::{Router, RouterConfig, ShardSpec};
+    use segdiff_server::loadgen::parse_url;
+    use segdiff_server::server::signal;
+
+    let mut specs = Vec::new();
+    for spec in shards {
+        let mut parts = spec.splitn(3, ',');
+        let primary = parse_url(parts.next().unwrap_or_default())?;
+        let replica = parts.next().map(parse_url).transpose()?;
+        if parts.next().is_some() {
+            return Err(format!("--shard takes PRIMARY[,REPLICA], got {spec:?}").into());
+        }
+        specs.push(ShardSpec { primary, replica });
+    }
+    signal::install();
+    let with_replica = specs.iter().filter(|s| s.replica.is_some()).count();
+    let router = Router::bind(
+        &format!("127.0.0.1:{port}"),
+        RouterConfig {
+            shards: specs,
+            threads,
+            queue_depth,
+            health_interval: std::time::Duration::from_millis(health_interval_ms),
+            ..RouterConfig::default()
+        },
+    )?;
+    bridge_signals(router.shutdown_flag());
+    println!(
+        "router listening on http://{} ({} shard{}, {with_replica} with replicas, probing every {health_interval_ms} ms)",
+        router.local_addr(),
+        router.board().num_shards(),
+        if router.board().num_shards() == 1 { "" } else { "s" },
+    );
+    router.run()?;
+    println!("shutdown complete; final telemetry:");
+    print!("{}", render_registry(json));
+    Ok(())
+}
+
+/// `segdiff cluster`: one-process quickstart for the sharded tier.
+/// Partitions the transect's sensors over N shards with the same
+/// consistent-hash ring the router uses, runs each shard as an
+/// in-process server on an ephemeral port, and fronts them with a
+/// router on `--port`. `--print-plan` prints the ring assignment as
+/// JSON instead of serving (scripts use it to build per-shard stores).
+fn cluster(
+    index: &Path,
+    shards: usize,
+    print_plan: bool,
+    port: u16,
+    threads: usize,
+    json: bool,
+) -> Result<(), Anyhow> {
+    use router::{Ring, Router, RouterConfig, ShardSpec};
     use segdiff_server::server::signal;
     use segdiff_server::{Engine, Server, ServerConfig};
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
-    let engine = if all_sensors {
-        Engine::transect(Arc::new(TransectIndex::open(index, 4096)?), threads)
-    } else {
-        Engine::from(Arc::new(SegDiffIndex::open(index, 4096)?))
-    };
-    let rules = match alert_rules {
-        Some(path) => segdiff::alerts::AlertRuleSet::load(path)?,
-        None => segdiff::alerts::AlertRuleSet::defaults(),
-    };
+    let ids = TransectIndex::scan_ids(index)?;
+    if ids.is_empty() {
+        return Err(format!("no sensor-<k>/ stores under {}", index.display()).into());
+    }
+    let ring = Ring::new(shards);
+    let buckets = ring.partition(&ids);
+    if print_plan {
+        let assignment: Vec<Json> = buckets
+            .iter()
+            .enumerate()
+            .map(|(shard, bucket)| {
+                Json::obj([
+                    ("shard", Json::from(shard as u64)),
+                    (
+                        "sensors",
+                        Json::Array(bucket.iter().map(|&s| Json::from(u64::from(s))).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("shards", Json::from(shards as u64)),
+            ("sensors", Json::from(ids.len() as u64)),
+            ("assignment", Json::Array(assignment)),
+        ]);
+        println!("{doc}");
+        return Ok(());
+    }
+
+    // The router's ring index must line up with the shard list, so an
+    // empty bucket cannot simply be skipped — and a store cannot be
+    // opened over zero sensors. Refuse: the operator asked for more
+    // shards than the data can fill.
+    if let Some((shard, _)) = buckets.iter().enumerate().find(|(_, b)| b.is_empty()) {
+        return Err(format!(
+            "shard {shard} would own no sensors ({} sensors over {shards} shards); use fewer shards",
+            ids.len()
+        )
+        .into());
+    }
+
     signal::install();
-    let server = Server::bind(
-        &format!("127.0.0.1:{port}"),
-        engine.clone(),
-        ServerConfig {
+    let mut specs = Vec::new();
+    let mut engines = Vec::new();
+    let mut flags = Vec::new();
+    let mut handles = Vec::new();
+    for (shard, bucket) in buckets.iter().enumerate() {
+        let engine = Engine::transect(
+            Arc::new(TransectIndex::open_subset(index, 4096, bucket)?),
             threads,
-            queue_depth,
-            sample_period: std::time::Duration::from_millis(sample_ms),
-            slow_trace: std::time::Duration::from_millis(slow_ms),
-            alert_rules: rules,
-            ..ServerConfig::default()
+        );
+        let server = Server::bind(
+            "127.0.0.1:0",
+            engine.clone(),
+            ServerConfig {
+                threads,
+                queue_depth: 64,
+                ..ServerConfig::default()
+            },
+        )?;
+        let addr = server.local_addr().to_string();
+        println!("shard {shard}: http://{addr} ({} sensors)", bucket.len());
+        specs.push(ShardSpec {
+            primary: addr,
+            replica: None,
+        });
+        engines.push(engine);
+        flags.push(server.shutdown_flag());
+        handles.push(std::thread::spawn(move || server.run()));
+    }
+
+    let router = Router::bind(
+        &format!("127.0.0.1:{port}"),
+        RouterConfig {
+            shards: specs,
+            threads,
+            ..RouterConfig::default()
         },
     )?;
-    let flag = server.shutdown_flag();
-    // Bridge SIGINT/SIGTERM to the server's shutdown flag. The watcher
-    // also exits when the flag is set another way (POST /shutdown).
-    {
-        let flag = Arc::clone(&flag);
-        std::thread::spawn(move || loop {
-            if signal::triggered() {
-                obs::info!("signal received; draining");
-                flag.store(true, Ordering::Release);
-                return;
-            }
-            if flag.load(Ordering::Acquire) {
-                return;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(50));
-        });
-    }
+    bridge_signals(router.shutdown_flag());
     println!(
-        "listening on http://{} ({} sensor{}, {threads} worker thread{}, queue depth {queue_depth})",
-        server.local_addr(),
-        engine.num_sensors(),
-        if engine.num_sensors() == 1 { "" } else { "s" },
-        if threads == 1 { "" } else { "s" },
+        "cluster ready: router at http://{} over {shards} shard{} ({} sensors)",
+        router.local_addr(),
+        if shards == 1 { "" } else { "s" },
+        ids.len()
     );
-    server.run()?;
-    // Drained: no query is in flight. Flush dirty pages, then print the
-    // final registry snapshot in the same shape as `segdiff metrics`.
-    engine.flush()?;
+    let run_result = router.run();
+    // Router drained (signal or POST /shutdown): drain the shards too.
+    for flag in &flags {
+        flag.store(true, Ordering::Release);
+    }
+    for handle in handles {
+        match handle.join() {
+            Ok(r) => r?,
+            Err(_) => return Err("shard server thread panicked".into()),
+        }
+    }
+    run_result?;
+    for engine in &engines {
+        engine.flush()?;
+    }
     println!("shutdown complete; final telemetry:");
     print!("{}", render_registry(json));
     Ok(())
@@ -730,7 +998,7 @@ fn loadgen(
         host: host.clone(),
         concurrency,
         duration: std::time::Duration::from_secs_f64(duration_secs),
-        bodies,
+        bodies: bodies.clone(),
     })?;
     let l = report.latency;
     let ms = |nanos: u64| nanos as f64 / 1e6;
@@ -749,6 +1017,16 @@ fn loadgen(
         ms(l.p99),
         ms(l.max)
     );
+    // Transport errors broken down by query body, so a run that only
+    // fails on one endpoint shape says which one.
+    for (body, errors) in bodies.iter().zip(&report.errors_by_body) {
+        if *errors > 0 {
+            println!(
+                "errors:   {errors} transport error{} on {body}",
+                if *errors == 1 { "" } else { "s" }
+            );
+        }
+    }
     // Best-effort server-side cache view, so a run shows whether the
     // repeat queries actually hit the result cache.
     if let Ok((200, text)) = fetch(&host, "GET", "/metrics?format=json", None) {

@@ -67,7 +67,7 @@ pub mod oracle;
 pub mod pool;
 mod query;
 pub mod refine;
-mod result;
+pub mod result;
 pub mod sqlgen;
 mod stats;
 pub mod subscribe;
@@ -79,7 +79,7 @@ pub use config::SegDiffConfig;
 pub use index::SegDiffIndex;
 pub use ingest::{FeatureExtractor, FeatureRow};
 pub use query::{PhaseStats, QueryPlan, QueryStats};
-pub use result::SegmentPair;
+pub use result::{merge_sharded, sort_dedup, SegmentPair, ShardResults};
 pub use stats::{CornerHistogram, SegDiffStats};
 pub use subscribe::{Notification, Subscription, SubscriptionRegistry};
 pub use transect::TransectIndex;

@@ -43,8 +43,17 @@ impl SegmentPair {
     }
 }
 
+/// Per-sensor result lists keyed by global sensor id — the shape
+/// shards produce and [`merge_sharded`] consumes.
+pub type ShardResults = Vec<(u32, Vec<SegmentPair>)>;
+
 /// Sorts by time and removes duplicates in place.
-pub(crate) fn sort_dedup(results: &mut Vec<SegmentPair>) {
+///
+/// Public because this is the determinism contract distributed execution
+/// relies on: every per-sensor result list is in this canonical order, so
+/// a shard union only has to concatenate lists in sensor order to be
+/// byte-identical to single-process execution ([`merge_sharded`]).
+pub fn sort_dedup(results: &mut Vec<SegmentPair>) {
     results.sort_by(|a, b| {
         a.t_d
             .total_cmp(&b.t_d)
@@ -55,9 +64,47 @@ pub(crate) fn sort_dedup(results: &mut Vec<SegmentPair>) {
     results.dedup_by_key(|p| p.key());
 }
 
+/// Merges per-sensor result lists gathered from shards into the exact
+/// flat list a single process produces.
+///
+/// Each element is `(global sensor id, that sensor's results)` where the
+/// per-sensor list is already in [`sort_dedup`] order (queries always
+/// return it that way). The single-process transect fan-out flattens
+/// per-sensor lists in ascending sensor order, so the distributed union
+/// is lossless and deterministic: sort the parts by sensor id and
+/// concatenate. Duplicate sensor ids are a routing bug; the later part
+/// wins deterministically (stable sort, last occurrence kept) rather
+/// than double-counting.
+pub fn merge_sharded(mut parts: ShardResults) -> Vec<SegmentPair> {
+    parts.sort_by_key(|(id, _)| *id);
+    parts.dedup_by(|later, earlier| {
+        if later.0 == earlier.0 {
+            earlier.1 = std::mem::take(&mut later.1);
+            true
+        } else {
+            false
+        }
+    });
+    let total = parts.iter().map(|(_, r)| r.len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    for (_, mut results) in parts {
+        merged.append(&mut results);
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn pair(t: f64) -> SegmentPair {
+        SegmentPair {
+            t_d: t,
+            t_c: t + 1.0,
+            t_b: t + 2.0,
+            t_a: t + 3.0,
+        }
+    }
 
     #[test]
     fn covers_inclusive() {
@@ -89,6 +136,31 @@ mod tests {
             t_a: 9.0,
         };
         assert!(!c.is_self_pair());
+    }
+
+    #[test]
+    fn merge_sharded_orders_by_sensor_id() {
+        // Parts arrive in arbitrary shard order; the merge is the
+        // sensor-ascending concatenation.
+        let parts = vec![
+            (7u32, vec![pair(70.0)]),
+            (0u32, vec![pair(0.0), pair(1.0)]),
+            (3u32, vec![]),
+            (4u32, vec![pair(40.0)]),
+        ];
+        let merged = merge_sharded(parts);
+        assert_eq!(merged, vec![pair(0.0), pair(1.0), pair(40.0), pair(70.0)]);
+    }
+
+    #[test]
+    fn merge_sharded_drops_duplicate_sensors() {
+        let parts = vec![
+            (2u32, vec![pair(1.0)]),
+            (2u32, vec![pair(9.0)]),
+            (5u32, vec![pair(5.0)]),
+        ];
+        let merged = merge_sharded(parts);
+        assert_eq!(merged, vec![pair(9.0), pair(5.0)]);
     }
 
     #[test]

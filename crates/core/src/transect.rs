@@ -18,8 +18,15 @@ use std::path::{Path, PathBuf};
 
 /// A collection of per-sensor SegDiff indexes under one root directory
 /// (`<root>/sensor-<k>/`).
+///
+/// An instance may hold the whole transect or, for a shard process, any
+/// subset of its sensors ([`TransectIndex::open_subset`]): `sensors[i]`
+/// belongs to *global* sensor id `ids[i]`, and all public APIs address
+/// sensors by global id so a shard and a full open agree on names.
 pub struct TransectIndex {
     root: PathBuf,
+    /// Ascending global sensor ids, parallel to `sensors`.
+    ids: Vec<u32>,
     sensors: Vec<SegDiffIndex>,
 }
 
@@ -39,34 +46,88 @@ impl TransectIndex {
         }
         Ok(Self {
             root: root.to_path_buf(),
+            ids: (0..n_sensors).collect(),
             sensors,
         })
     }
 
     /// Reopens a transect previously persisted with
-    /// [`TransectIndex::finish_all`]. Sensors are discovered from the
-    /// directory layout.
+    /// [`TransectIndex::finish_all`]. Sensors are discovered by scanning
+    /// the directory for `sensor-<k>` entries, so a root holding a sparse
+    /// subset (e.g. one shard's share of a transect) opens too; ids are
+    /// sorted ascending.
     pub fn open(root: &Path, pool_pages: usize) -> Result<Self> {
-        let mut k = 0u32;
-        let mut sensors = Vec::new();
-        loop {
-            let dir = Self::sensor_dir(root, k);
-            if !dir.exists() {
-                break;
-            }
-            sensors.push(SegDiffIndex::open(&dir, pool_pages.max(64))?);
-            k += 1;
-        }
-        if sensors.is_empty() {
+        let ids = Self::scan_ids(root)?;
+        if ids.is_empty() {
             return Err(StoreError::NotFound(format!(
                 "no sensor indexes under {}",
                 root.display()
             )));
         }
+        Self::open_ids(root, pool_pages, ids)
+    }
+
+    /// Opens only the named global sensor ids under `root` (a shard's
+    /// view of a shared transect directory). Ids are deduplicated and
+    /// sorted; every named `sensor-<k>` directory must exist.
+    pub fn open_subset(root: &Path, pool_pages: usize, ids: &[u32]) -> Result<Self> {
+        let mut ids = ids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.is_empty() {
+            return Err(StoreError::NotFound(format!(
+                "empty sensor subset for {}",
+                root.display()
+            )));
+        }
+        for &k in &ids {
+            if !Self::sensor_dir(root, k).exists() {
+                return Err(StoreError::NotFound(format!(
+                    "no sensor-{k} under {}",
+                    root.display()
+                )));
+            }
+        }
+        Self::open_ids(root, pool_pages, ids)
+    }
+
+    fn open_ids(root: &Path, pool_pages: usize, ids: Vec<u32>) -> Result<Self> {
+        let mut sensors = Vec::with_capacity(ids.len());
+        for &k in &ids {
+            sensors.push(SegDiffIndex::open(
+                &Self::sensor_dir(root, k),
+                pool_pages.max(64),
+            )?);
+        }
         Ok(Self {
             root: root.to_path_buf(),
+            ids,
             sensors,
         })
+    }
+
+    /// Global sensor ids present under `root`, ascending.
+    pub fn scan_ids(root: &Path) -> Result<Vec<u32>> {
+        let mut ids = Vec::new();
+        let entries = match std::fs::read_dir(root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ids),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if let Some(k) = entry
+                .file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix("sensor-"))
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                ids.push(k);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(ids)
     }
 
     fn sensor_dir(root: &Path, sensor: u32) -> PathBuf {
@@ -78,19 +139,39 @@ impl TransectIndex {
         &self.root
     }
 
-    /// Number of sensors.
+    /// Number of sensors in this instance (the subset, for a shard).
     pub fn num_sensors(&self) -> u32 {
         self.sensors.len() as u32
     }
 
-    /// Ingests one observation for `sensor`.
-    pub fn push(&mut self, sensor: u32, t: f64, v: f64) -> Result<()> {
-        self.sensors[sensor as usize].push(t, v)
+    /// Global sensor ids in this instance, ascending and parallel to the
+    /// per-sensor result lists of [`TransectIndex::query_all`].
+    pub fn sensor_ids(&self) -> &[u32] {
+        &self.ids
     }
 
-    /// Ingests a whole series for `sensor`.
+    /// Position of global sensor id `sensor`, or an error naming it.
+    fn pos(&self, sensor: u32) -> Result<usize> {
+        self.ids
+            .binary_search(&sensor)
+            .map_err(|_| StoreError::NotFound(format!("sensor {sensor} not in this transect")))
+    }
+
+    /// The index for global sensor id `sensor`.
+    pub fn sensor(&self, sensor: u32) -> Result<&SegDiffIndex> {
+        Ok(&self.sensors[self.pos(sensor)?])
+    }
+
+    /// Ingests one observation for global sensor id `sensor`.
+    pub fn push(&mut self, sensor: u32, t: f64, v: f64) -> Result<()> {
+        let i = self.pos(sensor)?;
+        self.sensors[i].push(t, v)
+    }
+
+    /// Ingests a whole series for global sensor id `sensor`.
     pub fn ingest_series(&mut self, sensor: u32, series: &TimeSeries) -> Result<()> {
-        self.sensors[sensor as usize].ingest_series(series)
+        let i = self.pos(sensor)?;
+        self.sensors[i].ingest_series(series)
     }
 
     /// Finishes and persists every sensor.
@@ -109,14 +190,14 @@ impl TransectIndex {
         Ok(())
     }
 
-    /// Queries one sensor.
+    /// Queries one sensor by global id.
     pub fn query_sensor(
         &self,
         sensor: u32,
         region: &QueryRegion,
         plan: QueryPlan,
     ) -> Result<(Vec<SegmentPair>, QueryStats)> {
-        self.sensors[sensor as usize].query(region, plan)
+        self.sensors[self.pos(sensor)?].query(region, plan)
     }
 
     /// Queries every sensor in parallel (one worker per sensor); returns
@@ -167,6 +248,41 @@ impl TransectIndex {
                 }
             }
             results.push(r);
+        }
+        Ok((results, merged))
+    }
+
+    /// Queries only the named global sensor ids on the worker pool,
+    /// returning `(global id, results)` pairs in ascending id order —
+    /// the shape [`crate::result::merge_sharded`] consumes. Stats merge
+    /// as in [`TransectIndex::query_all_with_threads`].
+    pub fn query_subset_with_threads(
+        &self,
+        ids: &[u32],
+        region: &QueryRegion,
+        plan: QueryPlan,
+        threads: usize,
+    ) -> Result<(crate::result::ShardResults, QueryStats)> {
+        let mut wanted = ids.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut positions = Vec::with_capacity(wanted.len());
+        for &id in &wanted {
+            positions.push(self.pos(id)?);
+        }
+        let outcomes: Vec<Result<(Vec<SegmentPair>, QueryStats)>> =
+            crate::pool::run_on_pool(threads.max(1), positions.len(), |i| {
+                self.sensors[positions[i]].query(region, plan)
+            });
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut merged = QueryStats::default();
+        for (id, outcome) in wanted.into_iter().zip(outcomes) {
+            let (r, s) = outcome?;
+            merged.wall_seconds = merged.wall_seconds.max(s.wall_seconds);
+            merged.rows_considered += s.rows_considered;
+            merged.results += s.results;
+            merged.io = merged.io.merged(&s.io);
+            results.push((id, r));
         }
         Ok((results, merged))
     }
@@ -276,6 +392,47 @@ mod tests {
         assert_eq!(t.num_sensors(), 3);
         let (after, _) = t.query_all(&region, QueryPlan::SeqScan).unwrap();
         assert_eq!(before, after);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// A shard opening only its share of a shared transect root answers
+    /// exactly like the full open does for those sensors, and the
+    /// sharded union over a disjoint partition reproduces the
+    /// single-process flatten byte for byte.
+    #[test]
+    fn subset_union_matches_full_open() {
+        let (full, root) = build("subset", 6, 3);
+        full.build_indexes_all().unwrap();
+        let region = QueryRegion::drop(1.0 * HOUR, -3.0);
+        let (all, _) = full.query_all(&region, QueryPlan::SeqScan).unwrap();
+        let flat: Vec<SegmentPair> = all.iter().flatten().copied().collect();
+        // Interleaved partition, as a hash ring would produce.
+        let shards: [&[u32]; 3] = [&[0, 3], &[1, 4], &[2, 5]];
+        let mut parts = Vec::new();
+        for ids in shards {
+            let shard = TransectIndex::open_subset(&root, 256, ids).unwrap();
+            assert_eq!(shard.sensor_ids(), ids);
+            let (per, _) = shard
+                .query_subset_with_threads(ids, &region, QueryPlan::SeqScan, 2)
+                .unwrap();
+            parts.extend(per);
+        }
+        let merged = crate::result::merge_sharded(parts);
+        assert_eq!(merged, flat);
+        assert!(!merged.is_empty(), "query must match something");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn subset_rejects_unknown_sensors() {
+        let (t, root) = build("subset-miss", 2, 2);
+        drop(t);
+        assert!(TransectIndex::open_subset(&root, 256, &[0, 9]).is_err());
+        let shard = TransectIndex::open_subset(&root, 256, &[1]).unwrap();
+        assert!(shard
+            .query_sensor(0, &QueryRegion::drop(HOUR, -3.0), QueryPlan::SeqScan,)
+            .is_err());
+        assert_eq!(TransectIndex::scan_ids(&root).unwrap(), vec![0, 1]);
         std::fs::remove_dir_all(&root).ok();
     }
 

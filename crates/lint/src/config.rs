@@ -7,7 +7,15 @@ use crate::toml;
 /// serving and storage path. The math kernels (`segmentation`,
 /// `featurespace`, `sensorgen`) assert paper invariants with panics and
 /// are deliberately out of scope until they move onto the hot path.
-pub const L1_CRATES: &[&str] = &["pagestore", "server", "core", "cli", "obs", "lint"];
+pub const L1_CRATES: &[&str] = &[
+    "pagestore",
+    "server",
+    "router",
+    "core",
+    "cli",
+    "obs",
+    "lint",
+];
 
 /// Crates where `let _ =` result discards are forbidden (rule L5).
 pub const L5_CRATES: &[&str] = &["pagestore", "core"];

@@ -252,6 +252,64 @@ pub const METRICS: &[MetricDef] = &[
         "server.flush_ms",
         "Store flush duration at drain (milliseconds)",
     ),
+    // WAL shipping: primary side (server::service `/wal` routes).
+    MetricDef::counter("wal.ship.requests", "GET /wal segment fetches served"),
+    MetricDef::counter("wal.ship.bytes", "WAL frame bytes shipped to replicas"),
+    MetricDef::counter(
+        "wal.ship.restarts",
+        "Ship responses telling the replica its cursor predates the log",
+    ),
+    // WAL shipping: replica side (server::replica).
+    MetricDef::counter(
+        "replica.ship_rounds",
+        "Tail rounds completed by the replica",
+    ),
+    MetricDef::counter(
+        "replica.ship_errors",
+        "Tail rounds that failed (transport, status, or decode)",
+    ),
+    MetricDef::counter(
+        "replica.frames_applied",
+        "WAL frames appended to the replica's local log",
+    ),
+    MetricDef::counter(
+        "replica.bytes_applied",
+        "WAL frame bytes appended to the replica's local log",
+    ),
+    MetricDef::counter(
+        "replica.resyncs",
+        "Full snapshot re-syncs after the primary truncated past the cursor",
+    ),
+    MetricDef::counter(
+        "replica.engine_refreshes",
+        "Engine reloads after applying shipped frames",
+    ),
+    // Cluster router (router crate).
+    MetricDef::counter("router.queries", "POST /query requests routed"),
+    MetricDef::counter(
+        "router.scatter_requests",
+        "Per-shard sub-queries issued by scatter–gather",
+    ),
+    MetricDef::counter(
+        "router.shard_errors",
+        "Sub-queries that failed against a shard endpoint",
+    ),
+    MetricDef::counter(
+        "router.degraded",
+        "Queries answered 503 with unavailable_sensors",
+    ),
+    MetricDef::counter("router.bad_requests", "Router requests answered 400"),
+    MetricDef::counter("router.health_probes", "Shard health probes issued"),
+    MetricDef::counter(
+        "router.failovers",
+        "Primary→replica read failovers observed",
+    ),
+    MetricDef::counter("router.accepted", "TCP connections accepted by the router"),
+    MetricDef::counter(
+        "router.rejected",
+        "Router connections shed with 503 (queue full)",
+    ),
+    MetricDef::histogram("router.query_nanos", "Wall time per scatter–gather query"),
     // Load generator (server::loadgen).
     MetricDef::histogram(
         "loadgen.request_nanos",

@@ -453,6 +453,11 @@ impl Database {
         Ok(())
     }
 
+    /// The directory this database lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     /// The write-ahead log, when this database runs with one.
     pub fn wal(&self) -> Option<&Arc<Wal>> {
         self.wal.as_ref()

@@ -77,7 +77,7 @@ pub use pagefile::{FileId, PageFile, PageId};
 pub use recovery::RecoveryReport;
 pub use sql::{ExecOutcome, Plan};
 pub use table::{Index, Table};
-pub use wal::{CommitState, Wal};
+pub use wal::{CommitState, Wal, WalSegment, WAL_FILE};
 pub use zonemap::ZoneMap;
 
 /// Size of every page in bytes.

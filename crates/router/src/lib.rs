@@ -1,0 +1,404 @@
+//! Cluster front-end for sharded segdiff serving.
+//!
+//! `segdiff router` runs this: a process that owns no data, only a
+//! [`Ring`] (consistent hash of sensor ids onto N shards), a
+//! [`HealthBoard`] (per-shard primary→replica→down failover state fed
+//! by background `/healthz` probes), and a scatter–gather executor for
+//! `POST /query` (see [`scatter`]). Shards are ordinary `segdiff serve`
+//! processes — each owns its heaps, WAL, buffer pool, and subscription
+//! registry — so the router composes the existing HTTP surface instead
+//! of introducing a new protocol.
+//!
+//! Routes:
+//!
+//! * `POST /query` — scatter to the owning shards, merge
+//!   deterministically ([`segdiff::merge_sharded`]): the `results`
+//!   array is byte-identical to a single process serving all sensors.
+//! * `GET /healthz` — role `"router"` plus the live per-shard states.
+//! * `GET /metrics` — the process-global registry (text or JSON lines).
+//! * `POST /shutdown` — cooperative drain, same as the shard servers.
+
+pub mod health;
+pub mod ring;
+pub mod scatter;
+
+pub use health::{HealthBoard, ShardSpec, ShardState};
+pub use ring::Ring;
+
+use obs::export::Exporter;
+use obs::json::Json;
+use segdiff_server::http::{read_request, HttpError, Request, Response};
+use segdiff_server::queue::{BoundedQueue, PushError};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// One entry per shard, in ring order (shard i of N).
+    pub shards: Vec<ShardSpec>,
+    /// Worker threads serving client connections.
+    pub threads: usize,
+    /// Accepted connections waiting for a worker before `503`s start.
+    pub queue_depth: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// How often the health thread re-probes every shard. Failover to a
+    /// warm replica happens within one interval (sooner when a query
+    /// hits the dead primary first).
+    pub health_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: Vec::new(),
+            threads: 8,
+            queue_depth: 64,
+            read_timeout: Duration::from_millis(1000),
+            health_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// `router.*` counters and latency, registered globally so `/metrics`
+/// and the self-observation pipeline see them like any other subsystem.
+pub struct RouterMetrics {
+    pub queries: Arc<obs::Counter>,
+    pub scatter_requests: Arc<obs::Counter>,
+    pub shard_errors: Arc<obs::Counter>,
+    pub degraded: Arc<obs::Counter>,
+    pub bad_requests: Arc<obs::Counter>,
+    pub query_nanos: Arc<obs::Histogram>,
+}
+
+impl RouterMetrics {
+    fn new() -> Self {
+        let r = obs::global();
+        RouterMetrics {
+            queries: r.counter("router.queries"),
+            scatter_requests: r.counter("router.scatter_requests"),
+            shard_errors: r.counter("router.shard_errors"),
+            degraded: r.counter("router.degraded"),
+            bad_requests: r.counter("router.bad_requests"),
+            query_nanos: r.histogram("router.query_nanos"),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    config: RouterConfig,
+    board: Arc<HealthBoard>,
+    ring: Ring,
+    metrics: Arc<RouterMetrics>,
+}
+
+impl Router {
+    /// Binds `addr` and prepares the ring and health board over
+    /// `config.shards`. No thread is spawned until [`Router::run`].
+    pub fn bind(addr: &str, config: RouterConfig) -> io::Result<Router> {
+        if config.shards.is_empty() {
+            return Err(io::Error::other("router needs at least one shard"));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Router {
+            listener,
+            addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            board: Arc::new(HealthBoard::new(config.shards.clone())),
+            ring: Ring::new(config.shards.len()),
+            metrics: Arc::new(RouterMetrics::new()),
+            config,
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that makes the router drain and stop when set.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The health board (tests inspect failover state through it).
+    pub fn board(&self) -> &Arc<HealthBoard> {
+        &self.board
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown. Probes
+    /// every shard once before accepting, so the first query already
+    /// knows the cluster topology.
+    pub fn run(self) -> io::Result<()> {
+        let registry = obs::global();
+        let accepted = registry.counter("router.accepted");
+        let rejected = registry.counter("router.rejected");
+        self.board.probe_all();
+
+        let health_thread = {
+            let board = Arc::clone(&self.board);
+            let shutdown = Arc::clone(&self.shutdown);
+            let interval = self.config.health_interval;
+            std::thread::Builder::new()
+                .name("router-health".to_string())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        let t0 = std::time::Instant::now();
+                        board.probe_all();
+                        while t0.elapsed() < interval && !shutdown.load(Ordering::Acquire) {
+                            let left = interval.saturating_sub(t0.elapsed());
+                            std::thread::sleep(left.min(Duration::from_millis(20)));
+                        }
+                    }
+                })?
+        };
+
+        let queue: Arc<BoundedQueue<TcpStream>> =
+            Arc::new(BoundedQueue::new(self.config.queue_depth));
+        let mut workers = Vec::new();
+        for i in 0..self.config.threads.max(1) {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&self.shutdown);
+            let board = Arc::clone(&self.board);
+            let metrics = Arc::clone(&self.metrics);
+            let ring = self.ring.clone();
+            let timeout = self.config.read_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("router-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            serve_connection(&board, &ring, &metrics, &shutdown, stream, timeout);
+                        }
+                    })?,
+            );
+        }
+
+        while !self.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    accepted.inc();
+                    match queue.try_push(stream) {
+                        Ok(()) => {}
+                        Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+                            rejected.inc();
+                            let mut stream = stream;
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                            let _ = Response::error(503, "router overloaded, try again")
+                                .with_close()
+                                .write_to(&mut stream);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    obs::warn!("router accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+
+        queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = health_thread.join();
+        obs::info!("router drained");
+        Ok(())
+    }
+}
+
+/// Serves a keep-alive request stream until close, error, or shutdown.
+fn serve_connection(
+    board: &HealthBoard,
+    ring: &Ring,
+    metrics: &RouterMetrics,
+    shutdown: &AtomicBool,
+    stream: TcpStream,
+    timeout: Duration,
+) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(req) => {
+                let mut resp = route(board, ring, metrics, shutdown, &req);
+                if !req.keep_alive() || shutdown.load(Ordering::Acquire) {
+                    resp.close = true;
+                }
+                let close = resp.close;
+                if resp.write_to(&mut writer).is_err() || close {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::TooLarge) => {
+                let _ = Response::error(413, "request too large")
+                    .with_close()
+                    .write_to(&mut writer);
+                return;
+            }
+            Err(HttpError::Malformed(m)) => {
+                let _ = Response::error(400, m).with_close().write_to(&mut writer);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+/// Dispatches one request.
+fn route(
+    board: &HealthBoard,
+    ring: &Ring,
+    metrics: &RouterMetrics,
+    shutdown: &AtomicBool,
+    req: &Request,
+) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => match req.body_str() {
+            Ok(body) => scatter::scatter_query(board, ring, body, metrics),
+            Err(e) => {
+                metrics.bad_requests.inc();
+                Response::error(400, e.to_string())
+            }
+        },
+        ("GET", "/healthz") => healthz(board),
+        ("GET", "/metrics") => {
+            let snapshot = obs::global().snapshot();
+            match req.query_param("format") {
+                Some("json") => Response::text(
+                    200,
+                    obs::export::JsonLinesExporter::default().export(&snapshot),
+                ),
+                None | Some("text") => {
+                    Response::text(200, obs::export::TextExporter.export(&snapshot))
+                }
+                Some(other) => Response::error(
+                    400,
+                    format!("format must be \"text\" or \"json\", got {other:?}"),
+                ),
+            }
+        }
+        ("POST", "/shutdown") => {
+            shutdown.store(true, Ordering::Release);
+            let mut resp = Response::json(
+                200,
+                &Json::obj([("status", Json::Str("draining".to_string()))]),
+            );
+            resp.close = true;
+            resp
+        }
+        (_, "/query" | "/healthz" | "/metrics" | "/shutdown") => {
+            Response::error(405, format!("method {} not allowed", req.method))
+        }
+        _ => Response::error(404, format!("no route for {}", req.path)),
+    }
+}
+
+/// `GET /healthz`: the router's own status plus every shard's failover
+/// state, endpoints, and last-known sensor count.
+fn healthz(board: &HealthBoard) -> Response {
+    let states = board.snapshot();
+    let shards: Vec<Json> = board
+        .specs()
+        .iter()
+        .zip(&states)
+        .enumerate()
+        .map(|(i, (spec, health))| {
+            let mut fields = vec![
+                ("shard".to_string(), Json::Uint(i as u64)),
+                (
+                    "state".to_string(),
+                    Json::Str(health.state.name().to_string()),
+                ),
+                ("primary".to_string(), Json::Str(spec.primary.clone())),
+            ];
+            if let Some(replica) = &spec.replica {
+                fields.push(("replica".to_string(), Json::Str(replica.clone())));
+            }
+            fields.extend([
+                (
+                    "sensors".to_string(),
+                    Json::Uint(health.sensors.len() as u64),
+                ),
+                ("epoch".to_string(), Json::Uint(health.epoch)),
+                (
+                    "last_durable_lsn".to_string(),
+                    Json::Uint(health.last_durable_lsn),
+                ),
+            ]);
+            if health.state == ShardState::Replica {
+                fields.push(("applied_lsn".to_string(), Json::Uint(health.applied_lsn)));
+            }
+            Json::Object(fields)
+        })
+        .collect();
+    let all_up = states.iter().all(|h| h.state != ShardState::Down);
+    Response::json(
+        200,
+        &Json::obj([
+            (
+                "status",
+                Json::Str(if all_up { "ok" } else { "degraded" }.to_string()),
+            ),
+            ("role", Json::Str("router".to_string())),
+            ("shards", Json::Array(shards)),
+            ("sensors", Json::Uint(board.known_sensors().len() as u64)),
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_rejects_empty_shard_list() {
+        assert!(Router::bind("127.0.0.1:0", RouterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn bind_builds_ring_over_shards() {
+        let config = RouterConfig {
+            shards: vec![
+                ShardSpec {
+                    primary: "192.0.2.1:9".to_string(),
+                    replica: None,
+                },
+                ShardSpec {
+                    primary: "192.0.2.2:9".to_string(),
+                    replica: None,
+                },
+            ],
+            ..RouterConfig::default()
+        };
+        let router = Router::bind("127.0.0.1:0", config).expect("bind");
+        assert_eq!(router.ring.num_shards(), 2);
+        assert_eq!(router.board().num_shards(), 2);
+        assert_ne!(router.local_addr().port(), 0);
+    }
+}

@@ -280,6 +280,16 @@ impl Response {
         }
     }
 
+    /// A binary response (WAL shipping, file chunks).
+    pub fn binary(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            body,
+            close: false,
+        }
+    }
+
     /// A JSON error response `{"error": message}`.
     pub fn error(status: u16, message: impl Into<String>) -> Self {
         Response::json(status, &Json::obj([("error", Json::Str(message.into()))]))

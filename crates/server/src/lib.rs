@@ -36,15 +36,18 @@ pub mod http;
 pub mod loadgen;
 pub mod observer;
 pub mod queue;
+pub mod replica;
 pub mod server;
 pub mod service;
+pub mod ship;
 
 pub use http::{Request, Response};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use observer::{Observability, Observer};
 pub use queue::BoundedQueue;
+pub use replica::{Replica, ReplicaConfig};
 pub use server::{Server, ServerConfig};
-pub use service::{Engine, QuerySpec, Service, SubscribeSpec};
+pub use service::{Engine, EngineCell, QuerySpec, Service, ShardRole, SubscribeSpec};
 
 #[cfg(test)]
 mod e2e_tests {
@@ -738,5 +741,154 @@ mod e2e_tests {
             )
             .unwrap();
         assert_eq!(results, expected, "reopened store must answer identically");
+    }
+
+    /// The replication loop end to end over real HTTP: a replica
+    /// bootstraps from a live primary, serves byte-identical `/query`
+    /// answers with role `"replica"` and an `applied_lsn`, and — after
+    /// the primary drains, ingests more data offline, and rebinds on
+    /// the same port — tails (or resyncs past) the new WAL history
+    /// until it matches the restarted primary again.
+    #[test]
+    fn replica_bootstraps_tails_and_serves() {
+        use segdiff::TransectIndex;
+        use sensorgen::TimeSeries;
+
+        let prim = TempDir::new("replica-prim");
+        let rep = TempDir::new("replica-rep");
+        let cfg = CadTransectConfig::default()
+            .with_days(3)
+            .with_sensors(2)
+            .clean();
+        let series0 = generate_sensor(&cfg, 0, 7);
+        let series1 = generate_sensor(&cfg, 1, 7);
+        let half = series0.len() / 2;
+
+        // Round one: sensor 0 has only the first half of its series;
+        // the rest arrives after the primary restart below.
+        let mut t = TransectIndex::create(&prim.0, SegDiffConfig::default(), 2).unwrap();
+        t.ingest_series(0, &series0.prefix(half)).unwrap();
+        t.ingest_series(1, &series1).unwrap();
+        t.finish_all().unwrap();
+        t.build_indexes_all().unwrap();
+
+        let config = ServerConfig {
+            threads: 2,
+            queue_depth: 32,
+            read_timeout: Duration::from_millis(250),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Engine::transect(Arc::new(t), 2),
+            config.clone(),
+        )
+        .unwrap();
+        let primary_host = server.local_addr().to_string();
+        let primary_flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let query = r#"{"kind":"drop","v":-2.0,"t_hours":1.0,"plan":"index"}"#;
+        let results_of = |host: &str| -> String {
+            let (status, body) = fetch(host, "POST", "/query", Some(query)).unwrap();
+            assert_eq!(status, 200, "body: {body}");
+            let doc = Json::parse(&body).unwrap();
+            doc.get("results").unwrap().to_string_compact()
+        };
+        let reference = results_of(&primary_host);
+        assert_ne!(reference, "[]", "the CAD tides must produce drop results");
+
+        let mut replica = Replica::bootstrap(ReplicaConfig {
+            primary: primary_host.clone(),
+            root: rep.0.clone(),
+            threads: 2,
+            ..ReplicaConfig::default()
+        })
+        .unwrap();
+        assert_eq!(replica.sensor_ids(), vec![0, 1]);
+
+        let rep_server = Server::bind(
+            "127.0.0.1:0",
+            replica.engine(),
+            ServerConfig {
+                role: ShardRole::Replica,
+                ..config.clone()
+            },
+        )
+        .unwrap();
+        let replica_host = rep_server.local_addr().to_string();
+        let rep_handle = std::thread::spawn(move || rep_server.run().unwrap());
+
+        let (status, body) = fetch(&replica_host, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let health = Json::parse(&body).unwrap();
+        assert_eq!(health.get("role").and_then(Json::as_str), Some("replica"));
+        assert!(
+            health.get("applied_lsn").and_then(Json::as_u64).is_some(),
+            "replica /healthz must report applied_lsn: {body}"
+        );
+        assert_eq!(health.get("sensors").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            results_of(&replica_host),
+            reference,
+            "bootstrapped replica must answer byte-identically"
+        );
+
+        // Restart the primary with new data: drain (via the flag, so no
+        // server-side close leaves the port in TIME_WAIT), ingest the
+        // second half of sensor 0 offline, rebind on the same port.
+        primary_flag.store(true, Ordering::Release);
+        handle.join().unwrap();
+        let mut t = TransectIndex::open(&prim.0, 4096).unwrap();
+        let rest = TimeSeries::from_parts(
+            series0.times()[half..].to_vec(),
+            series0.values()[half..].to_vec(),
+        );
+        t.ingest_series(0, &rest).unwrap();
+        t.finish_all().unwrap();
+        t.build_indexes_all().unwrap();
+        let t = Arc::new(t);
+        let server = {
+            let mut attempt = 0;
+            loop {
+                match Server::bind(
+                    &primary_host,
+                    Engine::transect(Arc::clone(&t), 2),
+                    config.clone(),
+                ) {
+                    Ok(server) => break server,
+                    Err(e) if attempt < 40 => {
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(50));
+                        let _ = e;
+                    }
+                    Err(e) => panic!("rebind {primary_host}: {e}"),
+                }
+            }
+        };
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let updated = results_of(&primary_host);
+        assert_ne!(updated, reference, "the second half must change the answer");
+
+        // The replica's cursor points at pre-restart history: each round
+        // either tails the new frames or, when the restart checkpointed
+        // past the cursor, falls back to a full resync of the sensor.
+        let mut caught_up = false;
+        for _ in 0..50 {
+            replica.round().unwrap();
+            if results_of(&replica_host) == updated {
+                caught_up = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(caught_up, "replica must converge on the restarted primary");
+
+        for host in [&primary_host, &replica_host] {
+            let (status, _) = fetch(host, "POST", "/shutdown", None).unwrap();
+            assert_eq!(status, 200);
+        }
+        handle.join().unwrap();
+        rep_handle.join().unwrap();
     }
 }

@@ -39,6 +39,10 @@ pub struct LoadReport {
     pub non_2xx: u64,
     /// Transport failures that persisted after one reconnect retry.
     pub errors: u64,
+    /// Transport failures per query body, parallel to
+    /// [`LoadgenConfig::bodies`] — a dead shard shows up as errors
+    /// concentrated on the bodies routed to it.
+    pub errors_by_body: Vec<u64>,
     /// Measured wall time of the run in seconds.
     pub elapsed: f64,
     /// Request latency distribution (nanoseconds).
@@ -78,6 +82,49 @@ pub fn parse_url(url: &str) -> Result<String, String> {
 }
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// First sleep after a transport error.
+const BACKOFF_BASE: Duration = Duration::from_millis(10);
+
+/// Ceiling for the exponential backoff.
+const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Bounded exponential backoff with multiplicative jitter for the
+/// worker error path. A flat retry delay hammers a dead server at
+/// connect-failure speed and makes every worker retry in lockstep,
+/// which skews tail latency the moment the server returns; doubling
+/// with a ±50% jitter spreads the herd out.
+struct Backoff {
+    current: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    fn new(seed: u64) -> Backoff {
+        Backoff {
+            current: BACKOFF_BASE,
+            // xorshift needs a nonzero state.
+            rng: seed | 1,
+        }
+    }
+
+    /// Back to the base delay after a successful request.
+    fn reset(&mut self) {
+        self.current = BACKOFF_BASE;
+    }
+
+    /// The next sleep: current step scaled by a jitter in [0.5, 1.5),
+    /// then the step doubles up to [`BACKOFF_CAP`].
+    fn next_delay(&mut self) -> Duration {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let jitter = 0.5 + (self.rng % 1000) as f64 / 1000.0;
+        let delay = self.current.mul_f64(jitter);
+        self.current = (self.current * 2).min(BACKOFF_CAP);
+        delay
+    }
+}
 
 fn connect(host: &str) -> Result<TcpStream, HttpError> {
     let stream = TcpStream::connect(host)?;
@@ -149,6 +196,18 @@ pub fn fetch(
         .map_err(|_| "response body is not UTF-8".to_string())
 }
 
+/// One-shot request on a fresh connection; returns the raw body bytes
+/// (for binary endpoints like WAL shipping).
+pub fn fetch_bytes(
+    host: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, Vec<u8>), String> {
+    let mut conn = None;
+    pooled_request(&mut conn, host, method, path, body).map_err(|e| e.to_string())
+}
+
 /// Runs the closed loop and aggregates a [`LoadReport`].
 pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
     if config.bodies.is_empty() {
@@ -162,6 +221,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
     let ok = Arc::new(AtomicU64::new(0));
     let non_2xx = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
+    let errors_by_body: Arc<Vec<AtomicU64>> =
+        Arc::new(config.bodies.iter().map(|_| AtomicU64::new(0)).collect());
     let start = Instant::now();
 
     std::thread::scope(|s| {
@@ -171,14 +232,17 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
             let ok = Arc::clone(&ok);
             let non_2xx = Arc::clone(&non_2xx);
             let errors = Arc::clone(&errors);
+            let errors_by_body = Arc::clone(&errors_by_body);
             let host = config.host.clone();
             let bodies = &config.bodies;
             let duration = config.duration;
             s.spawn(move || {
                 let mut conn: Option<TcpStream> = None;
+                let mut backoff = Backoff::new(worker as u64 + 1);
                 let mut i = worker; // offset so workers interleave the mix
                 while start.elapsed() < duration {
-                    let body = &bodies[i % bodies.len()];
+                    let idx = i % bodies.len();
+                    let body = &bodies[idx];
                     i += 1;
                     let t0 = Instant::now();
                     match pooled_request(&mut conn, &host, "POST", "/query", Some(body)) {
@@ -186,6 +250,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
                             let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                             latency.record(nanos);
                             global_latency.record(nanos);
+                            backoff.reset();
                             if (200..300).contains(&status) {
                                 ok.fetch_add(1, Ordering::Relaxed);
                             } else {
@@ -194,9 +259,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
                         }
                         Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
-                            // Back off briefly so a down server does not
-                            // spin the loop at connect-failure speed.
-                            std::thread::sleep(Duration::from_millis(20));
+                            errors_by_body[idx].fetch_add(1, Ordering::Relaxed);
+                            // Never sleep past the end of the run.
+                            let delay = backoff.next_delay();
+                            let left = duration.saturating_sub(start.elapsed());
+                            std::thread::sleep(delay.min(left));
                         }
                     }
                 }
@@ -208,6 +275,10 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
         ok: ok.load(Ordering::Relaxed),
         non_2xx: non_2xx.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
+        errors_by_body: errors_by_body
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
         elapsed: start.elapsed().as_secs_f64(),
         latency: latency.summary(),
     })
@@ -266,10 +337,42 @@ mod tests {
             ok: 100,
             non_2xx: 2,
             errors: 1,
+            errors_by_body: vec![1, 0],
             elapsed: 4.0,
             latency: HistogramSummary::default(),
         };
         assert_eq!(r.qps(), 25.0);
         assert_eq!(r.total(), 103);
+        assert_eq!(r.errors_by_body.iter().sum::<u64>(), r.errors);
+    }
+
+    #[test]
+    fn backoff_grows_jitters_and_resets() {
+        let mut b = Backoff::new(7);
+        let mut prev_step = BACKOFF_BASE;
+        for _ in 0..12 {
+            let step = b.current;
+            let delay = b.next_delay();
+            // Jitter keeps each delay within [0.5, 1.5) of the step.
+            assert!(
+                delay >= step.mul_f64(0.5),
+                "delay {delay:?} under step {step:?}"
+            );
+            assert!(
+                delay < step.mul_f64(1.5),
+                "delay {delay:?} over step {step:?}"
+            );
+            assert!(step >= prev_step, "steps never shrink mid-streak");
+            assert!(b.current <= BACKOFF_CAP, "step is capped");
+            prev_step = step;
+        }
+        assert_eq!(b.current, BACKOFF_CAP);
+        b.reset();
+        assert_eq!(b.current, BACKOFF_BASE);
+
+        // Two workers with different seeds de-synchronize.
+        let (mut x, mut y) = (Backoff::new(1), Backoff::new(2));
+        let same = (0..8).filter(|_| x.next_delay() == y.next_delay()).count();
+        assert!(same < 8, "seeded jitter must differ between workers");
     }
 }

@@ -21,7 +21,7 @@ use crate::http::{finish_chunks, read_request, write_chunk, write_chunked_head};
 use crate::http::{HttpError, Request, Response};
 use crate::observer::{Observability, Observer};
 use crate::queue::{BoundedQueue, PushError};
-use crate::service::{check_query_params, parse_u64_param, Engine, Service};
+use crate::service::{check_query_params, parse_u64_param, Engine, Service, ShardRole};
 use obs::json::Json;
 use obs::Counter;
 use segdiff::alerts::AlertRuleSet;
@@ -52,6 +52,10 @@ pub struct ServerConfig {
     /// Standing drop/jump alert rules evaluated over the sampled
     /// series (defaults mirror `ci/alert-rules.toml`).
     pub alert_rules: AlertRuleSet,
+    /// Whether this process serves as a shard primary or a warm replica
+    /// (reported by `/healthz`; replicas skip the drain-time flush
+    /// because the tail thread owns their durability).
+    pub role: ShardRole,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +68,7 @@ impl Default for ServerConfig {
             series_capacity: obs::series::DEFAULT_SERIES_CAPACITY,
             slow_trace: Duration::from_millis(25),
             alert_rules: AlertRuleSet::defaults(),
+            role: ShardRole::Primary,
         }
     }
 }
@@ -89,11 +94,9 @@ impl Server {
             config.alert_rules.clone(),
             config.slow_trace,
         ));
-        let service = Arc::new(Service::with_observability(
-            engine,
-            Arc::clone(&shutdown),
-            observability,
-        ));
+        let mut service = Service::with_observability(engine, Arc::clone(&shutdown), observability);
+        service.set_role(config.role);
+        let service = Arc::new(service);
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -193,19 +196,25 @@ impl Server {
         }
         // Every query has finished; make the store durable before telling
         // the caller the drain is complete. With WAL on this checkpoints
-        // and truncates the log, so the next open is clean.
-        let flush_start = std::time::Instant::now();
-        self.service
-            .engine()
-            .flush()
-            .map_err(|e| io::Error::other(format!("flush on drain failed: {e}")))?;
-        registry
-            .histogram("server.flush_ms")
-            .record(flush_start.elapsed().as_millis().min(u64::MAX as u128) as u64);
-        obs::info!(
-            "drained and flushed in {:.1} ms",
-            flush_start.elapsed().as_secs_f64() * 1e3
-        );
+        // and truncates the log, so the next open is clean. Replicas
+        // skip it: the tail thread may still be appending shipped
+        // frames, and a checkpoint here would race it — replica state is
+        // disposable (rebuilt from the primary) so durability is the
+        // tail loop's job.
+        if self.service.role() == ShardRole::Primary {
+            let flush_start = std::time::Instant::now();
+            self.service
+                .engine()
+                .flush()
+                .map_err(|e| io::Error::other(format!("flush on drain failed: {e}")))?;
+            registry
+                .histogram("server.flush_ms")
+                .record(flush_start.elapsed().as_millis().min(u64::MAX as u128) as u64);
+            obs::info!(
+                "drained and flushed in {:.1} ms",
+                flush_start.elapsed().as_secs_f64() * 1e3
+            );
+        }
         observer.stop();
         queue_depth.set(0);
         Ok(())

@@ -22,11 +22,42 @@ use obs::export::Exporter;
 use obs::json::Json;
 use obs::tracering::TraceRecord;
 use obs::TraceNode;
-use segdiff::{QueryPlan, QueryStats, SegDiffIndex, SegmentPair, TransectIndex};
+use pagestore::StoreError;
+use parking_lot::RwLock;
+use segdiff::{QueryPlan, QueryStats, SegDiffIndex, SegmentPair, ShardResults, TransectIndex};
 use sensorgen::HOUR;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Default bytes of WAL frames (or file chunk) per shipping response.
+const SHIP_DEFAULT_BYTES: u64 = 1 << 20;
+/// Upper bound a client may request per shipping response (stays well
+/// under the transport's 4 MiB body cap).
+const SHIP_MAX_BYTES: u64 = 2 << 20;
+
+/// Which role this process plays in a cluster deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardRole {
+    /// Owns its sensors: ingests, serves queries, ships WAL frames.
+    #[default]
+    Primary,
+    /// Tails a primary's WAL and serves read queries from the applied
+    /// state; never writes through its own engine.
+    Replica,
+}
+
+impl ShardRole {
+    /// The wire name reported by `GET /healthz`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardRole::Primary => "primary",
+            ShardRole::Replica => "replica",
+        }
+    }
+}
 
 /// The query backend a [`Service`] executes against: one sensor's index,
 /// or a whole transect fanned out on the worker pool
@@ -44,6 +75,99 @@ pub enum Engine {
         /// Worker threads per fan-out query.
         threads: usize,
     },
+    /// An engine behind a hot-swappable cell, so a replica's WAL tail
+    /// loop can atomically replace the whole index after applying
+    /// shipped frames while queries keep flowing.
+    Swappable(Arc<EngineCell>),
+}
+
+/// A hot-swappable engine slot shared between serving threads and a
+/// replica's tail loop.
+///
+/// The slot briefly holds `None` mid-refresh: the outgoing engine must
+/// drop (closing its buffer pools and file handles) before the
+/// refreshed one recovers over the same files. Queries landing in that
+/// window get a typed "engine reloading" error instead of torn reads.
+/// The cell must hold a non-swappable engine; nesting cells would
+/// self-deadlock.
+pub struct EngineCell {
+    engine: RwLock<Option<Engine>>,
+    /// Highest primary LSN a tailing replica has applied (0 until the
+    /// first refresh; primaries never set it).
+    applied_lsn: AtomicU64,
+}
+
+impl EngineCell {
+    /// A cell initially holding `engine`.
+    pub fn new(engine: Engine) -> Arc<EngineCell> {
+        Arc::new(EngineCell {
+            engine: RwLock::new(Some(engine)),
+            applied_lsn: AtomicU64::new(0),
+        })
+    }
+
+    /// An initially empty cell (queries get the typed reload error
+    /// until [`EngineCell::set`] installs an engine).
+    pub fn empty() -> Arc<EngineCell> {
+        Arc::new(EngineCell {
+            engine: RwLock::new(None),
+            applied_lsn: AtomicU64::new(0),
+        })
+    }
+
+    /// Empties the slot, dropping the current engine (and with it every
+    /// open file handle) before a refresh reopens the same directory.
+    pub fn clear(&self) {
+        self.engine.write().take();
+    }
+
+    /// Installs a fresh engine.
+    pub fn set(&self, engine: Engine) {
+        *self.engine.write() = Some(engine);
+    }
+
+    /// Whether the slot currently holds an engine.
+    pub fn is_loaded(&self) -> bool {
+        self.engine.read().is_some()
+    }
+
+    /// Records the highest primary LSN applied by the replica tail loop.
+    pub fn set_applied_lsn(&self, lsn: u64) {
+        self.applied_lsn.store(lsn, Ordering::Release);
+    }
+
+    /// The highest primary LSN applied so far (0 on primaries).
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn.load(Ordering::Acquire)
+    }
+
+    /// Runs `f` on the held engine, or returns `default` mid-refresh.
+    fn with_engine<R>(&self, default: R, f: impl FnOnce(&Engine) -> R) -> R {
+        let guard = self.engine.read();
+        match guard.as_ref() {
+            Some(engine) => f(engine),
+            None => default,
+        }
+    }
+}
+
+/// The typed error queries see while an [`EngineCell`] is mid-refresh.
+fn engine_reloading() -> StoreError {
+    StoreError::NotFound("engine unavailable: reload in progress".to_string())
+}
+
+/// Aggregates per-sensor recovery reports into `(clean, replayed_pages,
+/// truncated_rows)`; sensors without a report count as clean.
+fn recovery_of<'a>(sensors: impl Iterator<Item = &'a SegDiffIndex>) -> (bool, u64, u64) {
+    let (mut clean, mut replayed, mut truncated) = (true, 0u64, 0u64);
+    for idx in sensors {
+        if let Some(r) = idx.recovery_report() {
+            clean &= r.clean;
+            replayed += r.replayed_pages;
+            truncated += r.truncated_rows;
+        }
+    }
+    (clean, replayed, truncated)
 }
 
 impl Engine {
@@ -69,6 +193,57 @@ impl Engine {
                 let flat: Vec<SegmentPair> = per_sensor.into_iter().flatten().collect();
                 Ok((Arc::new(flat), stats, false))
             }
+            Engine::Swappable(cell) => {
+                let guard = cell.engine.read();
+                match guard.as_ref() {
+                    Some(engine) => engine.query(region, plan),
+                    None => Err(engine_reloading()),
+                }
+            }
+        }
+    }
+
+    /// Executes one query restricted to `sensors` (None = all served),
+    /// returning per-sensor result lists in ascending sensor order — the
+    /// shape a scatter–gather router merges with
+    /// [`segdiff::merge_sharded`]. Unknown sensor ids are a `NotFound`
+    /// error.
+    fn query_by_sensor(
+        &self,
+        region: &featurespace::QueryRegion,
+        plan: QueryPlan,
+        sensors: Option<&[u32]>,
+    ) -> pagestore::Result<(ShardResults, QueryStats, bool)> {
+        match self {
+            Engine::Single(idx) => {
+                if let Some(&bad) = sensors.unwrap_or(&[]).iter().find(|&&sensor| sensor != 0) {
+                    return Err(StoreError::NotFound(format!(
+                        "sensor {bad} (this shard serves sensor 0 only)"
+                    )));
+                }
+                let (results, stats, cached) = idx.query_cached(region, plan)?;
+                Ok((vec![(0, results.as_ref().clone())], stats, cached))
+            }
+            Engine::Transect { index, threads } => {
+                let all;
+                let ids = match sensors {
+                    Some(ids) => ids,
+                    None => {
+                        all = index.sensor_ids().to_vec();
+                        &all
+                    }
+                };
+                let (parts, stats) =
+                    index.query_subset_with_threads(ids, region, plan, *threads)?;
+                Ok((parts, stats, false))
+            }
+            Engine::Swappable(cell) => {
+                let guard = cell.engine.read();
+                match guard.as_ref() {
+                    Some(engine) => engine.query_by_sensor(region, plan, sensors),
+                    None => Err(engine_reloading()),
+                }
+            }
         }
     }
 
@@ -77,6 +252,7 @@ impl Engine {
         match self {
             Engine::Single(idx) => idx.epoch(),
             Engine::Transect { index, .. } => index.epoch(),
+            Engine::Swappable(cell) => cell.with_engine(0, Engine::epoch),
         }
     }
 
@@ -85,6 +261,7 @@ impl Engine {
         match self {
             Engine::Single(idx) => idx.result_cache().len(),
             Engine::Transect { .. } => 0,
+            Engine::Swappable(cell) => cell.with_engine(0, Engine::cache_entries),
         }
     }
 
@@ -93,6 +270,75 @@ impl Engine {
         match self {
             Engine::Single(_) => 1,
             Engine::Transect { index, .. } => index.num_sensors(),
+            Engine::Swappable(cell) => cell.with_engine(0, Engine::num_sensors),
+        }
+    }
+
+    /// The global sensor ids this engine serves, ascending.
+    pub fn sensor_ids(&self) -> Vec<u32> {
+        match self {
+            Engine::Single(_) => vec![0],
+            Engine::Transect { index, .. } => index.sensor_ids().to_vec(),
+            Engine::Swappable(cell) => cell.with_engine(Vec::new(), Engine::sensor_ids),
+        }
+    }
+
+    /// The on-disk directory backing `sensor`, when this engine serves
+    /// it (the WAL-shipping routes read `wal.log` and data files here).
+    pub fn sensor_dir(&self, sensor: u32) -> Option<PathBuf> {
+        match self {
+            Engine::Single(idx) => (sensor == 0).then(|| idx.database().dir().to_path_buf()),
+            Engine::Transect { index, .. } => index
+                .sensor(sensor)
+                .ok()
+                .map(|s| s.database().dir().to_path_buf()),
+            Engine::Swappable(cell) => cell.with_engine(None, |e| e.sensor_dir(sensor)),
+        }
+    }
+
+    /// The highest LSN durably appended to any backing WAL (0 when the
+    /// engine runs without logs).
+    pub fn last_durable_lsn(&self) -> u64 {
+        fn of(idx: &SegDiffIndex) -> u64 {
+            idx.database()
+                .wal()
+                .map(|w| w.next_lsn().saturating_sub(1))
+                .unwrap_or(0)
+        }
+        match self {
+            Engine::Single(idx) => of(idx),
+            Engine::Transect { index, .. } => index
+                .sensor_ids()
+                .iter()
+                .filter_map(|&sensor| index.sensor(sensor).ok())
+                .map(of)
+                .max()
+                .unwrap_or(0),
+            Engine::Swappable(cell) => cell.with_engine(0, Engine::last_durable_lsn),
+        }
+    }
+
+    /// What recovery did when the backing databases opened, aggregated
+    /// as `(all clean, pages replayed, rows truncated)`.
+    pub fn recovery_summary(&self) -> (bool, u64, u64) {
+        match self {
+            Engine::Single(idx) => recovery_of(std::iter::once(idx.as_ref())),
+            Engine::Transect { index, .. } => recovery_of(
+                index
+                    .sensor_ids()
+                    .iter()
+                    .filter_map(|&sensor| index.sensor(sensor).ok()),
+            ),
+            Engine::Swappable(cell) => cell.with_engine((true, 0, 0), Engine::recovery_summary),
+        }
+    }
+
+    /// The highest primary LSN applied by a tailing replica (0 unless
+    /// this is a swappable replica engine).
+    pub fn applied_lsn(&self) -> u64 {
+        match self {
+            Engine::Swappable(cell) => cell.applied_lsn(),
+            _ => 0,
         }
     }
 
@@ -102,6 +348,13 @@ impl Engine {
         match self {
             Engine::Single(idx) => idx.database().flush(),
             Engine::Transect { index, .. } => index.flush_all(),
+            Engine::Swappable(cell) => {
+                let guard = cell.engine.read();
+                match guard.as_ref() {
+                    Some(engine) => engine.flush(),
+                    None => Ok(()),
+                }
+            }
         }
     }
 }
@@ -129,6 +382,9 @@ struct ServiceMetrics {
     inflight: Arc<obs::Gauge>,
     request_nanos: Arc<obs::Histogram>,
     query_nanos: Arc<obs::Histogram>,
+    ship_requests: Arc<obs::Counter>,
+    ship_bytes: Arc<obs::Counter>,
+    ship_restarts: Arc<obs::Counter>,
 }
 
 impl ServiceMetrics {
@@ -143,6 +399,9 @@ impl ServiceMetrics {
             inflight: r.gauge("server.inflight"),
             request_nanos: r.histogram("server.request_nanos"),
             query_nanos: r.histogram("server.query_nanos"),
+            ship_requests: r.counter("wal.ship.requests"),
+            ship_bytes: r.counter("wal.ship.bytes"),
+            ship_restarts: r.counter("wal.ship.restarts"),
         }
     }
 }
@@ -150,6 +409,7 @@ impl ServiceMetrics {
 /// The HTTP-facing facade over one query engine.
 pub struct Service {
     engine: Engine,
+    role: ShardRole,
     shutdown: Arc<AtomicBool>,
     in_flight: AtomicU64,
     metrics: ServiceMetrics,
@@ -169,6 +429,11 @@ pub struct QuerySpec {
     pub t_hours: f64,
     /// `"scan"` or `"index"`.
     pub plan: String,
+    /// Restrict execution to these global sensor ids (empty = all).
+    pub sensors: Vec<u32>,
+    /// Group results per sensor (`by_sensor`) instead of flattening —
+    /// the shape a scatter–gather router merges deterministically.
+    pub per_sensor: bool,
     /// Whether to attach an `EXPLAIN ANALYZE`-style trace.
     pub trace: bool,
 }
@@ -225,12 +490,34 @@ impl QuerySpec {
             .get("series")
             .and_then(Json::as_str)
             .map(|s| s.to_string());
+        let sensors = match doc.get("sensors") {
+            None => Vec::new(),
+            Some(Json::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let id = item
+                        .as_u64()
+                        .filter(|&n| n <= u64::from(u32::MAX))
+                        .ok_or("sensors must be an array of non-negative sensor ids")?;
+                    out.push(id as u32);
+                }
+                out
+            }
+            Some(_) => return Err("sensors must be an array of sensor ids".to_string()),
+        };
+        let per_sensor = match doc.get("per_sensor") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("per_sensor must be a boolean".to_string()),
+        };
         Ok(QuerySpec {
             series,
             kind,
             v,
             t_hours,
             plan,
+            sensors,
+            per_sensor,
             trace,
         })
     }
@@ -406,6 +693,30 @@ pub(crate) fn parse_u64_param(req: &Request, key: &str, default: u64) -> Result<
     }
 }
 
+/// Result shape of one `/query` execution: flat (the classic response)
+/// or grouped per sensor (the scatter–gather shape).
+enum QueryOutput {
+    Flat(Arc<Vec<SegmentPair>>),
+    Parts(Vec<(u32, Vec<SegmentPair>)>),
+}
+
+/// Serializes result pairs in the canonical field order.
+fn pairs_to_json(results: &[SegmentPair]) -> Json {
+    Json::Array(
+        results
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("t_d", Json::Float(p.t_d)),
+                    ("t_c", Json::Float(p.t_c)),
+                    ("t_b", Json::Float(p.t_b)),
+                    ("t_a", Json::Float(p.t_a)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn trace_to_json(node: &TraceNode) -> Json {
     let mut fields = vec![
         ("span".to_string(), Json::Str(node.name.clone())),
@@ -440,11 +751,22 @@ impl Service {
     ) -> Self {
         Service {
             engine: engine.into(),
+            role: ShardRole::Primary,
             shutdown,
             in_flight: AtomicU64::new(0),
             metrics: ServiceMetrics::new(),
             observability,
         }
+    }
+
+    /// Sets the role `GET /healthz` reports (default primary).
+    pub fn set_role(&mut self, role: ShardRole) {
+        self.role = role;
+    }
+
+    /// The role this process serves as.
+    pub fn role(&self) -> ShardRole {
+        self.role
     }
 
     /// The engine queries execute against.
@@ -486,6 +808,9 @@ impl Service {
             ("POST", "/query") => self.query(req, trace_id),
             ("GET", "/metrics") => (self.metrics_dump(req), None),
             ("GET", "/healthz") => (self.healthz(req), None),
+            ("GET", "/wal") => (self.wal_ship(req), None),
+            ("GET", "/wal/manifest") => (self.wal_manifest(req), None),
+            ("GET", "/wal/file") => (self.wal_file(req), None),
             ("GET", "/series") => (self.series_dump(req), None),
             ("GET", "/alerts") => (self.alerts_dump(req), None),
             ("GET", "/debug/traces") => (self.traces_dump(req), None),
@@ -499,7 +824,8 @@ impl Service {
             (
                 _,
                 "/query" | "/metrics" | "/healthz" | "/series" | "/alerts" | "/debug/traces"
-                | "/subscribe" | "/notifications" | "/shutdown",
+                | "/subscribe" | "/notifications" | "/shutdown" | "/wal" | "/wal/manifest"
+                | "/wal/file",
             ) => (
                 Response::error(405, format!("method {} not allowed", req.method)),
                 None,
@@ -559,16 +885,37 @@ impl Service {
         self.metrics.queries.inc();
         let start = Instant::now();
         obs::trace_begin();
-        let outcome = self.engine.query(&spec.region(), spec.query_plan());
+        let grouped = spec.per_sensor || !spec.sensors.is_empty();
+        let outcome = if grouped {
+            let subset = (!spec.sensors.is_empty()).then_some(spec.sensors.as_slice());
+            self.engine
+                .query_by_sensor(&spec.region(), spec.query_plan(), subset)
+                .map(|(parts, stats, cached)| (QueryOutput::Parts(parts), stats, cached))
+        } else {
+            self.engine
+                .query(&spec.region(), spec.query_plan())
+                .map(|(flat, stats, cached)| (QueryOutput::Flat(flat), stats, cached))
+        };
         let trace = obs::trace_take();
-        let (results, stats, cached) = match outcome {
+        let (output, stats, cached) = match outcome {
             Ok(t) => t,
+            Err(StoreError::NotFound(m)) if grouped => {
+                self.metrics.bad_requests.inc();
+                return (
+                    Response::error(400, format!("bad sensor filter: {m}")),
+                    trace,
+                );
+            }
             Err(e) => {
                 return (Response::error(500, format!("query failed: {e}")), trace);
             }
         };
         self.metrics.query_nanos.record_duration(start.elapsed());
 
+        let count = match &output {
+            QueryOutput::Flat(results) => results.len(),
+            QueryOutput::Parts(parts) => parts.iter().map(|(_, r)| r.len()).sum(),
+        };
         let mut fields = Vec::new();
         if let Some(series) = &spec.series {
             fields.push(("series".to_string(), Json::Str(series.clone())));
@@ -580,30 +927,43 @@ impl Service {
             ("plan".to_string(), Json::Str(spec.plan.clone())),
             ("epoch".to_string(), Json::Uint(self.engine.epoch())),
             ("cached".to_string(), Json::Bool(cached)),
-            ("count".to_string(), Json::Uint(results.len() as u64)),
+            ("count".to_string(), Json::Uint(count as u64)),
             (
                 "rows_considered".to_string(),
                 Json::Uint(stats.rows_considered),
             ),
             ("wall_ms".to_string(), Json::Float(stats.wall_seconds * 1e3)),
-            (
-                "results".to_string(),
-                Json::Array(
-                    results
-                        .iter()
-                        .map(|p| {
-                            Json::obj([
-                                ("t_d", Json::Float(p.t_d)),
-                                ("t_c", Json::Float(p.t_c)),
-                                ("t_b", Json::Float(p.t_b)),
-                                ("t_a", Json::Float(p.t_a)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
         ]);
-        if let Engine::Transect { .. } = &self.engine {
+        match output {
+            QueryOutput::Flat(results) => {
+                fields.push(("results".to_string(), pairs_to_json(&results)));
+            }
+            QueryOutput::Parts(parts) if spec.per_sensor => {
+                fields.push((
+                    "by_sensor".to_string(),
+                    Json::Array(
+                        parts
+                            .iter()
+                            .map(|(sensor, results)| {
+                                Json::obj([
+                                    ("sensor", Json::Uint(u64::from(*sensor))),
+                                    ("count", Json::Uint(results.len() as u64)),
+                                    ("results", pairs_to_json(results)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            QueryOutput::Parts(parts) => {
+                // Flatten in ascending sensor order — byte-identical to
+                // the unfiltered single-process response over the same
+                // sensors (the merge_sharded contract).
+                let flat: Vec<SegmentPair> = parts.into_iter().flat_map(|(_, r)| r).collect();
+                fields.push(("results".to_string(), pairs_to_json(&flat)));
+            }
+        }
+        if let Engine::Transect { .. } | Engine::Swappable(_) = &self.engine {
             fields.push((
                 "sensors".to_string(),
                 Json::Uint(self.engine.num_sensors() as u64),
@@ -984,19 +1344,216 @@ impl Service {
         rest.strip_suffix("/stream")?.parse().ok()
     }
 
+    /// `GET /healthz` — liveness plus the shard's cluster-facing state:
+    /// role, served sensor ids, last durable WAL LSN, what recovery did
+    /// at open, and (on replicas) the highest primary LSN applied.
     fn healthz(&self, req: &Request) -> Response {
         if let Err(e) = check_query_params(req, &[]) {
             return self.bad_request(e);
         }
+        let ids = self.engine.sensor_ids();
+        let (clean, replayed_pages, truncated_rows) = self.engine.recovery_summary();
+        let mut fields = vec![
+            ("status".to_string(), Json::from("ok")),
+            ("role".to_string(), Json::from(self.role.name())),
+            ("epoch".to_string(), Json::Uint(self.engine.epoch())),
+            (
+                "sensors".to_string(),
+                Json::Uint(self.engine.num_sensors() as u64),
+            ),
+            (
+                "sensor_ids".to_string(),
+                Json::Array(ids.iter().map(|&g| Json::Uint(u64::from(g))).collect()),
+            ),
+            (
+                "cache_entries".to_string(),
+                Json::from(self.engine.cache_entries()),
+            ),
+            (
+                "last_durable_lsn".to_string(),
+                Json::Uint(self.engine.last_durable_lsn()),
+            ),
+        ];
+        if self.role == ShardRole::Replica {
+            fields.push((
+                "applied_lsn".to_string(),
+                Json::Uint(self.engine.applied_lsn()),
+            ));
+        }
+        fields.push((
+            "recovery".to_string(),
+            Json::obj([
+                ("clean", Json::Bool(clean)),
+                ("replayed_pages", Json::Uint(replayed_pages)),
+                ("truncated_rows", Json::Uint(truncated_rows)),
+            ]),
+        ));
+        Response::json(200, &Json::Object(fields))
+    }
+
+    /// `GET /wal?sensor=G&after_lsn=N[&max_bytes=M]` — raw WAL frames
+    /// with LSN > N for one served sensor, wrapped in the
+    /// [`crate::ship`] header. A warm replica tails this to stay fresh.
+    fn wal_ship(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &["sensor", "after_lsn", "max_bytes"]) {
+            return self.bad_request(e);
+        }
+        let sensor = match self.sensor_param(req) {
+            Ok(sensor) => sensor,
+            Err(resp) => return *resp,
+        };
+        let after = match parse_u64_param(req, "after_lsn", 0) {
+            Ok(n) => n,
+            Err(e) => return self.bad_request(e),
+        };
+        let max_bytes = match parse_u64_param(req, "max_bytes", SHIP_DEFAULT_BYTES) {
+            Ok(n) => n.min(SHIP_MAX_BYTES) as usize,
+            Err(e) => return self.bad_request(e),
+        };
+        let Some(dir) = self.engine.sensor_dir(sensor) else {
+            return Response::error(404, format!("no sensor {sensor}"));
+        };
+        match pagestore::wal::read_after(&dir.join(pagestore::WAL_FILE), after, max_bytes) {
+            Ok(seg) => {
+                self.metrics.ship_requests.inc();
+                self.metrics.ship_bytes.add(seg.frames.len() as u64);
+                if seg.restart {
+                    self.metrics.ship_restarts.inc();
+                }
+                Response::binary(200, crate::ship::encode_segment(&seg))
+            }
+            Err(e) => Response::error(500, format!("wal read failed: {e}")),
+        }
+    }
+
+    /// `GET /wal/manifest` — role and served sensor ids; with
+    /// `?sensor=G`, the sensor directory's file list (name + length) a
+    /// replica copies to bootstrap. Volatile companions (`*.tmp`, the
+    /// replica cursor) are excluded.
+    fn wal_manifest(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &["sensor"]) {
+            return self.bad_request(e);
+        }
+        if req.query_param("sensor").is_none() {
+            let ids = self.engine.sensor_ids();
+            return Response::json(
+                200,
+                &Json::obj([
+                    ("role", Json::from(self.role.name())),
+                    (
+                        "sensors",
+                        Json::Array(ids.iter().map(|&g| Json::Uint(u64::from(g))).collect()),
+                    ),
+                ]),
+            );
+        }
+        let sensor = match self.sensor_param(req) {
+            Ok(sensor) => sensor,
+            Err(resp) => return *resp,
+        };
+        let Some(dir) = self.engine.sensor_dir(sensor) else {
+            return Response::error(404, format!("no sensor {sensor}"));
+        };
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) => return Response::error(500, format!("read_dir failed: {e}")),
+        };
+        let mut files = Vec::new();
+        for entry in entries.flatten() {
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if name.ends_with(".tmp") || name == crate::replica::CURSOR_FILE {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else {
+                continue;
+            };
+            if !meta.is_file() {
+                continue;
+            }
+            files.push((name, meta.len()));
+        }
+        files.sort();
         Response::json(
             200,
             &Json::obj([
-                ("status", Json::from("ok")),
-                ("epoch", Json::Uint(self.engine.epoch())),
-                ("sensors", Json::Uint(self.engine.num_sensors() as u64)),
-                ("cache_entries", Json::from(self.engine.cache_entries())),
+                ("sensor", Json::Uint(u64::from(sensor))),
+                (
+                    "files",
+                    Json::Array(
+                        files
+                            .iter()
+                            .map(|(name, len)| {
+                                Json::obj([
+                                    ("name", Json::from(name.as_str())),
+                                    ("len", Json::Uint(*len)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         )
+    }
+
+    /// `GET /wal/file?sensor=G&name=F&offset=O[&len=L]` — one bounded
+    /// chunk of a sensor data file, for replica bootstrap. An empty body
+    /// means EOF at `offset`.
+    fn wal_file(&self, req: &Request) -> Response {
+        if let Err(e) = check_query_params(req, &["sensor", "name", "offset", "len"]) {
+            return self.bad_request(e);
+        }
+        let sensor = match self.sensor_param(req) {
+            Ok(sensor) => sensor,
+            Err(resp) => return *resp,
+        };
+        let Some(name) = req.query_param("name") else {
+            return self.bad_request("missing query parameter \"name\"".to_string());
+        };
+        if name.is_empty() || name.contains('/') || name.contains('\\') || name.contains("..") {
+            return self.bad_request(format!("invalid file name {name:?}"));
+        }
+        let offset = match parse_u64_param(req, "offset", 0) {
+            Ok(n) => n,
+            Err(e) => return self.bad_request(e),
+        };
+        let len = match parse_u64_param(req, "len", SHIP_DEFAULT_BYTES) {
+            Ok(n) => n.min(SHIP_MAX_BYTES),
+            Err(e) => return self.bad_request(e),
+        };
+        let Some(dir) = self.engine.sensor_dir(sensor) else {
+            return Response::error(404, format!("no sensor {sensor}"));
+        };
+        let path = dir.join(name);
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Response::error(404, format!("no file {name:?} for sensor {sensor}"));
+            }
+            Err(e) => return Response::error(500, format!("open failed: {e}")),
+        };
+        if let Err(e) = file.seek(SeekFrom::Start(offset)) {
+            return Response::error(500, format!("seek failed: {e}"));
+        }
+        let mut buf = Vec::new();
+        if let Err(e) = file.take(len).read_to_end(&mut buf) {
+            return Response::error(500, format!("read failed: {e}"));
+        }
+        Response::binary(200, buf)
+    }
+
+    /// Parses the required `sensor` query parameter; the error side is a
+    /// ready-to-return response (boxed to keep the Ok path lean).
+    fn sensor_param(&self, req: &Request) -> Result<u32, Box<Response>> {
+        match req.query_param("sensor") {
+            None => Err(Box::new(
+                self.bad_request("missing query parameter \"sensor\"".to_string()),
+            )),
+            Some(raw) => raw.parse::<u32>().map_err(|_| {
+                Box::new(self.bad_request(format!("sensor must be a sensor id, got {raw:?}")))
+            }),
+        }
     }
 
     fn initiate_shutdown(&self) -> Response {

@@ -1,0 +1,146 @@
+//! Wire format for WAL shipping (`GET /wal`).
+//!
+//! A shipping response body is a fixed 40-byte header followed by raw
+//! WAL frames exactly as they appear in the primary's `wal.log` — the
+//! receiver appends the frame bytes verbatim to its own log and replays
+//! them through the ordinary recovery path. Everything is little-endian:
+//!
+//! ```text
+//! [magic "SDWS" u32][flags u32 (bit0 = restart)]
+//! [log_start_lsn u64][log_end_lsn u64][first_lsn u64][last_lsn u64]
+//! [raw frames ...]
+//! ```
+
+use pagestore::{wal, WalSegment};
+
+/// Magic word opening every shipping response ("SDWS").
+pub const SHIP_MAGIC: u32 = u32::from_le_bytes(*b"SDWS");
+
+/// Header length in bytes.
+pub const SHIP_HDR: usize = 40;
+
+/// Serializes a [`WalSegment`] into a shipping response body.
+pub fn encode_segment(seg: &WalSegment) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SHIP_HDR + seg.frames.len());
+    out.extend_from_slice(&SHIP_MAGIC.to_le_bytes());
+    out.extend_from_slice(&u32::from(seg.restart).to_le_bytes());
+    for v in [
+        seg.log_start_lsn,
+        seg.log_end_lsn,
+        seg.first_lsn,
+        seg.last_lsn,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&seg.frames);
+    out
+}
+
+/// Parses a shipping response body back into a [`WalSegment`]
+/// (`valid_bytes` is not carried on the wire and decodes as 0).
+pub fn decode_segment(body: &[u8]) -> Result<WalSegment, String> {
+    if body.len() < SHIP_HDR {
+        return Err(format!(
+            "ship body too short: {} bytes (need {SHIP_HDR})",
+            body.len()
+        ));
+    }
+    let u32_at = |off: usize| {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&body[off..off + 4]);
+        u32::from_le_bytes(b)
+    };
+    let u64_at = |off: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&body[off..off + 8]);
+        u64::from_le_bytes(b)
+    };
+    if u32_at(0) != SHIP_MAGIC {
+        return Err("bad ship magic".to_string());
+    }
+    Ok(WalSegment {
+        restart: u32_at(4) & 1 != 0,
+        log_start_lsn: u64_at(8),
+        log_end_lsn: u64_at(16),
+        first_lsn: u64_at(24),
+        last_lsn: u64_at(32),
+        frames: body[SHIP_HDR..].to_vec(),
+        valid_bytes: 0,
+    })
+}
+
+/// Counts whole frames in a shipped `frames` buffer (shipping always
+/// sends whole frames, so a partial trailer would be a transport bug
+/// and simply stops the count, like recovery's torn-tail rule).
+pub fn count_frames(frames: &[u8]) -> u64 {
+    let mut count = 0u64;
+    let mut pos = 0usize;
+    while let Some(hdr) = frames.get(pos..pos + wal::FRAME_HDR) {
+        if u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) != wal::WAL_MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as usize;
+        if frames.len() < pos + wal::FRAME_HDR + len {
+            break;
+        }
+        count += 1;
+        pos += wal::FRAME_HDR + len;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_segments() {
+        let seg = WalSegment {
+            frames: vec![1, 2, 3, 4, 5],
+            first_lsn: 7,
+            last_lsn: 9,
+            log_start_lsn: 3,
+            log_end_lsn: 11,
+            restart: true,
+            valid_bytes: 99,
+        };
+        let body = encode_segment(&seg);
+        assert_eq!(body.len(), SHIP_HDR + 5);
+        let back = decode_segment(&body).expect("decode");
+        assert_eq!(back.frames, seg.frames);
+        assert_eq!(back.first_lsn, 7);
+        assert_eq!(back.last_lsn, 9);
+        assert_eq!(back.log_start_lsn, 3);
+        assert_eq!(back.log_end_lsn, 11);
+        assert!(back.restart);
+        assert_eq!(back.valid_bytes, 0, "not carried on the wire");
+
+        let empty = encode_segment(&WalSegment::default());
+        let back = decode_segment(&empty).expect("decode empty");
+        assert!(back.frames.is_empty());
+        assert!(!back.restart);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_segment(&[]).is_err());
+        assert!(decode_segment(&[0u8; SHIP_HDR - 1]).is_err());
+        assert!(decode_segment(&[0u8; SHIP_HDR]).is_err(), "bad magic");
+    }
+
+    #[test]
+    fn counts_frames() {
+        assert_eq!(count_frames(&[]), 0);
+        // Two synthetic frames with empty payloads.
+        let mut buf = Vec::new();
+        for _ in 0..2 {
+            buf.extend_from_slice(&wal::WAL_MAGIC.to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes()); // len
+            buf.extend_from_slice(&0u32.to_le_bytes()); // crc (unchecked)
+        }
+        assert_eq!(count_frames(&buf), 2);
+        // A truncated trailer stops the count.
+        buf.extend_from_slice(&wal::WAL_MAGIC.to_le_bytes());
+        assert_eq!(count_frames(&buf), 2);
+    }
+}
