@@ -1,0 +1,569 @@
+//! The workspace call graph: a per-file symbol table (impl blocks, fn
+//! names, receiver types inferred from paths) feeding per-function
+//! *lock summaries* — which classes a function acquires, directly or
+//! through the intra-crate calls it makes, to a bounded depth.
+//!
+//! Resolution is deliberately conservative, in the paper's own
+//! "no false negatives on what we claim, bounded false positives"
+//! spirit — an edge exists only when the target is unambiguous:
+//!
+//! * `self.name(…)` resolves within the caller's impl type first;
+//! * `Type::name(…)` / `Self::name(…)` resolve within that impl type;
+//! * any other call resolves only if exactly one function in the same
+//!   crate has that name (cross-crate edges are never followed — the
+//!   declared order already encodes the cross-crate layering);
+//! * acquisition primitives and ubiquitous names (`clone`, `new`, …)
+//!   are never edges.
+//!
+//! Summaries propagate for [`MAX_DEPTH`] rounds, so a lock acquired
+//! four calls deep is still attributed to every caller above it, with
+//! the call chain preserved for the diagnostic.
+
+use crate::config::LockOrder;
+use crate::context::FileCtx;
+use crate::flow::{self, CallForm, ClassRef, Guard, Site};
+use crate::lexer::TokKind;
+use std::collections::{BTreeMap, HashMap};
+
+/// How many call layers a summary crosses (a helper's helper's helper
+/// still counts; deeper nests are out of the declared-order's blast
+/// radius in this codebase).
+pub const MAX_DEPTH: usize = 4;
+
+/// One function in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type, when inside one.
+    pub impl_type: Option<String>,
+    /// Defining file (workspace-relative).
+    pub file: String,
+    /// Crate the file belongs to.
+    pub krate: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Classified acquisitions made directly in the body.
+    pub acquires: Vec<DirectAcquire>,
+    /// Call sites in the body, with the guards held at each.
+    pub calls: Vec<CallSite>,
+}
+
+/// A classified acquisition directly inside a function body.
+#[derive(Debug, Clone)]
+pub struct DirectAcquire {
+    /// The lock class.
+    pub class: ClassRef,
+    /// Acquisition line.
+    pub line: u32,
+}
+
+/// One call site with its held-lock context.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub callee: String,
+    /// Method receiver path or `::` path prefix, when simple.
+    pub qualifier: Option<String>,
+    /// Call shape.
+    pub form: CallForm,
+    /// Position.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+    /// Classified classes held at the call (name → (rank, acquisition line)).
+    pub held: Vec<(ClassRef, u32)>,
+    /// Whether *any* guard (classified or anonymous) is live.
+    pub any_held: bool,
+}
+
+/// How a function (transitively) acquires one lock class.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// The class.
+    pub class: ClassRef,
+    /// File of the ultimate acquisition site.
+    pub file: String,
+    /// Line of the ultimate acquisition site.
+    pub line: u32,
+    /// Call chain from this function to the acquiring one (empty for a
+    /// direct acquisition): function names, outermost first.
+    pub via: Vec<String>,
+}
+
+/// The assembled graph: every production function plus name indexes.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All functions, in discovery order.
+    pub fns: Vec<FnInfo>,
+    /// `(crate, impl_type, name)` → fn index (last definition wins;
+    /// duplicate trait-impl methods are ambiguous and map to `None`).
+    by_impl: HashMap<(String, String, String), Option<usize>>,
+    /// `(crate, name)` → unique fn index, `None` when ambiguous.
+    by_name: HashMap<(String, String), Option<usize>>,
+}
+
+/// Names that never form call-graph edges: acquisition primitives,
+/// ubiquitous std vocabulary, and the blocking ops L7 owns.
+fn is_edge_noise(name: &str) -> bool {
+    matches!(
+        name,
+        "lock"
+            | "read"
+            | "write"
+            | "drop"
+            | "clone"
+            | "new"
+            | "default"
+            | "from"
+            | "into"
+            | "len"
+            | "is_empty"
+            | "get"
+            | "insert"
+            | "push"
+            | "iter"
+            | "unwrap"
+            | "expect"
+            | "map"
+            | "ok"
+            | "fmt"
+            | "to_string"
+            | "format"
+    )
+}
+
+impl CallGraph {
+    /// Adds every production function of one file (test files and
+    /// test regions are skipped — their lock usage is not load-bearing).
+    pub fn add_file(&mut self, ctx: &FileCtx, order: &LockOrder) {
+        if ctx.test_file {
+            return;
+        }
+        for (name, impl_type, line, open, close) in file_functions(ctx) {
+            if ctx.in_test(line) {
+                continue;
+            }
+            let mut sink = FactSink {
+                ctx,
+                acquires: Vec::new(),
+                calls: Vec::new(),
+            };
+            flow::walk_body(ctx, order, open, close, &mut sink);
+            let idx = self.fns.len();
+            self.fns.push(FnInfo {
+                name: name.clone(),
+                impl_type: impl_type.clone(),
+                file: ctx.path.clone(),
+                krate: ctx.crate_name.clone(),
+                line,
+                acquires: sink.acquires,
+                calls: sink.calls,
+            });
+            if let Some(ty) = impl_type {
+                self.by_impl
+                    .entry((ctx.crate_name.clone(), ty, name.clone()))
+                    .and_modify(|e| *e = None)
+                    .or_insert(Some(idx));
+            }
+            self.by_name
+                .entry((ctx.crate_name.clone(), name))
+                .and_modify(|e| *e = None)
+                .or_insert(Some(idx));
+        }
+    }
+
+    /// Resolves one call site made from `caller` to a function index,
+    /// or `None` when the target is ambiguous, cross-crate, or noise.
+    pub fn resolve(&self, caller: &FnInfo, call: &CallSite) -> Option<usize> {
+        if is_edge_noise(&call.callee) {
+            return None;
+        }
+        let krate = caller.krate.clone();
+        match call.form {
+            CallForm::Method => {
+                // Only `self.helper(…)` resolves: the caller's own impl
+                // first, then the unique-name fallback. A method on any
+                // other receiver (`file.sync_all()`, `guard.clear()`)
+                // is almost always a std or foreign method that merely
+                // shares a name with a workspace fn — resolving those
+                // by name alone manufactures phantom lock chains.
+                if call.qualifier.as_deref() != Some("self") {
+                    return None;
+                }
+                if let Some(ty) = &caller.impl_type {
+                    if let Some(&hit) =
+                        self.by_impl
+                            .get(&(krate.clone(), ty.clone(), call.callee.clone()))
+                    {
+                        if hit.is_some() {
+                            return hit;
+                        }
+                    }
+                }
+                self.unique_in_crate(&krate, &call.callee)
+            }
+            CallForm::Path => {
+                let ty = match call.qualifier.as_deref() {
+                    Some("Self") => caller.impl_type.clone(),
+                    other => other.map(str::to_string),
+                };
+                if let Some(ty) = ty {
+                    if let Some(&hit) = self.by_impl.get(&(krate.clone(), ty, call.callee.clone()))
+                    {
+                        if hit.is_some() {
+                            return hit;
+                        }
+                    }
+                }
+                self.unique_in_crate(&krate, &call.callee)
+            }
+            CallForm::Bare => self.unique_in_crate(&krate, &call.callee),
+        }
+    }
+
+    fn unique_in_crate(&self, krate: &str, name: &str) -> Option<usize> {
+        self.by_name
+            .get(&(krate.to_string(), name.to_string()))
+            .copied()
+            .flatten()
+    }
+
+    /// Computes the bounded-depth lock summary of every function:
+    /// `summary[i]` maps class name → how fn `i` (transitively)
+    /// acquires it. Direct acquisitions seed the map; [`MAX_DEPTH`]
+    /// relaxation rounds propagate callee summaries up through every
+    /// resolvable edge, extending the recorded chain.
+    pub fn summaries(&self) -> Vec<BTreeMap<String, Acquisition>> {
+        let mut summary: Vec<BTreeMap<String, Acquisition>> = self
+            .fns
+            .iter()
+            .map(|f| {
+                let mut m = BTreeMap::new();
+                for a in &f.acquires {
+                    m.entry(a.class.name.clone()).or_insert(Acquisition {
+                        class: a.class.clone(),
+                        file: f.file.clone(),
+                        line: a.line,
+                        via: Vec::new(),
+                    });
+                }
+                m
+            })
+            .collect();
+        // Pre-resolve the edges once; the graph is static across rounds.
+        let edges: Vec<Vec<usize>> = self
+            .fns
+            .iter()
+            .map(|f| {
+                let mut targets: Vec<usize> =
+                    f.calls.iter().filter_map(|c| self.resolve(f, c)).collect();
+                targets.sort_unstable();
+                targets.dedup();
+                targets
+            })
+            .collect();
+        for _ in 0..MAX_DEPTH {
+            let prev = summary.clone();
+            for (i, targets) in edges.iter().enumerate() {
+                for &t in targets {
+                    for (class, acq) in &prev[t] {
+                        summary[i].entry(class.clone()).or_insert_with(|| {
+                            let mut via = vec![self.fns[t].name.clone()];
+                            via.extend(acq.via.iter().cloned());
+                            via.truncate(MAX_DEPTH);
+                            Acquisition {
+                                class: acq.class.clone(),
+                                file: acq.file.clone(),
+                                line: acq.line,
+                                via,
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        summary
+    }
+}
+
+struct FactSink<'a, 's> {
+    ctx: &'a FileCtx<'s>,
+    acquires: Vec<DirectAcquire>,
+    calls: Vec<CallSite>,
+}
+
+impl flow::Sink for FactSink<'_, '_> {
+    fn acquire(&mut self, site: Site, class: &ClassRef, _path: &str, _held: &[Guard]) {
+        if self.ctx.in_test(site.line) {
+            return;
+        }
+        self.acquires.push(DirectAcquire {
+            class: class.clone(),
+            line: site.line,
+        });
+    }
+
+    fn call(
+        &mut self,
+        site: Site,
+        name: &str,
+        form: CallForm,
+        qualifier: Option<&str>,
+        held: &[Guard],
+    ) {
+        if self.ctx.in_test(site.line) {
+            return;
+        }
+        self.calls.push(CallSite {
+            callee: name.to_string(),
+            qualifier: qualifier.map(str::to_string),
+            form,
+            line: site.line,
+            col: site.col,
+            held: held
+                .iter()
+                .filter_map(|g| g.class.clone().map(|c| (c, g.line)))
+                .collect(),
+            any_held: !held.is_empty(),
+        });
+    }
+}
+
+/// Extracts `(name, impl_type, line, body_open, body_close)` for every
+/// function with a body. Impl types are inferred lexically: the first
+/// type identifier after `impl` (generics stripped), or — for trait
+/// impls — the first identifier after `for`.
+pub fn file_functions(ctx: &FileCtx) -> Vec<(String, Option<String>, u32, usize, usize)> {
+    let toks = &ctx.toks;
+    let mut out = Vec::new();
+    // Impl block ranges: (open_idx, close_idx, type name).
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text(ctx.src) == "impl" {
+            if let Some((open, ty)) = impl_header(ctx, i) {
+                if let Some(close) = ctx.close_of(open) {
+                    impls.push((open, close, ty));
+                    i = open + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text(ctx.src) == "fn" {
+            let name = match toks.get(i + 1) {
+                Some(n) if n.kind == TokKind::Ident => n.text(ctx.src).to_string(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let mut j = i + 2;
+            let mut body = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct(b'{') => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokKind::Punct(b';') => break,
+                    _ => j += 1,
+                }
+            }
+            if let (Some(open), Some(close)) = (body, body.and_then(|b| ctx.close_of(b))) {
+                let impl_type = impls
+                    .iter()
+                    .find(|(o, c, _)| i > *o && i < *c)
+                    .map(|(_, _, ty)| ty.clone());
+                out.push((name, impl_type, toks[i].line, open, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// From the `impl` keyword at `i`, finds the body `{` and the impl
+/// type name: skip generics (`<…>` at angle depth), then take the
+/// first identifier — or, if a `for` appears at angle depth 0 (trait
+/// impl), the first identifier after it.
+fn impl_header(ctx: &FileCtx, i: usize) -> Option<(usize, String)> {
+    let toks = &ctx.toks;
+    let mut angle = 0i32;
+    let mut j = i + 1;
+    let mut first_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct(b'<') => angle += 1,
+            TokKind::Punct(b'>') => angle -= 1,
+            TokKind::Punct(b'{') if angle == 0 => {
+                let ty = after_for.or(first_ident)?;
+                return Some((j, ty));
+            }
+            TokKind::Punct(b';') => return None,
+            TokKind::Ident if angle == 0 => {
+                let text = toks[j].text(ctx.src);
+                if text == "for" {
+                    saw_for = true;
+                } else if text == "where" {
+                    // The clause may mention many types; what we have
+                    // is already the impl type.
+                } else if saw_for {
+                    if after_for.is_none() && text != "dyn" {
+                        after_for = Some(text.to_string());
+                    }
+                } else if first_ident.is_none() && text != "dyn" {
+                    first_ident = Some(text.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LockOrder;
+
+    const ORDER: &str = r#"
+order = ["walref", "shard", "wal"]
+
+[[class]]
+name = "walref"
+paths = ["*.wal"]
+
+[[class]]
+name = "shard"
+paths = ["*.shards[]"]
+
+[[class]]
+name = "wal"
+paths = ["*.inner"]
+"#;
+
+    fn graph(src: &str) -> CallGraph {
+        let order = LockOrder::parse(ORDER).unwrap();
+        let mut g = CallGraph::default();
+        g.add_file(&FileCtx::new("crates/pagestore/src/buffer.rs", src), &order);
+        g
+    }
+
+    const SRC: &str = r#"
+impl Pool {
+    fn flush(&self) {
+        let mut shard = self.shards[si].lock();
+        self.log_one(&mut shard);
+    }
+    fn log_one(&self, shard: &mut Shard) {
+        let wal = self.wal.read();
+        Wal::append(&wal, 1);
+    }
+}
+impl Wal {
+    fn append(&self, x: u32) {
+        let mut inner = self.inner.lock();
+    }
+}
+"#;
+
+    #[test]
+    fn symbols_and_impl_types() {
+        let g = graph(SRC);
+        let names: Vec<_> = g
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("flush", Some("Pool")),
+                ("log_one", Some("Pool")),
+                ("append", Some("Wal")),
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impl_type_comes_after_for() {
+        let src = "impl Drop for Pool {\n fn drop(&mut self) { self.x(); }\n}\n";
+        let g = graph(src);
+        assert_eq!(g.fns[0].impl_type.as_deref(), Some("Pool"));
+    }
+
+    #[test]
+    fn summaries_cross_calls_with_chain() {
+        let g = graph(SRC);
+        let summaries = g.summaries();
+        // flush: direct shard, walref via log_one, wal via log_one → append.
+        let flush = &summaries[0];
+        assert!(flush.contains_key("shard"));
+        let walref = flush.get("walref").expect("walref propagated");
+        assert_eq!(walref.via, vec!["log_one".to_string()]);
+        let wal = flush.get("wal").expect("wal propagated two levels");
+        assert_eq!(wal.via, vec!["log_one".to_string(), "append".to_string()]);
+    }
+
+    #[test]
+    fn call_sites_carry_held_classes() {
+        let g = graph(SRC);
+        let flush = &g.fns[0];
+        let call = flush
+            .calls
+            .iter()
+            .find(|c| c.callee == "log_one")
+            .expect("call recorded");
+        assert_eq!(call.held.len(), 1);
+        assert_eq!(call.held[0].0.name, "shard");
+    }
+
+    #[test]
+    fn ambiguous_names_do_not_resolve() {
+        let src = "\
+impl A { fn go(&self) { helper(); } fn helper(&self) {} }
+impl B { fn helper(&self) {} }
+";
+        let g = graph(src);
+        let go = &g.fns[0];
+        let call = go.calls.iter().find(|c| c.callee == "helper").unwrap();
+        assert!(g.resolve(go, call).is_none(), "two `helper`s: ambiguous");
+    }
+
+    #[test]
+    fn methods_on_other_receivers_do_not_resolve() {
+        // `f.sync_all()` is `File::sync_all`, not the workspace's own
+        // fn of that name — method calls only resolve through `self`.
+        let src = "\
+impl A { fn go(&self) { let f = open(); f.sync_all(); } }
+impl B { fn sync_all(&self) {} }
+";
+        let g = graph(src);
+        let go = &g.fns[0];
+        let call = go.calls.iter().find(|c| c.callee == "sync_all").unwrap();
+        assert!(g.resolve(go, call).is_none(), "non-self receiver");
+    }
+
+    #[test]
+    fn self_calls_resolve_within_impl() {
+        let src = "\
+impl A { fn go(&self) { self.helper(); } fn helper(&self) {} }
+impl B { fn helper(&self) {} }
+";
+        let g = graph(src);
+        let go = &g.fns[0];
+        let call = go.calls.iter().find(|c| c.callee == "helper").unwrap();
+        let t = g.resolve(go, call).expect("self call resolves in impl");
+        assert_eq!(g.fns[t].impl_type.as_deref(), Some("A"));
+    }
+}

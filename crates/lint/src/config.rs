@@ -26,10 +26,24 @@ pub const LOCK_ORDER_PATH: &str = "ci/lock-order.toml";
 /// Workspace-relative path of the metric registry source.
 pub const NAMES_RS_PATH: &str = "crates/obs/src/names.rs";
 
+/// Workspace-relative path of the HTTP route registry source (rule L8).
+pub const ROUTES_RS_PATH: &str = "crates/server/src/routes.rs";
+
+/// Workspace-relative path of the HTTP dispatch site (rule L8).
+pub const SERVICE_RS_PATH: &str = "crates/server/src/service.rs";
+
+/// Workspace-relative path of the CLI argument parser (rule L8).
+pub const ARGS_RS_PATH: &str = "crates/cli/src/args.rs";
+
 /// README markers delimiting the generated metrics table.
 pub const METRICS_TABLE_BEGIN: &str = "<!-- metrics-table:begin -->";
 /// Closing marker.
 pub const METRICS_TABLE_END: &str = "<!-- metrics-table:end -->";
+
+/// README markers delimiting the generated HTTP routes table.
+pub const ROUTES_TABLE_BEGIN: &str = "<!-- routes-table:begin -->";
+/// Closing marker.
+pub const ROUTES_TABLE_END: &str = "<!-- routes-table:end -->";
 
 /// One lock class: a name, its rank in the global order, and the
 /// receiver-path patterns that identify its acquisition sites.
@@ -49,11 +63,29 @@ pub struct LockClass {
     pub reentrant: bool,
 }
 
+/// One `[[allow_blocking]]` entry: a blessed blocking-under-lock site
+/// (rule L7). WAL appends and buffer-pool page I/O *must* happen under
+/// their guards — that is the design — so they are allowlisted here,
+/// with a reason, instead of suppressed inline at every call site.
+#[derive(Debug, Clone)]
+pub struct AllowBlocking {
+    /// File glob the entry covers (e.g. `crates/pagestore/src/wal.rs`).
+    pub file: String,
+    /// Operation names allowed under a guard in that file.
+    pub ops: Vec<String>,
+    /// Why this is sound (empty reason is an L0 violation).
+    pub reason: String,
+    /// Line of the entry in `ci/lock-order.toml` (for L0 reporting).
+    pub line: u32,
+}
+
 /// The parsed `ci/lock-order.toml`.
 #[derive(Debug, Clone, Default)]
 pub struct LockOrder {
     /// All classes, resolvable by pattern.
     pub classes: Vec<LockClass>,
+    /// Blocking-op allowlist for rule L7.
+    pub allow_blocking: Vec<AllowBlocking>,
 }
 
 impl LockOrder {
@@ -102,7 +134,56 @@ impl LockOrder {
                 return Err(format!("order lists `{o}` but no [[class]] defines it"));
             }
         }
-        Ok(LockOrder { classes })
+        // The toml Doc keeps array-of-table order but not line numbers;
+        // the nth [[allow_blocking]] table is the nth header line.
+        let mut header_lines = src
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.trim() == "[[allow_blocking]]")
+            .map(|(i, _)| (i + 1) as u32);
+        let mut allow_blocking = Vec::new();
+        for entry in doc
+            .arrays
+            .get("allow_blocking")
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+        {
+            let line = header_lines.next().unwrap_or(0);
+            let file = entry
+                .get("file")
+                .and_then(|v| v.as_str())
+                .ok_or("[[allow_blocking]] missing `file`")?
+                .to_string();
+            let ops = entry
+                .get("ops")
+                .and_then(|v| v.as_array())
+                .ok_or("[[allow_blocking]] missing `ops`")?
+                .to_vec();
+            let reason = entry
+                .get("reason")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string();
+            allow_blocking.push(AllowBlocking {
+                file,
+                ops,
+                reason,
+                line,
+            });
+        }
+        Ok(LockOrder {
+            classes,
+            allow_blocking,
+        })
+    }
+
+    /// The index of the `[[allow_blocking]]` entry covering a blocking
+    /// op `op` in `file`, if any (entries with an empty reason do not
+    /// count — they are L0 violations, like reason-less suppressions).
+    pub fn blocking_allowed(&self, file: &str, op: &str) -> Option<usize> {
+        self.allow_blocking.iter().position(|a| {
+            !a.reason.is_empty() && glob_match(&a.file, file) && a.ops.iter().any(|o| o == op)
+        })
     }
 
     /// Classifies an acquisition: the first class whose scope covers
@@ -175,6 +256,43 @@ reentrant = false
         assert!(LockOrder::parse("order = [\"a\"]").is_err());
         let missing_order = "order = []\n[[class]]\nname = \"x\"\npaths = [\"x\"]\n";
         assert!(LockOrder::parse(missing_order).is_err());
+    }
+
+    #[test]
+    fn allow_blocking_entries() {
+        let src = r#"
+order = ["wal"]
+
+[[class]]
+name = "wal"
+paths = ["*.inner"]
+
+[[allow_blocking]]
+file = "crates/pagestore/src/wal.rs"
+ops = ["write_all", "sync_data"]
+reason = "WAL durability requires fsync under the writer lock"
+
+[[allow_blocking]]
+file = "crates/pagestore/src/buffer.rs"
+ops = ["write_page"]
+reason = ""
+"#;
+        let lo = LockOrder::parse(src).unwrap();
+        assert_eq!(lo.allow_blocking.len(), 2);
+        assert_eq!(lo.allow_blocking[0].line, 8);
+        assert_eq!(
+            lo.blocking_allowed("crates/pagestore/src/wal.rs", "sync_data"),
+            Some(0)
+        );
+        assert_eq!(
+            lo.blocking_allowed("crates/pagestore/src/wal.rs", "sleep"),
+            None
+        );
+        // Reason-less entries never allow anything.
+        assert_eq!(
+            lo.blocking_allowed("crates/pagestore/src/buffer.rs", "write_page"),
+            None
+        );
     }
 
     #[test]

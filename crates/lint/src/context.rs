@@ -97,7 +97,7 @@ impl<'s> FileCtx<'s> {
                     s.comment_line,
                     s.col,
                     format!("unknown rule `{u}` in `lint: allow(...)`"),
-                    "valid rules are L0-L5".to_string(),
+                    "valid rules are L0-L8".to_string(),
                 ));
             }
             if s.reason.is_empty() {
@@ -111,6 +111,11 @@ impl<'s> FileCtx<'s> {
             }
         }
         out
+    }
+
+    /// The parsed suppression comments, in file order.
+    pub fn suppressions(&self) -> &[Suppression] {
+        &self.suppressions
     }
 
     /// Convenience constructor for a diagnostic in this file.
@@ -130,6 +135,93 @@ impl<'s> FileCtx<'s> {
             message,
             help,
         }
+    }
+}
+
+/// Workspace-wide suppression inventory. The rules emit every finding
+/// they see; [`SuppressionIndex::filter`] drops the suppressed ones
+/// centrally — so the cross-file passes (L4/L6/L8) honor suppressions
+/// exactly like the per-file rules — and records which suppressions
+/// actually fired. [`SuppressionIndex::dead`] then audits the rest: a
+/// `// lint: allow(<rule>)` that no longer suppresses any diagnostic
+/// is itself an L0 violation, which keeps the suppression inventory
+/// honest as rules and code evolve.
+#[derive(Debug, Default)]
+pub struct SuppressionIndex {
+    /// Per file: (suppression, fired-at-least-once).
+    files: Vec<(String, Vec<(Suppression, bool)>)>,
+}
+
+impl SuppressionIndex {
+    /// Registers one file's suppressions.
+    pub fn add_file(&mut self, ctx: &FileCtx) {
+        if !ctx.suppressions.is_empty() {
+            self.files.push((
+                ctx.path.clone(),
+                ctx.suppressions
+                    .iter()
+                    .map(|s| (s.clone(), false))
+                    .collect(),
+            ));
+        }
+    }
+
+    /// Drops every diagnostic covered by a valid suppression (known
+    /// rule, non-empty reason, matching target line), marking those
+    /// suppressions as used.
+    pub fn filter(&mut self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| {
+                let mut covered = false;
+                if let Some((_, entries)) = self.files.iter_mut().find(|(p, _)| *p == d.file) {
+                    for (s, used) in entries.iter_mut() {
+                        if s.target_line == d.line
+                            && !s.reason.is_empty()
+                            && s.rules.contains(&d.rule)
+                        {
+                            *used = true;
+                            covered = true;
+                        }
+                    }
+                }
+                !covered
+            })
+            .collect()
+    }
+
+    /// The dead-suppression audit. Malformed suppressions (unknown
+    /// rule, empty reason) are already flagged by
+    /// [`FileCtx::audit_suppressions`]; this pass flags the well-formed
+    /// ones that never fired. A suppression naming a rule that was not
+    /// enabled this run is skipped — it had no chance to fire.
+    pub fn dead(&self, enabled: &std::collections::BTreeSet<Rule>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (path, entries) in &self.files {
+            for (s, used) in entries {
+                if *used
+                    || s.reason.is_empty()
+                    || !s.unknown.is_empty()
+                    || s.rules.is_empty()
+                    || s.rules.iter().any(|r| !enabled.contains(r))
+                {
+                    continue;
+                }
+                let names: Vec<&str> = s.rules.iter().map(|r| r.id()).collect();
+                out.push(Diagnostic {
+                    rule: Rule::L0,
+                    file: path.clone(),
+                    line: s.comment_line,
+                    col: s.col,
+                    message: format!(
+                        "dead suppression: `lint: allow({})` no longer suppresses any diagnostic",
+                        names.join(", ")
+                    ),
+                    help: "the suppressed violation is gone — delete the comment".to_string(),
+                });
+            }
+        }
+        out
     }
 }
 

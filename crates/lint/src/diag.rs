@@ -21,11 +21,33 @@ pub enum Rule {
     L4,
     /// No `let _ =` result discards in `pagestore` / `core`.
     L5,
+    /// Interprocedural lock order: the classes a callee acquires
+    /// (transitively, bounded depth) respect the partial order against
+    /// the classes the caller holds at the call site.
+    L6,
+    /// No blocking call (file I/O, fsync, socket ops, sleep, recv)
+    /// while any guard is live, outside the `[[allow_blocking]]`
+    /// allowlist in `ci/lock-order.toml`.
+    L7,
+    /// Contract drift: HTTP routes vs the `routes.rs` registry vs
+    /// `check_query_params` coverage vs the README table, and CLI
+    /// subcommands vs the usage text vs the README.
+    L8,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 6] = [Rule::L0, Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5];
+    pub const ALL: [Rule; 9] = [
+        Rule::L0,
+        Rule::L1,
+        Rule::L2,
+        Rule::L3,
+        Rule::L4,
+        Rule::L5,
+        Rule::L6,
+        Rule::L7,
+        Rule::L8,
+    ];
 
     /// Parses `"L1"` (case-insensitive).
     pub fn parse(s: &str) -> Option<Rule> {
@@ -36,6 +58,9 @@ impl Rule {
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
+            "L7" => Some(Rule::L7),
+            "L8" => Some(Rule::L8),
             _ => None,
         }
     }
@@ -49,18 +74,24 @@ impl Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
+            Rule::L7 => "L7",
+            Rule::L8 => "L8",
         }
     }
 
     /// One-line rule description (for `--list`).
     pub fn describe(self) -> &'static str {
         match self {
-            Rule::L0 => "suppression comments name known rules and carry a reason",
+            Rule::L0 => "suppression comments name known rules, carry a reason, and still fire",
             Rule::L1 => "no unwrap/expect/panic!/unimplemented!/todo! in production paths",
             Rule::L2 => "every `unsafe` is immediately preceded by a `// SAFETY:` comment",
             Rule::L3 => "lock acquisitions respect the order declared in ci/lock-order.toml",
             Rule::L4 => "obs metric names match the crates/obs/src/names.rs registry",
             Rule::L5 => "no `let _ =` result discards in pagestore/core production code",
+            Rule::L6 => "lock order holds across intra-crate calls (call-graph summaries)",
+            Rule::L7 => "no blocking call under a live guard outside the allowlist",
+            Rule::L8 => "HTTP routes and CLI subcommands match their registries and docs",
         }
     }
 }
@@ -116,26 +147,68 @@ impl Diagnostic {
     }
 }
 
-/// Renders the full report in the requested format. Text mode ends with
-/// a `error: N violation(s)` summary line; JSON mode is a single object
-/// with a `diagnostics` array, stable for CI artifact consumers.
-pub fn render_report(diags: &[Diagnostic], json: bool) -> String {
-    if json {
-        let items: Vec<String> = diags.iter().map(|d| d.render_json()).collect();
+/// One full run, for the stable `--format json` schema (documented in
+/// the README "Static analysis" section): schema version, what was
+/// analyzed, how long it took, per-rule counts, and the findings.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Sorted findings.
+    pub diags: Vec<Diagnostic>,
+    /// Rules that ran, in report order.
+    pub rules: Vec<Rule>,
+    /// Number of `.rs` files analyzed.
+    pub files_analyzed: usize,
+    /// Wall-clock of the whole run in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl Report {
+    /// The versioned JSON artifact shape:
+    ///
+    /// ```json
+    /// {"schema":1,"files_analyzed":N,"wall_ms":M,"count":K,
+    ///  "rule_counts":{"L0":0,…},"diagnostics":[{…}]}
+    /// ```
+    ///
+    /// `rule_counts` has one key per *enabled* rule (so a zero means
+    /// "ran and found nothing", a missing key means "not run");
+    /// `count` is the total and equals the `diagnostics` length.
+    pub fn render_json(&self) -> String {
+        let counts: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| {
+                let n = self.diags.iter().filter(|d| d.rule == *r).count();
+                format!("\"{}\":{}", r.id(), n)
+            })
+            .collect();
+        let items: Vec<String> = self.diags.iter().map(|d| d.render_json()).collect();
         format!(
-            "{{\"count\":{},\"diagnostics\":[{}]}}\n",
-            diags.len(),
+            "{{\"schema\":1,\"files_analyzed\":{},\"wall_ms\":{},\"count\":{},\"rule_counts\":{{{}}},\"diagnostics\":[{}]}}\n",
+            self.files_analyzed,
+            self.wall_ms,
+            self.diags.len(),
+            counts.join(","),
             items.join(",")
         )
-    } else if diags.is_empty() {
+    }
+}
+
+/// Renders the full report in the requested format. Text mode ends with
+/// a `error: N violation(s)` summary line; JSON mode is the versioned
+/// [`Report::render_json`] object, stable for CI artifact consumers.
+pub fn render_report(report: &Report, json: bool) -> String {
+    if json {
+        report.render_json()
+    } else if report.diags.is_empty() {
         String::new()
     } else {
         let mut out = String::new();
-        for d in diags {
+        for d in &report.diags {
             out.push_str(&d.render_text());
             out.push('\n');
         }
-        out.push_str(&format!("error: {} violation(s)\n", diags.len()));
+        out.push_str(&format!("error: {} violation(s)\n", report.diags.len()));
         out
     }
 }
@@ -184,8 +257,19 @@ mod tests {
 
     #[test]
     fn json_shape() {
-        let j = render_report(&[sample()], true);
+        let report = Report {
+            diags: vec![sample()],
+            rules: vec![Rule::L0, Rule::L1],
+            files_analyzed: 42,
+            wall_ms: 17,
+        };
+        let j = render_report(&report, true);
+        assert!(j.contains("\"schema\":1"));
+        assert!(j.contains("\"files_analyzed\":42"));
+        assert!(j.contains("\"wall_ms\":17"));
         assert!(j.contains("\"count\":1"));
+        // Enabled-but-clean rules report an explicit zero.
+        assert!(j.contains("\"rule_counts\":{\"L0\":0,\"L1\":1}"));
         assert!(j.contains("\"rule\":\"L1\""));
         assert!(j.contains("\"line\":7"));
         // Valid-enough JSON: balanced braces, no trailing comma.

@@ -1,0 +1,475 @@
+//! The shared lexical control-flow walk: one pass over a function body
+//! tracking live lock guards and reporting *events* — classified
+//! acquisitions, call sites with the current held set, explicit drops —
+//! to a [`Sink`]. Rule L3 (in-function lock order), L6 (interprocedural
+//! lock order) and L7 (blocking-under-lock) are all sinks over this
+//! walk, so they agree on the guard-lifetime model:
+//!
+//! * an *acquisition site* is a zero-argument `.lock()` / `.read()` /
+//!   `.write()` call (the zero-argument requirement filters out
+//!   `io::Read::read` and friends, which always take a buffer);
+//! * `let g = <acquisition>;` — possibly chained through the
+//!   guard-preserving adapters `unwrap` / `expect` / `unwrap_or_else`
+//!   (the `std::sync` poisoning idiom) — lives until its enclosing
+//!   block closes or `drop(g)` is seen;
+//! * any other acquisition (chained into a method, passed to a call,
+//!   match/if-let scrutinee) lives until the next `;` at the same brace
+//!   depth, over-approximating Rust's temporary lifetime rules.
+//!
+//! Receiver paths that match a class in `ci/lock-order.toml` carry that
+//! class; unmatched acquisitions are still tracked as anonymous guards
+//! (they have no rank, but L7 cares that *something* is held).
+
+use crate::config::LockOrder;
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+
+/// A lock class resolved from the config, detached from its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassRef {
+    /// Class name as declared in `order`.
+    pub name: String,
+    /// Position in the declared order (lower acquires first).
+    pub rank: usize,
+    /// Whether distinct instances may nest.
+    pub reentrant: bool,
+}
+
+/// One live guard.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// The declared class, when the receiver path matched one.
+    pub class: Option<ClassRef>,
+    /// Receiver path of the acquisition (`self.shards[]`).
+    pub path: String,
+    /// `Some(name)` for `let name = …;` bindings (scope-lived),
+    /// `None` for temporaries (statement-lived).
+    pub binding: Option<String>,
+    /// Brace depth at acquisition (relative to the function body).
+    pub depth: usize,
+    /// Acquisition line.
+    pub line: u32,
+}
+
+impl Guard {
+    /// `class-name` when classified, the receiver path otherwise.
+    pub fn describe(&self) -> &str {
+        match &self.class {
+            Some(c) => &c.name,
+            None => &self.path,
+        }
+    }
+}
+
+/// A source position inside the walked file.
+#[derive(Debug, Clone, Copy)]
+pub struct Site {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// How a call names its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallForm {
+    /// `recv.name(…)` — receiver path available.
+    Method,
+    /// `Prefix::name(…)` — `prefix` is the last path segment before `::`.
+    Path,
+    /// `name(…)` with no qualifier.
+    Bare,
+}
+
+/// Observer over one body walk. Default methods ignore everything, so
+/// each rule implements only what it needs.
+pub trait Sink {
+    /// A *classified* acquisition, reported before its guard is pushed
+    /// (`held` is the set live at that moment).
+    fn acquire(&mut self, _site: Site, _class: &ClassRef, _path: &str, _held: &[Guard]) {}
+
+    /// A call `name(…)`. For [`CallForm::Method`], `qualifier` is the
+    /// receiver path (`None` when it is not a simple path); for
+    /// [`CallForm::Path`], the `::` prefix segment. Acquisition
+    /// primitives (`lock`/`read`/`write`) and `drop` are not reported.
+    fn call(
+        &mut self,
+        _site: Site,
+        _name: &str,
+        _form: CallForm,
+        _qualifier: Option<&str>,
+        _held: &[Guard],
+    ) {
+    }
+}
+
+/// Walks every `fn` body in the file. Bodies are found exactly like the
+/// original L3 scan: `fn` … first `{` before any `;`.
+pub fn walk_file(ctx: &FileCtx, order: &LockOrder, sink: &mut dyn Sink) {
+    let toks = &ctx.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text(ctx.src) == "fn" {
+            let mut j = i + 1;
+            let mut body = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct(b'{') => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokKind::Punct(b';') => break,
+                    _ => j += 1,
+                }
+            }
+            if let (Some(open), Some(close)) = (body, body.and_then(|b| ctx.close_of(b))) {
+                walk_body(ctx, order, open, close, sink);
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Walks one body range (token indices of the `{` … `}`), maintaining
+/// the guard set and reporting events.
+pub fn walk_body(ctx: &FileCtx, order: &LockOrder, open: usize, close: usize, sink: &mut dyn Sink) {
+    let toks = &ctx.toks;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i <= close {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                // Block end drops let-bound guards created inside it
+                // (and any temporary that leaked this far).
+                guards.retain(|g| g.depth <= depth);
+            }
+            TokKind::Punct(b';') => {
+                // Statement end drops temporaries at this depth.
+                guards.retain(|g| g.binding.is_some() || g.depth != depth);
+            }
+            // drop(name) kills the named guard.
+            TokKind::Ident
+                if t.text(ctx.src) == "drop"
+                    && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct(b'('))
+                    && toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Ident)
+                    && toks.get(i + 3).map(|n| n.kind) == Some(TokKind::Punct(b')')) =>
+            {
+                let name = toks[i + 2].text(ctx.src);
+                guards.retain(|g| g.binding.as_deref() != Some(name));
+            }
+            // Acquisition primitive: zero-argument .lock()/.read()/.write().
+            TokKind::Ident
+                if matches!(t.text(ctx.src), "lock" | "read" | "write")
+                    && i > 0
+                    && toks[i - 1].kind == TokKind::Punct(b'.')
+                    && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct(b'('))
+                    && toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Punct(b')')) =>
+            {
+                if let Some(path) = receiver_path(ctx, i - 1) {
+                    let site = Site {
+                        line: t.line,
+                        col: t.col,
+                    };
+                    let class = order.classify(&ctx.path, &path).map(|c| ClassRef {
+                        name: c.name.clone(),
+                        rank: c.rank,
+                        reentrant: c.reentrant,
+                    });
+                    if let Some(class) = &class {
+                        sink.acquire(site, class, &path, &guards);
+                    }
+                    guards.push(Guard {
+                        class,
+                        path,
+                        binding: binding_of(ctx, i),
+                        depth,
+                        line: t.line,
+                    });
+                }
+            }
+            // Any other call: `name(`, `recv.name(`, `Prefix::name(`.
+            // Keywords that can precede a `(` are not calls.
+            TokKind::Ident
+                if toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct(b'('))
+                    && !matches!(
+                        t.text(ctx.src),
+                        "if" | "while"
+                            | "match"
+                            | "for"
+                            | "return"
+                            | "in"
+                            | "loop"
+                            | "let"
+                            | "move"
+                            | "else"
+                            | "fn"
+                    ) =>
+            {
+                let name = t.text(ctx.src);
+                let site = Site {
+                    line: t.line,
+                    col: t.col,
+                };
+                let (form, qualifier) = if i > 0 && toks[i - 1].kind == TokKind::Punct(b'.') {
+                    (CallForm::Method, receiver_path(ctx, i - 1))
+                } else if i >= 2
+                    && toks[i - 1].kind == TokKind::Punct(b':')
+                    && toks[i - 2].kind == TokKind::Punct(b':')
+                {
+                    let prefix = toks
+                        .get(i.wrapping_sub(3))
+                        .filter(|p| p.kind == TokKind::Ident)
+                        .map(|p| p.text(ctx.src).to_string());
+                    (CallForm::Path, prefix)
+                } else {
+                    (CallForm::Bare, None)
+                };
+                sink.call(site, name, form, qualifier.as_deref(), &guards);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Reconstructs the receiver path left of the `.` at token `dot`:
+/// identifiers and field accesses, with index expressions collapsed to
+/// `[]`. Returns `None` when the receiver is not a simple path (e.g. a
+/// call result).
+pub fn receiver_path(ctx: &FileCtx, dot: usize) -> Option<String> {
+    let toks = &ctx.toks;
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot; // points at the `.`
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &toks[i - 1];
+        match prev.kind {
+            TokKind::Ident => {
+                parts.push(prev.text(ctx.src).to_string());
+                i -= 1;
+                // A further `.` continues the path.
+                if i > 0 && toks[i - 1].kind == TokKind::Punct(b'.') {
+                    i -= 1;
+                    continue;
+                }
+                break;
+            }
+            TokKind::Punct(b']') => {
+                // Collapse the index expression: scan back to the
+                // matching `[`.
+                let mut depth = 1usize;
+                let mut j = i - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match toks[j].kind {
+                        TokKind::Punct(b']') => depth += 1,
+                        TokKind::Punct(b'[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth != 0 {
+                    return None;
+                }
+                parts.push("[]".to_string());
+                i = j;
+            }
+            _ => break,
+        }
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    // Join, attaching `[]` to the preceding segment.
+    let mut path = String::new();
+    for p in parts {
+        if p == "[]" {
+            path.push_str("[]");
+        } else {
+            if !path.is_empty() {
+                path.push('.');
+            }
+            path.push_str(&p);
+        }
+    }
+    Some(path)
+}
+
+/// `Some(name)` when the acquisition at token `i` (the `lock` ident) is
+/// the right-hand side of a `let name = …;` statement, allowing a chain
+/// of guard-preserving adapters (`unwrap`, `expect`, `unwrap_or_else`)
+/// between the `()` and the `;` — the `std::sync` poisoning idiom
+/// `let g = m.lock().unwrap_or_else(|e| e.into_inner());` binds a
+/// guard. Any other chaining (`.len()`, `.clone()`, …) makes the guard
+/// a statement-lived temporary.
+fn binding_of(ctx: &FileCtx, i: usize) -> Option<String> {
+    let toks = &ctx.toks;
+    // Walk the chain after `lock ( )`.
+    let mut j = i + 3;
+    loop {
+        match toks.get(j).map(|t| t.kind) {
+            Some(TokKind::Punct(b';')) => break,
+            Some(TokKind::Punct(b'.')) => {
+                let adapter = toks.get(j + 1)?;
+                if adapter.kind != TokKind::Ident
+                    || !matches!(
+                        adapter.text(ctx.src),
+                        "unwrap" | "expect" | "unwrap_or_else"
+                    )
+                    || toks.get(j + 2).map(|t| t.kind) != Some(TokKind::Punct(b'('))
+                {
+                    return None;
+                }
+                // Skip the adapter's balanced argument list.
+                let mut depth = 0usize;
+                let mut k = j + 2;
+                loop {
+                    match toks.get(k).map(|t| t.kind) {
+                        Some(TokKind::Punct(b'(')) => depth += 1,
+                        Some(TokKind::Punct(b')')) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        None => return None,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            }
+            _ => return None,
+        }
+    }
+    // Scan back to the statement start: the nearest `;`, `{` or `}`.
+    let mut j = i;
+    while j > 0
+        && !matches!(
+            toks[j - 1].kind,
+            TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}')
+        )
+    {
+        j -= 1;
+    }
+    // Expect `let [mut] name =`.
+    if toks.get(j).map(|t| (t.kind, t.text(ctx.src))) != Some((TokKind::Ident, "let")) {
+        return None;
+    }
+    let mut k = j + 1;
+    if toks.get(k).map(|t| (t.kind, t.text(ctx.src))) == Some((TokKind::Ident, "mut")) {
+        k += 1;
+    }
+    let name = toks.get(k)?;
+    if name.kind == TokKind::Ident && toks.get(k + 1).map(|t| t.kind) == Some(TokKind::Punct(b'='))
+    {
+        Some(name.text(ctx.src).to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LockOrder;
+
+    const ORDER: &str = r#"
+order = ["files", "shard"]
+
+[[class]]
+name = "files"
+paths = ["*.files"]
+
+[[class]]
+name = "shard"
+paths = ["*.shards[]"]
+"#;
+
+    #[derive(Default)]
+    struct Trace {
+        acquires: Vec<(String, usize)>,
+        calls: Vec<(String, usize, Vec<String>)>,
+    }
+
+    impl Sink for Trace {
+        fn acquire(&mut self, _site: Site, class: &ClassRef, _path: &str, held: &[Guard]) {
+            self.acquires.push((class.name.clone(), held.len()));
+        }
+        fn call(
+            &mut self,
+            _site: Site,
+            name: &str,
+            _form: CallForm,
+            _qualifier: Option<&str>,
+            held: &[Guard],
+        ) {
+            self.calls.push((
+                name.to_string(),
+                held.len(),
+                held.iter().map(|g| g.describe().to_string()).collect(),
+            ));
+        }
+    }
+
+    fn walk(src: &str) -> Trace {
+        let order = LockOrder::parse(ORDER).unwrap();
+        let ctx = FileCtx::new("crates/pagestore/src/buffer.rs", src);
+        let mut t = Trace::default();
+        walk_file(&ctx, &order, &mut t);
+        t
+    }
+
+    #[test]
+    fn calls_see_held_guards() {
+        let src = r#"
+fn f(&self) {
+    let files = self.files.read();
+    self.helper(1);
+    drop(files);
+    self.other();
+}
+"#;
+        let t = walk(src);
+        assert_eq!(t.calls.len(), 2);
+        assert_eq!(t.calls[0], ("helper".into(), 1, vec!["files".into()]));
+        assert_eq!(t.calls[1], ("other".into(), 0, vec![]));
+    }
+
+    #[test]
+    fn poison_adapter_chain_still_binds() {
+        // std::sync idiom: the unwrap_or_else chain preserves the guard.
+        let src = "fn f(&self) {\n let g = self.files.read().unwrap_or_else(|e| e.into_inner());\n self.helper();\n}\n";
+        let t = walk(src);
+        assert_eq!(t.calls.last().unwrap().1, 1, "guard must outlive the `;`");
+        // A non-adapter chain is a temporary: dead before the call.
+        let src = "fn f(&self) {\n let n = self.files.read().len();\n self.helper();\n}\n";
+        let t = walk(src);
+        assert_eq!(t.calls.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn unclassified_guards_are_anonymous_but_held() {
+        let src = "fn f(&self) {\n let g = self.registry.lock();\n self.helper();\n}\n";
+        let t = walk(src);
+        assert_eq!(t.calls[0].2, vec!["self.registry".to_string()]);
+    }
+
+    #[test]
+    fn acquire_events_fire_for_classified_only() {
+        let src = "fn f(&self) {\n let a = self.files.read();\n let b = self.shards[i].lock();\n let c = self.misc.lock();\n}\n";
+        let t = walk(src);
+        assert_eq!(
+            t.acquires,
+            vec![("files".to_string(), 0), ("shard".to_string(), 1)]
+        );
+    }
+}

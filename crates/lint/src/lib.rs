@@ -14,26 +14,44 @@
 //!
 //! | rule | invariant |
 //! |------|-----------|
-//! | L0 | `// lint: allow(…)` suppressions name known rules and carry a reason |
+//! | L0 | `// lint: allow(…)` suppressions name known rules, carry a reason, and still suppress something |
 //! | L1 | no `.unwrap()`/`.expect()`/`panic!`/`unimplemented!`/`todo!` in production paths |
 //! | L2 | every `unsafe` is immediately preceded by `// SAFETY:` |
-//! | L3 | lock order follows `ci/lock-order.toml` |
+//! | L3 | lock order follows `ci/lock-order.toml` (within one function) |
 //! | L4 | metric names round-trip through `crates/obs/src/names.rs` (and the README table) |
 //! | L5 | no `let _ =` result discards in `pagestore`/`core` |
+//! | L6 | lock order holds across intra-crate calls ([`callgraph`] summaries) |
+//! | L7 | no blocking call under a live guard, outside the `[[allow_blocking]]` allowlist |
+//! | L8 | HTTP routes and CLI subcommands match their registries, handlers, and docs |
+//!
+//! L0–L5 are per-file passes. L6 assembles a workspace call graph
+//! ([`callgraph`]) over the shared guard-lifetime walk ([`flow`]) and
+//! re-checks the declared lock order on *composed* paths — a helper
+//! acquiring a low-ranked lock is flagged at every call site whose
+//! caller holds a higher-ranked one. Suppressions are applied
+//! centrally ([`context::SuppressionIndex`]): rules emit everything
+//! they see, the index drops the suppressed findings, and any
+//! well-formed suppression that no longer fires is itself an L0
+//! violation — the suppression inventory cannot rot.
 //!
 //! Run as `cargo run -p lint` (binary `segdiff-lint`); it emits
-//! rustc-style `file:line:col` diagnostics (or `--format json` for CI
-//! artifacts) and exits nonzero on any violation.
+//! rustc-style `file:line:col` diagnostics (or `--format json` for the
+//! versioned CI artifact schema — see [`diag::Report`]) and exits
+//! nonzero on any violation.
 
+pub mod callgraph;
 pub mod config;
 pub mod context;
 pub mod diag;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
 pub mod toml;
 
-use config::{LockOrder, LOCK_ORDER_PATH, NAMES_RS_PATH};
-use context::FileCtx;
+use config::{
+    LockOrder, ARGS_RS_PATH, LOCK_ORDER_PATH, NAMES_RS_PATH, ROUTES_RS_PATH, SERVICE_RS_PATH,
+};
+use context::{FileCtx, SuppressionIndex};
 use diag::{Diagnostic, Rule};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -67,11 +85,21 @@ impl std::fmt::Display for Fatal {
     }
 }
 
-/// Runs every enabled rule over the workspace and returns the sorted
-/// findings.
-pub fn run(opts: &Options) -> Result<Vec<Diagnostic>, Fatal> {
+/// The outcome of one run: sorted findings plus what was analyzed
+/// (the binary adds wall-clock and renders a [`diag::Report`]).
+#[derive(Debug)]
+pub struct RunResult {
+    /// Sorted, suppression-filtered findings.
+    pub diags: Vec<Diagnostic>,
+    /// Number of `.rs` files analyzed.
+    pub files_analyzed: usize,
+}
+
+/// Runs every enabled rule over the workspace.
+pub fn run(opts: &Options) -> Result<RunResult, Fatal> {
     let files = workspace_files(&opts.root)?;
-    let lock_order = if opts.rules.contains(&Rule::L3) {
+    let on = |r: Rule| opts.rules.contains(&r);
+    let lock_order = if on(Rule::L3) || on(Rule::L6) || on(Rule::L7) {
         let path = opts.root.join(LOCK_ORDER_PATH);
         let src = std::fs::read_to_string(&path)
             .map_err(|e| Fatal(format!("cannot read {}: {e}", path.display())))?;
@@ -81,33 +109,47 @@ pub fn run(opts: &Options) -> Result<Vec<Diagnostic>, Fatal> {
     };
 
     let mut diags = Vec::new();
+    let mut index = SuppressionIndex::default();
     let mut collected = rules::names::Collected::default();
+    let mut graph = callgraph::CallGraph::default();
+    let mut allowlist_used: BTreeSet<usize> = BTreeSet::new();
     for rel in &files {
         let abs = opts.root.join(rel);
         let src = std::fs::read_to_string(&abs)
             .map_err(|e| Fatal(format!("cannot read {}: {e}", abs.display())))?;
         let ctx = FileCtx::new(rel, &src);
-        if opts.rules.contains(&Rule::L0) {
+        index.add_file(&ctx);
+        if on(Rule::L0) {
             diags.extend(ctx.audit_suppressions());
         }
-        if opts.rules.contains(&Rule::L1) {
+        if on(Rule::L1) {
             diags.extend(rules::panics::check(&ctx));
         }
-        if opts.rules.contains(&Rule::L2) {
+        if on(Rule::L2) {
             diags.extend(rules::safety::check(&ctx));
         }
         if let Some(order) = &lock_order {
-            diags.extend(rules::locks::check(&ctx, order));
+            if on(Rule::L3) {
+                diags.extend(rules::locks::check(&ctx, order));
+            }
+            if on(Rule::L6) {
+                graph.add_file(&ctx, order);
+            }
+            if on(Rule::L7) {
+                let outcome = rules::blocking::check(&ctx, order);
+                diags.extend(outcome.diags);
+                allowlist_used.extend(outcome.used_allowlist);
+            }
         }
-        if opts.rules.contains(&Rule::L4) {
+        if on(Rule::L4) {
             rules::names::collect(&ctx, &mut collected);
         }
-        if opts.rules.contains(&Rule::L5) {
+        if on(Rule::L5) {
             diags.extend(rules::discard::check(&ctx));
         }
     }
 
-    if opts.rules.contains(&Rule::L4) {
+    if on(Rule::L4) {
         let registry = load_registry(&opts.root)?;
         let readme = std::fs::read_to_string(opts.root.join("README.md")).ok();
         diags.extend(rules::names::reconcile(
@@ -116,9 +158,70 @@ pub fn run(opts: &Options) -> Result<Vec<Diagnostic>, Fatal> {
             readme.as_deref(),
         ));
     }
+    if on(Rule::L6) {
+        diags.extend(rules::interlock::check(&graph));
+    }
+    if on(Rule::L8) {
+        let routes_src = read_artifact(&opts.root, ROUTES_RS_PATH)?;
+        let service_src = read_artifact(&opts.root, SERVICE_RS_PATH)?;
+        let args_src = read_artifact(&opts.root, ARGS_RS_PATH)?;
+        let readme = std::fs::read_to_string(opts.root.join("README.md")).ok();
+        diags.extend(rules::contracts::check(&rules::contracts::Inputs {
+            routes_src: Some(&routes_src),
+            service_src: Some(&service_src),
+            args_src: Some(&args_src),
+            readme: readme.as_deref(),
+        }));
+    }
+
+    // Central suppression filtering, then the dead-suppression audit:
+    // a well-formed `// lint: allow(…)` that dropped nothing is an L0
+    // violation, and so is an `[[allow_blocking]]` entry that no L7
+    // site needed.
+    let mut diags = index.filter(diags);
+    if on(Rule::L0) {
+        diags.extend(index.dead(&opts.rules));
+        if let Some(order) = &lock_order {
+            for (i, a) in order.allow_blocking.iter().enumerate() {
+                if a.reason.is_empty() {
+                    diags.push(Diagnostic {
+                        rule: Rule::L0,
+                        file: LOCK_ORDER_PATH.to_string(),
+                        line: a.line,
+                        col: 1,
+                        message: format!("[[allow_blocking]] entry for `{}` has no reason", a.file),
+                        help: "every allowlist entry must say why blocking under a lock is sound"
+                            .to_string(),
+                    });
+                } else if on(Rule::L7) && !allowlist_used.contains(&i) {
+                    diags.push(Diagnostic {
+                        rule: Rule::L0,
+                        file: LOCK_ORDER_PATH.to_string(),
+                        line: a.line,
+                        col: 1,
+                        message: format!(
+                            "dead [[allow_blocking]] entry: `{}` ops [{}] cover no blocking site",
+                            a.file,
+                            a.ops.join(", ")
+                        ),
+                        help: "the blocking-under-lock site is gone — delete the entry".to_string(),
+                    });
+                }
+            }
+        }
+    }
 
     diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Ok(diags)
+    Ok(RunResult {
+        diags,
+        files_analyzed: files.len(),
+    })
+}
+
+fn read_artifact(root: &Path, rel: &str) -> Result<String, Fatal> {
+    let path = root.join(rel);
+    std::fs::read_to_string(&path)
+        .map_err(|e| Fatal(format!("cannot read {}: {e}", path.display())))
 }
 
 /// Parses the checked-in metric registry.
@@ -133,6 +236,18 @@ pub fn load_registry(root: &Path) -> Result<Vec<rules::names::RegistryEntry>, Fa
         )));
     }
     Ok(registry)
+}
+
+/// Parses the checked-in HTTP route registry.
+pub fn load_routes(root: &Path) -> Result<Vec<rules::contracts::ParsedRoute>, Fatal> {
+    let src = read_artifact(root, ROUTES_RS_PATH)?;
+    let routes = rules::contracts::parse_routes(&src);
+    if routes.is_empty() {
+        return Err(Fatal(format!(
+            "{ROUTES_RS_PATH}: no RouteDef entries found"
+        )));
+    }
+    Ok(routes)
 }
 
 /// Every `.rs` file the lint walks: `crates/*/src/**` plus the facade

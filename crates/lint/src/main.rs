@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! segdiff-lint [--root DIR] [--rules L1,L3] [--format text|json]
-//!              [--list] [--emit-metrics-table]
+//!              [--list] [--emit-metrics-table] [--emit-routes-table]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+//! `--format json` emits the versioned report schema documented in the
+//! README "Static analysis" section (schema, files analyzed,
+//! wall-clock, per-rule counts, diagnostics).
 
-use lint::diag::{render_report, Rule};
-use lint::{find_root, load_registry, run, Options};
+use lint::diag::{render_report, Report, Rule};
+use lint::{find_root, load_registry, load_routes, run, Options};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     match real_main() {
@@ -28,7 +32,8 @@ fn real_main() -> Result<ExitCode, String> {
     let mut rules: Option<BTreeSet<Rule>> = None;
     let mut json = false;
     let mut list = false;
-    let mut emit_table = false;
+    let mut emit_metrics = false;
+    let mut emit_routes = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,12 +59,14 @@ fn real_main() -> Result<ExitCode, String> {
                 };
             }
             "--list" => list = true,
-            "--emit-metrics-table" => emit_table = true,
+            "--emit-metrics-table" => emit_metrics = true,
+            "--emit-routes-table" => emit_routes = true,
             "--help" | "-h" => {
                 println!(
                     "segdiff-lint: workspace invariant checker\n\n\
                      USAGE: segdiff-lint [--root DIR] [--rules L1,L3] [--format text|json]\n\
-                     \x20                 [--list] [--emit-metrics-table]\n\n\
+                     \x20                 [--list] [--emit-metrics-table] [--emit-routes-table]\n\n\
+                     Exit codes: 0 clean, 1 violations, 2 usage/config error.\n\n\
                      Rules (all enabled by default; suppress a site with\n\
                      `// lint: allow(<rule>) <reason>`):"
                 );
@@ -88,9 +95,14 @@ fn real_main() -> Result<ExitCode, String> {
         }
     };
 
-    if emit_table {
+    if emit_metrics {
         let registry = load_registry(&root).map_err(|e| e.to_string())?;
         print!("{}", lint::rules::names::markdown_table(&registry));
+        return Ok(ExitCode::SUCCESS);
+    }
+    if emit_routes {
+        let routes = load_routes(&root).map_err(|e| e.to_string())?;
+        print!("{}", lint::rules::contracts::markdown_table(&routes));
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -98,11 +110,26 @@ fn real_main() -> Result<ExitCode, String> {
         rules: rules.unwrap_or_else(|| Rule::ALL.into_iter().collect()),
         root,
     };
-    let diags = run(&opts).map_err(|e| e.to_string())?;
-    print!("{}", render_report(&diags, json));
-    if diags.is_empty() {
+    let start = Instant::now();
+    let result = run(&opts).map_err(|e| e.to_string())?;
+    let report = Report {
+        rules: Rule::ALL
+            .into_iter()
+            .filter(|r| opts.rules.contains(r))
+            .collect(),
+        files_analyzed: result.files_analyzed,
+        wall_ms: start.elapsed().as_millis().min(u64::MAX as u128) as u64,
+        diags: result.diags,
+    };
+    print!("{}", render_report(&report, json));
+    if report.diags.is_empty() {
         if !json {
-            println!("segdiff-lint: clean ({} rules)", opts.rules.len());
+            println!(
+                "segdiff-lint: clean ({} rules, {} files, {} ms)",
+                opts.rules.len(),
+                report.files_analyzed,
+                report.wall_ms
+            );
         }
         Ok(ExitCode::SUCCESS)
     } else {

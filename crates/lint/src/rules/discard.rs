@@ -32,7 +32,7 @@ pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
         {
             continue;
         }
-        if ctx.in_test(t.line) || ctx.suppressed(Rule::L5, t.line) {
+        if ctx.in_test(t.line) {
             continue;
         }
         out.push(ctx.diag(
@@ -50,8 +50,13 @@ pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
 mod tests {
     use super::*;
 
+    use crate::context::SuppressionIndex;
+
     fn run(path: &str, src: &str) -> Vec<Diagnostic> {
-        check(&FileCtx::new(path, src))
+        let ctx = FileCtx::new(path, src);
+        let mut index = SuppressionIndex::default();
+        index.add_file(&ctx);
+        index.filter(check(&ctx))
     }
 
     #[test]

@@ -1,267 +1,71 @@
 //! Rule L3: lock acquisitions respect the partial order declared in
-//! `ci/lock-order.toml`.
+//! `ci/lock-order.toml` — within one function.
 //!
-//! The pass is lexical, not type-aware: an *acquisition site* is a
-//! zero-argument `.lock()` / `.read()` / `.write()` call (the
-//! zero-argument requirement filters out `io::Read::read` and friends,
-//! which always take a buffer). The receiver path — `self.shards[si]`
-//! → `self.shards[]` — is matched against the class patterns from the
-//! config, scoped per file so short names like `s` only mean "a pool
-//! shard" inside `buffer.rs`.
+//! The pass is lexical, not type-aware; see [`crate::flow`] for the
+//! acquisition-site definition and the guard-lifetime model shared
+//! with L6/L7. A violation is: acquiring class B while a live guard
+//! holds class A with `order(A) > order(B)`, or re-acquiring the same
+//! class while a guard of it is live (same receiver path always;
+//! different paths unless the class is declared `reentrant = true`).
 //!
-//! Guard lifetime model (deliberately conservative):
-//! * `let g = <acquisition>;` — the guard lives until its enclosing
-//!   block closes or `drop(g)` / `std::mem::drop(g)` is seen;
-//! * any other acquisition (chained, passed to a call, match/if-let
-//!   scrutinee) — the guard lives until the next `;` at the same brace
-//!   depth, which over-approximates Rust's temporary lifetime rules.
-//!
-//! A violation is: acquiring class B while a live guard holds class A
-//! with `order(A) > order(B)`, or re-acquiring the same class while a
-//! guard of it is live (same receiver path always; different paths
-//! unless the class is declared `reentrant = true`).
+//! Composed orders — a *callee* acquiring B while the caller holds A —
+//! are rule L6's job ([`crate::rules::interlock`]).
 
 use crate::config::LockOrder;
 use crate::context::FileCtx;
 use crate::diag::{Diagnostic, Rule};
-use crate::lexer::TokKind;
+use crate::flow::{self, ClassRef, Guard, Site};
 
-/// Runs L3 over one file with the given declaration.
+/// Runs L3 over one file with the given declaration. Diagnostics are
+/// unfiltered; the caller applies the suppression index.
 pub fn check(ctx: &FileCtx, order: &LockOrder) -> Vec<Diagnostic> {
     if ctx.test_file {
         return Vec::new();
     }
-    let mut out = Vec::new();
-    let toks = &ctx.toks;
-    let mut i = 0usize;
-    while i < toks.len() {
-        if toks[i].kind == TokKind::Ident && toks[i].text(ctx.src) == "fn" {
-            // Find the body: the first `{` before any `;` (a `;` first
-            // means a bodiless trait/extern declaration).
-            let mut j = i + 1;
-            let mut body = None;
-            while j < toks.len() {
-                match toks[j].kind {
-                    TokKind::Punct(b'{') => {
-                        body = Some(j);
-                        break;
-                    }
-                    TokKind::Punct(b';') => break,
-                    _ => j += 1,
-                }
-            }
-            if let (Some(open), Some(close)) = (body, body.and_then(|b| ctx.close_of(b))) {
-                check_body(ctx, order, open, close, &mut out);
-                i = close + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    out
+    let mut sink = L3Sink {
+        ctx,
+        out: Vec::new(),
+    };
+    flow::walk_file(ctx, order, &mut sink);
+    sink.out
 }
 
-struct Guard {
-    class_rank: usize,
-    class_name: String,
-    path: String,
-    /// `Some(name)` for `let name = …;` bindings (scope-lived),
-    /// `None` for temporaries (statement-lived).
-    binding: Option<String>,
-    /// Brace depth at acquisition (relative to function body).
-    depth: usize,
-    line: u32,
+struct L3Sink<'a, 's> {
+    ctx: &'a FileCtx<'s>,
+    out: Vec<Diagnostic>,
 }
 
-/// Walks one function body tracking live guards.
-fn check_body(
-    ctx: &FileCtx,
-    order: &LockOrder,
-    open: usize,
-    close: usize,
-    out: &mut Vec<Diagnostic>,
-) {
-    let toks = &ctx.toks;
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut depth = 0usize;
-    let mut i = open;
-    while i <= close {
-        let t = &toks[i];
-        match t.kind {
-            TokKind::Punct(b'{') => depth += 1,
-            TokKind::Punct(b'}') => {
-                depth = depth.saturating_sub(1);
-                // Block end drops let-bound guards created inside it
-                // (and any temporary that leaked this far).
-                guards.retain(|g| g.depth <= depth);
-            }
-            TokKind::Punct(b';') => {
-                // Statement end drops temporaries at this depth.
-                guards.retain(|g| g.binding.is_some() || g.depth != depth);
-            }
-            // drop(name) kills the named guard.
-            TokKind::Ident
-                if t.text(ctx.src) == "drop"
-                    && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct(b'('))
-                    && toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Ident)
-                    && toks.get(i + 3).map(|n| n.kind) == Some(TokKind::Punct(b')')) =>
-            {
-                let name = toks[i + 2].text(ctx.src);
-                guards.retain(|g| g.binding.as_deref() != Some(name));
-            }
-            TokKind::Ident
-                if matches!(t.text(ctx.src), "lock" | "read" | "write")
-                    && i > 0
-                    && toks[i - 1].kind == TokKind::Punct(b'.')
-                    && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Punct(b'('))
-                    && toks.get(i + 2).map(|n| n.kind) == Some(TokKind::Punct(b')')) =>
-            {
-                if let Some(path) = receiver_path(ctx, i - 1) {
-                    if let Some(class) = order.classify(&ctx.path, &path) {
-                        if !ctx.in_test(t.line) && !ctx.suppressed(Rule::L3, t.line) {
-                            for g in &guards {
-                                let bad_order = g.class_rank > class.rank;
-                                let double = g.class_name == class.name
-                                    && (g.path == path || !class.reentrant);
-                                if bad_order || double {
-                                    let what = if bad_order {
-                                        format!(
-                                            "acquires `{}` while holding `{}` (declared order: {} before {})",
-                                            class.name, g.class_name, class.name, g.class_name
-                                        )
-                                    } else {
-                                        format!(
-                                            "re-acquires `{}` (guard from line {} still live) — self-deadlock",
-                                            class.name, g.line
-                                        )
-                                    };
-                                    out.push(ctx.diag(
-                                        Rule::L3,
-                                        t.line,
-                                        t.col,
-                                        what,
-                                        "release the earlier guard first, fix ci/lock-order.toml, or justify with `// lint: allow(L3) <reason>`"
-                                            .into(),
-                                    ));
-                                }
-                            }
-                        }
-                        guards.push(Guard {
-                            class_rank: class.rank,
-                            class_name: class.name.clone(),
-                            path,
-                            binding: binding_of(ctx, i),
-                            depth,
-                            line: t.line,
-                        });
-                    }
-                }
-            }
-            _ => {}
+impl flow::Sink for L3Sink<'_, '_> {
+    fn acquire(&mut self, site: Site, class: &ClassRef, path: &str, held: &[Guard]) {
+        if self.ctx.in_test(site.line) {
+            return;
         }
-        i += 1;
-    }
-}
-
-/// Reconstructs the receiver path left of the `.` at token `dot`:
-/// identifiers and field accesses, with index expressions collapsed to
-/// `[]`. Returns `None` when the receiver is not a simple path (e.g. a
-/// call result).
-fn receiver_path(ctx: &FileCtx, dot: usize) -> Option<String> {
-    let toks = &ctx.toks;
-    let mut parts: Vec<String> = Vec::new();
-    let mut i = dot; // points at the `.`
-    loop {
-        if i == 0 {
-            break;
-        }
-        let prev = &toks[i - 1];
-        match prev.kind {
-            TokKind::Ident => {
-                parts.push(prev.text(ctx.src).to_string());
-                i -= 1;
-                // A further `.` continues the path.
-                if i > 0 && toks[i - 1].kind == TokKind::Punct(b'.') {
-                    i -= 1;
-                    continue;
-                }
-                break;
+        for g in held {
+            let Some(held_class) = &g.class else { continue };
+            let bad_order = held_class.rank > class.rank;
+            let double = held_class.name == class.name && (g.path == path || !class.reentrant);
+            if bad_order || double {
+                let what = if bad_order {
+                    format!(
+                        "acquires `{}` while holding `{}` (declared order: {} before {})",
+                        class.name, held_class.name, class.name, held_class.name
+                    )
+                } else {
+                    format!(
+                        "re-acquires `{}` (guard from line {} still live) — self-deadlock",
+                        class.name, g.line
+                    )
+                };
+                self.out.push(self.ctx.diag(
+                    Rule::L3,
+                    site.line,
+                    site.col,
+                    what,
+                    "release the earlier guard first, fix ci/lock-order.toml, or justify with `// lint: allow(L3) <reason>`"
+                        .into(),
+                ));
             }
-            TokKind::Punct(b']') => {
-                // Collapse the index expression: scan back to the
-                // matching `[`.
-                let mut depth = 1usize;
-                let mut j = i - 1;
-                while j > 0 && depth > 0 {
-                    j -= 1;
-                    match toks[j].kind {
-                        TokKind::Punct(b']') => depth += 1,
-                        TokKind::Punct(b'[') => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if depth != 0 {
-                    return None;
-                }
-                parts.push("[]".to_string());
-                i = j;
-            }
-            _ => break,
         }
-    }
-    if parts.is_empty() {
-        return None;
-    }
-    parts.reverse();
-    // Join, attaching `[]` to the preceding segment.
-    let mut path = String::new();
-    for p in parts {
-        if p == "[]" {
-            path.push_str("[]");
-        } else {
-            if !path.is_empty() {
-                path.push('.');
-            }
-            path.push_str(&p);
-        }
-    }
-    Some(path)
-}
-
-/// `Some(name)` when the acquisition at token `i` (the `lock` ident)
-/// is the whole right-hand side of a `let name = …;` statement — i.e.
-/// the `()` is directly followed by `;` or `.unwrap…;`-free chain end.
-fn binding_of(ctx: &FileCtx, i: usize) -> Option<String> {
-    let toks = &ctx.toks;
-    // After `lock ( )` the next token must end the statement for the
-    // guard to be bound as-is; any chaining makes it a temporary.
-    if toks.get(i + 3).map(|t| t.kind) != Some(TokKind::Punct(b';')) {
-        return None;
-    }
-    // Scan back to the statement start: the nearest `;`, `{` or `}`.
-    let mut j = i;
-    while j > 0
-        && !matches!(
-            toks[j - 1].kind,
-            TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}')
-        )
-    {
-        j -= 1;
-    }
-    // Expect `let [mut] name =`.
-    if toks.get(j).map(|t| (t.kind, t.text(ctx.src))) != Some((TokKind::Ident, "let")) {
-        return None;
-    }
-    let mut k = j + 1;
-    if toks.get(k).map(|t| (t.kind, t.text(ctx.src))) == Some((TokKind::Ident, "mut")) {
-        k += 1;
-    }
-    let name = toks.get(k)?;
-    if name.kind == TokKind::Ident && toks.get(k + 1).map(|t| t.kind) == Some(TokKind::Punct(b'='))
-    {
-        Some(name.text(ctx.src).to_string())
-    } else {
-        None
     }
 }
 
@@ -269,6 +73,7 @@ fn binding_of(ctx: &FileCtx, i: usize) -> Option<String> {
 mod tests {
     use super::*;
     use crate::config::LockOrder;
+    use crate::context::SuppressionIndex;
 
     const ORDER: &str = r#"
 order = ["files", "shard", "file", "wal"]
@@ -292,7 +97,10 @@ paths = ["*.wal_inner"]
 
     fn run(src: &str) -> Vec<Diagnostic> {
         let order = LockOrder::parse(ORDER).unwrap();
-        check(&FileCtx::new("crates/pagestore/src/buffer.rs", src), &order)
+        let ctx = FileCtx::new("crates/pagestore/src/buffer.rs", src);
+        let mut index = SuppressionIndex::default();
+        index.add_file(&ctx);
+        index.filter(check(&ctx, &order))
     }
 
     #[test]
@@ -392,6 +200,15 @@ fn ok(&self) {
     fn io_read_write_with_args_ignored() {
         let src = "fn ok(&self) {\n let n = stream.read(&mut buf);\n stream.write(&buf);\n}\n";
         assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn poisoning_adapter_keeps_guard_live() {
+        // `.unwrap()` after the acquisition still binds the guard, so
+        // the later inverted acquisition is caught.
+        let src = "fn bad(&self) {\n let mut file = files[fid].file.lock().unwrap();\n let files = self.files.read();\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
             _ => None,
         };
         let Some(message) = found else { continue };
-        if ctx.in_test(t.line) || ctx.suppressed(Rule::L1, t.line) {
+        if ctx.in_test(t.line) {
             continue;
         }
         out.push(ctx.diag(
@@ -97,8 +97,13 @@ fn arg_count(ctx: &FileCtx, open: usize) -> Option<usize> {
 mod tests {
     use super::*;
 
+    use crate::context::SuppressionIndex;
+
     fn run(path: &str, src: &str) -> Vec<Diagnostic> {
-        check(&FileCtx::new(path, src))
+        let ctx = FileCtx::new(path, src);
+        let mut index = SuppressionIndex::default();
+        index.add_file(&ctx);
+        index.filter(check(&ctx))
     }
 
     #[test]

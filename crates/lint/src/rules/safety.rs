@@ -27,9 +27,6 @@ pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
         if t.kind != TokKind::Ident || t.text(ctx.src) != "unsafe" {
             continue;
         }
-        if ctx.suppressed(Rule::L2, t.line) {
-            continue;
-        }
         let mut documented = ctx.toks.iter().any(|c| {
             is_comment(c.kind)
                 && c.line + 3 >= t.line

@@ -280,13 +280,14 @@ impl BufferPool {
     /// installed in the pool as a clean frame (no physical read needed).
     pub fn allocate_page(&self, fid: FileId) -> Result<PageId> {
         let files = self.files.read();
+        let wal = self.wal.read().clone();
         let pid = files[fid as usize].file.lock().allocate()?;
         let si = shard_for(self.shards.len(), fid, pid);
         let mut shard = self.shards[si].lock();
         shard.stats.physical_writes += 1; // the zero-fill write
         self.metrics.physical_writes.inc();
         self.shard_metrics[si].physical_writes.inc();
-        let frame = self.frame_for(&mut shard, si, &files, fid, pid, false)?;
+        let frame = self.frame_for(&mut shard, si, &files, wal.as_ref(), fid, pid, false)?;
         *shard.frames[frame].buf.bytes_mut() = [0u8; PAGE_SIZE];
         Ok(pid)
     }
@@ -300,9 +301,10 @@ impl BufferPool {
         f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
         let files = self.files.read();
+        let wal = self.wal.read().clone();
         let si = shard_for(self.shards.len(), fid, pid);
         let mut shard = self.shards[si].lock();
-        let frame = self.frame_for(&mut shard, si, &files, fid, pid, true)?;
+        let frame = self.frame_for(&mut shard, si, &files, wal.as_ref(), fid, pid, true)?;
         Ok(f(shard.frames[frame].buf.bytes()))
     }
 
@@ -314,9 +316,10 @@ impl BufferPool {
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
         let files = self.files.read();
+        let wal = self.wal.read().clone();
         let si = shard_for(self.shards.len(), fid, pid);
         let mut shard = self.shards[si].lock();
-        let frame = self.frame_for(&mut shard, si, &files, fid, pid, true)?;
+        let frame = self.frame_for(&mut shard, si, &files, wal.as_ref(), fid, pid, true)?;
         shard.frames[frame].dirty = true;
         shard.frames[frame].logged = false;
         Ok(f(shard.frames[frame].buf.bytes_mut()))
@@ -326,9 +329,10 @@ impl BufferPool {
     /// user code over the contents (scans), so no lock is held meanwhile.
     pub fn read_page_into(&self, fid: FileId, pid: PageId, out: &mut PageBuf) -> Result<()> {
         let files = self.files.read();
+        let wal = self.wal.read().clone();
         let si = shard_for(self.shards.len(), fid, pid);
         let mut shard = self.shards[si].lock();
-        let frame = self.frame_for(&mut shard, si, &files, fid, pid, true)?;
+        let frame = self.frame_for(&mut shard, si, &files, wal.as_ref(), fid, pid, true)?;
         out.bytes_mut()
             .copy_from_slice(shard.frames[frame].buf.bytes());
         Ok(())
@@ -338,9 +342,10 @@ impl BufferPool {
     /// (a real `fsync` unless [`BufferPool::set_sync`] opted out).
     pub fn flush_all(&self) -> Result<()> {
         let files = self.files.read();
+        let wal = self.wal.read().clone();
         for (si, s) in self.shards.iter().enumerate() {
             let mut shard = s.lock();
-            self.flush_shard(&mut shard, si, &files)?;
+            self.flush_shard(&mut shard, si, &files, wal.as_ref())?;
         }
         self.sync_files(&files)
     }
@@ -351,11 +356,12 @@ impl BufferPool {
     /// B+tree).
     pub fn flush_file(&self, fid: FileId) -> Result<()> {
         let files = self.files.read();
+        let wal = self.wal.read().clone();
         for (si, s) in self.shards.iter().enumerate() {
             let mut shard = s.lock();
             for i in 0..shard.frames.len() {
                 if shard.frames[i].dirty && shard.frames[i].key.0 == fid {
-                    self.log_before_write(&files, &mut shard.frames[i])?;
+                    self.log_before_write(&files, wal.as_ref(), &mut shard.frames[i])?;
                     let (fid, pid) = shard.frames[i].key;
                     let buf = shard.frames[i].buf.bytes();
                     files[fid as usize].file.lock().write_page(pid, buf)?;
@@ -379,9 +385,10 @@ impl BufferPool {
     /// page is a miss ("cold cache").
     pub fn clear_cache(&self) -> Result<()> {
         let files = self.files.read();
+        let wal = self.wal.read().clone();
         for (si, s) in self.shards.iter().enumerate() {
             let mut shard = s.lock();
-            self.flush_shard(&mut shard, si, &files)?;
+            self.flush_shard(&mut shard, si, &files, wal.as_ref())?;
             self.resident_pages.sub(shard.frames.len() as i64);
             shard.map.clear();
             shard.frames.clear();
@@ -429,14 +436,19 @@ impl BufferPool {
 
     /// WAL-before-data: appends the frame's image to the log if its file
     /// is WAL-named and the current contents are not yet logged. Called
-    /// on every writeback path (flush and eviction).
-    fn log_before_write(&self, files: &[FileEntry], frame: &mut Frame) -> Result<()> {
+    /// on every writeback path (flush and eviction). The WAL handle is
+    /// read by the caller *before* any shard lock is taken (the declared
+    /// order is `pool.walref` before `pool.shard`) and threaded in here.
+    fn log_before_write(
+        &self,
+        files: &[FileEntry],
+        wal: Option<&Arc<Wal>>,
+        frame: &mut Frame,
+    ) -> Result<()> {
         if frame.logged {
             return Ok(());
         }
         if let Some(name) = &files[frame.key.0 as usize].wal_name {
-            // Clone the handle so no pool lock is held while appending.
-            let wal = self.wal.read().clone();
             if let Some(wal) = wal {
                 wal.append_image(name, frame.key.1, frame.buf.bytes())?;
                 frame.logged = true;
@@ -467,10 +479,16 @@ impl BufferPool {
         }
     }
 
-    fn flush_shard(&self, shard: &mut Shard, si: usize, files: &[FileEntry]) -> Result<()> {
+    fn flush_shard(
+        &self,
+        shard: &mut Shard,
+        si: usize,
+        files: &[FileEntry],
+        wal: Option<&Arc<Wal>>,
+    ) -> Result<()> {
         for i in 0..shard.frames.len() {
             if shard.frames[i].dirty {
-                self.log_before_write(files, &mut shard.frames[i])?;
+                self.log_before_write(files, wal, &mut shard.frames[i])?;
                 let (fid, pid) = shard.frames[i].key;
                 let buf = shard.frames[i].buf.bytes();
                 files[fid as usize].file.lock().write_page(pid, buf)?;
@@ -488,11 +506,13 @@ impl BufferPool {
     /// a miss reads the page from disk (true) or leaves the frame contents
     /// unspecified for the caller to overwrite (false, used by
     /// `allocate_page`).
+    #[allow(clippy::too_many_arguments)] // files + wal are the pre-acquired lock context
     fn frame_for(
         &self,
         shard: &mut Shard,
         si: usize,
         files: &[FileEntry],
+        wal: Option<&Arc<Wal>>,
         fid: FileId,
         pid: PageId,
         load: bool,
@@ -521,7 +541,7 @@ impl BufferPool {
             let victim = clock_victim(shard);
             let old = shard.frames[victim].key;
             if shard.frames[victim].dirty {
-                self.log_before_write(files, &mut shard.frames[victim])?;
+                self.log_before_write(files, wal, &mut shard.frames[victim])?;
                 let buf = shard.frames[victim].buf.bytes();
                 files[old.0 as usize].file.lock().write_page(old.1, buf)?;
                 shard.stats.physical_writes += 1;

@@ -11,6 +11,9 @@
 //!   keep-alive, `Content-Length` bodies), shared by server and client;
 //! * [`queue`] — the bounded accept queue between the non-blocking
 //!   accept loop and the worker pool (`503` load-shedding when full);
+//! * [`routes`] — the route registry: every `(method, path)` the
+//!   service answers, checked in as data, enforced against the
+//!   dispatch table and the README by `segdiff-lint` rule L8;
 //! * [`service`] — the routes: `POST /query`, `GET /metrics`,
 //!   `GET /healthz`, `GET /series`, `GET /alerts`,
 //!   `GET /debug/traces`, `POST /shutdown`, plus the standing-query
@@ -37,6 +40,7 @@ pub mod loadgen;
 pub mod observer;
 pub mod queue;
 pub mod replica;
+pub mod routes;
 pub mod server;
 pub mod service;
 pub mod ship;

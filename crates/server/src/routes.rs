@@ -1,0 +1,269 @@
+//! The HTTP route registry: every route the service answers, checked
+//! in as data.
+//!
+//! Routes are stringly typed at the dispatch site
+//! ([`crate::service::SegDiffService::handle`] matches on
+//! `(method, path)` literals), which makes drift between the dispatch
+//! table, the per-handler query-parameter validation, and the README
+//! route table invisible to the compiler. This module is the single
+//! source of truth the `segdiff-lint` L8 rule enforces in all
+//! directions:
+//!
+//! * every static `(method, path)` dispatch arm must appear here, and
+//!   every static entry here must have a dispatch arm;
+//! * each entry's `params` must equal the `check_query_params` allowed
+//!   list of the handler its dispatch arm calls;
+//! * the README "HTTP routes" table is generated from this registry
+//!   ([`markdown_table`]) and lint fails when the two diverge.
+//!
+//! The registry is also live code, not just documentation: the
+//! dispatch fallback distinguishes `405 Method Not Allowed` from
+//! `404 Not Found` by asking [`is_known_path`] whether *some* method
+//! serves the path — previously a hand-maintained literal list that
+//! this registry replaces.
+
+/// One registered route.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteDef {
+    /// HTTP method (`GET`, `POST`, `DELETE`).
+    pub method: &'static str,
+    /// Path; dynamic segments are spelled `<name>` (e.g.
+    /// `/subscribe/<id>`) and matched by prefix at dispatch.
+    pub path: &'static str,
+    /// Query parameters the handler accepts (its
+    /// `check_query_params` allowed list). Empty means the handler
+    /// rejects any query string.
+    pub params: &'static [&'static str],
+    /// One-line description, surfaced in the generated docs table.
+    pub help: &'static str,
+}
+
+impl RouteDef {
+    /// A `GET` route.
+    pub const fn get(
+        path: &'static str,
+        params: &'static [&'static str],
+        help: &'static str,
+    ) -> Self {
+        RouteDef {
+            method: "GET",
+            path,
+            params,
+            help,
+        }
+    }
+
+    /// A `POST` route.
+    pub const fn post(
+        path: &'static str,
+        params: &'static [&'static str],
+        help: &'static str,
+    ) -> Self {
+        RouteDef {
+            method: "POST",
+            path,
+            params,
+            help,
+        }
+    }
+
+    /// A `DELETE` route.
+    pub const fn delete(
+        path: &'static str,
+        params: &'static [&'static str],
+        help: &'static str,
+    ) -> Self {
+        RouteDef {
+            method: "DELETE",
+            path,
+            params,
+            help,
+        }
+    }
+
+    /// Whether the path contains a dynamic `<…>` segment (matched by
+    /// prefix rather than a dispatch-arm literal).
+    pub fn is_dynamic(&self) -> bool {
+        self.path.contains('<')
+    }
+
+    /// Whether a concrete request path is served by this route.
+    pub fn matches_path(&self, path: &str) -> bool {
+        match self.path.split_once('<') {
+            None => self.path == path,
+            Some((prefix, rest)) => {
+                // `/subscribe/<id>` → prefix `/subscribe/`, tail after
+                // the closing `>` (`""` or `/stream`).
+                let Some((_, suffix)) = rest.split_once('>') else {
+                    return false;
+                };
+                let Some(mid) = path.strip_prefix(prefix) else {
+                    return false;
+                };
+                let Some(seg) = mid.strip_suffix(suffix) else {
+                    return false;
+                };
+                !seg.is_empty() && !seg.contains('/')
+            }
+        }
+    }
+}
+
+/// Every route the service answers, in dispatch order.
+pub const ROUTES: &[RouteDef] = &[
+    RouteDef::post(
+        "/query",
+        &[],
+        "run one drop/jump query; body carries kind, V, T, plan, trace",
+    ),
+    RouteDef::get(
+        "/metrics",
+        &["format"],
+        "full telemetry registry dump (`?format=json` for NDJSON)",
+    ),
+    RouteDef::get("/healthz", &[], "liveness plus the current index epoch"),
+    RouteDef::get(
+        "/wal",
+        &["sensor", "after_lsn", "max_bytes"],
+        "WAL segment shipping for replicas (frames after a LSN cursor)",
+    ),
+    RouteDef::get(
+        "/wal/manifest",
+        &["sensor"],
+        "WAL file manifest for replica bootstrap",
+    ),
+    RouteDef::get(
+        "/wal/file",
+        &["sensor", "name", "offset", "len"],
+        "raw WAL file byte ranges for replica bootstrap",
+    ),
+    RouteDef::get(
+        "/series",
+        &["name", "window"],
+        "sampled time series of any internal metric",
+    ),
+    RouteDef::get(
+        "/alerts",
+        &["after"],
+        "standing drop/jump rules and the fired-alert log",
+    ),
+    RouteDef::get(
+        "/debug/traces",
+        &["n", "ring", "full"],
+        "always-on request-trace rings (recent and slow)",
+    ),
+    RouteDef::post("/subscribe", &[], "register a standing query"),
+    RouteDef::get(
+        "/subscribe",
+        &[],
+        "list subscriptions with per-sensor event statistics",
+    ),
+    RouteDef::get(
+        "/notifications",
+        &["sub", "after", "max"],
+        "durable polling cursor over a subscription's matches",
+    ),
+    RouteDef::post(
+        "/shutdown",
+        &[],
+        "graceful drain: finish in-flight work, flush, final snapshot",
+    ),
+    RouteDef::get("/subscribe/<id>", &[], "inspect one subscription"),
+    RouteDef::delete("/subscribe/<id>", &[], "remove one subscription"),
+    RouteDef::get(
+        "/subscribe/<id>/stream",
+        &["after", "max"],
+        "chunked NDJSON live feed of a subscription's notifications",
+    ),
+];
+
+/// Whether any route serves `path` (under some method). The dispatch
+/// fallback uses this to answer `405` instead of `404` for known paths.
+pub fn is_known_path(path: &str) -> bool {
+    ROUTES.iter().any(|r| r.matches_path(path))
+}
+
+/// The markdown route table generated from [`ROUTES`] — the
+/// `segdiff-lint --emit-routes-table` output, pinned byte-identical to
+/// the lint crate's own renderer and the README by integration tests.
+pub fn markdown_table() -> String {
+    let mut out =
+        String::from("| method | path | query params | description |\n|---|---|---|---|\n");
+    for r in ROUTES {
+        let params = if r.params.is_empty() {
+            "—".to_string()
+        } else {
+            r.params
+                .iter()
+                .map(|p| format!("`{p}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!(
+            "| {} | `{}` | {} | {} |\n",
+            r.method, r.path, params, r.help
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_paths_match_exactly() {
+        let q = ROUTES.iter().find(|r| r.path == "/query").unwrap();
+        assert!(q.matches_path("/query"));
+        assert!(!q.matches_path("/query/x"));
+    }
+
+    #[test]
+    fn dynamic_paths_match_one_segment() {
+        let item = ROUTES
+            .iter()
+            .find(|r| r.path == "/subscribe/<id>" && r.method == "GET")
+            .unwrap();
+        assert!(item.is_dynamic());
+        assert!(item.matches_path("/subscribe/7"));
+        assert!(!item.matches_path("/subscribe/"));
+        assert!(!item.matches_path("/subscribe/7/stream"));
+        let stream = ROUTES
+            .iter()
+            .find(|r| r.path == "/subscribe/<id>/stream")
+            .unwrap();
+        assert!(stream.matches_path("/subscribe/7/stream"));
+        assert!(!stream.matches_path("/subscribe/stream"));
+    }
+
+    #[test]
+    fn known_paths_cover_both_kinds() {
+        assert!(is_known_path("/metrics"));
+        assert!(is_known_path("/subscribe/123"));
+        assert!(is_known_path("/subscribe/123/stream"));
+        assert!(!is_known_path("/nope"));
+        assert!(!is_known_path("/subscribe/123/extra"));
+    }
+
+    #[test]
+    fn no_duplicate_method_path_pairs() {
+        for (i, a) in ROUTES.iter().enumerate() {
+            for b in &ROUTES[i + 1..] {
+                assert!(
+                    !(a.method == b.method && a.path == b.path),
+                    "duplicate route {} {}",
+                    a.method,
+                    a.path
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_lists_every_route() {
+        let t = markdown_table();
+        for r in ROUTES {
+            assert!(t.contains(r.path), "{} missing from table", r.path);
+        }
+    }
+}

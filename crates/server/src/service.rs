@@ -821,12 +821,7 @@ impl Service {
             (method, path) if path.starts_with("/subscribe/") => {
                 (self.subscribe_item(method, path), None)
             }
-            (
-                _,
-                "/query" | "/metrics" | "/healthz" | "/series" | "/alerts" | "/debug/traces"
-                | "/subscribe" | "/notifications" | "/shutdown" | "/wal" | "/wal/manifest"
-                | "/wal/file",
-            ) => (
+            (_, path) if crate::routes::is_known_path(path) => (
                 Response::error(405, format!("method {} not allowed", req.method)),
                 None,
             ),

@@ -1,9 +1,9 @@
-//! The workspace must satisfy its own lint, and the registry table the
-//! lint re-derives lexically must match the one `obs` generates — if
-//! either drifts, CI should say so here before the lint job does.
+//! The workspace must satisfy its own lint, and the tables the lint
+//! re-derives lexically must match the ones the live crates generate —
+//! if either drifts, CI should say so here before the lint job does.
 
 use lint::diag::Rule;
-use lint::{load_registry, run, Options};
+use lint::{load_registry, load_routes, run, Options};
 use std::path::PathBuf;
 
 fn root() -> PathBuf {
@@ -12,11 +12,12 @@ fn root() -> PathBuf {
 
 #[test]
 fn workspace_is_lint_clean() {
-    let diags = run(&Options::new(root())).expect("lint must run");
+    let result = run(&Options::new(root())).expect("lint must run");
     assert!(
-        diags.is_empty(),
+        result.diags.is_empty(),
         "segdiff-lint found violations:\n{}",
-        diags
+        result
+            .diags
             .iter()
             .map(|d| format!(
                 "{}:{}:{} [{}] {}",
@@ -45,5 +46,37 @@ fn lint_metrics_table_matches_obs_registry() {
         segdiff_repro::obs::names::markdown_table(),
         "crates/lint re-derives the metrics table lexically from \
          crates/obs/src/names.rs; the two generators must agree"
+    );
+}
+
+#[test]
+fn routes_table_round_trips() {
+    // Three independent derivations of the HTTP routes table must be
+    // byte-identical: the lint's lexical parse of routes.rs, the live
+    // registry compiled into the server, and the block between the
+    // README's routes-table markers (what `--emit-routes-table`
+    // regenerates).
+    let routes = load_routes(&root()).expect("routes.rs parses");
+    let from_lint = lint::rules::contracts::markdown_table(&routes);
+    assert_eq!(
+        from_lint,
+        segdiff_server::routes::markdown_table(),
+        "crates/lint re-derives the routes table lexically from \
+         crates/server/src/routes.rs; the two generators must agree"
+    );
+
+    let readme = std::fs::read_to_string(root().join("README.md")).expect("README.md readable");
+    let begin = readme
+        .find(lint::config::ROUTES_TABLE_BEGIN)
+        .expect("README has routes-table:begin marker");
+    let end = readme
+        .find(lint::config::ROUTES_TABLE_END)
+        .expect("README has routes-table:end marker");
+    let block = readme[begin + lint::config::ROUTES_TABLE_BEGIN.len()..end].trim();
+    assert_eq!(
+        block,
+        from_lint.trim(),
+        "README routes table drifted; regenerate with \
+         `cargo run -p lint -- --emit-routes-table`"
     );
 }
