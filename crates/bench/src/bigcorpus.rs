@@ -1,0 +1,329 @@
+//! Larger-than-RAM smoke: a columnar corpus at least 4x the buffer
+//! pool, answering the standard query mix under the CI latency guard.
+//!
+//! The run builds a SegDiff index, rewrites its heaps into compressed
+//! columnar pages ([`segdiff::SegDiffIndex::compact_storage`]), then
+//! *reopens it with a pool sized to a quarter of the corpus*, so every
+//! sequential scan evicts. The query mix includes one region no row can
+//! match, which the hierarchical zone maps must reject at the segment
+//! level — the `zonemap.extents_pruned` counter proves the upper levels
+//! of the hierarchy are consulted, and the guard file bounds the
+//! index-plan p99 exactly as the `scaling` experiment does.
+
+use crate::harness::{scratch_dir, with_registry_delta, Scale};
+use crate::report::Report;
+use crate::scaling::QueryScalingPoint;
+use featurespace::QueryRegion;
+use obs::json::Json;
+use segdiff::{QueryPlan, SegDiffConfig, SegDiffIndex};
+use sensorgen::{generate_sensor, smooth::RobustSmoother, CadTransectConfig, HOUR};
+use std::time::Instant;
+
+/// Outcome of one big-corpus run.
+#[derive(Debug)]
+pub struct BigCorpusResult {
+    /// Heap bytes across every table after compaction.
+    pub corpus_bytes: u64,
+    /// Buffer-pool bytes the queries ran with (`corpus >= 4x` this).
+    pub pool_bytes: u64,
+    /// Aggregate encoded-vs-raw payload ratio over the feature tables.
+    pub compression_ratio: f64,
+    /// Encoded-vs-raw ratio over the corner (`Δt, Δv`) columns alone.
+    pub corner_ratio: f64,
+    /// Per-plan latency/pruning points, guard-compatible with the
+    /// `scaling` experiment (`sensors` carries the region-mix size).
+    pub points: Vec<QueryScalingPoint>,
+    /// `zonemap.extents_pruned` delta across the timed queries.
+    pub extents_pruned: u64,
+    /// Registry delta across the timed queries (the metrics artifact).
+    pub metrics: obs::MetricsSnapshot,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted_ms.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted_ms.len() - 1);
+    sorted_ms[idx]
+}
+
+/// The standard mix: the paper's default drop, a shallow long-window
+/// drop, a moderate jump, and one unsatisfiable drop that the zone
+/// hierarchy must reject wholesale (no synthetic sensor falls 30 degC
+/// in an hour).
+fn query_mix() -> Vec<QueryRegion> {
+    vec![
+        QueryRegion::drop(1.0 * HOUR, -3.0),
+        QueryRegion::drop(4.0 * HOUR, -1.0),
+        QueryRegion::jump(2.0 * HOUR, 1.5),
+        QueryRegion::drop(1.0 * HOUR, -30.0),
+    ]
+}
+
+/// Builds the corpus, compacts it to columnar pages, reopens it with a
+/// quarter-of-the-corpus pool, and times the query mix on both plans.
+pub fn run_bigcorpus(scale: &Scale) -> BigCorpusResult {
+    let root = scratch_dir("bigcorpus");
+    std::fs::remove_dir_all(&root).ok();
+    let cfg = SegDiffConfig::default()
+        .with_epsilon(0.2)
+        .with_window(8.0 * HOUR)
+        .with_pool_pages(scale.pool_pages)
+        .with_durable(false);
+    let gen_cfg = CadTransectConfig::default().with_days(scale.subset_days);
+    let mut idx = SegDiffIndex::create(&root, cfg).expect("create index");
+    // One smoothed canyon sensor; the pool is sized off the finished
+    // corpus below, so the 4x invariant holds at any --days setting.
+    let series = RobustSmoother::default().smooth(&generate_sensor(&gen_cfg, 12, scale.seed));
+    idx.ingest_series(&series).expect("ingest sensor");
+    idx.finish().expect("finish");
+    idx.build_indexes().expect("build indexes");
+
+    // Compress, then account: aggregate ratio over the feature tables
+    // and the ratio over the corner columns alone (first `2 * corners`
+    // columns of each feature table; the 4 segment-endpoint columns and
+    // the segments table are excluded).
+    let report = idx.compact_storage().expect("compact to columnar");
+    let (mut raw, mut stored, mut corner_raw, mut corner_stored) = (0u64, 0u64, 0u64, 0u64);
+    for (name, stats) in &report {
+        if !name.starts_with("drop") && !name.starts_with("jump") {
+            continue;
+        }
+        raw += stats.raw_bytes;
+        stored += stats.stored_bytes;
+        let corners = (stats.col_raw.len() - 4) / 2;
+        for c in 0..2 * corners {
+            corner_raw += stats.col_raw[c];
+            corner_stored += stats.col_stored[c];
+        }
+    }
+    let ratio = |r: u64, s: u64| if s == 0 { 1.0 } else { r as f64 / s as f64 };
+
+    // Reopen with a pool a quarter of the corpus (pages, floored so the
+    // engine still functions): the query mix below runs larger-than-RAM.
+    let corpus_bytes = idx.stats().heap_bytes;
+    drop(idx);
+    let corpus_pages = (corpus_bytes / pagestore::PAGE_SIZE as u64).max(1);
+    let pool_pages = ((corpus_pages / 4) as usize).max(16);
+    let idx = SegDiffIndex::open(&root, pool_pages).expect("reopen small-pool");
+
+    let mix = query_mix();
+    let mut points = Vec::new();
+    let (_, metrics) = with_registry_delta(|| {
+        for (plan, name) in [
+            (QueryPlan::SeqScan, "seq_scan"),
+            (QueryPlan::Index, "index"),
+        ] {
+            let (_, delta) = with_registry_delta(|| {
+                let mut lat_ms = Vec::new();
+                let mut first: Option<segdiff::QueryStats> = None;
+                let mut results = 0u64;
+                let mut considered = 0u64;
+                for _ in 0..scale.repeats.max(1) {
+                    results = 0;
+                    considered = 0;
+                    let t = Instant::now();
+                    for region in &mix {
+                        let (_, stats) = idx.query(region, plan).expect("query");
+                        results += stats.results;
+                        considered += stats.rows_considered;
+                        first.get_or_insert(stats);
+                    }
+                    lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                lat_ms.sort_by(|a, b| a.total_cmp(b));
+                let io = first.map(|s| s.io).unwrap_or_default();
+                points.push(QueryScalingPoint {
+                    sensors: mix.len() as u32,
+                    plan: name,
+                    p50_ms: percentile(&lat_ms, 0.50),
+                    p90_ms: percentile(&lat_ms, 0.90),
+                    p99_ms: percentile(&lat_ms, 0.99),
+                    pages_read: io.hits + io.misses,
+                    results,
+                    rows_considered: considered,
+                    pages_pruned: 0, // filled from the delta below
+                    extents_pruned: 0,
+                });
+            });
+            let get = |k: &str| delta.counters.get(k).copied().unwrap_or(0);
+            if let Some(p) = points.last_mut() {
+                p.pages_pruned = get("zonemap.pages_pruned");
+                p.extents_pruned = get("zonemap.extents_pruned");
+            }
+        }
+    });
+    std::fs::remove_dir_all(&root).ok();
+    BigCorpusResult {
+        corpus_bytes,
+        pool_bytes: pool_pages as u64 * pagestore::PAGE_SIZE as u64,
+        compression_ratio: ratio(raw, stored),
+        corner_ratio: ratio(corner_raw, corner_stored),
+        extents_pruned: metrics
+            .counters
+            .get("zonemap.extents_pruned")
+            .copied()
+            .unwrap_or(0),
+        points,
+        metrics,
+    }
+}
+
+/// Renders the big-corpus section of the report.
+pub fn bigcorpus_report(r: &BigCorpusResult, report: &mut Report) {
+    report.heading("Big corpus (beyond the paper): compressed columnar pages, 4x the pool");
+    report.para(&format!(
+        "Corpus of {:.1} MiB columnar heap pages queried through a {:.1} MiB \
+         buffer pool ({:.1}x the pool). Feature-table compression ratio \
+         {:.2}x overall, {:.2}x on the corner columns; the query mix of {} \
+         regions pruned {} extents and {} pages across the timed repeats.",
+        r.corpus_bytes as f64 / (1 << 20) as f64,
+        r.pool_bytes as f64 / (1 << 20) as f64,
+        r.corpus_bytes as f64 / r.pool_bytes as f64,
+        r.compression_ratio,
+        r.corner_ratio,
+        r.points.first().map_or(0, |p| p.sensors),
+        r.points.iter().map(|p| p.extents_pruned).sum::<u64>(),
+        r.points.iter().map(|p| p.pages_pruned).sum::<u64>(),
+    ));
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.plan.to_string(),
+                format!("{:.3}", p.p50_ms),
+                format!("{:.3}", p.p99_ms),
+                p.pages_read.to_string(),
+                p.rows_considered.to_string(),
+                p.results.to_string(),
+                p.pages_pruned.to_string(),
+                p.extents_pruned.to_string(),
+            ]
+        })
+        .collect();
+    report.table(
+        &[
+            "plan",
+            "p50 ms",
+            "p99 ms",
+            "pages read",
+            "rows considered",
+            "results",
+            "pages pruned",
+            "extents pruned",
+        ],
+        &rows,
+    );
+}
+
+/// Serializes the run — headline numbers plus the full counter delta —
+/// as the CI metrics artifact.
+pub fn metrics_json(r: &BigCorpusResult) -> String {
+    let counters = Json::Object(
+        r.metrics
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::from(v)))
+            .collect(),
+    );
+    let doc = Json::obj([
+        ("corpus_bytes", Json::from(r.corpus_bytes)),
+        ("pool_bytes", Json::from(r.pool_bytes)),
+        ("compression_ratio", Json::from(r.compression_ratio)),
+        ("corner_ratio", Json::from(r.corner_ratio)),
+        ("extents_pruned", Json::from(r.extents_pruned)),
+        ("counters", counters),
+    ]);
+    let mut s = doc.to_string_compact();
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bigcorpus_holds_the_invariants() {
+        let mut scale = Scale::tiny();
+        // Enough days that a quarter of the corpus clears the 16-page
+        // pool floor, keeping the 4x larger-than-RAM invariant honest.
+        scale.subset_days = 24;
+        scale.repeats = 2;
+        let r = run_bigcorpus(&scale);
+        assert!(
+            r.corpus_bytes >= 4 * r.pool_bytes,
+            "corpus {} not 4x pool {}",
+            r.corpus_bytes,
+            r.pool_bytes
+        );
+        assert!(
+            r.compression_ratio > 1.0,
+            "no compression: {}",
+            r.compression_ratio
+        );
+        assert!(
+            r.corner_ratio >= 2.0,
+            "corner columns must compress 2x: {}",
+            r.corner_ratio
+        );
+        assert!(r.extents_pruned > 0, "zone hierarchy never pruned extents");
+        assert_eq!(r.points.len(), 2);
+        let (seq, idx) = (
+            r.points.iter().find(|p| p.plan == "seq_scan").unwrap(),
+            r.points.iter().find(|p| p.plan == "index").unwrap(),
+        );
+        assert_eq!(seq.results, idx.results, "plans disagree: {:?}", r.points);
+        let json = metrics_json(&r);
+        assert!(json.contains("\"extents_pruned\""), "{json}");
+
+        let mut report = Report::new();
+        bigcorpus_report(&r, &mut report);
+        let md = report.markdown();
+        assert!(
+            md.contains("extents pruned") && md.contains("seq_scan"),
+            "{md}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod dbg_tests {
+    use super::*;
+    #[test]
+    #[ignore]
+    fn dump_per_column_ratios() {
+        let root = scratch_dir("bigcorpus-dbg");
+        std::fs::remove_dir_all(&root).ok();
+        let cfg = SegDiffConfig::default()
+            .with_epsilon(0.2)
+            .with_window(8.0 * HOUR)
+            .with_pool_pages(2048)
+            .with_durable(false);
+        let gen_cfg = CadTransectConfig::default().with_days(24);
+        let mut idx = SegDiffIndex::create(&root, cfg).expect("create");
+        let series = RobustSmoother::default().smooth(&generate_sensor(&gen_cfg, 12, 20_080_325));
+        idx.ingest_series(&series).unwrap();
+        idx.finish().unwrap();
+        idx.build_indexes().unwrap();
+        for (name, s) in idx.compact_storage().unwrap() {
+            let cols: Vec<String> = s
+                .col_raw
+                .iter()
+                .zip(&s.col_stored)
+                .map(|(&r, &st)| format!("{:.2}", r as f64 / st.max(1) as f64))
+                .collect();
+            eprintln!(
+                "{name}: ratio={:.2} cols=[{}] raw={} stored={}",
+                s.ratio(),
+                cols.join(","),
+                s.raw_bytes,
+                s.stored_bytes
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -7,14 +7,18 @@
 //! ```
 //!
 //! Experiments: `table3 table4 table5 table6 table7 fig7_11 fig12_13
-//! fig14_15 fig16_24 serving durability scaling all`. Flags: `--days N`
-//! (subset size), `--full-days N` (scalability run), `--queries N`
-//! (random-query count), `--repeats N`, `--tiny` (smoke-test scale),
-//! `--out PATH` (write markdown). The `scaling` experiment also honours
-//! `--record-baseline` (write `BENCH_query.json`), `--baseline PATH`
-//! (compare against a recorded file, default `BENCH_query.json`) and
-//! `--guard PATH` (fail when the index-plan p99 exceeds the guard's
-//! `max_p99_ms`, mirroring `loadgen --guard`).
+//! fig14_15 fig16_24 serving durability scaling all`, plus `bigcorpus`
+//! (larger-than-RAM columnar smoke; runs only when named explicitly,
+//! never under `all`). Flags: `--days N` (subset size), `--full-days N`
+//! (scalability run), `--queries N` (random-query count), `--repeats N`,
+//! `--tiny` (smoke-test scale), `--out PATH` (write markdown). The
+//! `scaling` experiment also honours `--record-baseline` (write
+//! `BENCH_query.json`), `--baseline PATH` (compare against a recorded
+//! file, default `BENCH_query.json`) and `--guard PATH` (fail when the
+//! index-plan p99 exceeds the guard's `max_p99_ms`, mirroring
+//! `loadgen --guard`). `bigcorpus` shares `--guard` and adds
+//! `--metrics-out PATH` (write the run's counter delta as a JSON
+//! artifact; CI asserts `zonemap.extents_pruned > 0` from it).
 
 use segdiff_bench::experiments::{self, EpsSweep, RandomQueryPoint, ScalePoint, WPoint};
 use segdiff_bench::harness::with_registry_delta;
@@ -30,9 +34,10 @@ struct Args {
     baseline: PathBuf,
     record_baseline: bool,
     guard: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
-const KNOWN: [&str; 13] = [
+const KNOWN: [&str; 14] = [
     "all",
     "table3",
     "table4",
@@ -46,6 +51,7 @@ const KNOWN: [&str; 13] = [
     "serving",
     "durability",
     "scaling",
+    "bigcorpus",
 ];
 
 fn parse_args() -> Args {
@@ -57,6 +63,7 @@ fn parse_args() -> Args {
         baseline: PathBuf::from("BENCH_query.json"),
         record_baseline: false,
         guard: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -81,6 +88,9 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = PathBuf::from(it.next().expect("--baseline PATH")),
             "--record-baseline" => args.record_baseline = true,
             "--guard" => args.guard = Some(PathBuf::from(it.next().expect("--guard PATH"))),
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(it.next().expect("--metrics-out PATH")))
+            }
             name if !name.starts_with('-') => {
                 if !KNOWN.contains(&name) {
                     eprintln!("unknown experiment {name}; known: {KNOWN:?}");
@@ -204,6 +214,30 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("[reproduce] query guard OK ({})", guard.display());
+        }
+    }
+
+    // Explicit-only: a larger-than-RAM run is too slow for `all`.
+    if args.experiments.contains("bigcorpus") {
+        eprintln!("[reproduce] running big-corpus columnar smoke ...");
+        let result = segdiff_bench::bigcorpus::run_bigcorpus(&args.scale);
+        segdiff_bench::bigcorpus::bigcorpus_report(&result, &mut report);
+        report.metrics("Telemetry: big corpus", &result.metrics);
+        if let Some(path) = &args.metrics_out {
+            std::fs::write(path, segdiff_bench::bigcorpus::metrics_json(&result))
+                .expect("write metrics artifact");
+            eprintln!("[reproduce] wrote metrics artifact {}", path.display());
+        }
+        if result.extents_pruned == 0 {
+            eprintln!("[reproduce] big-corpus FAILED: zonemap.extents_pruned == 0");
+            std::process::exit(1);
+        }
+        if let Some(guard) = &args.guard {
+            if let Err(msg) = segdiff_bench::scaling::check_guard(&result.points, guard) {
+                eprintln!("[reproduce] big-corpus guard FAILED: {msg}");
+                std::process::exit(1);
+            }
+            eprintln!("[reproduce] big-corpus guard OK ({})", guard.display());
         }
     }
 

@@ -6,6 +6,7 @@
 //! same code paths so `cargo bench` stays fast.
 
 pub mod alertsmoke;
+pub mod bigcorpus;
 pub mod clustersmoke;
 pub mod experiments;
 pub mod harness;

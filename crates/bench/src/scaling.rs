@@ -30,7 +30,9 @@ pub struct QueryScalingPoint {
     pub p90_ms: f64,
     /// 99th percentile latency, milliseconds.
     pub p99_ms: f64,
-    /// Pages read (physical + pool misses) during one representative run.
+    /// Pages read through the buffer pool (hits + misses — the repeats
+    /// run warm, so physical reads alone would record zero) during one
+    /// representative run.
     pub pages_read: u64,
     /// Result rows across all sensors.
     pub results: u64,
@@ -38,6 +40,8 @@ pub struct QueryScalingPoint {
     pub rows_considered: u64,
     /// Zone-map pages skipped during the timed runs (seq_scan only).
     pub pages_pruned: u64,
+    /// Zone-map extents (64-page groups) skipped during the timed runs.
+    pub extents_pruned: u64,
 }
 
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
@@ -102,12 +106,17 @@ pub fn run_query_scaling(scale: &Scale, sensor_counts: &[u32]) -> Vec<QueryScali
                 p50_ms: percentile(&lat_ms, 0.50),
                 p90_ms: percentile(&lat_ms, 0.90),
                 p99_ms: percentile(&lat_ms, 0.99),
-                pages_read: stats.io.physical_reads + stats.io.misses,
+                pages_read: stats.io.hits + stats.io.misses,
                 results: stats.results,
                 rows_considered: stats.rows_considered,
                 pages_pruned: delta
                     .counters
                     .get("zonemap.pages_pruned")
+                    .copied()
+                    .unwrap_or(0),
+                extents_pruned: delta
+                    .counters
+                    .get("zonemap.extents_pruned")
                     .copied()
                     .unwrap_or(0),
             });
@@ -313,6 +322,7 @@ mod tests {
                 results: 5,
                 rows_considered: 100,
                 pages_pruned: 0,
+                extents_pruned: 0,
             },
             QueryScalingPoint {
                 sensors: 8,
@@ -324,6 +334,7 @@ mod tests {
                 results: 5,
                 rows_considered: 400,
                 pages_pruned: 7,
+                extents_pruned: 2,
             },
         ];
         let dir = scratch_dir("scaling-baseline-test");

@@ -9,9 +9,9 @@
 
 use crate::result::SegmentPair;
 use crate::tables::pair_from_row;
-use featurespace::batch::{boundaries_intersect, zone_may_intersect};
+use featurespace::batch::{boundaries_intersect_cols, zone_may_intersect};
 use featurespace::{edge_crosses_region, FeaturePoint, QueryRegion, SearchKind};
-use pagestore::{Database, PoolStats, Result, Table};
+use pagestore::{Database, PoolStats, Result, Table, ZoneScanStats};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -177,45 +177,48 @@ pub(crate) fn run_feature_query(
     let mut out = Vec::new();
     match plan {
         QueryPlan::SeqScan => {
-            // Phase: sequential candidate scan, a page at a time. Zone
-            // maps skip pages whose corner-column bounds cannot intersect
-            // the region (the skip is conservative, so pruning is
-            // lossless); surviving pages are decoded into
-            // struct-of-arrays corner buffers and evaluated by the
-            // columnar intersection kernel. `rows_considered` counts only
-            // rows actually examined — pruned pages contribute nothing.
+            // Phase: sequential candidate scan, a page at a time. The
+            // zone hierarchy is pruned top-down — whole segment, then
+            // 64-page extents, then page entries — before any page is
+            // read; each skip is conservative, so pruning is lossless.
+            // Surviving pages (compressed columnar or raw) decode
+            // straight into struct-of-arrays column buffers, which the
+            // batch intersection kernel evaluates in place; only the few
+            // matching rows are ever materialized row-wise, for result
+            // assembly. `rows_considered` counts only rows actually
+            // examined — pruned pages contribute nothing.
             let p = Phase::start(db, "query.scan");
             let mut scanned = 0u64;
-            let mut soa: Vec<Vec<f64>> = Vec::new();
+            let mut zstats = ZoneScanStats::default();
+            let mut cols: Vec<Vec<f64>> = Vec::new();
             let mut mask: Vec<bool> = Vec::new();
+            let mut row: Vec<f64> = Vec::new();
             for (i, table) in tables.iter().enumerate() {
                 let corners = i + 1;
-                let ncols = 2 * corners + 4;
-                soa.resize_with(2 * corners, Vec::new);
-                table.scan_blocks(
+                let s = table.scan_columns(
                     |mins, maxs| zone_may_intersect(corners, mins, maxs, region),
-                    |block, n| {
+                    &mut cols,
+                    |cols, n| {
                         scanned += n as u64;
-                        for (c, col) in soa.iter_mut().enumerate().take(2 * corners) {
-                            col.clear();
-                            col.extend((0..n).map(|r| block[r * ncols + c]));
-                        }
-                        let cols: Vec<&[f64]> =
-                            soa[..2 * corners].iter().map(Vec::as_slice).collect();
-                        boundaries_intersect(corners, &cols, n, region, &mut mask);
+                        boundaries_intersect_cols(corners, cols, n, region, &mut mask);
                         for r in 0..n {
                             if mask[r] {
-                                out.push(pair_from_row(
-                                    &block[r * ncols..(r + 1) * ncols],
-                                    corners,
-                                ));
+                                row.clear();
+                                row.extend(cols.iter().map(|c| c[r]));
+                                out.push(pair_from_row(&row, corners));
                             }
                         }
                         true
                     },
                 )?;
+                zstats.pages_scanned += s.pages_scanned;
+                zstats.pages_pruned += s.pages_pruned;
+                zstats.extents_pruned += s.extents_pruned;
             }
             *rows_considered += scanned;
+            p.span.record("pages_scanned", zstats.pages_scanned);
+            p.span.record("pages_pruned", zstats.pages_pruned);
+            p.span.record("extents_pruned", zstats.extents_pruned);
             phases.push(p.finish(scanned, out.len() as u64));
         }
         QueryPlan::Index => {
@@ -238,6 +241,16 @@ pub(crate) fn run_feature_query(
             for (i, table) in tables.iter().enumerate() {
                 let corners = i + 1;
                 let mut rids: Vec<u64> = Vec::new();
+                // Top of the zone hierarchy: when the table's whole-heap
+                // summary cannot intersect the region, skip all of its
+                // B+tree probes. The summary bounds every stored row, so
+                // the skip is as lossless as page-level pruning.
+                if table.prune_whole_segment(|mins, maxs| {
+                    zone_may_intersect(corners, mins, maxs, region)
+                }) {
+                    all_rids.push((corners, rids));
+                    continue;
+                }
                 if corners == 1 {
                     // Degenerate single-corner boundary: a point query on
                     // the lone corner.
@@ -377,6 +390,14 @@ mod proptests {
             idx.ensure_zone_maps().unwrap();
             let (rebuilt, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
             prop_assert_eq!(&pruned, &rebuilt, "rebuilt zone maps change results");
+            // Rewrite the heaps into compressed columnar pages: both
+            // plans must keep answering bit-identically to the raw
+            // format they replaced.
+            idx.compact_storage().unwrap();
+            let (col_scan, _) = idx.query(&region, QueryPlan::SeqScan).unwrap();
+            let (col_index, _) = idx.query(&region, QueryPlan::Index).unwrap();
+            prop_assert_eq!(&pruned, &col_scan, "columnar scan diverged");
+            prop_assert_eq!(&pruned, &col_index, "columnar index diverged");
             std::fs::remove_dir_all(&dir).ok();
         }
     }

@@ -116,6 +116,33 @@ pub fn boundaries_intersect(
     }
 }
 
+/// [`boundaries_intersect`] over owned column buffers, as a columnar
+/// page scan decodes them: `cols` holds at least the `2 * corners`
+/// corner columns in storage order (trailing columns — the segment
+/// endpoints ride along in the same pages — are ignored), each `len`
+/// rows long. No transpose, no per-row materialization: the buffers the
+/// storage layer decoded into are evaluated in place.
+///
+/// # Panics
+///
+/// Panics unless `corners` is 1–3 and `cols` has at least `2 * corners`
+/// columns of length `len`.
+pub fn boundaries_intersect_cols(
+    corners: usize,
+    cols: &[Vec<f64>],
+    len: usize,
+    region: &QueryRegion,
+    mask: &mut Vec<bool>,
+) {
+    assert!((1..=3).contains(&corners), "corners must be 1-3");
+    assert!(cols.len() >= 2 * corners, "need dt/dv columns per corner");
+    let mut views: [&[f64]; 6] = [&[]; 6];
+    for (v, c) in views.iter_mut().zip(cols) {
+        *v = c.as_slice();
+    }
+    boundaries_intersect(corners, &views[..2 * corners], len, region, mask);
+}
+
 /// Page-level pruning predicate for zone maps: can *any* row whose corner
 /// columns lie within `[mins, maxs]` (per column, storage order
 /// `Δt₁, Δv₁, …`) intersect `region`?
@@ -216,6 +243,30 @@ mod tests {
             vec![2.0, 1.0, 9.0, 1.5],
         ];
         check_against_scalar(2, &rows_j, &jump);
+    }
+
+    #[test]
+    fn cols_variant_matches_slice_variant_and_ignores_trailing_cols() {
+        let region = QueryRegion::drop(10.0, -2.0);
+        let rows = vec![
+            vec![2.0, -1.0, 12.0, -6.0],
+            vec![5.0, -3.0, 8.0, -4.0],
+            vec![11.0, -3.0, 20.0, -6.0],
+            vec![2.0, -1.0, 9.0, -1.5],
+        ];
+        let mut cols = soa(&rows);
+        let views: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let mut want = Vec::new();
+        boundaries_intersect(2, &views, rows.len(), &region, &mut want);
+        // Storage pages carry four trailing segment-endpoint columns after
+        // the corners; the cols variant must skip them.
+        for _ in 0..4 {
+            cols.push(vec![99.0; rows.len()]);
+        }
+        let mut got = Vec::new();
+        boundaries_intersect_cols(2, &cols, rows.len(), &region, &mut got);
+        assert_eq!(got, want);
+        assert!(got.iter().any(|&m| m) && got.iter().any(|&m| !m));
     }
 
     #[test]

@@ -131,6 +131,23 @@ pub const METRICS: &[MetricDef] = &[
         "zonemap.builds",
         "Zone maps rebuilt from a full scan (missing or stale sidecar)",
     ),
+    MetricDef::counter(
+        "zonemap.extents_pruned",
+        "Zone-map extents (64-page groups, plus whole-segment rejections counted as their extents) skipped without touching per-page entries",
+    ),
+    MetricDef::gauge(
+        "zonemap.levels",
+        "Depth of the zone-map hierarchy maintained per heap (page / extent / segment)",
+    ),
+    // Compressed columnar pages (pagestore::colpage).
+    MetricDef::counter(
+        "colpage.pages_written",
+        "Columnar data pages started (inserts opening a fresh page, and heap-rewrite seals)",
+    ),
+    MetricDef::counter(
+        "colpage.pages_decoded",
+        "Columnar pages decoded back into column values during scans and fetches",
+    ),
     // Batched index probes (pagestore::btree::search_batch).
     MetricDef::counter("probe.batches", "Batched B+tree probe calls"),
     MetricDef::counter("probe.ranges", "Key ranges submitted across probe batches"),
@@ -327,6 +344,10 @@ pub const METRICS: &[MetricDef] = &[
     MetricDef::histogram(
         "span.ingest.build_indexes",
         "Index build over feature tables",
+    ),
+    MetricDef::histogram(
+        "span.ingest.compact",
+        "Heap rewrite into the compressed columnar page format",
     ),
 ];
 

@@ -214,6 +214,11 @@ impl BTree {
         self.pool.file_size_bytes(self.fid)
     }
 
+    /// The pool file id this tree lives in (for in-place rebuilds).
+    pub(crate) fn fid(&self) -> FileId {
+        self.fid
+    }
+
     /// Tree height (0 = the root is a leaf).
     pub fn height(&self) -> u32 {
         self.height

@@ -397,6 +397,38 @@ impl BufferPool {
         self.sync_files(&files)
     }
 
+    /// Replaces the [`PageFile`] backing `fid` with `file`, keeping the
+    /// id. The heap-rewrite path streams a new file and renames it over
+    /// the old path, which leaves the registered handle pinned to the
+    /// dead inode; this installs the fresh handle. Every cached frame of
+    /// `fid` is discarded *without* writeback — the old contents are
+    /// obsolete by construction, and flushing them would corrupt the new
+    /// file. Callers must checkpoint first so no WAL image of the old
+    /// contents can replay onto the new file.
+    pub fn swap_file(&self, fid: FileId, file: PageFile) {
+        let files = self.files.read();
+        for s in self.shards.iter() {
+            let mut shard = s.lock();
+            let mut i = 0;
+            while i < shard.frames.len() {
+                if shard.frames[i].key.0 == fid {
+                    let key = shard.frames[i].key;
+                    shard.map.remove(&key);
+                    shard.frames.swap_remove(i);
+                    if i < shard.frames.len() {
+                        let moved = shard.frames[i].key;
+                        shard.map.insert(moved, i);
+                    }
+                    self.resident_pages.sub(1);
+                } else {
+                    i += 1;
+                }
+            }
+            shard.hand = 0;
+        }
+        *files[fid as usize].file.lock() = file;
+    }
+
     /// Appends the image of every dirty-but-unlogged page of every
     /// WAL-named file to the attached log (commit preparation). Returns
     /// the number of images appended. A no-op without an attached WAL.

@@ -1,10 +1,11 @@
-//! Append-only heap files of fixed-width `f64` rows.
+//! Append-only heap files of `f64` rows, in raw or compressed columnar pages.
 
 use crate::buffer::BufferPool;
+use crate::colpage::{self, ColPageBuilder};
 use crate::error::Result;
 use crate::page::{self, PageBuf};
 use crate::pagefile::FileId;
-use crate::zonemap::ZoneMap;
+use crate::zonemap::{ZoneMap, ZONE_LEVELS};
 use crate::{StoreError, PAGE_SIZE};
 use std::sync::Arc;
 
@@ -12,9 +13,52 @@ use std::sync::Arc;
 /// the page in the low 16 bits.
 pub type RowId = u64;
 
-const MAGIC: u32 = 0x5344_4850; // "SDHP"
-const PAGE_HDR: usize = 8; // u16 row count + padding
+pub(crate) const MAGIC: u32 = 0x5344_4850; // "SDHP"
+pub(crate) const PAGE_HDR: usize = 8; // u16 row count + format tag + padding
 const META_PAGE: u32 = 0;
+
+/// On-disk page layout of a heap's data pages.
+///
+/// * `Raw` — fixed-width rows of little-endian f64s (the original format;
+///   the discriminant matches the zero meta bytes of pre-format heaps).
+/// * `Columnar` — compressed [`crate::colpage`] pages: per-column
+///   delta/frame-of-reference/XOR encodings with a raw fallback, chosen
+///   per column per page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u16)]
+pub enum PageFormat {
+    /// Fixed-width row-major f64 pages.
+    #[default]
+    Raw = 0,
+    /// Bit-packed columnar pages.
+    Columnar = 1,
+}
+
+impl PageFormat {
+    /// The on-disk meta tag.
+    pub fn tag(self) -> u16 {
+        self as u16
+    }
+
+    /// Parses the meta tag.
+    pub fn from_tag(tag: u16) -> Result<Self> {
+        match tag {
+            0 => Ok(PageFormat::Raw),
+            1 => Ok(PageFormat::Columnar),
+            other => Err(StoreError::Corrupt(format!(
+                "unknown heap page format tag {other}"
+            ))),
+        }
+    }
+
+    /// Human-readable name (used in stats and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            PageFormat::Raw => "raw",
+            PageFormat::Columnar => "columnar",
+        }
+    }
+}
 
 #[inline]
 fn rid(page: u32, slot: u16) -> RowId {
@@ -28,86 +72,183 @@ fn rid_parts(r: RowId) -> (u32, u16) {
 
 /// An append-only table file of rows with a fixed number of `f64` columns.
 ///
-/// Page 0 holds metadata (magic, column count, row count); data pages
-/// follow. All I/O goes through the shared [`BufferPool`].
+/// Page 0 holds metadata (magic, column count, row count, page format);
+/// data pages follow. All I/O goes through the shared [`BufferPool`].
 pub struct HeapFile {
     pool: Arc<BufferPool>,
     fid: FileId,
     ncols: usize,
+    format: PageFormat,
+    /// Raw-format rows per page; meaningless for columnar heaps (their
+    /// capacity varies with compressibility).
     rows_per_page: usize,
     nrows: u64,
     /// Last data page and its row count, for O(1) appends.
     tail: Option<(u32, u16)>,
-    /// Per-page min/max column summaries, when available. Maintained
+    /// Columnar tail staging: mirrors the rows of the tail page so an
+    /// append can re-encode it without re-decoding. Rebuilt lazily from
+    /// the tail page after open.
+    builder: Option<ColPageBuilder>,
+    /// Hierarchical min/max column summaries, when available. Maintained
     /// incrementally on insert; `None` after opening a heap whose sidecar
     /// was missing or stale (rebuild with [`HeapFile::rebuild_zones`]).
     zones: Option<ZoneMap>,
 }
 
-/// Page-skip accounting returned by [`HeapFile::scan_blocks`].
+/// Page-skip accounting returned by the zone-pruned scans.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ZoneScanStats {
     /// Data pages whose rows were decoded and visited.
     pub pages_scanned: u64,
-    /// Data pages skipped because their zone failed the filter.
+    /// Data pages skipped because a zone summary failed the filter.
     pub pages_pruned: u64,
+    /// Whole extents (and the segment entry, counted as its extents)
+    /// rejected without touching their per-page entries.
+    pub extents_pruned: u64,
+}
+
+/// Compression accounting for one heap (see
+/// [`HeapFile::compression_stats`]). `raw_bytes` is what the rows would
+/// occupy as fixed-width f64 payload; `stored_bytes` is the encoded
+/// payload actually stored (directory overhead included for columnar
+/// pages).
+#[derive(Debug, Clone, Default)]
+pub struct CompressionStats {
+    /// Data pages inspected.
+    pub pages: u64,
+    /// Fixed-width payload bytes the stored rows represent.
+    pub raw_bytes: u64,
+    /// Encoded payload bytes actually stored.
+    pub stored_bytes: u64,
+    /// Per-column encoded payload bytes.
+    pub col_stored: Vec<u64>,
+    /// Per-column fixed-width payload bytes.
+    pub col_raw: Vec<u64>,
+    /// Column payloads that fell back to the raw encoding.
+    pub raw_fallback_cols: u64,
+}
+
+impl CompressionStats {
+    /// Overall compression ratio (≥ 1.0 means the encoding paid off).
+    pub fn ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.stored_bytes as f64
+        }
+    }
 }
 
 impl HeapFile {
     /// Creates an empty heap in the (already registered, freshly created)
     /// file `fid`.
-    pub fn create(pool: Arc<BufferPool>, fid: FileId, ncols: usize) -> Result<Self> {
+    pub fn create(
+        pool: Arc<BufferPool>,
+        fid: FileId,
+        ncols: usize,
+        format: PageFormat,
+    ) -> Result<Self> {
         assert!(
             ncols > 0 && ncols * 8 <= PAGE_SIZE - PAGE_HDR,
             "bad column count"
         );
+        if format == PageFormat::Columnar {
+            assert!(
+                ncols <= colpage::max_cols(),
+                "too many columns for columnar pages"
+            );
+        }
         let meta = pool.allocate_page(fid)?;
         debug_assert_eq!(meta, META_PAGE);
         let h = Self {
             pool,
             fid,
             ncols,
+            format,
             rows_per_page: (PAGE_SIZE - PAGE_HDR) / (ncols * 8),
             nrows: 0,
             tail: None,
-            zones: Some(ZoneMap::new(ncols)),
+            builder: None,
+            zones: Some(Self::new_zones(ncols, format)),
         };
         h.write_meta()?;
         Ok(h)
     }
 
+    fn new_zones(ncols: usize, format: PageFormat) -> ZoneMap {
+        obs::global()
+            .gauge("zonemap.levels")
+            .set(ZONE_LEVELS as i64);
+        ZoneMap::new(ncols, format.tag())
+    }
+
     /// Opens an existing heap in file `fid`.
     pub fn open(pool: Arc<BufferPool>, fid: FileId) -> Result<Self> {
-        let (magic, ncols, nrows) = pool.with_page(fid, META_PAGE, |b| {
+        let (magic, ncols, nrows, ftag) = pool.with_page(fid, META_PAGE, |b| {
             (
                 page::get_u32(b, 0),
                 page::get_u16(b, 4) as usize,
                 page::get_u64(b, 8),
+                page::get_u16(b, 16),
             )
         })?;
         if magic != MAGIC {
             return Err(StoreError::Corrupt("heap file has bad magic".into()));
         }
+        let format = PageFormat::from_tag(ftag)?;
         let rows_per_page = (PAGE_SIZE - PAGE_HDR) / (ncols * 8);
-        let tail = if nrows == 0 {
-            None
-        } else {
-            let full_pages = (nrows as usize) / rows_per_page;
-            let rem = (nrows as usize) % rows_per_page;
-            if rem == 0 {
-                Some((full_pages as u32, rows_per_page as u16))
-            } else {
-                Some((full_pages as u32 + 1, rem as u16))
+        let tail = match format {
+            PageFormat::Raw => {
+                if nrows == 0 {
+                    None
+                } else {
+                    let full_pages = (nrows as usize) / rows_per_page;
+                    let rem = (nrows as usize) % rows_per_page;
+                    if rem == 0 {
+                        Some((full_pages as u32, rows_per_page as u16))
+                    } else {
+                        Some((full_pages as u32 + 1, rem as u16))
+                    }
+                }
+            }
+            PageFormat::Columnar => {
+                // Variable rows per page: walk the headers up to the
+                // logical row count. Pages past it are crash leftovers.
+                let mut tail = None;
+                let mut remaining = nrows;
+                let npages = pool.file_pages(fid);
+                for pid in 1..npages {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let n = pool.with_page(fid, pid, |b| page::get_u16(b, 0))? as u64;
+                    let take = n.min(remaining);
+                    remaining -= take;
+                    tail = Some((pid, take as u16));
+                }
+                if remaining > 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "columnar heap holds fewer rows than its meta count ({remaining} missing)"
+                    )));
+                }
+                tail
             }
         };
-        let zones = ZoneMap::load(&pool.file_path(fid), ncols, nrows);
+        let zones = ZoneMap::load(&pool.file_path(fid), ncols, nrows, ftag);
+        if zones.is_some() {
+            obs::global()
+                .gauge("zonemap.levels")
+                .set(ZONE_LEVELS as i64);
+        }
         Ok(Self {
             pool,
             fid,
             ncols,
+            format,
             rows_per_page,
             nrows,
             tail,
+            builder: None,
             zones,
         })
     }
@@ -117,6 +258,7 @@ impl HeapFile {
             page::put_u32(b, 0, MAGIC);
             page::put_u16(b, 4, self.ncols as u16);
             page::put_u64(b, 8, self.nrows);
+            page::put_u16(b, 16, self.format.tag());
         })
     }
 
@@ -140,6 +282,16 @@ impl HeapFile {
         self.nrows
     }
 
+    /// The data-page format of this heap.
+    pub fn format(&self) -> PageFormat {
+        self.format
+    }
+
+    /// The pool file id backing this heap (for in-place rewrites).
+    pub(crate) fn fid(&self) -> FileId {
+        self.fid
+    }
+
     /// Bytes used on disk (meta page included).
     pub fn size_bytes(&self) -> u64 {
         self.pool.file_size_bytes(self.fid)
@@ -156,24 +308,38 @@ impl HeapFile {
     /// right after the logical tail, even when a crash left the file
     /// extended further (pages allocated whose rows never became durable).
     /// WAL recovery's logical truncation and the scan order both rely on
-    /// page `p` holding exactly rows `(p-1)*rows_per_page..`.
+    /// data pages holding rows contiguously in page order.
     ///
     /// # Panics
     ///
     /// Panics if `row.len() != ncols`.
     pub fn insert(&mut self, row: &[f64]) -> Result<RowId> {
         assert_eq!(row.len(), self.ncols, "row arity mismatch");
+        let (pid, slot) = match self.format {
+            PageFormat::Raw => self.insert_raw(row)?,
+            PageFormat::Columnar => self.insert_columnar(row)?,
+        };
+        self.tail = Some((pid, slot + 1));
+        self.nrows += 1;
+        if let Some(z) = &mut self.zones {
+            z.observe(pid, row);
+        }
+        Ok(rid(pid, slot))
+    }
+
+    fn next_tail_page(&self) -> Result<u32> {
+        let next = self.tail.map_or(1, |(pid, _)| pid + 1);
+        if next < self.pool.file_pages(self.fid) {
+            Ok(next) // reuse a leftover page from an interrupted extension
+        } else {
+            self.pool.allocate_page(self.fid)
+        }
+    }
+
+    fn insert_raw(&mut self, row: &[f64]) -> Result<(u32, u16)> {
         let (pid, slot) = match self.tail {
             Some((pid, n)) if (n as usize) < self.rows_per_page => (pid, n),
-            _ => {
-                let next = self.tail.map_or(1, |(pid, _)| pid + 1);
-                let pid = if next < self.pool.file_pages(self.fid) {
-                    next // reuse a leftover page from an interrupted extension
-                } else {
-                    self.pool.allocate_page(self.fid)?
-                };
-                (pid, 0)
-            }
+            _ => (self.next_tail_page()?, 0),
         };
         let off = PAGE_HDR + slot as usize * self.ncols * 8;
         self.pool.with_page_mut(self.fid, pid, |b| {
@@ -187,31 +353,97 @@ impl HeapFile {
             }
             page::put_u16(b, 0, slot + 1);
         })?;
-        self.tail = Some((pid, slot + 1));
-        self.nrows += 1;
-        if let Some(z) = &mut self.zones {
-            z.observe(pid, row);
-        }
-        Ok(rid(pid, slot))
+        Ok((pid, slot))
     }
 
-    /// Reads the row `r` into `out` (resized to the column count).
-    pub fn fetch(&self, r: RowId, out: &mut Vec<f64>) -> Result<()> {
-        let (pid, slot) = rid_parts(r);
-        out.resize(self.ncols, 0.0);
-        let off = PAGE_HDR + slot as usize * self.ncols * 8;
-        self.pool.with_page(self.fid, pid, |b| {
-            let n = page::get_u16(b, 0);
-            if slot >= n {
-                return Err(StoreError::Corrupt(format!(
-                    "row {r:#x}: slot {slot} >= page rows {n}"
-                )));
+    fn insert_columnar(&mut self, row: &[f64]) -> Result<(u32, u16)> {
+        self.ensure_builder()?;
+        // Taken out of self to sidestep the borrow across
+        // `next_tail_page`; put back on every exit path.
+        let mut builder = self
+            .builder
+            .take()
+            .unwrap_or_else(|| ColPageBuilder::new(self.ncols));
+        let fits = builder.try_push(row);
+        let (pid, slot) = match (fits, self.tail) {
+            (true, Some((pid, n))) if n > 0 => (pid, n),
+            _ => {
+                if !fits {
+                    builder.clear();
+                    assert!(
+                        builder.try_push(row),
+                        "a single row must fit a columnar page"
+                    );
+                }
+                obs::global().counter("colpage.pages_written").inc();
+                match self.next_tail_page() {
+                    Ok(pid) => (pid, 0),
+                    Err(e) => {
+                        self.builder = Some(builder);
+                        return Err(e);
+                    }
+                }
             }
-            for (i, o) in out.iter_mut().enumerate() {
-                *o = page::get_f64(b, off + i * 8);
+        };
+        let sealed = self
+            .pool
+            .with_page_mut(self.fid, pid, |b| builder.seal_into(b));
+        self.builder = Some(builder);
+        sealed?;
+        Ok((pid, slot))
+    }
+
+    /// Re-stages the tail page's rows into the columnar builder (after
+    /// open, or after an operation that invalidated the staging copy).
+    fn ensure_builder(&mut self) -> Result<()> {
+        if self.builder.is_some() {
+            return Ok(());
+        }
+        let mut b = ColPageBuilder::new(self.ncols);
+        if let Some((pid, n)) = self.tail {
+            if n > 0 {
+                let mut buf = PageBuf::zeroed();
+                self.pool.read_page_into(self.fid, pid, &mut buf)?;
+                let mut cols: Vec<Vec<f64>> = vec![Vec::new(); self.ncols];
+                let got = colpage::decode_into(buf.bytes(), self.ncols, &mut cols)?;
+                obs::global().counter("colpage.pages_decoded").inc();
+                if got < n as usize {
+                    return Err(StoreError::Corrupt(format!(
+                        "columnar tail page {pid} holds {got} rows, expected {n}"
+                    )));
+                }
+                let mut row = vec![0.0f64; self.ncols];
+                for r in 0..n as usize {
+                    colpage::gather_row(&cols, r, &mut row);
+                    assert!(b.try_push(&row), "re-staged tail rows must fit");
+                }
             }
-            Ok(())
-        })?
+        }
+        self.builder = Some(b);
+        Ok(())
+    }
+
+    /// Decodes the data page in `buf` into `cols` (each column cleared
+    /// first), dispatching on the page format. Returns the row count.
+    fn decode_page_columns(&self, buf: &PageBuf, cols: &mut [Vec<f64>]) -> Result<usize> {
+        let b = buf.bytes();
+        for c in cols.iter_mut() {
+            c.clear();
+        }
+        if colpage::is_colpage(b) {
+            obs::global().counter("colpage.pages_decoded").inc();
+            return colpage::decode_into(b, self.ncols, cols);
+        }
+        // Raw page: transpose into the column buffers.
+        let n = page::get_u16(b, 0) as usize;
+        let mut off = PAGE_HDR;
+        for _ in 0..n {
+            for col in cols.iter_mut() {
+                col.push(page::get_f64(b, off));
+                off += 8;
+            }
+        }
+        Ok(n)
     }
 
     /// Scans all rows in storage order. The visitor receives the row id and
@@ -222,20 +454,16 @@ impl HeapFile {
     pub fn scan(&self, mut visit: impl FnMut(RowId, &[f64]) -> bool) -> Result<()> {
         let npages = self.pool.file_pages(self.fid);
         let mut buf = PageBuf::zeroed();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); self.ncols];
         let mut row = vec![0.0f64; self.ncols];
         for pid in 1..npages {
             self.pool.read_page_into(self.fid, pid, &mut buf)?;
-            let b = buf.bytes();
-            let n = page::get_u16(b, 0) as usize;
-            let mut off = PAGE_HDR;
+            let n = self.decode_page_columns(&buf, &mut cols)?;
             for slot in 0..n {
-                for (i, r) in row.iter_mut().enumerate() {
-                    *r = page::get_f64(b, off + i * 8);
-                }
+                colpage::gather_row(&cols, slot, &mut row);
                 if !visit(rid(pid, slot as u16), &row) {
                     return Ok(());
                 }
-                off += self.ncols * 8;
             }
         }
         Ok(())
@@ -246,39 +474,56 @@ impl HeapFile {
         self.zones.is_some()
     }
 
+    /// The whole-heap `(mins, maxs)` zone summary, when a zone map is
+    /// maintained and the heap is non-empty. Lets query plans reject an
+    /// entire table with one comparison before probing any index.
+    pub fn zone_segment_bounds(&self) -> Option<(&[f64], &[f64])> {
+        self.zones.as_ref().and_then(|z| z.segment_bounds())
+    }
+
     /// Rebuilds the zone map from a full scan (idempotent; a heap that
     /// already maintains one is left untouched). Needed after opening a
     /// heap whose sidecar was missing or stale — e.g. created before zone
-    /// maps existed, or truncated by WAL recovery.
+    /// maps existed, truncated by WAL recovery, or rewritten in the other
+    /// page format.
     pub fn rebuild_zones(&mut self) -> Result<()> {
         if self.zones.is_some() {
             return Ok(());
         }
         obs::global().counter("zonemap.builds").inc();
-        let mut z = ZoneMap::new(self.ncols);
+        let mut z = Self::new_zones(self.ncols, self.format);
         let npages = self.pool.file_pages(self.fid);
         let mut buf = PageBuf::zeroed();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); self.ncols];
         let mut row = vec![0.0f64; self.ncols];
         let mut remaining = self.nrows;
         'pages: for pid in 1..npages {
+            if remaining == 0 {
+                break;
+            }
             self.pool.read_page_into(self.fid, pid, &mut buf)?;
-            let b = buf.bytes();
-            let n = page::get_u16(b, 0) as usize;
-            let mut off = PAGE_HDR;
-            for _slot in 0..n {
+            let n = self.decode_page_columns(&buf, &mut cols)?;
+            for slot in 0..n {
                 if remaining == 0 {
                     break 'pages;
                 }
-                for (i, r) in row.iter_mut().enumerate() {
-                    *r = page::get_f64(b, off + i * 8);
-                }
+                colpage::gather_row(&cols, slot, &mut row);
                 z.observe(pid, &row);
                 remaining -= 1;
-                off += self.ncols * 8;
             }
         }
         self.zones = Some(z);
         Ok(())
+    }
+
+    /// Installs a zone map built elsewhere (the heap-rewrite path, which
+    /// observes every row while streaming it into the new file).
+    pub(crate) fn install_zones(&mut self, zones: ZoneMap) {
+        debug_assert_eq!(zones.num_rows(), self.nrows);
+        obs::global()
+            .gauge("zonemap.levels")
+            .set(ZONE_LEVELS as i64);
+        self.zones = Some(zones);
     }
 
     /// Drops the zone map and deletes its sidecar, forcing subsequent
@@ -288,60 +533,217 @@ impl HeapFile {
         std::fs::remove_file(ZoneMap::sidecar_path(&self.pool.file_path(self.fid))).ok();
     }
 
-    /// Scans rows a page at a time, skipping pages whose zone summary
-    /// fails `filter` (called with the page's per-column `(mins, maxs)`;
-    /// pages without zone coverage are always visited). The visitor
-    /// receives the page's rows as one row-major block of
-    /// `n * ncols` decoded columns; returning `false` stops the scan.
+    /// Top-down hierarchical pruning: applies `filter` to the segment
+    /// entry, then to each surviving extent entry, then to the page
+    /// entries of surviving extents. Returns the pages to visit (in
+    /// order) and the skip accounting. Pages without zone coverage are
+    /// always visited.
+    fn live_pages(
+        &self,
+        filter: &mut impl FnMut(&[f64], &[f64]) -> bool,
+        npages: u32,
+        stats: &mut ZoneScanStats,
+    ) -> Vec<u32> {
+        let mut live = Vec::new();
+        let Some(z) = &self.zones else {
+            live.extend(1..npages);
+            return live;
+        };
+        // Pages 1..covered_end carry zone entries; later pages (crash
+        // leftovers, or rows landed after the map was dropped) do not.
+        let covered_end = (z.pages() + 1).min(npages);
+        let covered = covered_end.saturating_sub(1) as u64;
+        if covered > 0 {
+            let seg_live = match z.segment_bounds() {
+                Some((mins, maxs)) => filter(mins, maxs),
+                None => true,
+            };
+            if !seg_live {
+                stats.extents_pruned += z.extents() as u64;
+                stats.pages_pruned += covered;
+            } else {
+                for ext in 0..z.extents() {
+                    let pages = ZoneMap::extent_pages(ext);
+                    let (lo, hi) = (pages.start, pages.end.min(covered_end));
+                    if lo >= hi {
+                        break;
+                    }
+                    if let Some((mins, maxs)) = z.extent_bounds(ext) {
+                        if !filter(mins, maxs) {
+                            stats.extents_pruned += 1;
+                            stats.pages_pruned += (hi - lo) as u64;
+                            continue;
+                        }
+                    }
+                    for pid in lo..hi {
+                        match z.page_bounds(pid) {
+                            Some((mins, maxs)) if !filter(mins, maxs) => stats.pages_pruned += 1,
+                            _ => live.push(pid),
+                        }
+                    }
+                }
+            }
+        }
+        live.extend(covered_end..npages);
+        live
+    }
+
+    /// Segment-level pre-probe pruning for non-scan plans: applies
+    /// `filter` (the same conservative may-match predicate the scan
+    /// paths use) to the whole-heap zone entry alone and reports whether
+    /// the heap as a whole can be skipped. A rejection counts every
+    /// covered extent and page into the `zonemap.*` pruning counters,
+    /// exactly as a scan-time segment rejection would.
     ///
-    /// Skipped pages are counted into `zonemap.pages_pruned` and the
-    /// returned [`ZoneScanStats`]. The filter must be *conservative* —
-    /// return `true` whenever any row in the bounds could match — for
-    /// pruning to be lossless.
+    /// Returns `false` — no pruning — when no zone map is maintained,
+    /// the heap is empty, or the map does not cover every stored row
+    /// (skipping would then be lossy).
+    pub fn prune_whole_segment(&self, mut filter: impl FnMut(&[f64], &[f64]) -> bool) -> bool {
+        let Some(z) = &self.zones else {
+            return false;
+        };
+        if z.num_rows() != self.nrows {
+            return false;
+        }
+        let Some((mins, maxs)) = z.segment_bounds() else {
+            return false;
+        };
+        if filter(mins, maxs) {
+            return false;
+        }
+        let stats = ZoneScanStats {
+            pages_scanned: 0,
+            pages_pruned: z.pages() as u64,
+            extents_pruned: z.extents() as u64,
+        };
+        Self::flush_zone_counters(&stats);
+        true
+    }
+
+    fn flush_zone_counters(stats: &ZoneScanStats) {
+        if stats.pages_pruned > 0 {
+            obs::global()
+                .counter("zonemap.pages_pruned")
+                .add(stats.pages_pruned);
+        }
+        if stats.extents_pruned > 0 {
+            obs::global()
+                .counter("zonemap.extents_pruned")
+                .add(stats.extents_pruned);
+        }
+    }
+
+    /// Scans rows a page at a time, skipping zones that fail `filter`
+    /// (applied top-down: segment, then extent, then page summaries;
+    /// pages without zone coverage are always visited). The visitor
+    /// receives the page's rows as one row-major block of `n * ncols`
+    /// decoded columns; returning `false` stops the scan.
+    ///
+    /// Skipped pages are counted into `zonemap.pages_pruned` /
+    /// `zonemap.extents_pruned` and the returned [`ZoneScanStats`]. The
+    /// filter must be *conservative* — return `true` whenever any row in
+    /// the bounds could match — for pruning to be lossless.
     pub fn scan_blocks(
         &self,
         mut filter: impl FnMut(&[f64], &[f64]) -> bool,
         mut visit: impl FnMut(&[f64], usize) -> bool,
     ) -> Result<ZoneScanStats> {
         let npages = self.pool.file_pages(self.fid);
-        let mut buf = PageBuf::zeroed();
-        let mut block = Vec::new();
         let mut stats = ZoneScanStats::default();
-        for pid in 1..npages {
-            if let Some((mins, maxs)) = self.zones.as_ref().and_then(|z| z.page_bounds(pid)) {
-                if !filter(mins, maxs) {
-                    stats.pages_pruned += 1;
-                    continue;
-                }
-            }
+        let live = self.live_pages(&mut filter, npages, &mut stats);
+        let mut buf = PageBuf::zeroed();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); self.ncols];
+        let mut block = Vec::new();
+        for pid in live {
             stats.pages_scanned += 1;
             self.pool.read_page_into(self.fid, pid, &mut buf)?;
-            let b = buf.bytes();
-            let n = page::get_u16(b, 0) as usize;
+            let n = self.decode_page_columns(&buf, &mut cols)?;
             block.clear();
             block.reserve(n * self.ncols);
-            let mut off = PAGE_HDR;
-            for _ in 0..n * self.ncols {
-                block.push(page::get_f64(b, off));
-                off += 8;
+            for slot in 0..n {
+                for col in &cols {
+                    block.push(col[slot]);
+                }
             }
             if !visit(&block, n) {
                 break;
             }
         }
-        if stats.pages_pruned > 0 {
-            obs::global()
-                .counter("zonemap.pages_pruned")
-                .add(stats.pages_pruned);
-        }
+        Self::flush_zone_counters(&stats);
         Ok(stats)
     }
 
-    /// Fetches many rows with one page read per distinct page. `rids`
-    /// must be sorted (ascending row id — which is page-major order);
-    /// consecutive ids on the same page decode from a single buffered
-    /// page copy. The visitor receives each row id with its decoded
-    /// columns.
+    /// Like [`HeapFile::scan_blocks`], but hands the visitor the page's
+    /// rows column by column, decoded straight into `cols` (resized to
+    /// the column count; each column holds the page's values in slot
+    /// order). Compressed columnar pages decode directly into these
+    /// buffers with no row-at-a-time materialization; raw pages are
+    /// transposed during the decode. Returning `false` stops the scan.
+    pub fn scan_columns(
+        &self,
+        mut filter: impl FnMut(&[f64], &[f64]) -> bool,
+        cols: &mut Vec<Vec<f64>>,
+        mut visit: impl FnMut(&[Vec<f64>], usize) -> bool,
+    ) -> Result<ZoneScanStats> {
+        let npages = self.pool.file_pages(self.fid);
+        let mut stats = ZoneScanStats::default();
+        let live = self.live_pages(&mut filter, npages, &mut stats);
+        cols.resize(self.ncols, Vec::new());
+        let mut buf = PageBuf::zeroed();
+        for pid in live {
+            stats.pages_scanned += 1;
+            self.pool.read_page_into(self.fid, pid, &mut buf)?;
+            let n = self.decode_page_columns(&buf, cols)?;
+            if !visit(cols, n) {
+                break;
+            }
+        }
+        Self::flush_zone_counters(&stats);
+        Ok(stats)
+    }
+
+    /// Reads the row `r` into `out` (resized to the column count).
+    pub fn fetch(&self, r: RowId, out: &mut Vec<f64>) -> Result<()> {
+        let (pid, slot) = rid_parts(r);
+        out.resize(self.ncols, 0.0);
+        match self.format {
+            PageFormat::Raw => {
+                let off = PAGE_HDR + slot as usize * self.ncols * 8;
+                self.pool.with_page(self.fid, pid, |b| {
+                    let n = page::get_u16(b, 0);
+                    if slot >= n {
+                        return Err(StoreError::Corrupt(format!(
+                            "row {r:#x}: slot {slot} >= page rows {n}"
+                        )));
+                    }
+                    for (i, o) in out.iter_mut().enumerate() {
+                        *o = page::get_f64(b, off + i * 8);
+                    }
+                    Ok(())
+                })?
+            }
+            PageFormat::Columnar => {
+                let mut buf = PageBuf::zeroed();
+                self.pool.read_page_into(self.fid, pid, &mut buf)?;
+                let mut cols: Vec<Vec<f64>> = vec![Vec::new(); self.ncols];
+                let n = self.decode_page_columns(&buf, &mut cols)?;
+                if slot as usize >= n {
+                    return Err(StoreError::Corrupt(format!(
+                        "row {r:#x}: slot {slot} >= page rows {n}"
+                    )));
+                }
+                for (c, o) in out.iter_mut().enumerate() {
+                    *o = cols[c][slot as usize];
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Fetches many rows with one page read (and, for columnar pages, one
+    /// decode) per distinct page. `rids` must be sorted (ascending row id
+    /// — which is page-major order). The visitor receives each row id
+    /// with its decoded columns.
     ///
     /// # Panics
     ///
@@ -353,30 +755,72 @@ impl HeapFile {
     ) -> Result<()> {
         debug_assert!(rids.windows(2).all(|w| w[0] <= w[1]), "rids must be sorted");
         let mut buf = PageBuf::zeroed();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); self.ncols];
         let mut row = vec![0.0f64; self.ncols];
-        let mut loaded: Option<u32> = None;
+        let mut loaded: Option<(u32, usize)> = None;
         for &r in rids {
             let (pid, slot) = rid_parts(r);
-            if loaded != Some(pid) {
-                self.pool.read_page_into(self.fid, pid, &mut buf)?;
-                loaded = Some(pid);
-            }
-            let b = buf.bytes();
-            let n = page::get_u16(b, 0);
-            if slot >= n {
+            let n = match loaded {
+                Some((p, n)) if p == pid => n,
+                _ => {
+                    self.pool.read_page_into(self.fid, pid, &mut buf)?;
+                    let n = self.decode_page_columns(&buf, &mut cols)?;
+                    loaded = Some((pid, n));
+                    n
+                }
+            };
+            if slot as usize >= n {
                 return Err(StoreError::Corrupt(format!(
                     "row {r:#x}: slot {slot} >= page rows {n}"
                 )));
             }
-            let off = PAGE_HDR + slot as usize * self.ncols * 8;
-            for (i, o) in row.iter_mut().enumerate() {
-                *o = page::get_f64(b, off + i * 8);
+            for (c, o) in row.iter_mut().enumerate() {
+                *o = cols[c][slot as usize];
             }
             if !visit(r, &row) {
                 break;
             }
         }
         Ok(())
+    }
+
+    /// Walks every data page and accounts encoded vs fixed-width payload
+    /// sizes (raw pages count as fixed-width on both sides).
+    pub fn compression_stats(&self) -> Result<CompressionStats> {
+        let mut s = CompressionStats {
+            col_stored: vec![0; self.ncols],
+            col_raw: vec![0; self.ncols],
+            ..CompressionStats::default()
+        };
+        let npages = self.pool.file_pages(self.fid);
+        let mut buf = PageBuf::zeroed();
+        for pid in 1..npages {
+            self.pool.read_page_into(self.fid, pid, &mut buf)?;
+            let b = buf.bytes();
+            let n = colpage::page_nrows(b) as u64;
+            s.pages += 1;
+            if colpage::is_colpage(b) {
+                for (c, (enc, bytes)) in colpage::column_layout(b, self.ncols)?
+                    .into_iter()
+                    .enumerate()
+                {
+                    s.col_stored[c] += bytes as u64;
+                    s.col_raw[c] += n * 8;
+                    if enc == colpage::ColEncoding::Raw {
+                        s.raw_fallback_cols += 1;
+                    }
+                }
+                s.stored_bytes += 16 * self.ncols as u64; // directory overhead
+            } else {
+                for c in 0..self.ncols {
+                    s.col_stored[c] += n * 8;
+                    s.col_raw[c] += n * 8;
+                }
+            }
+        }
+        s.raw_bytes = s.col_raw.iter().sum();
+        s.stored_bytes += s.col_stored.iter().sum::<u64>();
+        Ok(s)
     }
 }
 
@@ -386,12 +830,21 @@ mod tests {
     use crate::pagefile::PageFile;
     use std::path::PathBuf;
 
-    fn setup(name: &str, ncols: usize) -> (Arc<BufferPool>, HeapFile, PathBuf) {
+    fn setup_fmt(
+        name: &str,
+        ncols: usize,
+        format: PageFormat,
+    ) -> (Arc<BufferPool>, HeapFile, PathBuf) {
         let p = std::env::temp_dir().join(format!("pagestore-heap-{}-{name}", std::process::id()));
+        std::fs::remove_file(&p).ok();
         let pool = Arc::new(BufferPool::new(64));
         let fid = pool.register_file(PageFile::create(&p).unwrap());
-        let heap = HeapFile::create(pool.clone(), fid, ncols).unwrap();
+        let heap = HeapFile::create(pool.clone(), fid, ncols, format).unwrap();
         (pool, heap, p)
+    }
+
+    fn setup(name: &str, ncols: usize) -> (Arc<BufferPool>, HeapFile, PathBuf) {
+        setup_fmt(name, ncols, PageFormat::Raw)
     }
 
     #[test]
@@ -449,7 +902,7 @@ mod tests {
         {
             let pool = Arc::new(BufferPool::new(64));
             let fid = pool.register_file(PageFile::create(&p).unwrap());
-            let mut h = HeapFile::create(pool.clone(), fid, 2).unwrap();
+            let mut h = HeapFile::create(pool.clone(), fid, 2, PageFormat::Raw).unwrap();
             for i in 0..1000 {
                 h.insert(&[i as f64, 2.0 * i as f64]).unwrap();
             }
@@ -460,6 +913,7 @@ mod tests {
         let fid = pool.register_file(PageFile::open(&p).unwrap());
         let mut h = HeapFile::open(pool, fid).unwrap();
         assert_eq!(h.num_rows(), 1000);
+        assert_eq!(h.format(), PageFormat::Raw);
         // Appends continue where the tail left off.
         h.insert(&[1000.0, 2000.0]).unwrap();
         let mut count = 0;
@@ -470,6 +924,159 @@ mod tests {
         })
         .unwrap();
         assert_eq!(count, 1001);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn columnar_insert_scan_fetch_roundtrip() {
+        let (_pool, mut h, p) = setup_fmt("col-roundtrip", 3, PageFormat::Columnar);
+        assert_eq!(h.format(), PageFormat::Columnar);
+        let n = 4000usize; // several columnar pages
+        let mut rids = Vec::new();
+        for i in 0..n {
+            // A mix of integer-like and full-precision columns.
+            rids.push(
+                h.insert(&[300.0 * i as f64, -(i as f64) * 0.001, (i % 7) as f64])
+                    .unwrap(),
+            );
+        }
+        assert_eq!(h.num_rows(), n as u64);
+        let mut count = 0usize;
+        h.scan(|r, row| {
+            assert_eq!(r, rids[count]);
+            assert_eq!(row[0], 300.0 * count as f64);
+            assert_eq!(row[1].to_bits(), (-(count as f64) * 0.001).to_bits());
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, n);
+        let mut out = Vec::new();
+        h.fetch(rids[1234], &mut out).unwrap();
+        assert_eq!(out[0], 300.0 * 1234.0);
+        // Columnar pages hold far more of these compressible rows than the
+        // raw format's fixed capacity would.
+        let stats = h.compression_stats().unwrap();
+        assert!(stats.ratio() > 2.0, "ratio {}", stats.ratio());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn columnar_reopen_appends_into_tail_page() {
+        let p = std::env::temp_dir().join(format!("pagestore-heap-{}-colre", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        let n = 1000usize;
+        {
+            let pool = Arc::new(BufferPool::new(64));
+            let fid = pool.register_file(PageFile::create(&p).unwrap());
+            let mut h = HeapFile::create(pool.clone(), fid, 2, PageFormat::Columnar).unwrap();
+            for i in 0..n {
+                h.insert(&[i as f64, 0.5]).unwrap();
+            }
+            h.sync_meta().unwrap();
+            pool.flush_all().unwrap();
+        }
+        let pool = Arc::new(BufferPool::new(64));
+        let fid = pool.register_file(PageFile::open(&p).unwrap());
+        let mut h = HeapFile::open(pool.clone(), fid).unwrap();
+        assert_eq!(h.num_rows(), n as u64);
+        let pages_before = pool.file_pages(fid);
+        let r = h.insert(&[n as f64, 0.5]).unwrap();
+        // The append lands in the existing tail page, not a fresh one.
+        assert_eq!(pool.file_pages(fid), pages_before);
+        assert_eq!(r >> 16, (pages_before - 1) as u64);
+        let mut seen = 0usize;
+        h.scan(|_, row| {
+            assert_eq!(row[0], seen as f64);
+            seen += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, n + 1);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn columnar_scan_columns_matches_scan_blocks() {
+        let (_pool, mut h, p) = setup_fmt("col-scancols", 2, PageFormat::Columnar);
+        for i in 0..2500 {
+            h.insert(&[i as f64, (i * i % 97) as f64]).unwrap();
+        }
+        let mut via_blocks: Vec<f64> = Vec::new();
+        h.scan_blocks(
+            |_, _| true,
+            |block, n| {
+                via_blocks.extend_from_slice(&block[..n * 2]);
+                true
+            },
+        )
+        .unwrap();
+        let mut via_cols: Vec<f64> = Vec::new();
+        let mut bufs: Vec<Vec<f64>> = Vec::new();
+        h.scan_columns(
+            |_, _| true,
+            &mut bufs,
+            |cols, n| {
+                for (a, b) in cols[0][..n].iter().zip(&cols[1][..n]) {
+                    via_cols.push(*a);
+                    via_cols.push(*b);
+                }
+                true
+            },
+        )
+        .unwrap();
+        assert_eq!(via_blocks, via_cols);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn hierarchical_pruning_skips_extents() {
+        let (_pool, mut h, p) = setup_fmt("extents", 1, PageFormat::Raw);
+        // 511 rows per page at 1 column; fill > 2 extents (129 pages).
+        let rows = 511 * 130;
+        for i in 0..rows {
+            h.insert(&[i as f64]).unwrap();
+        }
+        // A filter matching only the very first page's range: everything
+        // else must be pruned, and all but extent 0 at the extent level.
+        let stats = h
+            .scan_blocks(|mins, _maxs| mins[0] < 511.0, |_b, _n| true)
+            .unwrap();
+        assert_eq!(stats.pages_scanned, 1);
+        assert!(stats.extents_pruned >= 2, "stats: {stats:?}");
+        assert_eq!(
+            stats.pages_scanned + stats.pages_pruned,
+            130,
+            "stats: {stats:?}"
+        );
+        // A filter matching nothing prunes at the segment level.
+        let stats = h.scan_blocks(|_m, _x| false, |_b, _n| true).unwrap();
+        assert_eq!(stats.pages_scanned, 0);
+        assert_eq!(stats.extents_pruned, 3, "three extents under the segment");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn whole_segment_prune_respects_bounds_and_counts() {
+        let (_pool, mut h, p) = setup_fmt("segprune", 1, PageFormat::Raw);
+        for i in 0..511 * 70 {
+            h.insert(&[i as f64]).unwrap();
+        }
+        let before = obs::global().counter("zonemap.extents_pruned").get();
+        // The stored range is [0, 511*70): a filter demanding values
+        // below -1 rejects the whole segment; one overlapping the range
+        // must not prune.
+        assert!(h.prune_whole_segment(|_m, maxs| maxs[0] < -1.0));
+        assert!(!h.prune_whole_segment(|mins, _x| mins[0] < 1.0));
+        // The counter is process-global (other tests may bump it too),
+        // so only a lower bound is exact here: 70 pages = 2 extents.
+        let after = obs::global().counter("zonemap.extents_pruned").get();
+        assert!(after - before >= 2, "before {before}, after {after}");
+        h.drop_zones();
+        assert!(
+            !h.prune_whole_segment(|_m, _x| false),
+            "no zone map, no pruning"
+        );
         std::fs::remove_file(&p).ok();
     }
 
@@ -486,7 +1093,7 @@ mod tests {
         {
             let pool = Arc::new(BufferPool::new(64));
             let fid = pool.register_file(PageFile::create(&p).unwrap());
-            let mut h = HeapFile::create(pool.clone(), fid, 1).unwrap();
+            let mut h = HeapFile::create(pool.clone(), fid, 1, PageFormat::Raw).unwrap();
             for i in 0..511 {
                 h.insert(&[i as f64]).unwrap(); // fills data page 1 exactly
             }

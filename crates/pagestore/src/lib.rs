@@ -48,6 +48,7 @@
 
 mod btree;
 mod buffer;
+pub mod colpage;
 mod db;
 mod encode;
 mod error;
@@ -72,13 +73,13 @@ pub use buffer::{BufferPool, PoolStats};
 pub use db::{sync_from_env, Database, DurabilityOptions, TableSpec};
 pub use encode::{decode_f64, encode_f64, encode_key, KeyBuf};
 pub use error::{Result, StoreError};
-pub use heap::{HeapFile, RowId, ZoneScanStats};
+pub use heap::{CompressionStats, HeapFile, PageFormat, RowId, ZoneScanStats};
 pub use pagefile::{FileId, PageFile, PageId};
 pub use recovery::RecoveryReport;
 pub use sql::{ExecOutcome, Plan};
 pub use table::{Index, Table};
 pub use wal::{CommitState, Wal, WalSegment, WAL_FILE};
-pub use zonemap::ZoneMap;
+pub use zonemap::{ZoneMap, EXTENT_PAGES, ZONE_LEVELS};
 
 /// Size of every page in bytes.
 pub const PAGE_SIZE: usize = 4096;

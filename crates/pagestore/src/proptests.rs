@@ -2,7 +2,7 @@
 //! against an in-memory model under randomized workloads.
 
 use crate::buffer::BufferPool;
-use crate::heap::HeapFile;
+use crate::heap::{HeapFile, PageFormat};
 use crate::pagefile::PageFile;
 use crate::BTree;
 use proptest::prelude::*;
@@ -33,7 +33,7 @@ proptest! {
         let p = tmpfile("heap");
         let pool = Arc::new(BufferPool::new(pool_pages));
         let fid = pool.register_file(PageFile::create(&p).unwrap());
-        let mut heap = HeapFile::create(pool, fid, 3).unwrap();
+        let mut heap = HeapFile::create(pool, fid, 3, PageFormat::Raw).unwrap();
         let mut rids = Vec::new();
         for row in &rows {
             rids.push(heap.insert(row).unwrap());

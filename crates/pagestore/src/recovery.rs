@@ -188,6 +188,16 @@ fn truncate_heap(path: &Path, nrows: u64) -> Result<u64> {
             path.display()
         )));
     }
+    match u16::from_le_bytes([page[16], page[17]]) {
+        0 => {}
+        1 => return truncate_columnar_heap(path, &mut f, len, ncols, nrows),
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "{}: unknown heap page format {other}",
+                path.display()
+            )))
+        }
+    }
     let rpp = (PAGE_SIZE - PAGE_HDR) / (ncols * 8);
     let need_pages = 1 + nrows.div_ceil(rpp as u64);
     let old_pages = len / PAGE_SIZE as u64;
@@ -223,6 +233,77 @@ fn truncate_heap(path: &Path, nrows: u64) -> Result<u64> {
     }
 
     // Restore the committed row count on the meta page.
+    f.seek(SeekFrom::Start(8))?;
+    f.write_all(&nrows.to_le_bytes())?;
+    Ok(observed.saturating_sub(nrows))
+}
+
+/// Columnar variant of the logical truncation: pages hold a variable
+/// number of rows, so the committed boundary is found by walking the
+/// page headers, and a boundary page that carries uncommitted tail rows
+/// is decoded and re-encoded with the committed prefix only (fewer rows
+/// never need more bits, so the prefix always fits the page).
+fn truncate_columnar_heap(
+    path: &Path,
+    f: &mut std::fs::File,
+    len: u64,
+    ncols: usize,
+    nrows: u64,
+) -> Result<u64> {
+    let old_pages = len / PAGE_SIZE as u64;
+    let mut page = vec![0u8; PAGE_SIZE];
+    let mut observed = 0u64;
+    let mut cum = 0u64;
+    // Last page holding committed rows, and how many of its rows are
+    // committed (a post-commit image may have appended more).
+    let mut boundary: Option<(u64, u64, u64)> = None; // (pid, keep, have)
+    for pid in 1..old_pages {
+        f.seek(SeekFrom::Start(pid * PAGE_SIZE as u64))?;
+        let mut hdr = [0u8; 2];
+        f.read_exact(&mut hdr)?;
+        let n = u16::from_le_bytes(hdr) as u64;
+        observed += n;
+        if cum < nrows {
+            let keep = n.min(nrows - cum);
+            if keep > 0 {
+                boundary = Some((pid, keep, n));
+            }
+            cum += keep;
+        }
+    }
+    if cum < nrows {
+        return Err(StoreError::Corrupt(format!(
+            "{}: {nrows} committed rows, heap holds only {cum}",
+            path.display()
+        )));
+    }
+    let need_pages = boundary.map_or(1, |(pid, _, _)| pid + 1);
+    if let Some((pid, keep, have)) = boundary {
+        if keep < have {
+            // Re-encode the boundary page with the committed prefix.
+            f.seek(SeekFrom::Start(pid * PAGE_SIZE as u64))?;
+            f.read_exact(&mut page)?;
+            let mut cols: Vec<Vec<f64>> = vec![Vec::new(); ncols];
+            let got = crate::colpage::decode_into(&page, ncols, &mut cols)? as u64;
+            if got < keep {
+                return Err(StoreError::Corrupt(format!(
+                    "{}: boundary page {pid} decodes {got} rows, need {keep}",
+                    path.display()
+                )));
+            }
+            let mut builder = crate::colpage::ColPageBuilder::new(ncols);
+            let mut row = vec![0.0f64; ncols];
+            for r in 0..keep as usize {
+                crate::colpage::gather_row(&cols, r, &mut row);
+                assert!(builder.try_push(&row), "committed prefix must fit");
+            }
+            let mut buf = [0u8; PAGE_SIZE];
+            builder.seal_into(&mut buf);
+            f.seek(SeekFrom::Start(pid * PAGE_SIZE as u64))?;
+            f.write_all(&buf)?;
+        }
+    }
+    f.set_len(need_pages * PAGE_SIZE as u64)?;
     f.seek(SeekFrom::Start(8))?;
     f.write_all(&nrows.to_le_bytes())?;
     Ok(observed.saturating_sub(nrows))

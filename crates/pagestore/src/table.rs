@@ -3,7 +3,8 @@
 use crate::btree::BTree;
 use crate::encode::{decode_key_rid, encode_key, KeyBuf};
 use crate::error::Result;
-use crate::heap::{HeapFile, RowId};
+use crate::heap::{CompressionStats, HeapFile, PageFormat, RowId};
+use crate::pagefile::FileId;
 use crate::StoreError;
 use parking_lot::RwLock;
 
@@ -45,6 +46,17 @@ impl Index {
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The pool file id of the backing B+tree.
+    pub(crate) fn tree_fid(&self) -> FileId {
+        self.tree.read().fid()
+    }
+
+    /// Replaces the backing tree in place (heap rewrites rebuild every
+    /// index because row ids change with the page format).
+    pub(crate) fn replace_tree(&self, tree: BTree) {
+        *self.tree.write() = tree;
     }
 }
 
@@ -250,6 +262,57 @@ impl Table {
         self.heap.read().scan_blocks(filter, visit)
     }
 
+    /// Column-at-a-time scan with the same zone-map pruning as
+    /// [`Table::scan_blocks`]; see [`HeapFile::scan_columns`]. Compressed
+    /// pages decode straight into the caller's column buffers.
+    pub fn scan_columns(
+        &self,
+        filter: impl FnMut(&[f64], &[f64]) -> bool,
+        cols: &mut Vec<Vec<f64>>,
+        visit: impl FnMut(&[Vec<f64>], usize) -> bool,
+    ) -> Result<crate::heap::ZoneScanStats> {
+        self.heap.read().scan_columns(filter, cols, visit)
+    }
+
+    /// The data-page format of the backing heap.
+    pub fn format(&self) -> PageFormat {
+        self.heap.read().format()
+    }
+
+    /// The whole-heap `(mins, maxs)` zone summary, when maintained and
+    /// non-empty (cloned out of the heap lock).
+    pub fn zone_segment_bounds(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        self.heap
+            .read()
+            .zone_segment_bounds()
+            .map(|(mins, maxs)| (mins.to_vec(), maxs.to_vec()))
+    }
+
+    /// Segment-level pre-probe pruning: `true` when the whole table's
+    /// zone summary fails `filter`, so a non-scan plan may skip it
+    /// entirely; see [`HeapFile::prune_whole_segment`].
+    pub fn prune_whole_segment(&self, filter: impl FnMut(&[f64], &[f64]) -> bool) -> bool {
+        self.heap.read().prune_whole_segment(filter)
+    }
+
+    /// Encoded-vs-raw payload accounting over every data page; see
+    /// [`HeapFile::compression_stats`].
+    pub fn compression_stats(&self) -> Result<CompressionStats> {
+        self.heap.read().compression_stats()
+    }
+
+    pub(crate) fn heap_fid(&self) -> FileId {
+        self.heap.read().fid()
+    }
+
+    pub(crate) fn replace_heap(&self, heap: HeapFile) {
+        *self.heap.write() = heap;
+    }
+
+    pub(crate) fn indexes(&self) -> Vec<std::sync::Arc<Index>> {
+        self.indexes.read().clone()
+    }
+
     /// Whether the heap currently maintains a zone map.
     pub fn has_zones(&self) -> bool {
         self.heap.read().has_zones()
@@ -314,7 +377,7 @@ mod tests {
         let pool = Arc::new(BufferPool::new(256));
         let heap_path = base.with_extension("tbl");
         let fid = pool.register_file(PageFile::create(&heap_path).unwrap());
-        let heap = HeapFile::create(pool.clone(), fid, cols.len()).unwrap();
+        let heap = HeapFile::create(pool.clone(), fid, cols.len(), PageFormat::Raw).unwrap();
         let table = Table::new(
             name.to_string(),
             cols.iter().map(|s| s.to_string()).collect(),
